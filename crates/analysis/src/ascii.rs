@@ -1,0 +1,194 @@
+//! Terminal rendering of the paper's graphical representations.
+//!
+//! §3.1: *"we present latency measurements graphically"* — here as ASCII
+//! charts suitable for the experiment harness's stdout: horizontal bar
+//! charts, log-count histograms, event-latency profiles and utilization
+//! strips.
+
+use crate::histogram::LatencyHistogram;
+use crate::timeseries::{EventSeries, UtilizationProfile};
+
+/// Renders a labelled horizontal bar chart. Values are scaled to
+/// `width` characters against the maximum.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {value:.3}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders a histogram with a logarithmic count axis (Figure 7's style:
+/// bar length ∝ log10(count)).
+pub fn histogram_log(hist: &LatencyHistogram, width: usize) -> String {
+    let rows = hist.rows();
+    let max_log = rows
+        .iter()
+        .map(|(_, c)| (*c as f64).log10())
+        .fold(0.0f64, f64::max);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, count) in &rows {
+        let log = (*count as f64).log10();
+        let bar_len = if max_log > 0.0 {
+            (((log / max_log) * width as f64).round() as usize).max(1)
+        } else {
+            1
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {count}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders an event-latency profile: one column per event bucketed over
+/// time, column height ∝ max latency in the bucket (Figure 5's bars).
+pub fn event_profile(series: &EventSeries, columns: usize, height: usize) -> String {
+    if series.is_empty() || columns == 0 || height == 0 {
+        return String::from("(no events)\n");
+    }
+    let t_min = series.points().first().map(|p| p.t_secs).unwrap_or(0.0);
+    let t_max = series.points().last().map(|p| p.t_secs).unwrap_or(1.0);
+    let span = (t_max - t_min).max(1e-9);
+    let mut col_max = vec![0.0f64; columns];
+    for p in series.points() {
+        let c = (((p.t_secs - t_min) / span) * (columns - 1) as f64) as usize;
+        col_max[c] = col_max[c].max(p.latency_ms);
+    }
+    let peak = col_max.iter().copied().fold(0.0f64, f64::max).max(1e-9);
+    let mut out = String::new();
+    for row in (1..=height).rev() {
+        let level = peak * row as f64 / height as f64;
+        let line: String = col_max
+            .iter()
+            .map(|&v| if v >= level { '|' } else { ' ' })
+            .collect();
+        out.push_str(&format!("{:>8.1} |{line}\n", level));
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n{:>8}  {:<10.1}{:>width$.1}\n",
+        "ms",
+        "-".repeat(columns),
+        "t(s)",
+        t_min,
+        t_max,
+        width = columns.saturating_sub(10)
+    ));
+    out
+}
+
+/// Renders a utilization strip: one character per bin, shaded by level
+/// (Figure 3/4's profile at terminal resolution).
+pub fn utilization_strip(profile: &UtilizationProfile) -> String {
+    const SHADES: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    profile
+        .bins()
+        .iter()
+        .map(|b| {
+            let idx = (b.utilization * (SHADES.len() - 1) as f64).round() as usize;
+            SHADES[idx.min(SHADES.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders a utilization profile as a multi-row chart with an axis.
+pub fn utilization_chart(profile: &UtilizationProfile, height: usize) -> String {
+    let bins = profile.bins();
+    if bins.is_empty() || height == 0 {
+        return String::from("(no samples)\n");
+    }
+    let mut out = String::new();
+    for row in (1..=height).rev() {
+        let level = row as f64 / height as f64;
+        let line: String = bins
+            .iter()
+            .map(|b| {
+                if b.utilization >= level - 1e-12 {
+                    '#'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        out.push_str(&format!("{:>4.0}% |{line}\n", level * 100.0));
+    }
+    out.push_str(&format!("      +{}\n", "-".repeat(bins.len())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales() {
+        let rows = vec![
+            ("a".to_string(), 10.0),
+            ("bb".to_string(), 5.0),
+            ("c".to_string(), 0.0),
+        ];
+        let chart = bar_chart(&rows, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].matches('#').count() == 20);
+        assert!(lines[1].matches('#').count() == 10);
+        assert!(lines[2].matches('#').count() == 0);
+    }
+
+    #[test]
+    fn histogram_log_renders_nonempty_buckets() {
+        let mut h = LatencyHistogram::log2_ms(6);
+        for _ in 0..1000 {
+            h.add(1.5);
+        }
+        h.add(30.0);
+        let s = histogram_log(&h, 30);
+        assert_eq!(s.lines().count(), 2);
+        // The 1000-count bar is longer than the 1-count bar.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].matches('#').count() > lines[1].matches('#').count());
+    }
+
+    #[test]
+    fn empty_event_profile() {
+        let s = event_profile(&EventSeries::default(), 40, 8);
+        assert!(s.contains("no events"));
+    }
+
+    #[test]
+    fn utilization_strip_levels() {
+        use crate::timeseries::UtilizationProfile;
+        use latlab_core::IdleTrace;
+        use latlab_des::{CpuFreq, SimDuration, SimTime};
+        const MS: u64 = 100_000;
+        // Idle then one fully busy region.
+        let stamps = vec![0, MS, 2 * MS, 12 * MS, 13 * MS];
+        let trace = IdleTrace::new(stamps, SimDuration::from_cycles(MS), CpuFreq::PENTIUM_100);
+        let profile =
+            UtilizationProfile::from_trace(&trace, SimTime::ZERO, SimTime::from_cycles(13 * MS), 1);
+        let strip = utilization_strip(&profile);
+        assert_eq!(strip.chars().count(), 13);
+        assert!(strip.contains('@') || strip.contains('#'));
+        assert!(strip.starts_with(' '));
+    }
+}

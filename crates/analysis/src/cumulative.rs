@@ -1,0 +1,178 @@
+//! Cumulative-latency curves (§3.2).
+//!
+//! *"Next, we integrate over the histogram presenting a cumulative latency
+//! graph. This provides the quantitative data indicating how events of a
+//! particular duration contribute to the overall time required to complete
+//! a task. Finally, we plot the cumulative latency as a function of the
+//! number of events, providing an intuition about the variance in response
+//! time perceived by the user. Note that in each of these cases, the events
+//! are sorted by their duration."*
+
+use serde::{Deserialize, Serialize};
+
+/// Events sorted by duration with cumulative sums — the basis of both
+/// Figure 7-style curves.
+///
+/// # Examples
+///
+/// ```
+/// use latlab_analysis::CumulativeLatency;
+///
+/// // Ten 2 ms keystrokes and one 20 ms refresh: half the total latency
+/// // comes from the short events (the Figure 7 reading).
+/// let mut lats = vec![2.0; 10];
+/// lats.push(20.0);
+/// let curve = CumulativeLatency::new(&lats);
+/// assert_eq!(curve.total_ms(), 40.0);
+/// assert!((curve.fraction_below(10.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CumulativeLatency {
+    /// Latencies sorted ascending, ms.
+    sorted_ms: Vec<f64>,
+    /// Cumulative sums: `cum[i]` = total latency of the `i+1` shortest
+    /// events, ms.
+    cum_ms: Vec<f64>,
+}
+
+impl CumulativeLatency {
+    /// Builds the curve from raw latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is NaN or negative.
+    pub fn new(latencies_ms: &[f64]) -> Self {
+        let mut sorted_ms: Vec<f64> = latencies_ms.to_vec();
+        assert!(
+            sorted_ms.iter().all(|l| l.is_finite() && *l >= 0.0),
+            "latencies must be finite and non-negative"
+        );
+        sorted_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut cum_ms = Vec::with_capacity(sorted_ms.len());
+        let mut total = 0.0;
+        for &l in &sorted_ms {
+            total += l;
+            cum_ms.push(total);
+        }
+        CumulativeLatency { sorted_ms, cum_ms }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.sorted_ms.len()
+    }
+
+    /// True if there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.sorted_ms.is_empty()
+    }
+
+    /// Total latency, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.cum_ms.last().copied().unwrap_or(0.0)
+    }
+
+    /// The sorted latencies.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted_ms
+    }
+
+    /// Cumulative latency after the `n` shortest events (Figure 7 bottom:
+    /// cumulative latency vs. event count).
+    pub fn cumulative_at_count(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.cum_ms[(n - 1).min(self.cum_ms.len() - 1)]
+        }
+    }
+
+    /// Cumulative latency of all events with latency ≤ `threshold_ms`
+    /// (Figure 7 middle: cumulative latency vs. latency).
+    pub fn cumulative_below(&self, threshold_ms: f64) -> f64 {
+        let n = self.sorted_ms.partition_point(|&l| l <= threshold_ms);
+        self.cumulative_at_count(n)
+    }
+
+    /// Fraction of total latency contributed by events with latency ≤
+    /// `threshold_ms` — the quantity behind the paper's *"over 80% of the
+    /// latency of Notepad is due to low-latency (less than 10 ms) events"*.
+    pub fn fraction_below(&self, threshold_ms: f64) -> f64 {
+        let total = self.total_ms();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.cumulative_below(threshold_ms) / total
+    }
+
+    /// The curve as `(latency_ms, cumulative_ms)` points.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        self.sorted_ms
+            .iter()
+            .zip(&self.cum_ms)
+            .map(|(&l, &c)| (l, c))
+            .collect()
+    }
+
+    /// Smoothness proxy for the variance curve: the maximum single-event
+    /// contribution as a fraction of the total. A small value means many
+    /// similar events (the paper's "smoothness of the curves … shows that
+    /// there is little variance").
+    pub fn max_single_event_fraction(&self) -> f64 {
+        let total = self.total_ms();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.sorted_ms.last().copied().unwrap_or(0.0) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_sums() {
+        let c = CumulativeLatency::new(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.total_ms(), 6.0);
+        assert_eq!(c.cumulative_at_count(0), 0.0);
+        assert_eq!(c.cumulative_at_count(1), 1.0);
+        assert_eq!(c.cumulative_at_count(2), 3.0);
+        assert_eq!(c.cumulative_at_count(99), 6.0);
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        // 10 events of 1 ms plus one of 10 ms: short events are 50%.
+        let mut v = vec![1.0; 10];
+        v.push(10.0);
+        let c = CumulativeLatency::new(&v);
+        assert!((c.fraction_below(5.0) - 0.5).abs() < 1e-12);
+        assert!((c.fraction_below(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = CumulativeLatency::new(&[5.0, 2.0, 8.0, 1.0]);
+        let curve = c.curve();
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = CumulativeLatency::new(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.total_ms(), 0.0);
+        assert_eq!(c.fraction_below(1.0), 0.0);
+        assert_eq!(c.max_single_event_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = CumulativeLatency::new(&[f64::NAN]);
+    }
+}

@@ -1,0 +1,105 @@
+//! CSV and JSON export of experiment results.
+//!
+//! Every figure/table regenerator in the experiment harness writes its data
+//! in machine-readable form alongside the ASCII rendering, so that results
+//! can be replotted and diffed across runs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Serializes rows of `(column → value)` data to a CSV string.
+///
+/// # Panics
+///
+/// Panics if the rows have inconsistent lengths.
+pub fn to_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            header.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            header.len()
+        );
+        let mut first = true;
+        for v in row {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV file, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_csv(header, rows))
+}
+
+/// Writes any serializable value as pretty JSON, creating parent
+/// directories.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_formatting() {
+        let csv = to_csv(&["a", "b"], &[vec![1.0, 2.5], vec![3.0, 4.0]]);
+        assert_eq!(csv, "a,b\n1,2.5\n3,4\n");
+    }
+
+    #[test]
+    fn empty_rows() {
+        let csv = to_csv(&["x"], &[]);
+        assert_eq!(csv, "x\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let _ = to_csv(&["a", "b"], &[vec![1.0]]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("latlab-export-test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["v"], &[vec![42.0]]).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("42"));
+        let jpath = dir.join("t.json");
+        write_json(&jpath, &vec![1, 2, 3]).unwrap();
+        assert!(fs::read_to_string(&jpath).unwrap().contains('2'));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,169 @@
+//! Latency histograms (§3.2).
+//!
+//! *"First, we present histograms, showing the number of events
+//! corresponding to each measured latency. This presents a detailed
+//! breakdown of the event latencies and provides some intuition into the
+//! different categories of events present in an application."* The paper
+//! plots these with a logarithmic count axis (Figure 7).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over latency values in milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use latlab_analysis::LatencyHistogram;
+///
+/// let hist = LatencyHistogram::from_latencies(&[1.5, 2.0, 3.0, 40.0]);
+/// assert_eq!(hist.total(), 4);
+/// assert_eq!(hist.count_at_or_above(32.0), 1);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket upper edges, ms (the last bucket is unbounded).
+    edges: Vec<f64>,
+    /// Counts per bucket (`edges.len() + 1` entries).
+    counts: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with explicit bucket upper edges (must be
+    /// strictly increasing and non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or non-increasing edges.
+    pub fn with_edges(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        let buckets = edges.len() + 1;
+        LatencyHistogram {
+            edges,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Power-of-two millisecond buckets from 1 ms up to `max_pow` (e.g. 10
+    /// → 1024 ms), matching the paper's log-scale presentation.
+    pub fn log2_ms(max_pow: u32) -> Self {
+        let edges = (0..=max_pow).map(|p| (1u64 << p) as f64).collect();
+        Self::with_edges(edges)
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, latency_ms: f64) {
+        let idx = self.edges.partition_point(|&e| e <= latency_ms);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds many observations.
+    pub fn extend(&mut self, latencies_ms: impl IntoIterator<Item = f64>) {
+        for l in latencies_ms {
+            self.add(l);
+        }
+    }
+
+    /// Builds directly from observations with log2 buckets.
+    pub fn from_latencies(latencies_ms: &[f64]) -> Self {
+        let mut h = Self::log2_ms(13); // up to 8192 ms
+        h.extend(latencies_ms.iter().copied());
+        h
+    }
+
+    /// Bucket count (edges + 1 overflow bucket).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Human-readable label of bucket `i` (e.g. `"[2, 4) ms"`).
+    pub fn label(&self, i: usize) -> String {
+        if i == 0 {
+            format!("< {} ms", self.edges[0])
+        } else if i == self.counts.len() - 1 {
+            format!("≥ {} ms", self.edges[i - 1])
+        } else {
+            format!("[{}, {}) ms", self.edges[i - 1], self.edges[i])
+        }
+    }
+
+    /// Iterates `(label, count)` over non-empty buckets.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        (0..self.buckets())
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| (self.label(i), self.counts[i]))
+            .collect()
+    }
+
+    /// The number of observations at or above `threshold_ms`, using exact
+    /// bucket boundaries when aligned (used for Table 2-style thresholding
+    /// the caller typically does on raw data instead).
+    pub fn count_at_or_above(&self, threshold_ms: f64) -> u64 {
+        let idx = self.edges.partition_point(|&e| e <= threshold_ms);
+        self.counts[idx..].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bucketing() {
+        let mut h = LatencyHistogram::log2_ms(4); // edges 1,2,4,8,16
+        for v in [0.5, 1.0, 1.5, 3.0, 9.0, 100.0] {
+            h.add(v);
+        }
+        assert_eq!(h.count(0), 1); // <1
+        assert_eq!(h.count(1), 2); // [1,2)
+        assert_eq!(h.count(2), 1); // [2,4)
+        assert_eq!(h.count(3), 0); // [4,8)
+        assert_eq!(h.count(4), 1); // [8,16)
+        assert_eq!(h.count(5), 1); // >=16
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let h = LatencyHistogram::log2_ms(2);
+        assert_eq!(h.label(0), "< 1 ms");
+        assert_eq!(h.label(1), "[1, 2) ms");
+        assert_eq!(h.label(3), "≥ 4 ms");
+    }
+
+    #[test]
+    fn rows_skip_empty() {
+        let mut h = LatencyHistogram::log2_ms(3);
+        h.add(1.5);
+        h.add(1.7);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, 2);
+    }
+
+    #[test]
+    fn threshold_counting() {
+        let h = LatencyHistogram::from_latencies(&[0.5, 3.0, 10.0, 200.0]);
+        assert_eq!(h.count_at_or_above(8.0), 2);
+        assert_eq!(h.count_at_or_above(1.0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_edges_rejected() {
+        let _ = LatencyHistogram::with_edges(vec![1.0, 1.0]);
+    }
+}

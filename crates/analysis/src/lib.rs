@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Latency visualization and statistics (§3 of the paper).
+//!
+//! The paper presents measurements graphically rather than reducing them to
+//! a single scalar: per-event latency profiles, log-count histograms,
+//! cumulative-latency curves and interarrival tables. This crate implements
+//! those representations over `latlab-core`'s measured events, renders them
+//! as terminal charts, and exports them as CSV/JSON for replotting.
+
+pub mod ascii;
+pub mod cumulative;
+pub mod export;
+pub mod histogram;
+pub mod interarrival;
+pub mod perception;
+pub mod summary;
+pub mod timeseries;
+
+pub use cumulative::CumulativeLatency;
+pub use histogram::LatencyHistogram;
+pub use interarrival::{interarrival_row, interarrival_table, InterarrivalRow};
+pub use perception::{EventClass, PerceptionModel, PerceptionScore, ToleranceBand};
+pub use summary::{responsiveness_score, shneiderman_penalty, LatencySummary};
+pub use timeseries::{
+    EventPoint, EventSeries, JitterSeries, JitterWindow, UtilBin, UtilizationProfile,
+};

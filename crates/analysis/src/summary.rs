@@ -1,0 +1,143 @@
+//! Scalar summaries of latency populations.
+//!
+//! The paper deliberately declined to reduce latency to a single figure of
+//! merit (§3.1) but still reports means, standard deviations and extrema;
+//! [`LatencySummary`] packages those. [`responsiveness_score`] implements
+//! the §3.1 *abandoned* metric — a threshold-penalty summation — as an
+//! extension, with the threshold function pluggable precisely because the
+//! paper argued it must depend on event type and human-factors data.
+
+use latlab_des::stats::{median, quantile};
+use latlab_des::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of latencies (ms).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of events.
+    pub count: u64,
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Sample standard deviation, ms.
+    pub stddev_ms: f64,
+    /// Median latency, ms.
+    pub median_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// Minimum, ms.
+    pub min_ms: f64,
+    /// Maximum, ms.
+    pub max_ms: f64,
+    /// Sum of all latencies, ms.
+    pub total_ms: f64,
+}
+
+impl LatencySummary {
+    /// Computes the summary (all-zero for an empty slice).
+    pub fn from_latencies(latencies_ms: &[f64]) -> Self {
+        if latencies_ms.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut stats = OnlineStats::new();
+        for &l in latencies_ms {
+            stats.push(l);
+        }
+        LatencySummary {
+            count: stats.count(),
+            mean_ms: stats.mean(),
+            stddev_ms: stats.sample_stddev(),
+            median_ms: median(latencies_ms).unwrap_or(0.0),
+            p90_ms: quantile(latencies_ms, 0.9).unwrap_or(0.0),
+            min_ms: stats.min(),
+            max_ms: stats.max(),
+            total_ms: stats.mean() * stats.count() as f64,
+        }
+    }
+
+    /// Coefficient of variation (stddev/mean) — the paper's variance
+    /// comparisons (Figure 11: NT 4.0 shows "lower variance").
+    pub fn cv(&self) -> f64 {
+        if self.mean_ms == 0.0 {
+            0.0
+        } else {
+            self.stddev_ms / self.mean_ms
+        }
+    }
+}
+
+/// A perception-threshold function: maps an event's latency to a
+/// dissatisfaction penalty. See [`responsiveness_score`].
+pub type PenaltyFn = fn(latency_ms: f64) -> f64;
+
+/// The paper's §3.1 intuition as a default penalty: events ≤100 ms are
+/// free; events ≥2 s saturate; linear in between on a log scale.
+pub fn shneiderman_penalty(latency_ms: f64) -> f64 {
+    const FREE_MS: f64 = 100.0;
+    const SATURATE_MS: f64 = 2_000.0;
+    if latency_ms <= FREE_MS {
+        0.0
+    } else if latency_ms >= SATURATE_MS {
+        1.0
+    } else {
+        (latency_ms / FREE_MS).ln() / (SATURATE_MS / FREE_MS).ln()
+    }
+}
+
+/// The §3.1 responsiveness metric: the summed penalty over all events.
+/// Lower is better; zero means every event was imperceptible.
+///
+/// The paper abandoned a single scalar because the threshold depends on
+/// event type and unresolved human-factors questions — hence the pluggable
+/// `penalty`. The ablation bench sweeps penalty functions to show the
+/// sensitivity that motivated the abandonment.
+pub fn responsiveness_score(latencies_ms: &[f64], penalty: PenaltyFn) -> f64 {
+    latencies_ms.iter().map(|&l| penalty(l)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = LatencySummary::from_latencies(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean_ms - 2.5).abs() < 1e-12);
+        assert!((s.median_ms - 2.5).abs() < 1e-12);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.max_ms, 4.0);
+        assert!((s.total_ms - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LatencySummary::from_latencies(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ms, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn penalty_boundaries() {
+        assert_eq!(shneiderman_penalty(50.0), 0.0);
+        assert_eq!(shneiderman_penalty(100.0), 0.0);
+        assert_eq!(shneiderman_penalty(2_000.0), 1.0);
+        assert_eq!(shneiderman_penalty(10_000.0), 1.0);
+        let mid = shneiderman_penalty(450.0);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn score_accumulates() {
+        let score = responsiveness_score(&[50.0, 150.0, 3_000.0], shneiderman_penalty);
+        assert!(score > 1.0 && score < 2.0);
+        assert_eq!(responsiveness_score(&[10.0; 100], shneiderman_penalty), 0.0);
+    }
+
+    #[test]
+    fn cv_tracks_spread() {
+        let tight = LatencySummary::from_latencies(&[10.0, 10.5, 9.5]);
+        let wide = LatencySummary::from_latencies(&[1.0, 10.0, 19.0]);
+        assert!(tight.cv() < wide.cv());
+    }
+}

@@ -1,0 +1,338 @@
+//! Event-latency time series and CPU-utilization profiles.
+//!
+//! * Figure 5 / Figure 12: each event drawn at its start time with its
+//!   latency as the bar height — [`EventSeries`].
+//! * Figures 3 and 4: CPU utilization over time reconstructed from the
+//!   idle-loop trace, at raw (per-sample) resolution or averaged over
+//!   fixed bins — [`UtilizationProfile`].
+
+use latlab_core::{IdleTrace, MeasuredEvent};
+use latlab_des::{CpuFreq, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One event bar: start time and latency, in seconds/milliseconds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EventPoint {
+    /// Event start, seconds since power-on.
+    pub t_secs: f64,
+    /// Event latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// A Figure 5-style raw event profile.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EventSeries {
+    points: Vec<EventPoint>,
+}
+
+impl EventSeries {
+    /// Builds the series from measured events (CPU-busy latency).
+    pub fn from_events(events: &[MeasuredEvent], freq: CpuFreq) -> Self {
+        EventSeries {
+            points: events
+                .iter()
+                .map(|e| EventPoint {
+                    t_secs: freq.time_to_secs(e.window_start),
+                    latency_ms: e.latency_ms(freq),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the series using wall spans — the wait-time reading for
+    /// disk-bound events (Table 1 / Figure 12).
+    pub fn from_event_spans(events: &[MeasuredEvent], freq: CpuFreq) -> Self {
+        EventSeries {
+            points: events
+                .iter()
+                .map(|e| EventPoint {
+                    t_secs: freq.time_to_secs(e.window_start),
+                    latency_ms: e.span_ms(freq),
+                })
+                .collect(),
+        }
+    }
+
+    /// The points, in time order.
+    pub fn points(&self) -> &[EventPoint] {
+        &self.points
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// A magnified view: points within `[from_secs, to_secs)` (Figure 5b).
+    pub fn window(&self, from_secs: f64, to_secs: f64) -> EventSeries {
+        EventSeries {
+            points: self
+                .points
+                .iter()
+                .filter(|p| p.t_secs >= from_secs && p.t_secs < to_secs)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Points above a latency threshold (Figure 12 uses 50 ms).
+    pub fn above(&self, threshold_ms: f64) -> EventSeries {
+        EventSeries {
+            points: self
+                .points
+                .iter()
+                .filter(|p| p.latency_ms >= threshold_ms)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The fraction of events under the 0.1 s perception threshold the
+    /// paper draws on Figure 5.
+    pub fn fraction_imperceptible(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().filter(|p| p.latency_ms < 100.0).count() as f64
+            / self.points.len() as f64
+    }
+}
+
+/// A sliding-window latency percentile series: responsiveness *stability*
+/// over the course of a run (jitter bands), complementing the paper's
+/// whole-run histograms.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct JitterSeries {
+    windows: Vec<JitterWindow>,
+}
+
+/// One window's latency percentiles.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct JitterWindow {
+    /// Window start, seconds.
+    pub t_secs: f64,
+    /// Median latency in the window, ms.
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// Maximum, ms.
+    pub max_ms: f64,
+    /// Events in the window.
+    pub count: usize,
+}
+
+impl JitterSeries {
+    /// Builds the series from an event series with windows of
+    /// `window_secs`, advancing by `stride_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window or stride is non-positive.
+    pub fn from_series(series: &EventSeries, window_secs: f64, stride_secs: f64) -> Self {
+        assert!(
+            window_secs > 0.0 && stride_secs > 0.0,
+            "positive window/stride"
+        );
+        let points = series.points();
+        let Some(first) = points.first() else {
+            return JitterSeries::default();
+        };
+        let last = points.last().expect("non-empty").t_secs;
+        let mut windows = Vec::new();
+        let mut t = first.t_secs;
+        while t <= last {
+            let lats: Vec<f64> = points
+                .iter()
+                .filter(|p| p.t_secs >= t && p.t_secs < t + window_secs)
+                .map(|p| p.latency_ms)
+                .collect();
+            if !lats.is_empty() {
+                windows.push(JitterWindow {
+                    t_secs: t,
+                    p50_ms: latlab_des::stats::median(&lats).unwrap_or(0.0),
+                    p90_ms: latlab_des::stats::quantile(&lats, 0.9).unwrap_or(0.0),
+                    max_ms: lats.iter().copied().fold(0.0, f64::max),
+                    count: lats.len(),
+                });
+            }
+            t += stride_secs;
+        }
+        JitterSeries { windows }
+    }
+
+    /// The windows.
+    pub fn windows(&self) -> &[JitterWindow] {
+        &self.windows
+    }
+
+    /// The spread of window medians (max − min), a run-stability indicator.
+    pub fn median_drift_ms(&self) -> f64 {
+        let meds: Vec<f64> = self.windows.iter().map(|w| w.p50_ms).collect();
+        let max = meds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = meds.iter().copied().fold(f64::INFINITY, f64::min);
+        if meds.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
+    }
+}
+
+/// One utilization bin.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UtilBin {
+    /// Bin start, milliseconds since power-on.
+    pub t_ms: f64,
+    /// Mean CPU utilization in the bin, `0.0..=1.0`.
+    pub utilization: f64,
+}
+
+/// A CPU-utilization profile reconstructed from an idle-loop trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UtilizationProfile {
+    bins: Vec<UtilBin>,
+}
+
+impl UtilizationProfile {
+    /// Builds a profile over `[from, to)` with fixed `bin_ms` bins.
+    ///
+    /// `bin_ms = 1` reproduces Figure 4a's raw resolution; `bin_ms = 10`
+    /// reproduces Figure 4b's averaged view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_ms` is zero.
+    pub fn from_trace(trace: &IdleTrace, from: SimTime, to: SimTime, bin_ms: u64) -> Self {
+        assert!(bin_ms > 0, "bin width must be non-zero");
+        let freq = trace.freq();
+        let bin = freq.ms(bin_ms);
+        let mut bins = Vec::new();
+        let mut t = from;
+        while t < to {
+            let end = (t + bin).min(to);
+            let busy = trace.busy_within(t, end);
+            let width = end.since(t);
+            let utilization = if width.is_zero() {
+                0.0
+            } else {
+                (busy.cycles() as f64 / width.cycles() as f64).min(1.0)
+            };
+            bins.push(UtilBin {
+                t_ms: freq.time_to_ms(t),
+                utilization,
+            });
+            t = end;
+        }
+        UtilizationProfile { bins }
+    }
+
+    /// The bins.
+    pub fn bins(&self) -> &[UtilBin] {
+        &self.bins
+    }
+
+    /// Mean utilization across the profile.
+    pub fn mean(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        self.bins.iter().map(|b| b.utilization).sum::<f64>() / self.bins.len() as f64
+    }
+
+    /// Count of bins at or above a utilization level (burst detection for
+    /// the Figure 3 clock-interrupt spikes).
+    pub fn bins_at_or_above(&self, level: f64) -> usize {
+        self.bins.iter().filter(|b| b.utilization >= level).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::SimDuration;
+
+    const MS: u64 = 100_000;
+
+    fn trace_with_busy_10_to_18() -> IdleTrace {
+        let mut stamps: Vec<u64> = (0..=10).map(|i| i * MS).collect();
+        stamps.push(18 * MS);
+        for i in 1..=10u64 {
+            stamps.push((18 + i) * MS);
+        }
+        IdleTrace::new(stamps, SimDuration::from_cycles(MS), CpuFreq::PENTIUM_100)
+    }
+
+    #[test]
+    fn utilization_profile_shows_burst() {
+        let trace = trace_with_busy_10_to_18();
+        let p =
+            UtilizationProfile::from_trace(&trace, SimTime::ZERO, SimTime::from_cycles(28 * MS), 1);
+        assert_eq!(p.bins().len(), 28);
+        // Bins 10..17 carry the busy time (7/8 utilization each under the
+        // uniform assumption).
+        assert!(p.bins()[12].utilization > 0.8);
+        assert!(p.bins()[2].utilization < 1e-9);
+        assert!(p.bins_at_or_above(0.5) >= 7);
+    }
+
+    #[test]
+    fn coarse_bins_average() {
+        let trace = trace_with_busy_10_to_18();
+        let p = UtilizationProfile::from_trace(
+            &trace,
+            SimTime::ZERO,
+            SimTime::from_cycles(30 * MS),
+            10,
+        );
+        assert_eq!(p.bins().len(), 3);
+        // Second bin (10–20 ms) holds the 7 ms of busy → 0.7.
+        assert!((p.bins()[1].utilization - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn event_series_window_and_threshold() {
+        let points = [(0.5, 10.0), (1.5, 200.0), (2.5, 40.0), (3.5, 120.0)];
+        let series = EventSeries {
+            points: points
+                .iter()
+                .map(|&(t_secs, latency_ms)| EventPoint { t_secs, latency_ms })
+                .collect(),
+        };
+        assert_eq!(series.window(1.0, 3.0).len(), 2);
+        assert_eq!(series.above(100.0).len(), 2);
+        assert!((series.fraction_imperceptible() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_series_windows() {
+        let points: Vec<EventPoint> = (0..100)
+            .map(|i| EventPoint {
+                t_secs: i as f64 * 0.1,
+                latency_ms: if i < 50 { 10.0 } else { 30.0 },
+            })
+            .collect();
+        let series = EventSeries { points };
+        let jitter = JitterSeries::from_series(&series, 2.0, 1.0);
+        assert!(!jitter.windows().is_empty());
+        // Early windows are all-10, late windows all-30.
+        assert!((jitter.windows().first().unwrap().p50_ms - 10.0).abs() < 1e-9);
+        assert!((jitter.windows().last().unwrap().p50_ms - 30.0).abs() < 1e-9);
+        assert!((jitter.median_drift_ms() - 20.0).abs() < 1e-9);
+        // Empty input.
+        assert!(JitterSeries::from_series(&EventSeries::default(), 1.0, 1.0)
+            .windows()
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = UtilizationProfile::default();
+        assert_eq!(p.mean(), 0.0);
+        assert!(EventSeries::default().is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Shared building blocks for synthetic applications.
+
+use std::collections::VecDeque;
+
+use latlab_os::{Action, ApiCall, ComputeSpec};
+
+/// A FIFO of actions an application has decided to perform; programs drain
+/// it one action per [`latlab_os::Program::step`].
+#[derive(Debug, Default)]
+pub struct ActionQueue {
+    queue: VecDeque<Action>,
+}
+
+impl ActionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ActionQueue::default()
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: Action) {
+        self.queue.push_back(action);
+    }
+
+    /// Appends a compute.
+    pub fn compute(&mut self, spec: ComputeSpec) {
+        self.push(Action::Compute(spec));
+    }
+
+    /// Appends an API call.
+    pub fn call(&mut self, call: ApiCall) {
+        self.push(Action::Call(call));
+    }
+
+    /// Takes the next queued action.
+    pub fn pop(&mut self) -> Option<Action> {
+        self.queue.pop_front()
+    }
+
+    /// True if no actions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of queued actions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Converts a millisecond figure of 100 MHz application work into an
+/// instruction count under the FLAT32 mix (CPI 1.2 ≈ 83,000 instructions
+/// per millisecond). Used to express application costs in the paper's
+/// natural unit.
+pub const fn app_ms_to_instr(ms: u64) -> u64 {
+    ms * 83_000
+}
+
+/// Fractional-millisecond variant of [`app_ms_to_instr`], in microseconds.
+pub const fn app_us_to_instr(us: u64) -> u64 {
+    us * 83
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_hw::HwMix;
+
+    #[test]
+    fn queue_fifo() {
+        let mut q = ActionQueue::new();
+        q.compute(ComputeSpec::app(10));
+        q.call(ApiCall::GetMessage);
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.pop(), Some(Action::Compute(_))));
+        assert!(matches!(q.pop(), Some(Action::Call(ApiCall::GetMessage))));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ms_conversion_is_roughly_one_ms() {
+        // 1 ms of FLAT32 work should cost ~100k cycles at 100 MHz.
+        let cycles = HwMix::FLAT32.cycles_for(app_ms_to_instr(1));
+        let err = (cycles as f64 - 100_000.0).abs() / 100_000.0;
+        assert!(err < 0.1, "1 ms of app work costs {cycles} cycles");
+        assert_eq!(app_us_to_instr(1_000), 83_000);
+    }
+}

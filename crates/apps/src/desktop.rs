@@ -1,0 +1,305 @@
+//! The desktop shell: simple-event microbenchmarks and the window-maximize
+//! animation.
+//!
+//! Covers two of the paper's experiments:
+//!
+//! * Figure 6 — *unbound key stroke* and *mouse click on the screen
+//!   background*: tiny GUI-path events whose latency exposes raw system
+//!   path lengths.
+//! * §2.6 / Figure 4 — *window maximize*: ~80 ms of input processing, an
+//!   animation whose steps are paced by clock-tick-aligned sleeps and grow
+//!   as the outline grows (the stair pattern between 180 and 400 ms), then
+//!   a final window redraw (~200 ms of continuous computation).
+
+use latlab_os::{
+    Action, ApiCall, ApiReply, ComputeSpec, InputKind, KeySym, Message, Program, StepCtx,
+};
+
+use crate::common::{app_us_to_instr, ActionQueue};
+
+/// Maximize is requested by this key chord in the shell's binding table.
+pub const MAXIMIZE_KEY: KeySym = KeySym::Ctrl('m');
+
+/// Configuration of the shell's event costs.
+#[derive(Clone, Copy, Debug)]
+pub struct DesktopConfig {
+    /// Shell work per unbound keystroke, µs of GUI-path work.
+    pub keystroke_gui_us: u64,
+    /// GDI ops per unbound keystroke (caret/focus feedback).
+    pub keystroke_gdi_ops: u32,
+    /// Shell work per mouse press/release, µs of GUI-path work.
+    pub click_gui_us: u64,
+    /// Input processing before the maximize animation, µs.
+    pub maximize_setup_us: u64,
+    /// Number of animation steps.
+    pub animation_steps: u32,
+    /// First animation step cost, µs; later steps grow linearly.
+    pub animation_first_us: u64,
+    /// Per-step cost growth, µs.
+    pub animation_grow_us: u64,
+    /// Final redraw cost, µs.
+    pub redraw_us: u64,
+}
+
+impl Default for DesktopConfig {
+    fn default() -> Self {
+        DesktopConfig {
+            keystroke_gui_us: 2_200,
+            keystroke_gdi_ops: 1,
+            click_gui_us: 150,
+            maximize_setup_us: 78_000,
+            animation_steps: 20,
+            animation_first_us: 1_200,
+            animation_grow_us: 280,
+            redraw_us: 195_000,
+        }
+    }
+}
+
+/// The shell program.
+pub struct Desktop {
+    config: DesktopConfig,
+    pending: ActionQueue,
+    awaiting_message: bool,
+    animating_step: Option<u32>,
+    maximizes_done: u64,
+}
+
+impl Desktop {
+    /// Creates the shell.
+    pub fn new(config: DesktopConfig) -> Self {
+        Desktop {
+            config,
+            pending: ActionQueue::new(),
+            awaiting_message: false,
+            animating_step: None,
+            maximizes_done: 0,
+        }
+    }
+
+    /// Number of completed maximize operations.
+    pub fn maximizes_done(&self) -> u64 {
+        self.maximizes_done
+    }
+
+    fn gui(&self, us: u64) -> ComputeSpec {
+        ComputeSpec::gui(app_us_to_instr(us))
+    }
+
+    fn handle_message(&mut self, msg: Message) {
+        match msg {
+            Message::Input { kind, .. } => self.handle_input(kind),
+            Message::QueueSync => {
+                // Journal-playback acknowledgement work.
+                self.pending.compute(self.gui(400));
+            }
+            Message::Paint | Message::Timer | Message::IoComplete(_) | Message::User(_) => {
+                self.pending.compute(self.gui(120));
+            }
+        }
+    }
+
+    fn handle_input(&mut self, kind: InputKind) {
+        match kind {
+            InputKind::Key(key) if key == MAXIMIZE_KEY => self.start_maximize(),
+            InputKind::Key(_) => {
+                // Unbound keystroke: focus manager + key translation +
+                // caret feedback.
+                self.pending.compute(self.gui(self.config.keystroke_gui_us));
+                self.pending.call(ApiCall::Gdi {
+                    ops: self.config.keystroke_gdi_ops,
+                });
+            }
+            InputKind::MouseDown(_) | InputKind::MouseUp(_) => {
+                // Background click: hit testing, no window takes it.
+                self.pending.compute(self.gui(self.config.click_gui_us));
+            }
+            InputKind::Packet(_) => {
+                // The shell owns no sockets; stray packets are dropped.
+            }
+        }
+    }
+
+    fn start_maximize(&mut self) {
+        // Input processing: window placement computation, menu dismissal.
+        self.pending
+            .compute(self.gui(self.config.maximize_setup_us));
+        self.animating_step = Some(0);
+    }
+
+    /// Queues one animation step, or the final redraw when done.
+    fn continue_animation(&mut self, step: u32) {
+        if step >= self.config.animation_steps {
+            self.animating_step = None;
+            self.maximizes_done += 1;
+            // The window contents redraw: continuous computation.
+            self.pending.compute(self.gui(self.config.redraw_us));
+            self.pending.call(ApiCall::Gdi { ops: 24 });
+            return;
+        }
+        // Draw the growing outline, then sleep: the kernel wakes sleepers
+        // only on clock ticks, which aligns steps to 10 ms boundaries
+        // (Figure 4a).
+        let us = self.config.animation_first_us + self.config.animation_grow_us * step as u64;
+        self.pending.compute(self.gui(us));
+        self.pending.call(ApiCall::Gdi { ops: 2 });
+        self.pending.call(ApiCall::Sleep {
+            duration: latlab_des::CpuFreq::PENTIUM_100.ms(1),
+        });
+        self.animating_step = Some(step + 1);
+    }
+}
+
+impl Program for Desktop {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        loop {
+            if let Some(action) = self.pending.pop() {
+                return action;
+            }
+            if self.awaiting_message {
+                self.awaiting_message = false;
+                match &ctx.reply {
+                    ApiReply::Message(Some(msg)) => {
+                        self.handle_message(*msg);
+                        continue;
+                    }
+                    other => panic!("desktop expected a message, got {other:?}"),
+                }
+            }
+            if let Some(step) = self.animating_step {
+                self.continue_animation(step);
+                continue;
+            }
+            self.awaiting_message = true;
+            return Action::Call(ApiCall::GetMessage);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "desktop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::SimTime;
+    use latlab_os::{Machine, MouseButton, OsProfile, ProcessSpec};
+
+    fn boot(profile: OsProfile) -> Machine {
+        let mut m = Machine::new(profile.params());
+        let tid = m.spawn(
+            ProcessSpec::app("desktop"),
+            Box::new(Desktop::new(DesktopConfig::default())),
+        );
+        m.set_focus(tid);
+        m
+    }
+
+    #[test]
+    fn unbound_keystroke_is_around_a_millisecond() {
+        let params = OsProfile::Nt40.params();
+        let mut m = boot(OsProfile::Nt40);
+        let id = m.schedule_input_at(
+            SimTime::ZERO + params.freq.ms(50),
+            InputKind::Key(KeySym::Char('q')),
+        );
+        m.run_until(SimTime::ZERO + params.freq.ms(200));
+        let lat = m.ground_truth().event(id).unwrap().true_latency().unwrap();
+        let ms = params.freq.to_ms(lat);
+        assert!((1.0..5.0).contains(&ms), "NT 4.0 unbound keystroke {ms} ms");
+    }
+
+    #[test]
+    fn win95_keystroke_substantially_worse_than_nt40() {
+        let mut results = Vec::new();
+        for profile in [OsProfile::Nt40, OsProfile::Win95] {
+            let params = profile.params();
+            let mut m = boot(profile);
+            let id = m.schedule_input_at(
+                SimTime::ZERO + params.freq.ms(50),
+                InputKind::Key(KeySym::Char('q')),
+            );
+            m.run_until(SimTime::ZERO + params.freq.ms(300));
+            results.push(
+                m.ground_truth()
+                    .event(id)
+                    .unwrap()
+                    .true_latency()
+                    .unwrap()
+                    .cycles(),
+            );
+        }
+        assert!(
+            results[1] as f64 > results[0] as f64 * 1.4,
+            "Win95 keystroke ({}) should be substantially worse than NT 4.0 ({})",
+            results[1],
+            results[0]
+        );
+    }
+
+    #[test]
+    fn maximize_produces_animation_profile() {
+        let params = OsProfile::Nt40.params();
+        let mut m = boot(OsProfile::Nt40);
+        m.schedule_input_at(
+            SimTime::ZERO + params.freq.ms(100),
+            InputKind::Key(MAXIMIZE_KEY),
+        );
+        m.run_until(SimTime::ZERO + params.freq.ms(1_000));
+        let gt = m.ground_truth();
+        // Initial processing: a solid busy stretch right after the input.
+        let setup = gt.busy_within(
+            SimTime::ZERO + params.freq.ms(100),
+            SimTime::ZERO + params.freq.ms(180),
+        );
+        assert!(
+            params.freq.to_ms(setup) > 60.0,
+            "maximize setup busy {} ms",
+            params.freq.to_ms(setup)
+        );
+        // Stair region: bursts with idle gaps (well under 100% utilization).
+        let stair_window_ms = 200.0;
+        let stairs = gt.busy_within(
+            SimTime::ZERO + params.freq.ms(190),
+            SimTime::ZERO + params.freq.ms(390),
+        );
+        let stair_busy = params.freq.to_ms(stairs);
+        assert!(
+            stair_busy > 20.0 && stair_busy < stair_window_ms * 0.8,
+            "animation busy {stair_busy} ms in a {stair_window_ms} ms window"
+        );
+        // Redraw: a long continuous busy period after the animation.
+        let redraw = gt.busy_within(
+            SimTime::ZERO + params.freq.ms(400),
+            SimTime::ZERO + params.freq.ms(650),
+        );
+        assert!(
+            params.freq.to_ms(redraw) > 150.0,
+            "redraw busy {} ms",
+            params.freq.to_ms(redraw)
+        );
+    }
+
+    #[test]
+    fn mouse_click_cheap_on_nt() {
+        let params = OsProfile::Nt40.params();
+        let mut m = boot(OsProfile::Nt40);
+        let down = m.schedule_input_at(
+            SimTime::ZERO + params.freq.ms(50),
+            InputKind::MouseDown(MouseButton::Left),
+        );
+        m.schedule_input_at(
+            SimTime::ZERO + params.freq.ms(150),
+            InputKind::MouseUp(MouseButton::Left),
+        );
+        m.run_until(SimTime::ZERO + params.freq.ms(400));
+        let lat = m
+            .ground_truth()
+            .event(down)
+            .unwrap()
+            .true_latency()
+            .unwrap();
+        assert!(params.freq.to_ms(lat) < 5.0, "NT click should be fast");
+    }
+}

@@ -1,0 +1,198 @@
+//! The §2.3 validation program: wait for input, compute, echo, repeat.
+//!
+//! *"It uses a program that waits for input from the user and when the input
+//! is received, performs some computation, echoes the character to the
+//! screen, and then waits for the next input."*
+//!
+//! The program also performs the paper's *traditional* measurement on
+//! itself: one timestamp when `GetMessage` returns (the `getchar()` return)
+//! and one after the echo completes, emitted as pairs for
+//! `latlab_core::TimestampPairs`. Comparing those against the idle-loop
+//! reading reproduces Figure 1's 7.42 ms vs 9.76 ms discrepancy.
+
+use latlab_os::{Action, ApiCall, ApiReply, ComputeSpec, Message, Program, StepCtx};
+
+use crate::common::{app_ms_to_instr, ActionQueue};
+
+/// Configuration for the echo application.
+#[derive(Clone, Copy, Debug)]
+pub struct EchoConfig {
+    /// Application computation per keystroke, in milliseconds of FLAT32
+    /// work. The paper's program spent ~7 ms computing and echoing.
+    pub work_ms: u64,
+    /// GDI operations for the echo.
+    pub echo_gdi_ops: u32,
+}
+
+impl Default for EchoConfig {
+    fn default() -> Self {
+        EchoConfig {
+            work_ms: 7,
+            echo_gdi_ops: 2,
+        }
+    }
+}
+
+/// The echo application.
+pub struct EchoApp {
+    config: EchoConfig,
+    pending: ActionQueue,
+    phase: Phase,
+    keystrokes_handled: u64,
+}
+
+enum Phase {
+    /// About to call `GetMessage`.
+    Await,
+    /// `GetMessage` issued; next reply is the message.
+    Dispatch,
+    /// Waiting for the first (getchar-return) timestamp.
+    StampBefore,
+    /// Waiting for the second (echo-complete) timestamp.
+    StampAfter,
+}
+
+impl EchoApp {
+    /// Creates the application.
+    pub fn new(config: EchoConfig) -> Self {
+        EchoApp {
+            config,
+            pending: ActionQueue::new(),
+            phase: Phase::Await,
+            keystrokes_handled: 0,
+        }
+    }
+
+    /// Number of keystrokes processed (for harness assertions).
+    pub fn keystrokes_handled(&self) -> u64 {
+        self.keystrokes_handled
+    }
+}
+
+impl Program for EchoApp {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        if let Some(action) = self.pending.pop() {
+            return action;
+        }
+        match self.phase {
+            Phase::Await => {
+                self.phase = Phase::Dispatch;
+                Action::Call(ApiCall::GetMessage)
+            }
+            Phase::Dispatch => {
+                match ctx.reply {
+                    ApiReply::Message(Some(Message::Input { .. })) => {
+                        self.keystrokes_handled += 1;
+                        // Traditional measurement: timestamp "after
+                        // getchar()" …
+                        self.phase = Phase::StampBefore;
+                        Action::Call(ApiCall::ReadCycleCounter)
+                    }
+                    // Non-input messages (timers, QueueSync) are absorbed
+                    // with negligible work.
+                    ApiReply::Message(Some(_)) => {
+                        self.phase = Phase::Await;
+                        Action::Compute(ComputeSpec::app(app_ms_to_instr(1) / 4))
+                    }
+                    ref other => panic!("echo app expected a message, got {other:?}"),
+                }
+            }
+            Phase::StampBefore => {
+                let before = match ctx.reply {
+                    ApiReply::Cycles(c) => c,
+                    ref other => panic!("expected cycles, got {other:?}"),
+                };
+                // … perform the computation and echo the character …
+                self.pending.push(Action::Call(ApiCall::Emit(before)));
+                self.pending
+                    .compute(ComputeSpec::app(app_ms_to_instr(self.config.work_ms)));
+                self.pending.call(ApiCall::Gdi {
+                    ops: self.config.echo_gdi_ops,
+                });
+                // … then take the second timestamp.
+                self.phase = Phase::StampAfter;
+                self.pending.call(ApiCall::ReadCycleCounter);
+                self.pending.pop().expect("queued actions")
+            }
+            Phase::StampAfter => {
+                let after = match ctx.reply {
+                    ApiReply::Cycles(c) => c,
+                    ref other => panic!("expected cycles, got {other:?}"),
+                };
+                self.phase = Phase::Await;
+                Action::Call(ApiCall::Emit(after))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::SimTime;
+    use latlab_os::{InputKind, KeySym, Machine, OsProfile, ProcessSpec};
+
+    #[test]
+    fn emits_timestamp_pairs_per_keystroke() {
+        let params = OsProfile::Nt40.params();
+        let mut m = Machine::new(params.clone());
+        let tid = m.spawn(
+            ProcessSpec::app("echo").with_console(),
+            Box::new(EchoApp::new(EchoConfig::default())),
+        );
+        m.set_focus(tid);
+        for i in 0..3u64 {
+            m.schedule_input_at(
+                SimTime::ZERO + params.freq.ms(50 + i * 100),
+                InputKind::Key(KeySym::Char('x')),
+            );
+        }
+        m.run_until(SimTime::ZERO + params.freq.ms(500));
+        let emitted = m.take_emitted(tid);
+        assert_eq!(emitted.len(), 6, "three before/after pairs");
+        for pair in emitted.chunks(2) {
+            let dur_ms = (pair[1] - pair[0]) as f64 / 100_000.0;
+            // App-visible time: ~7 ms of work plus echo, but not the
+            // interrupt/dispatch prefix.
+            assert!(
+                (6.0..10.0).contains(&dur_ms),
+                "traditional duration {dur_ms} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn true_latency_exceeds_traditional() {
+        // The heart of Figure 1: the idle-loop (true) latency includes the
+        // pre-application prefix the traditional measurement misses.
+        let params = OsProfile::Nt40.params();
+        let mut m = Machine::new(params.clone());
+        let tid = m.spawn(
+            ProcessSpec::app("echo").with_console(),
+            Box::new(EchoApp::new(EchoConfig::default())),
+        );
+        m.set_focus(tid);
+        let id = m.schedule_input_at(
+            SimTime::ZERO + params.freq.ms(50),
+            InputKind::Key(KeySym::Char('x')),
+        );
+        m.run_until(SimTime::ZERO + params.freq.ms(300));
+        let emitted = m.take_emitted(tid);
+        let traditional = emitted[1] - emitted[0];
+        let truth = m
+            .ground_truth()
+            .event(id)
+            .unwrap()
+            .true_latency()
+            .unwrap()
+            .cycles();
+        assert!(
+            truth > traditional + 50_000,
+            "true latency {truth} should exceed traditional {traditional} by >0.5 ms"
+        );
+    }
+}

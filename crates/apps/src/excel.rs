@@ -1,0 +1,318 @@
+//! A standalone Excel-style spreadsheet with graph rendering.
+//!
+//! The paper's PowerPoint task edits "OLE embedded Excel graph objects"
+//! (§5.2); [`crate::powerpoint`] models those sessions as activation costs.
+//! This module models the editor itself as a first-class application, with
+//! the latency anatomy spreadsheets are famous for:
+//!
+//! * cell edits are cheap until committed;
+//! * a commit triggers a **recalculation cascade** whose cost grows with the
+//!   dependency depth below the edited cell;
+//! * the embedded graph re-renders after any recalc that touches its input
+//!   range.
+//!
+//! The result is a workload whose latency *distribution* is bimodal and
+//! state-dependent — exactly the kind of behaviour the paper argues a
+//! throughput number cannot describe.
+
+use latlab_os::{
+    Action, ApiCall, ApiReply, ComputeSpec, InputKind, KeySym, Message, Program, StepCtx,
+};
+
+use crate::common::{app_us_to_instr, ActionQueue};
+
+/// Spreadsheet cost configuration (µs of work unless noted).
+#[derive(Clone, Copy, Debug)]
+pub struct ExcelConfig {
+    /// In-cell keystroke echo.
+    pub keystroke_us: u64,
+    /// Parsing and storing a committed formula.
+    pub commit_us: u64,
+    /// Recalculating one dependent cell.
+    pub recalc_per_cell_us: u64,
+    /// Rebuilding and drawing the embedded graph.
+    pub graph_render_us: u64,
+    /// GDI ops per graph redraw.
+    pub graph_gdi_ops: u32,
+    /// Number of sheet rows (bounds the cascade).
+    pub rows: u32,
+    /// Dependents created per committed formula (fan-out of the cascade).
+    pub fanout_per_commit: u32,
+    /// Recalculate eagerly on commit (`true`, Excel's default) or defer to
+    /// an explicit recalc key (`false`, the classic F9 manual mode).
+    pub auto_recalc: bool,
+}
+
+impl Default for ExcelConfig {
+    fn default() -> Self {
+        ExcelConfig {
+            keystroke_us: 900,
+            commit_us: 3_500,
+            recalc_per_cell_us: 450,
+            graph_render_us: 22_000,
+            graph_gdi_ops: 40,
+            rows: 400,
+            fanout_per_commit: 12,
+            auto_recalc: true,
+        }
+    }
+}
+
+/// The spreadsheet program.
+pub struct Excel {
+    config: ExcelConfig,
+    pending: ActionQueue,
+    awaiting_message: bool,
+    /// Cells participating in the dependency graph so far.
+    dependent_cells: u32,
+    /// Cells whose values are stale (manual mode accumulates these).
+    dirty_cells: u32,
+    commits: u32,
+    recalcs: u32,
+}
+
+impl Excel {
+    /// Creates the spreadsheet.
+    pub fn new(config: ExcelConfig) -> Self {
+        Excel {
+            config,
+            pending: ActionQueue::new(),
+            awaiting_message: false,
+            dependent_cells: 0,
+            dirty_cells: 0,
+            commits: 0,
+            recalcs: 0,
+        }
+    }
+
+    /// Committed formulas so far.
+    pub fn commits(&self) -> u32 {
+        self.commits
+    }
+
+    /// Recalculation passes so far.
+    pub fn recalcs(&self) -> u32 {
+        self.recalcs
+    }
+
+    /// Cells currently stale (manual mode).
+    pub fn dirty_cells(&self) -> u32 {
+        self.dirty_cells
+    }
+
+    fn queue_recalc(&mut self, cells: u32) {
+        if cells == 0 {
+            return;
+        }
+        self.recalcs += 1;
+        self.pending.compute(ComputeSpec::app(app_us_to_instr(
+            self.config.recalc_per_cell_us * cells as u64,
+        )));
+        // The graph's input range was touched: re-render it.
+        self.pending.compute(ComputeSpec::gui_draw(app_us_to_instr(
+            self.config.graph_render_us,
+        )));
+        self.pending.call(ApiCall::Gdi {
+            ops: self.config.graph_gdi_ops,
+        });
+    }
+
+    fn handle_input(&mut self, kind: InputKind) {
+        let InputKind::Key(key) = kind else {
+            // Click: move the selection.
+            self.pending
+                .compute(ComputeSpec::gui_text(app_us_to_instr(600)));
+            return;
+        };
+        match key {
+            KeySym::Char(_) | KeySym::Backspace => {
+                // Editing in the formula bar: echo only.
+                self.pending.compute(ComputeSpec::gui_text(app_us_to_instr(
+                    self.config.keystroke_us,
+                )));
+                self.pending.call(ApiCall::Gdi { ops: 1 });
+            }
+            KeySym::Enter => {
+                // Commit: parse, extend the dependency graph, recalculate.
+                self.commits += 1;
+                self.dependent_cells =
+                    (self.dependent_cells + self.config.fanout_per_commit).min(self.config.rows);
+                self.pending
+                    .compute(ComputeSpec::app(app_us_to_instr(self.config.commit_us)));
+                if self.config.auto_recalc {
+                    self.queue_recalc(self.dependent_cells);
+                } else {
+                    self.dirty_cells = self.dependent_cells;
+                    // Just repaint the cell; values go stale.
+                    self.pending.call(ApiCall::Gdi { ops: 2 });
+                }
+            }
+            KeySym::Ctrl('r') => {
+                // Manual recalculation (F9).
+                let dirty = std::mem::take(&mut self.dirty_cells);
+                self.queue_recalc(dirty);
+            }
+            KeySym::Up | KeySym::Down | KeySym::Left | KeySym::Right => {
+                self.pending
+                    .compute(ComputeSpec::gui_text(app_us_to_instr(700)));
+                self.pending.call(ApiCall::Gdi { ops: 1 });
+            }
+            _ => {
+                self.pending.compute(ComputeSpec::app(app_us_to_instr(300)));
+            }
+        }
+    }
+
+    fn handle_message(&mut self, msg: Message) {
+        match msg {
+            Message::Input { kind, .. } => self.handle_input(kind),
+            Message::Paint => {
+                self.pending
+                    .compute(ComputeSpec::gui_draw(app_us_to_instr(12_000)));
+                self.pending.call(ApiCall::Gdi { ops: 24 });
+            }
+            Message::QueueSync => {
+                self.pending
+                    .compute(ComputeSpec::gui(app_us_to_instr(1_500)));
+            }
+            Message::Timer | Message::IoComplete(_) | Message::User(_) => {
+                self.pending.compute(ComputeSpec::app(app_us_to_instr(150)));
+            }
+        }
+    }
+}
+
+impl Program for Excel {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        loop {
+            if let Some(action) = self.pending.pop() {
+                return action;
+            }
+            if self.awaiting_message {
+                self.awaiting_message = false;
+                match &ctx.reply {
+                    ApiReply::Message(Some(msg)) => {
+                        self.handle_message(*msg);
+                        continue;
+                    }
+                    other => panic!("excel expected a message, got {other:?}"),
+                }
+            }
+            self.awaiting_message = true;
+            return Action::Call(ApiCall::GetMessage);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "excel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::SimTime;
+    use latlab_os::{Machine, OsProfile, ProcessSpec};
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + latlab_des::CpuFreq::PENTIUM_100.ms(n)
+    }
+
+    fn boot(config: ExcelConfig) -> Machine {
+        let mut m = Machine::new(OsProfile::Nt40.params());
+        let tid = m.spawn(ProcessSpec::app("excel"), Box::new(Excel::new(config)));
+        m.set_focus(tid);
+        m
+    }
+
+    /// Types "42" + Enter repeatedly, returning the commit latencies.
+    fn run_commits(config: ExcelConfig, commits: u32) -> Vec<f64> {
+        let params = OsProfile::Nt40.params();
+        let mut m = boot(config);
+        let mut commit_ids = Vec::new();
+        let mut t = 100;
+        for _ in 0..commits {
+            m.schedule_input_at(ms(t), InputKind::Key(KeySym::Char('4')));
+            t += 150;
+            m.schedule_input_at(ms(t), InputKind::Key(KeySym::Char('2')));
+            t += 150;
+            commit_ids.push(m.schedule_input_at(ms(t), InputKind::Key(KeySym::Enter)));
+            t += 500;
+        }
+        m.run_until(ms(t + 1_000));
+        commit_ids
+            .iter()
+            .map(|&id| {
+                params
+                    .freq
+                    .to_ms(m.ground_truth().event(id).unwrap().true_latency().unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recalc_cascade_grows_with_sheet() {
+        let lats = run_commits(ExcelConfig::default(), 8);
+        // Each commit adds dependents, so the cascade — and the commit
+        // latency — grows monotonically until the sheet bound.
+        assert!(
+            lats.windows(2).all(|w| w[1] > w[0] - 0.2),
+            "cascade should grow: {lats:?}"
+        );
+        assert!(
+            lats.last().unwrap() > &(lats[0] * 1.8),
+            "the cliff should be visible: {lats:?}"
+        );
+    }
+
+    #[test]
+    fn manual_recalc_defers_the_cost() {
+        let params = OsProfile::Nt40.params();
+        let config = ExcelConfig {
+            auto_recalc: false,
+            ..ExcelConfig::default()
+        };
+        let mut m = boot(config);
+        let mut t = 100;
+        let mut commit_ids = Vec::new();
+        for _ in 0..6 {
+            m.schedule_input_at(ms(t), InputKind::Key(KeySym::Char('7')));
+            t += 150;
+            commit_ids.push(m.schedule_input_at(ms(t), InputKind::Key(KeySym::Enter)));
+            t += 300;
+        }
+        let recalc = m.schedule_input_at(ms(t + 500), InputKind::Key(KeySym::Ctrl('r')));
+        m.run_until(ms(t + 3_000));
+        let lat = |id: u64| {
+            params
+                .freq
+                .to_ms(m.ground_truth().event(id).unwrap().true_latency().unwrap())
+        };
+        // Commits stay cheap; the deferred F9 pays the whole cascade.
+        for &id in &commit_ids {
+            assert!(lat(id) < 10.0, "manual-mode commit {:.2} ms", lat(id));
+        }
+        assert!(
+            lat(recalc) > 30.0,
+            "deferred recalculation {:.2} ms should carry the cascade",
+            lat(recalc)
+        );
+    }
+
+    #[test]
+    fn in_cell_typing_stays_cheap() {
+        let params = OsProfile::Nt40.params();
+        let mut m = boot(ExcelConfig::default());
+        let mut ids = Vec::new();
+        for i in 0..10u64 {
+            ids.push(m.schedule_input_at(ms(100 + i * 150), InputKind::Key(KeySym::Char('9'))));
+        }
+        m.run_until(ms(3_000));
+        for id in ids {
+            let lat = params
+                .freq
+                .to_ms(m.ground_truth().event(id).unwrap().true_latency().unwrap());
+            assert!(lat < 6.0, "formula-bar keystroke {lat:.2} ms");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Synthetic interactive applications for the latency-measurement
+//! reproduction.
+//!
+//! These programs model the structure — not the function — of the paper's
+//! workload applications: the *latency anatomy* of each (which keystrokes
+//! are cheap, which refresh the screen, what runs in the background, what
+//! hits the disk) is what the paper measures, and what these models
+//! reproduce.
+//!
+//! * [`echo`] — the §2.3 validation program (Figure 1).
+//! * [`desktop`] — shell microbenchmarks and the window-maximize animation
+//!   (Figures 4 and 6).
+//! * [`notepad`] — the simple-editor task benchmark (Figure 7).
+//! * [`word`] — foreground/background coroutine structure and the
+//!   `WM_QUEUESYNC` sensitivity (Figures 5 and 11, Table 2, §5.4).
+//! * [`powerpoint`] — cold-start, document load, OLE edit sessions and save
+//!   (Figures 8, 9, 10 and 12, Table 1).
+//! * [`excel`] — the standalone spreadsheet (recalculation-cascade
+//!   anatomy; §5.2's embedded-object editor as a first-class app).
+//! * [`terminal`] — the network-packet event class of §1's motivation.
+
+pub mod common;
+pub mod desktop;
+pub mod echo;
+pub mod excel;
+pub mod notepad;
+pub mod powerpoint;
+pub mod terminal;
+pub mod word;
+
+pub use desktop::{Desktop, DesktopConfig, MAXIMIZE_KEY};
+pub use echo::{EchoApp, EchoConfig};
+pub use excel::{Excel, ExcelConfig};
+pub use notepad::{Notepad, NotepadConfig};
+pub use powerpoint::{
+    PowerPoint, PowerPointConfig, DECK_PAGES, OLE_EDIT_KEY, OLE_PAGES, OPEN_KEY, SAVE_KEY,
+};
+pub use terminal::{Terminal, TerminalConfig};
+pub use word::{Word, WordConfig};

@@ -1,0 +1,668 @@
+//! PowerPoint model: the paper's long-latency task benchmark (§5.2).
+//!
+//! The scenario: *"the user starts Powerpoint immediately after powering up
+//! the machine … loads a 46-page, 530KB presentation, and finds and modifies
+//! three OLE embedded Excel graph objects"*, then saves.
+//!
+//! The long-latency structure of Table 1 emerges from mechanisms:
+//!
+//! * **Start / Open** are dominated by demand-paged executable loads and
+//!   scattered compound-document reads on a cold buffer cache.
+//! * **OLE edit sessions** load the embedded-object editor image; each later
+//!   session finds more of it resident (Table 1's 7.05 → 2.90 → 2.70 s
+//!   progression on NT 3.51), plus per-object data that is never cached.
+//! * **Save** rewrites the compound file with many small scattered
+//!   synchronous writes — the one operation where NT 4.0 is *slower* than
+//!   NT 3.51 (its write path carries more per-write overhead).
+
+use latlab_hw::disk::BLOCK_SIZE;
+use latlab_os::{
+    Action, ApiCall, ApiReply, ComputeSpec, FileId, InputKind, KeySym, Machine, Message, Program,
+    StepCtx,
+};
+
+use crate::common::{app_us_to_instr, ActionQueue};
+
+/// Key chord that opens the presentation.
+pub const OPEN_KEY: KeySym = KeySym::Ctrl('o');
+/// Key chord that starts an OLE edit session on the current page's object.
+pub const OLE_EDIT_KEY: KeySym = KeySym::Ctrl('e');
+/// Key chord that saves the document.
+pub const SAVE_KEY: KeySym = KeySym::Ctrl('s');
+/// Key chord that prints the presentation.
+pub const PRINT_KEY: KeySym = KeySym::Ctrl('p');
+
+/// File names the program expects; register them with
+/// [`register_files`].
+pub const EXE_NAME: &str = "powerpnt.exe";
+/// Shared-library image.
+pub const DLL_NAME: &str = "ppdlls.bin";
+/// The 530 KB presentation.
+pub const DECK_NAME: &str = "deck.ppt";
+/// The embedded-graph editor image.
+pub const GRAPH_EXE_NAME: &str = "graph.exe";
+/// Scratch file used during save.
+pub const TMP_NAME: &str = "~deck.tmp";
+/// Print spool file.
+pub const SPOOL_NAME: &str = "~spool.prn";
+
+/// Pages in the deck.
+pub const DECK_PAGES: u32 = 46;
+/// Pages carrying an OLE embedded graph (1-based page numbers).
+pub const OLE_PAGES: [u32; 3] = [5, 17, 29];
+
+/// Registers the files PowerPoint needs on a machine. Fragmentation models
+/// the on-disk layout: executables in medium extents, the compound document
+/// scattered nearly block-by-block.
+pub fn register_files(machine: &mut Machine) {
+    machine.register_file(EXE_NAME, 2_800 * 1024, 6);
+    machine.register_file(DLL_NAME, 1_500 * 1024, 6);
+    machine.register_file(DECK_NAME, 530 * 1024, 1);
+    machine.register_file(GRAPH_EXE_NAME, 1_800 * 1024, 5);
+    machine.register_file(TMP_NAME, 700 * 1024, 2);
+    machine.register_file(SPOOL_NAME, 2_048 * 1024, 4);
+}
+
+/// Cost configuration (µs of work unless noted).
+#[derive(Clone, Copy, Debug)]
+pub struct PowerPointConfig {
+    /// Fraction of the main executable demand-loaded at start, in percent.
+    pub exe_load_pct: u64,
+    /// Fraction of the shared libraries loaded at start, in percent.
+    pub dll_load_pct: u64,
+    /// CPU-side initialization at start (GUI class).
+    pub startup_gui_us: u64,
+    /// CPU-side initialization at start (application class).
+    pub startup_app_us: u64,
+    /// Document parse work per open.
+    pub parse_us: u64,
+    /// Application work per slide render.
+    pub render_app_us: u64,
+    /// GDI operations per slide render.
+    pub render_gdi_ops: u32,
+    /// Extra GDI operations when the slide embeds a graph.
+    pub ole_render_gdi_ops: u32,
+    /// Editor-image fraction demand-loaded per OLE session, percent
+    /// (progressively smaller as the server stays registered).
+    pub ole_load_pct: [u64; 3],
+    /// Bytes of object data read per OLE session (never cached — each
+    /// object is distinct).
+    pub ole_object_bytes: u64,
+    /// OLE in-place-activation CPU for the first three sessions (cold,
+    /// then progressively warmer as more of the OLE runtime stays
+    /// registered).
+    pub ole_init_us: [u64; 3],
+    /// Per-session cost creep beyond the third session — the §5.3 anomaly
+    /// (*"all of the events and the cycle counter increased steadily on
+    /// subsequent runs"*), modelled as leaked bookkeeping the activation
+    /// path rescans.
+    pub ole_init_creep_us: u64,
+    /// Synchronous USER calls at application start (class registration,
+    /// window/toolbar creation, font enumeration — thousands of crossings).
+    pub startup_user_calls: u32,
+    /// Synchronous USER calls at document open.
+    pub open_user_calls: u32,
+    /// Synchronous USER calls per OLE activation (window/menu churn).
+    pub ole_user_calls: u32,
+    /// Service instructions per USER call.
+    pub ole_user_call_instr: u64,
+    /// In-OLE edit keystroke work.
+    pub ole_edit_us: u64,
+    /// Work to close an edit session and re-render.
+    pub ole_close_us: u64,
+    /// Application work at save (serialization).
+    pub save_app_us: u64,
+    /// Number of scattered 4 KB writes the save performs on the deck.
+    pub save_deck_writes: u64,
+    /// Number of scattered 4 KB writes to the scratch file.
+    pub save_tmp_writes: u64,
+    /// Per-page rasterization work when printing (µs, GuiDraw class).
+    pub print_raster_us: u64,
+    /// Spool bytes written per page (asynchronously — the user keeps
+    /// working while the spooler drains, §3.1's expectation model).
+    pub print_spool_bytes_per_page: u64,
+    /// Pages printed per print command.
+    pub print_pages: u32,
+}
+
+impl Default for PowerPointConfig {
+    fn default() -> Self {
+        PowerPointConfig {
+            exe_load_pct: 65,
+            dll_load_pct: 50,
+            startup_gui_us: 1_500_000,
+            startup_app_us: 700_000,
+            parse_us: 1_500_000,
+            render_app_us: 12_000,
+            render_gdi_ops: 2_000,
+            ole_render_gdi_ops: 320,
+            ole_load_pct: [92, 42, 26],
+            ole_object_bytes: 160 * 1024,
+            ole_init_us: [2_600_000, 1_150_000, 900_000],
+            ole_init_creep_us: 45_000,
+            startup_user_calls: 8_000,
+            open_user_calls: 3_000,
+            ole_user_calls: 2_500,
+            ole_user_call_instr: 3_000,
+            ole_edit_us: 16_000,
+            ole_close_us: 110_000,
+            save_app_us: 600_000,
+            save_deck_writes: 200,
+            save_tmp_writes: 170,
+            print_raster_us: 160_000,
+            print_spool_bytes_per_page: 40 * 1024,
+            print_pages: 6,
+        }
+    }
+}
+
+/// Resolved file handles.
+#[derive(Clone, Copy, Debug, Default)]
+struct Files {
+    exe: Option<FileId>,
+    dlls: Option<FileId>,
+    deck: Option<FileId>,
+    graph: Option<FileId>,
+    tmp: Option<FileId>,
+    spool: Option<FileId>,
+}
+
+/// The PowerPoint program.
+pub struct PowerPoint {
+    config: PowerPointConfig,
+    pending: ActionQueue,
+    awaiting_message: bool,
+    files: Files,
+    opening_file: u8,
+    started: bool,
+    doc_open: bool,
+    page: u32,
+    in_ole: bool,
+    ole_sessions: u32,
+    saves: u32,
+    prints: u32,
+}
+
+impl PowerPoint {
+    /// Creates the program.
+    pub fn new(config: PowerPointConfig) -> Self {
+        PowerPoint {
+            config,
+            pending: ActionQueue::new(),
+            awaiting_message: false,
+            files: Files::default(),
+            opening_file: 0,
+            started: false,
+            doc_open: false,
+            page: 1,
+            in_ole: false,
+            ole_sessions: 0,
+            saves: 0,
+            prints: 0,
+        }
+    }
+
+    /// Print commands issued.
+    pub fn prints(&self) -> u32 {
+        self.prints
+    }
+
+    /// Completed OLE edit sessions.
+    pub fn ole_sessions(&self) -> u32 {
+        self.ole_sessions
+    }
+
+    /// Current page.
+    pub fn page(&self) -> u32 {
+        self.page
+    }
+
+    fn gui(us: u64) -> ComputeSpec {
+        ComputeSpec::gui(app_us_to_instr(us)).with_pages(44, 72)
+    }
+
+    fn app(us: u64) -> ComputeSpec {
+        ComputeSpec::app(app_us_to_instr(us)).with_pages(40, 80)
+    }
+
+    /// Queues a demand-paged read of the leading fraction of a file image,
+    /// in 64 KB chunks (each a synchronous page-in burst).
+    fn queue_image_load(&mut self, file: FileId, total_bytes: u64, pct: u64) {
+        let bytes = total_bytes * pct / 100;
+        let chunk = 64 * 1024;
+        let mut offset = 0;
+        while offset < bytes {
+            let len = chunk.min(bytes - offset);
+            self.pending.call(ApiCall::ReadFile { file, offset, len });
+            // Relocation/fixup work per chunk.
+            self.pending.compute(Self::app(1_500));
+            offset += len;
+        }
+    }
+
+    /// Queues a slide render: layout compute plus a stream of GDI batches.
+    fn queue_render(&mut self, with_ole: bool) {
+        self.pending.compute(Self::app(self.config.render_app_us));
+        let mut ops = self.config.render_gdi_ops;
+        if with_ole {
+            ops += self.config.ole_render_gdi_ops;
+            // Metafile replay for the embedded graph.
+            self.pending.compute(Self::gui(9_000));
+        }
+        // Issue in bursts of 8 drawing calls.
+        let mut remaining = ops;
+        while remaining > 0 {
+            let batch = remaining.min(8);
+            self.pending.call(ApiCall::Gdi { ops: batch });
+            remaining -= batch;
+        }
+    }
+
+    fn page_has_ole(&self) -> bool {
+        OLE_PAGES.contains(&self.page)
+    }
+
+    fn handle_message(&mut self, msg: Message) {
+        match msg {
+            Message::Input { kind, .. } => self.handle_input(kind),
+            Message::QueueSync => {
+                self.pending.compute(Self::gui(2_800));
+            }
+            Message::Paint => self.queue_render(self.page_has_ole()),
+            Message::Timer | Message::IoComplete(_) | Message::User(_) => {
+                self.pending.compute(Self::gui(300));
+            }
+        }
+    }
+
+    fn handle_input(&mut self, kind: InputKind) {
+        if !self.started {
+            // The first input is the launch double-click: perform startup.
+            self.started = true;
+            self.queue_startup();
+            return;
+        }
+        let InputKind::Key(key) = kind else {
+            self.pending.compute(Self::gui(1_200));
+            return;
+        };
+        match key {
+            k if k == OPEN_KEY && !self.doc_open => self.queue_open(),
+            k if k == OLE_EDIT_KEY && self.doc_open && !self.in_ole => self.queue_ole_start(),
+            k if k == SAVE_KEY && self.doc_open => self.queue_save(),
+            k if k == PRINT_KEY && self.doc_open => self.queue_print(),
+            KeySym::PageDown => {
+                if self.doc_open && self.page < DECK_PAGES {
+                    self.page += 1;
+                    self.queue_render(self.page_has_ole());
+                }
+            }
+            KeySym::PageUp => {
+                if self.doc_open && self.page > 1 {
+                    self.page -= 1;
+                    self.queue_render(self.page_has_ole());
+                }
+            }
+            KeySym::Escape if self.in_ole => {
+                self.in_ole = false;
+                self.pending.compute(Self::gui(self.config.ole_close_us));
+                self.queue_render(true);
+            }
+            KeySym::Char(_) | KeySym::Backspace if self.in_ole => {
+                // Editing the embedded Excel graph.
+                self.pending.compute(Self::app(self.config.ole_edit_us / 2));
+                self.pending.compute(Self::gui(self.config.ole_edit_us / 2));
+                self.pending.call(ApiCall::Gdi { ops: 6 });
+            }
+            _ => {
+                self.pending.compute(Self::gui(900));
+            }
+        }
+    }
+
+    fn queue_startup(&mut self) {
+        let exe = self.files.exe.expect("files resolved");
+        let dlls = self.files.dlls.expect("files resolved");
+        self.queue_image_load(exe, 2_800 * 1024, self.config.exe_load_pct);
+        self.queue_image_load(dlls, 1_500 * 1024, self.config.dll_load_pct);
+        // Window-class registration, font enumeration, toolbar drawing —
+        // a long GUI-heavy initialization with thousands of synchronous API
+        // interactions (each one a protection crossing on NT 3.51).
+        let gui_us = self.config.startup_gui_us;
+        let chunks = 40;
+        let calls_per_chunk = self.config.startup_user_calls / chunks;
+        for _ in 0..chunks {
+            self.pending.compute(Self::gui(gui_us / chunks as u64));
+            for _ in 0..calls_per_chunk {
+                self.pending.call(ApiCall::UserCall {
+                    instr: self.config.ole_user_call_instr,
+                });
+            }
+            self.pending.call(ApiCall::Gdi { ops: 8 });
+        }
+        self.pending.compute(Self::app(self.config.startup_app_us));
+    }
+
+    fn queue_open(&mut self) {
+        self.doc_open = true;
+        self.page = 1;
+        let deck = self.files.deck.expect("files resolved");
+        // A compound document is read in scattered small pieces.
+        let size = 530 * 1024u64;
+        let chunk = 16 * 1024;
+        let mut offset = 0;
+        while offset < size {
+            let len = chunk.min(size - offset);
+            self.pending.call(ApiCall::ReadFile {
+                file: deck,
+                offset,
+                len,
+            });
+            self.pending.compute(Self::app(2_000));
+            offset += len;
+        }
+        self.pending.compute(Self::app(self.config.parse_us));
+        // Building the outline/slide-sorter UI is API-chatty.
+        for _ in 0..self.config.open_user_calls {
+            self.pending.call(ApiCall::UserCall {
+                instr: self.config.ole_user_call_instr,
+            });
+        }
+        self.queue_render(self.page_has_ole());
+    }
+
+    fn queue_ole_start(&mut self) {
+        self.in_ole = true;
+        let session = (self.ole_sessions as usize).min(2);
+        self.ole_sessions += 1;
+        let graph = self.files.graph.expect("files resolved");
+        let deck = self.files.deck.expect("files resolved");
+        // Demand-load the editor image (progressively cached).
+        self.queue_image_load(graph, 1_800 * 1024, self.config.ole_load_pct[session]);
+        // Read this object's data from deep in the compound file; each
+        // object is distinct, so this is never already cached.
+        let obj_offset = (5 + ((self.ole_sessions as u64 - 1) % 3) * 40) * BLOCK_SIZE;
+        self.pending.call(ApiCall::ReadFile {
+            file: deck,
+            offset: obj_offset,
+            len: self.config.ole_object_bytes,
+        });
+        // In-place activation: menus merge, embedded window created. Beyond
+        // the third session the leaked-bookkeeping creep dominates.
+        let creep = self
+            .config
+            .ole_init_creep_us
+            .saturating_mul((self.ole_sessions as u64).saturating_sub(3));
+        let init = self.config.ole_init_us[session] + creep;
+        // Activation interleaves synchronous USER calls (window creation,
+        // menu merging — a crossing each) with painting of the merged menus
+        // and toolbars.
+        let calls = self.config.ole_user_calls;
+        let chunks = 24;
+        for _ in 0..chunks {
+            self.pending
+                .compute(ComputeSpec::gui_draw(app_us_to_instr(init / chunks as u64)));
+            for _ in 0..(calls / chunks) {
+                self.pending.call(ApiCall::UserCall {
+                    instr: self.config.ole_user_call_instr,
+                });
+            }
+            self.pending.call(ApiCall::Gdi { ops: 6 });
+        }
+    }
+
+    /// Printing: rasterize the first pages in the foreground (the part the
+    /// user waits for), then hand the spool to the background writer — the
+    /// §3.1 example of an operation with a different latency expectation.
+    fn queue_print(&mut self) {
+        self.prints += 1;
+        let spool = self.files.spool.expect("files resolved");
+        for page in 0..self.config.print_pages {
+            self.pending.compute(ComputeSpec::gui_draw(app_us_to_instr(
+                self.config.print_raster_us,
+            )));
+            self.pending.call(ApiCall::WriteFileAsync {
+                file: spool,
+                offset: page as u64 * self.config.print_spool_bytes_per_page,
+                len: self.config.print_spool_bytes_per_page,
+                token: 0x5000 + page,
+            });
+        }
+        // Print-dialog teardown and status-bar update.
+        self.pending.compute(Self::gui(40_000));
+    }
+
+    fn queue_save(&mut self) {
+        self.saves += 1;
+        let deck = self.files.deck.expect("files resolved");
+        let tmp = self.files.tmp.expect("files resolved");
+        self.pending.compute(Self::app(self.config.save_app_us));
+        // Compound-file rewrite: many small scattered synchronous writes,
+        // first to the scratch file, then back over the deck.
+        for i in 0..self.config.save_tmp_writes {
+            let offset = (i * 2 % 170) * BLOCK_SIZE;
+            self.pending.call(ApiCall::WriteFile {
+                file: tmp,
+                offset,
+                len: BLOCK_SIZE,
+            });
+        }
+        for i in 0..self.config.save_deck_writes {
+            let offset = (i * 3 % 130) * BLOCK_SIZE;
+            self.pending.call(ApiCall::WriteFile {
+                file: deck,
+                offset,
+                len: BLOCK_SIZE,
+            });
+        }
+        self.pending.compute(Self::gui(120_000));
+    }
+}
+
+impl Program for PowerPoint {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        loop {
+            // Resolve file handles first, one OpenFile at a time.
+            if self.opening_file <= 6 {
+                if let ApiReply::File(f) = ctx.reply {
+                    match self.opening_file {
+                        1 => self.files.exe = Some(f),
+                        2 => self.files.dlls = Some(f),
+                        3 => self.files.deck = Some(f),
+                        4 => self.files.graph = Some(f),
+                        5 => self.files.tmp = Some(f),
+                        6 => self.files.spool = Some(f),
+                        _ => {}
+                    }
+                    ctx.reply = ApiReply::None;
+                }
+                let name = match self.opening_file {
+                    0 => Some(EXE_NAME),
+                    1 => Some(DLL_NAME),
+                    2 => Some(DECK_NAME),
+                    3 => Some(GRAPH_EXE_NAME),
+                    4 => Some(TMP_NAME),
+                    5 => Some(SPOOL_NAME),
+                    _ => None,
+                };
+                self.opening_file += 1;
+                if let Some(name) = name {
+                    return Action::Call(ApiCall::OpenFile { name });
+                }
+            }
+            if let Some(action) = self.pending.pop() {
+                return action;
+            }
+            if self.awaiting_message {
+                self.awaiting_message = false;
+                match &ctx.reply {
+                    ApiReply::Message(Some(msg)) => {
+                        self.handle_message(*msg);
+                        continue;
+                    }
+                    other => panic!("powerpoint expected a message, got {other:?}"),
+                }
+            }
+            self.awaiting_message = true;
+            return Action::Call(ApiCall::GetMessage);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "powerpoint"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::SimTime;
+    use latlab_os::{Machine, OsProfile, ProcessSpec};
+
+    fn boot(profile: OsProfile) -> Machine {
+        let mut m = Machine::new(profile.params());
+        register_files(&mut m);
+        let tid = m.spawn(
+            ProcessSpec::app("powerpoint"),
+            Box::new(PowerPoint::new(PowerPointConfig::default())),
+        );
+        m.set_focus(tid);
+        m
+    }
+
+    fn secs(params: &latlab_os::OsParams, d: latlab_des::SimDuration) -> f64 {
+        params.freq.to_secs(d)
+    }
+
+    #[test]
+    fn startup_is_a_multi_second_event() {
+        let params = OsProfile::Nt40.params();
+        let mut m = boot(OsProfile::Nt40);
+        let launch = m.schedule_input_at(
+            SimTime::ZERO + params.freq.ms(100),
+            InputKind::Key(KeySym::Char('\n')),
+        );
+        assert!(m.run_until_quiescent(SimTime::ZERO + params.freq.secs(30)));
+        let lat = m
+            .ground_truth()
+            .event(launch)
+            .unwrap()
+            .true_latency()
+            .unwrap();
+        let s = secs(&params, lat);
+        assert!(
+            (3.0..9.0).contains(&s),
+            "NT 4.0 PowerPoint start {s:.2} s (paper: 5.77 s)"
+        );
+    }
+
+    #[test]
+    fn ole_sessions_warm_progressively() {
+        let params = OsProfile::Nt40.params();
+        let mut m = boot(OsProfile::Nt40);
+        let freq = params.freq;
+        let mut t = 100;
+        m.schedule_input_at(
+            SimTime::ZERO + freq.ms(t),
+            InputKind::Key(KeySym::Char('\n')),
+        );
+        t += 12_000;
+        m.schedule_input_at(SimTime::ZERO + freq.ms(t), InputKind::Key(OPEN_KEY));
+        t += 12_000;
+        let mut ole_ids = Vec::new();
+        for _ in 0..3 {
+            // Navigate a few pages, then edit.
+            for _ in 0..4 {
+                m.schedule_input_at(SimTime::ZERO + freq.ms(t), InputKind::Key(KeySym::PageDown));
+                t += 2_000;
+            }
+            ole_ids.push(
+                m.schedule_input_at(SimTime::ZERO + freq.ms(t), InputKind::Key(OLE_EDIT_KEY)),
+            );
+            t += 12_000;
+            m.schedule_input_at(SimTime::ZERO + freq.ms(t), InputKind::Key(KeySym::Escape));
+            t += 4_000;
+        }
+        assert!(m.run_until_quiescent(SimTime::ZERO + freq.secs(120)));
+        let lats: Vec<f64> = ole_ids
+            .iter()
+            .map(|&id| {
+                secs(
+                    &params,
+                    m.ground_truth().event(id).unwrap().true_latency().unwrap(),
+                )
+            })
+            .collect();
+        assert!(
+            lats[0] > lats[1] && lats[1] > lats[2],
+            "OLE sessions should warm progressively: {lats:?}"
+        );
+        assert!(lats[0] > 3.0, "first OLE start {:.2} s", lats[0]);
+        assert!(lats[2] < 2.5, "third OLE start {:.2} s", lats[2]);
+    }
+
+    #[test]
+    fn print_rasterizes_in_foreground_and_spools_in_background() {
+        let params = OsProfile::Nt40.params();
+        let mut m = boot(OsProfile::Nt40);
+        let freq = params.freq;
+        m.schedule_input_at(
+            SimTime::ZERO + freq.ms(100),
+            InputKind::Key(KeySym::Char('\n')),
+        );
+        m.schedule_input_at(SimTime::ZERO + freq.secs(15), InputKind::Key(OPEN_KEY));
+        let print = m.schedule_input_at(SimTime::ZERO + freq.secs(30), InputKind::Key(PRINT_KEY));
+        assert!(m.run_until_quiescent(SimTime::ZERO + freq.secs(90)));
+        let e = m.ground_truth().event(print).unwrap();
+        let s = secs(&params, e.true_latency().unwrap());
+        // Foreground part: ~6 pages of rasterization (~1 s class), while
+        // the spool writes complete asynchronously afterwards.
+        assert!((0.5..5.0).contains(&s), "print foreground {s:.2} s");
+        let async_writes = m
+            .state_log()
+            .records()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.transition,
+                    latlab_os::Transition::IoIssued {
+                        kind: latlab_os::IoKind::AsyncWrite,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(async_writes, 6, "one spool write per page");
+    }
+
+    #[test]
+    fn save_slower_on_nt40_than_nt351() {
+        let mut results = Vec::new();
+        for profile in [OsProfile::Nt351, OsProfile::Nt40] {
+            let params = profile.params();
+            let freq = params.freq;
+            let mut m = boot(profile);
+            m.schedule_input_at(
+                SimTime::ZERO + freq.ms(100),
+                InputKind::Key(KeySym::Char('\n')),
+            );
+            m.schedule_input_at(SimTime::ZERO + freq.secs(15), InputKind::Key(OPEN_KEY));
+            let save = m.schedule_input_at(SimTime::ZERO + freq.secs(30), InputKind::Key(SAVE_KEY));
+            assert!(m.run_until_quiescent(SimTime::ZERO + freq.secs(90)));
+            results.push(secs(
+                &params,
+                m.ground_truth()
+                    .event(save)
+                    .unwrap()
+                    .true_latency()
+                    .unwrap(),
+            ));
+        }
+        let (nt351, nt40) = (results[0], results[1]);
+        assert!(
+            nt40 > nt351,
+            "Table 1: Save must be slower on NT 4.0 ({nt40:.2} s) than NT 3.51 ({nt351:.2} s)"
+        );
+        assert!(nt351 > 4.0, "save should be many seconds, got {nt351:.2}");
+    }
+}

@@ -1,0 +1,254 @@
+//! A terminal emulator: the network-event workload.
+//!
+//! The paper's opening frames latency as the response to *"an asynchronous
+//! stream of independent and diverse events that result from interactive
+//! user input or network packet arrival"* (§1). The task benchmarks cover
+//! the first class; this application exercises the second: a telnet-style
+//! terminal that renders arriving packets (remote output) and transmits
+//! typed characters.
+//!
+//! Its latency anatomy: a packet costs parse + text rendering proportional
+//! to payload size; a keystroke costs a tiny local echo (remote echo arrives
+//! later as a packet). Both flow through the same measurement pipeline as
+//! every other event, demonstrating the methodology's claim of generality.
+
+use latlab_os::{
+    Action, ApiCall, ApiReply, ComputeSpec, InputKind, KeySym, Message, Program, StepCtx,
+};
+
+use crate::common::{app_us_to_instr, ActionQueue};
+
+/// Terminal cost configuration (µs of work unless noted).
+#[derive(Clone, Copy, Debug)]
+pub struct TerminalConfig {
+    /// Protocol/escape-sequence parsing per packet.
+    pub parse_us: u64,
+    /// Parsing and glyph rendering per payload byte.
+    pub render_per_byte_us: u64,
+    /// Local keystroke echo work.
+    pub keystroke_us: u64,
+    /// GDI ops per rendered line (~80 bytes).
+    pub gdi_ops_per_line: u32,
+    /// Scrollback work when a packet ends with a newline-heavy burst
+    /// (every `scroll_every_bytes` of payload forces a scroll).
+    pub scroll_every_bytes: u32,
+    /// Cost of one scroll (blit of the text region).
+    pub scroll_us: u64,
+}
+
+impl Default for TerminalConfig {
+    fn default() -> Self {
+        TerminalConfig {
+            parse_us: 700,
+            render_per_byte_us: 14,
+            keystroke_us: 500,
+            gdi_ops_per_line: 2,
+            scroll_every_bytes: 160,
+            scroll_us: 4_500,
+        }
+    }
+}
+
+/// The terminal program.
+pub struct Terminal {
+    config: TerminalConfig,
+    pending: ActionQueue,
+    awaiting_message: bool,
+    packets_rendered: u64,
+    bytes_rendered: u64,
+    keys_sent: u64,
+}
+
+impl Terminal {
+    /// Creates the terminal.
+    pub fn new(config: TerminalConfig) -> Self {
+        Terminal {
+            config,
+            pending: ActionQueue::new(),
+            awaiting_message: false,
+            packets_rendered: 0,
+            bytes_rendered: 0,
+            keys_sent: 0,
+        }
+    }
+
+    /// Packets rendered so far.
+    pub fn packets_rendered(&self) -> u64 {
+        self.packets_rendered
+    }
+
+    /// Payload bytes rendered so far.
+    pub fn bytes_rendered(&self) -> u64 {
+        self.bytes_rendered
+    }
+
+    /// Keystrokes transmitted so far.
+    pub fn keys_sent(&self) -> u64 {
+        self.keys_sent
+    }
+
+    fn handle_message(&mut self, msg: Message) {
+        match msg {
+            Message::Input {
+                kind: InputKind::Packet(bytes),
+                ..
+            } => {
+                self.packets_rendered += 1;
+                self.bytes_rendered += bytes as u64;
+                self.pending
+                    .compute(ComputeSpec::app(app_us_to_instr(self.config.parse_us)));
+                self.pending.compute(ComputeSpec::gui_text(app_us_to_instr(
+                    self.config.render_per_byte_us * bytes as u64,
+                )));
+                let lines = bytes / 80 + 1;
+                self.pending.call(ApiCall::Gdi {
+                    ops: lines * self.config.gdi_ops_per_line,
+                });
+                let scrolls = bytes / self.config.scroll_every_bytes;
+                if scrolls > 0 {
+                    self.pending.compute(ComputeSpec::gui_text(app_us_to_instr(
+                        self.config.scroll_us * scrolls as u64,
+                    )));
+                    self.pending.call(ApiCall::Gdi { ops: scrolls });
+                }
+            }
+            Message::Input {
+                kind: InputKind::Key(key),
+                ..
+            } => {
+                // Local echo plus transmit; special keys just transmit.
+                self.keys_sent += 1;
+                if matches!(key, KeySym::Char(_)) {
+                    self.pending.compute(ComputeSpec::gui_text(app_us_to_instr(
+                        self.config.keystroke_us,
+                    )));
+                    self.pending.call(ApiCall::Gdi { ops: 1 });
+                } else {
+                    self.pending.compute(ComputeSpec::app(app_us_to_instr(200)));
+                }
+            }
+            Message::Input { .. } => {
+                // Mouse: reposition the selection anchor.
+                self.pending.compute(ComputeSpec::app(app_us_to_instr(300)));
+            }
+            Message::Paint => {
+                self.pending
+                    .compute(ComputeSpec::gui_text(app_us_to_instr(9_000)));
+                self.pending.call(ApiCall::Gdi { ops: 20 });
+            }
+            Message::QueueSync => {
+                self.pending
+                    .compute(ComputeSpec::gui(app_us_to_instr(1_200)));
+            }
+            Message::Timer | Message::IoComplete(_) | Message::User(_) => {
+                self.pending.compute(ComputeSpec::app(app_us_to_instr(100)));
+            }
+        }
+    }
+}
+
+impl Program for Terminal {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        loop {
+            if let Some(action) = self.pending.pop() {
+                return action;
+            }
+            if self.awaiting_message {
+                self.awaiting_message = false;
+                match &ctx.reply {
+                    ApiReply::Message(Some(msg)) => {
+                        self.handle_message(*msg);
+                        continue;
+                    }
+                    other => panic!("terminal expected a message, got {other:?}"),
+                }
+            }
+            self.awaiting_message = true;
+            return Action::Call(ApiCall::GetMessage);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "terminal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::SimTime;
+    use latlab_os::{Machine, OsProfile, ProcessSpec};
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + latlab_des::CpuFreq::PENTIUM_100.ms(n)
+    }
+
+    fn boot() -> (Machine, latlab_os::ThreadId) {
+        let mut m = Machine::new(OsProfile::Nt40.params());
+        let tid = m.spawn(
+            ProcessSpec::app("terminal"),
+            Box::new(Terminal::new(TerminalConfig::default())),
+        );
+        m.set_focus(tid);
+        m.bind_network(tid);
+        (m, tid)
+    }
+
+    #[test]
+    fn packet_latency_scales_with_payload() {
+        let params = OsProfile::Nt40.params();
+        let (mut m, _) = boot();
+        let small = m.schedule_packet_at(ms(100), 64);
+        let large = m.schedule_packet_at(ms(400), 1_460);
+        m.run_until(ms(900));
+        let lat = |id: u64| {
+            params
+                .freq
+                .to_ms(m.ground_truth().event(id).unwrap().true_latency().unwrap())
+        };
+        assert!(
+            lat(large) > lat(small) * 3.0,
+            "full MTU {:.2} ms vs small {:.2} ms",
+            lat(large),
+            lat(small)
+        );
+        assert!(lat(small) < 5.0, "small packet {:.2} ms", lat(small));
+    }
+
+    #[test]
+    fn packets_route_to_bound_thread_not_focus() {
+        let params = OsProfile::Nt40.params();
+        let mut m = Machine::new(params.clone());
+        let term = m.spawn(
+            ProcessSpec::app("terminal"),
+            Box::new(Terminal::new(TerminalConfig::default())),
+        );
+        let other = m.spawn(
+            ProcessSpec::app("notepad"),
+            Box::new(crate::Notepad::new(crate::NotepadConfig::default())),
+        );
+        m.set_focus(other); // keyboard focus elsewhere
+        m.bind_network(term);
+        let pkt = m.schedule_packet_at(ms(50), 200);
+        let key = m.schedule_input_at(ms(100), InputKind::Key(KeySym::Char('k')));
+        m.run_until(ms(400));
+        let gt = m.ground_truth();
+        assert_eq!(gt.event(pkt).unwrap().handler, Some(term));
+        assert_eq!(gt.event(key).unwrap().handler, Some(other));
+    }
+
+    #[test]
+    fn unbound_packets_are_dropped() {
+        let params = OsProfile::Nt40.params();
+        let mut m = Machine::new(params);
+        let _term = m.spawn(
+            ProcessSpec::app("terminal"),
+            Box::new(Terminal::new(TerminalConfig::default())),
+        );
+        // No bind_network call.
+        let pkt = m.schedule_packet_at(ms(50), 100);
+        m.run_until(ms(300));
+        let e = m.ground_truth().event(pkt).unwrap();
+        assert!(e.enqueued.is_none(), "packet should be dropped");
+    }
+}

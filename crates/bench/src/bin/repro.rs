@@ -1,0 +1,77 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--out DIR] [id ...]
+//! ```
+//!
+//! With no ids, every experiment runs in presentation order. Artifacts
+//! (CSV + check results) are written under `--out` (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use latlab_bench::scenarios;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--out DIR] [id ...]\nids: {:?}",
+                    scenarios::ALL_IDS
+                );
+                return ExitCode::SUCCESS;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = scenarios::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(bad) = ids
+        .iter()
+        .find(|id| !scenarios::ALL_IDS.contains(&(id.as_str())) && id.as_str() != "tab1")
+    {
+        eprintln!("unknown experiment id {bad:?}");
+        eprintln!("known ids: {:?}", scenarios::ALL_IDS);
+        return ExitCode::FAILURE;
+    }
+
+    println!("latlab repro — Endo, Wang, Chen, Seltzer: Using Latency to Evaluate");
+    println!("Interactive System Performance (OSDI '96), simulated reproduction\n");
+
+    let mut failed = 0usize;
+    let mut total_checks = 0usize;
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        let reports = scenarios::run_by_id(id);
+        for report in &reports {
+            println!("{}", report.render());
+            if let Err(e) = report.write_artifacts(&out_dir) {
+                eprintln!("  (failed to write artifacts: {e})");
+            }
+            total_checks += report.checks.len();
+            failed += report.checks.iter().filter(|c| !c.passed).count();
+        }
+        println!("  [{id} completed in {:.2?}]\n", t0.elapsed());
+    }
+    println!(
+        "==== summary: {}/{} shape checks passed; artifacts in {} ====",
+        total_checks - failed,
+        total_checks,
+        out_dir.display()
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

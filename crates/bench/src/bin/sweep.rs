@@ -1,0 +1,104 @@
+//! Parameter-sweep CLI: quantify a cost parameter's effect on a latency
+//! metric.
+//!
+//! ```text
+//! sweep --os nt351 --param crossing-instr --metric pagedown \
+//!       --values 1000,2500,5000,10000
+//! ```
+
+use std::process::ExitCode;
+
+use latlab_bench::sweep::{run_sweep, SweepMetric, SweepParam};
+use latlab_os::OsProfile;
+
+fn usage() {
+    println!("usage: sweep --os <nt351|nt40|win95> --param <name> --metric <name> --values a,b,c");
+    println!("params:  {}", SweepParam::ALL.map(|p| p.name()).join(", "));
+    println!("metrics: {}", SweepMetric::ALL.map(|m| m.name()).join(", "));
+}
+
+fn main() -> ExitCode {
+    let mut os = OsProfile::Nt40;
+    let mut param = None;
+    let mut metric = None;
+    let mut values: Vec<u64> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--os" => {
+                os = match args.next().as_deref() {
+                    Some("nt351") => OsProfile::Nt351,
+                    Some("nt40") => OsProfile::Nt40,
+                    Some("win95") => OsProfile::Win95,
+                    other => {
+                        eprintln!("unknown OS {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--param" => {
+                param = args.next().and_then(|n| SweepParam::parse(&n));
+                if param.is_none() {
+                    eprintln!("unknown parameter");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--metric" => {
+                metric = args.next().and_then(|n| SweepMetric::parse(&n));
+                if metric.is_none() {
+                    eprintln!("unknown metric");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--values" => {
+                values = args
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter_map(|v| v.trim().parse().ok())
+                    .collect();
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(param), Some(metric)) = (param, metric) else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    if values.is_empty() {
+        // Default: stock value halved, stock, doubled, quadrupled.
+        let stock = param.stock(os);
+        values = vec![stock / 2, stock, stock * 2, stock * 4];
+        values.retain(|&v| v > 0);
+    }
+    println!(
+        "sweeping {} on {} against {} (stock {}):\n",
+        param.name(),
+        os.name(),
+        metric.name(),
+        param.stock(os)
+    );
+    let points = run_sweep(os, param, metric, &values);
+    let max = points.iter().map(|p| p.metric).fold(0.0f64, f64::max);
+    for p in &points {
+        let bar = "#".repeat(((p.metric / max.max(1e-9)) * 40.0).round() as usize);
+        println!(
+            "  {:>10} → {:>10.3} {} {}",
+            p.value,
+            p.metric,
+            metric.unit(),
+            bar
+        );
+    }
+    ExitCode::SUCCESS
+}

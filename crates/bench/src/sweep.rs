@@ -1,0 +1,292 @@
+//! Parameter sweeps: quantify how each OS cost parameter moves a latency
+//! metric — the tooling behind the calibration recorded in DESIGN.md, kept
+//! as a first-class research instrument.
+
+use latlab_core::BoundaryPolicy;
+use latlab_input::{workloads, TestDriver};
+use latlab_os::{KeySym, OsParams, OsProfile, ProcessSpec};
+
+use crate::runner::{deliver_key_and_settle, FREQ};
+
+/// Parameters the sweep tool can vary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SweepParam {
+    /// Per-crossing transport instructions.
+    CrossingInstr,
+    /// Input-dispatch instructions.
+    InputDispatchInstr,
+    /// GDI batch size.
+    GdiBatchSize,
+    /// GDI path-length multiplier (thousandths).
+    GdiPathMilli,
+    /// GUI (USER-chrome) path-length multiplier (thousandths).
+    GuiPathMilli,
+    /// Buffer-cache capacity in blocks.
+    CacheBlocks,
+    /// Write-path overhead (thousandths).
+    WriteOverheadMilli,
+}
+
+impl SweepParam {
+    /// All sweepable parameters.
+    pub const ALL: [SweepParam; 7] = [
+        SweepParam::CrossingInstr,
+        SweepParam::InputDispatchInstr,
+        SweepParam::GdiBatchSize,
+        SweepParam::GdiPathMilli,
+        SweepParam::GuiPathMilli,
+        SweepParam::CacheBlocks,
+        SweepParam::WriteOverheadMilli,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepParam::CrossingInstr => "crossing-instr",
+            SweepParam::InputDispatchInstr => "input-dispatch-instr",
+            SweepParam::GdiBatchSize => "gdi-batch-size",
+            SweepParam::GdiPathMilli => "gdi-path-milli",
+            SweepParam::GuiPathMilli => "gui-path-milli",
+            SweepParam::CacheBlocks => "cache-blocks",
+            SweepParam::WriteOverheadMilli => "write-overhead-milli",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<SweepParam> {
+        SweepParam::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Applies a value to a parameter set.
+    pub fn apply(self, params: &mut OsParams, value: u64) {
+        match self {
+            SweepParam::CrossingInstr => params.crossing_instr = value,
+            SweepParam::InputDispatchInstr => params.input_dispatch_instr = value,
+            SweepParam::GdiBatchSize => params.gdi_batch_size = value as u32,
+            SweepParam::GdiPathMilli => params.gdi_path_milli = value,
+            SweepParam::GuiPathMilli => params.gui_path_milli = value,
+            SweepParam::CacheBlocks => params.cache_blocks = value as usize,
+            SweepParam::WriteOverheadMilli => params.write_overhead_milli = value,
+        }
+    }
+
+    /// The parameter's stock value under a profile.
+    pub fn stock(self, profile: OsProfile) -> u64 {
+        let p = profile.params();
+        match self {
+            SweepParam::CrossingInstr => p.crossing_instr,
+            SweepParam::InputDispatchInstr => p.input_dispatch_instr,
+            SweepParam::GdiBatchSize => p.gdi_batch_size as u64,
+            SweepParam::GdiPathMilli => p.gdi_path_milli,
+            SweepParam::GuiPathMilli => p.gui_path_milli,
+            SweepParam::CacheBlocks => p.cache_blocks as u64,
+            SweepParam::WriteOverheadMilli => p.write_overhead_milli,
+        }
+    }
+}
+
+/// Metrics a sweep can read out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SweepMetric {
+    /// Mean unbound-keystroke latency on the desktop shell, ms.
+    KeystrokeMs,
+    /// Warm PowerPoint page-down wall time, ms.
+    PagedownMs,
+    /// Notepad-session cumulative event latency, s.
+    NotepadCumulativeS,
+}
+
+impl SweepMetric {
+    /// All metrics.
+    pub const ALL: [SweepMetric; 3] = [
+        SweepMetric::KeystrokeMs,
+        SweepMetric::PagedownMs,
+        SweepMetric::NotepadCumulativeS,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepMetric::KeystrokeMs => "keystroke",
+            SweepMetric::PagedownMs => "pagedown",
+            SweepMetric::NotepadCumulativeS => "notepad-cumulative",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<SweepMetric> {
+        SweepMetric::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Unit label.
+    pub fn unit(self) -> &'static str {
+        match self {
+            SweepMetric::KeystrokeMs | SweepMetric::PagedownMs => "ms",
+            SweepMetric::NotepadCumulativeS => "s",
+        }
+    }
+
+    /// Evaluates the metric under a parameter set.
+    pub fn evaluate(self, params: OsParams) -> f64 {
+        match self {
+            SweepMetric::KeystrokeMs => {
+                let mut machine = latlab_os::Machine::new(params);
+                let tid = machine.spawn(
+                    ProcessSpec::app("desktop"),
+                    Box::new(latlab_apps::Desktop::new(
+                        latlab_apps::DesktopConfig::default(),
+                    )),
+                );
+                machine.set_focus(tid);
+                let mut ids = Vec::new();
+                for i in 0..10u64 {
+                    ids.push(machine.schedule_input_at(
+                        latlab_des::SimTime::ZERO + FREQ.ms(50 + i * 397),
+                        latlab_os::InputKind::Key(KeySym::Char('q')),
+                    ));
+                }
+                machine.run_until(latlab_des::SimTime::ZERO + FREQ.secs(6));
+                let total: f64 = ids
+                    .iter()
+                    .map(|&id| {
+                        FREQ.to_ms(
+                            machine
+                                .ground_truth()
+                                .event(id)
+                                .unwrap()
+                                .true_latency()
+                                .unwrap(),
+                        )
+                    })
+                    .sum();
+                total / ids.len() as f64
+            }
+            SweepMetric::PagedownMs => {
+                let mut machine = warm_pp(params);
+                deliver_key_and_settle(&mut machine, KeySym::PageUp);
+                let before = machine.read_cycle_counter();
+                deliver_key_and_settle(&mut machine, KeySym::PageDown);
+                (machine.read_cycle_counter() - before) as f64 / 100_000.0
+            }
+            SweepMetric::NotepadCumulativeS => {
+                let mut session = latlab_core::MeasurementSession::with_params(params);
+                session.launch_app(
+                    ProcessSpec::app("notepad"),
+                    Box::new(latlab_apps::Notepad::new(
+                        latlab_apps::NotepadConfig::default(),
+                    )),
+                );
+                let script = workloads::notepad_session();
+                TestDriver::ms_test().schedule(
+                    session.machine(),
+                    latlab_des::SimTime::ZERO + FREQ.ms(100),
+                    &script,
+                );
+                session.run_until_quiescent(
+                    latlab_des::SimTime::ZERO + script.duration() + FREQ.secs(10),
+                );
+                let m = session.finish(BoundaryPolicy::SplitAtRetrieval);
+                m.events
+                    .iter()
+                    .filter(|e| !e.is_test_overhead())
+                    .map(|e| e.latency_ms(FREQ))
+                    .sum::<f64>()
+                    / 1_000.0
+            }
+        }
+    }
+}
+
+/// Builds a warm PowerPoint machine under arbitrary params (the runner's
+/// helper is profile-keyed; sweeps need param-keyed).
+fn warm_pp(params: OsParams) -> latlab_os::Machine {
+    let mut machine = latlab_os::Machine::new(params);
+    latlab_apps::powerpoint::register_files(&mut machine);
+    let tid = machine.spawn(
+        ProcessSpec::app("powerpoint"),
+        Box::new(latlab_apps::PowerPoint::new(
+            latlab_apps::PowerPointConfig::default(),
+        )),
+    );
+    machine.set_focus(tid);
+    let mut t = latlab_des::SimTime::ZERO + FREQ.ms(100);
+    machine.schedule_input_at(t, latlab_os::InputKind::Key(KeySym::Char('\n')));
+    t += FREQ.secs(15);
+    machine.schedule_input_at(t, latlab_os::InputKind::Key(latlab_apps::OPEN_KEY));
+    t += FREQ.secs(12);
+    for _ in 1..5 {
+        machine.schedule_input_at(t, latlab_os::InputKind::Key(KeySym::PageDown));
+        t += FREQ.ms(700);
+    }
+    assert!(machine.run_until_quiescent(t + FREQ.secs(60)));
+    machine
+}
+
+/// One sweep row.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// The parameter value.
+    pub value: u64,
+    /// The measured metric.
+    pub metric: f64,
+}
+
+/// Runs a sweep.
+pub fn run_sweep(
+    profile: OsProfile,
+    param: SweepParam,
+    metric: SweepMetric,
+    values: &[u64],
+) -> Vec<SweepPoint> {
+    values
+        .iter()
+        .map(|&value| {
+            let mut params = profile.params();
+            param.apply(&mut params, value);
+            SweepPoint {
+                value,
+                metric: metric.evaluate(params),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(
+            SweepParam::parse("gdi-batch-size"),
+            Some(SweepParam::GdiBatchSize)
+        );
+        assert_eq!(SweepParam::parse("nope"), None);
+        assert_eq!(
+            SweepMetric::parse("keystroke"),
+            Some(SweepMetric::KeystrokeMs)
+        );
+        assert_eq!(SweepMetric::parse("nope"), None);
+    }
+
+    #[test]
+    fn crossing_sweep_moves_keystroke_latency() {
+        let points = run_sweep(
+            OsProfile::Nt351,
+            SweepParam::CrossingInstr,
+            SweepMetric::KeystrokeMs,
+            &[1_000, 20_000],
+        );
+        assert!(
+            points[1].metric > points[0].metric + 0.1,
+            "heavier crossings must slow keystrokes: {points:?}"
+        );
+    }
+
+    #[test]
+    fn stock_values_resolve() {
+        for p in SweepParam::ALL {
+            assert!(p.stock(OsProfile::Nt40) > 0);
+        }
+    }
+}

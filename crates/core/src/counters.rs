@@ -1,0 +1,168 @@
+//! Hardware-counter sampling harness.
+//!
+//! The Pentium offers only two configurable event counters (§2.2), so
+//! profiling an operation across N event kinds requires re-running it with
+//! different counter configurations — *"We repeated the test 10 times for
+//! each performance counter"* (§5.3). [`sweep`] automates that protocol:
+//! it re-runs a scenario once per counter pair and assembles a full
+//! [`HwProfile`].
+
+use std::collections::BTreeMap;
+
+use latlab_hw::{CounterId, HwEvent};
+use latlab_os::Machine;
+use serde::{Deserialize, Serialize};
+
+/// Counter readings for one operation, averaged over repetitions.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct HwProfile {
+    /// Cycles consumed by the operation (from the cycle counter).
+    pub cycles: f64,
+    /// Mean event counts by kind.
+    counts: BTreeMap<String, f64>,
+}
+
+impl HwProfile {
+    /// The mean count for an event kind (0 if never measured).
+    pub fn get(&self, event: HwEvent) -> f64 {
+        self.counts.get(event.label()).copied().unwrap_or(0.0)
+    }
+
+    /// Total TLB misses (instruction + data).
+    pub fn tlb_misses(&self) -> f64 {
+        self.get(HwEvent::ItlbMisses) + self.get(HwEvent::DtlbMisses)
+    }
+
+    /// Iterates `(label, count)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    fn insert(&mut self, event: HwEvent, value: f64) {
+        self.counts.insert(event.label().to_string(), value);
+    }
+}
+
+/// One counter-sweep measurement of an operation.
+///
+/// `scenario` must build a fresh machine (identically each time), configure
+/// it up to the point just before the operation of interest, and return it;
+/// `operate` runs the operation on the machine. Counters are configured
+/// between the two, so only the operation's events are counted. The sweep
+/// runs the scenario once per pair of events and `repeats` operations per
+/// configuration, averaging the readings.
+pub fn sweep<S, O>(events: &[HwEvent], repeats: u32, mut scenario: S, mut operate: O) -> HwProfile
+where
+    S: FnMut() -> Machine,
+    O: FnMut(&mut Machine, u32),
+{
+    assert!(repeats > 0, "counter sweep needs at least one repetition");
+    let mut profile = HwProfile::default();
+    let mut cycle_samples: Vec<f64> = Vec::new();
+    for pair in events.chunks(2) {
+        let mut machine = scenario();
+        machine
+            .configure_counter(CounterId::Ctr0, pair[0])
+            .expect("counter 0 configuration");
+        if let Some(&e1) = pair.get(1) {
+            machine
+                .configure_counter(CounterId::Ctr1, e1)
+                .expect("counter 1 configuration");
+        }
+        let c0_before = machine.read_counter(CounterId::Ctr0).unwrap();
+        let c1_before = pair
+            .get(1)
+            .map(|_| machine.read_counter(CounterId::Ctr1).unwrap());
+        let cycles_before = machine.read_cycle_counter();
+        for rep in 0..repeats {
+            operate(&mut machine, rep);
+        }
+        let cycles = (machine.read_cycle_counter() - cycles_before) as f64 / repeats as f64;
+        cycle_samples.push(cycles);
+        let c0 =
+            (machine.read_counter(CounterId::Ctr0).unwrap() - c0_before) as f64 / repeats as f64;
+        profile.insert(pair[0], c0);
+        if let (Some(&e1), Some(before)) = (pair.get(1), c1_before) {
+            let c1 =
+                (machine.read_counter(CounterId::Ctr1).unwrap() - before) as f64 / repeats as f64;
+            profile.insert(e1, c1);
+        }
+    }
+    profile.cycles = if cycle_samples.is_empty() {
+        0.0
+    } else {
+        cycle_samples.iter().sum::<f64>() / cycle_samples.len() as f64
+    };
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::SimTime;
+    use latlab_os::OsProfile;
+
+    fn idle_machine() -> Machine {
+        Machine::new(OsProfile::Nt40.params())
+    }
+
+    #[test]
+    fn sweep_measures_clock_interrupts() {
+        let profile = sweep(
+            &[HwEvent::HardwareInterrupts, HwEvent::Instructions],
+            1,
+            idle_machine,
+            |m, _| {
+                let target = m.now() + m.params().freq.ms(100);
+                m.run_until(target);
+            },
+        );
+        // 100 ms idle → ~10 clock interrupts.
+        let ints = profile.get(HwEvent::HardwareInterrupts);
+        assert!(
+            (9.0..=11.0).contains(&ints),
+            "expected ~10 interrupts, got {ints}"
+        );
+        assert!(profile.get(HwEvent::Instructions) > 0.0);
+        assert!(profile.cycles > 0.0);
+    }
+
+    #[test]
+    fn repeats_average() {
+        let profile = sweep(&[HwEvent::HardwareInterrupts], 5, idle_machine, |m, _| {
+            let target = m.now() + m.params().freq.ms(50);
+            m.run_until(target);
+        });
+        let ints = profile.get(HwEvent::HardwareInterrupts);
+        assert!((4.0..=6.0).contains(&ints), "per-repeat mean, got {ints}");
+    }
+
+    #[test]
+    fn unmeasured_event_reads_zero() {
+        let profile = HwProfile::default();
+        assert_eq!(profile.get(HwEvent::SegmentLoads), 0.0);
+        assert_eq!(profile.tlb_misses(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_scenarios_agree_across_pairs() {
+        // The same deterministic scenario must give identical cycle counts
+        // for every counter configuration (the premise of the paper's
+        // repeat-per-counter protocol).
+        let run = |events: &[HwEvent]| {
+            sweep(events, 1, idle_machine, |m, _| {
+                m.run_until(SimTime::ZERO + m.params().freq.ms(80));
+            })
+            .cycles
+        };
+        let a = run(&[HwEvent::Instructions, HwEvent::DataRefs]);
+        let b = run(&[HwEvent::SegmentLoads, HwEvent::DtlbMisses]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repeats_rejected() {
+        let _ = sweep(&[HwEvent::Instructions], 0, idle_machine, |_, _| {});
+    }
+}

@@ -1,0 +1,321 @@
+//! Event extraction: turning the idle-loop trace and the message-API log
+//! into per-event latencies.
+//!
+//! §2.4: *"We correlate the trace of GetMessage() and PeekMessage() calls
+//! with our CPU profile to determine when the application begins handling a
+//! new request and when it completes a request."*
+//!
+//! An event begins when the application retrieves a message; it ends at the
+//! next *boundary*. Two boundary policies are supported, matching how the
+//! paper treated different workloads:
+//!
+//! * [`BoundaryPolicy::SplitAtRetrieval`] — each retrieved message is its
+//!   own event, ending when the application asks for the next message. This
+//!   is how the Notepad analysis isolates and removes the Microsoft Test
+//!   `WM_QUEUESYNC` overhead (Figure 7's caption).
+//! * [`BoundaryPolicy::MergeUntilEmpty`] — consecutive retrievals without an
+//!   intervening empty-queue poll coalesce into one event attributed to the
+//!   first message. This reproduces the §5.4 observation that under Test,
+//!   Word keystrokes appear as 80–100 ms events (the `WM_QUEUESYNC` handling
+//!   is folded in), while hand-typed keystrokes measure ~32 ms.
+//!
+//! Latency is reported as *busy* time within the event span, measured from
+//! the idle trace. Because the interrupt/dispatch work that precedes
+//! retrieval elongates the same trace samples, the busy-time reading
+//! naturally includes the pre-application prefix that conventional
+//! in-application timestamps miss (§2.3, Figure 1) — the extraction extends
+//! each event's window back to the end of the last pre-retrieval idle
+//! sample.
+
+use latlab_des::{CpuFreq, SimDuration, SimTime};
+use latlab_os::{ApiLog, Message, ThreadId};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::IdleTrace;
+
+/// How event boundaries are chosen.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BoundaryPolicy {
+    /// Every retrieved message is a separate event.
+    SplitAtRetrieval,
+    /// Coalesce retrievals until the application finds its queue empty.
+    MergeUntilEmpty,
+}
+
+/// One extracted event.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MeasuredEvent {
+    /// The message that started the event.
+    pub message: Message,
+    /// Originating input id, when the message was user input.
+    pub input_id: Option<u64>,
+    /// When the measurement window opens (start of the busy period leading
+    /// into retrieval).
+    pub window_start: SimTime,
+    /// When the application retrieved the message.
+    pub retrieved_at: SimTime,
+    /// When the event's boundary was observed.
+    pub boundary_at: SimTime,
+    /// Busy time within the window — the event-handling latency.
+    pub busy: SimDuration,
+    /// Wall-clock span of the window.
+    pub span: SimDuration,
+}
+
+impl MeasuredEvent {
+    /// Latency in milliseconds under the given time base.
+    pub fn latency_ms(&self, freq: CpuFreq) -> f64 {
+        freq.to_ms(self.busy)
+    }
+
+    /// Wall span in milliseconds: the wait-time reading for events that
+    /// block on synchronous I/O, where the CPU idles but the user still
+    /// waits (§2.3). Task-benchmark long events (Table 1) are reported this
+    /// way; pure-CPU events have span ≈ busy.
+    pub fn span_ms(&self, freq: CpuFreq) -> f64 {
+        freq.to_ms(self.span)
+    }
+
+    /// True if this event is test-driver overhead (`WM_QUEUESYNC`).
+    pub fn is_test_overhead(&self) -> bool {
+        matches!(self.message, Message::QueueSync)
+    }
+}
+
+/// Extracts events for one thread.
+pub fn extract_events(
+    trace: &IdleTrace,
+    apilog: &ApiLog,
+    thread: ThreadId,
+    policy: BoundaryPolicy,
+) -> Vec<MeasuredEvent> {
+    // Gather this thread's log in time order; reconstruct samples once.
+    let entries: Vec<_> = apilog.for_thread(thread).collect();
+    let samples = trace.samples();
+    let mut events = Vec::new();
+    let mut open: Option<(Message, SimTime)> = None; // (first message, retrieved_at)
+                                                     // Consecutive events with no intervening idle share a busy period; the
+                                                     // previous boundary clamps the window so no busy time is counted twice.
+    let mut prev_boundary = SimTime::ZERO;
+
+    for entry in &entries {
+        if let Some(msg) = entry.retrieved() {
+            match (open, policy) {
+                (None, _) => open = Some((msg, entry.at)),
+                (Some((first, retrieved_at)), BoundaryPolicy::SplitAtRetrieval) => {
+                    events.push(build_event(
+                        trace,
+                        &samples,
+                        first,
+                        retrieved_at,
+                        entry.at,
+                        prev_boundary,
+                    ));
+                    prev_boundary = entry.at;
+                    open = Some((msg, entry.at));
+                }
+                (Some(_), BoundaryPolicy::MergeUntilEmpty) => {
+                    // Keep accumulating into the open event.
+                }
+            }
+        } else if entry.found_queue_empty() {
+            if let Some((first, retrieved_at)) = open.take() {
+                events.push(build_event(
+                    trace,
+                    &samples,
+                    first,
+                    retrieved_at,
+                    entry.at,
+                    prev_boundary,
+                ));
+                prev_boundary = entry.at;
+            }
+        }
+    }
+    events
+}
+
+/// Builds a measured event, extending the window back over the busy period
+/// that led into the retrieval.
+fn build_event(
+    trace: &IdleTrace,
+    samples: &[crate::trace::IdleSample],
+    message: Message,
+    retrieved_at: SimTime,
+    boundary_at: SimTime,
+    prev_boundary: SimTime,
+) -> MeasuredEvent {
+    let window_start = busy_period_start(samples, retrieved_at).max(prev_boundary);
+    MeasuredEvent {
+        message,
+        input_id: message.input_id(),
+        window_start,
+        retrieved_at,
+        boundary_at,
+        busy: trace.busy_within(window_start, boundary_at),
+        span: boundary_at.saturating_since(window_start),
+    }
+}
+
+/// Finds the start of the busy period containing `at`: the end of the last
+/// quiet (non-elongated) trace sample before `at`, or `at` itself if the
+/// trace is silent there.
+fn busy_period_start(samples: &[crate::trace::IdleSample], at: SimTime) -> SimTime {
+    // Last sample whose end is at or before `at`.
+    let idx = samples.partition_point(|s| s.end <= at);
+    let mut start = at;
+    for s in samples[..idx].iter().rev() {
+        if s.excess.is_zero() {
+            // Last quiet sample before the event: busy work began after it.
+            return s.end.min(at);
+        }
+        // Sample was elongated: the busy period extends back through it.
+        start = s.start;
+    }
+    start
+}
+
+/// Filters out test-driver overhead events (`WM_QUEUESYNC` handling), the
+/// Figure 7 correction.
+pub fn remove_test_overhead(events: Vec<MeasuredEvent>) -> Vec<MeasuredEvent> {
+    events
+        .into_iter()
+        .filter(|e| !e.is_test_overhead())
+        .collect()
+}
+
+/// Keeps only events whose busy latency is at least `threshold` (the paper
+/// pre-filters PowerPoint events at 50 ms, §5.2).
+pub fn at_least(events: &[MeasuredEvent], threshold: SimDuration) -> Vec<MeasuredEvent> {
+    events
+        .iter()
+        .filter(|e| e.busy >= threshold)
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::CpuFreq;
+    use latlab_os::apilog::{ApiEntry, ApiLogEntry, ApiOutcome};
+    use latlab_os::{InputKind, KeySym};
+
+    const MS: u64 = 100_000;
+
+    fn t(ms_x: u64) -> SimTime {
+        SimTime::from_cycles(ms_x * MS)
+    }
+
+    fn key_msg(id: u64) -> Message {
+        Message::Input {
+            id,
+            kind: InputKind::Key(KeySym::Char('a')),
+        }
+    }
+
+    fn log_entry(at_ms: u64, outcome: ApiOutcome) -> ApiLogEntry {
+        ApiLogEntry {
+            at: t(at_ms),
+            thread: ThreadId(0),
+            entry: ApiEntry::GetMessage,
+            outcome,
+            queue_len_after: 0,
+        }
+    }
+
+    /// Trace: idle until 10 ms, busy 10–18 ms (one elongated sample), idle
+    /// after.
+    fn trace_with_burst() -> IdleTrace {
+        let mut stamps: Vec<u64> = (0..=10).map(|i| i * MS).collect();
+        stamps.push(18 * MS); // 8 ms sample: 7 ms excess
+        for i in 1..=10u64 {
+            stamps.push((18 + i) * MS);
+        }
+        IdleTrace::new(stamps, SimDuration::from_cycles(MS), CpuFreq::PENTIUM_100)
+    }
+
+    #[test]
+    fn single_event_extraction() {
+        let trace = trace_with_burst();
+        let mut log = ApiLog::new();
+        // Retrieval at 11 ms (inside the busy period), blocked at 18 ms.
+        log.record(log_entry(11, ApiOutcome::Retrieved(key_msg(1))));
+        log.record(log_entry(18, ApiOutcome::Blocked));
+        let events = extract_events(&trace, &log, ThreadId(0), BoundaryPolicy::SplitAtRetrieval);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.input_id, Some(1));
+        // Window extends back to the end of the last quiet sample (10 ms).
+        assert_eq!(e.window_start, t(10));
+        // Busy = the full 7 ms excess of the elongated sample.
+        assert_eq!(e.busy.cycles(), 7 * MS);
+    }
+
+    #[test]
+    fn split_policy_separates_queuesync() {
+        let trace = trace_with_burst();
+        let mut log = ApiLog::new();
+        log.record(log_entry(11, ApiOutcome::Retrieved(key_msg(1))));
+        log.record(log_entry(14, ApiOutcome::Retrieved(Message::QueueSync)));
+        log.record(log_entry(18, ApiOutcome::Blocked));
+        let events = extract_events(&trace, &log, ThreadId(0), BoundaryPolicy::SplitAtRetrieval);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].boundary_at, t(14));
+        assert!(events[1].is_test_overhead());
+        let cleaned = remove_test_overhead(events);
+        assert_eq!(cleaned.len(), 1);
+        assert_eq!(cleaned[0].input_id, Some(1));
+    }
+
+    #[test]
+    fn merge_policy_coalesces() {
+        let trace = trace_with_burst();
+        let mut log = ApiLog::new();
+        log.record(log_entry(11, ApiOutcome::Retrieved(key_msg(1))));
+        log.record(log_entry(14, ApiOutcome::Retrieved(Message::QueueSync)));
+        log.record(log_entry(18, ApiOutcome::Blocked));
+        let events = extract_events(&trace, &log, ThreadId(0), BoundaryPolicy::MergeUntilEmpty);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].input_id, Some(1));
+        assert_eq!(events[0].boundary_at, t(18));
+    }
+
+    #[test]
+    fn peek_empty_is_a_boundary() {
+        let trace = trace_with_burst();
+        let mut log = ApiLog::new();
+        log.record(log_entry(11, ApiOutcome::Retrieved(key_msg(1))));
+        log.record(ApiLogEntry {
+            at: t(14),
+            thread: ThreadId(0),
+            entry: ApiEntry::PeekMessage,
+            outcome: ApiOutcome::Empty,
+            queue_len_after: 0,
+        });
+        let events = extract_events(&trace, &log, ThreadId(0), BoundaryPolicy::MergeUntilEmpty);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].boundary_at, t(14));
+    }
+
+    #[test]
+    fn threshold_filter() {
+        let trace = trace_with_burst();
+        let mut log = ApiLog::new();
+        log.record(log_entry(11, ApiOutcome::Retrieved(key_msg(1))));
+        log.record(log_entry(18, ApiOutcome::Blocked));
+        let events = extract_events(&trace, &log, ThreadId(0), BoundaryPolicy::SplitAtRetrieval);
+        assert_eq!(at_least(&events, SimDuration::from_cycles(8 * MS)).len(), 0);
+        assert_eq!(at_least(&events, SimDuration::from_cycles(6 * MS)).len(), 1);
+    }
+
+    #[test]
+    fn no_events_for_other_threads() {
+        let trace = trace_with_burst();
+        let mut log = ApiLog::new();
+        log.record(log_entry(11, ApiOutcome::Retrieved(key_msg(1))));
+        log.record(log_entry(18, ApiOutcome::Blocked));
+        let events = extract_events(&trace, &log, ThreadId(9), BoundaryPolicy::SplitAtRetrieval);
+        assert!(events.is_empty());
+    }
+}

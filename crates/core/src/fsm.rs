@@ -1,0 +1,235 @@
+//! The think-time / wait-time state machine (Figure 2).
+//!
+//! §2.3: *"By combining CPU status (busy or idle), message queue status
+//! (empty or non-empty), and status for outstanding synchronous I/O (busy or
+//! idle), we can speculate during which time intervals the user is
+//! waiting."*
+//!
+//! The FSM runs in two fidelities:
+//!
+//! * [`FsmMode::Partial`] — what the paper could actually implement: CPU
+//!   state from the idle loop plus partial queue knowledge from the message
+//!   API log; synchronous I/O is invisible, so idle-during-I/O classifies as
+//!   think time (a known blind spot the paper discusses in §2.3 and §6).
+//! * [`FsmMode::Full`] — with the §6 wished-for system support (I/O-queue
+//!   and message-queue status APIs), which the simulated OS provides.
+
+use latlab_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What the user is doing, as inferred by the FSM.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum UserState {
+    /// The user is neither requesting nor awaiting anything.
+    Thinking,
+    /// The user is waiting for the system.
+    Waiting,
+}
+
+/// One sampled input to the FSM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsmInput {
+    /// CPU busy (from the idle-loop trace).
+    pub cpu_busy: bool,
+    /// Message queue non-empty (events awaiting processing).
+    pub queue_nonempty: bool,
+    /// Synchronous I/O outstanding.
+    pub sync_io_busy: bool,
+}
+
+/// Observation fidelity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FsmMode {
+    /// CPU + queue only (the paper's implementable subset).
+    Partial,
+    /// CPU + queue + synchronous-I/O status (§6's proposed support).
+    Full,
+}
+
+/// The classifier.
+///
+/// Per the paper's simplifying assumption (§2.3: "we assume that the user
+/// waits for each event"), the user is waiting whenever any observed
+/// activity indicator is raised, and thinking otherwise. Asynchronous I/O is
+/// assumed to be background activity and is not an input.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitThinkFsm {
+    mode: FsmMode,
+    state: UserState,
+}
+
+impl WaitThinkFsm {
+    /// Creates the FSM in the thinking state.
+    pub fn new(mode: FsmMode) -> Self {
+        WaitThinkFsm {
+            mode,
+            state: UserState::Thinking,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> UserState {
+        self.state
+    }
+
+    /// The observation mode.
+    pub fn mode(&self) -> FsmMode {
+        self.mode
+    }
+
+    /// Feeds one observation, returning the new state.
+    pub fn step(&mut self, input: FsmInput) -> UserState {
+        let waiting = match self.mode {
+            FsmMode::Partial => input.cpu_busy || input.queue_nonempty,
+            FsmMode::Full => input.cpu_busy || input.queue_nonempty || input.sync_io_busy,
+        };
+        self.state = if waiting {
+            UserState::Waiting
+        } else {
+            UserState::Thinking
+        };
+        self.state
+    }
+}
+
+/// A classified interval of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassifiedInterval {
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+    /// Inferred user state throughout the interval.
+    pub state: UserState,
+}
+
+impl ClassifiedInterval {
+    /// Interval duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Classifies a timeline of `(time, input)` observations into merged
+/// intervals. Observations must be time-ordered; each observation's state
+/// holds until the next observation.
+pub fn classify_timeline(
+    mode: FsmMode,
+    observations: &[(SimTime, FsmInput)],
+    end: SimTime,
+) -> Vec<ClassifiedInterval> {
+    let mut fsm = WaitThinkFsm::new(mode);
+    let mut out: Vec<ClassifiedInterval> = Vec::new();
+    for (i, &(at, input)) in observations.iter().enumerate() {
+        if let Some(next) = observations.get(i + 1) {
+            assert!(next.0 >= at, "observations must be time-ordered");
+        }
+        let state = fsm.step(input);
+        let interval_end = observations.get(i + 1).map_or(end, |n| n.0);
+        if interval_end <= at {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if last.state == state && last.end == at => last.end = interval_end,
+            _ => out.push(ClassifiedInterval {
+                start: at,
+                end: interval_end,
+                state,
+            }),
+        }
+    }
+    out
+}
+
+/// Sums the waiting time in a classification.
+pub fn total_wait(intervals: &[ClassifiedInterval]) -> SimDuration {
+    intervals
+        .iter()
+        .filter(|i| i.state == UserState::Waiting)
+        .fold(SimDuration::ZERO, |acc, i| acc + i.duration())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::from_cycles(c)
+    }
+
+    fn obs(cpu: bool, q: bool, io: bool) -> FsmInput {
+        FsmInput {
+            cpu_busy: cpu,
+            queue_nonempty: q,
+            sync_io_busy: io,
+        }
+    }
+
+    #[test]
+    fn idle_everything_is_thinking() {
+        let mut fsm = WaitThinkFsm::new(FsmMode::Full);
+        assert_eq!(fsm.step(obs(false, false, false)), UserState::Thinking);
+    }
+
+    #[test]
+    fn queued_events_mean_waiting() {
+        // §2.3: "when there are events queued, we can assume that the user
+        // is waiting" — even if the CPU happens to be idle.
+        let mut fsm = WaitThinkFsm::new(FsmMode::Partial);
+        assert_eq!(fsm.step(obs(false, true, false)), UserState::Waiting);
+    }
+
+    #[test]
+    fn cpu_busy_means_waiting() {
+        let mut fsm = WaitThinkFsm::new(FsmMode::Partial);
+        assert_eq!(fsm.step(obs(true, false, false)), UserState::Waiting);
+    }
+
+    #[test]
+    fn partial_mode_misses_sync_io() {
+        // The paper's blind spot: CPU idle during synchronous I/O looks like
+        // think time without I/O-queue support (§2.3).
+        let mut partial = WaitThinkFsm::new(FsmMode::Partial);
+        let mut full = WaitThinkFsm::new(FsmMode::Full);
+        let io_wait = obs(false, false, true);
+        assert_eq!(partial.step(io_wait), UserState::Thinking);
+        assert_eq!(full.step(io_wait), UserState::Waiting);
+    }
+
+    #[test]
+    fn timeline_classification_merges_adjacent() {
+        let observations = vec![
+            (t(0), obs(false, false, false)),
+            (t(10), obs(true, false, false)),
+            (t(20), obs(true, true, false)),
+            (t(30), obs(false, false, false)),
+        ];
+        let intervals = classify_timeline(FsmMode::Full, &observations, t(40));
+        assert_eq!(
+            intervals,
+            vec![
+                ClassifiedInterval {
+                    start: t(0),
+                    end: t(10),
+                    state: UserState::Thinking
+                },
+                ClassifiedInterval {
+                    start: t(10),
+                    end: t(30),
+                    state: UserState::Waiting
+                },
+                ClassifiedInterval {
+                    start: t(30),
+                    end: t(40),
+                    state: UserState::Thinking
+                },
+            ]
+        );
+        assert_eq!(total_wait(&intervals), SimDuration::from_cycles(20));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        assert!(classify_timeline(FsmMode::Full, &[], t(100)).is_empty());
+    }
+}

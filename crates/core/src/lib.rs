@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Event-handling latency measurement for interactive systems.
+//!
+//! This crate is the reproduction of the methodology of *"Using Latency to
+//! Evaluate Interactive System Performance"* (Endo, Wang, Chen, Seltzer —
+//! OSDI '96):
+//!
+//! * **Idle-loop instrumentation** ([`idle_loop`], §2.3): a calibrated
+//!   low-priority busy-wait process that replaces the system idle loop and
+//!   logs one trace record per millisecond of idle CPU; event-handling work
+//!   appears as elongated intervals between records.
+//! * **Message-API monitoring** ([`extract`], §2.4): correlating the CPU
+//!   profile with intercepted `GetMessage`/`PeekMessage` calls to delimit
+//!   individual events, remove test-driver overhead, and recognize
+//!   asynchronous processing.
+//! * **The think/wait state machine** ([`fsm`], Figure 2).
+//! * **Hardware-counter sweeps** ([`counters`], §2.2/§5.3): the
+//!   two-counters-at-a-time repetition protocol.
+//! * **The conventional comparison** ([`traditional`]): in-application
+//!   timestamp pairs, which miss pre-application work (Figure 1).
+//!
+//! Everything here observes the simulated machine only through interfaces
+//! the paper's tools had on real hardware; simulator ground truth is used
+//! exclusively by validation tests.
+
+pub mod counters;
+pub mod extract;
+pub mod fsm;
+pub mod idle_loop;
+pub mod observe;
+pub mod session;
+pub mod trace;
+pub mod traditional;
+
+pub use counters::{sweep, HwProfile};
+pub use extract::{at_least, extract_events, remove_test_overhead, BoundaryPolicy, MeasuredEvent};
+pub use fsm::{classify_timeline, total_wait, FsmInput, FsmMode, UserState, WaitThinkFsm};
+pub use idle_loop::{calibrate_n, collect, install, IdleLoopConfig, IdleLoopHandle};
+pub use observe::{classify_measured, measured_wait};
+pub use session::{Measurement, MeasurementSession};
+pub use trace::{IdleSample, IdleTrace};
+pub use traditional::TimestampPairs;

@@ -1,0 +1,213 @@
+//! The fully-measured think/wait classification pipeline.
+//!
+//! §2.4 closes with: *"Implementation of the full FSM requires additional
+//! system support for monitoring I/O and message queue state transitions."*
+//! The simulated OS provides that support (`latlab_os::StateLog`), and this
+//! module completes the paper's roadmap: it classifies a run into think and
+//! wait time using **only measured observables** — CPU state from the
+//! idle-loop trace and queue/I/O state from the kernel transition log —
+//! with no polling and no ground truth.
+
+use latlab_des::{SimDuration, SimTime};
+use latlab_os::{StateLog, ThreadId};
+
+use crate::fsm::{classify_timeline, ClassifiedInterval, FsmInput, FsmMode};
+use crate::trace::IdleTrace;
+
+/// Classifies `[from, to)` for one thread from measured observables.
+///
+/// CPU busy/idle is sampled from the idle-loop trace at its own (~1 ms)
+/// resolution; message-queue and synchronous-I/O state come from the
+/// transition log, change-driven rather than polled. Observation points are
+/// the union of trace sample boundaries and logged transitions.
+pub fn classify_measured(
+    trace: &IdleTrace,
+    state_log: &StateLog,
+    thread: ThreadId,
+    from: SimTime,
+    to: SimTime,
+    mode: FsmMode,
+) -> Vec<ClassifiedInterval> {
+    // Change points from the kernel log.
+    let transitions = state_log.replay_thread(thread);
+    // Observation instants: trace record boundaries (CPU state changes
+    // resolution) plus every logged transition.
+    let mut points: Vec<SimTime> = trace
+        .stamps()
+        .iter()
+        .map(|&s| SimTime::from_cycles(s))
+        .filter(|&t| t >= from && t < to)
+        .collect();
+    points.extend(
+        transitions
+            .iter()
+            .map(|&(t, _, _)| t)
+            .filter(|&t| t >= from && t < to),
+    );
+    points.push(from);
+    points.sort_unstable();
+    points.dedup();
+
+    let step = trace.baseline();
+    let mut observations = Vec::with_capacity(points.len());
+    let mut t_idx = 0usize;
+    let (mut queue_len, mut sync_io) = (0usize, 0u32);
+    for &at in &points {
+        // Advance the transition cursor to the last transition ≤ at.
+        while t_idx < transitions.len() && transitions[t_idx].0 <= at {
+            queue_len = transitions[t_idx].1;
+            sync_io = transitions[t_idx].2;
+            t_idx += 1;
+        }
+        // CPU state over the next sample-length window.
+        let window_end = (at + step).min(to);
+        let busy = trace.busy_within(at, window_end);
+        let cpu_busy = busy.cycles() * 2 >= window_end.saturating_since(at).cycles();
+        observations.push((
+            at,
+            FsmInput {
+                cpu_busy,
+                queue_nonempty: queue_len > 0,
+                sync_io_busy: sync_io > 0,
+            },
+        ));
+    }
+    classify_timeline(mode, &observations, to)
+}
+
+/// Convenience: total measured wait time in a window.
+pub fn measured_wait(
+    trace: &IdleTrace,
+    state_log: &StateLog,
+    thread: ThreadId,
+    from: SimTime,
+    to: SimTime,
+    mode: FsmMode,
+) -> SimDuration {
+    crate::fsm::total_wait(&classify_measured(trace, state_log, thread, from, to, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::CpuFreq;
+    use latlab_os::statelog::{IoKind, Transition};
+
+    const MS: u64 = 100_000;
+
+    fn t(ms_x: u64) -> SimTime {
+        SimTime::from_cycles(ms_x * MS)
+    }
+
+    /// Trace: idle 0–10 ms, busy 10–18 ms, idle after until 40 ms.
+    fn test_trace() -> IdleTrace {
+        let mut stamps: Vec<u64> = (0..=10).map(|i| i * MS).collect();
+        stamps.push(18 * MS);
+        for i in 1..=22u64 {
+            stamps.push((18 + i) * MS);
+        }
+        IdleTrace::new(stamps, SimDuration::from_cycles(MS), CpuFreq::PENTIUM_100)
+    }
+
+    #[test]
+    fn cpu_busy_alone_is_wait_time() {
+        let trace = test_trace();
+        let log = StateLog::new();
+        let wait = measured_wait(&trace, &log, ThreadId(0), t(0), t(40), FsmMode::Full);
+        let ms = CpuFreq::PENTIUM_100.to_ms(wait);
+        // The 8 ms busy region (and nothing else) classifies as waiting.
+        assert!((7.0..=10.0).contains(&ms), "wait {ms} ms");
+    }
+
+    #[test]
+    fn sync_io_wait_visible_only_in_full_mode() {
+        let trace = test_trace();
+        let mut log = StateLog::new();
+        // Sync read outstanding 20–30 ms while the CPU idles.
+        log.record(
+            t(20),
+            Transition::IoIssued {
+                thread: ThreadId(0),
+                kind: IoKind::SyncRead,
+            },
+        );
+        log.record(
+            t(30),
+            Transition::IoCompleted {
+                thread: ThreadId(0),
+                kind: IoKind::SyncRead,
+            },
+        );
+        let full = measured_wait(&trace, &log, ThreadId(0), t(0), t(40), FsmMode::Full);
+        let partial = measured_wait(&trace, &log, ThreadId(0), t(0), t(40), FsmMode::Partial);
+        let diff_ms = CpuFreq::PENTIUM_100.to_ms(full.saturating_sub(partial));
+        assert!(
+            (9.0..=11.0).contains(&diff_ms),
+            "sync-I/O window should add ~10 ms of full-mode wait, got {diff_ms}"
+        );
+    }
+
+    #[test]
+    fn async_io_is_background_in_both_modes() {
+        let trace = test_trace();
+        let mut log = StateLog::new();
+        log.record(
+            t(20),
+            Transition::IoIssued {
+                thread: ThreadId(0),
+                kind: IoKind::AsyncWrite,
+            },
+        );
+        log.record(
+            t(30),
+            Transition::IoCompleted {
+                thread: ThreadId(0),
+                kind: IoKind::AsyncWrite,
+            },
+        );
+        let full = measured_wait(&trace, &log, ThreadId(0), t(0), t(40), FsmMode::Full);
+        let none = measured_wait(
+            &trace,
+            &StateLog::new(),
+            ThreadId(0),
+            t(0),
+            t(40),
+            FsmMode::Full,
+        );
+        assert_eq!(
+            full, none,
+            "async I/O must not register as wait time (§2.3's assumption)"
+        );
+    }
+
+    #[test]
+    fn queued_messages_are_wait_time_even_with_idle_cpu() {
+        let trace = test_trace();
+        let mut log = StateLog::new();
+        log.record(
+            t(25),
+            Transition::MessageEnqueued {
+                thread: ThreadId(0),
+                queue_len: 1,
+            },
+        );
+        log.record(
+            t(33),
+            Transition::MessageDequeued {
+                thread: ThreadId(0),
+                queue_len: 0,
+            },
+        );
+        let partial = measured_wait(&trace, &log, ThreadId(0), t(0), t(40), FsmMode::Partial);
+        let base = measured_wait(
+            &trace,
+            &StateLog::new(),
+            ThreadId(0),
+            t(0),
+            t(40),
+            FsmMode::Partial,
+        );
+        let diff = CpuFreq::PENTIUM_100.to_ms(partial.saturating_sub(base));
+        assert!((7.0..=9.0).contains(&diff), "queued window adds {diff} ms");
+    }
+}

@@ -1,0 +1,193 @@
+//! One-stop measurement sessions.
+//!
+//! A [`MeasurementSession`] wires the full methodology together: boot a
+//! machine with an OS personality, calibrate and install the idle-loop
+//! monitor, run a workload, and extract per-event latencies from the
+//! observables (idle trace + message-API log). This is the API the examples
+//! and the experiment harness use.
+
+use latlab_des::{SimDuration, SimTime};
+use latlab_os::{Machine, OsParams, OsProfile, ProcessSpec, Program, ThreadId};
+use serde::{Deserialize, Serialize};
+
+use crate::extract::{extract_events, BoundaryPolicy, MeasuredEvent};
+use crate::idle_loop::{self, IdleLoopConfig, IdleLoopHandle};
+use crate::trace::IdleTrace;
+
+/// A machine with the measurement stack installed.
+pub struct MeasurementSession {
+    machine: Machine,
+    idle: IdleLoopHandle,
+    baseline: SimDuration,
+    focus: Option<ThreadId>,
+}
+
+/// The collected observables and extracted results of a session.
+///
+/// Serializable, so runs can be archived and re-analyzed without
+/// re-simulating (`serde_json` round-trips losslessly).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The idle-loop trace.
+    pub trace: IdleTrace,
+    /// Events extracted for the focused application.
+    pub events: Vec<MeasuredEvent>,
+    /// Total elapsed time of the measured run.
+    pub elapsed: SimDuration,
+}
+
+impl MeasurementSession {
+    /// Boots a session on the given OS: calibrates the idle loop on a
+    /// scratch machine (§2.3), then installs it on a fresh one.
+    pub fn new(profile: OsProfile) -> Self {
+        Self::with_params(profile.params())
+    }
+
+    /// Boots a session on a custom parameter set (ablations and sweeps).
+    pub fn with_params(params: OsParams) -> Self {
+        let target = params.freq.ms(1);
+        let n = idle_loop::calibrate_n(&params, target);
+        let mut machine = Machine::new(params);
+        let idle = idle_loop::install(&mut machine, IdleLoopConfig::with_n(n));
+        MeasurementSession {
+            machine,
+            idle,
+            baseline: target,
+            focus: None,
+        }
+    }
+
+    /// Access to the underlying machine (to register files, schedule input,
+    /// read counters).
+    pub fn machine(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Read-only machine access.
+    pub fn machine_ref(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Spawns the application under test and focuses input on it.
+    pub fn launch_app(&mut self, spec: ProcessSpec, program: Box<dyn Program>) -> ThreadId {
+        let tid = self.machine.spawn(spec, program);
+        self.machine.set_focus(tid);
+        self.focus = Some(tid);
+        tid
+    }
+
+    /// Runs the machine for a duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.machine.run_for(d);
+    }
+
+    /// Runs until quiescent or `limit`, whichever first; returns whether
+    /// quiescence was reached.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> bool {
+        self.machine.run_until_quiescent(limit)
+    }
+
+    /// Finishes the session: drains the trace and extracts events for the
+    /// focused application.
+    ///
+    /// The machine first runs a few extra milliseconds of idle so that the
+    /// idle loop closes its in-flight sample — otherwise work immediately
+    /// before the stop would sit in a never-completed interval and be
+    /// invisible (the §2 turnaround-time problem).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no application was launched.
+    pub fn finish(mut self, policy: BoundaryPolicy) -> Measurement {
+        let focus = self.focus.expect("finish() before launch_app()");
+        let cooldown = self.machine.params().freq.ms(10);
+        self.machine.run_for(cooldown);
+        let elapsed = SimDuration::from_cycles(self.machine.now().cycles());
+        let trace = idle_loop::collect(&mut self.machine, self.idle, self.baseline);
+        let events = extract_events(&trace, self.machine.apilog(), focus, policy);
+        Measurement {
+            trace,
+            events,
+            elapsed,
+        }
+    }
+
+    /// Finishes and also returns the machine for ground-truth inspection
+    /// (validation flows).
+    pub fn finish_with_machine(mut self, policy: BoundaryPolicy) -> (Measurement, Machine) {
+        let focus = self
+            .focus
+            .expect("finish_with_machine() before launch_app()");
+        let cooldown = self.machine.params().freq.ms(10);
+        self.machine.run_for(cooldown);
+        let elapsed = SimDuration::from_cycles(self.machine.now().cycles());
+        let trace = idle_loop::collect(&mut self.machine, self.idle, self.baseline);
+        let events = extract_events(&trace, self.machine.apilog(), focus, policy);
+        (
+            Measurement {
+                trace,
+                events,
+                elapsed,
+            },
+            self.machine,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::CpuFreq;
+    use latlab_os::{Action, ApiCall, ApiReply, ComputeSpec, InputKind, KeySym, StepCtx};
+
+    /// Minimal message-loop app for session tests.
+    struct MiniApp {
+        waiting: bool,
+    }
+
+    impl Program for MiniApp {
+        fn step(&mut self, ctx: &mut StepCtx) -> Action {
+            if self.waiting {
+                self.waiting = false;
+                if let ApiReply::Message(Some(_)) = ctx.reply {
+                    return Action::Compute(ComputeSpec::app(400_000));
+                }
+            }
+            self.waiting = true;
+            Action::Call(ApiCall::GetMessage)
+        }
+    }
+
+    #[test]
+    fn end_to_end_keystroke_measurement() {
+        let mut session = MeasurementSession::new(OsProfile::Nt40);
+        session.launch_app(
+            ProcessSpec::app("mini"),
+            Box::new(MiniApp { waiting: false }),
+        );
+        let freq = CpuFreq::PENTIUM_100;
+        for i in 0..5u64 {
+            let at = SimTime::ZERO + freq.ms(100 + i * 200);
+            session
+                .machine()
+                .schedule_input_at(at, InputKind::Key(KeySym::Char('a')));
+        }
+        session.run_for(freq.ms(1_500));
+        let (m, machine) = session.finish_with_machine(BoundaryPolicy::SplitAtRetrieval);
+        assert_eq!(m.events.len(), 5, "five keystrokes, five events");
+        // Measured busy latency should be close to ground truth for each.
+        for e in &m.events {
+            let gt = machine
+                .ground_truth()
+                .event(e.input_id.expect("input event"))
+                .unwrap();
+            let truth = freq.to_ms(gt.true_latency().unwrap());
+            let measured = e.latency_ms(freq);
+            let err = (measured - truth).abs();
+            assert!(
+                err < 1.5,
+                "measured {measured:.2} ms vs truth {truth:.2} ms (err {err:.2})"
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The conventional in-application timestamp measurement, for comparison.
+//!
+//! §2.3's validation experiment times a keystroke the traditional way:
+//! *"recording one timestamp when the program received the character (i.e.,
+//! after a call to getchar()) and a second timestamp after the character was
+//! echoed back to the screen."* That measurement misses the interrupt
+//! handling and rescheduling that precede the application — the idle-loop
+//! methodology captures them (Figure 1: 7.42 ms vs 9.76 ms).
+//!
+//! Instrumented programs emit `(before, after)` cycle-stamp pairs through
+//! the emission buffer; this module decodes them.
+
+use latlab_des::{CpuFreq, SimDuration};
+
+/// Timestamp pairs recovered from an instrumented application.
+#[derive(Clone, Debug, Default)]
+pub struct TimestampPairs {
+    durations: Vec<SimDuration>,
+}
+
+impl TimestampPairs {
+    /// Decodes an emission buffer of alternating `before, after` stamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is odd or any pair runs backwards.
+    pub fn from_emitted(emitted: &[u64]) -> Self {
+        assert!(
+            emitted.len().is_multiple_of(2),
+            "timestamp buffer must hold before/after pairs, len {}",
+            emitted.len()
+        );
+        let durations = emitted
+            .chunks_exact(2)
+            .map(|pair| {
+                assert!(
+                    pair[1] >= pair[0],
+                    "timestamp pair runs backwards: {} > {}",
+                    pair[0],
+                    pair[1]
+                );
+                SimDuration::from_cycles(pair[1] - pair[0])
+            })
+            .collect();
+        TimestampPairs { durations }
+    }
+
+    /// The measured durations.
+    pub fn durations(&self) -> &[SimDuration] {
+        &self.durations
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// True if no pairs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.durations.is_empty()
+    }
+
+    /// Mean duration in milliseconds.
+    pub fn mean_ms(&self, freq: CpuFreq) -> f64 {
+        if self.durations.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.durations.iter().map(|d| d.cycles()).sum();
+        freq.to_ms(SimDuration::from_cycles(total)) / self.durations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_pairs() {
+        let pairs = TimestampPairs::from_emitted(&[100, 350, 1_000, 1_500]);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs.durations()[0], SimDuration::from_cycles(250));
+        assert_eq!(pairs.durations()[1], SimDuration::from_cycles(500));
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn mean_in_ms() {
+        let pairs = TimestampPairs::from_emitted(&[0, 100_000, 0, 300_000]);
+        assert!((pairs.mean_ms(CpuFreq::PENTIUM_100) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_buffer_ok() {
+        let pairs = TimestampPairs::from_emitted(&[]);
+        assert!(pairs.is_empty());
+        assert_eq!(pairs.mean_ms(CpuFreq::PENTIUM_100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before/after pairs")]
+    fn odd_buffer_rejected() {
+        let _ = TimestampPairs::from_emitted(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs backwards")]
+    fn backwards_pair_rejected() {
+        let _ = TimestampPairs::from_emitted(&[10, 5]);
+    }
+}

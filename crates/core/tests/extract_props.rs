@@ -1,0 +1,109 @@
+//! Property-based tests of event extraction over synthetic observables.
+
+use proptest::prelude::*;
+
+use latlab_core::{extract_events, BoundaryPolicy, IdleTrace};
+use latlab_des::{CpuFreq, SimDuration, SimTime};
+use latlab_os::apilog::{ApiEntry, ApiLog, ApiLogEntry, ApiOutcome};
+use latlab_os::{InputKind, KeySym, Message, ThreadId};
+
+const MS: u64 = 100_000;
+
+/// A synthetic workload: alternating idle gaps and busy events.
+#[derive(Clone, Debug)]
+struct SyntheticRun {
+    /// (idle_ms before event, busy_ms of handling) per event.
+    events: Vec<(u64, u64)>,
+}
+
+fn synthetic_run() -> impl Strategy<Value = SyntheticRun> {
+    prop::collection::vec((2u64..80, 1u64..40), 1..25).prop_map(|events| SyntheticRun { events })
+}
+
+/// Builds the trace and log a perfect idle-loop monitor would capture for
+/// the run: records every idle ms; one elongated sample per busy period.
+fn observe(run: &SyntheticRun) -> (IdleTrace, ApiLog, Vec<u64>) {
+    let mut stamps = vec![0u64];
+    let mut log = ApiLog::new();
+    let mut t = 0u64;
+    let mut true_busy = Vec::new();
+    for (i, &(idle_ms, busy_ms)) in run.events.iter().enumerate() {
+        for _ in 0..idle_ms {
+            t += MS;
+            stamps.push(t);
+        }
+        // Busy period: retrieval shortly after it starts, block at its end.
+        let busy_start = t;
+        log.record(ApiLogEntry {
+            at: SimTime::from_cycles(busy_start + MS / 10),
+            thread: ThreadId(0),
+            entry: ApiEntry::GetMessage,
+            outcome: ApiOutcome::Retrieved(Message::Input {
+                id: i as u64,
+                kind: InputKind::Key(KeySym::Char('x')),
+            }),
+            queue_len_after: 0,
+        });
+        t += busy_ms * MS;
+        log.record(ApiLogEntry {
+            at: SimTime::from_cycles(t),
+            thread: ThreadId(0),
+            entry: ApiEntry::GetMessage,
+            outcome: ApiOutcome::Blocked,
+            queue_len_after: 0,
+        });
+        // The interrupted loop iteration completes 1 ms of idle later.
+        t += MS;
+        stamps.push(t);
+        true_busy.push(busy_ms * MS);
+    }
+    // Trailing idle to close everything.
+    for _ in 0..3 {
+        t += MS;
+        stamps.push(t);
+    }
+    (
+        IdleTrace::new(stamps, SimDuration::from_cycles(MS), CpuFreq::PENTIUM_100),
+        log,
+        true_busy,
+    )
+}
+
+proptest! {
+    /// Extraction recovers every synthetic event with its exact busy time,
+    /// for both boundary policies (they agree when events never overlap).
+    #[test]
+    fn extraction_is_exact_on_clean_runs(run in synthetic_run()) {
+        let (trace, log, true_busy) = observe(&run);
+        for policy in [BoundaryPolicy::SplitAtRetrieval, BoundaryPolicy::MergeUntilEmpty] {
+            let events = extract_events(&trace, &log, ThreadId(0), policy);
+            prop_assert_eq!(events.len(), run.events.len());
+            for (e, &truth) in events.iter().zip(&true_busy) {
+                prop_assert_eq!(
+                    e.busy.cycles(),
+                    truth,
+                    "event busy must match ground truth exactly"
+                );
+                prop_assert!(e.busy <= e.span);
+                prop_assert!(e.window_start <= e.retrieved_at);
+                prop_assert!(e.retrieved_at <= e.boundary_at);
+            }
+            // Windows are disjoint.
+            for w in events.windows(2) {
+                prop_assert!(w[0].boundary_at <= w[1].window_start);
+            }
+        }
+    }
+
+    /// Total attributed busy time never exceeds the trace's total excess,
+    /// regardless of where thresholds fall.
+    #[test]
+    fn attribution_conserves_busy(run in synthetic_run()) {
+        let (trace, log, _) = observe(&run);
+        let events = extract_events(&trace, &log, ThreadId(0), BoundaryPolicy::SplitAtRetrieval);
+        let attributed: u64 = events.iter().map(|e| e.busy.cycles()).sum();
+        let last = SimTime::from_cycles(*trace.stamps().last().unwrap());
+        let available = trace.busy_within(SimTime::ZERO, last).cycles();
+        prop_assert!(attributed <= available);
+    }
+}

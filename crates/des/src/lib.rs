@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation engine for `latlab`.
+//!
+//! This crate provides the time base, event queue, deterministic random
+//! number generator and online statistics used by every other crate in the
+//! workspace. The simulation operates at CPU-cycle granularity: all times are
+//! integer cycle counts relative to machine power-on, converted to wall-clock
+//! units through a [`time::CpuFreq`].
+//!
+//! Everything here is deterministic by construction: the event queue breaks
+//! timestamp ties by insertion order, and [`rng::SimRng`] is a seeded
+//! SplitMix64 generator, so a simulation run is a pure function of its
+//! configuration and seed.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::OnlineStats;
+pub use time::{CpuFreq, SimDuration, SimTime};

@@ -1,0 +1,355 @@
+//! Cycle-granularity simulation time.
+//!
+//! The paper's measurement tools are built on the Pentium cycle counter
+//! (§2.2), so the natural time base for the whole simulation is CPU cycles.
+//! [`SimTime`] is an absolute instant (cycles since power-on) and
+//! [`SimDuration`] a span; both are plain `u64` cycle counts. Conversion to
+//! and from wall-clock units goes through [`CpuFreq`].
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute simulation instant, measured in CPU cycles since power-on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, measured in CPU cycles.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The instant of machine power-on.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant (used as an "infinitely far" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from a raw cycle count.
+    pub const fn from_cycles(cycles: u64) -> Self {
+        SimTime(cycles)
+    }
+
+    /// Returns the raw cycle count since power-on.
+    pub const fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; simulation time never runs
+    /// backwards, so such a call is a logic error.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since called with a later instant"),
+        )
+    }
+
+    /// Returns the duration since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Rounds this instant *up* to the next multiple of `step`.
+    ///
+    /// Used for activities aligned to clock-interrupt boundaries (e.g. the
+    /// window-maximize animation of §2.6 schedules steps on 10 ms ticks).
+    pub fn align_up(self, step: SimDuration) -> SimTime {
+        assert!(step.0 > 0, "alignment step must be non-zero");
+        let rem = self.0 % step.0;
+        if rem == 0 {
+            self
+        } else {
+            SimTime(self.0 + (step.0 - rem))
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from a raw cycle count.
+    pub const fn from_cycles(cycles: u64) -> Self {
+        SimDuration(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Returns true if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0 * factor)
+    }
+
+    /// Divides the duration by an integer divisor (truncating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub const fn div(self, divisor: u64) -> SimDuration {
+        SimDuration(self.0 / divisor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow: simulation ran past u64 cycles"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow: subtracted past power-on"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}cy", self.0)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// The clock frequency of the simulated CPU, used to convert between cycles
+/// and wall-clock units.
+///
+/// The paper's testbed is a 100 MHz Pentium (§2.1); [`CpuFreq::PENTIUM_100`]
+/// is the default everywhere.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CpuFreq {
+    hz: u64,
+}
+
+impl CpuFreq {
+    /// The 100 MHz Pentium of the paper's experimental systems.
+    pub const PENTIUM_100: CpuFreq = CpuFreq { hz: 100_000_000 };
+
+    /// Creates a frequency from a raw Hz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub const fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "CPU frequency must be non-zero");
+        CpuFreq { hz }
+    }
+
+    /// Creates a frequency from a MHz value.
+    pub const fn from_mhz(mhz: u64) -> Self {
+        Self::from_hz(mhz * 1_000_000)
+    }
+
+    /// Returns the frequency in Hz.
+    pub const fn hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Converts a millisecond count to a cycle duration.
+    pub const fn ms(self, ms: u64) -> SimDuration {
+        SimDuration::from_cycles(ms * (self.hz / 1_000))
+    }
+
+    /// Converts a microsecond count to a cycle duration.
+    pub const fn us(self, us: u64) -> SimDuration {
+        SimDuration::from_cycles(us * (self.hz / 1_000_000))
+    }
+
+    /// Converts a (possibly fractional) millisecond count to a cycle duration.
+    pub fn ms_f64(self, ms: f64) -> SimDuration {
+        assert!(ms >= 0.0, "durations are non-negative");
+        SimDuration::from_cycles((ms * self.hz as f64 / 1_000.0).round() as u64)
+    }
+
+    /// Converts a second count to a cycle duration.
+    pub const fn secs(self, s: u64) -> SimDuration {
+        SimDuration::from_cycles(s * self.hz)
+    }
+
+    /// Converts a cycle duration to fractional milliseconds.
+    pub fn to_ms(self, d: SimDuration) -> f64 {
+        d.cycles() as f64 * 1_000.0 / self.hz as f64
+    }
+
+    /// Converts a cycle duration to fractional microseconds.
+    pub fn to_us(self, d: SimDuration) -> f64 {
+        d.cycles() as f64 * 1_000_000.0 / self.hz as f64
+    }
+
+    /// Converts a cycle duration to fractional seconds.
+    pub fn to_secs(self, d: SimDuration) -> f64 {
+        d.cycles() as f64 / self.hz as f64
+    }
+
+    /// Converts an absolute instant to fractional milliseconds since power-on.
+    pub fn time_to_ms(self, t: SimTime) -> f64 {
+        self.to_ms(SimDuration::from_cycles(t.cycles()))
+    }
+
+    /// Converts an absolute instant to fractional seconds since power-on.
+    pub fn time_to_secs(self, t: SimTime) -> f64 {
+        self.to_secs(SimDuration::from_cycles(t.cycles()))
+    }
+}
+
+impl Default for CpuFreq {
+    fn default() -> Self {
+        CpuFreq::PENTIUM_100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_roundtrip() {
+        let t = SimTime::from_cycles(123_456);
+        assert_eq!(t.cycles(), 123_456);
+        let d = SimDuration::from_cycles(789);
+        assert_eq!(d.cycles(), 789);
+    }
+
+    #[test]
+    fn add_sub_consistency() {
+        let t = SimTime::from_cycles(1_000);
+        let d = SimDuration::from_cycles(250);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_cycles(10);
+        let b = SimTime::from_cycles(20);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_cycles(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_on_backwards_time() {
+        let a = SimTime::from_cycles(10);
+        let b = SimTime::from_cycles(20);
+        let _ = a.since(b);
+    }
+
+    #[test]
+    fn align_up_to_tick_boundary() {
+        let tick = SimDuration::from_cycles(1_000_000); // 10 ms at 100 MHz
+        assert_eq!(
+            SimTime::from_cycles(1).align_up(tick),
+            SimTime::from_cycles(1_000_000)
+        );
+        assert_eq!(
+            SimTime::from_cycles(1_000_000).align_up(tick),
+            SimTime::from_cycles(1_000_000)
+        );
+        assert_eq!(
+            SimTime::from_cycles(1_000_001).align_up(tick),
+            SimTime::from_cycles(2_000_000)
+        );
+    }
+
+    #[test]
+    fn pentium_100_conversions() {
+        let f = CpuFreq::PENTIUM_100;
+        // 1 ms at 100 MHz is 100,000 cycles — the paper's idle-loop sample unit.
+        assert_eq!(f.ms(1).cycles(), 100_000);
+        assert_eq!(f.us(1).cycles(), 100);
+        assert_eq!(f.secs(1).cycles(), 100_000_000);
+        assert!((f.to_ms(f.ms(7)) - 7.0).abs() < 1e-9);
+        // 400 cycles — the paper's smallest NT 4.0 clock-interrupt overhead —
+        // is 4 microseconds at 100 MHz (the paper's "4 ms" is a typo).
+        assert!((f.to_us(SimDuration::from_cycles(400)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_ms_rounds() {
+        let f = CpuFreq::PENTIUM_100;
+        assert_eq!(f.ms_f64(0.5).cycles(), 50_000);
+        assert_eq!(f.ms_f64(10.76).cycles(), 1_076_000);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_cycles(100);
+        assert_eq!(d.mul(3).cycles(), 300);
+        assert_eq!(d.div(4).cycles(), 25);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_cycles(200)),
+            SimDuration::ZERO
+        );
+    }
+}

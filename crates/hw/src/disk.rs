@@ -1,0 +1,228 @@
+//! Disk timing model.
+//!
+//! Models the paper's dedicated 1 GB Fujitsu M1606SAU SCSI-II disk (§2.1):
+//! a mid-90s 5400 RPM drive. Long-latency events in the PowerPoint task
+//! (Table 1) are dominated by synchronous disk reads, and the buffer cache
+//! (in `latlab-os`) progressively absorbs them — the model only needs
+//! realistic per-request service times and a sequential/random distinction.
+
+use latlab_des::{CpuFreq, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Block size used throughout the simulated storage stack.
+pub const BLOCK_SIZE: u64 = 4096;
+
+/// Static timing parameters of a disk.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DiskGeometry {
+    /// Average seek time in microseconds.
+    pub avg_seek_us: u64,
+    /// Rotational speed in RPM (average rotational delay is half a turn).
+    pub rpm: u64,
+    /// Sustained media transfer rate in KB/s.
+    pub transfer_kb_per_s: u64,
+    /// Fixed per-request controller/command overhead in microseconds.
+    pub controller_overhead_us: u64,
+}
+
+impl DiskGeometry {
+    /// The Fujitsu M1606SAU-class disk of the paper's testbed: ~10 ms average
+    /// seek, 5400 RPM, ~5 MB/s sustained transfer, SCSI command overhead.
+    pub const FUJITSU_M1606: DiskGeometry = DiskGeometry {
+        avg_seek_us: 10_000,
+        rpm: 5400,
+        transfer_kb_per_s: 5_000,
+        controller_overhead_us: 500,
+    };
+
+    /// Average rotational delay (half a revolution) in microseconds.
+    pub const fn avg_rotational_us(&self) -> u64 {
+        // Full revolution: 60e6 / rpm microseconds; average delay is half.
+        60_000_000 / self.rpm / 2
+    }
+
+    /// Transfer time for `bytes` bytes in microseconds.
+    pub const fn transfer_us(&self, bytes: u64) -> u64 {
+        // bytes / (KB/s * 1000 B/KB) seconds = bytes * 1000 / transfer_kb_per_s us.
+        bytes * 1_000 / self.transfer_kb_per_s
+    }
+}
+
+/// A single disk request: a run of blocks, flagged sequential if it continues
+/// the previous transfer without repositioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// First block number of the run.
+    pub start_block: u64,
+    /// Number of contiguous blocks.
+    pub block_count: u64,
+}
+
+/// The disk device: geometry plus head position state.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    geometry: DiskGeometry,
+    freq: CpuFreq,
+    /// Block following the last transferred block, if any.
+    head_after: Option<u64>,
+    /// Total requests serviced (for instrumentation).
+    requests: u64,
+    /// Total blocks transferred (for instrumentation).
+    blocks: u64,
+}
+
+impl Disk {
+    /// Creates a disk with the given geometry on a CPU time base.
+    pub fn new(geometry: DiskGeometry, freq: CpuFreq) -> Self {
+        Disk {
+            geometry,
+            freq,
+            head_after: None,
+            requests: 0,
+            blocks: 0,
+        }
+    }
+
+    /// Creates the paper's testbed disk on the 100 MHz time base.
+    pub fn fujitsu_m1606() -> Self {
+        Disk::new(DiskGeometry::FUJITSU_M1606, CpuFreq::PENTIUM_100)
+    }
+
+    /// Returns the service time for a request and advances head state.
+    ///
+    /// A request that starts where the previous transfer ended is sequential
+    /// and pays neither seek nor rotational delay; anything else pays the
+    /// average seek plus average rotational latency.
+    pub fn service(&mut self, req: DiskRequest) -> SimDuration {
+        assert!(req.block_count > 0, "disk request must transfer blocks");
+        let sequential = self.head_after == Some(req.start_block);
+        let mut us = self.geometry.controller_overhead_us;
+        if !sequential {
+            us += self.geometry.avg_seek_us + self.geometry.avg_rotational_us();
+        }
+        us += self.geometry.transfer_us(req.block_count * BLOCK_SIZE);
+        self.head_after = Some(req.start_block + req.block_count);
+        self.requests += 1;
+        self.blocks += req.block_count;
+        self.freq.us(us)
+    }
+
+    /// Number of requests serviced so far.
+    pub fn requests_serviced(&self) -> u64 {
+        self.requests
+    }
+
+    /// Number of blocks transferred so far.
+    pub fn blocks_transferred(&self) -> u64 {
+        self.blocks
+    }
+
+    /// The disk geometry.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Disk {
+        Disk::fujitsu_m1606()
+    }
+
+    #[test]
+    fn random_read_pays_seek_and_rotation() {
+        let mut d = disk();
+        let t = d.service(DiskRequest {
+            start_block: 100,
+            block_count: 1,
+        });
+        let f = CpuFreq::PENTIUM_100;
+        let ms = f.to_ms(t);
+        // ~0.5 (ctl) + 10 (seek) + 5.56 (rot) + 0.82 (xfer) ≈ 16.9 ms.
+        assert!(
+            ms > 14.0 && ms < 20.0,
+            "unexpected random read time {ms} ms"
+        );
+    }
+
+    #[test]
+    fn sequential_read_is_much_cheaper() {
+        let mut d = disk();
+        let first = d.service(DiskRequest {
+            start_block: 0,
+            block_count: 1,
+        });
+        let second = d.service(DiskRequest {
+            start_block: 1,
+            block_count: 1,
+        });
+        assert!(second.cycles() * 4 < first.cycles());
+    }
+
+    #[test]
+    fn non_contiguous_breaks_sequentiality() {
+        let mut d = disk();
+        d.service(DiskRequest {
+            start_block: 0,
+            block_count: 4,
+        });
+        let jump = d.service(DiskRequest {
+            start_block: 100,
+            block_count: 1,
+        });
+        let f = CpuFreq::PENTIUM_100;
+        assert!(f.to_ms(jump) > 14.0);
+    }
+
+    #[test]
+    fn transfer_scales_with_blocks() {
+        let mut d1 = disk();
+        let mut d2 = disk();
+        let small = d1.service(DiskRequest {
+            start_block: 0,
+            block_count: 1,
+        });
+        let big = d2.service(DiskRequest {
+            start_block: 0,
+            block_count: 100,
+        });
+        let extra = big - small;
+        let f = CpuFreq::PENTIUM_100;
+        // 99 blocks * 4 KB / 5 MB/s ≈ 81 ms of extra transfer.
+        let ms = f.to_ms(extra);
+        assert!(ms > 70.0 && ms < 95.0, "extra transfer {ms} ms");
+    }
+
+    #[test]
+    fn instrumentation_counts() {
+        let mut d = disk();
+        d.service(DiskRequest {
+            start_block: 0,
+            block_count: 3,
+        });
+        d.service(DiskRequest {
+            start_block: 3,
+            block_count: 2,
+        });
+        assert_eq!(d.requests_serviced(), 2);
+        assert_eq!(d.blocks_transferred(), 5);
+    }
+
+    #[test]
+    fn geometry_constants_sane() {
+        let g = DiskGeometry::FUJITSU_M1606;
+        assert_eq!(g.avg_rotational_us(), 5_555);
+        assert_eq!(g.transfer_us(BLOCK_SIZE), 819);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer blocks")]
+    fn zero_block_request_rejected() {
+        disk().service(DiskRequest {
+            start_block: 0,
+            block_count: 0,
+        });
+    }
+}

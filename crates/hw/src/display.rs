@@ -1,0 +1,84 @@
+//! Display adapter refresh model.
+//!
+//! §2.3: *"most graphics output devices refresh every 12-17 ms. In this
+//! research, we do not consider this effect."* We model the refresh clock so
+//! callers *can* quantify the effect the paper set aside (an extension
+//! bench), but — like the paper — no default measurement accounts for it.
+
+use latlab_des::{CpuFreq, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-rate display refresh clock.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Display {
+    refresh_period: SimDuration,
+}
+
+impl Display {
+    /// Creates a display with the given refresh period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(refresh_period: SimDuration) -> Self {
+        assert!(!refresh_period.is_zero(), "refresh period must be non-zero");
+        Display { refresh_period }
+    }
+
+    /// A 72 Hz display (≈13.9 ms), in the middle of the paper's 12–17 ms
+    /// range — the Diamond Stealth 64 of the testbed at typical settings.
+    pub fn stealth64() -> Self {
+        Display::new(CpuFreq::PENTIUM_100.us(13_889))
+    }
+
+    /// The refresh period.
+    pub fn refresh_period(&self) -> SimDuration {
+        self.refresh_period
+    }
+
+    /// Returns the first refresh instant at or after `t` (frame boundaries
+    /// are multiples of the refresh period from power-on).
+    pub fn next_refresh(&self, t: SimTime) -> SimTime {
+        t.align_up(self.refresh_period)
+    }
+
+    /// Returns the extra delay before work completed at `t` becomes visible
+    /// to the user.
+    pub fn visibility_delay(&self, t: SimTime) -> SimDuration {
+        self.next_refresh(t).since(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_period_in_papers_range() {
+        let d = Display::stealth64();
+        let ms = CpuFreq::PENTIUM_100.to_ms(d.refresh_period());
+        assert!((12.0..=17.0).contains(&ms), "refresh {ms} ms outside 12-17");
+    }
+
+    #[test]
+    fn next_refresh_aligns_up() {
+        let d = Display::new(SimDuration::from_cycles(100));
+        assert_eq!(
+            d.next_refresh(SimTime::from_cycles(250)),
+            SimTime::from_cycles(300)
+        );
+        assert_eq!(
+            d.next_refresh(SimTime::from_cycles(300)),
+            SimTime::from_cycles(300)
+        );
+    }
+
+    #[test]
+    fn visibility_delay_is_bounded_by_period() {
+        let d = Display::new(SimDuration::from_cycles(100));
+        for t in [0u64, 1, 50, 99, 100, 101] {
+            let delay = d.visibility_delay(SimTime::from_cycles(t));
+            assert!(delay.cycles() < 100 || (t % 100 == 0 && delay.is_zero()));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Simulated 1996-class PC hardware for `latlab`.
+//!
+//! Models the paper's experimental system (§2.1): a 100 MHz Pentium with the
+//! Pentium hardware counters (§2.2 — one 64-bit cycle counter plus two 40-bit
+//! configurable event counters), split instruction/data TLBs that are flushed
+//! on protection-domain crossings (§5.3), a SCSI disk, a 10 ms programmable
+//! interval timer, and a display adapter with a 12–17 ms refresh period
+//! (§2.3).
+//!
+//! The models are *cost models*, not functional emulators: they answer "how
+//! many cycles and hardware events does this much work generate" rather than
+//! executing instructions. That is exactly the level of detail the paper's
+//! analysis operates at — its counter figures (Figures 9 and 10) are counts
+//! of instructions, data references, TLB misses, segment loads and unaligned
+//! accesses.
+
+pub mod costs;
+pub mod counters;
+pub mod disk;
+pub mod display;
+pub mod timer;
+pub mod tlb;
+
+pub use costs::{HwMix, MixAccumulator, WorkCharge};
+pub use counters::{CounterBank, CounterError, CounterId, EventCounts, HwEvent, Ring};
+pub use disk::{Disk, DiskGeometry, DiskRequest};
+pub use display::Display;
+pub use timer::IntervalTimer;
+pub use tlb::{Tlb, TlbPair};

@@ -1,0 +1,104 @@
+//! Property-based tests of hardware-model invariants.
+
+use proptest::prelude::*;
+
+use latlab_des::CpuFreq;
+use latlab_hw::costs::{penalty_cycles, SEG_LOAD_CYCLES, TLB_MISS_CYCLES, UNALIGNED_CYCLES};
+use latlab_hw::{
+    CounterBank, CounterId, Disk, DiskRequest, EventCounts, HwEvent, HwMix, Ring, TlbPair,
+};
+
+proptest! {
+    /// Cycle costs are monotone in instruction count for every mix.
+    #[test]
+    fn mix_cycles_monotone(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        for mix in [HwMix::FLAT32, HwMix::WIN16, HwMix::KERNEL, HwMix::IDLE_LOOP] {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(mix.cycles_for(lo) <= mix.cycles_for(hi));
+        }
+    }
+
+    /// Penalty cycles decompose exactly into the per-event constants.
+    #[test]
+    fn penalties_linear(
+        itlb in 0u64..10_000,
+        dtlb in 0u64..10_000,
+        seg in 0u64..10_000,
+        unaligned in 0u64..10_000,
+    ) {
+        let mut ev = EventCounts::ZERO;
+        ev.add(HwEvent::ItlbMisses, itlb);
+        ev.add(HwEvent::DtlbMisses, dtlb);
+        ev.add(HwEvent::SegmentLoads, seg);
+        ev.add(HwEvent::UnalignedAccesses, unaligned);
+        prop_assert_eq!(
+            penalty_cycles(&ev),
+            (itlb + dtlb) * TLB_MISS_CYCLES
+                + seg * SEG_LOAD_CYCLES
+                + unaligned * UNALIGNED_CYCLES
+        );
+    }
+
+    /// Counter banks: only the configured event is counted, the 40-bit wrap
+    /// is exact, and the user/system access rules hold.
+    #[test]
+    fn counter_bank_semantics(
+        feeds in prop::collection::vec((0usize..7, 0u64..1u64 << 20), 1..50)
+    ) {
+        let mut bank = CounterBank::new();
+        bank.configure(CounterId::Ctr0, HwEvent::DtlbMisses, Ring::System).unwrap();
+        let mut expected = 0u64;
+        for &(event_idx, n) in &feeds {
+            let event = HwEvent::ALL[event_idx];
+            let mut ev = EventCounts::ZERO;
+            ev.add(event, n);
+            bank.on_work(n, &ev);
+            if event == HwEvent::DtlbMisses {
+                expected = (expected + n) & ((1 << 40) - 1);
+            }
+        }
+        prop_assert_eq!(bank.read_event(CounterId::Ctr0, Ring::System).unwrap(), expected);
+        prop_assert!(bank.read_event(CounterId::Ctr0, Ring::User).is_err());
+        prop_assert!(bank.read_event(CounterId::Ctr1, Ring::System).is_err());
+    }
+
+    /// TLB: a touch never reports more misses than the working set, and a
+    /// second identical touch within capacity reports none.
+    #[test]
+    fn tlb_touch_bounds(touches in prop::collection::vec(0u32..128, 1..40)) {
+        let mut pair = TlbPair::pentium();
+        for &ws in &touches {
+            let (im, dm) = pair.touch(ws, ws);
+            prop_assert!(im <= ws && dm <= ws);
+        }
+    }
+
+    /// Disk: sequential continuation is never slower than a random request
+    /// of the same size, and service time grows with transfer length.
+    #[test]
+    fn disk_service_ordering(len in 1u64..128, gap in 1u64..1_000) {
+        let mut d1 = Disk::fujitsu_m1606();
+        d1.service(DiskRequest { start_block: 0, block_count: len });
+        let sequential = d1.service(DiskRequest { start_block: len, block_count: len });
+        let mut d2 = Disk::fujitsu_m1606();
+        d2.service(DiskRequest { start_block: 0, block_count: len });
+        let random = d2.service(DiskRequest { start_block: len + gap, block_count: len });
+        prop_assert!(sequential < random);
+
+        let mut d3 = Disk::fujitsu_m1606();
+        let small = d3.service(DiskRequest { start_block: 10_000, block_count: len });
+        let mut d4 = Disk::fujitsu_m1606();
+        let large = d4.service(DiskRequest { start_block: 10_000, block_count: len + 1 });
+        prop_assert!(small < large);
+    }
+
+    /// Time conversions round-trip within one cycle.
+    #[test]
+    fn time_conversion_roundtrip(ms in 0u64..1_000_000) {
+        let f = CpuFreq::PENTIUM_100;
+        let d = f.ms(ms);
+        prop_assert!((f.to_ms(d) - ms as f64).abs() < 1e-6);
+        let d2 = f.ms_f64(f.to_ms(d));
+        prop_assert!(d2.cycles().abs_diff(d.cycles()) <= 1);
+    }
+}

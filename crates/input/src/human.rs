@@ -1,0 +1,184 @@
+//! The stochastic human typist.
+//!
+//! §5.4 compares Microsoft-Test-driven input against hand-generated input
+//! from a real typist. This model generates reproducible "hand" input:
+//! keystroke intervals follow a log-normal distribution floored at the
+//! paper's quoted human limit — *"even the best typists require
+//! approximately 120 ms per keystroke"* (§2, citing Shneiderman) — with
+//! longer think pauses at word boundaries and occasional typos corrected
+//! with backspace.
+
+use latlab_des::{CpuFreq, SimDuration, SimRng};
+use latlab_os::KeySym;
+
+use crate::script::InputScript;
+
+/// Typist parameters.
+///
+/// # Examples
+///
+/// ```
+/// use latlab_input::HumanModel;
+///
+/// let script = HumanModel::with_wpm(100.0, 42).type_text("hello");
+/// assert!(script.len() >= 5); // typos may add corrections
+/// // The same seed reproduces the same session.
+/// assert_eq!(script, HumanModel::with_wpm(100.0, 42).type_text("hello"));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct HumanModel {
+    /// Typing speed in words per minute (a word is 5 keystrokes).
+    pub wpm: f64,
+    /// Log-normal sigma of inter-keystroke jitter.
+    pub jitter_sigma: f64,
+    /// Hard floor on inter-keystroke interval, ms.
+    pub min_interval_ms: f64,
+    /// Probability of a think pause at a word boundary.
+    pub think_pause_prob: f64,
+    /// Mean think-pause length, ms (exponential-ish via log-normal).
+    pub think_pause_ms: f64,
+    /// Probability a keystroke is mistyped (then corrected).
+    pub typo_prob: f64,
+    /// RNG seed — the same seed reproduces the same session, like the
+    /// paper's repeated same-typist trials.
+    pub seed: u64,
+}
+
+impl Default for HumanModel {
+    fn default() -> Self {
+        HumanModel {
+            wpm: 100.0,
+            jitter_sigma: 0.35,
+            min_interval_ms: 120.0,
+            think_pause_prob: 0.08,
+            think_pause_ms: 900.0,
+            typo_prob: 0.015,
+            seed: 0x1996_05d1,
+        }
+    }
+}
+
+impl HumanModel {
+    /// A typist at the given speed with a fixed seed.
+    pub fn with_wpm(wpm: f64, seed: u64) -> Self {
+        HumanModel {
+            wpm,
+            seed,
+            ..HumanModel::default()
+        }
+    }
+
+    /// Mean inter-keystroke interval in milliseconds.
+    pub fn mean_interval_ms(&self) -> f64 {
+        // wpm words/min × 5 chars/word → chars per minute.
+        60_000.0 / (self.wpm * 5.0)
+    }
+
+    /// Generates the script for typing `text` (newlines become Enter).
+    pub fn type_text(&self, text: &str) -> InputScript {
+        let freq = CpuFreq::PENTIUM_100;
+        let mut rng = SimRng::new(self.seed);
+        let mean = self.mean_interval_ms();
+        // Log-normal with the requested mean: mu = ln(mean) - sigma²/2.
+        let mu = mean.ln() - self.jitter_sigma * self.jitter_sigma / 2.0;
+        let mut script = InputScript::new();
+        let interval = |rng: &mut SimRng| -> SimDuration {
+            let ms = rng
+                .gen_lognormal(mu, self.jitter_sigma)
+                .max(self.min_interval_ms);
+            freq.ms_f64(ms)
+        };
+        for c in text.chars() {
+            let key = match c {
+                '\n' => KeySym::Enter,
+                c => KeySym::Char(c),
+            };
+            let mut pause = interval(&mut rng);
+            // Think pause before starting a new word.
+            if c == ' ' && rng.gen_bool(self.think_pause_prob) {
+                pause += freq.ms_f64(rng.gen_lognormal(self.think_pause_ms.ln() - 0.125, 0.5));
+            }
+            // Typo: wrong neighbouring key, then a correction.
+            if matches!(key, KeySym::Char(ch) if ch.is_ascii_alphabetic())
+                && rng.gen_bool(self.typo_prob)
+            {
+                let wrong = KeySym::Char('x');
+                script = script
+                    .key(pause, wrong)
+                    .key(interval(&mut rng), KeySym::Backspace);
+                pause = interval(&mut rng);
+            }
+            script = script.key(pause, key);
+        }
+        script
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::CpuFreq;
+    use latlab_os::InputKind;
+
+    const F: CpuFreq = CpuFreq::PENTIUM_100;
+
+    #[test]
+    fn respects_human_speed_floor() {
+        let model = HumanModel::with_wpm(200.0, 7);
+        let script = model.type_text("the quick brown fox jumps over the lazy dog");
+        for step in script.steps() {
+            assert!(
+                F.to_ms(step.pause) >= 119.9,
+                "interval {} ms under the 120 ms floor",
+                F.to_ms(step.pause)
+            );
+        }
+    }
+
+    #[test]
+    fn mean_interval_tracks_wpm() {
+        let model = HumanModel::with_wpm(100.0, 42);
+        assert!((model.mean_interval_ms() - 120.0).abs() < 1e-9);
+        let text: String = std::iter::repeat_n('a', 400).collect();
+        let script = model.type_text(&text);
+        let mean_ms = F.to_ms(script.duration()) / script.len() as f64;
+        // Floored log-normal: mean should be near (slightly above) 120 ms.
+        assert!(
+            (115.0..190.0).contains(&mean_ms),
+            "mean interval {mean_ms} ms"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = HumanModel::with_wpm(90.0, 5).type_text("hello world");
+        let b = HumanModel::with_wpm(90.0, 5).type_text("hello world");
+        let c = HumanModel::with_wpm(90.0, 6).type_text("hello world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn typos_inject_backspaces() {
+        let model = HumanModel {
+            typo_prob: 0.5,
+            ..HumanModel::with_wpm(100.0, 11)
+        };
+        let script = model.type_text("abcdefghijklmnopqrstuvwxyz");
+        let backspaces = script
+            .steps()
+            .iter()
+            .filter(|s| s.kind == InputKind::Key(KeySym::Backspace))
+            .count();
+        assert!(backspaces > 3, "expected corrections, saw {backspaces}");
+    }
+
+    #[test]
+    fn newlines_become_enter() {
+        let script = HumanModel::default().type_text("a\nb");
+        assert!(script
+            .steps()
+            .iter()
+            .any(|s| s.kind == InputKind::Key(KeySym::Enter)));
+    }
+}

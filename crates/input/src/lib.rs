@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Workload generation for the latency-measurement reproduction.
+//!
+//! Two input sources drive the simulated machine, mirroring §3 and §5.4 of
+//! the paper:
+//!
+//! * [`TestDriver`] — the Microsoft Visual Test analog: precisely timed
+//!   scripted input that posts a `WM_QUEUESYNC` after every event (the
+//!   artifact the paper discovered altering application behaviour).
+//! * [`HumanModel`] — a reproducible stochastic typist honouring the 120 ms
+//!   per-keystroke human floor, with think pauses and corrected typos.
+//!
+//! [`workloads`] packages the paper's task scenarios (Notepad, Word,
+//! PowerPoint, simple-event microbenchmarks) as ready-made scripts.
+
+pub mod human;
+pub mod script;
+pub mod test_driver;
+pub mod workloads;
+
+pub use human::HumanModel;
+pub use script::{InputScript, ScriptStep};
+pub use test_driver::TestDriver;

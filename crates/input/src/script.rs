@@ -1,0 +1,177 @@
+//! Declarative input scripts.
+//!
+//! A script is a timed sequence of user inputs. It can be produced by hand
+//! (microbenchmarks), by the workload library (task benchmarks), or by the
+//! stochastic human model (§5.4's hand-generated input), and is delivered
+//! to a machine by a driver (`TestDriver` for the Microsoft Test analog).
+
+use latlab_des::SimDuration;
+use latlab_os::{InputKind, KeySym, MouseButton};
+use serde::{Deserialize, Serialize};
+
+/// One scripted input with the pause preceding it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptStep {
+    /// Delay since the previous step (or since script start).
+    pub pause: SimDuration,
+    /// The input to deliver.
+    pub kind: InputKind,
+}
+
+/// A timed input sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputScript {
+    steps: Vec<ScriptStep>,
+}
+
+impl InputScript {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        InputScript::default()
+    }
+
+    /// Appends a step.
+    pub fn step(mut self, pause: SimDuration, kind: InputKind) -> Self {
+        self.steps.push(ScriptStep { pause, kind });
+        self
+    }
+
+    /// Appends a keystroke after `pause`.
+    pub fn key(self, pause: SimDuration, key: KeySym) -> Self {
+        self.step(pause, InputKind::Key(key))
+    }
+
+    /// Appends a full mouse click (down, then up after `press`).
+    pub fn click(self, pause: SimDuration, press: SimDuration) -> Self {
+        self.step(pause, InputKind::MouseDown(MouseButton::Left))
+            .step(press, InputKind::MouseUp(MouseButton::Left))
+    }
+
+    /// Appends the characters of `text` with a fixed `pacing` between
+    /// keystrokes (newlines become Enter).
+    pub fn text(mut self, pacing: SimDuration, text: &str) -> Self {
+        for c in text.chars() {
+            let key = match c {
+                '\n' => KeySym::Enter,
+                c => KeySym::Char(c),
+            };
+            self.steps.push(ScriptStep {
+                pause: pacing,
+                kind: InputKind::Key(key),
+            });
+        }
+        self
+    }
+
+    /// Appends `count` repetitions of a key with fixed pacing.
+    pub fn repeat_key(mut self, pacing: SimDuration, key: KeySym, count: u32) -> Self {
+        for _ in 0..count {
+            self.steps.push(ScriptStep {
+                pause: pacing,
+                kind: InputKind::Key(key),
+            });
+        }
+        self
+    }
+
+    /// Concatenates another script.
+    pub fn then(mut self, other: InputScript) -> Self {
+        self.steps.extend(other.steps);
+        self
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[ScriptStep] {
+        &self.steps
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total scripted duration (sum of pauses).
+    pub fn duration(&self) -> SimDuration {
+        self.steps
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.pause)
+    }
+
+    /// Count of keystroke steps.
+    pub fn key_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.kind, InputKind::Key(_)))
+            .count()
+    }
+
+    /// Serializes the script to JSON (a recorded session that replays
+    /// bit-identically — the repeatability property the paper relied on
+    /// Microsoft Test for).
+    ///
+    /// # Panics
+    ///
+    /// Serialization of plain data cannot fail; panics only on allocation
+    /// failure inside serde.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("InputScript serializes")
+    }
+
+    /// Restores a script from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::CpuFreq;
+
+    const F: CpuFreq = CpuFreq::PENTIUM_100;
+
+    #[test]
+    fn builder_composes() {
+        let s = InputScript::new()
+            .key(F.ms(100), KeySym::Char('a'))
+            .click(F.ms(50), F.ms(80))
+            .text(F.ms(120), "hi\n");
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.key_count(), 4);
+        assert_eq!(s.duration(), F.ms(100 + 50 + 80 + 3 * 120));
+        assert_eq!(
+            s.steps()[5].kind,
+            InputKind::Key(KeySym::Enter),
+            "newline becomes Enter"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = InputScript::new()
+            .text(F.ms(120), "hello\n")
+            .click(F.ms(50), F.ms(90))
+            .repeat_key(F.ms(10), KeySym::PageDown, 4);
+        let restored = InputScript::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, restored);
+        assert!(InputScript::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn repeat_and_then() {
+        let a = InputScript::new().repeat_key(F.ms(10), KeySym::PageDown, 3);
+        let b = InputScript::new().key(F.ms(5), KeySym::Escape);
+        let s = a.then(b);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! The Microsoft Visual Test analog.
+//!
+//! §3: *"MS Test provides a system for simulating user input events on a
+//! Windows system in a repeatable manner. Test scripts can specify the
+//! pauses between input events, generating minimal runtime overhead.
+//! However, in some cases, the way that Test drives applications alters the
+//! behavior of those applications."*
+//!
+//! The altering mechanism the paper discovered (§5.4, Figure 7 caption) is
+//! journal-playback synchronization: *"Test generates a WM_QUEUESYNC
+//! message after every keystroke."* The driver reproduces it: each delivered
+//! input is followed by a `WM_QUEUESYNC` post to the focused thread.
+//! Disabling the artifact (`queuesync: false`) models ideal scripted input —
+//! the hand-vs-Test comparisons of §5.4 toggle exactly this.
+
+use latlab_des::{CpuFreq, SimDuration, SimTime};
+use latlab_os::{Machine, Message};
+
+use crate::script::InputScript;
+
+/// The scripted-input driver.
+#[derive(Clone, Copy, Debug)]
+pub struct TestDriver {
+    /// Post `WM_QUEUESYNC` after every input (the real Test behaviour).
+    pub queuesync: bool,
+    /// Delay between an input and its `WM_QUEUESYNC`.
+    pub queuesync_delay: SimDuration,
+}
+
+impl TestDriver {
+    /// The faithful Microsoft Test configuration.
+    pub fn ms_test() -> Self {
+        TestDriver {
+            queuesync: true,
+            queuesync_delay: CpuFreq::PENTIUM_100.us(500),
+        }
+    }
+
+    /// An idealized driver without the journal-sync artifact (models a
+    /// human source of the same timed input).
+    pub fn clean() -> Self {
+        TestDriver {
+            queuesync: false,
+            queuesync_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Schedules a script on a machine starting at `start`; returns the
+    /// input ids in delivery order.
+    pub fn schedule(
+        &self,
+        machine: &mut Machine,
+        start: SimTime,
+        script: &InputScript,
+    ) -> Vec<u64> {
+        let mut at = start;
+        let mut ids = Vec::with_capacity(script.len());
+        for step in script.steps() {
+            at += step.pause;
+            ids.push(machine.schedule_input_at(at, step.kind));
+            if self.queuesync {
+                machine.schedule_post_to_focus(at + self.queuesync_delay, Message::QueueSync);
+            }
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_os::{
+        Action, ApiCall, ApiReply, ComputeSpec, KeySym, OsProfile, ProcessSpec, Program, StepCtx,
+    };
+
+    struct Sink {
+        waiting: bool,
+    }
+
+    impl Program for Sink {
+        fn step(&mut self, ctx: &mut StepCtx) -> Action {
+            if self.waiting {
+                self.waiting = false;
+                if let ApiReply::Message(Some(_)) = ctx.reply {
+                    return Action::Compute(ComputeSpec::app(50_000));
+                }
+            }
+            self.waiting = true;
+            Action::Call(ApiCall::GetMessage)
+        }
+    }
+
+    const F: CpuFreq = CpuFreq::PENTIUM_100;
+
+    fn run(driver: TestDriver) -> (usize, usize) {
+        let mut m = Machine::new(OsProfile::Nt40.params());
+        let tid = m.spawn(ProcessSpec::app("sink"), Box::new(Sink { waiting: false }));
+        m.set_focus(tid);
+        let script = InputScript::new().text(F.ms(150), "abc");
+        let ids = driver.schedule(&mut m, SimTime::ZERO + F.ms(100), &script);
+        m.run_until(SimTime::ZERO + F.secs(2));
+        let retrieved = m
+            .apilog()
+            .for_thread(tid)
+            .filter(|e| e.retrieved().is_some())
+            .count();
+        (ids.len(), retrieved)
+    }
+
+    #[test]
+    fn ms_test_mode_doubles_message_count() {
+        let (inputs, retrieved) = run(TestDriver::ms_test());
+        assert_eq!(inputs, 3);
+        assert_eq!(retrieved, 6, "each input followed by a WM_QUEUESYNC");
+    }
+
+    #[test]
+    fn clean_mode_delivers_inputs_only() {
+        let (inputs, retrieved) = run(TestDriver::clean());
+        assert_eq!(inputs, 3);
+        assert_eq!(retrieved, 3);
+    }
+
+    #[test]
+    fn ids_are_in_delivery_order() {
+        let mut m = Machine::new(OsProfile::Nt40.params());
+        let tid = m.spawn(ProcessSpec::app("sink"), Box::new(Sink { waiting: false }));
+        m.set_focus(tid);
+        let script = InputScript::new()
+            .key(F.ms(10), KeySym::Char('a'))
+            .key(F.ms(10), KeySym::Char('b'));
+        let ids = TestDriver::clean().schedule(&mut m, SimTime::ZERO + F.ms(1), &script);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

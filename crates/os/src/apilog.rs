@@ -1,0 +1,158 @@
+//! The message-API interception log.
+//!
+//! §2.4: *"Win32 applications use the PeekMessage() and GetMessage() calls to
+//! examine and retrieve events from the message queue. We can monitor use of
+//! these API entries by intercepting the USER32.DLL calls."*
+//!
+//! The simulated kernel produces this log as a side effect of servicing the
+//! calls — it is one of the three observables available to the measurement
+//! layer (`latlab-core`), the others being idle-loop trace records and
+//! hardware-counter reads.
+
+use latlab_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::msgq::Message;
+use crate::program::ThreadId;
+
+/// Which API entry was observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ApiEntry {
+    /// `GetMessage()` — blocks when the queue is empty.
+    GetMessage,
+    /// `PeekMessage()` — returns immediately.
+    PeekMessage,
+}
+
+/// The observed outcome of a call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ApiOutcome {
+    /// The call retrieved a message.
+    Retrieved(Message),
+    /// `PeekMessage` found the queue empty.
+    Empty,
+    /// `GetMessage` found the queue empty and blocked.
+    Blocked,
+}
+
+/// One intercepted call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ApiLogEntry {
+    /// When the call's outcome was decided.
+    pub at: SimTime,
+    /// The calling thread.
+    pub thread: ThreadId,
+    /// Which entry point.
+    pub entry: ApiEntry,
+    /// What happened.
+    pub outcome: ApiOutcome,
+    /// Queue length after the call completed.
+    pub queue_len_after: usize,
+}
+
+impl ApiLogEntry {
+    /// True if this entry shows the application caught up with its input
+    /// (empty-queue poll or block) — the boundary the extraction layer uses
+    /// for event completion.
+    pub fn found_queue_empty(&self) -> bool {
+        matches!(self.outcome, ApiOutcome::Empty | ApiOutcome::Blocked)
+    }
+
+    /// The retrieved message, if any.
+    pub fn retrieved(&self) -> Option<Message> {
+        match self.outcome {
+            ApiOutcome::Retrieved(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// The accumulated interception log.
+#[derive(Clone, Debug, Default)]
+pub struct ApiLog {
+    entries: Vec<ApiLogEntry>,
+}
+
+impl ApiLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ApiLog::default()
+    }
+
+    /// Appends an entry (kernel-side).
+    pub fn record(&mut self, entry: ApiLogEntry) {
+        debug_assert!(
+            self.entries.last().is_none_or(|e| e.at <= entry.at),
+            "API log must be time-ordered"
+        );
+        self.entries.push(entry);
+    }
+
+    /// All entries in time order.
+    pub fn entries(&self) -> &[ApiLogEntry] {
+        &self.entries
+    }
+
+    /// Entries for one thread, in time order.
+    pub fn for_thread(&self, thread: ThreadId) -> impl Iterator<Item = &ApiLogEntry> {
+        self.entries.iter().filter(move |e| e.thread == thread)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msgq::{InputKind, KeySym};
+
+    fn entry(at: u64, thread: u32, outcome: ApiOutcome) -> ApiLogEntry {
+        ApiLogEntry {
+            at: SimTime::from_cycles(at),
+            thread: ThreadId(thread),
+            entry: ApiEntry::GetMessage,
+            outcome,
+            queue_len_after: 0,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = ApiLog::new();
+        log.record(entry(10, 1, ApiOutcome::Blocked));
+        log.record(entry(20, 1, ApiOutcome::Empty));
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn per_thread_filter() {
+        let mut log = ApiLog::new();
+        log.record(entry(10, 1, ApiOutcome::Blocked));
+        log.record(entry(20, 2, ApiOutcome::Blocked));
+        log.record(entry(30, 1, ApiOutcome::Empty));
+        assert_eq!(log.for_thread(ThreadId(1)).count(), 2);
+        assert_eq!(log.for_thread(ThreadId(2)).count(), 1);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let m = Message::Input {
+            id: 3,
+            kind: InputKind::Key(KeySym::Enter),
+        };
+        let e = entry(5, 1, ApiOutcome::Retrieved(m));
+        assert_eq!(e.retrieved(), Some(m));
+        assert!(!e.found_queue_empty());
+        assert!(entry(6, 1, ApiOutcome::Empty).found_queue_empty());
+        assert!(entry(7, 1, ApiOutcome::Blocked).found_queue_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! The buffer cache: an LRU cache of disk blocks.
+//!
+//! §5.2: *"The effects of the file system cache are most clearly observed in
+//! the latency for starting the second OLE edit, as more of the pages for
+//! the embedded Excel object editor become resident in the buffer cache."*
+//! Table 1's progressive OLE-edit speedup is driven by this cache.
+
+use std::collections::HashMap;
+
+/// A cached block: file-relative addressing keeps the cache independent of
+/// disk layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BlockKey {
+    /// Owning file.
+    pub file: u32,
+    /// Block index within the file.
+    pub block: u64,
+}
+
+/// An LRU block cache with hit/miss accounting.
+///
+/// Implemented as a hash map into an intrusive doubly-linked list of slots;
+/// all operations are O(1).
+#[derive(Clone, Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    map: HashMap<BlockKey, usize>,
+    slots: Vec<Slot>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    key: BlockKey,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl BufferCache {
+    /// Creates a cache holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        BufferCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a block, counting a hit or miss and refreshing recency on a
+    /// hit.
+    pub fn access(&mut self, key: BlockKey) -> bool {
+        if let Some(&slot) = self.map.get(&key) {
+            self.hits += 1;
+            self.unlink(slot);
+            self.push_front(slot);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Checks residency without affecting recency or statistics.
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Inserts a block as most-recently-used, evicting the LRU block if
+    /// full. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: BlockKey) -> Option<BlockKey> {
+        if let Some(&slot) = self.map.get(&key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            let old = self.slots[lru].key;
+            self.unlink(lru);
+            self.map.remove(&old);
+            self.free.push(lru);
+            evicted = Some(old);
+        }
+        let slot = if let Some(s) = self.free.pop() {
+            self.slots[s].key = key;
+            s
+        } else {
+            self.slots.push(Slot {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        evicted
+    }
+
+    /// Total cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops everything (used for cold-start scenarios).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u64) -> BlockKey {
+        BlockKey { file: 0, block: b }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = BufferCache::new(4);
+        assert!(!c.access(key(1)));
+        c.insert(key(1));
+        assert!(c.access(key(1)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = BufferCache::new(2);
+        c.insert(key(1));
+        c.insert(key(2));
+        c.access(key(1)); // 1 now MRU, 2 is LRU
+        let evicted = c.insert(key(3));
+        assert_eq!(evicted, Some(key(2)));
+        assert!(c.contains(key(1)));
+        assert!(c.contains(key(3)));
+        assert!(!c.contains(key(2)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = BufferCache::new(2);
+        c.insert(key(1));
+        c.insert(key(2));
+        assert_eq!(c.insert(key(1)), None); // refresh, no eviction
+        assert_eq!(c.insert(key(3)), Some(key(2)));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = BufferCache::new(3);
+        for b in 0..100 {
+            c.insert(key(b));
+        }
+        assert_eq!(c.len(), 3);
+        for b in 97..100 {
+            assert!(c.contains(key(b)));
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = BufferCache::new(2);
+        c.insert(key(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(key(1)));
+        // Reusable after clear.
+        c.insert(key(5));
+        assert!(c.contains(key(5)));
+    }
+
+    #[test]
+    fn distinct_files_do_not_collide() {
+        let mut c = BufferCache::new(4);
+        c.insert(BlockKey { file: 0, block: 7 });
+        assert!(!c.contains(BlockKey { file: 1, block: 7 }));
+    }
+
+    /// Reference-model check: the intrusive-list LRU must behave exactly
+    /// like a naive Vec-based LRU over a long random-ish operation sequence.
+    #[test]
+    fn matches_reference_lru() {
+        let capacity = 8;
+        let mut fast = BufferCache::new(capacity);
+        let mut slow: Vec<BlockKey> = Vec::new(); // front = MRU
+        let mut state = 12345u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (state >> 33) % 20;
+            let k = key(b);
+            if state.is_multiple_of(3) {
+                let fast_hit = fast.access(k);
+                let slow_hit = slow.contains(&k);
+                assert_eq!(fast_hit, slow_hit);
+                if slow_hit {
+                    slow.retain(|&x| x != k);
+                    slow.insert(0, k);
+                }
+            } else {
+                fast.insert(k);
+                slow.retain(|&x| x != k);
+                slow.insert(0, k);
+                slow.truncate(capacity);
+            }
+        }
+        assert_eq!(fast.len(), slow.len());
+        for k in slow {
+            assert!(fast.contains(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = BufferCache::new(0);
+    }
+}

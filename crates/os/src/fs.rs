@@ -1,0 +1,249 @@
+//! Simulated file system: named files mapped to disk block extents.
+//!
+//! Layout matters only through timing: a file is a sequence of extents
+//! (contiguous block runs) on the simulated disk; reading within one extent
+//! is sequential, crossing extents pays a seek. Files are created with a
+//! configurable fragmentation so that e.g. a 530 KB PowerPoint document is
+//! not one perfectly-sequential read.
+
+use latlab_hw::disk::BLOCK_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// A file handle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// A contiguous run of disk blocks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BlockRun {
+    /// First disk block.
+    pub start: u64,
+    /// Number of blocks.
+    pub count: u64,
+}
+
+/// One file's metadata.
+#[derive(Clone, Debug)]
+struct File {
+    name: &'static str,
+    size: u64,
+    extents: Vec<BlockRun>,
+}
+
+/// The simulated file system.
+#[derive(Clone, Debug, Default)]
+pub struct Fs {
+    files: Vec<File>,
+    next_block: u64,
+}
+
+/// Gap left between extents of a fragmented file, in blocks.
+const FRAGMENT_GAP: u64 = 64;
+
+impl Fs {
+    /// Creates an empty file system.
+    pub fn new() -> Self {
+        Fs::default()
+    }
+
+    /// Creates a file of `size` bytes split into extents of at most
+    /// `frag_blocks` blocks each, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or `frag_blocks` is zero.
+    pub fn create(&mut self, name: &'static str, size: u64, frag_blocks: u64) -> FileId {
+        assert!(size > 0, "file size must be non-zero");
+        assert!(frag_blocks > 0, "fragment size must be non-zero");
+        let total_blocks = size.div_ceil(BLOCK_SIZE);
+        let mut extents = Vec::new();
+        let mut remaining = total_blocks;
+        while remaining > 0 {
+            let run = remaining.min(frag_blocks);
+            extents.push(BlockRun {
+                start: self.next_block,
+                count: run,
+            });
+            self.next_block += run + FRAGMENT_GAP;
+            remaining -= run;
+        }
+        let id = FileId(self.files.len() as u32);
+        self.files.push(File {
+            name,
+            size,
+            extents,
+        });
+        id
+    }
+
+    /// Creates a file in one contiguous extent.
+    pub fn create_contiguous(&mut self, name: &'static str, size: u64) -> FileId {
+        self.create(name, size, u64::MAX / BLOCK_SIZE)
+    }
+
+    /// Looks a file up by name.
+    pub fn lookup(&self, name: &str) -> Option<FileId> {
+        self.files
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FileId(i as u32))
+    }
+
+    /// Returns the file's size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid handle.
+    pub fn size(&self, id: FileId) -> u64 {
+        self.file(id).size
+    }
+
+    /// Returns the file's name.
+    pub fn name(&self, id: FileId) -> &'static str {
+        self.file(id).name
+    }
+
+    /// Returns the number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Maps a byte range to `(file_block_index, disk_block)` pairs grouped
+    /// into disk-contiguous runs.
+    ///
+    /// The returned runs are `(first_file_block, disk_run)`; consecutive
+    /// file blocks that are disk-contiguous share a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid handle or a range extending past end-of-file.
+    pub fn map_range(&self, id: FileId, offset: u64, len: u64) -> Vec<(u64, BlockRun)> {
+        let f = self.file(id);
+        assert!(len > 0, "cannot map an empty range");
+        assert!(
+            offset + len <= f.size.div_ceil(BLOCK_SIZE) * BLOCK_SIZE,
+            "range [{offset}, {}) beyond file {} of size {}",
+            offset + len,
+            f.name,
+            f.size
+        );
+        let first_block = offset / BLOCK_SIZE;
+        let last_block = (offset + len - 1) / BLOCK_SIZE;
+        let mut runs: Vec<(u64, BlockRun)> = Vec::new();
+        for fb in first_block..=last_block {
+            let db = self.disk_block(f, fb);
+            match runs.last_mut() {
+                Some((_, run)) if run.start + run.count == db => run.count += 1,
+                _ => runs.push((
+                    fb,
+                    BlockRun {
+                        start: db,
+                        count: 1,
+                    },
+                )),
+            }
+        }
+        runs
+    }
+
+    /// Translates a file block index to a disk block.
+    fn disk_block(&self, f: &File, file_block: u64) -> u64 {
+        let mut remaining = file_block;
+        for ext in &f.extents {
+            if remaining < ext.count {
+                return ext.start + remaining;
+            }
+            remaining -= ext.count;
+        }
+        panic!("file block {file_block} beyond extents of {}", f.name);
+    }
+
+    fn file(&self, id: FileId) -> &File {
+        self.files
+            .get(id.0 as usize)
+            .unwrap_or_else(|| panic!("invalid file handle {id:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_file_maps_to_one_run() {
+        let mut fs = Fs::new();
+        let f = fs.create_contiguous("a.dat", 10 * BLOCK_SIZE);
+        let runs = fs.map_range(f, 0, 10 * BLOCK_SIZE);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].1.count, 10);
+    }
+
+    #[test]
+    fn fragmented_file_splits_runs() {
+        let mut fs = Fs::new();
+        let f = fs.create("b.dat", 8 * BLOCK_SIZE, 3);
+        let runs = fs.map_range(f, 0, 8 * BLOCK_SIZE);
+        assert_eq!(
+            runs.iter().map(|(_, r)| r.count).collect::<Vec<_>>(),
+            vec![3, 3, 2]
+        );
+        // Extents are separated by the fragmentation gap.
+        assert_eq!(runs[1].1.start, runs[0].1.start + 3 + FRAGMENT_GAP);
+    }
+
+    #[test]
+    fn partial_range_maps_correct_blocks() {
+        let mut fs = Fs::new();
+        let f = fs.create_contiguous("c.dat", 100 * BLOCK_SIZE);
+        let runs = fs.map_range(f, 5 * BLOCK_SIZE + 100, BLOCK_SIZE);
+        // Touches file blocks 5 and 6.
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].0, 5);
+        assert_eq!(runs[0].1.count, 2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut fs = Fs::new();
+        let a = fs.create_contiguous("x", BLOCK_SIZE);
+        let b = fs.create_contiguous("y", BLOCK_SIZE);
+        assert_eq!(fs.lookup("x"), Some(a));
+        assert_eq!(fs.lookup("y"), Some(b));
+        assert_eq!(fs.lookup("z"), None);
+        assert_eq!(fs.file_count(), 2);
+        assert_eq!(fs.name(a), "x");
+    }
+
+    #[test]
+    fn files_do_not_overlap() {
+        let mut fs = Fs::new();
+        let a = fs.create("a", 10 * BLOCK_SIZE, 4);
+        let b = fs.create("b", 10 * BLOCK_SIZE, 4);
+        let mut blocks = std::collections::HashSet::new();
+        for f in [a, b] {
+            for (_, run) in fs.map_range(f, 0, 10 * BLOCK_SIZE) {
+                for d in run.start..run.start + run.count {
+                    assert!(blocks.insert(d), "block {d} allocated twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_rounds_into_last_block() {
+        let mut fs = Fs::new();
+        let f = fs.create_contiguous("odd", BLOCK_SIZE + 1);
+        assert_eq!(fs.size(f), BLOCK_SIZE + 1);
+        // Reading the whole (2-block) allocation works.
+        let runs = fs.map_range(f, 0, BLOCK_SIZE + 1);
+        assert_eq!(runs[0].1.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond file")]
+    fn oversized_range_rejected() {
+        let mut fs = Fs::new();
+        let f = fs.create_contiguous("s", BLOCK_SIZE);
+        let _ = fs.map_range(f, 0, 3 * BLOCK_SIZE);
+    }
+}

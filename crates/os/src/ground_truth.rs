@@ -1,0 +1,242 @@
+//! Simulator ground truth: true event spans and true CPU busy intervals.
+//!
+//! The paper had no ground truth — that is the entire reason its idle-loop
+//! methodology exists. The simulator *does*, and uses it for exactly one
+//! purpose: validating the methodology (Figure 1 compares idle-loop-measured
+//! latency against what actually happened) and test assertions about
+//! measurement accuracy. Measurement code in `latlab-core` never reads this
+//! module's data.
+
+use latlab_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::msgq::InputKind;
+use crate::program::ThreadId;
+
+/// The true life cycle of one user input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GtEvent {
+    /// Simulator-assigned input id.
+    pub input_id: u64,
+    /// What the user did.
+    pub kind: InputKind,
+    /// When the hardware input arrived (interrupt raised).
+    pub arrived: SimTime,
+    /// When the corresponding message entered the application queue.
+    pub enqueued: Option<SimTime>,
+    /// When the application retrieved the message.
+    pub retrieved: Option<SimTime>,
+    /// When handling truly completed (the application asked for the next
+    /// message after finishing, or explicitly marked completion).
+    pub completed: Option<SimTime>,
+    /// The thread that handled it.
+    pub handler: Option<ThreadId>,
+}
+
+impl GtEvent {
+    /// True event-handling latency: from hardware arrival to completion.
+    ///
+    /// This is the quantity the idle-loop methodology estimates; the
+    /// conventional in-application measurement (§2.3's `getchar()`
+    /// timestamps) instead spans `retrieved → completion-of-echo` and misses
+    /// the interrupt/dispatch/reschedule prefix.
+    pub fn true_latency(&self) -> Option<SimDuration> {
+        self.completed.map(|c| c.since(self.arrived))
+    }
+
+    /// The portion of latency spent before the application saw the message
+    /// (interrupt handling, input dispatch, scheduling).
+    pub fn pre_application(&self) -> Option<SimDuration> {
+        self.retrieved.map(|r| r.since(self.arrived))
+    }
+}
+
+/// Collected ground truth for a run.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    events: Vec<GtEvent>,
+    labels: Vec<(SimTime, &'static str)>,
+    busy: Vec<(SimTime, SimTime)>,
+}
+
+impl GroundTruth {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Registers an input at hardware-arrival time. Ids must be registered
+    /// in increasing order.
+    pub fn on_arrival(&mut self, input_id: u64, kind: InputKind, at: SimTime) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| e.input_id < input_id),
+            "input ids must be registered in increasing order"
+        );
+        self.events.push(GtEvent {
+            input_id,
+            kind,
+            arrived: at,
+            enqueued: None,
+            retrieved: None,
+            completed: None,
+            handler: None,
+        });
+    }
+
+    /// Records the message-queue insertion of an input.
+    pub fn on_enqueue(&mut self, input_id: u64, at: SimTime) {
+        if let Some(e) = self.find_mut(input_id) {
+            e.enqueued = Some(at);
+        }
+    }
+
+    /// Records retrieval by the handling thread.
+    pub fn on_retrieve(&mut self, input_id: u64, thread: ThreadId, at: SimTime) {
+        if let Some(e) = self.find_mut(input_id) {
+            e.retrieved = Some(at);
+            e.handler = Some(thread);
+        }
+    }
+
+    /// Records true completion (first completion wins; later marks are
+    /// ignored so an explicit `GtMark::EventComplete` followed by the
+    /// eventual queue-empty block does not move the boundary).
+    pub fn on_complete(&mut self, input_id: u64, at: SimTime) {
+        if let Some(e) = self.find_mut(input_id) {
+            if e.completed.is_none() {
+                e.completed = Some(at);
+            }
+        }
+    }
+
+    /// Records a free-form label.
+    pub fn on_label(&mut self, label: &'static str, at: SimTime) {
+        self.labels.push((at, label));
+    }
+
+    /// Appends a CPU-busy interval, merging with the previous interval when
+    /// contiguous.
+    pub fn on_busy(&mut self, start: SimTime, end: SimTime) {
+        if start == end {
+            return;
+        }
+        debug_assert!(start < end, "busy interval must be forward");
+        if let Some(last) = self.busy.last_mut() {
+            debug_assert!(last.1 <= start, "busy intervals must be ordered");
+            if last.1 == start {
+                last.1 = end;
+                return;
+            }
+        }
+        self.busy.push((start, end));
+    }
+
+    /// All recorded events in id order.
+    pub fn events(&self) -> &[GtEvent] {
+        &self.events
+    }
+
+    /// Looks one event up by id.
+    pub fn event(&self, input_id: u64) -> Option<&GtEvent> {
+        self.events
+            .binary_search_by_key(&input_id, |e| e.input_id)
+            .ok()
+            .map(|i| &self.events[i])
+    }
+
+    /// All labels in time order.
+    pub fn labels(&self) -> &[(SimTime, &'static str)] {
+        &self.labels
+    }
+
+    /// Merged CPU-busy intervals in time order.
+    pub fn busy_intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.busy
+    }
+
+    /// Total true CPU busy time within `[from, to)`.
+    pub fn busy_within(&self, from: SimTime, to: SimTime) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for &(s, e) in &self.busy {
+            let s = s.max(from);
+            let e = e.min(to);
+            if s < e {
+                total += e.since(s);
+            }
+        }
+        total
+    }
+
+    fn find_mut(&mut self, input_id: u64) -> Option<&mut GtEvent> {
+        self.events
+            .binary_search_by_key(&input_id, |e| e.input_id)
+            .ok()
+            .map(move |i| &mut self.events[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msgq::KeySym;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::from_cycles(c)
+    }
+
+    #[test]
+    fn lifecycle_and_latency() {
+        let mut gt = GroundTruth::new();
+        gt.on_arrival(1, InputKind::Key(KeySym::Char('a')), t(100));
+        gt.on_enqueue(1, t(150));
+        gt.on_retrieve(1, ThreadId(3), t(200));
+        gt.on_complete(1, t(1_100));
+        let e = gt.event(1).unwrap();
+        assert_eq!(e.true_latency(), Some(SimDuration::from_cycles(1_000)));
+        assert_eq!(e.pre_application(), Some(SimDuration::from_cycles(100)));
+        assert_eq!(e.handler, Some(ThreadId(3)));
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let mut gt = GroundTruth::new();
+        gt.on_arrival(1, InputKind::Key(KeySym::Enter), t(0));
+        gt.on_complete(1, t(500));
+        gt.on_complete(1, t(900));
+        assert_eq!(gt.event(1).unwrap().completed, Some(t(500)));
+    }
+
+    #[test]
+    fn busy_intervals_merge_when_contiguous() {
+        let mut gt = GroundTruth::new();
+        gt.on_busy(t(0), t(10));
+        gt.on_busy(t(10), t(20));
+        gt.on_busy(t(30), t(40));
+        assert_eq!(gt.busy_intervals(), &[(t(0), t(20)), (t(30), t(40))]);
+    }
+
+    #[test]
+    fn busy_within_clips() {
+        let mut gt = GroundTruth::new();
+        gt.on_busy(t(0), t(100));
+        gt.on_busy(t(200), t(300));
+        assert_eq!(
+            gt.busy_within(t(50), t(250)),
+            SimDuration::from_cycles(50 + 50)
+        );
+    }
+
+    #[test]
+    fn zero_length_busy_ignored() {
+        let mut gt = GroundTruth::new();
+        gt.on_busy(t(5), t(5));
+        assert!(gt.busy_intervals().is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_ignored() {
+        let mut gt = GroundTruth::new();
+        gt.on_complete(42, t(1)); // no panic, no effect
+        assert!(gt.event(42).is_none());
+    }
+}

@@ -1,0 +1,1473 @@
+//! The simulated machine: CPU, kernel, scheduler, devices and threads.
+//!
+//! [`Machine`] is a deterministic discrete-event simulation of one personal
+//! computer running one OS personality. Threads execute [`Program`] state
+//! machines; their work is costed by the [`CostEngine`] and charged against
+//! simulated time and the hardware [`CounterBank`]. User input arrives as
+//! scheduled hardware events, flows through the interrupt/dispatch path into
+//! per-thread message queues, and is retrieved via
+//! `GetMessage`/`PeekMessage` — producing the [`ApiLog`] the measurement
+//! layer consumes.
+//!
+//! The machine records ground truth (true event spans, true busy intervals)
+//! for methodology validation only; see [`crate::ground_truth`].
+
+use std::collections::VecDeque;
+
+use latlab_des::{EventQueue, SimDuration, SimTime};
+use latlab_hw::disk::BLOCK_SIZE;
+use latlab_hw::{CounterBank, CounterError, CounterId, Disk, EventCounts, HwEvent, Ring};
+
+use crate::apilog::{ApiEntry, ApiLog, ApiLogEntry, ApiOutcome};
+use crate::bufcache::{BlockKey, BufferCache};
+use crate::fs::{FileId, Fs};
+use crate::ground_truth::GroundTruth;
+use crate::msgq::{InputKind, Message, MessageQueue};
+use crate::profile::OsParams;
+use crate::program::{
+    Action, ApiCall, ApiReply, AppTraits, GtMark, Priority, ProcessSpec, Program, StepCtx, ThreadId,
+};
+use crate::sched::Scheduler;
+use crate::statelog::{IoKind, StateLog, Transition};
+use crate::win32::{CostEngine, WorkKind, WorkPacket};
+
+/// Maximum zero-cost program steps before the kernel declares a runaway.
+const RUNAWAY_STEP_LIMIT: u32 = 10_000;
+
+/// `Message::User` payload delivered to a window losing input focus.
+pub const FOCUS_LOST: u32 = 0xF0C0_0000;
+/// `Message::User` payload delivered to a window gaining input focus.
+pub const FOCUS_GAINED: u32 = 0xF0C0_0001;
+
+/// Hardware/OS events the machine processes.
+#[derive(Debug)]
+enum MachineEvent {
+    /// Periodic clock interrupt.
+    ClockTick,
+    /// User input arriving at the hardware.
+    Input { id: u64, kind: InputKind },
+    /// A synchronous disk request completed.
+    DiskDone { thread: ThreadId, bytes: u64 },
+    /// An asynchronous disk request completed.
+    AsyncIoDone {
+        thread: ThreadId,
+        token: u32,
+        kind: IoKind,
+    },
+    /// OS-internal background activity burst.
+    Background,
+    /// An externally scheduled message post to the focused thread.
+    PostToFocus { msg: Message },
+    /// A scheduled input-focus change (the user alt-tabs between windows).
+    FocusChange { target: ThreadId },
+}
+
+/// Why a thread is not running.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    /// Runnable (queued in the scheduler).
+    Ready,
+    /// Blocked in `GetMessage` on an empty queue.
+    BlockedMsg,
+    /// Blocked on synchronous disk I/O.
+    BlockedIo,
+    /// Sleeping until a clock tick at or after the stored time.
+    Sleeping(SimTime),
+    /// Terminated.
+    Exited,
+}
+
+/// What happens when a thread's current work packets drain.
+#[derive(Clone, Debug)]
+enum Outcome {
+    /// Deliver a reply and keep running.
+    Reply(ApiReply),
+    /// Resolve a `GetMessage` against the queue.
+    GetMessage,
+    /// Resolve a `PeekMessage` against the queue.
+    PeekMessage,
+    /// Begin blocking disk I/O (zero duration means fully cached).
+    Io {
+        disk_time: SimDuration,
+        bytes: u64,
+        kind: IoKind,
+    },
+    /// Launch non-blocking disk I/O; completion posts `Message::IoComplete`.
+    AsyncIo {
+        disk_time: SimDuration,
+        token: u32,
+        kind: IoKind,
+    },
+    /// Block until a clock tick at or after now + the duration.
+    Sleep(SimDuration),
+    /// Post a message.
+    Post { target: ThreadId, msg: Message },
+    /// Arm the periodic timer.
+    SetTimer(SimDuration),
+    /// Disarm the periodic timer.
+    KillTimer,
+    /// Reply with the cycle counter at resolution time.
+    ReadCycles,
+    /// Append to the emission buffer.
+    Emit(u64),
+}
+
+/// How a program's requested call was handled by the kernel.
+enum CallDisposition {
+    /// Costed work was installed as the thread's exec.
+    Work,
+    /// Handled inline at zero cost; step the program again.
+    Inline,
+    /// The thread gave up the CPU (yield).
+    Deschedule,
+}
+
+/// In-flight costed work.
+#[derive(Debug)]
+struct Exec {
+    packets: VecDeque<PacketProgress>,
+    outcome: Outcome,
+}
+
+#[derive(Debug)]
+struct PacketProgress {
+    packet: WorkPacket,
+    done: u64,
+    charged: EventCounts,
+}
+
+impl Exec {
+    fn new(packets: Vec<WorkPacket>, outcome: Outcome) -> Self {
+        Exec {
+            packets: packets
+                .into_iter()
+                .filter(|p| p.cycles > 0)
+                .map(|packet| PacketProgress {
+                    packet,
+                    done: 0,
+                    charged: EventCounts::ZERO,
+                })
+                .collect(),
+            outcome,
+        }
+    }
+}
+
+/// Periodic application timer state.
+#[derive(Clone, Copy, Debug)]
+struct AppTimer {
+    period: SimDuration,
+    next_due: SimTime,
+}
+
+/// One simulated thread.
+struct ThreadSlot {
+    id: ThreadId,
+    name: &'static str,
+    priority: Priority,
+    traits: AppTraits,
+    program: Box<dyn Program>,
+    state: ThreadState,
+    exec: Option<Exec>,
+    pending_reply: ApiReply,
+    msgq: MessageQueue,
+    gdi_pending: u32,
+    quantum_left: u64,
+    cpu_cycles: u64,
+    emitted: Vec<u64>,
+    retrieved_open: Vec<u64>,
+    timer: Option<AppTimer>,
+    zero_exec_streak: u32,
+    /// A message was retrieved since the last block (gates the Windows 95
+    /// post-event lag so it fires after real work, not at boot).
+    handled_since_block: bool,
+    /// The kind of the synchronous I/O the thread is blocked on, if any.
+    pending_sync_io: Option<IoKind>,
+}
+
+/// Summary statistics a run exposes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MachineStats {
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Clock ticks handled.
+    pub clock_ticks: u64,
+    /// User inputs delivered.
+    pub inputs_delivered: u64,
+    /// Messages posted (all kinds).
+    pub messages_posted: u64,
+}
+
+/// The simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use latlab_os::{
+///     Action, ApiCall, ApiReply, ComputeSpec, InputKind, KeySym, Machine, OsProfile,
+///     ProcessSpec, Program, StepCtx,
+/// };
+/// use latlab_des::{CpuFreq, SimTime};
+///
+/// // A minimal message-loop application.
+/// struct Echo(bool);
+/// impl Program for Echo {
+///     fn step(&mut self, ctx: &mut StepCtx) -> Action {
+///         if std::mem::take(&mut self.0) {
+///             if let ApiReply::Message(Some(_)) = ctx.reply {
+///                 return Action::Compute(ComputeSpec::app(100_000));
+///             }
+///         }
+///         self.0 = true;
+///         Action::Call(ApiCall::GetMessage)
+///     }
+/// }
+///
+/// let freq = CpuFreq::PENTIUM_100;
+/// let mut machine = Machine::new(OsProfile::Nt40.params());
+/// let app = machine.spawn(ProcessSpec::app("echo"), Box::new(Echo(false)));
+/// machine.set_focus(app);
+/// let id = machine.schedule_input_at(
+///     SimTime::ZERO + freq.ms(50),
+///     InputKind::Key(KeySym::Char('a')),
+/// );
+/// machine.run_until(SimTime::ZERO + freq.ms(500));
+/// let event = machine.ground_truth().event(id).unwrap();
+/// assert!(event.true_latency().is_some());
+/// ```
+pub struct Machine {
+    params: OsParams,
+    now: SimTime,
+    pending: EventQueue<MachineEvent>,
+    threads: Vec<ThreadSlot>,
+    sched: Scheduler,
+    cost: CostEngine,
+    counters: CounterBank,
+    disk: Disk,
+    fs: Fs,
+    cache: BufferCache,
+    apilog: ApiLog,
+    statelog: StateLog,
+    gt: GroundTruth,
+    focus: Option<ThreadId>,
+    network_sink: Option<ThreadId>,
+    next_input_id: u64,
+    last_input_at: SimTime,
+    next_tick_at: SimTime,
+    tick_index: u64,
+    mouse_spin: bool,
+    deferred_mouse: Vec<(u64, InputKind)>,
+    lag_until: Option<SimTime>,
+    sync_io_inflight: u32,
+    async_io_inflight: u32,
+    inputs_outstanding: u64,
+    last_ran: Option<ThreadId>,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Boots a machine with the given OS personality. The first clock tick
+    /// fires one tick period after power-on.
+    pub fn new(params: OsParams) -> Self {
+        let tick = params.clock_tick;
+        let cache_blocks = params.cache_blocks;
+        let mut pending = EventQueue::new();
+        pending.schedule(SimTime::ZERO + tick, MachineEvent::ClockTick);
+        if let Some(period) = params.background_period {
+            pending.schedule(SimTime::ZERO + period, MachineEvent::Background);
+        }
+        Machine {
+            cost: CostEngine::new(params.clone()),
+            params,
+            now: SimTime::ZERO,
+            pending,
+            threads: Vec::new(),
+            sched: Scheduler::new(),
+            counters: CounterBank::new(),
+            disk: Disk::fujitsu_m1606(),
+            fs: Fs::new(),
+            cache: BufferCache::new(cache_blocks),
+            apilog: ApiLog::new(),
+            statelog: StateLog::new(),
+            gt: GroundTruth::new(),
+            focus: None,
+            network_sink: None,
+            next_input_id: 0,
+            last_input_at: SimTime::ZERO,
+            next_tick_at: SimTime::ZERO + tick,
+            tick_index: 0,
+            mouse_spin: false,
+            deferred_mouse: Vec::new(),
+            lag_until: None,
+            sync_io_inflight: 0,
+            async_io_inflight: 0,
+            inputs_outstanding: 0,
+            last_ran: None,
+            stats: MachineStats::default(),
+        }
+    }
+
+    // --- Configuration ----------------------------------------------------
+
+    /// Registers a file with the simulated file system.
+    pub fn register_file(&mut self, name: &'static str, size: u64, frag_blocks: u64) -> FileId {
+        self.fs.create(name, size, frag_blocks)
+    }
+
+    /// Spawns a thread running `program`; it starts ready.
+    pub fn spawn(&mut self, spec: ProcessSpec, program: Box<dyn Program>) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        let quantum = self.params.quantum().cycles();
+        self.threads.push(ThreadSlot {
+            id,
+            name: spec.name,
+            priority: spec.priority,
+            traits: spec.traits,
+            program,
+            state: ThreadState::Ready,
+            exec: None,
+            pending_reply: ApiReply::None,
+            msgq: spec
+                .queue_capacity
+                .map(MessageQueue::with_capacity)
+                .unwrap_or_default(),
+            gdi_pending: 0,
+            quantum_left: quantum,
+            cpu_cycles: 0,
+            emitted: Vec::new(),
+            retrieved_open: Vec::new(),
+            timer: None,
+            zero_exec_streak: 0,
+            handled_since_block: false,
+            pending_sync_io: None,
+        });
+        self.sched.enqueue(id, spec.priority);
+        id
+    }
+
+    /// Directs user input to a thread.
+    pub fn set_focus(&mut self, tid: ThreadId) {
+        self.focus = Some(tid);
+    }
+
+    /// Directs network packets to a thread (the socket owner).
+    pub fn bind_network(&mut self, tid: ThreadId) {
+        self.network_sink = Some(tid);
+    }
+
+    /// Schedules a network packet arrival; same time-ordering rules as
+    /// [`Machine::schedule_input_at`]. Returns the event id used for
+    /// ground-truth correlation.
+    pub fn schedule_packet_at(&mut self, at: SimTime, bytes: u32) -> u64 {
+        self.schedule_input_at(at, InputKind::Packet(bytes))
+    }
+
+    /// Schedules a user input for hardware arrival at `at`, returning its
+    /// input id. Inputs must be scheduled in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than a previously scheduled input or than
+    /// the current simulation time.
+    pub fn schedule_input_at(&mut self, at: SimTime, kind: InputKind) -> u64 {
+        assert!(
+            at >= self.last_input_at && at >= self.now,
+            "inputs must be scheduled in time order"
+        );
+        self.last_input_at = at;
+        let id = self.next_input_id;
+        self.next_input_id += 1;
+        self.inputs_outstanding += 1;
+        self.pending.schedule(at, MachineEvent::Input { id, kind });
+        id
+    }
+
+    /// Schedules a message post to the focused thread at `at` (the test
+    /// driver's `WM_QUEUESYNC` injection path).
+    pub fn schedule_post_to_focus(&mut self, at: SimTime, msg: Message) {
+        assert!(at >= self.now, "posts must be scheduled in the future");
+        self.pending.schedule(at, MachineEvent::PostToFocus { msg });
+    }
+
+    /// Schedules an input-focus change at `at` (the user switching windows);
+    /// both windows receive `Message::User` focus notifications
+    /// ([`FOCUS_LOST`]/[`FOCUS_GAINED`]).
+    pub fn schedule_focus_change(&mut self, at: SimTime, target: ThreadId) {
+        assert!(
+            at >= self.now,
+            "focus changes must be scheduled in the future"
+        );
+        self.pending
+            .schedule(at, MachineEvent::FocusChange { target });
+    }
+
+    /// The thread currently holding input focus.
+    pub fn focused(&self) -> Option<ThreadId> {
+        self.focus
+    }
+
+    /// Looks up a registered file by name.
+    pub fn find_file(&self, name: &str) -> Option<FileId> {
+        self.fs.lookup(name)
+    }
+
+    /// Pre-loads a whole file into the buffer cache (warm-cache scenarios).
+    pub fn prime_cache(&mut self, file: FileId) {
+        let blocks = self.fs.size(file).div_ceil(BLOCK_SIZE);
+        for b in 0..blocks {
+            self.cache.insert(BlockKey {
+                file: file.0,
+                block: b,
+            });
+        }
+    }
+
+    /// Empties the buffer cache (cold-start scenarios).
+    pub fn drop_caches(&mut self) {
+        self.cache.clear();
+    }
+
+    // --- Observables ------------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The OS parameters in force.
+    pub fn params(&self) -> &OsParams {
+        &self.params
+    }
+
+    /// The message-API interception log (§2.4).
+    pub fn apilog(&self) -> &ApiLog {
+        &self.apilog
+    }
+
+    /// The kernel state-transition log — the §6 system support for
+    /// message-queue and I/O-queue monitoring.
+    pub fn state_log(&self) -> &StateLog {
+        &self.statelog
+    }
+
+    /// Whether asynchronous I/O is in flight (background activity per the
+    /// paper's FSM assumptions).
+    pub fn async_io_pending(&self) -> bool {
+        self.async_io_inflight > 0
+    }
+
+    /// Simulator ground truth — validation only.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.gt
+    }
+
+    /// Configures a hardware event counter through the system-mode hook
+    /// (the paper's measurement driver, §2.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates counter errors.
+    pub fn configure_counter(&mut self, id: CounterId, event: HwEvent) -> Result<(), CounterError> {
+        self.counters.configure(id, event, Ring::System)
+    }
+
+    /// Reads a hardware event counter through the system-mode hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates counter errors.
+    pub fn read_counter(&self, id: CounterId) -> Result<u64, CounterError> {
+        self.counters.read_event(id, Ring::System)
+    }
+
+    /// Reads the cycle counter (readable from anywhere).
+    pub fn read_cycle_counter(&self) -> u64 {
+        self.now.cycles()
+    }
+
+    /// Omniscient event totals; tests and validation only.
+    pub fn counter_ground_truth(&self) -> &EventCounts {
+        self.counters.ground_truth_totals()
+    }
+
+    /// Takes (drains) a thread's emission buffer.
+    pub fn take_emitted(&mut self, tid: ThreadId) -> Vec<u64> {
+        std::mem::take(&mut self.thread_mut(tid).emitted)
+    }
+
+    /// Message-queue length of a thread — the §6 "message queue length" API
+    /// the paper wished for.
+    pub fn queue_len(&self, tid: ThreadId) -> usize {
+        self.thread(tid).msgq.len()
+    }
+
+    /// Whether synchronous I/O is in flight — the §6 "I/O queue" API.
+    pub fn sync_io_pending(&self) -> bool {
+        self.sync_io_inflight > 0
+    }
+
+    /// CPU cycles consumed by a thread so far.
+    pub fn thread_cpu_cycles(&self, tid: ThreadId) -> u64 {
+        self.thread(tid).cpu_cycles
+    }
+
+    /// Buffer-cache hit/miss counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// True when no application work is runnable or in flight: every thread
+    /// above measurement priority is blocked with an empty queue, no inputs
+    /// or I/O are outstanding, and no quirk spin is active.
+    pub fn is_quiescent(&self) -> bool {
+        self.inputs_outstanding == 0
+            && self.sync_io_inflight == 0
+            && self.async_io_inflight == 0
+            && !self.mouse_spin
+            && self.lag_until.is_none()
+            && self.threads.iter().all(|t| {
+                t.priority <= Priority::MEASUREMENT
+                    || matches!(t.state, ThreadState::Exited)
+                    || (matches!(t.state, ThreadState::BlockedMsg) && t.msgq.is_empty())
+            })
+    }
+
+    // --- Execution --------------------------------------------------------
+
+    /// Runs the machine until `t_end`.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        while self.now < t_end {
+            // 1. Fire due events.
+            if let Some((_, ev)) = self.pending.pop_due(self.now) {
+                self.handle_event(ev);
+                continue;
+            }
+            // 2. Busy-wait quirk states occupy the CPU ahead of all threads.
+            if self.mouse_spin || self.lag_until.is_some() {
+                let mut target = self.pending.peek_time().unwrap_or(t_end).min(t_end);
+                if let Some(lag_end) = self.lag_until {
+                    target = target.min(lag_end);
+                }
+                if target > self.now {
+                    let packet = self.cost.spin(target.since(self.now).cycles());
+                    self.charge_system(packet);
+                }
+                if let Some(lag_end) = self.lag_until {
+                    if self.now >= lag_end {
+                        self.lag_until = None;
+                    }
+                }
+                continue;
+            }
+            // 3. Dispatch a thread.
+            let Some((tid, _prio)) = self.sched.pop_highest() else {
+                // True idle: jump to the next event (or the horizon).
+                let target = self.pending.peek_time().unwrap_or(t_end).min(t_end);
+                self.now = if target > self.now { target } else { t_end };
+                continue;
+            };
+            self.run_thread(tid, t_end);
+        }
+    }
+
+    /// Runs for a duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    /// Runs until the machine is quiescent (see [`Machine::is_quiescent`]),
+    /// checking every millisecond, up to `limit`. Returns true if quiescence
+    /// was reached.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> bool {
+        let step = self.params.freq.ms(1);
+        while self.now < limit {
+            if self.is_quiescent() {
+                return true;
+            }
+            let target = (self.now + step).min(limit);
+            self.run_until(target);
+        }
+        self.is_quiescent()
+    }
+
+    // --- Event handling ---------------------------------------------------
+
+    fn handle_event(&mut self, ev: MachineEvent) {
+        match ev {
+            MachineEvent::ClockTick => self.on_clock_tick(),
+            MachineEvent::Input { id, kind } => self.on_input(id, kind),
+            MachineEvent::DiskDone { thread, bytes } => self.on_disk_done(thread, bytes),
+            MachineEvent::AsyncIoDone {
+                thread,
+                token,
+                kind,
+            } => self.on_async_io_done(thread, token, kind),
+            MachineEvent::Background => self.on_background(),
+            MachineEvent::PostToFocus { msg } => self.on_post_to_focus(msg),
+            MachineEvent::FocusChange { target } => {
+                // Focus changes run through the window manager: activation
+                // and deactivation paint work on both sides.
+                let packet = self
+                    .cost
+                    .kernel_work(self.params.input_dispatch_instr / 2, WorkKind::Api);
+                self.charge_system(packet);
+                if let Some(old) = self.focus {
+                    if old != target {
+                        self.enqueue_message(old, Message::User(FOCUS_LOST));
+                    }
+                }
+                self.focus = Some(target);
+                self.enqueue_message(target, Message::User(FOCUS_GAINED));
+            }
+        }
+    }
+
+    fn on_clock_tick(&mut self) {
+        self.tick_index += 1;
+        self.stats.clock_ticks += 1;
+        let mut instr = self.params.clock_tick_instr;
+        if self.params.housekeeping_every > 0
+            && self
+                .tick_index
+                .is_multiple_of(self.params.housekeeping_every as u64)
+        {
+            instr += self.params.housekeeping_instr;
+        }
+        let packet = self.cost.interrupt(instr);
+        self.charge_system(packet);
+        // Wake sleepers due at this tick.
+        let now = self.now;
+        let due: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .filter_map(|t| match t.state {
+                ThreadState::Sleeping(wake) if wake <= now => Some(t.id),
+                _ => None,
+            })
+            .collect();
+        for tid in due {
+            let prio = self.thread(tid).priority;
+            let t = self.thread_mut(tid);
+            t.state = ThreadState::Ready;
+            t.pending_reply = ApiReply::None;
+            self.sched.enqueue(tid, prio);
+        }
+        // Fire application timers.
+        let timer_due: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .filter_map(|t| match (t.timer, t.state) {
+                (Some(timer), state) if state != ThreadState::Exited && timer.next_due <= now => {
+                    Some(t.id)
+                }
+                _ => None,
+            })
+            .collect();
+        for tid in timer_due {
+            let tick = self.params.clock_tick;
+            if let Some(timer) = &mut self.thread_mut(tid).timer {
+                while timer.next_due <= now {
+                    timer.next_due += timer.period.max(tick);
+                }
+            }
+            self.enqueue_message(tid, Message::Timer);
+        }
+        // Schedule the next tick.
+        self.next_tick_at += self.params.clock_tick;
+        let at = self.next_tick_at;
+        self.pending.schedule(at, MachineEvent::ClockTick);
+    }
+
+    fn on_input(&mut self, id: u64, kind: InputKind) {
+        self.gt.on_arrival(id, kind, self.now);
+        self.inputs_outstanding -= 1;
+        let packet = self.cost.interrupt(self.params.input_interrupt_instr);
+        self.charge_system(packet);
+        // Windows 95 busy-waits between mouse-down and mouse-up (§4):
+        // delivery of the whole click is deferred to the release.
+        if self.params.mouse_busy_wait {
+            match kind {
+                InputKind::MouseDown(_) => {
+                    self.mouse_spin = true;
+                    self.deferred_mouse.push((id, kind));
+                    return;
+                }
+                InputKind::MouseUp(_) if self.mouse_spin => {
+                    self.mouse_spin = false;
+                    let deferred = std::mem::take(&mut self.deferred_mouse);
+                    for (d_id, d_kind) in deferred {
+                        self.dispatch_input(d_id, d_kind);
+                    }
+                    self.dispatch_input(id, kind);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.dispatch_input(id, kind);
+    }
+
+    fn dispatch_input(&mut self, id: u64, kind: InputKind) {
+        // Network packets take the protocol stack, not the input driver:
+        // per-packet processing plus a per-byte copy/checksum cost.
+        if let InputKind::Packet(bytes) = kind {
+            let instr =
+                self.params.net_dispatch_instr + bytes as u64 * self.params.net_instr_per_byte;
+            let packet = self.cost.kernel_work(instr, WorkKind::Api);
+            self.charge_system(packet);
+            if let Some(sink) = self.network_sink {
+                self.stats.inputs_delivered += 1;
+                self.enqueue_message(sink, Message::Input { id, kind });
+            }
+            return;
+        }
+        let packet = self
+            .cost
+            .kernel_work(self.params.input_dispatch_instr, WorkKind::Api);
+        self.charge_system(packet);
+        let Some(focus) = self.focus else {
+            return; // Input with no focused window is dropped.
+        };
+        // Console applications receive input through the console server —
+        // an extra hop the in-application `getchar()` timestamp never sees
+        // (§2.3, Figure 1).
+        if self.thread(focus).traits.console {
+            let extra = self
+                .cost
+                .kernel_work(self.params.console_dispatch_instr, WorkKind::Api);
+            self.charge_system(extra);
+        }
+        self.stats.inputs_delivered += 1;
+        self.enqueue_message(focus, Message::Input { id, kind });
+    }
+
+    fn on_disk_done(&mut self, tid: ThreadId, bytes: u64) {
+        self.sync_io_inflight -= 1;
+        let completion = self
+            .cost
+            .kernel_work(self.params.syscall_instr, WorkKind::Io);
+        self.charge_system(completion);
+        if let Some(kind) = self.thread_mut(tid).pending_sync_io.take() {
+            self.statelog
+                .record(self.now, Transition::IoCompleted { thread: tid, kind });
+        }
+        let prio = self.thread(tid).priority;
+        let t = self.thread_mut(tid);
+        debug_assert_eq!(t.state, ThreadState::BlockedIo);
+        t.state = ThreadState::Ready;
+        t.exec = Some(Exec::new(Vec::new(), Outcome::Reply(ApiReply::Io(bytes))));
+        self.sched.enqueue(tid, prio);
+    }
+
+    fn on_async_io_done(&mut self, tid: ThreadId, token: u32, kind: IoKind) {
+        self.async_io_inflight -= 1;
+        let completion = self
+            .cost
+            .kernel_work(self.params.syscall_instr, WorkKind::Io);
+        self.charge_system(completion);
+        self.statelog
+            .record(self.now, Transition::IoCompleted { thread: tid, kind });
+        self.enqueue_message(tid, Message::IoComplete(token));
+    }
+
+    fn on_background(&mut self) {
+        let packet = self
+            .cost
+            .kernel_work(self.params.background_instr, WorkKind::Background);
+        self.charge_system(packet);
+        if let Some(period) = self.params.background_period {
+            let at = self.now + period;
+            self.pending.schedule(at, MachineEvent::Background);
+        }
+    }
+
+    fn on_post_to_focus(&mut self, msg: Message) {
+        if let Some(focus) = self.focus {
+            let packet = self
+                .cost
+                .kernel_work(self.params.syscall_instr, WorkKind::Api);
+            self.charge_system(packet);
+            self.enqueue_message(focus, msg);
+        }
+    }
+
+    /// Charges kernel-context work at the current instant (interrupts,
+    /// dispatch, spins). Always counts as CPU-busy ground truth.
+    fn charge_system(&mut self, packet: WorkPacket) {
+        if packet.cycles == 0 {
+            return;
+        }
+        let start = self.now;
+        self.counters.on_work(packet.cycles, &packet.events);
+        self.now += SimDuration::from_cycles(packet.cycles);
+        self.gt.on_busy(start, self.now);
+    }
+
+    // --- Message plumbing ---------------------------------------------------
+
+    fn enqueue_message(&mut self, tid: ThreadId, msg: Message) {
+        let now = self.now;
+        let t = self.thread_mut(tid);
+        if t.state == ThreadState::Exited {
+            return;
+        }
+        if !t.msgq.post(msg) {
+            return; // Overflow: dropped, counted by the queue.
+        }
+        self.stats.messages_posted += 1;
+        let queue_len = self.thread(tid).msgq.len();
+        self.statelog.record(
+            now,
+            Transition::MessageEnqueued {
+                thread: tid,
+                queue_len,
+            },
+        );
+        if let Some(id) = msg.input_id() {
+            self.gt.on_enqueue(id, now);
+        }
+        // Wake a blocked GetMessage.
+        let t = self.thread_mut(tid);
+        if t.state == ThreadState::BlockedMsg {
+            t.state = ThreadState::Ready;
+            let prio = t.priority;
+            let wake = self
+                .cost
+                .kernel_work(self.params.syscall_instr, WorkKind::Api);
+            let t = self.thread_mut(tid);
+            t.exec = Some(Exec::new(vec![wake], Outcome::GetMessage));
+            self.sched.enqueue(tid, prio);
+        }
+    }
+
+    // --- Thread execution ---------------------------------------------------
+
+    fn run_thread(&mut self, tid: ThreadId, t_end: SimTime) {
+        // Context switch if the CPU last ran someone else.
+        if self.last_ran != Some(tid) {
+            self.stats.context_switches += 1;
+            let packet = self.cost.context_switch();
+            self.charge_system(packet);
+            self.last_ran = Some(tid);
+            // The switch may have carried us past an event boundary.
+            if self.pending.peek_time().is_some_and(|t| t <= self.now) || self.now >= t_end {
+                self.requeue_front(tid);
+                return;
+            }
+        }
+        loop {
+            match self.thread(tid).state {
+                ThreadState::Ready => {}
+                _ => return, // Blocked or exited inside this dispatch.
+            }
+            if self.thread(tid).exec.is_none() && !self.step_program(tid) {
+                return; // Yielded or exited.
+            }
+            if self.thread(tid).exec.is_none() {
+                continue; // Inline action consumed; step again.
+            }
+            let next_event = self.pending.peek_time().unwrap_or(SimTime::MAX);
+            let quantum_end = self.now + SimDuration::from_cycles(self.thread(tid).quantum_left);
+            let slice_end = t_end.min(next_event).min(quantum_end);
+            if slice_end <= self.now {
+                if quantum_end <= self.now {
+                    self.rotate_quantum(tid);
+                } else {
+                    self.requeue_front(tid);
+                }
+                return;
+            }
+            let budget = slice_end.since(self.now).cycles();
+            let (consumed, finished) = self.charge_thread(tid, budget);
+            {
+                let t = self.thread_mut(tid);
+                t.quantum_left = t.quantum_left.saturating_sub(consumed);
+            }
+            if finished {
+                self.resolve_outcome(tid);
+                // Loop: thread may be ready to continue, blocked, or exited.
+                continue;
+            }
+            // Out of budget: why?
+            if self.thread(tid).quantum_left == 0 {
+                self.rotate_quantum(tid);
+                return;
+            }
+            // An event is due or the horizon was reached.
+            self.requeue_front(tid);
+            return;
+        }
+    }
+
+    fn requeue_front(&mut self, tid: ThreadId) {
+        let prio = self.thread(tid).priority;
+        self.sched.enqueue_front(tid, prio);
+    }
+
+    fn rotate_quantum(&mut self, tid: ThreadId) {
+        let quantum = self.params.quantum().cycles();
+        let prio = {
+            let t = self.thread_mut(tid);
+            t.quantum_left = quantum;
+            t.priority
+        };
+        self.sched.enqueue(tid, prio);
+    }
+
+    /// Charges up to `budget` cycles of the thread's current exec.
+    /// Returns `(consumed, finished)`.
+    fn charge_thread(&mut self, tid: ThreadId, budget: u64) -> (u64, bool) {
+        let start = self.now;
+        let is_busy = self.thread(tid).priority > Priority::MEASUREMENT;
+        let mut consumed = 0u64;
+        let mut finished = false;
+        loop {
+            let t = &mut self.threads[tid.0 as usize];
+            let exec = t.exec.as_mut().expect("charge_thread without exec");
+            let Some(pp) = exec.packets.front_mut() else {
+                finished = true;
+                break;
+            };
+            if consumed >= budget {
+                break;
+            }
+            let remaining = pp.packet.cycles - pp.done;
+            let take = remaining.min(budget - consumed);
+            // Prorate hardware events over the packet's cycles.
+            let mut delta = EventCounts::ZERO;
+            let done_after = pp.done + take;
+            for (event, total) in pp.packet.events.iter() {
+                let target = total * done_after / pp.packet.cycles;
+                delta.set(event, target - pp.charged.get(event));
+            }
+            pp.done = done_after;
+            pp.charged.accumulate(&delta);
+            t.cpu_cycles += take;
+            self.counters.on_work(take, &delta);
+            consumed += take;
+            if pp.done == pp.packet.cycles {
+                exec.packets.pop_front();
+                if exec.packets.is_empty() {
+                    finished = true;
+                    break;
+                }
+            }
+        }
+        self.now += SimDuration::from_cycles(consumed);
+        if is_busy {
+            self.gt.on_busy(start, self.now);
+        }
+        (consumed, finished)
+    }
+
+    /// Steps the thread's program until it produces costed work or changes
+    /// state. Returns false if the thread yielded or exited.
+    fn step_program(&mut self, tid: ThreadId) -> bool {
+        for _ in 0..RUNAWAY_STEP_LIMIT {
+            let action = {
+                let t = &mut self.threads[tid.0 as usize];
+                let mut ctx = StepCtx {
+                    reply: std::mem::take(&mut t.pending_reply),
+                };
+                t.program.step(&mut ctx)
+            };
+            match action {
+                Action::Compute(spec) => {
+                    if spec.instructions == 0 {
+                        self.note_zero_exec(tid);
+                        self.thread_mut(tid).pending_reply = ApiReply::None;
+                        continue;
+                    }
+                    self.thread_mut(tid).zero_exec_streak = 0;
+                    let packet = self.cost.compute(&spec);
+                    self.thread_mut(tid).exec =
+                        Some(Exec::new(vec![packet], Outcome::Reply(ApiReply::None)));
+                    return true;
+                }
+                Action::Call(call) => match self.build_call(tid, call) {
+                    CallDisposition::Work => return true,
+                    CallDisposition::Inline => continue,
+                    CallDisposition::Deschedule => return false,
+                },
+                Action::Exit => {
+                    let t = self.thread_mut(tid);
+                    t.state = ThreadState::Exited;
+                    t.exec = None;
+                    self.sched.remove(tid);
+                    return false;
+                }
+            }
+        }
+        panic!(
+            "thread {} ({:?}) made no progress in {} steps — runaway program",
+            self.thread(tid).name,
+            tid,
+            RUNAWAY_STEP_LIMIT
+        );
+    }
+
+    fn note_zero_exec(&mut self, tid: ThreadId) {
+        let t = self.thread_mut(tid);
+        t.zero_exec_streak += 1;
+        assert!(
+            t.zero_exec_streak < RUNAWAY_STEP_LIMIT,
+            "thread {} issued {} consecutive zero-cost actions",
+            t.name,
+            t.zero_exec_streak
+        );
+    }
+
+    /// Requeues a voluntarily yielding thread at the back of its class.
+    fn yielded(&mut self, tid: ThreadId) {
+        let prio = self.thread(tid).priority;
+        self.thread_mut(tid).pending_reply = ApiReply::None;
+        self.sched.enqueue(tid, prio);
+    }
+
+    /// Builds the exec for an API call, or handles it inline.
+    fn build_call(&mut self, tid: ThreadId, call: ApiCall) -> CallDisposition {
+        match call {
+            ApiCall::GetMessage => {
+                let packets = self.cost.api_service(self.params.getmessage_instr, (6, 8));
+                self.thread_mut(tid).exec = Some(Exec::new(packets, Outcome::GetMessage));
+                CallDisposition::Work
+            }
+            ApiCall::PeekMessage => {
+                let packets = self
+                    .cost
+                    .api_service(self.params.getmessage_instr / 2, (4, 6));
+                self.thread_mut(tid).exec = Some(Exec::new(packets, Outcome::PeekMessage));
+                CallDisposition::Work
+            }
+            ApiCall::Gdi { ops } => {
+                let t = self.thread_mut(tid);
+                t.gdi_pending += ops;
+                let pending = t.gdi_pending;
+                if pending >= self.params.gdi_batch_size {
+                    self.thread_mut(tid).gdi_pending = 0;
+                    let packets = self.cost.gdi_flush(pending);
+                    self.thread_mut(tid).exec =
+                        Some(Exec::new(packets, Outcome::Reply(ApiReply::None)));
+                } else {
+                    let packet = self.cost.gdi_buffer(ops);
+                    self.thread_mut(tid).exec =
+                        Some(Exec::new(vec![packet], Outcome::Reply(ApiReply::None)));
+                }
+                CallDisposition::Work
+            }
+            ApiCall::UserCall { instr } => {
+                let packets = self.cost.api_service(instr, (8, 10));
+                self.thread_mut(tid).exec =
+                    Some(Exec::new(packets, Outcome::Reply(ApiReply::None)));
+                CallDisposition::Work
+            }
+            ApiCall::OpenFile { name } => {
+                let file = self
+                    .fs
+                    .lookup(name)
+                    .unwrap_or_else(|| panic!("OpenFile: no such file {name:?}"));
+                let packet = self
+                    .cost
+                    .kernel_work(self.params.syscall_instr * 2, WorkKind::Api);
+                self.thread_mut(tid).exec = Some(Exec::new(
+                    vec![packet],
+                    Outcome::Reply(ApiReply::File(file)),
+                ));
+                CallDisposition::Work
+            }
+            ApiCall::ReadFile { file, offset, len } => {
+                let (cpu, disk_time) = self.cost_read(file, offset, len);
+                self.thread_mut(tid).exec = Some(Exec::new(
+                    cpu,
+                    Outcome::Io {
+                        disk_time,
+                        bytes: len,
+                        kind: IoKind::SyncRead,
+                    },
+                ));
+                CallDisposition::Work
+            }
+            ApiCall::WriteFile { file, offset, len } => {
+                let (cpu, disk_time) = self.cost_write(file, offset, len);
+                self.thread_mut(tid).exec = Some(Exec::new(
+                    cpu,
+                    Outcome::Io {
+                        disk_time,
+                        bytes: len,
+                        kind: IoKind::SyncWrite,
+                    },
+                ));
+                CallDisposition::Work
+            }
+            ApiCall::ReadFileAsync {
+                file,
+                offset,
+                len,
+                token,
+            } => {
+                let (cpu, disk_time) = self.cost_read(file, offset, len);
+                self.thread_mut(tid).exec = Some(Exec::new(
+                    cpu,
+                    Outcome::AsyncIo {
+                        disk_time,
+                        token,
+                        kind: IoKind::AsyncRead,
+                    },
+                ));
+                CallDisposition::Work
+            }
+            ApiCall::WriteFileAsync {
+                file,
+                offset,
+                len,
+                token,
+            } => {
+                let (cpu, disk_time) = self.cost_write(file, offset, len);
+                self.thread_mut(tid).exec = Some(Exec::new(
+                    cpu,
+                    Outcome::AsyncIo {
+                        disk_time,
+                        token,
+                        kind: IoKind::AsyncWrite,
+                    },
+                ));
+                CallDisposition::Work
+            }
+            ApiCall::Sleep { duration } => {
+                let packet = self
+                    .cost
+                    .kernel_work(self.params.syscall_instr, WorkKind::Api);
+                self.thread_mut(tid).exec = Some(Exec::new(vec![packet], Outcome::Sleep(duration)));
+                CallDisposition::Work
+            }
+            ApiCall::PostMessage { target, msg } => {
+                let packet = self
+                    .cost
+                    .kernel_work(self.params.syscall_instr, WorkKind::Api);
+                self.thread_mut(tid).exec =
+                    Some(Exec::new(vec![packet], Outcome::Post { target, msg }));
+                CallDisposition::Work
+            }
+            ApiCall::SetTimer { period } => {
+                let packet = self
+                    .cost
+                    .kernel_work(self.params.syscall_instr, WorkKind::Api);
+                self.thread_mut(tid).exec =
+                    Some(Exec::new(vec![packet], Outcome::SetTimer(period)));
+                CallDisposition::Work
+            }
+            ApiCall::KillTimer => {
+                let packet = self
+                    .cost
+                    .kernel_work(self.params.syscall_instr, WorkKind::Api);
+                self.thread_mut(tid).exec = Some(Exec::new(vec![packet], Outcome::KillTimer));
+                CallDisposition::Work
+            }
+            ApiCall::ReadCycleCounter => {
+                // RDTSC plus a little glue: ~10 instructions of app code.
+                let packet = self.cost.compute(&crate::program::ComputeSpec {
+                    instructions: 10,
+                    class: crate::program::MixClass::App,
+                    code_pages: 1,
+                    data_pages: 1,
+                });
+                self.thread_mut(tid).exec = Some(Exec::new(vec![packet], Outcome::ReadCycles));
+                CallDisposition::Work
+            }
+            ApiCall::Emit(v) => {
+                // A buffered store of one trace record (§2.3's
+                // `generate_trace_record`): ~50 instructions.
+                let packet = self.cost.compute(&crate::program::ComputeSpec {
+                    instructions: 50,
+                    class: crate::program::MixClass::App,
+                    code_pages: 1,
+                    data_pages: 2,
+                });
+                self.thread_mut(tid).exec = Some(Exec::new(vec![packet], Outcome::Emit(v)));
+                CallDisposition::Work
+            }
+            ApiCall::GtMark(mark) => {
+                match mark {
+                    GtMark::EventComplete => self.complete_open_events(tid),
+                    GtMark::Label(l) => self.gt.on_label(l, self.now),
+                }
+                self.thread_mut(tid).pending_reply = ApiReply::None;
+                self.note_zero_exec(tid);
+                CallDisposition::Inline
+            }
+            ApiCall::Yield => {
+                self.yielded(tid);
+                CallDisposition::Deschedule
+            }
+        }
+    }
+
+    /// Marks all retrieved-but-open input events as truly complete now.
+    fn complete_open_events(&mut self, tid: ThreadId) {
+        let ids = std::mem::take(&mut self.thread_mut(tid).retrieved_open);
+        for id in ids {
+            self.gt.on_complete(id, self.now);
+        }
+    }
+
+    /// Resolves the outcome of a drained exec.
+    fn resolve_outcome(&mut self, tid: ThreadId) {
+        let outcome = self
+            .thread_mut(tid)
+            .exec
+            .take()
+            .expect("resolve_outcome without exec")
+            .outcome;
+        match outcome {
+            Outcome::Reply(reply) => {
+                self.thread_mut(tid).pending_reply = reply;
+            }
+            Outcome::GetMessage => self.resolve_get_message(tid),
+            Outcome::PeekMessage => self.resolve_peek_message(tid),
+            Outcome::Io {
+                disk_time,
+                bytes,
+                kind,
+            } => {
+                if disk_time.is_zero() {
+                    self.thread_mut(tid).pending_reply = ApiReply::Io(bytes);
+                } else {
+                    self.statelog
+                        .record(self.now, Transition::IoIssued { thread: tid, kind });
+                    self.thread_mut(tid).state = ThreadState::BlockedIo;
+                    self.thread_mut(tid).pending_sync_io = Some(kind);
+                    self.sync_io_inflight += 1;
+                    let at = self.now + disk_time;
+                    self.pending
+                        .schedule(at, MachineEvent::DiskDone { thread: tid, bytes });
+                }
+            }
+            Outcome::AsyncIo {
+                disk_time,
+                token,
+                kind,
+            } => {
+                self.statelog
+                    .record(self.now, Transition::IoIssued { thread: tid, kind });
+                self.async_io_inflight += 1;
+                // Even a fully cached async request completes via a posted
+                // message, never inline.
+                let at = self.now + disk_time.max(SimDuration::from_cycles(1));
+                self.pending.schedule(
+                    at,
+                    MachineEvent::AsyncIoDone {
+                        thread: tid,
+                        token,
+                        kind,
+                    },
+                );
+                self.thread_mut(tid).pending_reply = ApiReply::None;
+            }
+            Outcome::Sleep(min) => {
+                let wake = (self.now + min).align_up(self.params.clock_tick);
+                self.thread_mut(tid).state = ThreadState::Sleeping(wake);
+            }
+            Outcome::Post { target, msg } => {
+                self.enqueue_message(target, msg);
+                self.thread_mut(tid).pending_reply = ApiReply::None;
+            }
+            Outcome::SetTimer(period) => {
+                let tick = self.params.clock_tick;
+                let period = if period < tick { tick } else { period };
+                let next_due = (self.now + period).align_up(tick);
+                self.thread_mut(tid).timer = Some(AppTimer { period, next_due });
+                self.thread_mut(tid).pending_reply = ApiReply::None;
+            }
+            Outcome::KillTimer => {
+                self.thread_mut(tid).timer = None;
+                self.thread_mut(tid).pending_reply = ApiReply::None;
+            }
+            Outcome::ReadCycles => {
+                let cycles = self.now.cycles();
+                self.thread_mut(tid).pending_reply = ApiReply::Cycles(cycles);
+            }
+            Outcome::Emit(v) => {
+                let t = self.thread_mut(tid);
+                t.emitted.push(v);
+                t.pending_reply = ApiReply::None;
+            }
+        }
+    }
+
+    fn resolve_get_message(&mut self, tid: ThreadId) {
+        if let Some(msg) = self.thread_mut(tid).msgq.take() {
+            self.record_retrieval(tid, ApiEntry::GetMessage, msg);
+            return;
+        }
+        // Queue empty: the client is about to block, so flush any buffered
+        // GDI batch first (§1.1's batching model), then re-check — a message
+        // may arrive while flushing.
+        if self.thread(tid).gdi_pending > 0 {
+            let ops = std::mem::take(&mut self.thread_mut(tid).gdi_pending);
+            let packets = self.cost.gdi_flush(ops);
+            self.thread_mut(tid).exec = Some(Exec::new(packets, Outcome::GetMessage));
+            return;
+        }
+        // Still empty: the previous events are truly complete (their output
+        // has been flushed), and the thread blocks.
+        self.complete_open_events(tid);
+        self.apilog.record(ApiLogEntry {
+            at: self.now,
+            thread: tid,
+            entry: ApiEntry::GetMessage,
+            outcome: ApiOutcome::Blocked,
+            queue_len_after: 0,
+        });
+        self.thread_mut(tid).state = ThreadState::BlockedMsg;
+        self.thread_mut(tid).exec = None;
+        // Windows 95 post-event lag for heavyweight-async applications
+        // (§5.4): the system stays busy after the application goes idle.
+        let lag_due = self.thread(tid).traits.heavy_async
+            && self.thread(tid).handled_since_block
+            && !self.params.post_event_busy.is_zero();
+        self.thread_mut(tid).handled_since_block = false;
+        if lag_due {
+            self.lag_until = Some(self.now + self.params.post_event_busy);
+        }
+    }
+
+    fn resolve_peek_message(&mut self, tid: ThreadId) {
+        if let Some(msg) = self.thread_mut(tid).msgq.take() {
+            self.record_retrieval(tid, ApiEntry::PeekMessage, msg);
+            return;
+        }
+        if self.thread(tid).gdi_pending > 0 {
+            let ops = std::mem::take(&mut self.thread_mut(tid).gdi_pending);
+            let packets = self.cost.gdi_flush(ops);
+            self.thread_mut(tid).exec = Some(Exec::new(packets, Outcome::PeekMessage));
+            return;
+        }
+        self.complete_open_events(tid);
+        self.apilog.record(ApiLogEntry {
+            at: self.now,
+            thread: tid,
+            entry: ApiEntry::PeekMessage,
+            outcome: ApiOutcome::Empty,
+            queue_len_after: 0,
+        });
+        self.thread_mut(tid).pending_reply = ApiReply::Message(None);
+    }
+
+    fn record_retrieval(&mut self, tid: ThreadId, entry: ApiEntry, msg: Message) {
+        // Retrieving the next message closes the previous events (the
+        // application has moved on; anything further belongs to `msg`).
+        self.complete_open_events(tid);
+        let qlen = self.thread(tid).msgq.len();
+        self.statelog.record(
+            self.now,
+            Transition::MessageDequeued {
+                thread: tid,
+                queue_len: qlen,
+            },
+        );
+        self.apilog.record(ApiLogEntry {
+            at: self.now,
+            thread: tid,
+            entry,
+            outcome: ApiOutcome::Retrieved(msg),
+            queue_len_after: qlen,
+        });
+        if let Some(id) = msg.input_id() {
+            self.gt.on_retrieve(id, tid, self.now);
+            self.thread_mut(tid).retrieved_open.push(id);
+        }
+        self.thread_mut(tid).handled_since_block = true;
+        self.thread_mut(tid).pending_reply = ApiReply::Message(Some(msg));
+    }
+
+    // --- I/O costing --------------------------------------------------------
+
+    /// Computes CPU packets and disk time for a read, updating the cache.
+    fn cost_read(&mut self, file: FileId, offset: u64, len: u64) -> (Vec<WorkPacket>, SimDuration) {
+        let runs = self.fs.map_range(file, offset, len);
+        let mut hit_blocks = 0u64;
+        let mut miss_blocks = 0u64;
+        let mut disk_time = SimDuration::ZERO;
+        for (first_file_block, run) in runs {
+            // Check each block against the cache; coalesce missing
+            // disk-contiguous stretches into single requests.
+            let mut pending_start: Option<(u64, u64)> = None; // (disk_block, count)
+            for i in 0..run.count {
+                let fb = first_file_block + i;
+                let key = BlockKey {
+                    file: file.0,
+                    block: fb,
+                };
+                if self.cache.access(key) {
+                    hit_blocks += 1;
+                    if let Some((s, c)) = pending_start.take() {
+                        disk_time += self.disk.service(latlab_hw::DiskRequest {
+                            start_block: s,
+                            block_count: c,
+                        });
+                    }
+                } else {
+                    miss_blocks += 1;
+                    self.cache.insert(key);
+                    match &mut pending_start {
+                        Some((_, c)) => *c += 1,
+                        None => pending_start = Some((run.start + i, 1)),
+                    }
+                }
+            }
+            if let Some((s, c)) = pending_start {
+                disk_time += self.disk.service(latlab_hw::DiskRequest {
+                    start_block: s,
+                    block_count: c,
+                });
+            }
+        }
+        (self.cost.read_cpu(hit_blocks, miss_blocks), disk_time)
+    }
+
+    /// Computes CPU packets and disk time for a write-through write.
+    fn cost_write(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> (Vec<WorkPacket>, SimDuration) {
+        let runs = self.fs.map_range(file, offset, len);
+        let mut blocks = 0u64;
+        let mut disk_time = SimDuration::ZERO;
+        for (first_file_block, run) in &runs {
+            blocks += run.count;
+            disk_time += self.disk.service(latlab_hw::DiskRequest {
+                start_block: run.start,
+                block_count: run.count,
+            });
+            // Written blocks become cached.
+            for i in 0..run.count {
+                self.cache.insert(BlockKey {
+                    file: file.0,
+                    block: first_file_block + i,
+                });
+            }
+        }
+        // The write-overhead factor models metadata/journaling I/O.
+        let adjusted =
+            SimDuration::from_cycles(disk_time.cycles() * self.params.write_overhead_milli / 1_000);
+        (self.cost.write_cpu(blocks), adjusted)
+    }
+
+    // --- Plumbing -----------------------------------------------------------
+
+    fn thread(&self, tid: ThreadId) -> &ThreadSlot {
+        &self.threads[tid.0 as usize]
+    }
+
+    fn thread_mut(&mut self, tid: ThreadId) -> &mut ThreadSlot {
+        &mut self.threads[tid.0 as usize]
+    }
+}

@@ -1,0 +1,237 @@
+//! Win32-style message queues.
+//!
+//! User input is queued per thread and retrieved through
+//! `GetMessage()`/`PeekMessage()` (§2.4). Queue state (empty/non-empty) is
+//! one of the three inputs to the paper's think-time/wait-time state machine
+//! (Figure 2): *"when there are events queued, we can assume that the user
+//! is waiting."*
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A keyboard key, reduced to what the workloads need.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum KeySym {
+    /// A printable character.
+    Char(char),
+    /// Carriage return.
+    Enter,
+    /// Backspace.
+    Backspace,
+    /// Page down.
+    PageDown,
+    /// Page up.
+    PageUp,
+    /// Arrow up.
+    Up,
+    /// Arrow down.
+    Down,
+    /// Arrow left.
+    Left,
+    /// Arrow right.
+    Right,
+    /// Escape.
+    Escape,
+    /// A control chord, e.g. Ctrl+S.
+    Ctrl(char),
+}
+
+impl KeySym {
+    /// True for keys that insert a printable character.
+    pub fn is_printable(self) -> bool {
+        matches!(self, KeySym::Char(_))
+    }
+}
+
+/// A mouse button.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MouseButton {
+    /// Left button.
+    Left,
+    /// Right button.
+    Right,
+}
+
+/// Hardware-level user input, before the input driver turns it into a
+/// message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum InputKind {
+    /// A key press (modelled as one event per keystroke).
+    Key(KeySym),
+    /// Mouse button press.
+    MouseDown(MouseButton),
+    /// Mouse button release.
+    MouseUp(MouseButton),
+    /// A network packet arrival of the given payload size — the paper's
+    /// other class of latency-critical asynchronous events (§1: "user input
+    /// or network packet arrival"). Delivered to the network-bound thread
+    /// rather than the focused one.
+    Packet(u32),
+}
+
+/// A queued window message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Message {
+    /// A user-input message carrying the simulator-assigned input id used
+    /// for ground-truth correlation.
+    Input {
+        /// Simulator-assigned id of the originating user input.
+        id: u64,
+        /// What the user did.
+        kind: InputKind,
+    },
+    /// Repaint request.
+    Paint,
+    /// Periodic timer expiry (`WM_TIMER`).
+    Timer,
+    /// The journal-playback synchronization message Microsoft Test posts
+    /// after every injected input (`WM_QUEUESYNC`, §5.4). Its handling cost
+    /// is the source of the Notepad elapsed-time anomaly (Figure 7 caption).
+    QueueSync,
+    /// Completion notification for an asynchronous I/O request, carrying
+    /// the request token (§6's async-I/O support; the paper's FSM treats
+    /// asynchronous I/O as background activity).
+    IoComplete(u32),
+    /// Application-defined message.
+    User(u32),
+}
+
+impl Message {
+    /// The originating input id, for input messages.
+    pub fn input_id(&self) -> Option<u64> {
+        match self {
+            Message::Input { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// A bounded FIFO message queue.
+///
+/// Real Win32 queues hold 10,000 messages by default; overflow drops the
+/// message (and real systems beep). The bound exists so that runaway posting
+/// is an observable failure rather than unbounded memory growth.
+#[derive(Clone, Debug)]
+pub struct MessageQueue {
+    queue: VecDeque<Message>,
+    capacity: usize,
+    dropped: u64,
+    /// Monotone count of all successfully enqueued messages.
+    enqueued: u64,
+}
+
+/// Default queue capacity.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 10_000;
+
+impl MessageQueue {
+    /// Creates a queue with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Creates a queue with a specific capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        MessageQueue {
+            queue: VecDeque::new(),
+            capacity,
+            dropped: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Enqueues a message; returns `false` (and counts a drop) on overflow.
+    pub fn post(&mut self, msg: Message) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.queue.push_back(msg);
+        self.enqueued += 1;
+        true
+    }
+
+    /// Dequeues the oldest message.
+    pub fn take(&mut self) -> Option<Message> {
+        self.queue.pop_front()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Messages dropped due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total messages ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+}
+
+impl Default for MessageQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = MessageQueue::new();
+        q.post(Message::User(1));
+        q.post(Message::User(2));
+        assert_eq!(q.take(), Some(Message::User(1)));
+        assert_eq!(q.take(), Some(Message::User(2)));
+        assert_eq!(q.take(), None);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut q = MessageQueue::with_capacity(2);
+        assert!(q.post(Message::User(1)));
+        assert!(q.post(Message::User(2)));
+        assert!(!q.post(Message::User(3)));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_enqueued(), 2);
+    }
+
+    #[test]
+    fn input_id_extraction() {
+        let m = Message::Input {
+            id: 7,
+            kind: InputKind::Key(KeySym::Char('a')),
+        };
+        assert_eq!(m.input_id(), Some(7));
+        assert_eq!(Message::Paint.input_id(), None);
+    }
+
+    #[test]
+    fn printable_classification() {
+        assert!(KeySym::Char('x').is_printable());
+        assert!(!KeySym::Enter.is_printable());
+        assert!(!KeySym::PageDown.is_printable());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = MessageQueue::with_capacity(0);
+    }
+}

@@ -1,0 +1,395 @@
+//! OS personalities: Windows NT 3.51, Windows NT 4.0, and Windows 95.
+//!
+//! Every behavioural and cost difference the paper invokes is a field here:
+//!
+//! * **Win32 architecture** (§2.1, §5.3): NT 3.51 implements Win32 in a
+//!   user-level server — every API batch crosses protection domains and
+//!   flushes the TLB. NT 4.0 moved those components into the kernel: a mode
+//!   switch, no flush. Windows 95 thunks to 16-bit USER/GDI code.
+//! * **16-bit code** (§4): Windows 95's GUI mix carries heavy segment-
+//!   register-load and unaligned-access rates.
+//! * **Clock interrupts** (§2.5): 10 ms ticks; the smallest NT 4.0 handler
+//!   is ~400 cycles.
+//! * **Quirks**: Windows 95 busy-waits between mouse-down and mouse-up
+//!   (§4, Figure 6) and fails to go idle promptly after heavyweight
+//!   asynchronous applications handle an event (§5.4).
+
+use latlab_des::{CpuFreq, SimDuration};
+use latlab_hw::HwMix;
+use serde::{Deserialize, Serialize};
+
+/// The three measured systems.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OsProfile {
+    /// Windows NT 3.51 (user-level Win32 server, classic GUI).
+    Nt351,
+    /// Windows NT 4.0 (kernel-mode Win32, Windows 95-style GUI).
+    Nt40,
+    /// Windows 95 (16-bit USER/GDI heritage).
+    Win95,
+}
+
+impl OsProfile {
+    /// All profiles in the paper's presentation order.
+    pub const ALL: [OsProfile; 3] = [OsProfile::Nt351, OsProfile::Nt40, OsProfile::Win95];
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OsProfile::Nt351 => "Windows NT 3.51",
+            OsProfile::Nt40 => "Windows NT 4.0",
+            OsProfile::Win95 => "Windows 95",
+        }
+    }
+
+    /// Short tag for file names and tables.
+    pub const fn tag(self) -> &'static str {
+        match self {
+            OsProfile::Nt351 => "nt351",
+            OsProfile::Nt40 => "nt40",
+            OsProfile::Win95 => "win95",
+        }
+    }
+
+    /// Builds the personality's parameter set.
+    pub fn params(self) -> OsParams {
+        OsParams::for_profile(self)
+    }
+}
+
+impl std::fmt::Display for OsProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How Win32 API requests reach their implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Win32Arch {
+    /// NT 3.51: LPC to a user-level server. Crossing flushes both TLBs; the
+    /// server's working set must be refilled, and on return the client
+    /// refills its own.
+    UserServer {
+        /// Server code pages touched per crossing.
+        server_code_pages: u32,
+        /// Server data pages touched per crossing.
+        server_data_pages: u32,
+    },
+    /// NT 4.0: kernel-mode Win32. A mode switch without a TLB flush; a small
+    /// fixed dilution of TLB contents per call.
+    KernelMode {
+        /// Extra ITLB misses per call from kernel-text dilution.
+        extra_itlb: u32,
+        /// Extra DTLB misses per call.
+        extra_dtlb: u32,
+    },
+    /// Windows 95: a 32→16-bit thunk into the shared system arena.
+    Thunk16 {
+        /// Extra ITLB misses per call.
+        extra_itlb: u32,
+        /// Extra DTLB misses per call.
+        extra_dtlb: u32,
+    },
+}
+
+/// Complete tunable parameter set for one simulated OS.
+///
+/// Instruction counts are raw instruction counts (not thousands). They were
+/// calibrated so that the *shapes* of the paper's results hold — orderings,
+/// ratios and crossovers, not the absolute 1996 numbers (see EXPERIMENTS.md).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OsParams {
+    /// Which personality this is.
+    pub profile: OsProfile,
+    /// CPU clock (100 MHz Pentium).
+    pub freq: CpuFreq,
+
+    // --- Timekeeping -----------------------------------------------------
+    /// Hardware clock-interrupt period (10 ms on all three systems, §2.5).
+    pub clock_tick: SimDuration,
+    /// Instructions in the common-case clock interrupt handler.
+    pub clock_tick_instr: u64,
+    /// Every `housekeeping_every`-th tick runs extra bookkeeping.
+    pub housekeeping_every: u32,
+    /// Instructions of that periodic bookkeeping.
+    pub housekeeping_instr: u64,
+
+    // --- Scheduling ------------------------------------------------------
+    /// Scheduling quantum, in clock ticks.
+    pub quantum_ticks: u32,
+    /// Context-switch cost in instructions.
+    pub context_switch_instr: u64,
+
+    // --- Input pipeline --------------------------------------------------
+    /// Keyboard/mouse interrupt handler instructions.
+    pub input_interrupt_instr: u64,
+    /// Driver + windowing-system input dispatch instructions (runs before
+    /// the message is enqueued; this is the work conventional in-application
+    /// timing misses, §2.3).
+    pub input_dispatch_instr: u64,
+    /// Per-packet network protocol-stack instructions (§1's other
+    /// latency-critical event class).
+    pub net_dispatch_instr: u64,
+    /// Per-byte copy/checksum instructions in the network path.
+    pub net_instr_per_byte: u64,
+
+    // --- Win32 architecture ----------------------------------------------
+    /// How API requests cross into the implementation.
+    pub win32: Win32Arch,
+    /// System-call entry/exit instructions.
+    pub syscall_instr: u64,
+    /// Per-crossing transport instructions (LPC / mode switch / thunk).
+    pub crossing_instr: u64,
+    /// USER-side work to retrieve one message.
+    pub getmessage_instr: u64,
+    /// GDI requests are batched; a batch crossing happens after this many
+    /// operations or when the client is about to block (§1.1's batching
+    /// discussion).
+    pub gdi_batch_size: u32,
+    /// Instructions per GDI drawing operation.
+    pub gdi_op_instr: u64,
+    /// Multiplier (in thousandths) applied to all `MixClass::Gui` work:
+    /// the paper's "code path length" difference between GUIs.
+    pub gui_path_milli: u64,
+    /// Multiplier for `MixClass::GuiText` work (text/blit paths; short
+    /// hand-tuned code on Windows 95).
+    pub gui_text_path_milli: u64,
+    /// Multiplier for GDI drawing services (slide rendering, window
+    /// painting). Windows 95's 16-bit GDI is compact but pays the WIN16 mix
+    /// penalties, landing it between the NT systems (Figure 9).
+    pub gdi_path_milli: u64,
+    /// Extra input-dispatch instructions for console applications (the
+    /// console-server hop of §2.3's echo program).
+    pub console_dispatch_instr: u64,
+
+    // --- Code mixes --------------------------------------------------------
+    /// Mix for application code.
+    pub app_mix: HwMix,
+    /// Mix for GUI/windowing code (16-bit on Windows 95).
+    pub gui_mix: HwMix,
+    /// Mix for kernel code.
+    pub kernel_mix: HwMix,
+
+    // --- Background activity ----------------------------------------------
+    /// Period of OS-internal background activity, if any.
+    pub background_period: Option<SimDuration>,
+    /// Instructions per background burst.
+    pub background_instr: u64,
+
+    // --- Quirks -------------------------------------------------------------
+    /// Busy-wait between mouse-down and mouse-up (Windows 95, §4).
+    pub mouse_busy_wait: bool,
+    /// How long the system stays busy after a heavyweight-async application
+    /// finishes an event (Windows 95 + Word, §5.4). Zero disables.
+    pub post_event_busy: SimDuration,
+
+    // --- Storage -----------------------------------------------------------
+    /// Buffer-cache capacity in 4 KB blocks.
+    pub cache_blocks: usize,
+    /// Kernel instructions per block paged in from disk.
+    pub page_in_instr_per_block: u64,
+    /// Kernel instructions per cache-hit block copy.
+    pub copy_instr_per_block: u64,
+    /// Write-path cost multiplier in thousandths (NTFS under NT 4.0 pays
+    /// more per write than under 3.51 — Table 1's Save row is the one
+    /// operation where NT 4.0 is slower).
+    pub write_overhead_milli: u64,
+}
+
+impl OsParams {
+    /// Builds the calibrated parameter set for a profile.
+    pub fn for_profile(profile: OsProfile) -> OsParams {
+        let freq = CpuFreq::PENTIUM_100;
+        let tick = freq.ms(10);
+        match profile {
+            OsProfile::Nt40 => OsParams {
+                profile,
+                freq,
+                clock_tick: tick,
+                // ~400 cycles at kernel mix (§2.5).
+                clock_tick_instr: 250,
+                housekeeping_every: 10,
+                housekeeping_instr: 4_000,
+                quantum_ticks: 2,
+                context_switch_instr: 4_000,
+                input_interrupt_instr: 4_000,
+                input_dispatch_instr: 32_000,
+                net_dispatch_instr: 20_000,
+                net_instr_per_byte: 6,
+                win32: Win32Arch::KernelMode {
+                    extra_itlb: 3,
+                    extra_dtlb: 5,
+                },
+                syscall_instr: 1_500,
+                crossing_instr: 1_000,
+                getmessage_instr: 3_000,
+                gdi_batch_size: 8,
+                gdi_op_instr: 2_500,
+                gui_path_milli: 1_000,
+                gui_text_path_milli: 1_000,
+                gdi_path_milli: 1_000,
+                console_dispatch_instr: 102_000,
+                app_mix: HwMix::FLAT32,
+                gui_mix: HwMix::FLAT32,
+                kernel_mix: HwMix::KERNEL,
+                background_period: None,
+                background_instr: 0,
+                mouse_busy_wait: false,
+                post_event_busy: SimDuration::ZERO,
+                cache_blocks: 1_536,
+                page_in_instr_per_block: 1_500,
+                copy_instr_per_block: 700,
+                write_overhead_milli: 1_250,
+            },
+            OsProfile::Nt351 => OsParams {
+                profile,
+                freq,
+                clock_tick: tick,
+                clock_tick_instr: 300,
+                housekeeping_every: 10,
+                housekeeping_instr: 4_500,
+                quantum_ticks: 2,
+                context_switch_instr: 4_500,
+                input_interrupt_instr: 4_000,
+                input_dispatch_instr: 42_000,
+                net_dispatch_instr: 26_000,
+                net_instr_per_byte: 6,
+                win32: Win32Arch::UserServer {
+                    server_code_pages: 40,
+                    server_data_pages: 60,
+                },
+                syscall_instr: 1_500,
+                crossing_instr: 2_400,
+                getmessage_instr: 3_500,
+                gdi_batch_size: 6,
+                gdi_op_instr: 2_700,
+                gui_path_milli: 1_300,
+                gui_text_path_milli: 1_100,
+                gdi_path_milli: 1_008,
+                console_dispatch_instr: 160_000,
+                app_mix: HwMix::FLAT32,
+                gui_mix: HwMix::FLAT32,
+                kernel_mix: HwMix::KERNEL,
+                background_period: None,
+                background_instr: 0,
+                mouse_busy_wait: false,
+                post_event_busy: SimDuration::ZERO,
+                cache_blocks: 1_000,
+                page_in_instr_per_block: 1_600,
+                copy_instr_per_block: 750,
+                write_overhead_milli: 1_050,
+            },
+            OsProfile::Win95 => OsParams {
+                profile,
+                freq,
+                clock_tick: tick,
+                clock_tick_instr: 400,
+                housekeeping_every: 8,
+                housekeeping_instr: 6_000,
+                quantum_ticks: 2,
+                context_switch_instr: 5_000,
+                input_interrupt_instr: 6_000,
+                input_dispatch_instr: 40_000,
+                net_dispatch_instr: 30_000,
+                net_instr_per_byte: 8,
+                win32: Win32Arch::Thunk16 {
+                    extra_itlb: 4,
+                    extra_dtlb: 8,
+                },
+                syscall_instr: 1_800,
+                crossing_instr: 900,
+                getmessage_instr: 4_000,
+                gdi_batch_size: 12,
+                gdi_op_instr: 2_900,
+                gui_path_milli: 1_000,
+                gui_text_path_milli: 380,
+                gdi_path_milli: 600,
+                console_dispatch_instr: 140_000,
+                app_mix: HwMix::FLAT32,
+                gui_mix: HwMix::WIN16,
+                kernel_mix: HwMix::KERNEL,
+                background_period: Some(freq.ms(40)),
+                background_instr: 25_000,
+                mouse_busy_wait: true,
+                post_event_busy: freq.ms(2_500),
+                cache_blocks: 1_280,
+                page_in_instr_per_block: 1_800,
+                copy_instr_per_block: 800,
+                write_overhead_milli: 900,
+            },
+        }
+    }
+
+    /// The quantum in cycles.
+    pub fn quantum(&self) -> SimDuration {
+        self.clock_tick.mul(self.quantum_ticks as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_construct() {
+        for p in OsProfile::ALL {
+            let params = p.params();
+            assert_eq!(params.profile, p);
+            assert_eq!(params.freq.to_ms(params.clock_tick), 10.0);
+            assert!(params.quantum() >= params.clock_tick);
+        }
+    }
+
+    #[test]
+    fn nt40_clock_interrupt_near_400_cycles() {
+        let p = OsProfile::Nt40.params();
+        let cycles = p.kernel_mix.cycles_for(p.clock_tick_instr);
+        assert!(
+            (350..=450).contains(&cycles),
+            "NT 4.0 clock interrupt {cycles} cycles, expected ~400 (§2.5)"
+        );
+    }
+
+    #[test]
+    fn architectures_match_paper() {
+        assert!(matches!(
+            OsProfile::Nt351.params().win32,
+            Win32Arch::UserServer { .. }
+        ));
+        assert!(matches!(
+            OsProfile::Nt40.params().win32,
+            Win32Arch::KernelMode { .. }
+        ));
+        assert!(matches!(
+            OsProfile::Win95.params().win32,
+            Win32Arch::Thunk16 { .. }
+        ));
+    }
+
+    #[test]
+    fn win95_quirks_enabled() {
+        let p = OsProfile::Win95.params();
+        assert!(p.mouse_busy_wait);
+        assert!(!p.post_event_busy.is_zero());
+        assert!(p.background_period.is_some());
+        assert_eq!(p.gui_mix, HwMix::WIN16);
+        let nt = OsProfile::Nt40.params();
+        assert!(!nt.mouse_busy_wait);
+        assert!(nt.post_event_busy.is_zero());
+    }
+
+    #[test]
+    fn nt40_save_penalty_exceeds_nt351() {
+        // Table 1: Save is the one op where NT 4.0 is slower than NT 3.51.
+        assert!(
+            OsProfile::Nt40.params().write_overhead_milli
+                > OsProfile::Nt351.params().write_overhead_milli
+        );
+    }
+
+    #[test]
+    fn display_and_tags() {
+        assert_eq!(OsProfile::Nt40.to_string(), "Windows NT 4.0");
+        assert_eq!(OsProfile::Win95.tag(), "win95");
+    }
+}

@@ -1,0 +1,403 @@
+//! The execution ABI between simulated applications and the kernel.
+//!
+//! Applications are deterministic state machines implementing [`Program`].
+//! The kernel repeatedly asks the program for its next [`Action`] — a chunk
+//! of CPU work or an [`ApiCall`] — executes it (charging cycles and hardware
+//! events, possibly blocking the thread), and then steps the program again
+//! with the call's [`ApiReply`].
+//!
+//! This mirrors how the paper's workloads actually behave: a Win32
+//! application is an event loop around `GetMessage()`/`PeekMessage()` (§2.4)
+//! that computes, calls into the system API, and blocks.
+
+use latlab_des::SimDuration;
+use latlab_hw::HwMix;
+use serde::{Deserialize, Serialize};
+
+use crate::fs::FileId;
+use crate::msgq::Message;
+
+/// Identifies a thread (the simulator's unit of scheduling; the paper's
+/// applications are single-threaded, so thread ≈ process here).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+/// Scheduling priority; larger is more urgent.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The OS idle thread. Runs only when literally nothing else can.
+    pub const IDLE: Priority = Priority(0);
+    /// The measurement idle-loop process (§2.3): *"we replace the system's
+    /// idle loop with our own low-priority process"* — above the true idle
+    /// thread, below everything else.
+    pub const MEASUREMENT: Priority = Priority(1);
+    /// Normal application priority.
+    pub const NORMAL: Priority = Priority(8);
+    /// Foreground-boosted application priority.
+    pub const FOREGROUND: Priority = Priority(9);
+    /// Kernel worker activity (input dispatch continuations, lag work).
+    pub const KERNEL: Priority = Priority(16);
+}
+
+/// The kind of code a computation runs as; the active OS personality maps
+/// this to a concrete [`HwMix`] (Windows 95 routes GUI work through 16-bit
+/// code, §4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MixClass {
+    /// The application's own 32-bit code.
+    App,
+    /// GUI/windowing API code (USER/GDI) — 16-bit on Windows 95.
+    Gui,
+    /// Text and blit GUI paths (line repaints, screen scrolls). Windows
+    /// 95's hand-tuned 16-bit code is *shorter* here even though each
+    /// instruction is more expensive — the resolution of the paper's
+    /// seemingly conflicting Figure 6 (Win95 keystrokes worst) and
+    /// Figure 7 (Win95 Notepad cumulative latency smallest) findings.
+    GuiText,
+    /// General GDI drawing/painting (slide rendering, window repaint):
+    /// compact 16-bit code on Windows 95 but penalized per instruction,
+    /// landing between the NT systems (Figure 9).
+    GuiDraw,
+    /// Kernel-mode code.
+    Kernel,
+    /// An explicit mix, bypassing personality mapping.
+    Raw(HwMix),
+}
+
+/// A chunk of CPU work requested by a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComputeSpec {
+    /// Instruction count.
+    pub instructions: u64,
+    /// What kind of code performs the work.
+    pub class: MixClass,
+    /// Code pages touched (drives ITLB refill after flushes).
+    pub code_pages: u32,
+    /// Data pages touched (drives DTLB refill after flushes).
+    pub data_pages: u32,
+}
+
+impl ComputeSpec {
+    /// Application-code work with a typical small working set.
+    pub fn app(instructions: u64) -> Self {
+        ComputeSpec {
+            instructions,
+            class: MixClass::App,
+            code_pages: 24,
+            data_pages: 40,
+        }
+    }
+
+    /// GUI-path work with a typical working set.
+    pub fn gui(instructions: u64) -> Self {
+        ComputeSpec {
+            instructions,
+            class: MixClass::Gui,
+            code_pages: 28,
+            data_pages: 36,
+        }
+    }
+
+    /// Text/blit GUI work (see [`MixClass::GuiText`]).
+    pub fn gui_text(instructions: u64) -> Self {
+        ComputeSpec {
+            instructions,
+            class: MixClass::GuiText,
+            code_pages: 20,
+            data_pages: 30,
+        }
+    }
+
+    /// Drawing/painting work (see [`MixClass::GuiDraw`]).
+    pub fn gui_draw(instructions: u64) -> Self {
+        ComputeSpec {
+            instructions,
+            class: MixClass::GuiDraw,
+            code_pages: 26,
+            data_pages: 44,
+        }
+    }
+
+    /// Overrides the working-set size.
+    pub fn with_pages(mut self, code: u32, data: u32) -> Self {
+        self.code_pages = code;
+        self.data_pages = data;
+        self
+    }
+}
+
+/// Ground-truth markers emitted by instrumented programs.
+///
+/// These correspond to having application source access: the paper *lacked*
+/// this (§2: "not possible given our goal of measuring widely-available
+/// commercial software") and that is precisely why the idle-loop methodology
+/// exists. The simulator records the marks so that the methodology's output
+/// can be validated against truth (Figure 1); measurement code never reads
+/// them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GtMark {
+    /// The logical handling of the most recently retrieved user inputs is
+    /// complete (even if background work follows).
+    EventComplete,
+    /// A free-form annotation attached to the current instant.
+    Label(&'static str),
+}
+
+/// A system-API invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiCall {
+    /// Block until a message is available, then retrieve it
+    /// (`GetMessage()`).
+    GetMessage,
+    /// Poll for a message without blocking (`PeekMessage()`); replies
+    /// `Message(None)` if the queue is empty.
+    PeekMessage,
+    /// A batch element of GDI drawing work: `ops` drawing operations.
+    /// Crossing/batching semantics depend on the OS personality.
+    Gdi {
+        /// Number of drawing operations in this request.
+        ops: u32,
+    },
+    /// A synchronous windowing-system call (window creation, menu
+    /// manipulation, …): unlike GDI drawing these are never batched, so
+    /// each one pays the personality's full crossing cost — the dominant
+    /// expense of API-chatty operations like OLE in-place activation on
+    /// NT 3.51 (§5.3).
+    UserCall {
+        /// Service instructions on the USER side.
+        instr: u64,
+    },
+    /// Open a file by name; replies `File(FileId)`.
+    OpenFile {
+        /// File name registered with the simulated file system.
+        name: &'static str,
+    },
+    /// Synchronously read a byte range; blocks for any disk time.
+    ReadFile {
+        /// File handle.
+        file: FileId,
+        /// Starting byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Synchronously write a byte range (write-through); blocks for disk.
+    WriteFile {
+        /// File handle.
+        file: FileId,
+        /// Starting byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Asynchronously read a byte range: returns immediately; a
+    /// `Message::IoComplete(token)` is posted when the transfer finishes.
+    ReadFileAsync {
+        /// File handle.
+        file: FileId,
+        /// Starting byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Token echoed in the completion message.
+        token: u32,
+    },
+    /// Asynchronously write a byte range (background flush; §2.3 assumes
+    /// asynchronous I/O is background activity the user does not wait for).
+    WriteFileAsync {
+        /// File handle.
+        file: FileId,
+        /// Starting byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Token echoed in the completion message.
+        token: u32,
+    },
+    /// Sleep for at least this long; wakeup happens on a clock tick, which
+    /// is why animation steps align to 10 ms boundaries (§2.6, Figure 4a).
+    Sleep {
+        /// Minimum sleep duration.
+        duration: SimDuration,
+    },
+    /// Post a message to a thread's queue (used by the test driver's
+    /// `WM_QUEUESYNC` injection and by apps posting to themselves).
+    PostMessage {
+        /// Destination thread.
+        target: ThreadId,
+        /// The message to enqueue.
+        msg: Message,
+    },
+    /// Start a periodic timer that posts `Message::Timer` on clock ticks.
+    SetTimer {
+        /// Timer period; rounded up to whole clock ticks.
+        period: SimDuration,
+    },
+    /// Cancel the periodic timer.
+    KillTimer,
+    /// Read the Pentium cycle counter (user-mode legal, §2.2); replies
+    /// `Cycles(value)`.
+    ReadCycleCounter,
+    /// Append a value to the thread's emission buffer (models writing a
+    /// trace record to a preallocated memory buffer).
+    Emit(u64),
+    /// Record a ground-truth mark (validation only; see [`GtMark`]).
+    GtMark(GtMark),
+    /// Yield the processor voluntarily, staying ready.
+    Yield,
+}
+
+/// The kernel's reply to an [`ApiCall`], delivered to the next
+/// [`Program::step`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum ApiReply {
+    /// No payload (initial step, compute completion, void calls).
+    #[default]
+    None,
+    /// Reply to `GetMessage`/`PeekMessage`.
+    Message(Option<Message>),
+    /// Reply to `OpenFile`.
+    File(FileId),
+    /// Reply to `ReadCycleCounter`.
+    Cycles(u64),
+    /// Reply to `ReadFile`/`WriteFile`: bytes transferred.
+    Io(u64),
+}
+
+/// One step of program behaviour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Consume CPU.
+    Compute(ComputeSpec),
+    /// Invoke a system API.
+    Call(ApiCall),
+    /// Terminate the thread.
+    Exit,
+}
+
+/// Context handed to [`Program::step`].
+#[derive(Clone, Debug, Default)]
+pub struct StepCtx {
+    /// The reply to the previous action ([`ApiReply::None`] on the first
+    /// step and after plain computes).
+    pub reply: ApiReply,
+}
+
+/// A deterministic application state machine.
+///
+/// `step` is called with the result of the previous action and must return
+/// the next action. Programs must not spin forever returning zero-cost
+/// actions; the kernel treats more than a bounded number of costless steps
+/// without progress as a runaway program.
+pub trait Program {
+    /// Returns the program's next action.
+    fn step(&mut self, ctx: &mut StepCtx) -> Action;
+
+    /// Short name for traces and diagnostics.
+    fn name(&self) -> &'static str {
+        "program"
+    }
+}
+
+/// Behavioural traits of an application that the OS personality reacts to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppTraits {
+    /// The application performs heavyweight asynchronous processing around
+    /// its message loop (Word); on Windows 95 such applications keep the
+    /// system busy after event handling completes (§5.4: "the system does
+    /// not become idle immediately after Word finishes handling an event").
+    pub heavy_async: bool,
+    /// The application is a console program: its input routes through the
+    /// console server (an extra protection-domain hop) — the reason the
+    /// paper's `getchar()` echo program misses 2.34 ms of pre-application
+    /// work (§2.3, Figure 1).
+    pub console: bool,
+}
+
+/// Everything needed to spawn a thread.
+pub struct ProcessSpec {
+    /// Thread name for traces.
+    pub name: &'static str,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Behavioural traits.
+    pub traits: AppTraits,
+    /// Message-queue capacity (`None` = the Win32 default of 10,000).
+    pub queue_capacity: Option<usize>,
+}
+
+impl ProcessSpec {
+    /// A normal-priority application.
+    pub fn app(name: &'static str) -> Self {
+        ProcessSpec {
+            name,
+            priority: Priority::FOREGROUND,
+            traits: AppTraits::default(),
+            queue_capacity: None,
+        }
+    }
+
+    /// Overrides the message-queue capacity (overflow drops messages, as
+    /// real Win32 queues do).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Marks the application as heavily asynchronous (see [`AppTraits`]).
+    pub fn with_heavy_async(mut self) -> Self {
+        self.traits.heavy_async = true;
+        self
+    }
+
+    /// Marks the application as a console program (see [`AppTraits`]).
+    pub fn with_console(mut self) -> Self {
+        self.traits.console = true;
+        self
+    }
+
+    /// Overrides the priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering_matches_roles() {
+        assert!(Priority::IDLE < Priority::MEASUREMENT);
+        assert!(Priority::MEASUREMENT < Priority::NORMAL);
+        assert!(Priority::NORMAL < Priority::FOREGROUND);
+        assert!(Priority::FOREGROUND < Priority::KERNEL);
+    }
+
+    #[test]
+    fn compute_spec_builders() {
+        let c = ComputeSpec::app(100).with_pages(5, 7);
+        assert_eq!(c.instructions, 100);
+        assert_eq!(c.code_pages, 5);
+        assert_eq!(c.data_pages, 7);
+        assert_eq!(c.class, MixClass::App);
+        assert_eq!(ComputeSpec::gui(1).class, MixClass::Gui);
+    }
+
+    #[test]
+    fn process_spec_builders() {
+        let s = ProcessSpec::app("word").with_heavy_async();
+        assert!(s.traits.heavy_async);
+        assert_eq!(s.priority, Priority::FOREGROUND);
+        let t = ProcessSpec::app("x").with_priority(Priority::NORMAL);
+        assert_eq!(t.priority, Priority::NORMAL);
+    }
+
+    #[test]
+    fn default_reply_is_none() {
+        assert_eq!(ApiReply::default(), ApiReply::None);
+    }
+}

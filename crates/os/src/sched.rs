@@ -1,0 +1,135 @@
+//! The priority-preemptive scheduler.
+//!
+//! Strict priority with round-robin among equals, matching the NT scheduler
+//! closely enough for the paper's purposes: the crucial property is that the
+//! measurement idle-loop process (priority 1) runs exactly when no real work
+//! is runnable — it *is* the idle loop (§2.3).
+
+use std::collections::VecDeque;
+
+use crate::program::{Priority, ThreadId};
+
+/// Ready queues indexed by priority.
+#[derive(Clone, Debug, Default)]
+pub struct Scheduler {
+    queues: Vec<VecDeque<ThreadId>>, // index = priority
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler { queues: Vec::new() }
+    }
+
+    fn queue_mut(&mut self, p: Priority) -> &mut VecDeque<ThreadId> {
+        let idx = p.0 as usize;
+        if self.queues.len() <= idx {
+            self.queues.resize_with(idx + 1, VecDeque::new);
+        }
+        &mut self.queues[idx]
+    }
+
+    /// Enqueues a thread at the back of its priority class (fresh wakeup or
+    /// quantum rotation).
+    pub fn enqueue(&mut self, tid: ThreadId, p: Priority) {
+        self.queue_mut(p).push_back(tid);
+    }
+
+    /// Enqueues a thread at the front of its priority class (preempted
+    /// thread resumes before its peers).
+    pub fn enqueue_front(&mut self, tid: ThreadId, p: Priority) {
+        self.queue_mut(p).push_front(tid);
+    }
+
+    /// Removes and returns the highest-priority ready thread.
+    pub fn pop_highest(&mut self) -> Option<(ThreadId, Priority)> {
+        for (prio, q) in self.queues.iter_mut().enumerate().rev() {
+            if let Some(tid) = q.pop_front() {
+                return Some((tid, Priority(prio as u8)));
+            }
+        }
+        None
+    }
+
+    /// Returns the priority of the most urgent ready thread without
+    /// dequeuing it.
+    pub fn highest_ready(&self) -> Option<Priority> {
+        self.queues
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, q)| !q.is_empty())
+            .map(|(p, _)| Priority(p as u8))
+    }
+
+    /// Removes a specific thread from the ready queues (e.g. on exit).
+    /// Returns true if it was queued.
+    pub fn remove(&mut self, tid: ThreadId) -> bool {
+        for q in &mut self.queues {
+            if let Some(pos) = q.iter().position(|&t| t == tid) {
+                q.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total ready threads.
+    pub fn ready_count(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_priority_order() {
+        let mut s = Scheduler::new();
+        s.enqueue(ThreadId(1), Priority(1));
+        s.enqueue(ThreadId(2), Priority(9));
+        s.enqueue(ThreadId(3), Priority(5));
+        assert_eq!(s.pop_highest(), Some((ThreadId(2), Priority(9))));
+        assert_eq!(s.pop_highest(), Some((ThreadId(3), Priority(5))));
+        assert_eq!(s.pop_highest(), Some((ThreadId(1), Priority(1))));
+        assert_eq!(s.pop_highest(), None);
+    }
+
+    #[test]
+    fn round_robin_within_priority() {
+        let mut s = Scheduler::new();
+        s.enqueue(ThreadId(1), Priority(8));
+        s.enqueue(ThreadId(2), Priority(8));
+        let (first, _) = s.pop_highest().unwrap();
+        s.enqueue(first, Priority(8)); // quantum rotation
+        assert_eq!(s.pop_highest().unwrap().0, ThreadId(2));
+    }
+
+    #[test]
+    fn preempted_thread_resumes_first() {
+        let mut s = Scheduler::new();
+        s.enqueue(ThreadId(1), Priority(8));
+        s.enqueue_front(ThreadId(2), Priority(8));
+        assert_eq!(s.pop_highest().unwrap().0, ThreadId(2));
+    }
+
+    #[test]
+    fn highest_ready_peeks() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.highest_ready(), None);
+        s.enqueue(ThreadId(1), Priority(3));
+        assert_eq!(s.highest_ready(), Some(Priority(3)));
+        assert_eq!(s.ready_count(), 1);
+    }
+
+    #[test]
+    fn remove_specific_thread() {
+        let mut s = Scheduler::new();
+        s.enqueue(ThreadId(1), Priority(8));
+        s.enqueue(ThreadId(2), Priority(8));
+        assert!(s.remove(ThreadId(1)));
+        assert!(!s.remove(ThreadId(1)));
+        assert_eq!(s.pop_highest().unwrap().0, ThreadId(2));
+    }
+}

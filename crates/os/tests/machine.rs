@@ -1,0 +1,796 @@
+//! End-to-end tests of the simulated machine: input pipeline, message loop,
+//! scheduling, sleep alignment, disk I/O and the Windows 95 quirks.
+
+use latlab_des::{SimDuration, SimTime};
+use latlab_os::{
+    Action, ApiCall, ApiReply, ComputeSpec, InputKind, KeySym, Machine, Message, MouseButton,
+    OsProfile, Priority, ProcessSpec, Program, StepCtx,
+};
+
+fn ms(n: u64) -> SimDuration {
+    latlab_des::CpuFreq::PENTIUM_100.ms(n)
+}
+
+fn at_ms(n: u64) -> SimTime {
+    SimTime::ZERO + ms(n)
+}
+
+/// A minimal interactive app: waits for a message, computes `work_instr`,
+/// and goes back to waiting.
+struct EchoLoop {
+    work_instr: u64,
+    handled: u64,
+    awaiting_reply: bool,
+}
+
+impl EchoLoop {
+    fn new(work_instr: u64) -> Self {
+        EchoLoop {
+            work_instr,
+            handled: 0,
+            awaiting_reply: false,
+        }
+    }
+}
+
+impl Program for EchoLoop {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        if self.awaiting_reply {
+            self.awaiting_reply = false;
+            if let ApiReply::Message(Some(_)) = ctx.reply {
+                self.handled += 1;
+                return Action::Compute(ComputeSpec::app(self.work_instr));
+            }
+        }
+        self.awaiting_reply = true;
+        Action::Call(ApiCall::GetMessage)
+    }
+
+    fn name(&self) -> &'static str {
+        "echo-loop"
+    }
+}
+
+/// A low-priority busy loop standing in for the measurement idle process.
+struct BusyLoop;
+
+impl Program for BusyLoop {
+    fn step(&mut self, _ctx: &mut StepCtx) -> Action {
+        Action::Compute(ComputeSpec::app(100_000))
+    }
+
+    fn name(&self) -> &'static str {
+        "busy-loop"
+    }
+}
+
+#[test]
+fn keystroke_flows_through_pipeline() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let app = m.spawn(ProcessSpec::app("echo"), Box::new(EchoLoop::new(500_000)));
+    m.set_focus(app);
+    let id = m.schedule_input_at(at_ms(50), InputKind::Key(KeySym::Char('a')));
+    m.run_until(at_ms(200));
+    let gt = m.ground_truth();
+    let e = gt.event(id).expect("event recorded");
+    assert_eq!(e.arrived, at_ms(50));
+    assert!(e.enqueued.is_some(), "message was enqueued");
+    assert!(e.retrieved.is_some(), "message was retrieved");
+    assert!(e.completed.is_some(), "handling completed");
+    let latency = m.params().freq.to_ms(e.true_latency().unwrap());
+    // 500k instructions of app work ≈ 6 ms plus the input pipeline.
+    assert!(
+        latency > 5.0 && latency < 20.0,
+        "latency {latency} ms out of expected band"
+    );
+    // Pre-application time (interrupt + dispatch + wake) is non-trivial but
+    // well under the total — this is the §2.3 "lost" prefix.
+    let pre = m.params().freq.to_ms(e.pre_application().unwrap());
+    assert!(pre > 0.1 && pre < latency / 2.0, "pre-app {pre} ms");
+}
+
+#[test]
+fn events_ordered_and_latencies_consistent() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let app = m.spawn(ProcessSpec::app("echo"), Box::new(EchoLoop::new(200_000)));
+    m.set_focus(app);
+    let mut ids = Vec::new();
+    for i in 0..10 {
+        ids.push(m.schedule_input_at(at_ms(20 + i * 150), InputKind::Key(KeySym::Char('x'))));
+    }
+    m.run_until(at_ms(2_000));
+    for id in ids {
+        let e = m.ground_truth().event(id).unwrap();
+        let lat = e.true_latency().expect("completed");
+        assert!(lat >= e.pre_application().unwrap());
+        assert!(e.retrieved.unwrap() >= e.enqueued.unwrap());
+        assert!(e.enqueued.unwrap() >= e.arrived);
+    }
+}
+
+#[test]
+fn clock_ticks_fire_every_10ms() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.run_until(at_ms(1_000));
+    // 1 second / 10 ms = 100 ticks (the tick at t=1s may or may not have
+    // been processed depending on boundary handling).
+    let ticks = m.stats().clock_ticks;
+    assert!(
+        (99..=101).contains(&ticks),
+        "expected ~100 ticks, got {ticks}"
+    );
+}
+
+#[test]
+fn busy_intervals_reflect_real_work_only() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    // The measurement-priority thread must not count as busy.
+    m.spawn(
+        ProcessSpec::app("idleloop").with_priority(Priority::MEASUREMENT),
+        Box::new(BusyLoop),
+    );
+    m.run_until(at_ms(500));
+    let busy = m.ground_truth().busy_within(SimTime::ZERO, at_ms(500));
+    let busy_ms = m.params().freq.to_ms(busy);
+    // Only clock interrupts (~0.4% util) should register.
+    assert!(
+        busy_ms < 10.0,
+        "idle system shows {busy_ms} ms busy in 500 ms"
+    );
+    assert!(busy_ms > 0.1, "clock interrupts should register as busy");
+}
+
+#[test]
+fn sleep_wakes_on_tick_boundaries() {
+    struct Sleeper {
+        phase: u8,
+        wake_time: Option<u64>,
+    }
+    impl Program for Sleeper {
+        fn step(&mut self, ctx: &mut StepCtx) -> Action {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Action::Call(ApiCall::Sleep { duration: ms(3) })
+                }
+                1 => {
+                    self.phase = 2;
+                    Action::Call(ApiCall::ReadCycleCounter)
+                }
+                2 => {
+                    if let ApiReply::Cycles(c) = ctx.reply {
+                        self.wake_time = Some(c);
+                    }
+                    self.phase = 3;
+                    Action::Call(ApiCall::Emit(self.wake_time.unwrap()))
+                }
+                _ => Action::Exit,
+            }
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let tid = m.spawn(
+        ProcessSpec::app("sleeper"),
+        Box::new(Sleeper {
+            phase: 0,
+            wake_time: None,
+        }),
+    );
+    m.run_until(at_ms(100));
+    let emitted = m.take_emitted(tid);
+    assert_eq!(emitted.len(), 1);
+    // Slept 3 ms from ~t=0 → woken at the 10 ms tick (plus handler time).
+    let wake_ms = emitted[0] as f64 / 100_000.0;
+    assert!(
+        (10.0..11.5).contains(&wake_ms),
+        "woke at {wake_ms} ms, expected just after the 10 ms tick"
+    );
+}
+
+#[test]
+fn cold_read_blocks_for_disk_and_warm_read_does_not() {
+    struct Reader {
+        phase: u8,
+        file: Option<latlab_os::FileId>,
+        times: Vec<u64>,
+    }
+    impl Program for Reader {
+        fn step(&mut self, ctx: &mut StepCtx) -> Action {
+            if let ApiReply::Cycles(c) = ctx.reply {
+                self.times.push(c);
+            }
+            if let ApiReply::File(f) = ctx.reply {
+                self.file = Some(f);
+            }
+            let phase = self.phase;
+            self.phase += 1;
+            match phase {
+                0 => Action::Call(ApiCall::OpenFile { name: "data.bin" }),
+                // Timestamp, read (cold), timestamp, read (warm), timestamp.
+                1 | 3 | 5 => Action::Call(ApiCall::ReadCycleCounter),
+                2 | 4 => Action::Call(ApiCall::ReadFile {
+                    file: self.file.unwrap(),
+                    offset: 0,
+                    len: 256 * 1024,
+                }),
+                6 => Action::Call(ApiCall::Emit(self.times[1] - self.times[0])),
+                7 => Action::Call(ApiCall::Emit(self.times[2] - self.times[1])),
+                _ => Action::Exit,
+            }
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.register_file("data.bin", 256 * 1024, 16);
+    let tid = m.spawn(
+        ProcessSpec::app("reader"),
+        Box::new(Reader {
+            phase: 0,
+            file: None,
+            times: Vec::new(),
+        }),
+    );
+    m.run_until(at_ms(3_000));
+    let emitted = m.take_emitted(tid);
+    assert_eq!(emitted.len(), 2, "expected two read timings");
+    let cold_ms = emitted[0] as f64 / 100_000.0;
+    let warm_ms = emitted[1] as f64 / 100_000.0;
+    assert!(cold_ms > 50.0, "cold 256 KB read took only {cold_ms} ms");
+    assert!(
+        warm_ms < cold_ms / 5.0,
+        "warm read {warm_ms} ms not much faster than cold {cold_ms} ms"
+    );
+    let (hits, misses) = m.cache_stats();
+    assert!(hits >= 64, "second read should hit the cache ({hits} hits)");
+    assert!(misses >= 64);
+}
+
+#[test]
+fn win95_mouse_click_busy_waits_for_press_duration() {
+    let mut m = Machine::new(OsProfile::Win95.params());
+    let app = m.spawn(ProcessSpec::app("shell"), Box::new(EchoLoop::new(50_000)));
+    m.set_focus(app);
+    let down = m.schedule_input_at(at_ms(100), InputKind::MouseDown(MouseButton::Left));
+    let _up = m.schedule_input_at(at_ms(250), InputKind::MouseUp(MouseButton::Left));
+    m.run_until(at_ms(600));
+    // The whole 150 ms press shows as CPU-busy (the system busy-waits, §4).
+    let busy = m.ground_truth().busy_within(at_ms(110), at_ms(240));
+    let busy_ms = m.params().freq.to_ms(busy);
+    assert!(
+        busy_ms > 120.0,
+        "Windows 95 should busy-wait during the press, saw {busy_ms} ms"
+    );
+    // The mouse-down event's true latency spans the press.
+    let e = m.ground_truth().event(down).unwrap();
+    let lat = m.params().freq.to_ms(e.true_latency().unwrap());
+    assert!(lat > 150.0, "mouse-down latency {lat} ms should span press");
+
+    // NT 4.0 does not busy-wait.
+    let mut nt = Machine::new(OsProfile::Nt40.params());
+    let app = nt.spawn(ProcessSpec::app("shell"), Box::new(EchoLoop::new(50_000)));
+    nt.set_focus(app);
+    nt.schedule_input_at(at_ms(100), InputKind::MouseDown(MouseButton::Left));
+    nt.schedule_input_at(at_ms(250), InputKind::MouseUp(MouseButton::Left));
+    nt.run_until(at_ms(600));
+    let busy = nt.ground_truth().busy_within(at_ms(110), at_ms(240));
+    assert!(nt.params().freq.to_ms(busy) < 20.0);
+}
+
+#[test]
+fn win95_background_activity_exceeds_nt() {
+    let mut w95 = Machine::new(OsProfile::Win95.params());
+    let mut nt = Machine::new(OsProfile::Nt40.params());
+    w95.run_until(at_ms(2_000));
+    nt.run_until(at_ms(2_000));
+    let b95 = w95
+        .ground_truth()
+        .busy_within(SimTime::ZERO, at_ms(2_000))
+        .cycles();
+    let bnt = nt
+        .ground_truth()
+        .busy_within(SimTime::ZERO, at_ms(2_000))
+        .cycles();
+    assert!(
+        b95 > bnt * 2,
+        "Windows 95 idle activity ({b95} cy) should well exceed NT ({bnt} cy)"
+    );
+}
+
+#[test]
+fn test_driver_queuesync_reaches_app() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let app = m.spawn(ProcessSpec::app("echo"), Box::new(EchoLoop::new(100_000)));
+    m.set_focus(app);
+    m.schedule_input_at(at_ms(50), InputKind::Key(KeySym::Char('a')));
+    m.schedule_post_to_focus(at_ms(51), Message::QueueSync);
+    m.run_until(at_ms(300));
+    let retrieved: Vec<_> = m
+        .apilog()
+        .for_thread(app)
+        .filter_map(|e| e.retrieved())
+        .collect();
+    assert_eq!(
+        retrieved.len(),
+        2,
+        "input + QueueSync retrieved: {retrieved:?}"
+    );
+    assert!(matches!(retrieved[1], Message::QueueSync));
+}
+
+#[test]
+fn quiescence_detection() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let app = m.spawn(ProcessSpec::app("echo"), Box::new(EchoLoop::new(300_000)));
+    m.set_focus(app);
+    m.schedule_input_at(at_ms(10), InputKind::Key(KeySym::Char('a')));
+    assert!(!m.is_quiescent(), "input outstanding");
+    assert!(m.run_until_quiescent(at_ms(1_000)));
+    assert!(m.is_quiescent());
+}
+
+#[test]
+fn counter_hooks_work_through_machine() {
+    use latlab_hw::{CounterId, HwEvent};
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.configure_counter(CounterId::Ctr0, HwEvent::HardwareInterrupts)
+        .unwrap();
+    m.run_until(at_ms(200));
+    let interrupts = m.read_counter(CounterId::Ctr0).unwrap();
+    // ~20 clock ticks in 200 ms.
+    assert!(
+        (19..=21).contains(&interrupts),
+        "expected ~20 interrupts, got {interrupts}"
+    );
+    assert_eq!(m.read_cycle_counter(), m.now().cycles());
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut m = Machine::new(OsProfile::Nt351.params());
+        let app = m.spawn(ProcessSpec::app("echo"), Box::new(EchoLoop::new(250_000)));
+        m.set_focus(app);
+        for i in 0..5 {
+            m.schedule_input_at(at_ms(20 + i * 100), InputKind::Key(KeySym::Char('q')));
+        }
+        m.run_until(at_ms(1_000));
+        let lat: Vec<u64> = m
+            .ground_truth()
+            .events()
+            .iter()
+            .map(|e| e.true_latency().unwrap().cycles())
+            .collect();
+        (lat, m.stats().context_switches, m.read_cycle_counter())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+#[should_panic(expected = "no such file")]
+fn open_missing_file_panics() {
+    struct Opener;
+    impl Program for Opener {
+        fn step(&mut self, _ctx: &mut StepCtx) -> Action {
+            Action::Call(ApiCall::OpenFile { name: "missing" })
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.spawn(ProcessSpec::app("opener"), Box::new(Opener));
+    m.run_until(at_ms(10));
+}
+
+#[test]
+#[should_panic(expected = "runaway")]
+fn runaway_program_detected() {
+    struct Runaway;
+    impl Program for Runaway {
+        fn step(&mut self, _ctx: &mut StepCtx) -> Action {
+            Action::Compute(ComputeSpec::app(0))
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.spawn(ProcessSpec::app("runaway"), Box::new(Runaway));
+    m.run_until(at_ms(10));
+}
+
+#[test]
+fn async_io_completes_via_message_without_blocking() {
+    use latlab_os::{IoKind, Transition};
+
+    struct AsyncReader {
+        phase: u8,
+        file: Option<latlab_os::FileId>,
+        got_completion: bool,
+        compute_done_at: Option<u64>,
+        completion_at: Option<u64>,
+    }
+    impl Program for AsyncReader {
+        fn step(&mut self, ctx: &mut StepCtx) -> Action {
+            if let ApiReply::File(f) = ctx.reply {
+                self.file = Some(f);
+            }
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Action::Call(ApiCall::OpenFile { name: "bg.bin" })
+                }
+                1 => {
+                    self.phase = 2;
+                    Action::Call(ApiCall::ReadFileAsync {
+                        file: self.file.unwrap(),
+                        offset: 0,
+                        len: 128 * 1024,
+                        token: 7,
+                    })
+                }
+                2 => {
+                    // The thread keeps computing while the disk works.
+                    self.phase = 3;
+                    Action::Compute(ComputeSpec::app(500_000))
+                }
+                3 => {
+                    self.phase = 4;
+                    Action::Call(ApiCall::ReadCycleCounter)
+                }
+                4 => {
+                    if let ApiReply::Cycles(c) = ctx.reply {
+                        self.compute_done_at = Some(c);
+                    }
+                    self.phase = 5;
+                    Action::Call(ApiCall::GetMessage)
+                }
+                5 => {
+                    if let ApiReply::Message(Some(Message::IoComplete(7))) = ctx.reply {
+                        self.got_completion = true;
+                        self.phase = 6;
+                        return Action::Call(ApiCall::ReadCycleCounter);
+                    }
+                    Action::Call(ApiCall::GetMessage)
+                }
+                6 => {
+                    if let ApiReply::Cycles(c) = ctx.reply {
+                        self.completion_at = Some(c);
+                    }
+                    self.phase = 7;
+                    Action::Call(ApiCall::Emit(
+                        ((self.got_completion as u64) << 62)
+                            | (self.completion_at.unwrap() - self.compute_done_at.unwrap()),
+                    ))
+                }
+                _ => Action::Exit,
+            }
+        }
+    }
+
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.register_file("bg.bin", 256 * 1024, 8);
+    let tid = m.spawn(
+        ProcessSpec::app("asyncreader"),
+        Box::new(AsyncReader {
+            phase: 0,
+            file: None,
+            got_completion: false,
+            compute_done_at: None,
+            completion_at: None,
+        }),
+    );
+    m.run_until(at_ms(2_000));
+    let emitted = m.take_emitted(tid);
+    assert_eq!(emitted.len(), 1);
+    assert!(emitted[0] >> 62 == 1, "completion message received");
+    // The compute overlapped the disk transfer: the thread finished its
+    // 500k instructions (~6 ms) while the ~60+ ms read was in flight, then
+    // blocked until the completion message arrived.
+    let wait_ms = (emitted[0] & ((1 << 62) - 1)) as f64 / 100_000.0;
+    assert!(
+        wait_ms > 10.0,
+        "completion should arrive well after compute finished ({wait_ms} ms)"
+    );
+    // The kernel logged the issue/complete transitions with the right kind.
+    let async_issues = m
+        .state_log()
+        .records()
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.transition,
+                Transition::IoIssued {
+                    kind: IoKind::AsyncRead,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(async_issues, 1);
+    assert!(!m.sync_io_pending());
+}
+
+#[test]
+fn state_log_records_queue_transitions() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let app = m.spawn(ProcessSpec::app("echo"), Box::new(EchoLoop::new(100_000)));
+    m.set_focus(app);
+    m.schedule_input_at(at_ms(50), InputKind::Key(KeySym::Char('a')));
+    m.run_until(at_ms(300));
+    let replay = m.state_log().replay_thread(app);
+    assert!(!replay.is_empty());
+    // Queue went 1 (enqueue) then 0 (dequeue); no I/O.
+    assert!(replay.iter().any(|&(_, q, _)| q == 1));
+    assert_eq!(replay.last().unwrap().1, 0);
+    assert!(replay.iter().all(|&(_, _, io)| io == 0));
+}
+
+#[test]
+fn focus_change_reroutes_input() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let a = m.spawn(ProcessSpec::app("app-a"), Box::new(EchoLoop::new(100_000)));
+    let b = m.spawn(ProcessSpec::app("app-b"), Box::new(EchoLoop::new(100_000)));
+    m.set_focus(a);
+    let for_a = m.schedule_input_at(at_ms(50), InputKind::Key(KeySym::Char('a')));
+    m.schedule_focus_change(at_ms(100), b);
+    let for_b = m.schedule_input_at(at_ms(150), InputKind::Key(KeySym::Char('b')));
+    m.run_until(at_ms(400));
+    assert_eq!(m.focused(), Some(b));
+    let gt = m.ground_truth();
+    assert_eq!(gt.event(for_a).unwrap().handler, Some(a));
+    assert_eq!(gt.event(for_b).unwrap().handler, Some(b));
+    // Both windows saw their focus notifications.
+    let a_msgs: Vec<_> = m
+        .apilog()
+        .for_thread(a)
+        .filter_map(|e| e.retrieved())
+        .collect();
+    assert!(a_msgs.contains(&Message::User(latlab_os::FOCUS_LOST)));
+    let b_msgs: Vec<_> = m
+        .apilog()
+        .for_thread(b)
+        .filter_map(|e| e.retrieved())
+        .collect();
+    assert!(b_msgs.contains(&Message::User(latlab_os::FOCUS_GAINED)));
+}
+
+#[test]
+fn high_priority_thread_preempts_lower() {
+    // A foreground-priority message handler must preempt a long-running
+    // normal-priority compute thread immediately, not at its quantum end.
+    struct Cruncher;
+    impl Program for Cruncher {
+        fn step(&mut self, _ctx: &mut StepCtx) -> Action {
+            Action::Compute(ComputeSpec::app(100_000_000)) // ~1.2 s
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.spawn(
+        ProcessSpec::app("cruncher").with_priority(Priority::NORMAL),
+        Box::new(Cruncher),
+    );
+    let fg = m.spawn(ProcessSpec::app("fg"), Box::new(EchoLoop::new(200_000)));
+    m.set_focus(fg);
+    let id = m.schedule_input_at(at_ms(100), InputKind::Key(KeySym::Char('x')));
+    m.run_until(at_ms(1_000));
+    let lat = m
+        .ground_truth()
+        .event(id)
+        .unwrap()
+        .true_latency()
+        .expect("handled despite background cruncher");
+    let lat_ms = m.params().freq.to_ms(lat);
+    assert!(
+        lat_ms < 20.0,
+        "foreground event must preempt the cruncher, took {lat_ms} ms"
+    );
+}
+
+#[test]
+fn round_robin_shares_cpu_between_equal_priorities() {
+    struct Spinner;
+    impl Program for Spinner {
+        fn step(&mut self, _ctx: &mut StepCtx) -> Action {
+            Action::Compute(ComputeSpec::app(1_000_000))
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let a = m.spawn(
+        ProcessSpec::app("a").with_priority(Priority::NORMAL),
+        Box::new(Spinner),
+    );
+    let b = m.spawn(
+        ProcessSpec::app("b").with_priority(Priority::NORMAL),
+        Box::new(Spinner),
+    );
+    m.run_until(at_ms(2_000));
+    let (ca, cb) = (m.thread_cpu_cycles(a), m.thread_cpu_cycles(b));
+    let ratio = ca as f64 / cb as f64;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "equal-priority threads should share CPU, got {ca} vs {cb}"
+    );
+}
+
+#[test]
+fn queue_overflow_drops_but_machine_survives() {
+    // A slow consumer with a tiny queue under a fast producer: overflowing
+    // messages are dropped (with an observable count), handled events still
+    // complete, and the machine stays healthy.
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let app = m.spawn(
+        ProcessSpec::app("slow").with_queue_capacity(4),
+        Box::new(EchoLoop::new(5_000_000)), // ~60 ms per message
+    );
+    m.set_focus(app);
+    let mut ids = Vec::new();
+    for i in 0..40u64 {
+        ids.push(m.schedule_input_at(at_ms(50 + i * 2), InputKind::Key(KeySym::Char('f'))));
+    }
+    m.run_until(at_ms(3_000));
+    let gt = m.ground_truth();
+    let enqueued = ids
+        .iter()
+        .filter(|&&id| gt.event(id).unwrap().enqueued.is_some())
+        .count();
+    let completed = ids
+        .iter()
+        .filter(|&&id| gt.event(id).unwrap().completed.is_some())
+        .count();
+    assert!(
+        enqueued < 40,
+        "overflow must drop some inputs ({enqueued} accepted)"
+    );
+    assert!(completed >= 4, "accepted inputs complete ({completed})");
+    assert_eq!(completed, enqueued, "every accepted input is handled");
+    // The queue stayed within its bound throughout: implied by capacity 4 +
+    // the drop accounting; machine is still responsive afterwards.
+    let late = m.schedule_input_at(m.now() + ms(50), InputKind::Key(KeySym::Char('z')));
+    m.run_until(m.now() + ms(500));
+    assert!(m.ground_truth().event(late).unwrap().completed.is_some());
+}
+
+#[test]
+fn set_timer_fires_periodically_and_kill_timer_stops_it() {
+    struct TimerApp {
+        started: bool,
+        awaiting: bool,
+        ticks_seen: u32,
+        kill_after: u32,
+    }
+    impl Program for TimerApp {
+        fn step(&mut self, ctx: &mut StepCtx) -> Action {
+            if !self.started {
+                self.started = true;
+                return Action::Call(ApiCall::SetTimer { period: ms(50) });
+            }
+            if self.awaiting {
+                self.awaiting = false;
+                if let ApiReply::Message(Some(Message::Timer)) = ctx.reply {
+                    self.ticks_seen += 1;
+                    if self.ticks_seen == self.kill_after {
+                        return Action::Call(ApiCall::KillTimer);
+                    }
+                    return Action::Compute(ComputeSpec::app(50_000));
+                }
+            }
+            self.awaiting = true;
+            Action::Call(ApiCall::GetMessage)
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let tid = m.spawn(
+        ProcessSpec::app("timerapp"),
+        Box::new(TimerApp {
+            started: false,
+            awaiting: false,
+            ticks_seen: 0,
+            kill_after: 4,
+        }),
+    );
+    m.set_focus(tid);
+    m.run_until(at_ms(2_000));
+    // Four timer messages were processed, then the timer was killed: the
+    // API log shows exactly four Timer retrievals.
+    let timer_msgs = m
+        .apilog()
+        .for_thread(tid)
+        .filter(|e| matches!(e.retrieved(), Some(Message::Timer)))
+        .count();
+    assert_eq!(timer_msgs, 4, "timer must stop after KillTimer");
+}
+
+#[test]
+fn app_to_app_post_message() {
+    struct Sender {
+        target: Option<ThreadIdHolder>,
+        sent: bool,
+    }
+    struct ThreadIdHolder(latlab_os::ThreadId);
+    impl Program for Sender {
+        fn step(&mut self, _ctx: &mut StepCtx) -> Action {
+            if !self.sent {
+                self.sent = true;
+                return Action::Call(ApiCall::PostMessage {
+                    target: self.target.as_ref().unwrap().0,
+                    msg: Message::User(0xBEEF),
+                });
+            }
+            Action::Exit
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let receiver = m.spawn(
+        ProcessSpec::app("receiver"),
+        Box::new(EchoLoop::new(80_000)),
+    );
+    m.spawn(
+        ProcessSpec::app("sender"),
+        Box::new(Sender {
+            target: Some(ThreadIdHolder(receiver)),
+            sent: false,
+        }),
+    );
+    m.run_until(at_ms(200));
+    let got = m
+        .apilog()
+        .for_thread(receiver)
+        .any(|e| matches!(e.retrieved(), Some(Message::User(0xBEEF))));
+    assert!(got, "receiver must get the posted user message");
+}
+
+#[test]
+fn user_call_crossings_cost_more_on_nt351() {
+    struct Caller {
+        remaining: u32,
+        done_at: Option<u64>,
+    }
+    impl Program for Caller {
+        fn step(&mut self, ctx: &mut StepCtx) -> Action {
+            if let ApiReply::Cycles(c) = ctx.reply {
+                self.done_at = Some(c);
+                return Action::Call(ApiCall::Emit(c));
+            }
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                return Action::Call(ApiCall::UserCall { instr: 3_000 });
+            }
+            if self.done_at.is_none() {
+                return Action::Call(ApiCall::ReadCycleCounter);
+            }
+            Action::Exit
+        }
+    }
+    let run = |profile: OsProfile| -> u64 {
+        let mut m = Machine::new(profile.params());
+        let tid = m.spawn(
+            ProcessSpec::app("caller"),
+            Box::new(Caller {
+                remaining: 500,
+                done_at: None,
+            }),
+        );
+        m.run_until(at_ms(3_000));
+        m.take_emitted(tid)[0]
+    };
+    let nt40 = run(OsProfile::Nt40);
+    let nt351 = run(OsProfile::Nt351);
+    assert!(
+        nt351 as f64 > nt40 as f64 * 1.3,
+        "500 synchronous USER calls: NT 3.51 {nt351} cycles vs NT 4.0 {nt40}"
+    );
+}
+
+#[test]
+fn quiescence_holds_when_a_thread_exits_with_queued_messages() {
+    struct QuitsEarly;
+    impl Program for QuitsEarly {
+        fn step(&mut self, _ctx: &mut StepCtx) -> Action {
+            Action::Exit
+        }
+    }
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let tid = m.spawn(ProcessSpec::app("quitter"), Box::new(QuitsEarly));
+    m.set_focus(tid);
+    // The input arrives after the thread has exited; the message stays
+    // queued forever, which must not wedge quiescence detection.
+    m.schedule_input_at(at_ms(50), InputKind::Key(KeySym::Char('x')));
+    assert!(
+        m.run_until_quiescent(at_ms(2_000)),
+        "an exited thread with undrained messages must still count as quiescent"
+    );
+}

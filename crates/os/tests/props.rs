@@ -1,0 +1,165 @@
+//! Property-based tests of OS substrate invariants.
+
+use proptest::prelude::*;
+
+use latlab_des::SimTime;
+use latlab_hw::disk::BLOCK_SIZE;
+use latlab_os::fs::Fs;
+use latlab_os::msgq::{Message, MessageQueue};
+use latlab_os::program::{Priority, ThreadId};
+use latlab_os::sched::Scheduler;
+
+proptest! {
+    /// Files never overlap on disk and every byte of every file maps to
+    /// exactly one disk block, regardless of sizes and fragmentation.
+    #[test]
+    fn fs_allocations_disjoint(
+        files in prop::collection::vec((1u64..64, 1u64..8), 1..12)
+    ) {
+        let mut fs = Fs::new();
+        let names: Vec<&'static str> = (0..files.len())
+            .map(|i| &*Box::leak(format!("f{i}").into_boxed_str()))
+            .collect();
+        let mut handles = Vec::new();
+        for (i, &(blocks, frag)) in files.iter().enumerate() {
+            handles.push((fs.create(names[i], blocks * BLOCK_SIZE, frag), blocks));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &(id, blocks) in &handles {
+            let runs = fs.map_range(id, 0, blocks * BLOCK_SIZE);
+            let mapped: u64 = runs.iter().map(|(_, r)| r.count).sum();
+            prop_assert_eq!(mapped, blocks, "every block mapped once");
+            for (_, run) in runs {
+                for b in run.start..run.start + run.count {
+                    prop_assert!(seen.insert(b), "block {} double-allocated", b);
+                }
+            }
+        }
+    }
+
+    /// Sub-range mapping is consistent with whole-file mapping.
+    #[test]
+    fn fs_subrange_consistent(
+        blocks in 2u64..64,
+        frag in 1u64..8,
+        start_frac in 0u64..100,
+        len_frac in 1u64..100,
+    ) {
+        let mut fs = Fs::new();
+        let id = fs.create("f", blocks * BLOCK_SIZE, frag);
+        let size = blocks * BLOCK_SIZE;
+        let offset = size * start_frac / 100;
+        let len = ((size - offset) * len_frac / 100).max(1);
+        let whole: Vec<u64> = fs
+            .map_range(id, 0, size)
+            .into_iter()
+            .flat_map(|(fb, run)| (0..run.count).map(move |i| (fb + i, run.start + i)))
+            .map(|(fb, db)| db.wrapping_sub(fb)) // per-block offset signature
+            .collect();
+        let _ = whole;
+        let sub = fs.map_range(id, offset, len);
+        let first_block = offset / BLOCK_SIZE;
+        let last_block = (offset + len - 1) / BLOCK_SIZE;
+        let mapped: u64 = sub.iter().map(|(_, r)| r.count).sum();
+        prop_assert_eq!(mapped, last_block - first_block + 1);
+        prop_assert_eq!(sub.first().map(|&(fb, _)| fb), Some(first_block));
+    }
+
+    /// The scheduler never loses or duplicates a thread.
+    #[test]
+    fn scheduler_conserves_threads(
+        ops in prop::collection::vec((0u32..16, 0u8..3), 1..200)
+    ) {
+        let mut sched = Scheduler::new();
+        let mut queued = std::collections::HashSet::new();
+        for &(tid, op) in &ops {
+            let tid = ThreadId(tid);
+            match op {
+                0 if !queued.contains(&tid) => {
+                    sched.enqueue(tid, Priority(u8::from(tid.0.is_multiple_of(5)) * 8 + 1));
+                    queued.insert(tid);
+                }
+                1 if !queued.contains(&tid) => {
+                    sched.enqueue_front(tid, Priority(3));
+                    queued.insert(tid);
+                }
+                2 => {
+                    if let Some((popped, _)) = sched.pop_highest() {
+                        prop_assert!(queued.remove(&popped), "popped unqueued thread");
+                    }
+                }
+                _ => {}
+            }
+            prop_assert_eq!(sched.ready_count(), queued.len());
+        }
+        // Drain: everything queued comes out exactly once.
+        while let Some((tid, _)) = sched.pop_highest() {
+            prop_assert!(queued.remove(&tid));
+        }
+        prop_assert!(queued.is_empty());
+    }
+
+    /// Message queues preserve FIFO order and never exceed capacity.
+    #[test]
+    fn message_queue_fifo_and_bounded(
+        capacity in 1usize..64,
+        posts in prop::collection::vec(0u32..1_000, 0..200),
+    ) {
+        let mut q = MessageQueue::with_capacity(capacity);
+        let mut accepted = Vec::new();
+        for &p in &posts {
+            if q.post(Message::User(p)) {
+                accepted.push(p);
+            }
+            prop_assert!(q.len() <= capacity);
+        }
+        let drained: Vec<u32> = std::iter::from_fn(|| q.take()).map(|m| match m {
+            Message::User(p) => p,
+            other => panic!("unexpected {other:?}"),
+        }).collect();
+        prop_assert_eq!(drained, accepted);
+        prop_assert_eq!(q.dropped() as usize, posts.len() - q.total_enqueued() as usize);
+    }
+}
+
+// Determinism across arbitrary (but identical) input schedules.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn machine_is_deterministic(offsets in prop::collection::vec(1u64..200, 1..12)) {
+        use latlab_os::{InputKind, KeySym, Machine, OsProfile, ProcessSpec};
+        use latlab_os::{Action, ApiCall, ApiReply, ComputeSpec, Program, StepCtx};
+
+        struct Echo(bool);
+        impl Program for Echo {
+            fn step(&mut self, ctx: &mut StepCtx) -> Action {
+                if self.0 {
+                    self.0 = false;
+                    if let ApiReply::Message(Some(_)) = ctx.reply {
+                        return Action::Compute(ComputeSpec::app(150_000));
+                    }
+                }
+                self.0 = true;
+                Action::Call(ApiCall::GetMessage)
+            }
+        }
+        let run = |offsets: &[u64]| -> Vec<u64> {
+            let mut m = Machine::new(OsProfile::Nt351.params());
+            let tid = m.spawn(ProcessSpec::app("echo"), Box::new(Echo(false)));
+            m.set_focus(tid);
+            let freq = m.params().freq;
+            let mut t = 0u64;
+            for &o in offsets {
+                t += o;
+                m.schedule_input_at(SimTime::ZERO + freq.ms(t), InputKind::Key(KeySym::Char('q')));
+            }
+            m.run_until(SimTime::ZERO + freq.ms(t + 500));
+            m.ground_truth()
+                .events()
+                .iter()
+                .map(|e| e.true_latency().map(|d| d.cycles()).unwrap_or(0))
+                .collect()
+        };
+        prop_assert_eq!(run(&offsets), run(&offsets));
+    }
+}

@@ -1,0 +1,93 @@
+//! Measuring your own application: implement `Program`, launch it in a
+//! session, and read its latency anatomy.
+//!
+//! The example app is a tiny "spreadsheet": most keystrokes edit a cell
+//! cheaply, but every ENTER triggers a full recalculation whose cost grows
+//! with the number of committed rows — a classic latency cliff the
+//! histogram makes obvious.
+//!
+//! ```text
+//! cargo run --release --example custom_app
+//! ```
+
+use latlab::os::{Action, ApiCall, ApiReply, ComputeSpec, StepCtx};
+use latlab::prelude::*;
+
+/// A minimal interactive spreadsheet model.
+struct MiniSheet {
+    awaiting: bool,
+    rows: u64,
+}
+
+impl latlab::os::Program for MiniSheet {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        if self.awaiting {
+            self.awaiting = false;
+            if let ApiReply::Message(Some(Message::Input {
+                kind: InputKind::Key(key),
+                ..
+            })) = ctx.reply
+            {
+                return match key {
+                    KeySym::Enter => {
+                        // Commit the row and recalculate everything below:
+                        // cost grows linearly with sheet size.
+                        self.rows += 1;
+                        Action::Compute(ComputeSpec::app(400_000 + 600_000 * self.rows))
+                    }
+                    // Cell editing: cheap echo plus formula preview.
+                    _ => Action::Compute(ComputeSpec::gui_text(250_000)),
+                };
+            }
+            // Non-input messages (timers, sync) are absorbed.
+            if let ApiReply::Message(Some(_)) = ctx.reply {
+                return Action::Compute(ComputeSpec::app(10_000));
+            }
+        }
+        self.awaiting = true;
+        Action::Call(ApiCall::GetMessage)
+    }
+
+    fn name(&self) -> &'static str {
+        "minisheet"
+    }
+}
+
+fn main() {
+    let freq = CpuFreq::PENTIUM_100;
+    let mut session = MeasurementSession::new(OsProfile::Nt40);
+    session.launch_app(
+        ProcessSpec::app("minisheet"),
+        Box::new(MiniSheet {
+            awaiting: false,
+            rows: 0,
+        }),
+    );
+    // Enter eight rows of three digits each.
+    let mut script = InputScript::new();
+    for _ in 0..8 {
+        script = script
+            .text(freq.ms(180), "123")
+            .key(freq.ms(300), KeySym::Enter);
+    }
+    TestDriver::clean().schedule(session.machine(), SimTime::ZERO + freq.ms(100), &script);
+    session.run_until_quiescent(SimTime::ZERO + script.duration() + freq.secs(5));
+    let m = session.finish(BoundaryPolicy::SplitAtRetrieval);
+
+    println!(
+        "mini-spreadsheet latency anatomy ({} events):\n",
+        m.events.len()
+    );
+    for (i, e) in m.events.iter().enumerate() {
+        let bar = "#".repeat((e.latency_ms(freq) / 2.0).ceil() as usize);
+        println!("  event {:>2}: {:>7.2} ms {bar}", i + 1, e.latency_ms(freq));
+    }
+    let latencies: Vec<f64> = m.events.iter().map(|e| e.latency_ms(freq)).collect();
+    let hist = LatencyHistogram::from_latencies(&latencies);
+    println!("\nhistogram (log count) — note the recalculation cliff marching right:");
+    print!("{}", latlab::analysis::ascii::histogram_log(&hist, 36));
+    println!(
+        "\nresponsiveness score (Shneiderman penalty): {:.2}",
+        latlab::analysis::responsiveness_score(&latencies, latlab::analysis::shneiderman_penalty)
+    );
+}

@@ -1,0 +1,60 @@
+//! The Figure 1 validation experiment, live: compare the idle-loop
+//! methodology against conventional in-application timestamps against
+//! simulator ground truth.
+//!
+//! The paper's console echo program times itself the traditional way (one
+//! timestamp after `getchar()` returns, one after the echo) and reports
+//! 7.42 ms — but the idle-loop trace shows 9.76 ms of work, because the
+//! interrupt handling, console-server hop and rescheduling all happen
+//! before the application's first timestamp.
+//!
+//! ```text
+//! cargo run --release --example validate_methodology
+//! ```
+
+use latlab::prelude::*;
+
+fn main() {
+    let freq = CpuFreq::PENTIUM_100;
+    let mut session = MeasurementSession::new(OsProfile::Nt40);
+    let app = session.launch_app(
+        ProcessSpec::app("echo").with_console(),
+        Box::new(EchoApp::new(EchoConfig::default())),
+    );
+    // Ten keystrokes, well separated.
+    let script = InputScript::new().repeat_key(freq.ms(397), KeySym::Char('x'), 10);
+    TestDriver::clean().schedule(session.machine(), SimTime::ZERO + freq.ms(100), &script);
+    session.run_until_quiescent(SimTime::ZERO + freq.secs(10));
+    let emitted = session.machine().take_emitted(app);
+    let (m, machine) = session.finish_with_machine(BoundaryPolicy::SplitAtRetrieval);
+
+    let traditional = TimestampPairs::from_emitted(&emitted);
+    println!("per-keystroke latency, three ways (ms):\n");
+    println!(
+        "  {:>4} {:>12} {:>12} {:>12}",
+        "#", "idle loop", "traditional", "truth"
+    );
+    for (i, event) in m.events.iter().enumerate() {
+        let idle_ms = event.latency_ms(freq);
+        let trad_ms = freq.to_ms(traditional.durations()[i]);
+        let truth_ms = machine
+            .ground_truth()
+            .event(event.input_id.expect("input event"))
+            .and_then(|e| e.true_latency())
+            .map(|d| freq.to_ms(d))
+            .unwrap_or_default();
+        println!(
+            "  {:>4} {idle_ms:>12.2} {trad_ms:>12.2} {truth_ms:>12.2}",
+            i + 1
+        );
+    }
+    let idle_mean =
+        m.events.iter().map(|e| e.latency_ms(freq)).sum::<f64>() / m.events.len() as f64;
+    let trad_mean = traditional.mean_ms(freq);
+    println!(
+        "\n  means: idle loop {idle_mean:.2} ms vs traditional {trad_mean:.2} ms \
+         → {:.2} ms of pre-application work",
+        idle_mean - trad_mean
+    );
+    println!("  (the paper measured 9.76 ms vs 7.42 ms: a 2.34 ms gap)");
+}

@@ -1,0 +1,70 @@
+//! The §5.4 discovery: the test driver changes what you measure.
+//!
+//! Word handles keystrokes in the foreground and defers spell checking and
+//! justification to a background coroutine drained between `PeekMessage`
+//! polls. Microsoft Test posts a `WM_QUEUESYNC` after every injected input,
+//! and Word's handler for it flushes the background queue — so under Test a
+//! keystroke *measures* 80–100 ms while a hand-typed one measures ~32 ms,
+//! and carriage returns invert (cheaper under Test, which keeps the
+//! paragraph pre-laid).
+//!
+//! ```text
+//! cargo run --release --example word_test_vs_hand
+//! ```
+
+use latlab::prelude::*;
+
+fn run(label: &str, driver: TestDriver, script: &InputScript) {
+    let freq = CpuFreq::PENTIUM_100;
+    let mut session = MeasurementSession::new(OsProfile::Nt351);
+    session.launch_app(
+        ProcessSpec::app("word").with_heavy_async(),
+        Box::new(Word::new(WordConfig::default())),
+    );
+    driver.schedule(session.machine(), SimTime::ZERO + freq.ms(100), script);
+    session.run_until_quiescent(SimTime::ZERO + script.duration() + freq.secs(10));
+    let (m, machine) = session.finish_with_machine(BoundaryPolicy::MergeUntilEmpty);
+
+    let mut keys = Vec::new();
+    let mut crs = Vec::new();
+    for e in &m.events {
+        let Some(id) = e.input_id else { continue };
+        match machine.ground_truth().event(id).map(|g| g.kind) {
+            Some(InputKind::Key(KeySym::Char(_))) => keys.push(e.latency_ms(freq)),
+            Some(InputKind::Key(KeySym::Enter)) => crs.push(e.latency_ms(freq)),
+            _ => {}
+        }
+    }
+    let key_summary = LatencySummary::from_latencies(&keys);
+    let cr_summary = LatencySummary::from_latencies(&crs);
+    let total_busy = freq.to_ms(
+        m.trace
+            .busy_within(SimTime::ZERO, SimTime::ZERO + m.elapsed),
+    );
+    let attributed: f64 = m.events.iter().map(|e| e.latency_ms(freq)).sum();
+    println!("== {label} ==");
+    println!(
+        "  keystrokes: median {:6.1} ms (σ {:.1})    carriage returns: mean {:6.1} ms",
+        key_summary.median_ms, key_summary.stddev_ms, cr_summary.mean_ms
+    );
+    println!(
+        "  unattributed background activity: {:.1} s\n",
+        (total_busy - attributed).max(0.0) / 1e3
+    );
+}
+
+fn main() {
+    let text = workloads::sample_document(800, 100);
+    println!("Word on {}, §5.4 comparison:\n", OsProfile::Nt351.name());
+    // Microsoft Test: fixed 250 ms pauses, WM_QUEUESYNC after every event.
+    let test_script = InputScript::new().text(CpuFreq::PENTIUM_100.ms(250), &text);
+    run(
+        "Microsoft Test (WM_QUEUESYNC after every input)",
+        TestDriver::ms_test(),
+        &test_script,
+    );
+    // A human typist: varied pacing, no journal messages.
+    let hand_script = HumanModel::with_wpm(70.0, 7).type_text(&text);
+    run("hand-generated input", TestDriver::clean(), &hand_script);
+    println!("paper: Test 80–100 ms / hand ~32 ms typical; hand CRs >200 ms, Test ≤140 ms");
+}

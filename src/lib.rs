@@ -1,0 +1,82 @@
+//! # latlab — an interactive-system latency laboratory
+//!
+//! A full reproduction, as a Rust library, of **"Using Latency to Evaluate
+//! Interactive System Performance"** (Yasuhiro Endo, Zheng Wang, J. Bradley
+//! Chen, Margo Seltzer — OSDI '96).
+//!
+//! The paper's claim is methodological: *latency, not throughput, is the key
+//! performance metric for interactive software systems*, and it can be
+//! measured on closed-source commodity systems with three simple tools — a
+//! calibrated busy-wait process substituted for the OS idle loop, an
+//! intercepted message-retrieval API log, and the CPU's hardware counters.
+//!
+//! Since the paper's testbed (a 100 MHz Pentium running Windows NT 3.51,
+//! NT 4.0 and Windows 95) cannot be run today, this workspace rebuilds it as
+//! a deterministic cycle-granularity simulation and implements the paper's
+//! measurement methodology against it, observing the machine only through
+//! the interfaces the authors had. See `DESIGN.md` for the substitution
+//! argument and `EXPERIMENTS.md` for paper-vs-measured results on every
+//! table and figure.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`des`] | deterministic simulation engine: cycle time base, event queue, RNG, statistics |
+//! | [`hw`] | Pentium-era hardware: cycle/event counters, TLBs, disk, interval timer, display |
+//! | [`os`] | the simulated OS with three personalities and the [`os::Machine`] |
+//! | [`apps`] | synthetic Notepad, PowerPoint (+OLE), Word, desktop shell, echo validator |
+//! | [`input`] | the Microsoft Test analog and a stochastic human typist |
+//! | [`core`] | **the paper's contribution**: idle-loop measurement, event extraction, think/wait FSM, counter sweeps |
+//! | [`analysis`] | histograms, cumulative-latency curves, utilization profiles, interarrival tables |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use latlab::prelude::*;
+//!
+//! // Boot NT 4.0 with the measurement stack installed.
+//! let mut session = MeasurementSession::new(OsProfile::Nt40);
+//! session.launch_app(
+//!     ProcessSpec::app("notepad"),
+//!     Box::new(Notepad::new(NotepadConfig::default())),
+//! );
+//! // Type a few characters at a realistic pace.
+//! let script = InputScript::new().text(CpuFreq::PENTIUM_100.ms(150), "hello");
+//! TestDriver::clean().schedule(session.machine(), SimTime::ZERO + CpuFreq::PENTIUM_100.ms(100), &script);
+//! session.run_until_quiescent(SimTime::ZERO + CpuFreq::PENTIUM_100.secs(3));
+//! let m = session.finish(BoundaryPolicy::SplitAtRetrieval);
+//! assert_eq!(m.events.len(), 5);
+//! for event in &m.events {
+//!     assert!(event.latency_ms(CpuFreq::PENTIUM_100) < 100.0);
+//! }
+//! ```
+
+pub use latlab_analysis as analysis;
+pub use latlab_apps as apps;
+pub use latlab_core as core;
+pub use latlab_des as des;
+pub use latlab_hw as hw;
+pub use latlab_input as input;
+pub use latlab_os as os;
+
+/// The commonly used names, re-exported flat.
+pub mod prelude {
+    pub use latlab_analysis::{
+        CumulativeLatency, EventSeries, LatencyHistogram, LatencySummary, UtilizationProfile,
+    };
+    pub use latlab_apps::{
+        Desktop, DesktopConfig, EchoApp, EchoConfig, Notepad, NotepadConfig, PowerPoint,
+        PowerPointConfig, Word, WordConfig,
+    };
+    pub use latlab_core::{
+        BoundaryPolicy, FsmInput, FsmMode, IdleLoopConfig, IdleTrace, MeasuredEvent, Measurement,
+        MeasurementSession, TimestampPairs, WaitThinkFsm,
+    };
+    pub use latlab_des::{CpuFreq, SimDuration, SimRng, SimTime};
+    pub use latlab_hw::{CounterId, HwEvent};
+    pub use latlab_input::{workloads, HumanModel, InputScript, TestDriver};
+    pub use latlab_os::{
+        InputKind, KeySym, Machine, Message, MouseButton, OsProfile, ProcessSpec, ThreadId,
+    };
+}

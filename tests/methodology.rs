@@ -1,0 +1,210 @@
+//! Full-stack validation of the measurement methodology: the idle-loop
+//! pipeline, run against the simulator's ground truth across operating
+//! systems, applications and input schedules.
+
+use latlab::os::ProcessSpec;
+use latlab::prelude::*;
+
+const FREQ: CpuFreq = CpuFreq::PENTIUM_100;
+
+fn at(ms: u64) -> SimTime {
+    SimTime::ZERO + FREQ.ms(ms)
+}
+
+/// Runs a Notepad session and compares each measured event latency against
+/// ground truth.
+fn measure_accuracy(profile: OsProfile, pacing_ms: u64, keys: u64) -> Vec<(f64, f64)> {
+    let mut session = MeasurementSession::new(profile);
+    session.launch_app(
+        ProcessSpec::app("notepad"),
+        Box::new(Notepad::new(NotepadConfig::default())),
+    );
+    let script = InputScript::new().repeat_key(FREQ.ms(pacing_ms), KeySym::Char('k'), keys as u32);
+    TestDriver::clean().schedule(session.machine(), at(97), &script);
+    session.run_until_quiescent(at(100 + pacing_ms * (keys + 5)));
+    let (m, machine) = session.finish_with_machine(BoundaryPolicy::SplitAtRetrieval);
+    m.events
+        .iter()
+        .filter_map(|e| {
+            let truth = machine.ground_truth().event(e.input_id?)?.true_latency()?;
+            Some((e.latency_ms(FREQ), FREQ.to_ms(truth)))
+        })
+        .collect()
+}
+
+#[test]
+fn idle_loop_tracks_ground_truth_on_all_systems() {
+    for profile in [OsProfile::Nt351, OsProfile::Nt40, OsProfile::Win95] {
+        let pairs = measure_accuracy(profile, 211, 15);
+        assert_eq!(pairs.len(), 15, "{profile}: all events measured");
+        for (measured, truth) in &pairs {
+            let err = (measured - truth).abs();
+            assert!(
+                err < 1.0,
+                "{profile}: measured {measured:.2} ms vs truth {truth:.2} ms"
+            );
+        }
+    }
+}
+
+#[test]
+fn accuracy_holds_across_pacing() {
+    // Slower and faster realistic pacing; both must stay accurate.
+    for pacing in [150u64, 333, 977] {
+        let pairs = measure_accuracy(OsProfile::Nt40, pacing, 10);
+        assert_eq!(pairs.len(), 10);
+        for (measured, truth) in &pairs {
+            assert!(
+                (measured - truth).abs() < 1.0,
+                "pacing {pacing}: {measured:.2} vs {truth:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn counters_survive_full_task() {
+    // The two-counter sweep protocol on a real workload gives consistent
+    // cycle readings regardless of which events are configured.
+    let run = |events: [HwEvent; 2]| -> u64 {
+        let mut m = Machine::new(OsProfile::Nt40.params());
+        m.configure_counter(CounterId::Ctr0, events[0]).unwrap();
+        m.configure_counter(CounterId::Ctr1, events[1]).unwrap();
+        let tid = m.spawn(
+            ProcessSpec::app("notepad"),
+            Box::new(Notepad::new(NotepadConfig::default())),
+        );
+        m.set_focus(tid);
+        for i in 0..10u64 {
+            m.schedule_input_at(at(50 + i * 130), InputKind::Key(KeySym::Char('z')));
+        }
+        m.run_until(at(3_000));
+        m.read_cycle_counter()
+    };
+    let a = run([HwEvent::Instructions, HwEvent::DataRefs]);
+    let b = run([HwEvent::SegmentLoads, HwEvent::DtlbMisses]);
+    assert_eq!(a, b, "counter configuration must not perturb execution");
+}
+
+#[test]
+fn trace_buffer_exhaustion_degrades_gracefully() {
+    // When the preallocated buffer fills, recording stops but the machine
+    // keeps running (the idle loop keeps spinning).
+    let params = OsProfile::Nt40.params();
+    let mut machine = Machine::new(params.clone());
+    let handle = latlab::core::install(
+        &mut machine,
+        IdleLoopConfig {
+            n_instr: 99_000,
+            buffer_capacity: 50,
+        },
+    );
+    let tid = machine.spawn(
+        ProcessSpec::app("notepad"),
+        Box::new(Notepad::new(NotepadConfig::default())),
+    );
+    machine.set_focus(tid);
+    let id = machine.schedule_input_at(at(500), InputKind::Key(KeySym::PageDown));
+    machine.run_until(at(1_000));
+    let trace = latlab::core::collect(&mut machine, handle, params.freq.ms(1));
+    assert_eq!(trace.len(), 50, "buffer capped");
+    // The event at 500 ms is invisible to the saturated trace…
+    assert_eq!(trace.busy_within(at(480), at(600)), SimDuration::ZERO);
+    // …but the machine itself completed it fine.
+    assert!(machine
+        .ground_truth()
+        .event(id)
+        .unwrap()
+        .completed
+        .is_some());
+}
+
+#[test]
+fn extraction_attribution_is_exclusive_and_exhaustive() {
+    // Split-policy event windows never overlap, and their total busy time
+    // never exceeds the trace's total excess.
+    let mut session = MeasurementSession::new(OsProfile::Nt351);
+    session.launch_app(
+        ProcessSpec::app("notepad"),
+        Box::new(Notepad::new(NotepadConfig::default())),
+    );
+    let script = workloads::notepad_session();
+    TestDriver::ms_test().schedule(session.machine(), at(100), &script);
+    session.run_until_quiescent(at(100) + script.duration() + FREQ.secs(10));
+    let m = session.finish(BoundaryPolicy::SplitAtRetrieval);
+    for w in m.events.windows(2) {
+        assert!(
+            w[0].boundary_at <= w[1].window_start || w[0].boundary_at <= w[1].retrieved_at,
+            "event windows must not double-count"
+        );
+        assert!(w[0].busy <= w[0].span + FREQ.ms(1));
+    }
+    let total_busy: u64 = m.events.iter().map(|e| e.busy.cycles()).sum();
+    let total_excess = m
+        .trace
+        .busy_within(SimTime::ZERO, SimTime::ZERO + m.elapsed)
+        .cycles();
+    assert!(
+        total_busy <= total_excess,
+        "attributed busy {total_busy} exceeds observed busy {total_excess}"
+    );
+}
+
+#[test]
+fn full_fsm_catches_disk_wait_partial_misses() {
+    use latlab::core::{total_wait, FsmInput, FsmMode};
+    // Drive PowerPoint through a disk-heavy open and classify.
+    let mut machine = Machine::new(OsProfile::Nt40.params());
+    latlab::apps::powerpoint::register_files(&mut machine);
+    let tid = machine.spawn(
+        ProcessSpec::app("powerpoint"),
+        Box::new(PowerPoint::new(PowerPointConfig::default())),
+    );
+    machine.set_focus(tid);
+    machine.schedule_input_at(at(100), InputKind::Key(KeySym::Char('\n')));
+    let step = FREQ.ms(1);
+    let mut observations = Vec::new();
+    while machine.now() < at(10_000) {
+        let target = machine.now() + step;
+        machine.run_until(target);
+        observations.push((
+            target - step,
+            FsmInput {
+                cpu_busy: machine
+                    .ground_truth()
+                    .busy_within(target - step, target)
+                    .cycles()
+                    > step.cycles() / 2,
+                queue_nonempty: machine.queue_len(tid) > 0,
+                sync_io_busy: machine.sync_io_pending(),
+            },
+        ));
+    }
+    let partial = total_wait(&latlab::core::classify_timeline(
+        FsmMode::Partial,
+        &observations,
+        at(10_000),
+    ));
+    let full = total_wait(&latlab::core::classify_timeline(
+        FsmMode::Full,
+        &observations,
+        at(10_000),
+    ));
+    assert!(
+        full > partial,
+        "disk wait must be visible only to the full FSM"
+    );
+    assert!(FREQ.to_secs(full - partial) > 0.5, "startup is disk-heavy");
+}
+
+#[test]
+fn determinism_end_to_end() {
+    let run = || {
+        let pairs = measure_accuracy(OsProfile::Win95, 171, 8);
+        pairs
+            .iter()
+            .map(|(m, t)| (m.to_bits(), t.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "whole pipeline must be bit-deterministic");
+}

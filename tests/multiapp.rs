@@ -1,0 +1,122 @@
+//! Multi-application sessions: focus switching, background interference,
+//! and measurement archival.
+
+use latlab::os::ProcessSpec;
+use latlab::prelude::*;
+
+const FREQ: CpuFreq = CpuFreq::PENTIUM_100;
+
+fn at(ms: u64) -> SimTime {
+    SimTime::ZERO + FREQ.ms(ms)
+}
+
+#[test]
+fn alt_tab_between_notepad_and_word() {
+    let mut session = MeasurementSession::new(OsProfile::Nt40);
+    // Word is launched first and holds focus…
+    let word = session.launch_app(
+        ProcessSpec::app("word").with_heavy_async(),
+        Box::new(Word::new(WordConfig::default())),
+    );
+    // …then Notepad is spawned and receives focus via launch_app.
+    let notepad = session.launch_app(
+        ProcessSpec::app("notepad"),
+        Box::new(Notepad::new(NotepadConfig::default())),
+    );
+    // Type into Notepad, alt-tab to Word, type there.
+    for i in 0..5u64 {
+        session
+            .machine()
+            .schedule_input_at(at(100 + i * 200), InputKind::Key(KeySym::Char('n')));
+    }
+    session.machine().schedule_focus_change(at(1_500), word);
+    for i in 0..5u64 {
+        session
+            .machine()
+            .schedule_input_at(at(1_600 + i * 300), InputKind::Key(KeySym::Char('w')));
+    }
+    session.run_until_quiescent(at(6_000));
+    let (_, machine) = session.finish_with_machine(BoundaryPolicy::SplitAtRetrieval);
+
+    let gt = machine.ground_truth();
+    let handled_by: Vec<_> = gt.events().iter().filter_map(|e| e.handler).collect();
+    assert_eq!(handled_by.len(), 10, "all ten keystrokes handled");
+    assert!(handled_by[..5].iter().all(|&h| h == notepad));
+    assert!(handled_by[5..].iter().all(|&h| h == word));
+    // Word keystrokes are an order of magnitude heavier than Notepad's.
+    let lat = |idx: usize| FREQ.to_ms(gt.events()[idx].true_latency().expect("completed"));
+    assert!(lat(2) < 12.0, "notepad keystroke {}", lat(2));
+    assert!(lat(7) > 20.0, "word keystroke {}", lat(7));
+}
+
+#[test]
+fn background_word_does_not_inflate_foreground_notepad() {
+    // Word sits in the background with pending coroutine work; Notepad is
+    // measured in the foreground. Background draining must not show up in
+    // Notepad's event latencies (it runs in Notepad's idle gaps).
+    let mut session = MeasurementSession::new(OsProfile::Nt40);
+    let word = session.launch_app(
+        ProcessSpec::app("word").with_heavy_async(),
+        Box::new(Word::new(WordConfig::default())),
+    );
+    // Seed Word with a burst of typing, then switch to Notepad.
+    for i in 0..8u64 {
+        session
+            .machine()
+            .schedule_input_at(at(100 + i * 150), InputKind::Key(KeySym::Char('x')));
+    }
+    let notepad = session.launch_app(
+        ProcessSpec::app("notepad"),
+        Box::new(Notepad::new(NotepadConfig::default())),
+    );
+    // launch_app focused Notepad already; Word still drains background.
+    session.machine().schedule_focus_change(at(1_450), word);
+    session.machine().schedule_focus_change(at(1_500), notepad);
+    let mut ids = Vec::new();
+    for i in 0..10u64 {
+        ids.push(
+            session
+                .machine()
+                .schedule_input_at(at(1_600 + i * 137), InputKind::Key(KeySym::Char('n'))),
+        );
+    }
+    session.run_until_quiescent(at(10_000));
+    let (_, machine) = session.finish_with_machine(BoundaryPolicy::SplitAtRetrieval);
+    for id in ids {
+        let e = machine.ground_truth().event(id).unwrap();
+        assert_eq!(e.handler, Some(notepad));
+        let lat = FREQ.to_ms(e.true_latency().unwrap());
+        assert!(
+            lat < 15.0,
+            "foreground Notepad keystroke inflated to {lat:.1} ms by background Word"
+        );
+    }
+}
+
+#[test]
+fn measurement_roundtrips_through_json() {
+    let mut session = MeasurementSession::new(OsProfile::Nt40);
+    session.launch_app(
+        ProcessSpec::app("notepad"),
+        Box::new(Notepad::new(NotepadConfig::default())),
+    );
+    let script = InputScript::new().text(FREQ.ms(150), "abcdef");
+    TestDriver::clean().schedule(session.machine(), at(100), &script);
+    session.run_until_quiescent(at(3_000));
+    let m = session.finish(BoundaryPolicy::SplitAtRetrieval);
+
+    let json = serde_json::to_string(&m).expect("serialize");
+    let restored: Measurement = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(restored.events.len(), m.events.len());
+    assert_eq!(restored.elapsed, m.elapsed);
+    assert_eq!(restored.trace.stamps(), m.trace.stamps());
+    for (a, b) in m.events.iter().zip(&restored.events) {
+        assert_eq!(a.busy, b.busy);
+        assert_eq!(a.window_start, b.window_start);
+        assert_eq!(a.message, b.message);
+    }
+    // Re-analysis of the archived run matches the live one.
+    let live: Vec<f64> = m.events.iter().map(|e| e.latency_ms(FREQ)).collect();
+    let archived: Vec<f64> = restored.events.iter().map(|e| e.latency_ms(FREQ)).collect();
+    assert_eq!(live, archived);
+}

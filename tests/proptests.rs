@@ -1,0 +1,214 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use latlab::core::{classify_timeline, FsmInput, FsmMode, IdleTrace, UserState, WaitThinkFsm};
+use latlab::des::{CpuFreq, EventQueue, OnlineStats, SimDuration, SimTime};
+use latlab::hw::{HwMix, MixAccumulator, Tlb, WorkCharge};
+use latlab::os::bufcache::{BlockKey, BufferCache};
+
+const MS: u64 = 100_000;
+
+proptest! {
+    /// The event queue pops in time order, with FIFO stability for ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_cycles(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, payload)) = q.pop() {
+            popped.push((t.cycles(), payload));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO stability violated");
+            }
+        }
+    }
+
+    /// Welford statistics agree with the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let scale = var.abs().max(1.0);
+        prop_assert!((s.mean() - mean).abs() / mean.abs().max(1.0) < 1e-9);
+        prop_assert!((s.population_variance() - var).abs() / scale < 1e-6);
+    }
+
+    /// Merging two accumulators equals accumulating everything sequentially.
+    #[test]
+    fn online_stats_merge(
+        xs in prop::collection::vec(-1e4f64..1e4, 0..100),
+        ys in prop::collection::vec(-1e4f64..1e4, 0..100),
+    ) {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let mut whole = OnlineStats::new();
+        for &x in &xs { a.push(x); whole.push(x); }
+        for &y in &ys { b.push(y); whole.push(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((a.population_variance() - whole.population_variance()).abs() < 1e-3);
+        }
+    }
+
+    /// Slicing a computation into arbitrary chunks never loses or invents
+    /// hardware events beyond one rounding unit per kind.
+    #[test]
+    fn mix_accumulator_slicing_invariant(chunks in prop::collection::vec(1u64..50_000, 1..60)) {
+        let mix = HwMix::WIN16;
+        let total: u64 = chunks.iter().sum();
+        let mut acc = MixAccumulator::new();
+        let mut sliced = WorkCharge::ZERO;
+        for &n in &chunks {
+            sliced.accumulate(&acc.charge(&mix, n));
+        }
+        let whole = mix.events_for(total);
+        for (event, count) in whole.iter() {
+            prop_assert!(
+                sliced.events.get(event).abs_diff(count) <= 1,
+                "{event}: sliced {} vs whole {}",
+                sliced.events.get(event),
+                count
+            );
+        }
+    }
+
+    /// TLB residency never exceeds capacity, and a warm re-touch of the
+    /// same working set never misses.
+    #[test]
+    fn tlb_invariants(ops in prop::collection::vec((0u32..200, any::<bool>()), 1..100)) {
+        let mut tlb = Tlb::new(64);
+        for &(ws, flush) in &ops {
+            if flush {
+                tlb.flush();
+                prop_assert_eq!(tlb.resident(), 0);
+            } else {
+                tlb.touch(ws);
+                prop_assert!(tlb.resident() <= 64);
+                if ws <= 64 {
+                    prop_assert_eq!(tlb.touch(ws), 0, "warm re-touch must hit");
+                }
+            }
+        }
+    }
+
+    /// The LRU cache behaves identically to a naive reference model.
+    #[test]
+    fn lru_matches_reference(ops in prop::collection::vec((0u64..40, any::<bool>()), 1..400)) {
+        let capacity = 16;
+        let mut fast = BufferCache::new(capacity);
+        let mut slow: Vec<BlockKey> = Vec::new();
+        for &(block, is_insert) in &ops {
+            let k = BlockKey { file: 0, block };
+            if is_insert {
+                fast.insert(k);
+                slow.retain(|&x| x != k);
+                slow.insert(0, k);
+                slow.truncate(capacity);
+            } else {
+                let hit = fast.access(k);
+                let ref_hit = slow.contains(&k);
+                prop_assert_eq!(hit, ref_hit);
+                if ref_hit {
+                    slow.retain(|&x| x != k);
+                    slow.insert(0, k);
+                }
+            }
+        }
+        prop_assert_eq!(fast.len(), slow.len());
+    }
+
+    /// Trace busy-time is additive over adjacent windows and bounded by
+    /// both the window length and the total excess.
+    #[test]
+    fn trace_busy_additive_and_bounded(
+        gaps in prop::collection::vec(1u64..30, 2..100),
+        split in 0u64..3_000,
+    ) {
+        // Build a trace whose samples are `gap` ms long (gap-1 ms excess).
+        let mut stamps = vec![0u64];
+        let mut t = 0;
+        for &g in &gaps {
+            t += g * MS;
+            stamps.push(t);
+        }
+        let trace = IdleTrace::new(stamps, SimDuration::from_cycles(MS), CpuFreq::PENTIUM_100);
+        let end = SimTime::from_cycles(t);
+        let mid = SimTime::from_cycles((split * MS).min(t));
+        let a = trace.busy_within(SimTime::ZERO, mid);
+        let b = trace.busy_within(mid, end);
+        let whole = trace.busy_within(SimTime::ZERO, end);
+        // Additivity (exact: the leading-span model is piecewise linear).
+        prop_assert_eq!(a + b, whole);
+        // Bounds.
+        let total_excess: u64 = gaps.iter().map(|g| (g - 1) * MS).sum();
+        prop_assert_eq!(whole.cycles(), total_excess);
+        prop_assert!(a.cycles() <= mid.cycles());
+    }
+
+    /// FSM: waiting exactly when an observed indicator is raised; the
+    /// classified timeline is contiguous and covers the span.
+    #[test]
+    fn fsm_classification_sound(
+        obs in prop::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 1..100),
+    ) {
+        let mut fsm_partial = WaitThinkFsm::new(FsmMode::Partial);
+        let mut fsm_full = WaitThinkFsm::new(FsmMode::Full);
+        let mut timeline = Vec::new();
+        for (i, &(cpu, q, io)) in obs.iter().enumerate() {
+            let input = FsmInput { cpu_busy: cpu, queue_nonempty: q, sync_io_busy: io };
+            let partial = fsm_partial.step(input);
+            let full = fsm_full.step(input);
+            prop_assert_eq!(partial == UserState::Waiting, cpu || q);
+            prop_assert_eq!(full == UserState::Waiting, cpu || q || io);
+            timeline.push((SimTime::from_cycles(i as u64 * 10), input));
+        }
+        let end = SimTime::from_cycles(obs.len() as u64 * 10);
+        let intervals = classify_timeline(FsmMode::Full, &timeline, end);
+        // Contiguous cover from the first observation to the end.
+        prop_assert_eq!(intervals.first().map(|i| i.start), Some(SimTime::ZERO));
+        prop_assert_eq!(intervals.last().map(|i| i.end), Some(end));
+        for w in intervals.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+            prop_assert!(w[0].state != w[1].state, "adjacent intervals must differ");
+        }
+    }
+
+    /// Cumulative latency curves are monotone and conserve mass.
+    #[test]
+    fn cumulative_curve_invariants(lats in prop::collection::vec(0.0f64..5_000.0, 0..200)) {
+        let c = latlab::analysis::CumulativeLatency::new(&lats);
+        let total: f64 = lats.iter().sum();
+        prop_assert!((c.total_ms() - total).abs() < 1e-6 * total.max(1.0));
+        let curve = c.curve();
+        for w in curve.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+        prop_assert!(c.fraction_below(f64::MAX / 2.0) <= 1.0 + 1e-12);
+        // Histogram conserves counts.
+        let hist = latlab::analysis::LatencyHistogram::from_latencies(&lats);
+        prop_assert_eq!(hist.total() as usize, lats.len());
+    }
+
+    /// The responsiveness penalty is monotone in latency.
+    #[test]
+    fn penalty_monotone(a in 0.0f64..10_000.0, b in 0.0f64..10_000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            latlab::analysis::shneiderman_penalty(lo)
+                <= latlab::analysis::shneiderman_penalty(hi)
+        );
+    }
+}
