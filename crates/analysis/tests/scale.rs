@@ -1,0 +1,58 @@
+//! Scale check: streaming summary of a 10-million-sample trace.
+//!
+//! Ignored by default (it pushes ~10M records through the writer and
+//! reader); run explicitly with
+//! `cargo test -p latlab-analysis --release --test scale -- --ignored`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use latlab_analysis::summarize_stamps;
+use latlab_des::{CpuFreq, SimDuration};
+use latlab_trace::{Record, StreamKind, TraceMeta, TraceReader, TraceWriter};
+
+const SAMPLES: u64 = 10_000_001;
+
+#[test]
+#[ignore = "large: writes and streams a 10M-record trace"]
+fn ten_million_sample_trace_streams_in_bounded_memory() {
+    let path = std::env::temp_dir().join("latlab-scale-10m.ltrc");
+    let meta = TraceMeta {
+        kind: StreamKind::IdleStamps,
+        freq: CpuFreq::PENTIUM_100,
+        baseline: SimDuration::from_cycles(100_000),
+        seed: 0,
+        personality: "scale-test".to_owned(),
+    };
+    let mut w = TraceWriter::create(BufWriter::new(File::create(&path).unwrap()), meta).unwrap();
+    // ~1 ms strides with a long elongation every 1000th sample.
+    let mut t = 0u64;
+    for i in 0..SAMPLES {
+        t += 100_000 + (i % 11) * 17 + if i % 1000 == 0 { 5_000_000 } else { 0 };
+        w.write(&Record::Stamp(t)).unwrap();
+    }
+    w.finish()
+        .unwrap()
+        .into_inner()
+        .unwrap()
+        .sync_all()
+        .unwrap();
+
+    // The summarizer holds only the reader's one-chunk buffer plus the
+    // fixed-size histogram/moment state — independent of trace length.
+    let reader = TraceReader::open(BufReader::new(File::open(&path).unwrap())).unwrap();
+    let s = summarize_stamps(reader).unwrap();
+    assert_eq!(s.records, SAMPLES);
+    assert_eq!(s.intervals.count(), SAMPLES - 1);
+    let sum = s.intervals.to_latency_summary();
+    // Intervals are ~1 ms, elongated to ~51 ms every 1000th sample.
+    assert!(sum.min_ms >= 1.0 && sum.min_ms < 1.1, "min {}", sum.min_ms);
+    assert!(sum.max_ms > 50.0 && sum.max_ms < 52.0, "max {}", sum.max_ms);
+    assert!(
+        sum.mean_ms > 1.0 && sum.mean_ms < 1.2,
+        "mean {}",
+        sum.mean_ms
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,110 @@
+//! Encode/decode throughput of the binary trace format.
+//!
+//! The idle loop produces roughly one stamp per millisecond, so even a
+//! modest session is hundreds of thousands of records; the format has to
+//! encode at memory speed to keep `--record` out of the measurement's
+//! way. These benchmarks push 100k-record streams of each kind through
+//! the writer and reader.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use latlab_des::{CpuFreq, SimDuration};
+use latlab_trace::{ApiRecord, Record, StreamKind, TraceMeta, TraceReader, TraceWriter};
+
+const N: u64 = 100_000;
+
+fn meta(kind: StreamKind) -> TraceMeta {
+    TraceMeta {
+        kind,
+        freq: CpuFreq::PENTIUM_100,
+        baseline: SimDuration::from_cycles(100_000),
+        seed: 0x1996_05d1,
+        personality: "bench/trace-format".to_owned(),
+    }
+}
+
+/// Deterministic idle-loop-shaped stamps: ~1 ms strides with occasional
+/// elongations (varint lengths vary like real traces).
+fn stamps() -> Vec<u64> {
+    let mut out = Vec::with_capacity(N as usize);
+    let mut t = 0u64;
+    for i in 0..N {
+        t += 100_000 + (i % 7) * 13 + if i % 97 == 0 { 976_000 } else { 0 };
+        out.push(t);
+    }
+    out
+}
+
+fn api_records() -> Vec<ApiRecord> {
+    (0..N)
+        .map(|i| ApiRecord {
+            at_cycles: i * 50_000,
+            thread: (i % 3) as u32,
+            entry: (i % 2) as u8,
+            outcome: (i % 3) as u8,
+            a: i % 6,
+            b: i,
+            queue_len: (i % 5) as u32,
+        })
+        .collect()
+}
+
+fn encode_stamps(stamps: &[u64]) -> Vec<u8> {
+    let mut w = TraceWriter::create(
+        Vec::with_capacity(stamps.len() * 3),
+        meta(StreamKind::IdleStamps),
+    )
+    .unwrap();
+    for &s in stamps {
+        w.write(&Record::Stamp(s)).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+fn bench_trace_format(c: &mut Criterion) {
+    let stamp_data = stamps();
+    let api_data = api_records();
+
+    let mut g = c.benchmark_group("trace_format");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(N));
+
+    g.bench_function("encode_stamps_100k", |b| {
+        b.iter(|| black_box(encode_stamps(black_box(&stamp_data)).len()))
+    });
+
+    let encoded = encode_stamps(&stamp_data);
+    g.bench_function("decode_stamps_100k", |b| {
+        b.iter(|| {
+            let mut r = TraceReader::open(&encoded[..]).unwrap();
+            let mut n = 0u64;
+            while let Some(rec) = r.next().unwrap() {
+                black_box(&rec);
+                n += 1;
+            }
+            n
+        })
+    });
+
+    g.bench_function("encode_apilog_100k", |b| {
+        b.iter(|| {
+            let mut w = TraceWriter::create(
+                Vec::with_capacity(api_data.len() * 8),
+                meta(StreamKind::ApiLog),
+            )
+            .unwrap();
+            for r in &api_data {
+                w.write(&Record::Api(*r)).unwrap();
+            }
+            black_box(w.finish().unwrap().len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_format);
+criterion_main!(benches);

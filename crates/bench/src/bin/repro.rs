@@ -3,16 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--out DIR] [id ...]
+//! repro [--out DIR] [--record DIR] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs in presentation order. Artifacts
 //! (CSV + check results) are written under `--out` (default `results/`).
+//! With `--record`, every standard run also streams its idle-loop stamps
+//! and message-API log to binary trace files under the given directory
+//! (inspect them with the `trace` binary).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use latlab_bench::scenarios;
+use latlab_bench::{record, scenarios};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
@@ -23,9 +26,16 @@ fn main() -> ExitCode {
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
             }
+            "--record" => {
+                let dir = PathBuf::from(args.next().expect("--record requires a directory"));
+                if let Err(e) = record::enable(&dir) {
+                    eprintln!("cannot create record directory {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--out DIR] [id ...]\nids: {:?}",
+                    "usage: repro [--out DIR] [--record DIR] [id ...]\nids: {:?}",
                     scenarios::ALL_IDS
                 );
                 return ExitCode::SUCCESS;

@@ -1,0 +1,295 @@
+//! Trace-file tool: inspect, summarize, export, and diff binary traces.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace inspect FILE            # header + integrity scan
+//! trace summary FILE            # streaming statistics (O(1) memory)
+//! trace export-csv FILE [--out FILE]
+//! trace diff FILE_A FILE_B      # record-level comparison
+//! ```
+//!
+//! Trace files are produced by `repro --record DIR` (see
+//! `latlab_bench::record`) or any [`latlab_trace::TraceWriter`] user.
+//! All subcommands stream: memory use is independent of trace length,
+//! and corrupt input is reported as an error, never a panic.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use latlab_analysis::{summarize_stamps, StreamingSummary};
+use latlab_os::tracebridge;
+use latlab_trace::{Record, StreamKind, TraceError, TraceMeta, TraceReader};
+
+fn open(path: &str) -> Result<TraceReader<BufReader<File>>, TraceError> {
+    TraceReader::open(BufReader::new(File::open(path)?))
+}
+
+fn print_meta(meta: &TraceMeta) {
+    println!("kind:        {}", meta.kind.name());
+    println!("personality: {}", meta.personality);
+    println!("freq:        {} Hz", meta.freq.hz());
+    println!("baseline:    {} cycles", meta.baseline.cycles());
+    println!("seed:        {:#018x}", meta.seed);
+}
+
+fn inspect(path: &str) -> Result<ExitCode, TraceError> {
+    let mut reader = open(path)?;
+    print_meta(&reader.meta().clone());
+    let mut first: Option<u64> = None;
+    let mut last: Option<u64> = None;
+    while let Some(rec) = reader.next()? {
+        first.get_or_insert(rec.at_cycles());
+        last = Some(rec.at_cycles());
+    }
+    println!("records:     {}", reader.records_read());
+    println!("chunks:      {}", reader.chunks_read());
+    if let (Some(f), Some(l)) = (first, last) {
+        let freq = reader.meta().freq;
+        let span = latlab_des::SimDuration::from_cycles(l - f);
+        println!("first:       {f} cycles");
+        println!("last:        {l} cycles");
+        println!("span:        {:.3} s", freq.to_secs(span));
+    }
+    println!("integrity:   ok");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_summary_block(name: &str, s: &StreamingSummary) {
+    let sum = s.to_latency_summary();
+    println!(
+        "{name}: n={} mean={:.6} stddev={:.6} min={:.6} p50={:.6} p90={:.6} max={:.6} total={:.3}",
+        sum.count,
+        sum.mean_ms,
+        sum.stddev_ms,
+        sum.min_ms,
+        sum.median_ms,
+        sum.p90_ms,
+        sum.max_ms,
+        sum.total_ms
+    );
+}
+
+fn summary(path: &str) -> Result<ExitCode, TraceError> {
+    let reader = open(path)?;
+    let meta = reader.meta().clone();
+    print_meta(&meta);
+    match meta.kind {
+        StreamKind::IdleStamps => {
+            let s = summarize_stamps(reader)?;
+            println!("records:     {}", s.records);
+            print_summary_block("intervals_ms", &s.intervals);
+            print_summary_block("excess_ms", &s.excess);
+        }
+        StreamKind::ApiLog => {
+            let mut total = 0u64;
+            let mut get = 0u64;
+            let mut peek = 0u64;
+            let mut retrieved = 0u64;
+            let mut empty = 0u64;
+            let mut blocked = 0u64;
+            let mut max_queue = 0u32;
+            for rec in reader {
+                let Record::Api(r) = rec? else {
+                    unreachable!("apilog stream yielded a non-API record");
+                };
+                let entry = tracebridge::from_record(&r)?;
+                total += 1;
+                match entry.entry {
+                    latlab_os::ApiEntry::GetMessage => get += 1,
+                    latlab_os::ApiEntry::PeekMessage => peek += 1,
+                }
+                match entry.outcome {
+                    latlab_os::ApiOutcome::Retrieved(_) => retrieved += 1,
+                    latlab_os::ApiOutcome::Empty => empty += 1,
+                    latlab_os::ApiOutcome::Blocked => blocked += 1,
+                }
+                max_queue = max_queue.max(r.queue_len);
+            }
+            println!("records:     {total}");
+            println!("get_message: {get}");
+            println!("peek_message: {peek}");
+            println!("retrieved:   {retrieved}");
+            println!("empty:       {empty}");
+            println!("blocked:     {blocked}");
+            println!("max_queue:   {max_queue}");
+        }
+        StreamKind::Counters => {
+            let mut total = 0u64;
+            let mut values = StreamingSummary::new();
+            for rec in reader {
+                let Record::Counter(c) = rec? else {
+                    unreachable!("counter stream yielded a non-counter record");
+                };
+                total += 1;
+                values.push(c.value as f64);
+            }
+            println!("records:     {total}");
+            print_summary_block("values", &values);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn export_csv(path: &str, out: &mut dyn Write) -> Result<ExitCode, TraceError> {
+    let mut reader = open(path)?;
+    let meta = reader.meta().clone();
+    match meta.kind {
+        StreamKind::IdleStamps => {
+            writeln!(out, "stamp_cycles,interval_ms,excess_ms")?;
+            let baseline_ms = meta.freq.to_ms(meta.baseline);
+            let mut prev: Option<u64> = None;
+            while let Some(rec) = reader.next()? {
+                let Record::Stamp(s) = rec else {
+                    unreachable!("stamp stream yielded a non-stamp record");
+                };
+                match prev {
+                    None => writeln!(out, "{s},,")?,
+                    Some(p) => {
+                        let interval = meta.freq.to_ms(latlab_des::SimDuration::from_cycles(s - p));
+                        writeln!(
+                            out,
+                            "{s},{interval:.6},{:.6}",
+                            (interval - baseline_ms).max(0.0)
+                        )?;
+                    }
+                }
+                prev = Some(s);
+            }
+        }
+        StreamKind::ApiLog => {
+            writeln!(out, "at_cycles,thread,entry,outcome,a,b,queue_len")?;
+            while let Some(rec) = reader.next()? {
+                let Record::Api(r) = rec else {
+                    unreachable!("apilog stream yielded a non-API record");
+                };
+                writeln!(
+                    out,
+                    "{},{},{},{},{},{},{}",
+                    r.at_cycles, r.thread, r.entry, r.outcome, r.a, r.b, r.queue_len
+                )?;
+            }
+        }
+        StreamKind::Counters => {
+            writeln!(out, "at_cycles,counter,value")?;
+            while let Some(rec) = reader.next()? {
+                let Record::Counter(c) = rec else {
+                    unreachable!("counter stream yielded a non-counter record");
+                };
+                writeln!(out, "{},{},{}", c.at_cycles, c.counter, c.value)?;
+            }
+        }
+    }
+    out.flush()?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// How many differing records to print before only counting.
+const DIFF_PREVIEW: usize = 5;
+
+fn diff(path_a: &str, path_b: &str) -> Result<ExitCode, TraceError> {
+    let mut a = open(path_a)?;
+    let mut b = open(path_b)?;
+    let mut differences = 0u64;
+    let (ma, mb) = (a.meta().clone(), b.meta().clone());
+    if ma != mb {
+        differences += 1;
+        println!("header differs:");
+        if ma.kind != mb.kind {
+            println!("  kind: {} vs {}", ma.kind.name(), mb.kind.name());
+        }
+        if ma.personality != mb.personality {
+            println!("  personality: {} vs {}", ma.personality, mb.personality);
+        }
+        if ma.freq != mb.freq {
+            println!("  freq: {} vs {} Hz", ma.freq.hz(), mb.freq.hz());
+        }
+        if ma.baseline != mb.baseline {
+            println!(
+                "  baseline: {} vs {} cycles",
+                ma.baseline.cycles(),
+                mb.baseline.cycles()
+            );
+        }
+        if ma.seed != mb.seed {
+            println!("  seed: {:#018x} vs {:#018x}", ma.seed, mb.seed);
+        }
+    }
+    let mut index = 0u64;
+    loop {
+        match (a.next()?, b.next()?) {
+            (None, None) => break,
+            (Some(ra), Some(rb)) => {
+                if ra != rb {
+                    differences += 1;
+                    if differences <= DIFF_PREVIEW as u64 {
+                        println!("record {index} differs:");
+                        println!("  a: {ra:?}");
+                        println!("  b: {rb:?}");
+                    }
+                }
+            }
+            (sa, sb) => {
+                // One stream ended early; every remaining record of the
+                // longer one is a difference.
+                let longer = if sa.is_some() { &mut a } else { &mut b };
+                let mut extra = 1u64;
+                while longer.next()?.is_some() {
+                    extra += 1;
+                }
+                let _ = sb;
+                println!(
+                    "length differs: {} vs {} records",
+                    a.records_read(),
+                    b.records_read()
+                );
+                differences += extra;
+                break;
+            }
+        }
+        index += 1;
+    }
+    if differences == 0 {
+        println!("identical: {} records", a.records_read());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("{differences} difference(s)");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+const USAGE: &str = "usage: trace <inspect|summary|export-csv|diff> FILE [FILE|--out FILE]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("inspect") if args.len() == 2 => inspect(&args[1]),
+        Some("summary") if args.len() == 2 => summary(&args[1]),
+        Some("export-csv") if args.len() == 2 => {
+            export_csv(&args[1], &mut BufWriter::new(std::io::stdout().lock()))
+        }
+        Some("export-csv") if args.len() == 4 && args[2] == "--out" => {
+            match File::create(&args[3]) {
+                Ok(f) => export_csv(&args[1], &mut BufWriter::new(f)),
+                Err(e) => Err(e.into()),
+            }
+        }
+        Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
+        Some("--help" | "-h") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! experiments run with `-- <id>` (`fig1` … `fig12`, `tab2`, `sec54`,
 //! `ablations`).
 
+pub mod record;
 pub mod report;
 pub mod runner;
 pub mod scenarios;

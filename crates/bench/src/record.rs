@@ -1,0 +1,100 @@
+//! Optional trace recording for standard runs (`repro --record DIR`).
+//!
+//! When enabled, every [`run_session`](crate::runner::run_session) streams
+//! its idle-loop stamps and message-API log to disk as binary trace files
+//! while the simulation runs — bounded memory, no post-hoc dump. Files are
+//! numbered in run order and named after the OS personality and workload:
+//! `NNN-<label>.stamps.ltrc` and `NNN-<label>.apilog.ltrc`.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+use latlab_des::{CpuFreq, SimDuration};
+use latlab_trace::{StreamKind, TraceError, TraceMeta, TraceSink, TraceWriter, WriterSink};
+
+thread_local! {
+    static STATE: RefCell<Option<State>> = const { RefCell::new(None) };
+}
+
+struct State {
+    dir: PathBuf,
+    seq: u32,
+}
+
+/// Enables recording: subsequent standard runs on this thread write their
+/// traces under `dir` (created if missing).
+///
+/// # Errors
+///
+/// Any error creating `dir`.
+pub fn enable(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    STATE.with(|s| {
+        *s.borrow_mut() = Some(State {
+            dir: dir.to_path_buf(),
+            seq: 0,
+        });
+    });
+    Ok(())
+}
+
+/// Disables recording on this thread.
+pub fn disable() {
+    STATE.with(|s| *s.borrow_mut() = None);
+}
+
+/// True if recording is enabled on this thread.
+pub fn is_enabled() -> bool {
+    STATE.with(|s| s.borrow().is_some())
+}
+
+/// A deterministic 64-bit fingerprint (FNV-1a) of a workload's serialized
+/// form, recorded in the trace header's seed field so that traces of the
+/// same workload are identifiable without out-of-band context.
+pub fn script_fingerprint(serialized: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in serialized.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Opens the sink pair for the next run, if recording is enabled.
+/// `label` names the run (personality + workload); `baseline` and `freq`
+/// go into the stamp header's calibration fields.
+///
+/// # Panics
+///
+/// Panics if the trace files cannot be created — recording was explicitly
+/// requested, so failing quietly would silently drop data.
+pub(crate) fn open_run_sinks(
+    label: &str,
+    baseline: SimDuration,
+    freq: CpuFreq,
+    seed: u64,
+) -> Option<(Box<dyn TraceSink>, Box<dyn TraceSink>)> {
+    let (dir, seq) = STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        let state = s.as_mut()?;
+        state.seq += 1;
+        Some((state.dir.clone(), state.seq))
+    })?;
+    let make = |kind: StreamKind| -> Result<Box<dyn TraceSink>, TraceError> {
+        let path = dir.join(format!("{seq:03}-{label}.{}.ltrc", kind.name()));
+        let file = BufWriter::new(File::create(path)?);
+        let meta = TraceMeta {
+            kind,
+            freq,
+            baseline,
+            seed,
+            personality: label.to_owned(),
+        };
+        Ok(Box::new(WriterSink::new(TraceWriter::create(file, meta)?)))
+    };
+    let stamps = make(StreamKind::IdleStamps).expect("failed to create stamp trace file");
+    let api = make(StreamKind::ApiLog).expect("failed to create apilog trace file");
+    Some((stamps, api))
+}

@@ -79,11 +79,31 @@ pub fn run_session(
 ) -> RunOutput {
     let mut session = MeasurementSession::new(profile);
     app.spawn(&mut session);
+    // When `repro --record` is active, stream this run's stamps and API
+    // log to disk while it executes (bounded memory; see crate::record).
+    let label = format!("{profile:?}-{app:?}").to_lowercase();
+    let seed = crate::record::script_fingerprint(&script.to_json());
+    let recording = crate::record::open_run_sinks(&label, session.baseline(), FREQ, seed);
+    let recording = if let Some((stamps, api)) = recording {
+        session.machine().set_stamp_sink(stamps);
+        session.machine().set_api_sink(api);
+        true
+    } else {
+        false
+    };
     let start = SimTime::ZERO + FREQ.ms(100);
     let input_ids = driver.schedule(session.machine(), start, script);
     let horizon = start + script.duration() + FREQ.secs(settle_secs);
     session.run_until_quiescent(horizon + FREQ.secs(settle_secs));
-    let (measurement, machine) = session.finish_with_machine(policy);
+    let (measurement, mut machine) = session.finish_with_machine(policy);
+    if recording {
+        if let Some(mut sink) = machine.take_stamp_sink() {
+            sink.finish().expect("failed to finalize stamp trace");
+        }
+        if let Some(mut sink) = machine.take_api_sink() {
+            sink.finish().expect("failed to finalize apilog trace");
+        }
+    }
     RunOutput {
         measurement,
         machine,

@@ -119,8 +119,7 @@ pub fn run() -> ExperimentReport {
                 .map(|e| e.latency_ms(FREQ))
                 .unwrap_or_default()
         ),
-        m.events.len() == 1
-            && (330.0..550.0).contains(&m.events[0].latency_ms(FREQ)),
+        m.events.len() == 1 && (330.0..550.0).contains(&m.events[0].latency_ms(FREQ)),
     );
     report.check(
         "animation bursts align to clock ticks",

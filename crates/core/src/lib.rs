@@ -41,3 +41,5 @@ pub use observe::{classify_measured, measured_wait};
 pub use session::{Measurement, MeasurementSession};
 pub use trace::{IdleSample, IdleTrace};
 pub use traditional::TimestampPairs;
+
+pub use latlab_trace::TraceError;

@@ -68,6 +68,11 @@ impl MeasurementSession {
         &self.machine
     }
 
+    /// The calibrated idle-loop baseline (one unloaded iteration).
+    pub fn baseline(&self) -> SimDuration {
+        self.baseline
+    }
+
     /// Spawns the application under test and focuses input on it.
     pub fn launch_app(&mut self, spec: ProcessSpec, program: Box<dyn Program>) -> ThreadId {
         let tid = self.machine.spawn(spec, program);

@@ -7,6 +7,7 @@
 //! event-handling work (Figure 1).
 
 use latlab_des::{CpuFreq, SimDuration, SimTime};
+use latlab_trace::{Record, StreamKind, TraceError, TraceMeta, TraceReader, TraceWriter};
 use serde::{Deserialize, Serialize};
 
 /// One reconstructed idle-loop sample: the interval between two consecutive
@@ -49,13 +50,36 @@ impl IdleTrace {
     /// # Panics
     ///
     /// Panics if the stamps are not strictly increasing or the baseline is
-    /// zero.
+    /// zero. Use [`IdleTrace::try_new`] for stamps from an external source.
     pub fn new(stamps: Vec<u64>, baseline: SimDuration, freq: CpuFreq) -> Self {
-        assert!(!baseline.is_zero(), "baseline must be non-zero");
-        assert!(
-            stamps.windows(2).all(|w| w[0] < w[1]),
-            "trace stamps must be strictly increasing"
-        );
+        match Self::try_new(stamps, baseline, freq) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Wraps raw stamps with their calibration, validating both.
+    ///
+    /// This is the entry point for any stamps that did not come straight
+    /// out of the simulator — trace files in particular — where invalid
+    /// data must be reported, not crash the process.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::ZeroBaseline`] if `baseline` is zero;
+    /// [`TraceError::NonMonotonic`] if the stamps are not strictly
+    /// increasing.
+    pub fn try_new(
+        stamps: Vec<u64>,
+        baseline: SimDuration,
+        freq: CpuFreq,
+    ) -> Result<Self, TraceError> {
+        if baseline.is_zero() {
+            return Err(TraceError::ZeroBaseline);
+        }
+        if let Some(i) = stamps.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(TraceError::NonMonotonic { index: i + 1 });
+        }
         let mut prefix_excess = Vec::with_capacity(stamps.len());
         let mut total = 0u64;
         prefix_excess.push(0);
@@ -66,12 +90,65 @@ impl IdleTrace {
         if stamps.is_empty() {
             prefix_excess.clear();
         }
-        IdleTrace {
+        Ok(IdleTrace {
             stamps,
             prefix_excess,
             baseline,
             freq,
+        })
+    }
+
+    /// Reads an idle-loop trace from its binary trace-file form, taking
+    /// the calibration (baseline, frequency) from the file header.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] from the underlying reader (corrupt, truncated,
+    /// or wrong-kind file), plus the [`IdleTrace::try_new`] validations.
+    pub fn from_reader<R: std::io::Read>(reader: TraceReader<R>) -> Result<Self, TraceError> {
+        let meta = reader.meta().clone();
+        if meta.kind != StreamKind::IdleStamps {
+            return Err(TraceError::KindMismatch {
+                expected: StreamKind::IdleStamps,
+                got: meta.kind,
+            });
         }
+        let mut stamps = Vec::new();
+        for rec in reader {
+            match rec? {
+                Record::Stamp(s) => stamps.push(s),
+                _ => unreachable!("stamp stream yielded a non-stamp record"),
+            }
+        }
+        Self::try_new(stamps, meta.baseline, meta.freq)
+    }
+
+    /// Writes the trace in its binary file form through `out`, stamping
+    /// the header with this trace's calibration plus the caller's
+    /// provenance (`personality`, `seed`).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the underlying writer.
+    pub fn write_to<W: std::io::Write>(
+        &self,
+        out: W,
+        personality: &str,
+        seed: u64,
+    ) -> Result<(), TraceError> {
+        let meta = TraceMeta {
+            kind: StreamKind::IdleStamps,
+            freq: self.freq,
+            baseline: self.baseline,
+            seed,
+            personality: personality.to_owned(),
+        };
+        let mut w = TraceWriter::create(out, meta)?;
+        for &s in &self.stamps {
+            w.write(&Record::Stamp(s))?;
+        }
+        w.finish()?;
+        Ok(())
     }
 
     /// Number of trace records.
@@ -266,5 +343,52 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn non_monotone_stamps_rejected() {
         let _ = trace(vec![10, 5]);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        let err = IdleTrace::try_new(
+            vec![10, 5],
+            SimDuration::from_cycles(MS),
+            CpuFreq::PENTIUM_100,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceError::NonMonotonic { index: 1 }));
+        let err =
+            IdleTrace::try_new(vec![0, MS], SimDuration::ZERO, CpuFreq::PENTIUM_100).unwrap_err();
+        assert!(matches!(err, TraceError::ZeroBaseline));
+    }
+
+    #[test]
+    fn binary_file_round_trip() {
+        let t = trace(vec![0, MS, 2 * MS, 2 * MS + 1_076_000]);
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes, "test/figure1", 7).unwrap();
+        let reader = TraceReader::open(&bytes[..]).unwrap();
+        assert_eq!(reader.meta().personality, "test/figure1");
+        assert_eq!(reader.meta().seed, 7);
+        let back = IdleTrace::from_reader(reader).unwrap();
+        assert_eq!(back.stamps(), t.stamps());
+        assert_eq!(back.baseline(), t.baseline());
+        assert_eq!(back.freq(), t.freq());
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error_not_a_panic() {
+        let t = trace(vec![0, MS, 2 * MS]);
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes, "p", 0).unwrap();
+        // Truncate mid-chunk.
+        let cut = &bytes[..bytes.len() - 3];
+        if let Ok(reader) = TraceReader::open(cut) {
+            assert!(IdleTrace::from_reader(reader).is_err());
+        }
+        // Flip a payload bit.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        if let Ok(reader) = TraceReader::open(&flipped[..]) {
+            assert!(IdleTrace::from_reader(reader).is_err());
+        }
     }
 }

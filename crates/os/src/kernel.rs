@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 use latlab_des::{EventQueue, SimDuration, SimTime};
 use latlab_hw::disk::BLOCK_SIZE;
 use latlab_hw::{CounterBank, CounterError, CounterId, Disk, EventCounts, HwEvent, Ring};
+use latlab_trace::{Record as TraceRecord, TraceSink, VecSink};
 
 use crate::apilog::{ApiEntry, ApiLog, ApiLogEntry, ApiOutcome};
 use crate::bufcache::{BlockKey, BufferCache};
@@ -174,7 +175,7 @@ struct ThreadSlot {
     gdi_pending: u32,
     quantum_left: u64,
     cpu_cycles: u64,
-    emitted: Vec<u64>,
+    emitted: VecSink,
     retrieved_open: Vec<u64>,
     timer: Option<AppTimer>,
     zero_exec_streak: u32,
@@ -263,6 +264,11 @@ pub struct Machine {
     inputs_outstanding: u64,
     last_ran: Option<ThreadId>,
     stats: MachineStats,
+    /// Optional tee for idle-loop stamps: every `Emit` also lands here.
+    stamp_sink: Option<Box<dyn TraceSink>>,
+    /// Optional tee for the API log: every entry also lands here as a
+    /// wire-level [`latlab_trace::ApiRecord`].
+    api_sink: Option<Box<dyn TraceSink>>,
 }
 
 impl Machine {
@@ -304,6 +310,8 @@ impl Machine {
             inputs_outstanding: 0,
             last_ran: None,
             stats: MachineStats::default(),
+            stamp_sink: None,
+            api_sink: None,
         }
     }
 
@@ -334,7 +342,7 @@ impl Machine {
             gdi_pending: 0,
             quantum_left: quantum,
             cpu_cycles: 0,
-            emitted: Vec::new(),
+            emitted: VecSink::new(),
             retrieved_open: Vec::new(),
             timer: None,
             zero_exec_streak: 0,
@@ -492,7 +500,39 @@ impl Machine {
 
     /// Takes (drains) a thread's emission buffer.
     pub fn take_emitted(&mut self, tid: ThreadId) -> Vec<u64> {
-        std::mem::take(&mut self.thread_mut(tid).emitted)
+        self.thread_mut(tid).emitted.take_stamps()
+    }
+
+    /// Installs a tee for idle-loop stamps: every `Emit` by any thread is
+    /// also forwarded to `sink` (in addition to the per-thread buffer
+    /// drained by [`Machine::take_emitted`]). Used to stream traces to
+    /// disk while a measurement runs.
+    pub fn set_stamp_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.stamp_sink = Some(sink);
+    }
+
+    /// Removes and returns the stamp tee, if one was installed.
+    pub fn take_stamp_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.stamp_sink.take()
+    }
+
+    /// Installs a tee for the message-API log: every entry is also
+    /// forwarded to `sink` as a wire-level [`latlab_trace::ApiRecord`].
+    pub fn set_api_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.api_sink = Some(sink);
+    }
+
+    /// Removes and returns the API-log tee, if one was installed.
+    pub fn take_api_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.api_sink.take()
+    }
+
+    /// Appends to the API log and forwards to the API tee, if any.
+    fn log_api(&mut self, entry: ApiLogEntry) {
+        if let Some(sink) = self.api_sink.as_deref_mut() {
+            sink.record(&TraceRecord::Api(crate::tracebridge::to_record(&entry)));
+        }
+        self.apilog.record(entry);
     }
 
     /// Message-queue length of a thread — the §6 "message queue length" API
@@ -1293,8 +1333,12 @@ impl Machine {
                 self.thread_mut(tid).pending_reply = ApiReply::Cycles(cycles);
             }
             Outcome::Emit(v) => {
+                let rec = TraceRecord::Stamp(v);
+                if let Some(sink) = self.stamp_sink.as_deref_mut() {
+                    sink.record(&rec);
+                }
                 let t = self.thread_mut(tid);
-                t.emitted.push(v);
+                t.emitted.record(&rec);
                 t.pending_reply = ApiReply::None;
             }
         }
@@ -1317,7 +1361,7 @@ impl Machine {
         // Still empty: the previous events are truly complete (their output
         // has been flushed), and the thread blocks.
         self.complete_open_events(tid);
-        self.apilog.record(ApiLogEntry {
+        self.log_api(ApiLogEntry {
             at: self.now,
             thread: tid,
             entry: ApiEntry::GetMessage,
@@ -1349,7 +1393,7 @@ impl Machine {
             return;
         }
         self.complete_open_events(tid);
-        self.apilog.record(ApiLogEntry {
+        self.log_api(ApiLogEntry {
             at: self.now,
             thread: tid,
             entry: ApiEntry::PeekMessage,
@@ -1371,7 +1415,7 @@ impl Machine {
                 queue_len: qlen,
             },
         );
-        self.apilog.record(ApiLogEntry {
+        self.log_api(ApiLogEntry {
             at: self.now,
             thread: tid,
             entry,

@@ -28,6 +28,7 @@ pub mod profile;
 pub mod program;
 pub mod sched;
 pub mod statelog;
+pub mod tracebridge;
 pub mod win32;
 
 pub use apilog::{ApiEntry, ApiLog, ApiLogEntry, ApiOutcome};

@@ -1,0 +1,326 @@
+//! Conversion between the OS-level API log and wire-level trace records.
+//!
+//! `latlab-trace` deliberately knows nothing about OS types: its
+//! [`ApiRecord`] is plain integers. This module owns the packing — entry
+//! and outcome discriminants, and the [`Message`] payload squeezed into
+//! the record's two payload words — and the unpacking used by trace
+//! inspection and replay. Both directions are total over values this
+//! crate produces; unpacking returns [`TraceError::Corrupt`] on anything
+//! else, since trace files are external input.
+
+use latlab_des::SimTime;
+use latlab_trace::{ApiRecord, TraceError};
+
+use crate::apilog::{ApiEntry, ApiLogEntry, ApiOutcome};
+use crate::msgq::{InputKind, KeySym, Message, MouseButton};
+use crate::program::ThreadId;
+
+// Entry discriminants.
+const ENTRY_GET: u8 = 0;
+const ENTRY_PEEK: u8 = 1;
+
+// Outcome discriminants.
+const OUT_EMPTY: u8 = 0;
+const OUT_BLOCKED: u8 = 1;
+const OUT_RETRIEVED: u8 = 2;
+
+// Message tags (low byte of payload word `a`).
+const MSG_INPUT: u64 = 0;
+const MSG_PAINT: u64 = 1;
+const MSG_TIMER: u64 = 2;
+const MSG_QUEUESYNC: u64 = 3;
+const MSG_IO_COMPLETE: u64 = 4;
+const MSG_USER: u64 = 5;
+
+// KeySym encoding: named keys get small codes; Char/Ctrl carry the code
+// point above a flag bit.
+const KEY_CHAR_FLAG: u64 = 1 << 24;
+const KEY_CTRL_FLAG: u64 = 1 << 25;
+
+fn pack_keysym(sym: KeySym) -> u64 {
+    match sym {
+        KeySym::Enter => 1,
+        KeySym::Backspace => 2,
+        KeySym::PageDown => 3,
+        KeySym::PageUp => 4,
+        KeySym::Up => 5,
+        KeySym::Down => 6,
+        KeySym::Left => 7,
+        KeySym::Right => 8,
+        KeySym::Escape => 9,
+        KeySym::Char(c) => KEY_CHAR_FLAG | u64::from(u32::from(c)),
+        KeySym::Ctrl(c) => KEY_CTRL_FLAG | u64::from(u32::from(c)),
+    }
+}
+
+fn unpack_keysym(v: u64) -> Result<KeySym, TraceError> {
+    let bad = TraceError::Corrupt {
+        what: "invalid key symbol in API record",
+    };
+    if v & KEY_CHAR_FLAG != 0 {
+        let code = u32::try_from(v & (KEY_CHAR_FLAG - 1)).map_err(|_| bad)?;
+        return char::from_u32(code)
+            .map(KeySym::Char)
+            .ok_or(TraceError::Corrupt {
+                what: "invalid key symbol in API record",
+            });
+    }
+    if v & KEY_CTRL_FLAG != 0 {
+        let code = u32::try_from(v & (KEY_CHAR_FLAG - 1)).map_err(|_| bad)?;
+        return char::from_u32(code)
+            .map(KeySym::Ctrl)
+            .ok_or(TraceError::Corrupt {
+                what: "invalid key symbol in API record",
+            });
+    }
+    match v {
+        1 => Ok(KeySym::Enter),
+        2 => Ok(KeySym::Backspace),
+        3 => Ok(KeySym::PageDown),
+        4 => Ok(KeySym::PageUp),
+        5 => Ok(KeySym::Up),
+        6 => Ok(KeySym::Down),
+        7 => Ok(KeySym::Left),
+        8 => Ok(KeySym::Right),
+        9 => Ok(KeySym::Escape),
+        _ => Err(bad),
+    }
+}
+
+// InputKind encoding: tag in the low 3 bits, payload above.
+fn pack_input_kind(kind: InputKind) -> u64 {
+    match kind {
+        InputKind::Key(sym) => pack_keysym(sym) << 3,
+        InputKind::MouseDown(b) => 1 | (u64::from(b == MouseButton::Right) << 3),
+        InputKind::MouseUp(b) => 2 | (u64::from(b == MouseButton::Right) << 3),
+        InputKind::Packet(size) => 3 | (u64::from(size) << 3),
+    }
+}
+
+fn unpack_input_kind(v: u64) -> Result<InputKind, TraceError> {
+    let payload = v >> 3;
+    let button = || {
+        if payload == 1 {
+            MouseButton::Right
+        } else {
+            MouseButton::Left
+        }
+    };
+    match v & 0x7 {
+        0 => Ok(InputKind::Key(unpack_keysym(payload)?)),
+        1 => Ok(InputKind::MouseDown(button())),
+        2 => Ok(InputKind::MouseUp(button())),
+        3 => u32::try_from(payload)
+            .map(InputKind::Packet)
+            .map_err(|_| TraceError::Corrupt {
+                what: "packet size exceeds 32 bits in API record",
+            }),
+        _ => Err(TraceError::Corrupt {
+            what: "invalid input kind in API record",
+        }),
+    }
+}
+
+/// Packs a retrieved message into the record's `(a, b)` payload words:
+/// the message tag in `a`'s low byte (input-kind bits above it) and the
+/// numeric payload in `b`.
+fn pack_message(msg: Message) -> (u64, u64) {
+    match msg {
+        Message::Input { id, kind } => (MSG_INPUT | (pack_input_kind(kind) << 8), id),
+        Message::Paint => (MSG_PAINT, 0),
+        Message::Timer => (MSG_TIMER, 0),
+        Message::QueueSync => (MSG_QUEUESYNC, 0),
+        Message::IoComplete(token) => (MSG_IO_COMPLETE, u64::from(token)),
+        Message::User(code) => (MSG_USER, u64::from(code)),
+    }
+}
+
+fn unpack_message(a: u64, b: u64) -> Result<Message, TraceError> {
+    match a & 0xff {
+        MSG_INPUT => Ok(Message::Input {
+            id: b,
+            kind: unpack_input_kind(a >> 8)?,
+        }),
+        MSG_PAINT => Ok(Message::Paint),
+        MSG_TIMER => Ok(Message::Timer),
+        MSG_QUEUESYNC => Ok(Message::QueueSync),
+        MSG_IO_COMPLETE => {
+            u32::try_from(b)
+                .map(Message::IoComplete)
+                .map_err(|_| TraceError::Corrupt {
+                    what: "I/O token exceeds 32 bits in API record",
+                })
+        }
+        MSG_USER => u32::try_from(b)
+            .map(Message::User)
+            .map_err(|_| TraceError::Corrupt {
+                what: "user message code exceeds 32 bits in API record",
+            }),
+        _ => Err(TraceError::Corrupt {
+            what: "unknown message tag in API record",
+        }),
+    }
+}
+
+/// Flattens an API log entry to its wire form.
+pub fn to_record(e: &ApiLogEntry) -> ApiRecord {
+    let entry = match e.entry {
+        ApiEntry::GetMessage => ENTRY_GET,
+        ApiEntry::PeekMessage => ENTRY_PEEK,
+    };
+    let (outcome, a, b) = match e.outcome {
+        ApiOutcome::Empty => (OUT_EMPTY, 0, 0),
+        ApiOutcome::Blocked => (OUT_BLOCKED, 0, 0),
+        ApiOutcome::Retrieved(msg) => {
+            let (a, b) = pack_message(msg);
+            (OUT_RETRIEVED, a, b)
+        }
+    };
+    ApiRecord {
+        at_cycles: e.at.cycles(),
+        thread: e.thread.0,
+        entry,
+        outcome,
+        a,
+        b,
+        queue_len: u32::try_from(e.queue_len_after).unwrap_or(u32::MAX),
+    }
+}
+
+/// Reconstructs an API log entry from its wire form.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Corrupt`] on unknown discriminants or
+/// unrepresentable payloads — wire records come from files.
+pub fn from_record(r: &ApiRecord) -> Result<ApiLogEntry, TraceError> {
+    let entry = match r.entry {
+        ENTRY_GET => ApiEntry::GetMessage,
+        ENTRY_PEEK => ApiEntry::PeekMessage,
+        _ => {
+            return Err(TraceError::Corrupt {
+                what: "unknown API entry discriminant",
+            })
+        }
+    };
+    let outcome = match r.outcome {
+        OUT_EMPTY => ApiOutcome::Empty,
+        OUT_BLOCKED => ApiOutcome::Blocked,
+        OUT_RETRIEVED => ApiOutcome::Retrieved(unpack_message(r.a, r.b)?),
+        _ => {
+            return Err(TraceError::Corrupt {
+                what: "unknown API outcome discriminant",
+            })
+        }
+    };
+    Ok(ApiLogEntry {
+        at: SimTime::from_cycles(r.at_cycles),
+        thread: ThreadId(r.thread),
+        entry,
+        outcome,
+        queue_len_after: r.queue_len as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Message> {
+        let mut msgs = vec![
+            Message::Paint,
+            Message::Timer,
+            Message::QueueSync,
+            Message::IoComplete(0),
+            Message::IoComplete(u32::MAX),
+            Message::User(7),
+        ];
+        let keys = [
+            KeySym::Char('a'),
+            KeySym::Char('\u{10ffff}'),
+            KeySym::Ctrl('s'),
+            KeySym::Enter,
+            KeySym::Backspace,
+            KeySym::PageDown,
+            KeySym::PageUp,
+            KeySym::Up,
+            KeySym::Down,
+            KeySym::Left,
+            KeySym::Right,
+            KeySym::Escape,
+        ];
+        for (i, k) in keys.into_iter().enumerate() {
+            msgs.push(Message::Input {
+                id: i as u64 * 1000,
+                kind: InputKind::Key(k),
+            });
+        }
+        for b in [MouseButton::Left, MouseButton::Right] {
+            msgs.push(Message::Input {
+                id: 1,
+                kind: InputKind::MouseDown(b),
+            });
+            msgs.push(Message::Input {
+                id: 2,
+                kind: InputKind::MouseUp(b),
+            });
+        }
+        msgs.push(Message::Input {
+            id: u64::MAX,
+            kind: InputKind::Packet(u32::MAX),
+        });
+        msgs
+    }
+
+    #[test]
+    fn every_entry_round_trips() {
+        let mut entries = vec![
+            (ApiEntry::GetMessage, ApiOutcome::Blocked),
+            (ApiEntry::PeekMessage, ApiOutcome::Empty),
+        ];
+        for msg in all_messages() {
+            entries.push((ApiEntry::GetMessage, ApiOutcome::Retrieved(msg)));
+            entries.push((ApiEntry::PeekMessage, ApiOutcome::Retrieved(msg)));
+        }
+        for (i, (entry, outcome)) in entries.into_iter().enumerate() {
+            let e = ApiLogEntry {
+                at: SimTime::from_cycles(i as u64 * 12_345),
+                thread: ThreadId(i as u32 % 5),
+                entry,
+                outcome,
+                queue_len_after: i % 9,
+            };
+            let back = from_record(&to_record(&e)).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn junk_discriminants_are_errors() {
+        let base = to_record(&ApiLogEntry {
+            at: SimTime::ZERO,
+            thread: ThreadId(0),
+            entry: ApiEntry::GetMessage,
+            outcome: ApiOutcome::Blocked,
+            queue_len_after: 0,
+        });
+        let bad_entry = ApiRecord { entry: 9, ..base };
+        assert!(from_record(&bad_entry).is_err());
+        let bad_outcome = ApiRecord { outcome: 9, ..base };
+        assert!(from_record(&bad_outcome).is_err());
+        let bad_msg = ApiRecord {
+            outcome: 2,
+            a: 0xff,
+            ..base
+        };
+        assert!(from_record(&bad_msg).is_err());
+        // A surrogate code point is not a char.
+        let bad_key = ApiRecord {
+            outcome: 2,
+            a: ((1u64 << 24) | 0xd800) << 11,
+            b: 0,
+            ..base
+        };
+        assert!(from_record(&bad_key).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Trace-subsystem errors.
+//!
+//! Everything that loads data from outside the process goes through
+//! [`TraceError`]: file readers, stamp validation, and sink finalization.
+//! Corrupt input must surface as an error, never a panic.
+
+use std::fmt;
+use std::io;
+
+use crate::meta::StreamKind;
+
+/// Any failure while writing, reading, or interpreting a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The header declares a format version this build cannot read.
+    UnsupportedVersion(u8),
+    /// The header or a chunk failed its CRC check.
+    CrcMismatch {
+        /// Which chunk (0 = file header).
+        chunk: u64,
+    },
+    /// The file ends in the middle of a header or chunk.
+    Truncated,
+    /// A structurally invalid field (bad kind byte, oversized chunk,
+    /// malformed varint, record-count mismatch...).
+    Corrupt {
+        /// What was malformed.
+        what: &'static str,
+    },
+    /// Trace stamps were not strictly increasing.
+    NonMonotonic {
+        /// Index of the offending record.
+        index: usize,
+    },
+    /// The calibration baseline was zero.
+    ZeroBaseline,
+    /// A record of one stream kind was offered to a writer of another.
+    KindMismatch {
+        /// The stream's declared kind.
+        expected: StreamKind,
+        /// The record's kind.
+        got: StreamKind,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a latlab trace file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::CrcMismatch { chunk } => {
+                if *chunk == 0 {
+                    write!(f, "header CRC mismatch")
+                } else {
+                    write!(f, "CRC mismatch in chunk {chunk}")
+                }
+            }
+            TraceError::Truncated => write!(f, "trace file is truncated"),
+            TraceError::Corrupt { what } => write!(f, "corrupt trace file: {what}"),
+            TraceError::NonMonotonic { index } => {
+                write!(
+                    f,
+                    "trace stamps must be strictly increasing (record {index})"
+                )
+            }
+            TraceError::ZeroBaseline => write!(f, "baseline must be non-zero"),
+            TraceError::KindMismatch { expected, got } => {
+                write!(
+                    f,
+                    "stream kind mismatch: writer is {expected:?}, record is {got:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

@@ -1,0 +1,186 @@
+//! # latlab-trace: binary trace capture and replay
+//!
+//! The paper's methodology (§2.2) rests on long streams of cycle-counter
+//! stamps: one per idle-loop iteration, at roughly one per millisecond.
+//! Real measurement sessions produce millions of stamps, and comparing
+//! two runs (before/after an OS change, §4) requires keeping them. This
+//! crate provides the durable form of those streams:
+//!
+//! - a **compact binary format** — varint delta-encoded records in
+//!   CRC-32-framed chunks behind a self-describing header that carries
+//!   the calibration baseline, CPU frequency, personality string, and
+//!   run seed ([`TraceMeta`]);
+//! - a **bounded-memory writer/reader pair** ([`TraceWriter`],
+//!   [`TraceReader`]) that hold at most one chunk in memory, so traces
+//!   far larger than RAM stream through cleanly;
+//! - the [`TraceSink`] abstraction the simulator's collection paths emit
+//!   through, with in-memory ([`VecSink`]), on-disk ([`WriterSink`]),
+//!   and discarding ([`NullSink`]) implementations.
+//!
+//! Three stream kinds share the container: idle-loop stamps, message-API
+//! log events, and periodic counter samples ([`StreamKind`]).
+//!
+//! Trace files are external input: every read path returns
+//! [`TraceError`] on corrupt or truncated data and never panics.
+
+mod crc32;
+mod error;
+mod meta;
+mod reader;
+mod record;
+mod sink;
+mod varint;
+mod writer;
+
+pub use error::TraceError;
+pub use meta::{StreamKind, TraceMeta, FORMAT_VERSION, MAGIC};
+pub use reader::TraceReader;
+pub use record::{ApiRecord, CounterRecord, Record};
+pub use sink::{NullSink, TraceSink, VecSink, WriterSink};
+pub use writer::{TraceWriter, MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS};
+
+/// Default file extension for trace files.
+pub const FILE_EXTENSION: &str = "ltrc";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_des::{CpuFreq, SimDuration};
+
+    fn stamp_meta() -> TraceMeta {
+        TraceMeta {
+            kind: StreamKind::IdleStamps,
+            freq: CpuFreq::PENTIUM_100,
+            baseline: SimDuration::from_cycles(250),
+            seed: 42,
+            personality: "test".to_owned(),
+        }
+    }
+
+    #[test]
+    fn stamps_round_trip_across_chunks() {
+        let mut w = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        let stamps: Vec<u64> = (0..10_000u64).map(|i| i * i + i).collect();
+        for &s in &stamps[1..] {
+            w.write(&Record::Stamp(s)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut r = TraceReader::open(&bytes[..]).unwrap();
+        assert_eq!(r.meta(), &stamp_meta());
+        let mut back = Vec::new();
+        while let Some(rec) = r.next().unwrap() {
+            match rec {
+                Record::Stamp(s) => back.push(s),
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+        assert_eq!(back, stamps[1..]);
+        assert!(r.chunks_read() >= 2, "expected multiple chunks");
+    }
+
+    #[test]
+    fn non_monotonic_stamps_rejected_at_write() {
+        let mut w = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        w.write(&Record::Stamp(100)).unwrap();
+        let err = w.write(&Record::Stamp(100)).unwrap_err();
+        assert!(matches!(err, TraceError::NonMonotonic { index: 1 }));
+        let err = w.write(&Record::Stamp(50)).unwrap_err();
+        assert!(matches!(err, TraceError::NonMonotonic { .. }));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut w = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        let err = w
+            .write(&Record::Counter(CounterRecord {
+                at_cycles: 1,
+                counter: 0,
+                value: 0,
+            }))
+            .unwrap_err();
+        assert!(matches!(err, TraceError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn api_records_round_trip() {
+        let meta = TraceMeta {
+            kind: StreamKind::ApiLog,
+            ..stamp_meta()
+        };
+        let recs: Vec<ApiRecord> = (0..500u64)
+            .map(|i| ApiRecord {
+                at_cycles: i * 1000,
+                thread: (i % 7) as u32,
+                entry: (i % 5) as u8,
+                outcome: (i % 3) as u8,
+                a: i * 31,
+                b: u64::MAX - i,
+                queue_len: (i % 11) as u32,
+            })
+            .collect();
+        let mut w = TraceWriter::create(Vec::new(), meta.clone()).unwrap();
+        for r in &recs {
+            w.write(&Record::Api(*r)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let r = TraceReader::open(&bytes[..]).unwrap();
+        let back: Vec<ApiRecord> = r
+            .map(|rec| match rec.unwrap() {
+                Record::Api(a) => a,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn counter_records_round_trip() {
+        let meta = TraceMeta {
+            kind: StreamKind::Counters,
+            ..stamp_meta()
+        };
+        let recs: Vec<CounterRecord> = (0..300u64)
+            .map(|i| CounterRecord {
+                at_cycles: i * 17,
+                counter: (i % 4) as u32,
+                value: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            })
+            .collect();
+        let mut w = TraceWriter::create(Vec::new(), meta.clone()).unwrap();
+        for r in &recs {
+            w.write(&Record::Counter(*r)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let r = TraceReader::open(&bytes[..]).unwrap();
+        let back: Vec<CounterRecord> = r
+            .map(|rec| match rec.unwrap() {
+                Record::Counter(c) => c,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let w = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = TraceReader::open(&bytes[..]).unwrap();
+        assert!(r.next().unwrap().is_none());
+        assert_eq!(r.records_read(), 0);
+    }
+
+    #[test]
+    fn writer_sink_collects_and_vec_sink_matches() {
+        let meta = stamp_meta();
+        let mut disk = WriterSink::new(TraceWriter::create(Vec::new(), meta).unwrap());
+        let mut mem = VecSink::new();
+        for s in [10u64, 20, 35, 90] {
+            let rec = Record::Stamp(s);
+            disk.record(&rec);
+            mem.record(&rec);
+        }
+        disk.finish().unwrap();
+        assert_eq!(mem.take_stamps(), vec![10, 20, 35, 90]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Self-describing trace header.
+//!
+//! A trace file begins with a fixed header that carries everything needed
+//! to interpret the stream without out-of-band context: the stream kind,
+//! the simulated CPU frequency, the idle-loop calibration baseline, the
+//! run seed, and the free-form personality string (OS profile /
+//! experiment id). The header is CRC-protected like every chunk.
+
+use latlab_des::{CpuFreq, SimDuration};
+
+use crate::crc32::crc32;
+use crate::error::TraceError;
+
+/// File magic: `LTRC` ("latlab trace").
+pub const MAGIC: [u8; 4] = *b"LTRC";
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// What a trace stream contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// Idle-loop cycle-counter stamps, one per loop iteration.
+    IdleStamps,
+    /// Message-API log records (call, outcome, payload, queue depth).
+    ApiLog,
+    /// Periodic counter samples (counter id, value).
+    Counters,
+}
+
+impl StreamKind {
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            StreamKind::IdleStamps => 0,
+            StreamKind::ApiLog => 1,
+            StreamKind::Counters => 2,
+        }
+    }
+
+    pub(crate) fn from_byte(b: u8) -> Result<Self, TraceError> {
+        match b {
+            0 => Ok(StreamKind::IdleStamps),
+            1 => Ok(StreamKind::ApiLog),
+            2 => Ok(StreamKind::Counters),
+            _ => Err(TraceError::Corrupt {
+                what: "unknown stream kind byte",
+            }),
+        }
+    }
+
+    /// Short lowercase name, used in file names and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamKind::IdleStamps => "stamps",
+            StreamKind::ApiLog => "apilog",
+            StreamKind::Counters => "counters",
+        }
+    }
+}
+
+/// Calibration and provenance metadata stored in the trace header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// What the stream contains.
+    pub kind: StreamKind,
+    /// Simulated CPU frequency the cycle stamps were taken against.
+    pub freq: CpuFreq,
+    /// Unloaded idle-loop iteration cost, in cycles (zero only for
+    /// non-stamp streams that carry no calibration).
+    pub baseline: SimDuration,
+    /// RNG seed of the run that produced the trace.
+    pub seed: u64,
+    /// Free-form provenance string: OS personality, experiment id, etc.
+    pub personality: String,
+}
+
+impl TraceMeta {
+    /// Fixed-size portion of the header, before the personality bytes
+    /// and the trailing CRC.
+    ///
+    /// Layout: magic(4) version(1) kind(1) personality_len(2 LE)
+    /// freq_hz(8 LE) baseline(8 LE) seed(8 LE).
+    pub(crate) const FIXED_LEN: usize = 4 + 1 + 1 + 2 + 8 + 8 + 8;
+
+    /// Serializes the header, including its CRC.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let personality = self.personality.as_bytes();
+        let plen = u16::try_from(personality.len()).unwrap_or(u16::MAX);
+        let personality = &personality[..plen as usize];
+        let mut out = Vec::with_capacity(Self::FIXED_LEN + personality.len() + 4);
+        out.extend_from_slice(&MAGIC);
+        out.push(FORMAT_VERSION);
+        out.push(self.kind.to_byte());
+        out.extend_from_slice(&plen.to_le_bytes());
+        out.extend_from_slice(&self.freq.hz().to_le_bytes());
+        out.extend_from_slice(&self.baseline.cycles().to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(personality);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a header from the start of `buf`, returning the metadata
+    /// and the number of bytes consumed.
+    pub(crate) fn decode(buf: &[u8]) -> Result<(Self, usize), TraceError> {
+        if buf.len() < 4 {
+            return Err(TraceError::Truncated);
+        }
+        if buf[..4] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        if buf.len() < Self::FIXED_LEN {
+            return Err(TraceError::Truncated);
+        }
+        let version = buf[4];
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let kind = StreamKind::from_byte(buf[5])?;
+        let plen = u16::from_le_bytes([buf[6], buf[7]]) as usize;
+        let freq_hz = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let baseline = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let seed = u64::from_le_bytes(buf[24..32].try_into().unwrap());
+        let total = Self::FIXED_LEN + plen + 4;
+        if buf.len() < total {
+            return Err(TraceError::Truncated);
+        }
+        let personality_bytes = &buf[Self::FIXED_LEN..Self::FIXED_LEN + plen];
+        let stored_crc = u32::from_le_bytes(buf[Self::FIXED_LEN + plen..total].try_into().unwrap());
+        if crc32(&buf[..Self::FIXED_LEN + plen]) != stored_crc {
+            return Err(TraceError::CrcMismatch { chunk: 0 });
+        }
+        let personality = std::str::from_utf8(personality_bytes)
+            .map_err(|_| TraceError::Corrupt {
+                what: "personality string is not UTF-8",
+            })?
+            .to_owned();
+        if freq_hz == 0 {
+            return Err(TraceError::Corrupt {
+                what: "zero CPU frequency in header",
+            });
+        }
+        Ok((
+            TraceMeta {
+                kind,
+                freq: CpuFreq::from_hz(freq_hz),
+                baseline: SimDuration::from_cycles(baseline),
+                seed,
+                personality,
+            },
+            total,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            kind: StreamKind::IdleStamps,
+            freq: CpuFreq::PENTIUM_100,
+            baseline: SimDuration::from_cycles(250),
+            seed: 0xdead_beef,
+            personality: "win95/typing".to_owned(),
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let m = meta();
+        let bytes = m.encode();
+        let (back, used) = TraceMeta::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = meta().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            TraceMeta::decode(&bytes),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = meta().encode();
+        for len in 0..bytes.len() {
+            assert!(TraceMeta::decode(&bytes[..len]).is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn header_bit_flip_is_detected() {
+        let bytes = meta().encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    TraceMeta::decode(&flipped).is_err(),
+                    "flip at {byte}:{bit} undetected"
+                );
+            }
+        }
+    }
+}

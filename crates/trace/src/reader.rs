@@ -1,0 +1,240 @@
+//! Bounded-memory trace reader.
+//!
+//! The reader holds at most one decoded chunk in memory and yields
+//! records one at a time, so arbitrarily long traces can be summarized
+//! in O(1) space. Every structural assumption about the input is
+//! checked; corrupt or truncated files surface as [`TraceError`], never
+//! a panic — traces are external data.
+
+use std::io::Read;
+
+use crate::crc32::crc32;
+use crate::error::TraceError;
+use crate::meta::{StreamKind, TraceMeta};
+use crate::record::{ApiRecord, CounterRecord, Record};
+use crate::varint;
+use crate::writer::{MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS};
+
+/// Streaming decoder for one trace file.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    meta: TraceMeta,
+    chunk: Vec<u8>,
+    pos: usize,
+    remaining_in_chunk: u32,
+    prev_at: u64,
+    any_read: bool,
+    records_read: u64,
+    chunks_read: u64,
+    done: bool,
+}
+
+/// Reads exactly `buf.len()` bytes unless EOF intervenes; returns the
+/// number of bytes actually read.
+fn read_full<R: Read>(input: &mut R, buf: &mut [u8]) -> Result<usize, TraceError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace: reads and validates the header.
+    pub fn open(mut input: R) -> Result<Self, TraceError> {
+        let mut fixed = vec![0u8; TraceMeta::FIXED_LEN];
+        let n = read_full(&mut input, &mut fixed)?;
+        fixed.truncate(n);
+        if n < TraceMeta::FIXED_LEN {
+            // Let the decoder classify the failure (BadMagic vs Truncated).
+            return Err(TraceMeta::decode(&fixed).unwrap_err());
+        }
+        if fixed[..4] != crate::meta::MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let plen = u16::from_le_bytes([fixed[6], fixed[7]]) as usize;
+        let mut rest = vec![0u8; plen + 4];
+        let n = read_full(&mut input, &mut rest)?;
+        rest.truncate(n);
+        fixed.extend_from_slice(&rest);
+        let (meta, _) = TraceMeta::decode(&fixed)?;
+        Ok(TraceReader {
+            input,
+            meta,
+            chunk: Vec::new(),
+            pos: 0,
+            remaining_in_chunk: 0,
+            prev_at: 0,
+            any_read: false,
+            records_read: 0,
+            chunks_read: 0,
+            done: false,
+        })
+    }
+
+    /// The stream metadata from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Chunks decoded so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_read
+    }
+
+    /// Loads and CRC-checks the next chunk. Returns false at clean EOF.
+    fn load_chunk(&mut self) -> Result<bool, TraceError> {
+        let mut header = [0u8; 12];
+        let n = read_full(&mut self.input, &mut header)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        if n < header.len() {
+            return Err(TraceError::Truncated);
+        }
+        let count = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if count == 0 || count > MAX_CHUNK_RECORDS {
+            return Err(TraceError::Corrupt {
+                what: "chunk record count out of range",
+            });
+        }
+        if len == 0 || len > MAX_CHUNK_PAYLOAD {
+            return Err(TraceError::Corrupt {
+                what: "chunk payload length out of range",
+            });
+        }
+        self.chunk.resize(len, 0);
+        let n = read_full(&mut self.input, &mut self.chunk)?;
+        if n < len {
+            return Err(TraceError::Truncated);
+        }
+        if crc32(&self.chunk) != stored_crc {
+            return Err(TraceError::CrcMismatch {
+                chunk: self.chunks_read + 1,
+            });
+        }
+        self.pos = 0;
+        self.remaining_in_chunk = count;
+        self.chunks_read += 1;
+        Ok(true)
+    }
+
+    fn decode_u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
+        let v = varint::decode(&self.chunk, &mut self.pos)?;
+        u32::try_from(v).map_err(|_| TraceError::Corrupt { what })
+    }
+
+    fn decode_byte(&mut self, what: &'static str) -> Result<u8, TraceError> {
+        let Some(&b) = self.chunk.get(self.pos) else {
+            return Err(TraceError::Corrupt { what });
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Decodes the next record, or `None` at clean end of file.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Record>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.remaining_in_chunk == 0 {
+            if self.pos != self.chunk.len() {
+                self.done = true;
+                return Err(TraceError::Corrupt {
+                    what: "trailing bytes in chunk payload",
+                });
+            }
+            match self.load_chunk() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            }
+        }
+        match self.decode_record() {
+            Ok(rec) => {
+                self.remaining_in_chunk -= 1;
+                self.records_read += 1;
+                Ok(Some(rec))
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn decode_record(&mut self) -> Result<Record, TraceError> {
+        let delta = varint::decode(&self.chunk, &mut self.pos)?;
+        let index = self.records_read as usize;
+        let at = if self.any_read {
+            if self.meta.kind == StreamKind::IdleStamps && delta == 0 {
+                return Err(TraceError::NonMonotonic { index });
+            }
+            self.prev_at.checked_add(delta).ok_or(TraceError::Corrupt {
+                what: "timestamp delta overflows 64 bits",
+            })?
+        } else {
+            delta
+        };
+        let rec = match self.meta.kind {
+            StreamKind::IdleStamps => Record::Stamp(at),
+            StreamKind::ApiLog => {
+                let thread = self.decode_u32("thread id exceeds 32 bits")?;
+                let entry = self.decode_byte("API record missing entry byte")?;
+                let outcome = self.decode_byte("API record missing outcome byte")?;
+                let a = varint::decode(&self.chunk, &mut self.pos)?;
+                let b = varint::decode(&self.chunk, &mut self.pos)?;
+                let queue_len = self.decode_u32("queue length exceeds 32 bits")?;
+                Record::Api(ApiRecord {
+                    at_cycles: at,
+                    thread,
+                    entry,
+                    outcome,
+                    a,
+                    b,
+                    queue_len,
+                })
+            }
+            StreamKind::Counters => {
+                let counter = self.decode_u32("counter id exceeds 32 bits")?;
+                let value = varint::decode(&self.chunk, &mut self.pos)?;
+                Record::Counter(CounterRecord {
+                    at_cycles: at,
+                    counter,
+                    value,
+                })
+            }
+        };
+        self.prev_at = at;
+        self.any_read = true;
+        Ok(rec)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Record, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        TraceReader::next(self).transpose()
+    }
+}

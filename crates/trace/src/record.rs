@@ -1,0 +1,71 @@
+//! Trace records: the unit of capture for every stream kind.
+
+use crate::meta::StreamKind;
+
+/// One message-API log event, flattened to plain integers for the wire.
+///
+/// `entry` and `outcome` are small discriminant codes whose meaning is
+/// owned by `latlab-os` (which defines the `ApiEntry`/`ApiOutcome`
+/// enums); `a` and `b` carry the packed payload (message id, key code,
+/// wait budget...). Keeping the trace crate ignorant of OS types keeps
+/// the dependency arrow pointing the right way: os depends on trace,
+/// never the reverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ApiRecord {
+    /// Simulation time of the event, in CPU cycles.
+    pub at_cycles: u64,
+    /// Issuing thread id.
+    pub thread: u32,
+    /// API entry-point discriminant.
+    pub entry: u8,
+    /// Outcome discriminant.
+    pub outcome: u8,
+    /// First packed payload word.
+    pub a: u64,
+    /// Second packed payload word.
+    pub b: u64,
+    /// Message-queue depth after the call completed.
+    pub queue_len: u32,
+}
+
+/// One periodic counter sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterRecord {
+    /// Simulation time of the sample, in CPU cycles.
+    pub at_cycles: u64,
+    /// Counter id (meaning owned by the producer).
+    pub counter: u32,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// A single trace record of any stream kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Record {
+    /// An idle-loop cycle-counter stamp.
+    Stamp(u64),
+    /// A message-API log event.
+    Api(ApiRecord),
+    /// A counter sample.
+    Counter(CounterRecord),
+}
+
+impl Record {
+    /// The stream kind this record belongs to.
+    pub fn kind(&self) -> StreamKind {
+        match self {
+            Record::Stamp(_) => StreamKind::IdleStamps,
+            Record::Api(_) => StreamKind::ApiLog,
+            Record::Counter(_) => StreamKind::Counters,
+        }
+    }
+
+    /// The record's timestamp in cycles.
+    pub fn at_cycles(&self) -> u64 {
+        match self {
+            Record::Stamp(s) => *s,
+            Record::Api(r) => r.at_cycles,
+            Record::Counter(r) => r.at_cycles,
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Trace sinks: where instrumented code sends its records.
+//!
+//! The simulator's collection paths (the kernel's `Emit` handler, the
+//! message-API log) emit through [`TraceSink`] so that the same code
+//! path can buffer in memory ([`VecSink`], the historical `Vec` path),
+//! stream to disk ([`WriterSink`]), or discard ([`NullSink`]).
+
+use std::io::Write;
+
+use crate::error::TraceError;
+use crate::record::Record;
+use crate::writer::TraceWriter;
+
+/// A destination for trace records.
+///
+/// `record` is infallible by design: instrumentation sites sit on the
+/// simulator's hot path and must not grow error plumbing. Sinks that can
+/// fail (disk writers) latch their first error and report it from
+/// [`finish`](TraceSink::finish).
+pub trait TraceSink: std::fmt::Debug {
+    /// Accepts one record.
+    fn record(&mut self, rec: &Record);
+
+    /// Flushes buffered state and reports any deferred error.
+    fn finish(&mut self) -> Result<(), TraceError> {
+        Ok(())
+    }
+}
+
+/// Discards every record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: &Record) {}
+}
+
+/// Buffers records in memory — the original `Vec<u64>` collection path,
+/// expressed as a sink.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    records: Vec<Record>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All buffered records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Takes all buffered records, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Takes the buffered idle-loop stamps (non-stamp records are
+    /// dropped), leaving the sink empty.
+    pub fn take_stamps(&mut self) -> Vec<u64> {
+        self.take()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Stamp(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: &Record) {
+        self.records.push(*rec);
+    }
+}
+
+/// Streams records to a [`TraceWriter`], latching the first error.
+#[derive(Debug)]
+pub struct WriterSink<W: Write + std::fmt::Debug> {
+    writer: Option<TraceWriter<W>>,
+    error: Option<TraceError>,
+}
+
+impl<W: Write + std::fmt::Debug> WriterSink<W> {
+    /// Wraps a trace writer as a sink.
+    pub fn new(writer: TraceWriter<W>) -> Self {
+        WriterSink {
+            writer: Some(writer),
+            error: None,
+        }
+    }
+}
+
+impl<W: Write + std::fmt::Debug> TraceSink for WriterSink<W> {
+    fn record(&mut self, rec: &Record) {
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.write(rec) {
+                self.error = Some(e);
+                self.writer = None;
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if let Some(w) = self.writer.take() {
+            w.finish()?;
+        }
+        Ok(())
+    }
+}

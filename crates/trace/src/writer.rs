@@ -1,0 +1,136 @@
+//! Bounded-memory trace writer.
+//!
+//! Records are delta-encoded into an in-memory chunk buffer; when the
+//! chunk reaches its record or byte budget it is framed (record count,
+//! payload length, CRC-32) and flushed to the underlying `Write`. Memory
+//! use is bounded by one chunk regardless of trace length.
+
+use std::io::Write;
+
+use crate::error::TraceError;
+use crate::meta::TraceMeta;
+use crate::record::Record;
+use crate::varint;
+
+/// Maximum records per chunk.
+pub const MAX_CHUNK_RECORDS: u32 = 4096;
+
+/// Maximum encoded payload bytes per chunk. A reader rejects any chunk
+/// header declaring more, which bounds allocation on corrupt input.
+pub const MAX_CHUNK_PAYLOAD: usize = 1 << 20;
+
+/// Streaming encoder for one trace file.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    meta: TraceMeta,
+    buf: Vec<u8>,
+    count: u32,
+    prev_at: u64,
+    any_written: bool,
+    records_written: u64,
+    chunks_written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a new trace: writes the self-describing header immediately.
+    pub fn create(mut out: W, meta: TraceMeta) -> Result<Self, TraceError> {
+        out.write_all(&meta.encode())?;
+        Ok(TraceWriter {
+            out,
+            meta,
+            buf: Vec::new(),
+            count: 0,
+            prev_at: 0,
+            any_written: false,
+            records_written: 0,
+            chunks_written: 0,
+        })
+    }
+
+    /// The stream metadata this writer was created with.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Total records accepted so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Rejects records of the wrong [`StreamKind`](crate::StreamKind),
+    /// timestamps that run backwards (idle stamps must be strictly
+    /// increasing; API/counter events merely non-decreasing), and I/O
+    /// failures while flushing a full chunk.
+    pub fn write(&mut self, rec: &Record) -> Result<(), TraceError> {
+        if rec.kind() != self.meta.kind {
+            return Err(TraceError::KindMismatch {
+                expected: self.meta.kind,
+                got: rec.kind(),
+            });
+        }
+        let at = rec.at_cycles();
+        let index = self.records_written as usize;
+        let delta = if self.any_written {
+            let d = at.wrapping_sub(self.prev_at);
+            if at < self.prev_at || (matches!(rec, Record::Stamp(_)) && d == 0) {
+                return Err(TraceError::NonMonotonic { index });
+            }
+            d
+        } else {
+            at
+        };
+        varint::encode(delta, &mut self.buf);
+        match rec {
+            Record::Stamp(_) => {}
+            Record::Api(r) => {
+                varint::encode(u64::from(r.thread), &mut self.buf);
+                self.buf.push(r.entry);
+                self.buf.push(r.outcome);
+                varint::encode(r.a, &mut self.buf);
+                varint::encode(r.b, &mut self.buf);
+                varint::encode(u64::from(r.queue_len), &mut self.buf);
+            }
+            Record::Counter(r) => {
+                varint::encode(u64::from(r.counter), &mut self.buf);
+                varint::encode(r.value, &mut self.buf);
+            }
+        }
+        self.prev_at = at;
+        self.any_written = true;
+        self.count += 1;
+        self.records_written += 1;
+        // Leave headroom below the payload cap: the largest record is an
+        // ApiRecord at ≤ 40 encoded bytes.
+        if self.count >= MAX_CHUNK_RECORDS || self.buf.len() >= MAX_CHUNK_PAYLOAD - 64 {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        let crc = crate::crc32::crc32(&self.buf);
+        self.out.write_all(&self.count.to_le_bytes())?;
+        self.out.write_all(&(self.buf.len() as u32).to_le_bytes())?;
+        self.out.write_all(&crc.to_le_bytes())?;
+        self.out.write_all(&self.buf)?;
+        self.buf.clear();
+        self.count = 0;
+        self.chunks_written += 1;
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.flush_chunk()?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}

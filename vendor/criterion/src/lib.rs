@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of criterion's API the workspace benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! group configuration methods, `Throughput`, and `Bencher::iter`. Each
+//! benchmark runs a short warm-up, then samples until the measurement-time
+//! budget (or the sample count) is exhausted, and prints a mean
+//! time-per-iteration line — no statistics, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared throughput of a benchmark, used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark with default settings.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement-time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+        }
+        // Measurement.
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let meas_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total_iters += b.iters;
+            total_time += b.elapsed;
+            if meas_start.elapsed() > self.measurement {
+                break;
+            }
+        }
+        if total_iters == 0 {
+            println!("bench {label}: no iterations");
+            return self;
+        }
+        let per_iter = total_time.as_secs_f64() / total_iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.3e} B/s)", n as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {label}: {:.3} ms/iter over {total_iters} iters{rate}",
+            per_iter * 1e3
+        );
+        self
+    }
+
+    /// Ends the group (no-op; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        std_black_box(f());
+        self.elapsed = start.elapsed();
+        self.iters = 1;
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
