@@ -1,0 +1,137 @@
+//! Head-to-head microbenchmark: the old boxed-entry `BinaryHeap` event
+//! queue vs. the current 4-ary packed-key heap (`latlab_des::EventQueue`),
+//! at small (1k) and large (100k) pending-event populations.
+//!
+//! The workload is the simulator's actual access pattern: against a
+//! standing population of pending events, repeatedly pop the earliest and
+//! schedule a replacement at a pseudo-random future time (hold-model
+//! churn), which exercises both sift directions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use latlab_des::{EventQueue, SimTime};
+
+/// The pre-PR implementation, kept verbatim for comparison: a std
+/// `BinaryHeap` of entries ordered by a reversed two-field `Ord` chain.
+mod old {
+    use latlab_des::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    struct Entry<E> {
+        at: SimTime,
+        seq: u64,
+        payload: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+
+    impl<E> Eq for Entry<E> {}
+
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    pub struct OldEventQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+    }
+
+    impl<E> OldEventQueue<E> {
+        pub fn new() -> Self {
+            OldEventQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }
+        }
+
+        pub fn schedule(&mut self, at: SimTime, payload: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { at, seq, payload });
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.heap.pop().map(|e| (e.at, e.payload))
+        }
+    }
+}
+
+/// Deterministic xorshift for event times.
+struct Rand(u64);
+
+impl Rand {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+const CHURN_OPS: u64 = 10_000;
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(CHURN_OPS));
+
+    for &pending in &[1_000u64, 100_000] {
+        group.bench_function(&format!("old_binary_heap/{pending}_pending"), |b| {
+            b.iter(|| {
+                let mut rng = Rand(0x9e37_79b9_7f4a_7c15);
+                let mut q = old::OldEventQueue::new();
+                for i in 0..pending {
+                    q.schedule(SimTime::from_cycles(rng.next() % (pending * 16)), i);
+                }
+                for _ in 0..CHURN_OPS {
+                    let (at, v) = q.pop().unwrap();
+                    q.schedule(
+                        at + latlab_des::SimDuration::from_cycles(rng.next() % 4096),
+                        v,
+                    );
+                }
+                black_box(q.pop())
+            })
+        });
+        group.bench_function(&format!("quad_heap/{pending}_pending"), |b| {
+            b.iter(|| {
+                let mut rng = Rand(0x9e37_79b9_7f4a_7c15);
+                let mut q = EventQueue::new();
+                for i in 0..pending {
+                    q.schedule(SimTime::from_cycles(rng.next() % (pending * 16)), i);
+                }
+                for _ in 0..CHURN_OPS {
+                    let (at, v) = q.pop().unwrap();
+                    q.schedule(
+                        at + latlab_des::SimDuration::from_cycles(rng.next() % 4096),
+                        v,
+                    );
+                }
+                black_box(q.pop())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Self-measurement: times the experiment suite itself and emits a
+//! machine-readable perf trajectory file.
+//!
+//! The paper's thesis is that latency is what the user feels — and the
+//! experimenter is a user too. This harness measures the tool's own
+//! latency so every future change has a baseline to answer to:
+//!
+//! ```text
+//! perf [--out FILE] [--iters N] [--jobs N] [id ...]
+//! ```
+//!
+//! For each scenario it reports per-run wall clock (min and mean over
+//! `--iters` runs) and runs/second; for the whole set it reports the
+//! sequential total, the parallel total under `--jobs` workers, the
+//! speedup, and peak RSS. Results land in `BENCH_repro.json` (override
+//! with `--out`) — the repo-root perf-trajectory file CI regenerates on
+//! every run as a regression gate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use latlab_bench::{engine, pool, scenarios};
+use serde::Serialize;
+
+/// Per-scenario timing entry.
+#[derive(Serialize)]
+struct ScenarioBench {
+    id: String,
+    description: String,
+    wall_ms_min: f64,
+    wall_ms_mean: f64,
+    runs_per_sec: f64,
+    checks: usize,
+    failed_checks: usize,
+}
+
+/// The whole trajectory datapoint.
+#[derive(Serialize)]
+struct BenchReport {
+    schema: String,
+    /// Scenario timings, sequential, `iters` runs each.
+    scenarios: Vec<ScenarioBench>,
+    iters: usize,
+    /// Sum of per-scenario mean wall clocks (the sequential cost of the set).
+    seq_total_ms: f64,
+    /// One full run of the set through the job pool with `jobs` workers.
+    parallel_total_ms: f64,
+    jobs: usize,
+    speedup: f64,
+    /// Peak resident set size of this process, if the platform exposes it.
+    peak_rss_kb: Option<u64>,
+}
+
+/// Peak RSS of the current process in kB (`VmHWM`), Linux only.
+fn peak_rss_kb() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_repro.json");
+    let mut iters = 3usize;
+    let mut jobs = 0usize;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out requires a file name"),
+            "--iters" => {
+                iters = match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--iters requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--jobs" => {
+                jobs = match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: perf [--out FILE] [--iters N] [--jobs N] [id ...]");
+                println!("ids: {:?}", scenarios::ALL_IDS);
+                return ExitCode::SUCCESS;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = scenarios::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(bad) = ids
+        .iter()
+        .find(|id| !scenarios::ALL_IDS.contains(&(id.as_str())))
+    {
+        eprintln!("unknown experiment id {bad:?}");
+        eprintln!("known ids: {:?}", scenarios::ALL_IDS);
+        return ExitCode::FAILURE;
+    }
+    let jobs = pool::resolve_jobs(jobs);
+
+    eprintln!(
+        "perf: timing {} scenario(s), {iters} iter(s) each, pool of {jobs} worker(s)",
+        ids.len()
+    );
+
+    // Phase 1: per-scenario sequential timing.
+    let mut entries = Vec::with_capacity(ids.len());
+    let mut any_failed = false;
+    for id in &ids {
+        let mut total_ms = 0.0f64;
+        let mut min_ms = f64::INFINITY;
+        let mut checks = 0usize;
+        let mut failed = 0usize;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let reports = scenarios::run_by_id(id);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            total_ms += ms;
+            min_ms = min_ms.min(ms);
+            checks = reports.iter().map(|r| r.checks.len()).sum();
+            failed = reports
+                .iter()
+                .flat_map(|r| &r.checks)
+                .filter(|c| !c.passed)
+                .count();
+        }
+        let mean_ms = total_ms / iters as f64;
+        any_failed |= failed > 0;
+        eprintln!(
+            "  {id:<10} {mean_ms:>9.2} ms/run  ({:.1} runs/s)",
+            1e3 / mean_ms
+        );
+        entries.push(ScenarioBench {
+            id: id.clone(),
+            description: scenarios::description(id).to_string(),
+            wall_ms_min: min_ms,
+            wall_ms_mean: mean_ms,
+            runs_per_sec: 1e3 / mean_ms,
+            checks,
+            failed_checks: failed,
+        });
+    }
+    let seq_total_ms: f64 = entries.iter().map(|e| e.wall_ms_mean).sum();
+
+    // Phase 2: one full pass of the set through the job pool.
+    let cfg = engine::EngineConfig {
+        jobs,
+        out_dir: None,
+        record_dir: None,
+    };
+    let t0 = Instant::now();
+    engine::run_scenarios(&ids, &cfg, |_| {});
+    let parallel_total_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let report = BenchReport {
+        schema: "latlab-perf-v1".to_string(),
+        scenarios: entries,
+        iters,
+        seq_total_ms,
+        parallel_total_ms,
+        jobs,
+        speedup: seq_total_ms / parallel_total_ms.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot serialize perf report: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "perf: sequential {seq_total_ms:.0} ms, pool({jobs}) {parallel_total_ms:.0} ms \
+         ({:.2}x), report in {out}",
+        report.speedup
+    );
+    if any_failed {
+        eprintln!("perf: WARNING — some shape checks failed during timing runs");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--out DIR] [--record DIR] [id ...]
+//! repro [--out DIR] [--record DIR] [--jobs N] [--list] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs in presentation order. Artifacts
@@ -11,31 +11,59 @@
 //! With `--record`, every standard run also streams its idle-loop stamps
 //! and message-API log to binary trace files under the given directory
 //! (inspect them with the `trace` binary).
+//!
+//! Scenarios are independent deterministic simulations, so they fan out
+//! across `--jobs N` worker threads (default: one per core; `--jobs 1`
+//! forces the plain sequential path). Reports are printed in presentation
+//! order whatever the parallelism: stdout, artifacts, and the exit code
+//! are byte-identical between `--jobs 1` and `--jobs N`. Per-scenario
+//! wall-clock (which *does* vary run to run) goes to stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use latlab_bench::{record, scenarios};
+use latlab_bench::{engine, scenarios};
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1).peekable();
-    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    let mut cfg = engine::EngineConfig {
+        jobs: 0,
+        out_dir: Some(PathBuf::from("results")),
+        record_dir: None,
+    };
     let mut ids: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => {
-                out_dir = PathBuf::from(args.next().expect("--out requires a directory"));
+                cfg.out_dir = Some(PathBuf::from(
+                    args.next().expect("--out requires a directory"),
+                ));
             }
             "--record" => {
-                let dir = PathBuf::from(args.next().expect("--record requires a directory"));
-                if let Err(e) = record::enable(&dir) {
-                    eprintln!("cannot create record directory {}: {e}", dir.display());
-                    return ExitCode::FAILURE;
+                cfg.record_dir = Some(PathBuf::from(
+                    args.next().expect("--record requires a directory"),
+                ));
+            }
+            "--jobs" => {
+                let n = args.next().expect("--jobs requires a thread count");
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => cfg.jobs = n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer, got {n:?}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
+            "--list" => {
+                for id in scenarios::ALL_IDS {
+                    println!("{id:<10} {}", scenarios::description(id));
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
+                println!("usage: repro [--out DIR] [--record DIR] [--jobs N] [--list] [id ...]");
                 println!(
-                    "usage: repro [--out DIR] [--record DIR] [id ...]\nids: {:?}",
+                    "ids (see --list for descriptions): {:?}",
                     scenarios::ALL_IDS
                 );
                 return ExitCode::SUCCESS;
@@ -48,11 +76,17 @@ fn main() -> ExitCode {
     }
     if let Some(bad) = ids
         .iter()
-        .find(|id| !scenarios::ALL_IDS.contains(&(id.as_str())) && id.as_str() != "tab1")
+        .find(|id| !scenarios::ALL_IDS.contains(&(id.as_str())))
     {
         eprintln!("unknown experiment id {bad:?}");
         eprintln!("known ids: {:?}", scenarios::ALL_IDS);
         return ExitCode::FAILURE;
+    }
+    if let Some(dir) = &cfg.record_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create record directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
     }
 
     println!("latlab repro — Endo, Wang, Chen, Seltzer: Using Latency to Evaluate");
@@ -60,19 +94,24 @@ fn main() -> ExitCode {
 
     let mut failed = 0usize;
     let mut total_checks = 0usize;
-    for id in &ids {
-        let t0 = std::time::Instant::now();
-        let reports = scenarios::run_by_id(id);
-        for report in &reports {
+    let out_dir = cfg
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"));
+    engine::run_scenarios(&ids, &cfg, |run| {
+        for report in &run.reports {
             println!("{}", report.render());
-            if let Err(e) = report.write_artifacts(&out_dir) {
-                eprintln!("  (failed to write artifacts: {e})");
-            }
-            total_checks += report.checks.len();
-            failed += report.checks.iter().filter(|c| !c.passed).count();
         }
-        println!("  [{id} completed in {:.2?}]\n", t0.elapsed());
-    }
+        println!();
+        for e in &run.artifact_errors {
+            eprintln!("  ({e})");
+        }
+        // Wall-clock is inherently non-deterministic, so it goes to stderr;
+        // stdout stays byte-identical across runs and job counts.
+        eprintln!("  [{} completed in {:.2?}]", run.id, run.wall);
+        total_checks += run.total_checks();
+        failed += run.failed_checks();
+    });
     println!(
         "==== summary: {}/{} shape checks passed; artifacts in {} ====",
         total_checks - failed,

@@ -8,11 +8,13 @@
 
 use std::process::ExitCode;
 
-use latlab_bench::sweep::{run_sweep, SweepMetric, SweepParam};
+use latlab_bench::sweep::{run_sweep_jobs, SweepMetric, SweepParam};
 use latlab_os::OsProfile;
 
 fn usage() {
-    println!("usage: sweep --os <nt351|nt40|win95> --param <name> --metric <name> --values a,b,c");
+    println!(
+        "usage: sweep --os <nt351|nt40|win95> --param <name> --metric <name> --values a,b,c [--jobs N]"
+    );
     println!("params:  {}", SweepParam::ALL.map(|p| p.name()).join(", "));
     println!("metrics: {}", SweepMetric::ALL.map(|m| m.name()).join(", "));
 }
@@ -22,9 +24,19 @@ fn main() -> ExitCode {
     let mut param = None;
     let mut metric = None;
     let mut values: Vec<u64> = Vec::new();
+    let mut jobs = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--jobs" => {
+                jobs = match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--os" => {
                 os = match args.next().as_deref() {
                     Some("nt351") => OsProfile::Nt351,
@@ -88,7 +100,7 @@ fn main() -> ExitCode {
         metric.name(),
         param.stock(os)
     );
-    let points = run_sweep(os, param, metric, &values);
+    let points = run_sweep_jobs(os, param, metric, &values, jobs);
     let max = points.iter().map(|p| p.metric).fold(0.0f64, f64::max);
     for p in &points {
         let bar = "#".repeat(((p.metric / max.max(1e-9)) * 40.0).round() as usize);

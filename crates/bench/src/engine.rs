@@ -1,0 +1,143 @@
+//! The parallel experiment engine: runs sets of scenarios across a job
+//! pool with sequential-identical observable behaviour.
+//!
+//! This is the orchestration layer shared by the `repro` binary, the
+//! `perf` harness, and the determinism tests. It owns the three
+//! per-scenario concerns that must compose with parallelism:
+//!
+//! * **recording** — each scenario enables scenario-scoped trace recording
+//!   on whatever worker thread runs it (see [`crate::record`]), so trace
+//!   file names and bytes are independent of scheduling;
+//! * **artifacts** — each scenario writes its own `results/<id>/` subtree
+//!   from its worker (disjoint paths, no coordination needed); write errors
+//!   are carried back on the result instead of printed out of order;
+//! * **ordering** — results are delivered to the caller in presentation
+//!   order regardless of completion order (see [`crate::pool`]).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::report::ExperimentReport;
+use crate::{pool, record, scenarios};
+
+/// Configuration of an engine run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available core, `1` means the
+    /// plain sequential path.
+    pub jobs: usize,
+    /// Where to write CSV/JSON artifacts (`results/<id>/…`); `None` skips
+    /// artifact writing.
+    pub out_dir: Option<PathBuf>,
+    /// Where to write binary `.ltrc` traces; `None` disables recording.
+    pub record_dir: Option<PathBuf>,
+}
+
+/// The outcome of one scenario: its reports plus run metadata.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// Scenario id.
+    pub id: String,
+    /// The reports the scenario produced (ablations yield several).
+    pub reports: Vec<ExperimentReport>,
+    /// Wall-clock time of this scenario on its worker.
+    pub wall: Duration,
+    /// Errors from artifact writing, if any (empty on success).
+    pub artifact_errors: Vec<String>,
+}
+
+impl ScenarioRun {
+    /// Number of shape checks across all reports.
+    pub fn total_checks(&self) -> usize {
+        self.reports.iter().map(|r| r.checks.len()).sum()
+    }
+
+    /// Number of failed shape checks across all reports.
+    pub fn failed_checks(&self) -> usize {
+        self.reports
+            .iter()
+            .flat_map(|r| &r.checks)
+            .filter(|c| !c.passed)
+            .count()
+    }
+}
+
+/// Runs `ids` under `cfg`, invoking `on_done` for each scenario **in the
+/// order given** (not completion order), and returns all outcomes in that
+/// same order.
+///
+/// Every observable output — rendered report text, artifact files, trace
+/// files — is byte-identical whatever `cfg.jobs` is; only wall-clock
+/// metadata varies.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario id (validate with
+/// [`scenarios::ALL_IDS`] first) and propagates panics from scenario code.
+pub fn run_scenarios(
+    ids: &[String],
+    cfg: &EngineConfig,
+    mut on_done: impl FnMut(&ScenarioRun),
+) -> Vec<ScenarioRun> {
+    let jobs = pool::resolve_jobs(cfg.jobs);
+    let mut out = Vec::with_capacity(ids.len());
+    pool::run_ordered(
+        jobs,
+        ids.len(),
+        |i| run_one(&ids[i], cfg),
+        |_, run: ScenarioRun| {
+            on_done(&run);
+            out.push(run);
+        },
+    );
+    out
+}
+
+/// Runs a single scenario with scoped recording and artifact writing; the
+/// unit of work the pool schedules.
+fn run_one(id: &str, cfg: &EngineConfig) -> ScenarioRun {
+    if let Some(dir) = &cfg.record_dir {
+        record::enable_scoped(dir, id)
+            .unwrap_or_else(|e| panic!("cannot create record directory {}: {e}", dir.display()));
+    }
+    let t0 = std::time::Instant::now();
+    let reports = scenarios::run_by_id(id);
+    let wall = t0.elapsed();
+    if cfg.record_dir.is_some() {
+        record::disable();
+    }
+    let mut artifact_errors = Vec::new();
+    if let Some(out_dir) = &cfg.out_dir {
+        for report in &reports {
+            if let Err(e) = report.write_artifacts(out_dir) {
+                artifact_errors.push(format!("{id}: failed to write artifacts: {e}"));
+            }
+        }
+    }
+    ScenarioRun {
+        id: id.to_owned(),
+        reports,
+        wall,
+        artifact_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_in_presentation_order() {
+        let ids: Vec<String> = ["fig1", "fig4"].iter().map(|s| s.to_string()).collect();
+        let cfg = EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        };
+        let mut seen = Vec::new();
+        let runs = run_scenarios(&ids, &cfg, |r| seen.push(r.id.clone()));
+        assert_eq!(seen, ids);
+        assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|r| r.total_checks() > 0));
+        assert!(runs.iter().all(|r| r.artifact_errors.is_empty()));
+    }
+}

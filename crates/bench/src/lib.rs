@@ -7,10 +7,13 @@
 //! experiments run with `-- <id>` (`fig1` … `fig12`, `tab2`, `sec54`,
 //! `ablations`).
 
+pub mod engine;
+pub mod pool;
 pub mod record;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
 pub mod sweep;
 
+pub use engine::{run_scenarios, EngineConfig, ScenarioRun};
 pub use report::{Check, ExperimentReport};

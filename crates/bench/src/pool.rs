@@ -1,0 +1,165 @@
+//! A small deterministic job pool for independent simulation runs.
+//!
+//! `repro` and `sweep` execute many *independent deterministic* simulations
+//! (one per scenario, one per sweep point). The pool fans those jobs out
+//! across worker threads while guaranteeing that everything observable —
+//! consumption order, and therefore stdout, artifacts, and exit codes — is
+//! identical to a sequential run:
+//!
+//! * jobs are claimed from a shared counter, so every job runs exactly once;
+//! * results flow back over a channel tagged with their job index;
+//! * the caller's `consume` callback runs **on the calling thread, in job
+//!   order** — a result that finishes early is buffered until its turn.
+//!
+//! With `jobs <= 1` the pool degenerates to a plain sequential loop on the
+//! calling thread (no threads spawned, no channels) — the pre-existing code
+//! path, kept intact so `--jobs 1` is trivially identical to the historical
+//! behaviour and CI can diff the two modes.
+//!
+//! Built on [`std::thread::scope`]: no external dependencies, and borrowed
+//! job data (`&F`) flows into workers without `'static` gymnastics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolves a user-supplied `--jobs` value: `0` means "one worker per
+/// available core".
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `count` jobs (`run(0) .. run(count-1)`) on up to `jobs` worker
+/// threads, delivering each result to `consume` **in job-index order** on
+/// the calling thread.
+///
+/// `run` must be a pure function of its index (plus thread-local state it
+/// sets up itself): jobs may execute on any worker in any order.
+///
+/// # Panics
+///
+/// A panic inside `run` propagates to the caller once the scope joins.
+pub fn run_ordered<T, F, C>(jobs: usize, count: usize, run: F, mut consume: C)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    if jobs <= 1 || count <= 1 {
+        // Sequential path: exactly the historical one-job-after-another loop.
+        for i in 0..count {
+            let result = run(i);
+            consume(i, result);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(count) {
+            let tx = tx.clone();
+            let next = &next;
+            let run = &run;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                // A closed channel means the consumer is gone (it panicked);
+                // stop claiming work.
+                if tx.send((i, run(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Reorder: results arrive in completion order, the caller sees them
+        // in presentation order.
+        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut want = 0usize;
+        for (i, result) in rx {
+            pending.insert(i, result);
+            while let Some(r) = pending.remove(&want) {
+                consume(want, r);
+                want += 1;
+            }
+        }
+    });
+}
+
+/// Convenience wrapper: runs the jobs and collects all results into a
+/// `Vec` in job order.
+pub fn run_collect<T, F>(jobs: usize, count: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = Vec::with_capacity(count);
+    run_ordered(jobs, count, run, |_, r| out.push(r));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let f = |i: usize| i * i;
+        let seq = run_collect(1, 50, f);
+        let par = run_collect(8, 50, f);
+        assert_eq!(seq, par);
+        assert_eq!(seq[7], 49);
+    }
+
+    #[test]
+    fn consume_sees_index_order_even_when_jobs_finish_backwards() {
+        // Later jobs sleep less, so completion order inverts job order.
+        let order = std::sync::Mutex::new(Vec::new());
+        run_ordered(
+            4,
+            8,
+            |i| {
+                std::thread::sleep(std::time::Duration::from_millis((8 - i as u64) * 3));
+                i
+            },
+            |i, r| {
+                assert_eq!(i, r);
+                order.lock().unwrap().push(i);
+            },
+        );
+        assert_eq!(order.into_inner().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        let results = run_collect(3, 100, |i| {
+            COUNT.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(COUNT.load(Ordering::Relaxed), 100);
+        assert_eq!(results, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_job_counts() {
+        let none: Vec<usize> = run_collect(4, 0, |i| i);
+        assert!(none.is_empty());
+        let one = run_collect(4, 1, |i| i + 1);
+        assert_eq!(one, vec![1]);
+    }
+
+    #[test]
+    fn resolve_jobs_defaults_to_cores() {
+        assert_eq!(resolve_jobs(3), 3);
+        assert!(resolve_jobs(0) >= 1);
+    }
+}

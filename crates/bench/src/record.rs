@@ -2,9 +2,16 @@
 //!
 //! When enabled, every [`run_session`](crate::runner::run_session) streams
 //! its idle-loop stamps and message-API log to disk as binary trace files
-//! while the simulation runs — bounded memory, no post-hoc dump. Files are
-//! numbered in run order and named after the OS personality and workload:
-//! `NNN-<label>.stamps.ltrc` and `NNN-<label>.apilog.ltrc`.
+//! while the simulation runs — bounded memory, no post-hoc dump.
+//!
+//! Recording state is **thread-local and scenario-scoped**: the parallel
+//! experiment engine enables recording on whichever worker thread picks up
+//! a scenario, with that scenario's id as the scope. File names are derived
+//! from the scope plus a per-scope run counter —
+//! `<scope>-NN-<label>.stamps.ltrc` / `<scope>-NN-<label>.apilog.ltrc` —
+//! never from a global counter, so the set of files and their bytes are
+//! identical no matter how runs interleave across workers (`--jobs N` and
+//! `--jobs 1` produce byte-identical trace directories).
 
 use std::cell::RefCell;
 use std::fs::File;
@@ -20,20 +27,27 @@ thread_local! {
 
 struct State {
     dir: PathBuf,
+    scope: String,
     seq: u32,
 }
 
-/// Enables recording: subsequent standard runs on this thread write their
-/// traces under `dir` (created if missing).
+/// Enables recording on this thread: subsequent standard runs write their
+/// traces under `dir` (created if missing), named `<scope>-NN-<label>`.
+///
+/// The scope is part of every file name and the per-scope counter starts
+/// at 1, so recordings made under different scopes never collide — the
+/// property the parallel engine relies on when scenarios record
+/// concurrently from several worker threads.
 ///
 /// # Errors
 ///
 /// Any error creating `dir`.
-pub fn enable(dir: &Path) -> std::io::Result<()> {
+pub fn enable_scoped(dir: &Path, scope: &str) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     STATE.with(|s| {
         *s.borrow_mut() = Some(State {
             dir: dir.to_path_buf(),
+            scope: scope.to_owned(),
             seq: 0,
         });
     });
@@ -76,14 +90,14 @@ pub(crate) fn open_run_sinks(
     freq: CpuFreq,
     seed: u64,
 ) -> Option<(Box<dyn TraceSink>, Box<dyn TraceSink>)> {
-    let (dir, seq) = STATE.with(|s| {
+    let (dir, scope, seq) = STATE.with(|s| {
         let mut s = s.borrow_mut();
         let state = s.as_mut()?;
         state.seq += 1;
-        Some((state.dir.clone(), state.seq))
+        Some((state.dir.clone(), state.scope.clone(), state.seq))
     })?;
     let make = |kind: StreamKind| -> Result<Box<dyn TraceSink>, TraceError> {
-        let path = dir.join(format!("{seq:03}-{label}.{}.ltrc", kind.name()));
+        let path = dir.join(format!("{scope}-{seq:02}-{label}.{}.ltrc", kind.name()));
         let file = BufWriter::new(File::create(path)?);
         let meta = TraceMeta {
             kind,

@@ -231,24 +231,37 @@ pub struct SweepPoint {
     pub metric: f64,
 }
 
-/// Runs a sweep.
+/// Runs a sweep sequentially (equivalent to [`run_sweep_jobs`] with one
+/// worker).
 pub fn run_sweep(
     profile: OsProfile,
     param: SweepParam,
     metric: SweepMetric,
     values: &[u64],
 ) -> Vec<SweepPoint> {
-    values
-        .iter()
-        .map(|&value| {
-            let mut params = profile.params();
-            param.apply(&mut params, value);
-            SweepPoint {
-                value,
-                metric: metric.evaluate(params),
-            }
-        })
-        .collect()
+    run_sweep_jobs(profile, param, metric, values, 1)
+}
+
+/// Runs a sweep with each point's simulation fanned out across `jobs`
+/// worker threads (`0` = one per core). Every point is an independent
+/// deterministic simulation, so the result vector is identical — in
+/// values and order — to the sequential run.
+pub fn run_sweep_jobs(
+    profile: OsProfile,
+    param: SweepParam,
+    metric: SweepMetric,
+    values: &[u64],
+    jobs: usize,
+) -> Vec<SweepPoint> {
+    crate::pool::run_collect(crate::pool::resolve_jobs(jobs), values.len(), |i| {
+        let value = values[i];
+        let mut params = profile.params();
+        param.apply(&mut params, value);
+        SweepPoint {
+            value,
+            metric: metric.evaluate(params),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -281,6 +294,28 @@ mod tests {
             points[1].metric > points[0].metric + 0.1,
             "heavier crossings must slow keystrokes: {points:?}"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let values = [1_000, 5_000, 10_000, 20_000];
+        let seq = run_sweep(
+            OsProfile::Nt40,
+            SweepParam::CrossingInstr,
+            SweepMetric::KeystrokeMs,
+            &values,
+        );
+        let par = run_sweep_jobs(
+            OsProfile::Nt40,
+            SweepParam::CrossingInstr,
+            SweepMetric::KeystrokeMs,
+            &values,
+            4,
+        );
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.metric.to_bits(), b.metric.to_bits(), "point {}", a.value);
+        }
     }
 
     #[test]

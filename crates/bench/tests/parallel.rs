@@ -1,0 +1,105 @@
+//! Determinism under parallelism: the engine must produce byte-identical
+//! reports, artifacts, and trace recordings whatever `--jobs` is.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use latlab_bench::engine::{run_scenarios, EngineConfig};
+
+/// Reads every file under `dir` into a name → bytes map.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    out
+}
+
+fn run(ids: &[String], jobs: usize, tag: &str) -> (Vec<String>, PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("latlab-parallel-test-{tag}-{jobs}"));
+    let _ = std::fs::remove_dir_all(&base);
+    let out_dir = base.join("out");
+    let record_dir = base.join("rec");
+    let cfg = EngineConfig {
+        jobs,
+        out_dir: Some(out_dir.clone()),
+        record_dir: Some(record_dir.clone()),
+    };
+    let mut rendered = Vec::new();
+    let runs = run_scenarios(ids, &cfg, |run| {
+        assert!(run.artifact_errors.is_empty(), "{:?}", run.artifact_errors);
+        for r in &run.reports {
+            rendered.push(r.render());
+        }
+    });
+    assert_eq!(runs.len(), ids.len());
+    (rendered, out_dir, record_dir)
+}
+
+#[test]
+fn jobs4_matches_jobs1_reports_artifacts_and_traces() {
+    // fig5 records .ltrc traces through run_session; fig1 does not — the
+    // mixed set checks both paths through the pool.
+    let ids: Vec<String> = ["fig1", "fig5"].iter().map(|s| s.to_string()).collect();
+
+    let (seq_reports, seq_out, seq_rec) = run(&ids, 1, "a");
+    let (par_reports, par_out, par_rec) = run(&ids, 4, "a");
+
+    // Rendered report text: identical, in presentation order.
+    assert_eq!(seq_reports, par_reports);
+
+    // Artifact files (CSV + checks.json): same set, same bytes.
+    let seq_files = dir_bytes(&seq_out);
+    let par_files = dir_bytes(&par_out);
+    assert_eq!(
+        seq_files.keys().collect::<Vec<_>>(),
+        par_files.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in &seq_files {
+        assert_eq!(bytes, &par_files[name], "artifact {name} differs");
+    }
+
+    // Binary trace recordings: same files, byte-identical.
+    let seq_traces = dir_bytes(&seq_rec);
+    let par_traces = dir_bytes(&par_rec);
+    assert!(
+        seq_traces.keys().any(|k| k.ends_with(".ltrc")),
+        "fig5 should have recorded .ltrc traces, got {:?}",
+        seq_traces.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        seq_traces.keys().collect::<Vec<_>>(),
+        par_traces.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in &seq_traces {
+        assert_eq!(bytes, &par_traces[name], "trace {name} differs");
+    }
+
+    for d in [seq_out, seq_rec, par_out, par_rec] {
+        let _ = std::fs::remove_dir_all(d.parent().unwrap());
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    let ids: Vec<String> = ["fig1", "fig4"].iter().map(|s| s.to_string()).collect();
+    let (first, o1, r1) = run(&ids, 4, "b1");
+    let (second, o2, r2) = run(&ids, 4, "b2");
+    assert_eq!(first, second);
+    for d in [o1, r1, o2, r2] {
+        let _ = std::fs::remove_dir_all(d.parent().unwrap());
+    }
+}

@@ -83,13 +83,28 @@ impl MeasurementSession {
 
     /// Runs the machine for a duration.
     pub fn run_for(&mut self, d: SimDuration) {
+        self.reserve_stamps(d);
         self.machine.run_for(d);
     }
 
     /// Runs until quiescent or `limit`, whichever first; returns whether
     /// quiescence was reached.
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> bool {
+        self.reserve_stamps(limit.saturating_since(self.machine.now()));
         self.machine.run_until_quiescent(limit)
+    }
+
+    /// Pre-sizes the idle loop's stamp buffer for a run of the given
+    /// expected duration: the monitor emits one stamp per idle millisecond,
+    /// so the expected volume is known before the run starts. Reserving
+    /// once keeps the emit path free of `Vec` growth reallocations.
+    fn reserve_stamps(&mut self, expected: SimDuration) {
+        let freq = self.machine.params().freq;
+        let expected_ms = freq.to_ms(expected).ceil() as usize;
+        self.machine.reserve_emitted(
+            self.idle.thread(),
+            expected_ms.min(crate::idle_loop::DEFAULT_BUFFER_CAPACITY),
+        );
     }
 
     /// Finishes the session: drains the trace and extracts events for the

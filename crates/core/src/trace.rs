@@ -77,18 +77,22 @@ impl IdleTrace {
         if baseline.is_zero() {
             return Err(TraceError::ZeroBaseline);
         }
-        if let Some(i) = stamps.windows(2).position(|w| w[0] >= w[1]) {
-            return Err(TraceError::NonMonotonic { index: i + 1 });
-        }
+        // Validate monotonicity and build the prefix sums in one pass over
+        // the stamps — traces run to millions of records, and a separate
+        // validation sweep costs a full extra traversal of cold memory.
         let mut prefix_excess = Vec::with_capacity(stamps.len());
-        let mut total = 0u64;
-        prefix_excess.push(0);
-        for w in stamps.windows(2) {
-            total += (w[1] - w[0]).saturating_sub(baseline.cycles());
-            prefix_excess.push(total);
-        }
-        if stamps.is_empty() {
-            prefix_excess.clear();
+        if !stamps.is_empty() {
+            let base = baseline.cycles();
+            let mut total = 0u64;
+            prefix_excess.push(0);
+            for i in 1..stamps.len() {
+                let (prev, cur) = (stamps[i - 1], stamps[i]);
+                if prev >= cur {
+                    return Err(TraceError::NonMonotonic { index: i });
+                }
+                total += (cur - prev).saturating_sub(base);
+                prefix_excess.push(total);
+            }
         }
         Ok(IdleTrace {
             stamps,
@@ -245,11 +249,13 @@ impl IdleTrace {
     /// The largest single-sample excess in `[from, to)` — the paper's
     /// single-event reading (Figure 1's 9.76 ms sample).
     pub fn max_excess_within(&self, from: SimTime, to: SimTime) -> SimDuration {
-        self.samples()
-            .iter()
-            .filter(|s| s.end > from && s.start < to)
-            .map(|s| s.excess)
+        let base = self.baseline.cycles();
+        self.stamps
+            .windows(2)
+            .filter(|w| w[1] > from.cycles() && w[0] < to.cycles())
+            .map(|w| (w[1] - w[0]).saturating_sub(base))
             .max()
+            .map(SimDuration::from_cycles)
             .unwrap_or(SimDuration::ZERO)
     }
 

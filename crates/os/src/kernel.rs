@@ -503,6 +503,14 @@ impl Machine {
         self.thread_mut(tid).emitted.take_stamps()
     }
 
+    /// Pre-sizes a thread's emission buffer for at least `additional`
+    /// further records. Callers that know how long the machine is about to
+    /// run (the measurement session does) reserve the expected stamp volume
+    /// once instead of growing the buffer repeatedly on the emit hot path.
+    pub fn reserve_emitted(&mut self, tid: ThreadId, additional: usize) {
+        self.thread_mut(tid).emitted.reserve(additional);
+    }
+
     /// Installs a tee for idle-loop stamps: every `Emit` by any thread is
     /// also forwarded to `sink` (in addition to the per-thread buffer
     /// drained by [`Machine::take_emitted`]). Used to stream traces to

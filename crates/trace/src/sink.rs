@@ -17,7 +17,12 @@ use crate::writer::TraceWriter;
 /// simulator's hot path and must not grow error plumbing. Sinks that can
 /// fail (disk writers) latch their first error and report it from
 /// [`finish`](TraceSink::finish).
-pub trait TraceSink: std::fmt::Debug {
+///
+/// Sinks are `Send`: a recording run is owned by whichever worker thread
+/// executes it (the parallel experiment engine fans scenario runs across
+/// threads), so a boxed sink must be free to move to — and finish on —
+/// that worker.
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Accepts one record.
     fn record(&mut self, rec: &Record);
 
@@ -46,6 +51,15 @@ impl VecSink {
     /// Creates an empty sink.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-sizes the buffer for at least `additional` further records.
+    ///
+    /// Collection paths that know their expected volume up front (the
+    /// idle loop emits one stamp per simulated millisecond) reserve once
+    /// instead of paying repeated growth reallocations mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.records.reserve(additional);
     }
 
     /// All buffered records.
@@ -89,12 +103,12 @@ impl TraceSink for VecSink {
 
 /// Streams records to a [`TraceWriter`], latching the first error.
 #[derive(Debug)]
-pub struct WriterSink<W: Write + std::fmt::Debug> {
+pub struct WriterSink<W: Write + std::fmt::Debug + Send> {
     writer: Option<TraceWriter<W>>,
     error: Option<TraceError>,
 }
 
-impl<W: Write + std::fmt::Debug> WriterSink<W> {
+impl<W: Write + std::fmt::Debug + Send> WriterSink<W> {
     /// Wraps a trace writer as a sink.
     pub fn new(writer: TraceWriter<W>) -> Self {
         WriterSink {
@@ -104,7 +118,7 @@ impl<W: Write + std::fmt::Debug> WriterSink<W> {
     }
 }
 
-impl<W: Write + std::fmt::Debug> TraceSink for WriterSink<W> {
+impl<W: Write + std::fmt::Debug + Send> TraceSink for WriterSink<W> {
     fn record(&mut self, rec: &Record) {
         if let Some(w) = self.writer.as_mut() {
             if let Err(e) = w.write(rec) {
