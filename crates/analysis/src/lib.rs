@@ -17,6 +17,7 @@ pub mod perception;
 pub mod streaming;
 pub mod summary;
 pub mod timeseries;
+pub mod validation;
 
 pub use cumulative::CumulativeLatency;
 pub use histogram::LatencyHistogram;
@@ -27,3 +28,4 @@ pub use summary::{responsiveness_score, shneiderman_penalty, LatencySummary};
 pub use timeseries::{
     EventPoint, EventSeries, JitterSeries, JitterWindow, UtilBin, UtilizationProfile,
 };
+pub use validation::{attribution_report, AttributionReport, AttributionSample};

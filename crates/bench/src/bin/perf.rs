@@ -122,9 +122,18 @@ fn main() -> ExitCode {
         let mut min_ms = f64::INFINITY;
         let mut checks = 0usize;
         let mut failed = 0usize;
+        let mut panicked = false;
         for _ in 0..iters {
             let t0 = Instant::now();
-            let reports = scenarios::run_by_id(id);
+            // A panicking scenario must not abort the whole timing pass:
+            // record it as failed and keep timing the rest of the set.
+            let reports = match std::panic::catch_unwind(|| scenarios::run_by_id(id)) {
+                Ok(reports) => reports,
+                Err(_) => {
+                    panicked = true;
+                    break;
+                }
+            };
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             total_ms += ms;
             min_ms = min_ms.min(ms);
@@ -134,6 +143,11 @@ fn main() -> ExitCode {
                 .flat_map(|r| &r.checks)
                 .filter(|c| !c.passed)
                 .count();
+        }
+        if panicked {
+            any_failed = true;
+            eprintln!("  {id:<10} PANICKED — excluded from timings");
+            continue;
         }
         let mean_ms = total_ms / iters as f64;
         any_failed |= failed > 0;
@@ -158,10 +172,18 @@ fn main() -> ExitCode {
         jobs,
         out_dir: None,
         record_dir: None,
+        faults: None,
+        timeout: None,
     };
     let t0 = Instant::now();
-    engine::run_scenarios(&ids, &cfg, |_| {});
+    let runs = engine::run_scenarios(&ids, &cfg, |_| {});
     let parallel_total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for run in &runs {
+        if let Some(reason) = run.failure() {
+            eprintln!("perf: scenario {} failed in pool pass: {reason}", run.id);
+            any_failed = true;
+        }
+    }
 
     let report = BenchReport {
         schema: "latlab-perf-v1".to_string(),

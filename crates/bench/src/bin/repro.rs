@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--out DIR] [--record DIR] [--jobs N] [--list] [id ...]
+//! repro [--out DIR] [--record DIR] [--jobs N] [--faults SPEC]
+//!       [--timeout SECS] [--list] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs in presentation order. Artifacts
@@ -12,17 +13,39 @@
 //! and message-API log to binary trace files under the given directory
 //! (inspect them with the `trace` binary).
 //!
+//! With `--faults`, every standard run installs the given fault plan
+//! (e.g. `--faults "seed=7;storm:period=500;input:drop=100"`, or
+//! `--faults @plan.toml` to load a TOML file). Plans carry their own seed,
+//! so faulted runs are exactly as deterministic as clean ones.
+//!
 //! Scenarios are independent deterministic simulations, so they fan out
 //! across `--jobs N` worker threads (default: one per core; `--jobs 1`
 //! forces the plain sequential path). Reports are printed in presentation
 //! order whatever the parallelism: stdout, artifacts, and the exit code
 //! are byte-identical between `--jobs 1` and `--jobs N`. Per-scenario
 //! wall-clock (which *does* vary run to run) goes to stderr.
+//!
+//! A scenario that panics — or exceeds `--timeout SECS` — is reported as
+//! `FAILED` while every other scenario still runs to completion; the exit
+//! code is non-zero only after the whole pass finishes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use latlab_bench::{engine, scenarios};
+use latlab_faults::FaultPlan;
+
+/// Parses `--faults` input: an inline spec string, or `@FILE` naming a
+/// TOML plan file.
+fn parse_faults(arg: &str) -> Result<FaultPlan, String> {
+    if let Some(path) = arg.strip_prefix('@') {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        FaultPlan::parse_toml(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        FaultPlan::parse(arg).map_err(|e| e.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -30,6 +53,8 @@ fn main() -> ExitCode {
         jobs: 0,
         out_dir: Some(PathBuf::from("results")),
         record_dir: None,
+        faults: None,
+        timeout: None,
     };
     let mut ids: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
@@ -54,6 +79,26 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--faults" => {
+                let spec = args.next().expect("--faults requires a spec or @FILE");
+                match parse_faults(&spec) {
+                    Ok(plan) => cfg.faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("--faults: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--timeout" => {
+                let n = args.next().expect("--timeout requires seconds");
+                match n.parse::<u64>() {
+                    Ok(n) if n > 0 => cfg.timeout = Some(Duration::from_secs(n)),
+                    _ => {
+                        eprintln!("--timeout requires a positive integer, got {n:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
                 for id in scenarios::ALL_IDS {
                     println!("{id:<10} {}", scenarios::description(id));
@@ -61,7 +106,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: repro [--out DIR] [--record DIR] [--jobs N] [--list] [id ...]");
+                println!(
+                    "usage: repro [--out DIR] [--record DIR] [--jobs N] [--faults SPEC|@FILE]"
+                );
+                println!("             [--timeout SECS] [--list] [id ...]");
                 println!(
                     "ids (see --list for descriptions): {:?}",
                     scenarios::ALL_IDS
@@ -74,9 +122,11 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         ids = scenarios::ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    // `__`-prefixed ids are hidden harness-test hooks (e.g. `__panic__`);
+    // they bypass validation so robustness tests can drive the real binary.
     if let Some(bad) = ids
         .iter()
-        .find(|id| !scenarios::ALL_IDS.contains(&(id.as_str())))
+        .find(|id| !scenarios::ALL_IDS.contains(&(id.as_str())) && !id.starts_with("__"))
     {
         eprintln!("unknown experiment id {bad:?}");
         eprintln!("known ids: {:?}", scenarios::ALL_IDS);
@@ -91,34 +141,46 @@ fn main() -> ExitCode {
 
     println!("latlab repro — Endo, Wang, Chen, Seltzer: Using Latency to Evaluate");
     println!("Interactive System Performance (OSDI '96), simulated reproduction\n");
+    if let Some(plan) = &cfg.faults {
+        println!("fault injection active: {plan:?}\n");
+    }
 
-    let mut failed = 0usize;
+    let mut failed_checks = 0usize;
     let mut total_checks = 0usize;
+    let mut failed_scenarios = 0usize;
     let out_dir = cfg
         .out_dir
         .clone()
         .unwrap_or_else(|| PathBuf::from("results"));
     engine::run_scenarios(&ids, &cfg, |run| {
-        for report in &run.reports {
+        if let Some(reason) = run.failure() {
+            // Deterministic record of the failure on stdout; the pass
+            // continues with the remaining scenarios.
+            println!("==== {} FAILED: {reason} ====\n", run.id);
+            failed_scenarios += 1;
+            return;
+        }
+        for report in run.reports() {
             println!("{}", report.render());
         }
         println!();
-        for e in &run.artifact_errors {
+        for e in run.artifact_errors() {
             eprintln!("  ({e})");
         }
         // Wall-clock is inherently non-deterministic, so it goes to stderr;
         // stdout stays byte-identical across runs and job counts.
         eprintln!("  [{} completed in {:.2?}]", run.id, run.wall);
         total_checks += run.total_checks();
-        failed += run.failed_checks();
+        failed_checks += run.failed_checks();
     });
     println!(
-        "==== summary: {}/{} shape checks passed; artifacts in {} ====",
-        total_checks - failed,
+        "==== summary: {}/{} shape checks passed; {} scenario(s) failed; artifacts in {} ====",
+        total_checks - failed_checks,
         total_checks,
+        failed_scenarios,
         out_dir.display()
     );
-    if failed > 0 {
+    if failed_checks > 0 || failed_scenarios > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -8,7 +8,8 @@
 
 use std::process::ExitCode;
 
-use latlab_bench::sweep::{run_sweep_jobs, SweepMetric, SweepParam};
+use latlab_bench::pool::JobOutcome;
+use latlab_bench::sweep::{run_sweep_supervised, SweepMetric, SweepParam};
 use latlab_os::OsProfile;
 
 fn usage() {
@@ -100,17 +101,42 @@ fn main() -> ExitCode {
         metric.name(),
         param.stock(os)
     );
-    let points = run_sweep_jobs(os, param, metric, &values, jobs);
-    let max = points.iter().map(|p| p.metric).fold(0.0f64, f64::max);
-    for p in &points {
-        let bar = "#".repeat(((p.metric / max.max(1e-9)) * 40.0).round() as usize);
-        println!(
-            "  {:>10} → {:>10.3} {} {}",
-            p.value,
-            p.metric,
-            metric.unit(),
-            bar
-        );
+    // Supervised: a point that panics is reported below, after every other
+    // point has still been measured; only then does the exit code go red.
+    let outcomes = run_sweep_supervised(os, param, metric, &values, jobs, None);
+    let max = outcomes
+        .iter()
+        .filter_map(|(_, o)| match o {
+            JobOutcome::Completed(p) => Some(p.metric),
+            _ => None,
+        })
+        .fold(0.0f64, f64::max);
+    let mut failed = 0usize;
+    for (value, outcome) in &outcomes {
+        match outcome {
+            JobOutcome::Completed(p) => {
+                let bar = "#".repeat(((p.metric / max.max(1e-9)) * 40.0).round() as usize);
+                println!(
+                    "  {:>10} → {:>10.3} {} {}",
+                    p.value,
+                    p.metric,
+                    metric.unit(),
+                    bar
+                );
+            }
+            other => {
+                failed += 1;
+                println!(
+                    "  {:>10} → FAILED ({})",
+                    value,
+                    other.failure().unwrap_or_default()
+                );
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("sweep: {failed} point(s) failed");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

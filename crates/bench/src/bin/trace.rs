@@ -3,11 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! trace inspect FILE            # header + integrity scan
+//! trace inspect FILE [--tolerate-truncation]   # header + integrity scan
 //! trace summary FILE            # streaming statistics (O(1) memory)
 //! trace export-csv FILE [--out FILE]
 //! trace diff FILE_A FILE_B      # record-level comparison
 //! ```
+//!
+//! `inspect --tolerate-truncation` is the recovery mode for traces cut
+//! short by a crash or kill (including the `.ltrc.tmp` files an
+//! interrupted `repro --record` leaves behind): every CRC-valid chunk is
+//! salvaged and counted, the damage is reported, and the exit code stays
+//! zero — recovering data is the success case.
 //!
 //! Trace files are produced by `repro --record DIR` (see
 //! `latlab_bench::record`) or any [`latlab_trace::TraceWriter`] user.
@@ -34,8 +40,9 @@ fn print_meta(meta: &TraceMeta) {
     println!("seed:        {:#018x}", meta.seed);
 }
 
-fn inspect(path: &str) -> Result<ExitCode, TraceError> {
+fn inspect(path: &str, tolerate_truncation: bool) -> Result<ExitCode, TraceError> {
     let mut reader = open(path)?;
+    reader.set_tolerant(tolerate_truncation);
     print_meta(&reader.meta().clone());
     let mut first: Option<u64> = None;
     let mut last: Option<u64> = None;
@@ -52,7 +59,11 @@ fn inspect(path: &str) -> Result<ExitCode, TraceError> {
         println!("last:        {l} cycles");
         println!("span:        {:.3} s", freq.to_secs(span));
     }
-    println!("integrity:   ok");
+    match reader.salvaged_error() {
+        Some(e) => println!("integrity:   salvaged ({e})"),
+        None => println!("integrity:   ok"),
+    }
+    // In recovery mode, salvaging the valid prefix *is* success.
     Ok(ExitCode::SUCCESS)
 }
 
@@ -259,12 +270,16 @@ fn diff(path_a: &str, path_b: &str) -> Result<ExitCode, TraceError> {
     }
 }
 
-const USAGE: &str = "usage: trace <inspect|summary|export-csv|diff> FILE [FILE|--out FILE]";
+const USAGE: &str = "usage: trace <inspect|summary|export-csv|diff> FILE \
+                     [FILE|--out FILE|--tolerate-truncation]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("inspect") if args.len() == 2 => inspect(&args[1]),
+        Some("inspect") if args.len() == 2 => inspect(&args[1], false),
+        Some("inspect") if args.len() == 3 && args[2] == "--tolerate-truncation" => {
+            inspect(&args[1], true)
+        }
         Some("summary") if args.len() == 2 => summary(&args[1]),
         Some("export-csv") if args.len() == 2 => {
             export_csv(&args[1], &mut BufWriter::new(std::io::stdout().lock()))

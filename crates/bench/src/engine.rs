@@ -2,23 +2,33 @@
 //! pool with sequential-identical observable behaviour.
 //!
 //! This is the orchestration layer shared by the `repro` binary, the
-//! `perf` harness, and the determinism tests. It owns the three
-//! per-scenario concerns that must compose with parallelism:
+//! `perf` harness, and the determinism tests. It owns the per-scenario
+//! concerns that must compose with parallelism:
 //!
 //! * **recording** — each scenario enables scenario-scoped trace recording
 //!   on whatever worker thread runs it (see [`crate::record`]), so trace
 //!   file names and bytes are independent of scheduling;
+//! * **fault injection** — each scenario installs the configured
+//!   [`FaultPlan`] on its worker (see [`crate::faultcfg`]); plans are
+//!   self-seeded, so injected faults are scheduling-independent too;
 //! * **artifacts** — each scenario writes its own `results/<id>/` subtree
 //!   from its worker (disjoint paths, no coordination needed); write errors
 //!   are carried back on the result instead of printed out of order;
-//! * **ordering** — results are delivered to the caller in presentation
-//!   order regardless of completion order (see [`crate::pool`]).
+//! * **ordering and isolation** — results are delivered to the caller in
+//!   presentation order regardless of completion order, and a scenario
+//!   that panics or exceeds the configured timeout becomes a structured
+//!   [`ScenarioOutcome::Failed`] instead of tearing down the whole pass
+//!   (see [`pool::run_supervised`]).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
+use latlab_faults::FaultPlan;
+
+use crate::pool::JobOutcome;
 use crate::report::ExperimentReport;
-use crate::{pool, record, scenarios};
+use crate::{faultcfg, pool, record, scenarios};
 
 /// Configuration of an engine run.
 #[derive(Clone, Debug, Default)]
@@ -31,30 +41,80 @@ pub struct EngineConfig {
     pub out_dir: Option<PathBuf>,
     /// Where to write binary `.ltrc` traces; `None` disables recording.
     pub record_dir: Option<PathBuf>,
+    /// Fault plan to install into every session of every scenario; `None`
+    /// runs fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Per-scenario wall-clock budget; a scenario still running past it is
+    /// abandoned and reported as [`ScenarioOutcome::Failed`]. `None` waits
+    /// forever.
+    pub timeout: Option<Duration>,
 }
 
-/// The outcome of one scenario: its reports plus run metadata.
+/// How one scenario ended.
+#[derive(Debug)]
+pub enum ScenarioOutcome {
+    /// The scenario ran to completion (its shape checks may still fail).
+    Completed {
+        /// The reports the scenario produced (ablations yield several).
+        reports: Vec<ExperimentReport>,
+        /// Errors from artifact writing, if any (empty on success).
+        artifact_errors: Vec<String>,
+    },
+    /// The scenario panicked or timed out; the rest of the pass continued.
+    Failed {
+        /// Human-readable cause ("panicked: …" or "timed out after …").
+        reason: String,
+    },
+}
+
+/// The outcome of one scenario plus run metadata.
 #[derive(Debug)]
 pub struct ScenarioRun {
     /// Scenario id.
     pub id: String,
-    /// The reports the scenario produced (ablations yield several).
-    pub reports: Vec<ExperimentReport>,
-    /// Wall-clock time of this scenario on its worker.
+    /// What happened.
+    pub outcome: ScenarioOutcome,
+    /// Wall-clock time of this scenario on its worker
+    /// (`Duration::ZERO` for failed scenarios, keeping stdout summaries
+    /// deterministic).
     pub wall: Duration,
-    /// Errors from artifact writing, if any (empty on success).
-    pub artifact_errors: Vec<String>,
 }
 
 impl ScenarioRun {
+    /// The reports the scenario produced (empty if it failed).
+    pub fn reports(&self) -> &[ExperimentReport] {
+        match &self.outcome {
+            ScenarioOutcome::Completed { reports, .. } => reports,
+            ScenarioOutcome::Failed { .. } => &[],
+        }
+    }
+
+    /// Artifact-write errors (empty if none, or if the scenario failed).
+    pub fn artifact_errors(&self) -> &[String] {
+        match &self.outcome {
+            ScenarioOutcome::Completed {
+                artifact_errors, ..
+            } => artifact_errors,
+            ScenarioOutcome::Failed { .. } => &[],
+        }
+    }
+
+    /// The failure reason, if the scenario panicked or timed out.
+    pub fn failure(&self) -> Option<&str> {
+        match &self.outcome {
+            ScenarioOutcome::Completed { .. } => None,
+            ScenarioOutcome::Failed { reason } => Some(reason),
+        }
+    }
+
     /// Number of shape checks across all reports.
     pub fn total_checks(&self) -> usize {
-        self.reports.iter().map(|r| r.checks.len()).sum()
+        self.reports().iter().map(|r| r.checks.len()).sum()
     }
 
     /// Number of failed shape checks across all reports.
     pub fn failed_checks(&self) -> usize {
-        self.reports
+        self.reports()
             .iter()
             .flat_map(|r| &r.checks)
             .filter(|c| !c.passed)
@@ -70,22 +130,38 @@ impl ScenarioRun {
 /// files — is byte-identical whatever `cfg.jobs` is; only wall-clock
 /// metadata varies.
 ///
-/// # Panics
-///
-/// Panics on an unknown scenario id (validate with
-/// [`scenarios::ALL_IDS`] first) and propagates panics from scenario code.
+/// A scenario that panics or outlives `cfg.timeout` yields
+/// [`ScenarioOutcome::Failed`] while every other scenario still runs to
+/// completion; this function itself only panics on harness bugs (e.g. a
+/// worker channel vanishing), never because scenario code panicked.
 pub fn run_scenarios(
     ids: &[String],
     cfg: &EngineConfig,
     mut on_done: impl FnMut(&ScenarioRun),
 ) -> Vec<ScenarioRun> {
     let jobs = pool::resolve_jobs(cfg.jobs);
+    let ids: Arc<Vec<String>> = Arc::new(ids.to_vec());
+    let worker_ids = Arc::clone(&ids);
+    let worker_cfg = Arc::new(cfg.clone());
     let mut out = Vec::with_capacity(ids.len());
-    pool::run_ordered(
+    pool::run_supervised(
         jobs,
         ids.len(),
-        |i| run_one(&ids[i], cfg),
-        |_, run: ScenarioRun| {
+        cfg.timeout,
+        move |i| run_one(&worker_ids[i], &worker_cfg),
+        |i, outcome: JobOutcome<ScenarioRun>| {
+            let run = match outcome {
+                JobOutcome::Completed(run) => run,
+                failed => ScenarioRun {
+                    id: ids[i].clone(),
+                    outcome: ScenarioOutcome::Failed {
+                        reason: failed
+                            .failure()
+                            .unwrap_or_else(|| "unknown failure".to_owned()),
+                    },
+                    wall: Duration::ZERO,
+                },
+            };
             on_done(&run);
             out.push(run);
         },
@@ -93,9 +169,22 @@ pub fn run_scenarios(
     out
 }
 
-/// Runs a single scenario with scoped recording and artifact writing; the
-/// unit of work the pool schedules.
+/// Disables thread-local recording when dropped — including during a panic
+/// unwind, so a crashed scenario cannot leak recording state into the next
+/// job scheduled on the same worker thread.
+struct RecordingGuard;
+
+impl Drop for RecordingGuard {
+    fn drop(&mut self) {
+        record::disable();
+    }
+}
+
+/// Runs a single scenario with scoped recording, fault configuration and
+/// artifact writing; the unit of work the pool schedules.
 fn run_one(id: &str, cfg: &EngineConfig) -> ScenarioRun {
+    let _faults = faultcfg::override_plan(cfg.faults.clone());
+    let _recording = RecordingGuard;
     if let Some(dir) = &cfg.record_dir {
         record::enable_scoped(dir, id)
             .unwrap_or_else(|e| panic!("cannot create record directory {}: {e}", dir.display()));
@@ -103,9 +192,6 @@ fn run_one(id: &str, cfg: &EngineConfig) -> ScenarioRun {
     let t0 = std::time::Instant::now();
     let reports = scenarios::run_by_id(id);
     let wall = t0.elapsed();
-    if cfg.record_dir.is_some() {
-        record::disable();
-    }
     let mut artifact_errors = Vec::new();
     if let Some(out_dir) = &cfg.out_dir {
         for report in &reports {
@@ -116,9 +202,11 @@ fn run_one(id: &str, cfg: &EngineConfig) -> ScenarioRun {
     }
     ScenarioRun {
         id: id.to_owned(),
-        reports,
+        outcome: ScenarioOutcome::Completed {
+            reports,
+            artifact_errors,
+        },
         wall,
-        artifact_errors,
     }
 }
 
@@ -137,7 +225,31 @@ mod tests {
         let runs = run_scenarios(&ids, &cfg, |r| seen.push(r.id.clone()));
         assert_eq!(seen, ids);
         assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|r| r.failure().is_none()));
         assert!(runs.iter().all(|r| r.total_checks() > 0));
-        assert!(runs.iter().all(|r| r.artifact_errors.is_empty()));
+        assert!(runs.iter().all(|r| r.artifact_errors().is_empty()));
+    }
+
+    #[test]
+    fn panicking_scenario_is_contained() {
+        let ids: Vec<String> = ["fig1", "__panic__", "fig4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        };
+        let runs = run_scenarios(&ids, &cfg, |_| {});
+        assert_eq!(runs.len(), 3);
+        assert!(runs[0].failure().is_none());
+        let reason = runs[1].failure().expect("__panic__ must fail");
+        assert!(reason.contains("panicked"), "reason: {reason}");
+        assert!(reason.contains("deliberate panic"), "reason: {reason}");
+        assert!(
+            runs[2].failure().is_none(),
+            "scenario after the panic must still complete"
+        );
+        assert!(runs[2].total_checks() > 0);
     }
 }

@@ -1,0 +1,87 @@
+//! Thread-local fault-plan configuration for standard runs.
+//!
+//! Like [`crate::record`], fault injection is **thread-local and
+//! scenario-scoped**: the parallel experiment engine installs the active
+//! [`FaultPlan`] on whichever worker thread picks up a scenario, and every
+//! [`run_session`](crate::runner::run_session) on that thread installs the
+//! plan into its freshly built machine. Because the plan carries its own
+//! seed and the kernel forks dedicated RNG streams from it, the injected
+//! faults are a pure function of (plan, workload) — independent of worker
+//! scheduling, so `--faults` runs stay byte-identical across `--jobs`
+//! settings and across repeated runs.
+
+use std::cell::RefCell;
+
+use latlab_faults::FaultPlan;
+
+thread_local! {
+    static PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
+}
+
+/// RAII guard restoring the previously configured plan on drop.
+///
+/// Dropping during a panic unwind also restores state, so a crashed
+/// scenario can never leak its plan into the next job on the same worker.
+pub struct PlanOverride {
+    prev: Option<FaultPlan>,
+}
+
+impl Drop for PlanOverride {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        PLAN.with(|p| *p.borrow_mut() = prev);
+    }
+}
+
+/// Sets the fault plan for subsequent runs on this thread (or clears it
+/// with `None`), returning a guard that restores the previous setting.
+pub fn override_plan(plan: Option<FaultPlan>) -> PlanOverride {
+    let prev = PLAN.with(|p| p.replace(plan));
+    PlanOverride { prev }
+}
+
+/// The currently configured plan for this thread, if any.
+pub fn current_plan() -> Option<FaultPlan> {
+    PLAN.with(|p| p.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_faults::{FaultKind, FaultPlan};
+
+    fn plan(seed: u64) -> FaultPlan {
+        FaultPlan::single(
+            seed,
+            FaultKind::InterruptStorm {
+                period_us: 500,
+                instr: 1000,
+            },
+        )
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        assert_eq!(current_plan(), None);
+        {
+            let _outer = override_plan(Some(plan(1)));
+            assert_eq!(current_plan(), Some(plan(1)));
+            {
+                let _inner = override_plan(Some(plan(2)));
+                assert_eq!(current_plan(), Some(plan(2)));
+            }
+            assert_eq!(current_plan(), Some(plan(1)));
+        }
+        assert_eq!(current_plan(), None);
+    }
+
+    #[test]
+    fn restores_across_panic_unwind() {
+        let caught = std::panic::catch_unwind(|| {
+            let _guard = override_plan(Some(plan(3)));
+            panic!("scenario died");
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_plan(), None, "unwind must not leak the plan");
+    }
+}

@@ -8,6 +8,7 @@
 //! `ablations`).
 
 pub mod engine;
+pub mod faultcfg;
 pub mod pool;
 pub mod record;
 pub mod report;
@@ -15,5 +16,6 @@ pub mod runner;
 pub mod scenarios;
 pub mod sweep;
 
-pub use engine::{run_scenarios, EngineConfig, ScenarioRun};
+pub use engine::{run_scenarios, EngineConfig, ScenarioOutcome, ScenarioRun};
+pub use pool::JobOutcome;
 pub use report::{Check, ExperimentReport};

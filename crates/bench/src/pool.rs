@@ -19,9 +19,11 @@
 //! Built on [`std::thread::scope`]: no external dependencies, and borrowed
 //! job data (`&F`) flows into workers without `'static` gymnastics.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Resolves a user-supplied `--jobs` value: `0` means "one worker per
 /// available core".
@@ -44,7 +46,11 @@ pub fn resolve_jobs(requested: usize) -> usize {
 ///
 /// # Panics
 ///
-/// A panic inside `run` propagates to the caller once the scope joins.
+/// A panic inside `run` propagates to the caller once the scope joins —
+/// but only after every result the other workers already produced has
+/// been delivered to `consume` (in index order, possibly with gaps where
+/// jobs died). Use [`run_supervised`] to turn panics into per-job results
+/// instead. A raw `run_ordered` panic still loses in-flight jobs.
 pub fn run_ordered<T, F, C>(jobs: usize, count: usize, run: F, mut consume: C)
 where
     T: Send,
@@ -90,6 +96,13 @@ where
                 want += 1;
             }
         }
+        // A worker that panicked drops its sender without delivering its
+        // job, so the in-order cursor never advances past the gap. Drain
+        // what the surviving workers finished before the scope join
+        // re-raises the panic: completed work is never silently discarded.
+        for (i, r) in std::mem::take(&mut pending) {
+            consume(i, r);
+        }
     });
 }
 
@@ -103,6 +116,202 @@ where
     let mut out = Vec::with_capacity(count);
     run_ordered(jobs, count, run, |_, r| out.push(r));
     out
+}
+
+/// How one supervised job ended.
+#[derive(Debug)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Completed(T),
+    /// The job panicked; the payload is the panic message.
+    Panicked(String),
+    /// The job exceeded the per-job wall-clock budget. Its worker thread
+    /// is abandoned (still running, detached); any result it eventually
+    /// produces is discarded.
+    TimedOut {
+        /// The budget that was exceeded.
+        limit: Duration,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The completed value, if the job succeeded.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A stable one-line description of the failure, if any.
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            JobOutcome::Completed(_) => None,
+            JobOutcome::Panicked(msg) => Some(format!("panicked: {msg}")),
+            JobOutcome::TimedOut { limit } => Some(format!("timed out after {limit:?}")),
+        }
+    }
+}
+
+/// Renders a panic payload as a string (the two shapes `panic!` produces,
+/// with a fallback for exotic payloads).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_ordered`], but crash-isolated: each job runs under
+/// [`std::panic::catch_unwind`] and (optionally) a wall-clock budget, and
+/// `consume` receives a [`JobOutcome`] per job — the pass always covers
+/// all `count` jobs, whatever individual jobs do.
+///
+/// Jobs run on detached threads (required so a hung job can be abandoned
+/// on timeout), hence the `'static` bounds. As with [`run_ordered`],
+/// `consume` runs on the calling thread in job-index order, so output
+/// determinism is preserved: a deterministic failure produces the same
+/// outcome sequence on every run and any `--jobs` value.
+pub fn run_supervised<T, F, C>(
+    jobs: usize,
+    count: usize,
+    timeout: Option<Duration>,
+    run: F,
+    mut consume: C,
+) where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+    C: FnMut(usize, JobOutcome<T>),
+{
+    if count == 0 {
+        return;
+    }
+    let run = Arc::new(run);
+    let next = Arc::new(AtomicUsize::new(0));
+    // The supervisor holds the master sender for the whole pass so it can
+    // spawn replacement workers; termination comes from outcome counting,
+    // not channel disconnection.
+    let (tx, rx) = mpsc::channel::<SupMsg<T>>();
+    for _ in 0..jobs.min(count).max(1) {
+        spawn_supervised_worker(&run, &next, &tx, count);
+    }
+
+    let mut started: HashMap<usize, Instant> = HashMap::new();
+    let mut expired: Vec<usize> = Vec::new();
+    let mut pending: BTreeMap<usize, JobOutcome<T>> = BTreeMap::new();
+    let mut want = 0usize;
+    while want < count {
+        while let Some(out) = pending.remove(&want) {
+            consume(want, out);
+            want += 1;
+        }
+        if want >= count {
+            break;
+        }
+        let msg = match timeout {
+            None => rx.recv().ok(),
+            Some(limit) => {
+                let now = Instant::now();
+                // Wait until the earliest running job would exceed its
+                // budget (or poll periodically while none has started).
+                let wait = started
+                    .values()
+                    .map(|&s| (s + limit).saturating_duration_since(now))
+                    .min()
+                    .unwrap_or(Duration::from_millis(25));
+                match rx.recv_timeout(wait) {
+                    Ok(m) => Some(m),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        let now = Instant::now();
+                        let mut abandoned = 0usize;
+                        started.retain(|&i, &mut s| {
+                            if now.duration_since(s) >= limit {
+                                expired.push(i);
+                                pending.insert(i, JobOutcome::TimedOut { limit });
+                                abandoned += 1;
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        // Each expired job strands the worker running it;
+                        // spawn replacements so the rest of the queue
+                        // still drains even if every original worker is
+                        // stuck.
+                        for _ in 0..abandoned {
+                            spawn_supervised_worker(&run, &next, &tx, count);
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                }
+            }
+        };
+        match msg {
+            Some(SupMsg::Started(i)) => {
+                started.insert(i, Instant::now());
+            }
+            Some(SupMsg::Done(i, result)) => {
+                // A late result from an already-expired job is discarded.
+                if started.remove(&i).is_some() || !expired.contains(&i) {
+                    pending.insert(
+                        i,
+                        match result {
+                            Ok(v) => JobOutcome::Completed(v),
+                            Err(msg) => JobOutcome::Panicked(msg),
+                        },
+                    );
+                }
+            }
+            None => {
+                // All senders gone with jobs unaccounted for — cannot
+                // happen while the supervisor holds `tx`, but never
+                // deadlock on the impossible.
+                for i in want..count {
+                    pending
+                        .entry(i)
+                        .or_insert_with(|| JobOutcome::Panicked("worker vanished".to_string()));
+                }
+            }
+        }
+    }
+}
+
+/// Supervisor-to-worker protocol for [`run_supervised`].
+enum SupMsg<T> {
+    Started(usize),
+    Done(usize, Result<T, String>),
+}
+
+/// Spawns one detached claim-loop worker for [`run_supervised`].
+fn spawn_supervised_worker<T, F>(
+    run: &Arc<F>,
+    next: &Arc<AtomicUsize>,
+    tx: &mpsc::Sender<SupMsg<T>>,
+    count: usize,
+) where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    let run = Arc::clone(run);
+    let next = Arc::clone(next);
+    let tx = tx.clone();
+    std::thread::spawn(move || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= count {
+            break;
+        }
+        if tx.send(SupMsg::Started(i)).is_err() {
+            break;
+        }
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| run(i))).map_err(panic_message);
+        if tx.send(SupMsg::Done(i, result)).is_err() {
+            break;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -161,5 +370,98 @@ mod tests {
     fn resolve_jobs_defaults_to_cores() {
         assert_eq!(resolve_jobs(3), 3);
         assert!(resolve_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn panicking_worker_still_drains_completed_results() {
+        let consumed = std::sync::Mutex::new(Vec::new());
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(
+                4,
+                8,
+                |i| {
+                    if i == 2 {
+                        panic!("job 2 dies");
+                    }
+                    // Give the dying job time to take the channel down first,
+                    // so some results are necessarily drained post-loop.
+                    std::thread::sleep(Duration::from_millis(10));
+                    i
+                },
+                |i, r| {
+                    assert_eq!(i, r);
+                    consumed.lock().unwrap().push(i);
+                },
+            );
+        }));
+        assert!(caught.is_err(), "worker panic must still propagate");
+        let consumed = consumed.into_inner().unwrap();
+        let expected: Vec<usize> = (0..8).filter(|&i| i != 2).collect();
+        assert_eq!(consumed, expected, "all surviving jobs must be delivered");
+    }
+
+    #[test]
+    fn supervised_isolates_panics_and_keeps_order() {
+        let mut outcomes = Vec::new();
+        run_supervised(
+            3,
+            6,
+            None,
+            |i| {
+                if i % 2 == 1 {
+                    panic!("odd job {i}");
+                }
+                i * 10
+            },
+            |i, out| outcomes.push((i, out)),
+        );
+        assert_eq!(outcomes.len(), 6);
+        for (idx, (i, out)) in outcomes.into_iter().enumerate() {
+            assert_eq!(idx, i);
+            if i % 2 == 1 {
+                assert_eq!(out.failure().unwrap(), format!("panicked: odd job {i}"));
+            } else {
+                assert_eq!(out.completed().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_times_out_hung_jobs_and_finishes_the_rest() {
+        let mut outcomes = Vec::new();
+        run_supervised(
+            2,
+            5,
+            Some(Duration::from_millis(40)),
+            |i| {
+                if i == 1 {
+                    // Hangs far past the budget; its worker is abandoned.
+                    std::thread::sleep(Duration::from_secs(30));
+                }
+                i
+            },
+            |i, out| outcomes.push((i, out)),
+        );
+        assert_eq!(outcomes.len(), 5);
+        for (i, out) in outcomes {
+            if i == 1 {
+                assert!(
+                    matches!(out, JobOutcome::TimedOut { .. }),
+                    "job 1 should time out, got {out:?}"
+                );
+            } else {
+                assert_eq!(out.completed().unwrap(), i, "job {i} should complete");
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_sequential_matches_parallel() {
+        let f = |i: usize| i + 100;
+        let mut seq = Vec::new();
+        run_supervised(1, 10, None, f, |i, o| seq.push((i, o.completed().unwrap())));
+        let mut par = Vec::new();
+        run_supervised(8, 10, None, f, |i, o| par.push((i, o.completed().unwrap())));
+        assert_eq!(seq, par);
     }
 }

@@ -14,12 +14,10 @@
 //! `--jobs 1` produce byte-identical trace directories).
 
 use std::cell::RefCell;
-use std::fs::File;
-use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 
 use latlab_des::{CpuFreq, SimDuration};
-use latlab_trace::{StreamKind, TraceError, TraceMeta, TraceSink, TraceWriter, WriterSink};
+use latlab_trace::{FileSink, StreamKind, TraceError, TraceMeta, TraceSink};
 
 thread_local! {
     static STATE: RefCell<Option<State>> = const { RefCell::new(None) };
@@ -98,7 +96,6 @@ pub(crate) fn open_run_sinks(
     })?;
     let make = |kind: StreamKind| -> Result<Box<dyn TraceSink>, TraceError> {
         let path = dir.join(format!("{scope}-{seq:02}-{label}.{}.ltrc", kind.name()));
-        let file = BufWriter::new(File::create(path)?);
         let meta = TraceMeta {
             kind,
             freq,
@@ -106,7 +103,10 @@ pub(crate) fn open_run_sinks(
             seed,
             personality: label.to_owned(),
         };
-        Ok(Box::new(WriterSink::new(TraceWriter::create(file, meta)?)))
+        // FileSink writes to `<path>.tmp` and renames on finish: a crash
+        // mid-run leaves only the salvageable temp file, never a truncated
+        // file under the final name.
+        Ok(Box::new(FileSink::create(path, meta)?))
     };
     let stamps = make(StreamKind::IdleStamps).expect("failed to create stamp trace file");
     let api = make(StreamKind::ApiLog).expect("failed to create apilog trace file");

@@ -79,6 +79,11 @@ pub fn run_session(
 ) -> RunOutput {
     let mut session = MeasurementSession::new(profile);
     app.spawn(&mut session);
+    // When `repro --faults` is active, arm the thread-scoped fault plan in
+    // this machine before any input is scheduled (see crate::faultcfg).
+    if let Some(plan) = crate::faultcfg::current_plan() {
+        session.machine().install_faults(&plan);
+    }
     // When `repro --record` is active, stream this run's stamps and API
     // log to disk while it executes (bounded memory; see crate::record).
     let label = format!("{profile:?}-{app:?}").to_lowercase();

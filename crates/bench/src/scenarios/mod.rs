@@ -5,6 +5,7 @@
 //! experiment ids for the `repro` binary.
 
 pub mod ablations;
+pub mod faultmatrix;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -24,7 +25,7 @@ pub mod tab2;
 use crate::report::ExperimentReport;
 
 /// Experiment ids in presentation order.
-pub const ALL_IDS: [&str; 16] = [
+pub const ALL_IDS: [&str; 17] = [
     "fig1",
     "fig2",
     "fig3",
@@ -41,6 +42,7 @@ pub const ALL_IDS: [&str; 16] = [
     "sec11",
     "sec54",
     "ablations",
+    "faults",
 ];
 
 /// One-line description of an experiment id (for `repro --list` and the
@@ -67,6 +69,7 @@ pub fn description(id: &str) -> &'static str {
         "sec11" => "The irrelevance of throughput (§1.1), demonstrated",
         "sec54" => "Test-driven vs. hand-generated Word input on NT 3.51 (§5.4)",
         "ablations" => "Simulator ablations: which modelled costs matter",
+        "faults" => "Fault matrix: attribution error under injected faults",
         other => panic!("unknown experiment id {other:?}; known: {ALL_IDS:?}"),
     }
 }
@@ -95,6 +98,11 @@ pub fn run_by_id(id: &str) -> Vec<ExperimentReport> {
         "sec11" => vec![sec11::run()],
         "sec54" => vec![sec54::run().0],
         "ablations" => ablations::run_all(),
+        "faults" => vec![faultmatrix::run()],
+        // Hidden harness-test hook: not in ALL_IDS (so `repro` id validation
+        // rejects it), used by robustness tests to prove that a panicking
+        // scenario cannot take down a whole pass.
+        "__panic__" => panic!("deliberate panic scenario for harness tests (__panic__)"),
         other => panic!("unknown experiment id {other:?}; known: {ALL_IDS:?}"),
     }
 }

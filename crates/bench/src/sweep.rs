@@ -264,6 +264,40 @@ pub fn run_sweep_jobs(
     })
 }
 
+/// Like [`run_sweep_jobs`], but supervised: a point whose simulation
+/// panics (or exceeds `timeout`) is reported as a failed
+/// [`JobOutcome`](crate::pool::JobOutcome) while every other point still
+/// completes. Results come back as `(value, outcome)` pairs in input
+/// order.
+pub fn run_sweep_supervised(
+    profile: OsProfile,
+    param: SweepParam,
+    metric: SweepMetric,
+    values: &[u64],
+    jobs: usize,
+    timeout: Option<std::time::Duration>,
+) -> Vec<(u64, crate::pool::JobOutcome<SweepPoint>)> {
+    let values: std::sync::Arc<Vec<u64>> = std::sync::Arc::new(values.to_vec());
+    let worker_values = std::sync::Arc::clone(&values);
+    let mut out = Vec::with_capacity(values.len());
+    crate::pool::run_supervised(
+        crate::pool::resolve_jobs(jobs),
+        values.len(),
+        timeout,
+        move |i| {
+            let value = worker_values[i];
+            let mut params = profile.params();
+            param.apply(&mut params, value);
+            SweepPoint {
+                value,
+                metric: metric.evaluate(params),
+            }
+        },
+        |i, outcome| out.push((values[i], outcome)),
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

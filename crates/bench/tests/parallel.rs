@@ -37,11 +37,17 @@ fn run(ids: &[String], jobs: usize, tag: &str) -> (Vec<String>, PathBuf, PathBuf
         jobs,
         out_dir: Some(out_dir.clone()),
         record_dir: Some(record_dir.clone()),
+        ..EngineConfig::default()
     };
     let mut rendered = Vec::new();
     let runs = run_scenarios(ids, &cfg, |run| {
-        assert!(run.artifact_errors.is_empty(), "{:?}", run.artifact_errors);
-        for r in &run.reports {
+        assert!(run.failure().is_none(), "{:?}", run.failure());
+        assert!(
+            run.artifact_errors().is_empty(),
+            "{:?}",
+            run.artifact_errors()
+        );
+        for r in run.reports() {
             rendered.push(r.render());
         }
     });

@@ -1,0 +1,136 @@
+//! Harness robustness, end to end through the real `repro` binary:
+//! a panicking scenario must not abort the pass, and `--faults` runs must
+//! be byte-identical given the same seed.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+/// Reads every file under `dir` into a name → bytes map.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    out
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("latlab-robustness-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn panicking_scenario_does_not_abort_the_pass() {
+    let dir = fresh_dir("panic");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .current_dir(&dir)
+        .args([
+            "--out",
+            "results",
+            "--jobs",
+            "2",
+            "fig1",
+            "__panic__",
+            "fig4",
+        ])
+        .output()
+        .expect("repro should spawn");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "a failed scenario must make the exit code non-zero"
+    );
+    assert!(
+        stdout.contains("==== __panic__ FAILED: panicked"),
+        "failure must be reported per-scenario:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("deliberate panic"),
+        "panic message must be surfaced:\n{stdout}"
+    );
+    // Both bracketing scenarios still ran to completion and reported.
+    assert!(stdout.contains("==== fig1 —"), "fig1 missing:\n{stdout}");
+    assert!(stdout.contains("==== fig4 —"), "fig4 missing:\n{stdout}");
+    assert!(
+        stdout.contains("1 scenario(s) failed"),
+        "summary must count the failure:\n{stdout}"
+    );
+    // fig1's artifacts were still written despite the neighbouring panic.
+    assert!(dir.join("results/fig1").is_dir());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_runs_are_byte_identical_with_same_seed() {
+    let spec = "seed=7;storm:period=5000,instr=15000;input:drop=100";
+    let run = |tag: &str| {
+        let dir = fresh_dir(tag);
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .current_dir(&dir)
+            .args(["--out", "results", "--record", "rec", "--jobs", "2"])
+            .args(["--faults", spec, "fig5"])
+            .output()
+            .expect("repro should spawn");
+        assert!(
+            out.status.success(),
+            "faulted fig5 run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (dir, out.stdout)
+    };
+    let (d1, stdout1) = run("faults-a");
+    let (d2, stdout2) = run("faults-b");
+    assert_eq!(
+        stdout1, stdout2,
+        "same seed must give byte-identical stdout"
+    );
+    assert_eq!(
+        dir_bytes(&d1.join("results")),
+        dir_bytes(&d2.join("results")),
+        "artifacts must be byte-identical"
+    );
+    let traces1 = dir_bytes(&d1.join("rec"));
+    assert!(
+        traces1.keys().any(|k| k.ends_with(".ltrc")),
+        "faulted run should record traces, got {:?}",
+        traces1.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        traces1,
+        dir_bytes(&d2.join("rec")),
+        "traces must be byte-identical"
+    );
+    for d in [d1, d2] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn bad_fault_spec_is_rejected_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--faults", "storm:warp=9", "fig1"])
+        .output()
+        .expect("repro should spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--faults"),
+        "parse error must name the flag:\n{stderr}"
+    );
+}

@@ -1,0 +1,512 @@
+//! Deterministic fault-injection plans.
+//!
+//! The paper's methodology claim (§2.3, §4) is that idle-loop
+//! instrumentation attributes event-handling latency correctly even while
+//! the system underneath the application misbehaves — interrupt storms,
+//! paging, background daemons. This crate describes *how* to misbehave: a
+//! [`FaultPlan`] is a seed plus a list of fault classes, each gated on a
+//! simulated-time window and a rate, that the kernel applies as pure
+//! simulation events. Everything is driven from [`latlab_des::SimRng`]
+//! streams forked off the plan seed, so a plan replayed on the same
+//! machine produces bit-identical traces.
+//!
+//! Plans are parsed from a compact CLI spec (`repro --faults "storm;disk"`)
+//! or from a small TOML subset (`repro --faults @plan.toml`); see
+//! [`FaultPlan::parse`] and [`FaultPlan::parse_toml`].
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Default seed used when a spec does not name one.
+pub const DEFAULT_SEED: u64 = 0xfa117;
+
+/// A simulated-time window (in milliseconds since boot) during which a
+/// fault is armed. `end_ms = None` keeps the fault active forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// Window start, ms of simulated time.
+    pub start_ms: u64,
+    /// Window end (exclusive), ms of simulated time; `None` = unbounded.
+    pub end_ms: Option<u64>,
+}
+
+impl FaultWindow {
+    /// A window covering the whole run.
+    pub const ALWAYS: FaultWindow = FaultWindow {
+        start_ms: 0,
+        end_ms: None,
+    };
+}
+
+/// One fault class with its parameters. Units are baked into the field
+/// names; rates are per-mille so plans stay integer-only (and therefore
+/// trivially deterministic to parse and compare).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A periodic device-interrupt storm: every `period_us` of simulated
+    /// time, charge one hardware interrupt of `instr` kernel instructions.
+    InterruptStorm {
+        /// Interrupt period, µs of simulated time.
+        period_us: u64,
+        /// Instructions charged per storm interrupt.
+        instr: u64,
+    },
+    /// Scheduler jitter: with probability `rate_permille` at each context
+    /// switch, charge up to `max_instr` extra dispatcher instructions.
+    SchedJitter {
+        /// Probability per context switch, in 1/1000.
+        rate_permille: u32,
+        /// Maximum extra instructions charged per hit.
+        max_instr: u64,
+    },
+    /// Periodic page-fault burst: every `period_ms`, flush the TLBs, evict
+    /// `evict_blocks` buffer-cache blocks, and charge `instr` instructions
+    /// of page-in kernel work.
+    PageFaultBurst {
+        /// Burst period, ms of simulated time.
+        period_ms: u64,
+        /// Buffer-cache blocks evicted per burst.
+        evict_blocks: u64,
+        /// Instructions of kernel paging work charged per burst.
+        instr: u64,
+    },
+    /// Disk-I/O degradation: every disk transfer inside the window takes
+    /// `delay_ms` extra; with probability `error_permille` the transfer
+    /// errors and is transparently retried (costing the base service time
+    /// plus another delay).
+    DiskFault {
+        /// Extra controller delay per transfer, ms.
+        delay_ms: u64,
+        /// Probability of a retried soft error per transfer, in 1/1000.
+        error_permille: u32,
+    },
+    /// Input chaos: each arriving user input is dropped with probability
+    /// `drop_permille`, or else duplicated with probability `dup_permille`
+    /// (the duplicate gets a synthetic id the ground-truth oracle ignores).
+    InputChaos {
+        /// Probability an input is dropped after its interrupt, in 1/1000.
+        drop_permille: u32,
+        /// Probability an input is delivered twice, in 1/1000.
+        dup_permille: u32,
+    },
+}
+
+impl FaultKind {
+    /// The spec/CLI name of this fault class.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            FaultKind::InterruptStorm { .. } => "storm",
+            FaultKind::SchedJitter { .. } => "jitter",
+            FaultKind::PageFaultBurst { .. } => "pagefault",
+            FaultKind::DiskFault { .. } => "disk",
+            FaultKind::InputChaos { .. } => "input",
+        }
+    }
+}
+
+/// A fault class armed over a window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// When it is active.
+    pub window: FaultWindow,
+}
+
+/// A complete, reproducible fault plan: a seed plus the armed faults.
+/// Same plan + same machine ⇒ bit-identical simulation.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for the per-class [`latlab_des::SimRng`] streams.
+    pub seed: u64,
+    /// The armed faults, in spec order.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// Counters the kernel keeps while applying a plan; read them back through
+/// `Machine::fault_stats` to confirm a fault class actually fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Storm interrupts delivered.
+    pub storm_interrupts: u64,
+    /// Page-fault bursts executed.
+    pub page_bursts: u64,
+    /// Context switches that drew extra scheduler jitter.
+    pub sched_delays: u64,
+    /// Disk transfers that took an injected delay.
+    pub disk_delays: u64,
+    /// Disk transfers that additionally soft-errored and retried.
+    pub disk_errors: u64,
+    /// User inputs dropped after their interrupt was charged.
+    pub inputs_dropped: u64,
+    /// User inputs delivered twice.
+    pub inputs_duplicated: u64,
+}
+
+impl FaultStats {
+    /// Total number of injected events of any class.
+    pub fn total_injections(&self) -> u64 {
+        self.storm_interrupts
+            + self.page_bursts
+            + self.sched_delays
+            + self.disk_delays
+            + self.inputs_dropped
+            + self.inputs_duplicated
+    }
+}
+
+/// A fault-spec parse failure, with a human-oriented message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultParseError(String);
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl Error for FaultParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, FaultParseError> {
+    Err(FaultParseError(msg.into()))
+}
+
+/// Known class names, for error messages.
+pub const CLASS_NAMES: [&str; 5] = ["storm", "jitter", "pagefault", "disk", "input"];
+
+type KeyMap = BTreeMap<String, u64>;
+
+fn take(kv: &mut KeyMap, key: &str, default: u64) -> u64 {
+    kv.remove(key).unwrap_or(default)
+}
+
+/// Builds one [`FaultSpec`] from a class name and its key/value map.
+/// Shared by the CLI and TOML parsers so both accept the same keys:
+/// `start`/`end` (ms) on every class, plus per-class parameters.
+fn build_fault(class: &str, mut kv: KeyMap) -> Result<FaultSpec, FaultParseError> {
+    let window = FaultWindow {
+        start_ms: take(&mut kv, "start", 0),
+        end_ms: kv.remove("end"),
+    };
+    let kind = match class {
+        "storm" => FaultKind::InterruptStorm {
+            period_us: take(&mut kv, "period", 500).max(1),
+            instr: take(&mut kv, "instr", 15_000).max(1),
+        },
+        "jitter" => FaultKind::SchedJitter {
+            rate_permille: take(&mut kv, "rate", 300).min(1000) as u32,
+            max_instr: take(&mut kv, "instr", 40_000).max(1),
+        },
+        "pagefault" => FaultKind::PageFaultBurst {
+            period_ms: take(&mut kv, "period", 50).max(1),
+            evict_blocks: take(&mut kv, "evict", 64),
+            instr: take(&mut kv, "instr", 60_000).max(1),
+        },
+        "disk" => FaultKind::DiskFault {
+            delay_ms: take(&mut kv, "delay", 5),
+            error_permille: take(&mut kv, "errors", 100).min(1000) as u32,
+        },
+        "input" => FaultKind::InputChaos {
+            drop_permille: take(&mut kv, "drop", 100).min(1000) as u32,
+            dup_permille: take(&mut kv, "dup", 100).min(1000) as u32,
+        },
+        other => {
+            return err(format!(
+                "unknown fault class {other:?}; known: {CLASS_NAMES:?}"
+            ))
+        }
+    };
+    if let Some(end) = window.end_ms {
+        if end <= window.start_ms {
+            return err(format!(
+                "window end {end} must be after start {}",
+                window.start_ms
+            ));
+        }
+    }
+    if let Some(stray) = kv.keys().next() {
+        return err(format!("unknown key {stray:?} for fault class {class:?}"));
+    }
+    Ok(FaultSpec { kind, window })
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, FaultParseError> {
+    match s.trim().parse::<u64>() {
+        Ok(v) => Ok(v),
+        Err(_) => err(format!("{what} must be an unsigned integer, got {s:?}")),
+    }
+}
+
+impl FaultPlan {
+    /// Parses a compact CLI spec.
+    ///
+    /// Grammar: semicolon-separated clauses; each clause is either
+    /// `seed=N` or `class[:key=value[,key=value…]]`. Classes are
+    /// `storm`, `jitter`, `pagefault`, `disk`, `input`; every class
+    /// accepts `start`/`end` (window in ms of simulated time) plus its
+    /// own keys, all with usable defaults:
+    ///
+    /// ```text
+    /// storm                         # 15k-instr interrupt every 500 µs
+    /// storm:period=200,instr=30000  # heavier storm
+    /// disk:delay=10,errors=250      # +10 ms/transfer, 25% retried errors
+    /// seed=7;input:drop=50;jitter   # two classes, explicit seed
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultParseError> {
+        let mut plan = FaultPlan {
+            seed: DEFAULT_SEED,
+            faults: Vec::new(),
+        };
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = parse_u64(seed, "seed")?;
+                continue;
+            }
+            let (class, params) = match clause.split_once(':') {
+                Some((c, p)) => (c.trim(), p),
+                None => (clause, ""),
+            };
+            let mut kv = KeyMap::new();
+            for pair in params.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let Some((k, v)) = pair.split_once('=') else {
+                    return err(format!("expected key=value in {clause:?}, got {pair:?}"));
+                };
+                kv.insert(k.trim().to_string(), parse_u64(v, k.trim())?);
+            }
+            plan.faults.push(build_fault(class, kv)?);
+        }
+        if plan.faults.is_empty() {
+            return err("spec names no fault classes");
+        }
+        Ok(plan)
+    }
+
+    /// Parses the TOML subset used by `--faults @plan.toml`:
+    ///
+    /// ```toml
+    /// seed = 42          # optional
+    ///
+    /// [[fault]]
+    /// class = "storm"    # same classes and keys as the CLI spec
+    /// start = 200        # ms
+    /// period = 400       # µs for storm, ms for pagefault
+    /// instr = 20000
+    /// ```
+    ///
+    /// Only `key = integer` pairs, `class = "name"` strings, `#` comments,
+    /// and `[[fault]]` table headers are understood — enough to keep plans
+    /// in version-controlled files without an external TOML dependency.
+    pub fn parse_toml(text: &str) -> Result<FaultPlan, FaultParseError> {
+        let mut plan = FaultPlan {
+            seed: DEFAULT_SEED,
+            faults: Vec::new(),
+        };
+        let mut current: Option<(Option<String>, KeyMap)> = None;
+        let flush = |cur: &mut Option<(Option<String>, KeyMap)>,
+                     plan: &mut FaultPlan|
+         -> Result<(), FaultParseError> {
+            if let Some((class, kv)) = cur.take() {
+                let Some(class) = class else {
+                    return err("[[fault]] table is missing a class key");
+                };
+                plan.faults.push(build_fault(&class, kv)?);
+            }
+            Ok(())
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[fault]]" {
+                flush(&mut current, &mut plan)?;
+                current = Some((None, KeyMap::new()));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(format!(
+                    "line {}: expected key = value, got {line:?}",
+                    lineno + 1
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match &mut current {
+                None => {
+                    if key == "seed" {
+                        plan.seed = parse_u64(value, "seed")?;
+                    } else {
+                        return err(format!(
+                            "line {}: unknown top-level key {key:?}",
+                            lineno + 1
+                        ));
+                    }
+                }
+                Some((class, kv)) => {
+                    if key == "class" {
+                        let name = value.trim_matches('"');
+                        *class = Some(name.to_string());
+                    } else {
+                        kv.insert(key.to_string(), parse_u64(value, key)?);
+                    }
+                }
+            }
+        }
+        flush(&mut current, &mut plan)?;
+        if plan.faults.is_empty() {
+            return err("plan file names no fault classes");
+        }
+        Ok(plan)
+    }
+
+    /// Convenience: a plan with one always-on fault of each requested kind.
+    pub fn single(seed: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: vec![FaultSpec {
+                kind,
+                window: FaultWindow::ALWAYS,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_class_uses_defaults() {
+        let plan = FaultPlan::parse("storm").unwrap();
+        assert_eq!(plan.seed, DEFAULT_SEED);
+        assert_eq!(plan.faults.len(), 1);
+        assert_eq!(plan.faults[0].window, FaultWindow::ALWAYS);
+        assert!(matches!(
+            plan.faults[0].kind,
+            FaultKind::InterruptStorm {
+                period_us: 500,
+                instr: 15_000
+            }
+        ));
+    }
+
+    #[test]
+    fn full_spec_round_trip() {
+        let plan = FaultPlan::parse(
+            "seed=7; storm:period=200,instr=30000,start=50,end=950; input:drop=50",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(
+            plan.faults[0],
+            FaultSpec {
+                kind: FaultKind::InterruptStorm {
+                    period_us: 200,
+                    instr: 30_000
+                },
+                window: FaultWindow {
+                    start_ms: 50,
+                    end_ms: Some(950)
+                },
+            }
+        );
+        assert_eq!(
+            plan.faults[1].kind,
+            FaultKind::InputChaos {
+                drop_permille: 50,
+                dup_permille: 100
+            }
+        );
+    }
+
+    #[test]
+    fn every_class_parses_bare() {
+        for class in CLASS_NAMES {
+            let plan = FaultPlan::parse(class).unwrap();
+            assert_eq!(plan.faults[0].kind.class_name(), class);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "",
+            "storms",
+            "storm:period",
+            "storm:period=abc",
+            "storm:bogus=1",
+            "storm:start=100,end=100",
+            "seed=1",
+            "seed=x;storm",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_is_deterministic() {
+        let a = FaultPlan::parse("jitter;disk:delay=3").unwrap();
+        let b = FaultPlan::parse("jitter;disk:delay=3").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn toml_subset_parses() {
+        let text = r#"
+            # comment
+            seed = 42
+
+            [[fault]]
+            class = "storm"
+            start = 200
+            period = 400   # µs
+            instr = 20000
+
+            [[fault]]
+            class = "disk"
+            delay = 8
+        "#;
+        let plan = FaultPlan::parse_toml(text).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(
+            plan.faults[0],
+            FaultSpec {
+                kind: FaultKind::InterruptStorm {
+                    period_us: 400,
+                    instr: 20_000
+                },
+                window: FaultWindow {
+                    start_ms: 200,
+                    end_ms: None
+                },
+            }
+        );
+        assert_eq!(
+            plan.faults[1].kind,
+            FaultKind::DiskFault {
+                delay_ms: 8,
+                error_permille: 100
+            }
+        );
+    }
+
+    #[test]
+    fn toml_errors_are_reported() {
+        assert!(FaultPlan::parse_toml("").is_err());
+        assert!(FaultPlan::parse_toml("[[fault]]\nstart = 1").is_err());
+        assert!(FaultPlan::parse_toml("bogus = 1").is_err());
+        assert!(FaultPlan::parse_toml("[[fault]]\nclass = \"storm\"\nperiod = x").is_err());
+    }
+}

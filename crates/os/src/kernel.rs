@@ -14,7 +14,8 @@
 
 use std::collections::VecDeque;
 
-use latlab_des::{EventQueue, SimDuration, SimTime};
+use latlab_des::{EventQueue, SimDuration, SimRng, SimTime};
+use latlab_faults::{FaultKind, FaultPlan, FaultStats};
 use latlab_hw::disk::BLOCK_SIZE;
 use latlab_hw::{CounterBank, CounterError, CounterId, Disk, EventCounts, HwEvent, Ring};
 use latlab_trace::{Record as TraceRecord, TraceSink, VecSink};
@@ -61,6 +62,10 @@ enum MachineEvent {
     PostToFocus { msg: Message },
     /// A scheduled input-focus change (the user alt-tabs between windows).
     FocusChange { target: ThreadId },
+    /// One interrupt of an injected interrupt storm (fault plan).
+    FaultStorm { idx: usize },
+    /// One injected page-fault burst (fault plan).
+    FaultPage { idx: usize },
 }
 
 /// Why a thread is not running.
@@ -186,6 +191,39 @@ struct ThreadSlot {
     pending_sync_io: Option<IoKind>,
 }
 
+/// First synthetic input id used for fault-injected duplicate deliveries.
+/// Real input ids count up from zero; ids at or above this base never have
+/// a ground-truth arrival, so the oracle ignores them by construction.
+pub const DUP_INPUT_ID_BASE: u64 = 1 << 63;
+
+/// A fault from the installed plan with its window resolved to cycles.
+#[derive(Clone, Copy, Debug)]
+struct ArmedFault {
+    kind: FaultKind,
+    start: SimTime,
+    end: Option<SimTime>,
+}
+
+impl ArmedFault {
+    fn active(&self, now: SimTime) -> bool {
+        self.start <= now && self.end.is_none_or(|e| now < e)
+    }
+}
+
+/// Kernel-side state for an installed [`FaultPlan`]: the armed faults,
+/// one forked RNG stream per stochastic class (so classes perturb
+/// independently of each other), and the injection counters.
+#[derive(Debug)]
+struct FaultEngine {
+    faults: Vec<ArmedFault>,
+    input_rng: SimRng,
+    disk_rng: SimRng,
+    sched_rng: SimRng,
+    dup_next: u64,
+    dup_pending: bool,
+    stats: FaultStats,
+}
+
 /// Summary statistics a run exposes.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MachineStats {
@@ -264,6 +302,7 @@ pub struct Machine {
     inputs_outstanding: u64,
     last_ran: Option<ThreadId>,
     stats: MachineStats,
+    faults: Option<FaultEngine>,
     /// Optional tee for idle-loop stamps: every `Emit` also lands here.
     stamp_sink: Option<Box<dyn TraceSink>>,
     /// Optional tee for the API log: every entry also lands here as a
@@ -310,6 +349,7 @@ impl Machine {
             inputs_outstanding: 0,
             last_ran: None,
             stats: MachineStats::default(),
+            faults: None,
             stamp_sink: None,
             api_sink: None,
         }
@@ -433,6 +473,62 @@ impl Machine {
     /// Empties the buffer cache (cold-start scenarios).
     pub fn drop_caches(&mut self) {
         self.cache.clear();
+    }
+
+    /// Installs a fault plan. Faults become pure simulation events — the
+    /// periodic classes (interrupt storms, page-fault bursts) schedule
+    /// themselves on the event queue; the reactive classes (scheduler
+    /// jitter, disk faults, input chaos) hook the corresponding kernel
+    /// paths. All randomness comes from [`SimRng`] streams forked off the
+    /// plan seed in deterministic simulation order, so a given plan on a
+    /// given machine replays bit-identically.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        let freq = self.params.freq;
+        let mut base = SimRng::new(plan.seed);
+        let input_rng = base.fork();
+        let disk_rng = base.fork();
+        let sched_rng = base.fork();
+        let faults: Vec<ArmedFault> = plan
+            .faults
+            .iter()
+            .map(|f| ArmedFault {
+                kind: f.kind,
+                start: SimTime::ZERO + freq.ms(f.window.start_ms),
+                end: f.window.end_ms.map(|e| SimTime::ZERO + freq.ms(e)),
+            })
+            .collect();
+        for (idx, f) in faults.iter().enumerate() {
+            let at = if f.start > self.now {
+                f.start
+            } else {
+                self.now
+            };
+            match f.kind {
+                FaultKind::InterruptStorm { period_us, .. } => {
+                    self.pending
+                        .schedule(at + freq.us(period_us), MachineEvent::FaultStorm { idx });
+                }
+                FaultKind::PageFaultBurst { period_ms, .. } => {
+                    self.pending
+                        .schedule(at + freq.ms(period_ms), MachineEvent::FaultPage { idx });
+                }
+                _ => {}
+            }
+        }
+        self.faults = Some(FaultEngine {
+            faults,
+            input_rng,
+            disk_rng,
+            sched_rng,
+            dup_next: DUP_INPUT_ID_BASE,
+            dup_pending: false,
+            stats: FaultStats::default(),
+        });
+    }
+
+    /// Injection counters of the installed fault plan, if any.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| &f.stats)
     }
 
     // --- Observables ------------------------------------------------------
@@ -673,7 +769,182 @@ impl Machine {
                 self.focus = Some(target);
                 self.enqueue_message(target, Message::User(FOCUS_GAINED));
             }
+            MachineEvent::FaultStorm { idx } => self.on_fault_storm(idx),
+            MachineEvent::FaultPage { idx } => self.on_fault_page(idx),
         }
+    }
+
+    // --- Fault injection ----------------------------------------------------
+
+    /// One interrupt of an injected storm: a real hardware interrupt is
+    /// charged (kernel mix, TLB touches, counter events), then the storm
+    /// reschedules itself while its window lasts.
+    fn on_fault_storm(&mut self, idx: usize) {
+        let Some(fx) = self.faults.as_ref() else {
+            return;
+        };
+        let f = fx.faults[idx];
+        let FaultKind::InterruptStorm { period_us, instr } = f.kind else {
+            return;
+        };
+        if f.active(self.now) {
+            self.faults.as_mut().unwrap().stats.storm_interrupts += 1;
+            let packet = self.cost.interrupt(instr);
+            self.charge_system(packet);
+        }
+        let next = self.now
+            + self
+                .params
+                .freq
+                .us(period_us)
+                .max(SimDuration::from_cycles(1));
+        if f.end.is_none_or(|e| next < e) {
+            self.pending
+                .schedule(next, MachineEvent::FaultStorm { idx });
+        }
+    }
+
+    /// One injected page-fault burst: flush the TLBs (every later memory
+    /// touch re-walks), evict the oldest cached blocks (later reads go
+    /// back to disk), and charge the page-in kernel work.
+    fn on_fault_page(&mut self, idx: usize) {
+        let Some(fx) = self.faults.as_ref() else {
+            return;
+        };
+        let f = fx.faults[idx];
+        let FaultKind::PageFaultBurst {
+            period_ms,
+            evict_blocks,
+            instr,
+        } = f.kind
+        else {
+            return;
+        };
+        if f.active(self.now) {
+            self.faults.as_mut().unwrap().stats.page_bursts += 1;
+            self.cost.tlb_mut().flush();
+            self.cache.evict_oldest(evict_blocks as usize);
+            let packet = self.cost.kernel_work(instr, WorkKind::Io);
+            self.charge_system(packet);
+        }
+        let next = self.now + self.params.freq.ms(period_ms);
+        if f.end.is_none_or(|e| next < e) {
+            self.pending.schedule(next, MachineEvent::FaultPage { idx });
+        }
+    }
+
+    /// Rolls input chaos for one arriving user input. Returns `true` when
+    /// the input must be dropped; duplication is latched in the engine and
+    /// consumed at the enqueue point by [`Machine::fault_maybe_duplicate`].
+    fn fault_input_roll(&mut self) -> bool {
+        let now = self.now;
+        let Some(fx) = self.faults.as_mut() else {
+            return false;
+        };
+        let mut drop = false;
+        for f in &fx.faults {
+            if !f.active(now) {
+                continue;
+            }
+            if let FaultKind::InputChaos {
+                drop_permille,
+                dup_permille,
+            } = f.kind
+            {
+                if fx.input_rng.gen_range(1000) < u64::from(drop_permille) {
+                    drop = true;
+                } else if fx.input_rng.gen_range(1000) < u64::from(dup_permille) {
+                    fx.dup_pending = true;
+                }
+            }
+        }
+        if drop {
+            fx.stats.inputs_dropped += 1;
+            fx.dup_pending = false;
+        }
+        drop
+    }
+
+    /// Delivers the latched duplicate: the same payload again under a
+    /// synthetic id (≥ [`DUP_INPUT_ID_BASE`]) that ground truth ignores,
+    /// plus one more dispatch charge for the repeated delivery.
+    fn fault_maybe_duplicate(&mut self, focus: ThreadId, kind: InputKind) {
+        let Some(fx) = self.faults.as_mut() else {
+            return;
+        };
+        if !std::mem::take(&mut fx.dup_pending) {
+            return;
+        }
+        fx.stats.inputs_duplicated += 1;
+        let dup_id = fx.dup_next;
+        fx.dup_next += 1;
+        let packet = self
+            .cost
+            .kernel_work(self.params.input_dispatch_instr, WorkKind::Api);
+        self.charge_system(packet);
+        self.enqueue_message(focus, Message::Input { id: dup_id, kind });
+    }
+
+    /// Extra dispatcher instructions to charge at this context switch, if
+    /// an active jitter window rolls a hit.
+    fn fault_jitter_instr(&mut self) -> Option<u64> {
+        let now = self.now;
+        let fx = self.faults.as_mut()?;
+        let mut extra: Option<u64> = None;
+        for f in &fx.faults {
+            if !f.active(now) {
+                continue;
+            }
+            if let FaultKind::SchedJitter {
+                rate_permille,
+                max_instr,
+            } = f.kind
+            {
+                if fx.sched_rng.gen_range(1000) < u64::from(rate_permille) {
+                    let draw = fx.sched_rng.gen_range(max_instr) + 1;
+                    extra = Some(extra.unwrap_or(0) + draw);
+                }
+            }
+        }
+        if extra.is_some() {
+            fx.stats.sched_delays += 1;
+        }
+        extra
+    }
+
+    /// Applies active disk faults to a transfer's service time: a fixed
+    /// extra controller delay, plus (on an error roll) a transparent
+    /// retry costing the base service time and another delay. Fully
+    /// cached accesses (`base == 0`) never touch the device and are
+    /// unaffected.
+    fn fault_disk_time(&mut self, base: SimDuration) -> SimDuration {
+        if base.cycles() == 0 {
+            return base;
+        }
+        let now = self.now;
+        let freq = self.params.freq;
+        let Some(fx) = self.faults.as_mut() else {
+            return base;
+        };
+        let mut total = base;
+        for f in &fx.faults {
+            if !f.active(now) {
+                continue;
+            }
+            if let FaultKind::DiskFault {
+                delay_ms,
+                error_permille,
+            } = f.kind
+            {
+                fx.stats.disk_delays += 1;
+                total += freq.ms(delay_ms);
+                if fx.disk_rng.gen_range(1000) < u64::from(error_permille) {
+                    fx.stats.disk_errors += 1;
+                    total += base + freq.ms(delay_ms);
+                }
+            }
+        }
+        total
     }
 
     fn on_clock_tick(&mut self) {
@@ -737,6 +1008,13 @@ impl Machine {
         self.inputs_outstanding -= 1;
         let packet = self.cost.interrupt(self.params.input_interrupt_instr);
         self.charge_system(packet);
+        // Input chaos (fault plan): the interrupt already happened — a
+        // dropped input dies between driver and queue, so its ground-truth
+        // event simply never completes. Packets take the protocol stack
+        // and are exempt.
+        if !matches!(kind, InputKind::Packet(_)) && self.fault_input_roll() {
+            return;
+        }
         // Windows 95 busy-waits between mouse-down and mouse-up (§4):
         // delivery of the whole click is deferred to the release.
         if self.params.mouse_busy_wait {
@@ -793,6 +1071,7 @@ impl Machine {
         }
         self.stats.inputs_delivered += 1;
         self.enqueue_message(focus, Message::Input { id, kind });
+        self.fault_maybe_duplicate(focus, kind);
     }
 
     fn on_disk_done(&mut self, tid: ThreadId, bytes: u64) {
@@ -902,6 +1181,12 @@ impl Machine {
             self.stats.context_switches += 1;
             let packet = self.cost.context_switch();
             self.charge_system(packet);
+            // Scheduler jitter (fault plan): some switches take a long
+            // path through the dispatcher.
+            if let Some(extra) = self.fault_jitter_instr() {
+                let packet = self.cost.kernel_work(extra, WorkKind::ContextSwitch);
+                self.charge_system(packet);
+            }
             self.last_ran = Some(tid);
             // The switch may have carried us past an event boundary.
             if self.pending.peek_time().is_some_and(|t| t <= self.now) || self.now >= t_end {
@@ -1480,6 +1765,7 @@ impl Machine {
                 });
             }
         }
+        let disk_time = self.fault_disk_time(disk_time);
         (self.cost.read_cpu(hit_blocks, miss_blocks), disk_time)
     }
 
@@ -1510,6 +1796,7 @@ impl Machine {
         // The write-overhead factor models metadata/journaling I/O.
         let adjusted =
             SimDuration::from_cycles(disk_time.cycles() * self.params.write_overhead_milli / 1_000);
+        let adjusted = self.fault_disk_time(adjusted);
         (self.cost.write_cpu(blocks), adjusted)
     }
 

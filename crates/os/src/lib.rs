@@ -34,7 +34,8 @@ pub mod win32;
 pub use apilog::{ApiEntry, ApiLog, ApiLogEntry, ApiOutcome};
 pub use fs::FileId;
 pub use ground_truth::{GroundTruth, GtEvent};
-pub use kernel::{Machine, MachineStats, FOCUS_GAINED, FOCUS_LOST};
+pub use kernel::{Machine, MachineStats, DUP_INPUT_ID_BASE, FOCUS_GAINED, FOCUS_LOST};
+pub use latlab_faults::{FaultKind, FaultPlan, FaultSpec, FaultStats, FaultWindow};
 pub use msgq::{InputKind, KeySym, Message, MessageQueue, MouseButton};
 pub use profile::{OsParams, OsProfile, Win32Arch};
 pub use program::{

@@ -1,0 +1,158 @@
+//! Fault-injection behaviour of the kernel: determinism, latency impact,
+//! window gating, and input chaos semantics.
+
+use latlab_des::{SimDuration, SimTime};
+use latlab_os::{
+    Action, ApiCall, ApiReply, ComputeSpec, FaultPlan, InputKind, KeySym, Machine, OsProfile,
+    ProcessSpec, Program, StepCtx,
+};
+
+fn ms(n: u64) -> SimDuration {
+    latlab_des::CpuFreq::PENTIUM_100.ms(n)
+}
+
+fn at_ms(n: u64) -> SimTime {
+    SimTime::ZERO + ms(n)
+}
+
+/// A minimal interactive app: waits for a message, computes, repeats.
+struct EchoLoop {
+    work_instr: u64,
+    handled: u64,
+    awaiting_reply: bool,
+}
+
+impl Program for EchoLoop {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        if self.awaiting_reply {
+            self.awaiting_reply = false;
+            if let ApiReply::Message(Some(_)) = ctx.reply {
+                self.handled += 1;
+                return Action::Compute(ComputeSpec::app(self.work_instr));
+            }
+        }
+        self.awaiting_reply = true;
+        Action::Call(ApiCall::GetMessage)
+    }
+
+    fn name(&self) -> &'static str {
+        "echo-loop"
+    }
+}
+
+/// Runs ten keystrokes against an echo app under `plan`, returning the
+/// per-event true latencies (cycles; None = never completed) and the
+/// machine for stats inspection.
+fn run_keystrokes(plan: Option<&FaultPlan>) -> (Vec<Option<u64>>, Machine) {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    let app = m.spawn(
+        ProcessSpec::app("echo"),
+        Box::new(EchoLoop {
+            work_instr: 400_000,
+            handled: 0,
+            awaiting_reply: false,
+        }),
+    );
+    m.set_focus(app);
+    if let Some(plan) = plan {
+        m.install_faults(plan);
+    }
+    let ids: Vec<u64> = (0..10)
+        .map(|i| m.schedule_input_at(at_ms(50 + i * 97), InputKind::Key(KeySym::Char('x'))))
+        .collect();
+    m.run_until(at_ms(2_000));
+    let lats = ids
+        .iter()
+        .map(|&id| {
+            m.ground_truth()
+                .event(id)
+                .unwrap()
+                .true_latency()
+                .map(|d| d.cycles())
+        })
+        .collect();
+    (lats, m)
+}
+
+#[test]
+fn same_plan_replays_identically() {
+    let plan = FaultPlan::parse("seed=9;storm:period=300;jitter;input:drop=200,dup=300").unwrap();
+    let (a, ma) = run_keystrokes(Some(&plan));
+    let (b, mb) = run_keystrokes(Some(&plan));
+    assert_eq!(a, b, "same plan + same seed must replay bit-identically");
+    assert_eq!(ma.now(), mb.now());
+    assert_eq!(ma.fault_stats(), mb.fault_stats());
+    assert!(ma.fault_stats().unwrap().total_injections() > 0);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let pa = FaultPlan::parse("seed=1;input:drop=500").unwrap();
+    let pb = FaultPlan::parse("seed=2;input:drop=500").unwrap();
+    let (a, _) = run_keystrokes(Some(&pa));
+    let (b, _) = run_keystrokes(Some(&pb));
+    assert_ne!(a, b, "different seeds should drop different inputs");
+}
+
+#[test]
+fn interrupt_storm_slows_event_handling() {
+    let (clean, _) = run_keystrokes(None);
+    let plan = FaultPlan::parse("storm:period=200,instr=20000").unwrap();
+    let (stormy, m) = run_keystrokes(Some(&plan));
+    let stats = m.fault_stats().unwrap();
+    assert!(stats.storm_interrupts > 100, "storm fired: {stats:?}");
+    let sum = |v: &[Option<u64>]| v.iter().map(|l| l.unwrap()).sum::<u64>();
+    assert!(
+        sum(&stormy) > sum(&clean),
+        "storm must add handling latency: {} vs {}",
+        sum(&stormy),
+        sum(&clean)
+    );
+}
+
+#[test]
+fn window_gates_injection() {
+    // Storm armed only after the workload is over: nothing fires inside it.
+    let plan = FaultPlan::parse("storm:start=100000").unwrap();
+    let (lats, m) = run_keystrokes(Some(&plan));
+    assert_eq!(m.fault_stats().unwrap().storm_interrupts, 0);
+    let (clean, _) = run_keystrokes(None);
+    assert_eq!(lats, clean, "out-of-window fault must be a no-op");
+}
+
+#[test]
+fn dropped_inputs_never_complete() {
+    let plan = FaultPlan::parse("input:drop=1000,dup=0").unwrap();
+    let (lats, m) = run_keystrokes(Some(&plan));
+    assert_eq!(m.fault_stats().unwrap().inputs_dropped, 10);
+    assert!(
+        lats.iter().all(Option::is_none),
+        "dropped inputs must never complete: {lats:?}"
+    );
+}
+
+#[test]
+fn duplicated_inputs_complete_normally() {
+    let plan = FaultPlan::parse("input:drop=0,dup=1000").unwrap();
+    let (lats, m) = run_keystrokes(Some(&plan));
+    let stats = m.fault_stats().unwrap();
+    assert_eq!(stats.inputs_duplicated, 10);
+    assert_eq!(stats.inputs_dropped, 0);
+    assert!(
+        lats.iter().all(Option::is_some),
+        "original inputs still complete: {lats:?}"
+    );
+}
+
+#[test]
+fn jitter_only_perturbs_within_rate() {
+    let plan = FaultPlan::parse("jitter:rate=1000,instr=100000").unwrap();
+    let (_, m) = run_keystrokes(Some(&plan));
+    let stats = m.fault_stats().unwrap();
+    assert!(stats.sched_delays > 0, "every switch jitters: {stats:?}");
+    let zero = FaultPlan::parse("jitter:rate=0").unwrap();
+    let (lats, m) = run_keystrokes(Some(&zero));
+    assert_eq!(m.fault_stats().unwrap().sched_delays, 0);
+    let (clean, _) = run_keystrokes(None);
+    assert_eq!(lats, clean, "rate=0 jitter must be a no-op");
+}

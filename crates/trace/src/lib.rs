@@ -36,7 +36,7 @@ pub use error::TraceError;
 pub use meta::{StreamKind, TraceMeta, FORMAT_VERSION, MAGIC};
 pub use reader::TraceReader;
 pub use record::{ApiRecord, CounterRecord, Record};
-pub use sink::{NullSink, TraceSink, VecSink, WriterSink};
+pub use sink::{FileSink, NullSink, TraceSink, VecSink, WriterSink};
 pub use writer::{TraceWriter, MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS};
 
 /// Default file extension for trace files.

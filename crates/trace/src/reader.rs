@@ -28,6 +28,8 @@ pub struct TraceReader<R: Read> {
     records_read: u64,
     chunks_read: u64,
     done: bool,
+    tolerant: bool,
+    salvaged: Option<TraceError>,
 }
 
 /// Reads exactly `buf.len()` bytes unless EOF intervenes; returns the
@@ -75,7 +77,29 @@ impl<R: Read> TraceReader<R> {
             records_read: 0,
             chunks_read: 0,
             done: false,
+            tolerant: false,
+            salvaged: None,
         })
+    }
+
+    /// Switches the reader into tolerant (salvage) mode.
+    ///
+    /// Chunks are independently framed and CRC-protected, so when a run
+    /// is killed mid-write the file ends in a torn tail: a partial chunk
+    /// header, a short payload, or a payload whose CRC no longer matches.
+    /// In tolerant mode any such chunk-level failure ends the stream
+    /// cleanly instead of erroring: every record of every CRC-valid chunk
+    /// is still yielded, and the suppressed error is reported through
+    /// [`salvaged_error`](TraceReader::salvaged_error). Errors *inside* a
+    /// CRC-valid chunk (impossible without a writer bug) still surface.
+    pub fn set_tolerant(&mut self, tolerant: bool) {
+        self.tolerant = tolerant;
+    }
+
+    /// The chunk-level error suppressed by tolerant mode, if the trace
+    /// turned out to be truncated or torn.
+    pub fn salvaged_error(&self) -> Option<&TraceError> {
+        self.salvaged.as_ref()
     }
 
     /// The stream metadata from the header.
@@ -166,6 +190,12 @@ impl<R: Read> TraceReader<R> {
                 }
                 Err(e) => {
                     self.done = true;
+                    if self.tolerant {
+                        // A torn tail: everything decoded so far came from
+                        // CRC-valid chunks, so salvage it as a clean end.
+                        self.salvaged = Some(e);
+                        return Ok(None);
+                    }
                     return Err(e);
                 }
             }

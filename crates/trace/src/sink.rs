@@ -5,9 +5,12 @@
 //! path can buffer in memory ([`VecSink`], the historical `Vec` path),
 //! stream to disk ([`WriterSink`]), or discard ([`NullSink`]).
 
-use std::io::Write;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 use crate::error::TraceError;
+use crate::meta::TraceMeta;
 use crate::record::Record;
 use crate::writer::TraceWriter;
 
@@ -134,6 +137,67 @@ impl<W: Write + std::fmt::Debug + Send> TraceSink for WriterSink<W> {
         }
         if let Some(w) = self.writer.take() {
             w.finish()?;
+        }
+        Ok(())
+    }
+}
+
+/// Streams records to a trace file atomically: bytes go to `<path>.tmp`,
+/// which is renamed to `path` only when [`finish`](TraceSink::finish)
+/// succeeds. A crashed or killed run therefore never leaves a torn file
+/// under the final name — readers either see a complete trace or nothing.
+/// The staging file it does leave behind is itself salvageable: the
+/// header is flushed eagerly and every complete chunk is CRC-framed, so
+/// `trace inspect --tolerate-truncation <path>.tmp` recovers all records
+/// up to the torn tail.
+#[derive(Debug)]
+pub struct FileSink {
+    writer: Option<TraceWriter<BufWriter<File>>>,
+    error: Option<TraceError>,
+    tmp: PathBuf,
+    path: PathBuf,
+}
+
+impl FileSink {
+    /// Creates `<path>.tmp` and writes the trace header into it.
+    pub fn create(path: impl Into<PathBuf>, meta: TraceMeta) -> Result<Self, TraceError> {
+        let path = path.into();
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let writer = TraceWriter::create(BufWriter::new(File::create(&tmp)?), meta)?;
+        Ok(FileSink {
+            writer: Some(writer),
+            error: None,
+            tmp,
+            path,
+        })
+    }
+
+    /// The final path the trace will land at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TraceSink for FileSink {
+    fn record(&mut self, rec: &Record) {
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.write(rec) {
+                self.error = Some(e);
+                self.writer = None;
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), TraceError> {
+        if let Some(e) = self.error.take() {
+            // Leave the staging file for post-mortem salvage.
+            return Err(e);
+        }
+        if let Some(w) = self.writer.take() {
+            w.finish()?;
+            std::fs::rename(&self.tmp, &self.path)?;
         }
         Ok(())
     }

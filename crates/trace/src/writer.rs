@@ -4,6 +4,21 @@
 //! chunk reaches its record or byte budget it is framed (record count,
 //! payload length, CRC-32) and flushed to the underlying `Write`. Memory
 //! use is bounded by one chunk regardless of trace length.
+//!
+//! # Crash-recovery guarantee
+//!
+//! The self-describing header is written — and the underlying writer
+//! flushed — before [`TraceWriter::create`] returns, so a file that
+//! exists at all carries enough metadata to be opened. Every chunk is
+//! independently framed and CRC-protected, so a process killed mid-run
+//! leaves a file whose prefix of complete chunks is fully decodable: a
+//! reader in tolerant mode (`TraceReader::set_tolerant`) recovers every
+//! CRC-valid chunk and reports the torn tail instead of failing. At most
+//! the records of the final in-memory chunk (≤ [`MAX_CHUNK_RECORDS`])
+//! can be lost. For whole-file atomicity — a final path that either
+//! holds a complete trace or nothing — write through
+//! [`FileSink`](crate::FileSink), which stages into `<path>.tmp` and
+//! renames on finish.
 
 use std::io::Write;
 
@@ -33,9 +48,12 @@ pub struct TraceWriter<W: Write> {
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Starts a new trace: writes the self-describing header immediately.
+    /// Starts a new trace: writes the self-describing header immediately
+    /// and flushes it through the underlying writer, so even a run killed
+    /// right after creation leaves an openable (if empty) trace file.
     pub fn create(mut out: W, meta: TraceMeta) -> Result<Self, TraceError> {
         out.write_all(&meta.encode())?;
+        out.flush()?;
         Ok(TraceWriter {
             out,
             meta,
