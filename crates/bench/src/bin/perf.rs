@@ -6,21 +6,33 @@
 //! latency so every future change has a baseline to answer to:
 //!
 //! ```text
-//! perf [--out FILE] [--iters N] [--jobs N] [id ...]
+//! perf [--out FILE] [--iters N] [--jobs N] [--no-fastforward]
+//!      [--baseline FILE] [--tolerance PCT] [id ...]
 //! ```
 //!
 //! For each scenario it reports per-run wall clock (min and mean over
 //! `--iters` runs) and runs/second; for the whole set it reports the
-//! sequential total, the parallel total under `--jobs` workers, the
-//! speedup, and peak RSS. Results land in `BENCH_repro.json` (override
-//! with `--out`) — the repo-root perf-trajectory file CI regenerates on
-//! every run as a regression gate.
+//! sequential total, the pooled total under `--jobs` workers (default:
+//! one per detected core — the pooled pass is pointless without real
+//! parallelism), the speedup, and peak RSS. Results land in
+//! `BENCH_repro.json` (override with `--out`) — the repo-root
+//! perf-trajectory file CI regenerates on every run as a regression gate.
+//!
+//! With `--baseline FILE`, the fresh per-scenario `wall_ms_min` values are
+//! compared against the committed baseline and the run fails if any
+//! scenario regressed by more than `--tolerance` percent (default 25).
+//! Both `latlab-perf-v1` and `latlab-perf-v2` baselines are accepted.
+//!
+//! `--no-fastforward` times the step-by-step idle path instead of the
+//! batched one — the two produce byte-identical results, so the delta is
+//! pure simulator overhead (this is how the fast-forward speedup itself
+//! is measured).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use latlab_bench::{engine, pool, scenarios};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Per-scenario timing entry.
 #[derive(Serialize)]
@@ -43,12 +55,34 @@ struct BenchReport {
     iters: usize,
     /// Sum of per-scenario mean wall clocks (the sequential cost of the set).
     seq_total_ms: f64,
-    /// One full run of the set through the job pool with `jobs` workers.
+    /// One full run of the set through the job pool with `jobs_pooled`
+    /// workers.
     parallel_total_ms: f64,
-    jobs: usize,
+    /// Workers in the sequential pass (always 1; recorded so the file is
+    /// self-describing).
+    jobs_seq: usize,
+    /// Workers in the pooled pass.
+    jobs_pooled: usize,
     speedup: f64,
+    /// Whether the kernel's idle fast-forward was active during timing.
+    fastforward: bool,
     /// Peak resident set size of this process, if the platform exposes it.
     peak_rss_kb: Option<u64>,
+}
+
+/// Minimal view of a perf report for `--baseline` comparison. Unknown
+/// JSON fields are ignored, so this reads both `latlab-perf-v1` and
+/// `latlab-perf-v2` files.
+#[derive(Deserialize)]
+struct BaselineReport {
+    scenarios: Vec<BaselineScenario>,
+}
+
+/// Per-scenario slice of a baseline file.
+#[derive(Deserialize)]
+struct BaselineScenario {
+    id: String,
+    wall_ms_min: f64,
 }
 
 /// Peak RSS of the current process in kB (`VmHWM`), Linux only.
@@ -61,10 +95,62 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// Absolute slowdown below which a percentage regression is treated as
+/// timer/scheduler noise rather than a real hot-path change. Sub-millisecond
+/// scenarios can double from one run to the next on a shared runner; a real
+/// regression on them still surfaces through the scenarios that run long
+/// enough to measure.
+const GATE_NOISE_FLOOR_MS: f64 = 2.0;
+
+/// Compares fresh timings against a committed baseline; returns the list
+/// of scenarios that regressed beyond `tolerance_pct`.
+fn gate_against_baseline(
+    baseline: &BaselineReport,
+    fresh: &[ScenarioBench],
+    tolerance_pct: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for base in &baseline.scenarios {
+        let Some(now) = fresh.iter().find(|e| e.id == base.id) else {
+            // Scenario absent from this run (subset invocation or removed);
+            // nothing to gate.
+            continue;
+        };
+        if base.wall_ms_min <= 0.0 {
+            continue;
+        }
+        let ratio = now.wall_ms_min / base.wall_ms_min;
+        let delta_pct = (ratio - 1.0) * 100.0;
+        let delta_ms = now.wall_ms_min - base.wall_ms_min;
+        let regressed = delta_pct > tolerance_pct && delta_ms > GATE_NOISE_FLOOR_MS;
+        let verdict = if regressed {
+            "REGRESSED"
+        } else if delta_pct > tolerance_pct {
+            "ok (below noise floor)"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  gate {:<10} {:>9.2} ms vs baseline {:>9.2} ms ({delta_pct:+.1}%) {verdict}",
+            base.id, now.wall_ms_min, base.wall_ms_min
+        );
+        if regressed {
+            regressions.push(format!(
+                "{}: {:.2} ms vs baseline {:.2} ms ({delta_pct:+.1}% > {tolerance_pct}%)",
+                base.id, now.wall_ms_min, base.wall_ms_min
+            ));
+        }
+    }
+    regressions
+}
+
 fn main() -> ExitCode {
     let mut out = String::from("BENCH_repro.json");
     let mut iters = 3usize;
     let mut jobs = 0usize;
+    let mut fastforward = true;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance_pct = 25.0f64;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,8 +174,22 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--no-fastforward" => fastforward = false,
+            "--baseline" => {
+                baseline_path = Some(args.next().expect("--baseline requires a file name"));
+            }
+            "--tolerance" => {
+                tolerance_pct = match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0.0 => n,
+                    _ => {
+                        eprintln!("--tolerance requires a positive percentage");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: perf [--out FILE] [--iters N] [--jobs N] [id ...]");
+                println!("usage: perf [--out FILE] [--iters N] [--jobs N] [--no-fastforward]");
+                println!("            [--baseline FILE] [--tolerance PCT] [id ...]");
                 println!("ids: {:?}", scenarios::ALL_IDS);
                 return ExitCode::SUCCESS;
             }
@@ -107,11 +207,18 @@ fn main() -> ExitCode {
         eprintln!("known ids: {:?}", scenarios::ALL_IDS);
         return ExitCode::FAILURE;
     }
-    let jobs = pool::resolve_jobs(jobs);
+    // The pooled pass defaults to one worker per detected core; `--jobs`
+    // overrides. (The sequential pass is, by definition, one worker.)
+    let jobs_pooled = pool::resolve_jobs(jobs);
+    // Phase 1 runs scenarios on this thread, so the thread-local default
+    // covers it; the pooled pass gets the same setting via EngineConfig.
+    let _ff = latlab_os::fastforward::override_default(fastforward);
 
     eprintln!(
-        "perf: timing {} scenario(s), {iters} iter(s) each, pool of {jobs} worker(s)",
-        ids.len()
+        "perf: timing {} scenario(s), {iters} iter(s) each, pool of {jobs_pooled} worker(s), \
+         fast-forward {}",
+        ids.len(),
+        if fastforward { "on" } else { "off" },
     );
 
     // Phase 1: per-scenario sequential timing.
@@ -169,11 +276,9 @@ fn main() -> ExitCode {
 
     // Phase 2: one full pass of the set through the job pool.
     let cfg = engine::EngineConfig {
-        jobs,
-        out_dir: None,
-        record_dir: None,
-        faults: None,
-        timeout: None,
+        jobs: jobs_pooled,
+        fastforward,
+        ..engine::EngineConfig::default()
     };
     let t0 = Instant::now();
     let runs = engine::run_scenarios(&ids, &cfg, |_| {});
@@ -186,13 +291,15 @@ fn main() -> ExitCode {
     }
 
     let report = BenchReport {
-        schema: "latlab-perf-v1".to_string(),
+        schema: "latlab-perf-v2".to_string(),
         scenarios: entries,
         iters,
         seq_total_ms,
         parallel_total_ms,
-        jobs,
+        jobs_seq: 1,
+        jobs_pooled,
         speedup: seq_total_ms / parallel_total_ms.max(1e-9),
+        fastforward,
         peak_rss_kb: peak_rss_kb(),
     };
     let json = match serde_json::to_string_pretty(&report) {
@@ -207,10 +314,35 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "perf: sequential {seq_total_ms:.0} ms, pool({jobs}) {parallel_total_ms:.0} ms \
+        "perf: sequential {seq_total_ms:.0} ms, pool({jobs_pooled}) {parallel_total_ms:.0} ms \
          ({:.2}x), report in {out}",
         report.speedup
     );
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline: BaselineReport = match serde_json::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot parse baseline {path}: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("perf: gating against {path} (tolerance {tolerance_pct}%)");
+        let regressions = gate_against_baseline(&baseline, &report.scenarios, tolerance_pct);
+        if !regressions.is_empty() {
+            eprintln!("perf: {} scenario(s) regressed:", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
     if any_failed {
         eprintln!("perf: WARNING — some shape checks failed during timing runs");
         return ExitCode::FAILURE;

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--out DIR] [--record DIR] [--jobs N] [--faults SPEC]
-//!       [--timeout SECS] [--list] [id ...]
+//!       [--timeout SECS] [--no-fastforward] [--list] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs in presentation order. Artifacts
@@ -28,6 +28,11 @@
 //! A scenario that panics — or exceeds `--timeout SECS` — is reported as
 //! `FAILED` while every other scenario still runs to completion; the exit
 //! code is non-zero only after the whole pass finishes.
+//!
+//! `--no-fastforward` disables the kernel's batched idle-loop simulation.
+//! The fast-forward contract makes every output byte-identical either way
+//! (stdout, artifacts, traces); the flag exists for equivalence audits and
+//! for benchmarking the step-by-step path.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -50,11 +55,8 @@ fn parse_faults(arg: &str) -> Result<FaultPlan, String> {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut cfg = engine::EngineConfig {
-        jobs: 0,
         out_dir: Some(PathBuf::from("results")),
-        record_dir: None,
-        faults: None,
-        timeout: None,
+        ..engine::EngineConfig::default()
     };
     let mut ids: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
@@ -99,6 +101,9 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--no-fastforward" => {
+                cfg.fastforward = false;
+            }
             "--list" => {
                 for id in scenarios::ALL_IDS {
                     println!("{id:<10} {}", scenarios::description(id));
@@ -109,7 +114,7 @@ fn main() -> ExitCode {
                 println!(
                     "usage: repro [--out DIR] [--record DIR] [--jobs N] [--faults SPEC|@FILE]"
                 );
-                println!("             [--timeout SECS] [--list] [id ...]");
+                println!("             [--timeout SECS] [--no-fastforward] [--list] [id ...]");
                 println!(
                     "ids (see --list for descriptions): {:?}",
                     scenarios::ALL_IDS

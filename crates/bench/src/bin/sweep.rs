@@ -14,7 +14,7 @@ use latlab_os::OsProfile;
 
 fn usage() {
     println!(
-        "usage: sweep --os <nt351|nt40|win95> --param <name> --metric <name> --values a,b,c [--jobs N]"
+        "usage: sweep --os <nt351|nt40|win95> --param <name> --metric <name> --values a,b,c [--jobs N] [--no-fastforward]"
     );
     println!("params:  {}", SweepParam::ALL.map(|p| p.name()).join(", "));
     println!("metrics: {}", SweepMetric::ALL.map(|m| m.name()).join(", "));
@@ -26,9 +26,11 @@ fn main() -> ExitCode {
     let mut metric = None;
     let mut values: Vec<u64> = Vec::new();
     let mut jobs = 0usize;
+    let mut fastforward = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--no-fastforward" => fastforward = false,
             "--jobs" => {
                 jobs = match args.next().and_then(|n| n.parse().ok()) {
                     Some(n) if n > 0 => n,
@@ -103,6 +105,8 @@ fn main() -> ExitCode {
     );
     // Supervised: a point that panics is reported below, after every other
     // point has still been measured; only then does the exit code go red.
+    // Workers inherit this thread's fast-forward setting.
+    let _ff = latlab_os::fastforward::override_default(fastforward);
     let outcomes = run_sweep_supervised(os, param, metric, &values, jobs, None);
     let max = outcomes
         .iter()

@@ -31,7 +31,7 @@ use crate::report::ExperimentReport;
 use crate::{faultcfg, pool, record, scenarios};
 
 /// Configuration of an engine run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker threads; `0` means one per available core, `1` means the
     /// plain sequential path.
@@ -48,6 +48,25 @@ pub struct EngineConfig {
     /// abandoned and reported as [`ScenarioOutcome::Failed`]. `None` waits
     /// forever.
     pub timeout: Option<Duration>,
+    /// Whether machines may batch idle-loop spans (the kernel's idle
+    /// fast-forward). Defaults to `true`; the contract makes every
+    /// observable byte-identical either way, so `false` exists only for
+    /// benchmarking the step path and for equivalence audits
+    /// (`--no-fastforward`).
+    pub fastforward: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 0,
+            out_dir: None,
+            record_dir: None,
+            faults: None,
+            timeout: None,
+            fastforward: true,
+        }
+    }
 }
 
 /// How one scenario ended.
@@ -184,6 +203,7 @@ impl Drop for RecordingGuard {
 /// artifact writing; the unit of work the pool schedules.
 fn run_one(id: &str, cfg: &EngineConfig) -> ScenarioRun {
     let _faults = faultcfg::override_plan(cfg.faults.clone());
+    let _ff = latlab_os::fastforward::override_default(cfg.fastforward);
     let _recording = RecordingGuard;
     if let Some(dir) = &cfg.record_dir {
         record::enable_scoped(dir, id)

@@ -245,7 +245,9 @@ pub fn run_sweep(
 /// Runs a sweep with each point's simulation fanned out across `jobs`
 /// worker threads (`0` = one per core). Every point is an independent
 /// deterministic simulation, so the result vector is identical — in
-/// values and order — to the sequential run.
+/// values and order — to the sequential run. Workers inherit the calling
+/// thread's idle fast-forward setting (not that it matters for results:
+/// the fast-forward contract is bit-identical observables either way).
 pub fn run_sweep_jobs(
     profile: OsProfile,
     param: SweepParam,
@@ -253,7 +255,9 @@ pub fn run_sweep_jobs(
     values: &[u64],
     jobs: usize,
 ) -> Vec<SweepPoint> {
-    crate::pool::run_collect(crate::pool::resolve_jobs(jobs), values.len(), |i| {
+    let ff = latlab_os::fastforward::default_enabled();
+    crate::pool::run_collect(crate::pool::resolve_jobs(jobs), values.len(), move |i| {
+        let _ff = latlab_os::fastforward::override_default(ff);
         let value = values[i];
         let mut params = profile.params();
         param.apply(&mut params, value);
@@ -279,12 +283,14 @@ pub fn run_sweep_supervised(
 ) -> Vec<(u64, crate::pool::JobOutcome<SweepPoint>)> {
     let values: std::sync::Arc<Vec<u64>> = std::sync::Arc::new(values.to_vec());
     let worker_values = std::sync::Arc::clone(&values);
+    let ff = latlab_os::fastforward::default_enabled();
     let mut out = Vec::with_capacity(values.len());
     crate::pool::run_supervised(
         crate::pool::resolve_jobs(jobs),
         values.len(),
         timeout,
         move |i| {
+            let _ff = latlab_os::fastforward::override_default(ff);
             let value = worker_values[i];
             let mut params = profile.params();
             param.apply(&mut params, value);

@@ -1,0 +1,135 @@
+//! Idle fast-forward equivalence: the batched idle-loop path must be
+//! observationally indistinguishable from the step-by-step path. Every
+//! scenario — including the `faults` fault matrix, and a pass with an
+//! ambient representative `FaultPlan` — is run with fast-forward on and
+//! off, and everything an experiment can observe is compared: rendered
+//! reports (which embed every scenario check result), artifact files
+//! (CSV + checks.json), and recorded binary `.ltrc` traces, byte for byte.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use latlab_bench::engine::{run_scenarios, EngineConfig};
+use latlab_bench::scenarios;
+use latlab_faults::FaultPlan;
+
+/// Reads every file under `dir` into a name → bytes map.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    out
+}
+
+fn run(
+    ids: &[String],
+    fastforward: bool,
+    faults: Option<FaultPlan>,
+    tag: &str,
+) -> (Vec<String>, PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("latlab-ff-test-{tag}-{fastforward}"));
+    let _ = std::fs::remove_dir_all(&base);
+    let out_dir = base.join("out");
+    let record_dir = base.join("rec");
+    let cfg = EngineConfig {
+        out_dir: Some(out_dir.clone()),
+        record_dir: Some(record_dir.clone()),
+        faults,
+        fastforward,
+        ..EngineConfig::default()
+    };
+    let mut rendered = Vec::new();
+    let runs = run_scenarios(ids, &cfg, |run| {
+        assert!(run.failure().is_none(), "{:?}", run.failure());
+        assert!(
+            run.artifact_errors().is_empty(),
+            "{:?}",
+            run.artifact_errors()
+        );
+        for r in run.reports() {
+            rendered.push(r.render());
+        }
+    });
+    assert_eq!(runs.len(), ids.len());
+    (rendered, out_dir, record_dir)
+}
+
+/// Asserts the two runs produced identical reports, artifacts and traces,
+/// then removes their temp dirs.
+fn assert_equivalent(
+    (on_reports, on_out, on_rec): (Vec<String>, PathBuf, PathBuf),
+    (off_reports, off_out, off_rec): (Vec<String>, PathBuf, PathBuf),
+    expect_traces: bool,
+) {
+    // Rendered report text embeds every check's pass/fail and observed
+    // value: identical reports mean identical check results.
+    assert_eq!(on_reports, off_reports);
+
+    let on_files = dir_bytes(&on_out);
+    let off_files = dir_bytes(&off_out);
+    assert_eq!(
+        on_files.keys().collect::<Vec<_>>(),
+        off_files.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in &on_files {
+        assert_eq!(bytes, &off_files[name], "artifact {name} differs");
+    }
+
+    let on_traces = dir_bytes(&on_rec);
+    let off_traces = dir_bytes(&off_rec);
+    if expect_traces {
+        assert!(
+            on_traces.keys().any(|k| k.ends_with(".ltrc")),
+            "expected recorded .ltrc traces, got {:?}",
+            on_traces.keys().collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(
+        on_traces.keys().collect::<Vec<_>>(),
+        off_traces.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in &on_traces {
+        assert_eq!(bytes, &off_traces[name], "trace {name} differs");
+    }
+
+    for d in [on_out, on_rec, off_out, off_rec] {
+        let _ = std::fs::remove_dir_all(d.parent().unwrap());
+    }
+}
+
+#[test]
+fn fastforward_is_bit_identical_across_every_scenario() {
+    let ids: Vec<String> = scenarios::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    let on = run(&ids, true, None, "all");
+    let off = run(&ids, false, None, "all");
+    assert_equivalent(on, off, true);
+}
+
+#[test]
+fn fastforward_is_bit_identical_under_an_ambient_fault_plan() {
+    // A representative multi-class plan (interrupt storms + scheduling
+    // jitter + input drop/dup) layered over a trace-recording scenario:
+    // fault-perturbed runs must stay bit-identical too.
+    let plan = FaultPlan::parse(
+        "seed=7;storm:period=5000,instr=15000;jitter:rate=300;input:drop=100,dup=100",
+    )
+    .expect("representative fault plan parses");
+    let ids: Vec<String> = ["fig5", "faults"].iter().map(|s| s.to_string()).collect();
+    let on = run(&ids, true, Some(plan.clone()), "faulted");
+    let off = run(&ids, false, Some(plan), "faulted");
+    assert_equivalent(on, off, true);
+}

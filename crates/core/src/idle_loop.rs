@@ -14,8 +14,8 @@
 use latlab_des::SimDuration;
 use latlab_hw::HwMix;
 use latlab_os::{
-    Action, ApiCall, ApiReply, ComputeSpec, Machine, MixClass, OsParams, Priority, ProcessSpec,
-    Program, StepCtx, ThreadId,
+    Action, ApiCall, ApiReply, ComputeSpec, IdleCycle, Machine, MixClass, OsParams, Priority,
+    ProcessSpec, Program, StepCtx, ThreadId,
 };
 
 use crate::trace::IdleTrace;
@@ -118,6 +118,45 @@ impl Program for IdleLoopProgram {
 
     fn name(&self) -> &'static str {
         "idle-loop-monitor"
+    }
+
+    fn idle_cycle(&self) -> Option<IdleCycle> {
+        // Only at an iteration boundary: mid-iteration the kernel must walk
+        // the remaining steps itself.
+        match self.phase {
+            Phase::Spin => {}
+            Phase::ReadStamp | Phase::Store => return None,
+        }
+        let spin = match self.spin_action() {
+            Action::Compute(spec) => spec,
+            other => unreachable!("spin action is a compute, got {other:?}"),
+        };
+        let remaining = self.config.buffer_capacity.saturating_sub(self.produced);
+        Some(if remaining == 0 {
+            // Buffer full: the loop keeps spinning but records nothing, and
+            // the shape never changes again.
+            IdleCycle {
+                spin,
+                emits: false,
+                max_iterations: u64::MAX,
+            }
+        } else {
+            IdleCycle {
+                spin,
+                emits: true,
+                max_iterations: remaining as u64,
+            }
+        })
+    }
+
+    fn idle_cycle_advance(&mut self, iterations: u64) {
+        if self.produced < self.config.buffer_capacity {
+            // Each emitting iteration stores one record; the kernel never
+            // advances an emitting cycle past the buffer capacity.
+            self.produced += iterations as usize;
+            debug_assert!(self.produced <= self.config.buffer_capacity);
+        }
+        // Phase stays Spin: whole iterations end where they began.
     }
 }
 
@@ -260,5 +299,62 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_n_rejected() {
         let _ = IdleLoopProgram::new(IdleLoopConfig::with_n(0));
+    }
+
+    #[test]
+    fn fast_forward_stamps_are_bit_identical() {
+        for profile in OsProfile::ALL {
+            let params = profile.params();
+            let n = calibrate_n(&params, params.freq.ms(1));
+            let run = |ff: bool| {
+                let mut machine = Machine::new(params.clone());
+                machine.set_fast_forward(ff);
+                let handle = install(&mut machine, IdleLoopConfig::with_n(n));
+                machine.run_for(params.freq.ms(300));
+                machine.take_emitted(handle.thread())
+            };
+            let fast = run(true);
+            assert!(!fast.is_empty());
+            assert_eq!(fast, run(false), "{profile}: stamp streams diverge");
+        }
+    }
+
+    #[test]
+    fn fast_forward_respects_buffer_capacity() {
+        let params = OsProfile::Nt40.params();
+        let run = |ff: bool| {
+            let mut machine = Machine::new(params.clone());
+            machine.set_fast_forward(ff);
+            let handle = install(
+                &mut machine,
+                IdleLoopConfig {
+                    n_instr: 100_000,
+                    buffer_capacity: 10,
+                },
+            );
+            machine.run_for(params.freq.ms(100));
+            machine.take_emitted(handle.thread())
+        };
+        let fast = run(true);
+        assert_eq!(fast.len(), 10, "buffer must cap at capacity");
+        assert_eq!(fast, run(false));
+    }
+
+    #[test]
+    fn calibration_identical_with_and_without_fast_forward() {
+        let params = OsProfile::Win95.params();
+        let target = params.freq.ms(1);
+        let n_fast = {
+            let _g = latlab_os::fastforward::override_default(true);
+            calibrate_n(&params, target)
+        };
+        let n_step = {
+            let _g = latlab_os::fastforward::override_default(false);
+            calibrate_n(&params, target)
+        };
+        assert_eq!(
+            n_fast, n_step,
+            "calibration must not depend on fast-forward"
+        );
     }
 }

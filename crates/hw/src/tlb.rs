@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 /// One TLB (instruction or data side).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Tlb {
     capacity: u32,
     resident: u32,
@@ -65,7 +65,7 @@ impl Tlb {
 }
 
 /// The Pentium's split TLB pair (instruction + data).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TlbPair {
     /// Instruction TLB (32 entries on the Pentium).
     pub itlb: Tlb,

@@ -1,0 +1,76 @@
+//! Thread-local default for the kernel's idle fast-forward.
+//!
+//! Fast-forward is a pure performance optimization with a bit-identical
+//! observables contract (see `Machine::try_fast_forward`), so it defaults
+//! **on**. The `--no-fastforward` escape hatch keeps the iterative path
+//! alive as the oracle: the bench harness installs an override on whichever
+//! worker thread picks up a scenario, and every [`crate::Machine::new`] on
+//! that thread — including calibration scratch machines — captures the
+//! setting at boot. Thread-locality mirrors `latlab-bench`'s fault-plan
+//! configuration: no cross-test races, and a crashed scenario can never
+//! leak its setting into the next job on the same worker.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DEFAULT: Cell<bool> = const { Cell::new(true) };
+}
+
+/// The fast-forward default new machines on this thread boot with.
+pub fn default_enabled() -> bool {
+    DEFAULT.with(Cell::get)
+}
+
+/// RAII guard restoring the previous default on drop.
+///
+/// Dropping during a panic unwind also restores state.
+pub struct FastForwardOverride {
+    prev: bool,
+}
+
+impl Drop for FastForwardOverride {
+    fn drop(&mut self) {
+        DEFAULT.with(|d| d.set(self.prev));
+    }
+}
+
+/// Sets the fast-forward default for machines subsequently built on this
+/// thread, returning a guard that restores the previous setting.
+pub fn override_default(enabled: bool) -> FastForwardOverride {
+    let prev = DEFAULT.with(|d| d.replace(enabled));
+    FastForwardOverride { prev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_on() {
+        assert!(default_enabled());
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        {
+            let _outer = override_default(false);
+            assert!(!default_enabled());
+            {
+                let _inner = override_default(true);
+                assert!(default_enabled());
+            }
+            assert!(!default_enabled());
+        }
+        assert!(default_enabled());
+    }
+
+    #[test]
+    fn restores_across_panic_unwind() {
+        let caught = std::panic::catch_unwind(|| {
+            let _guard = override_default(false);
+            panic!("scenario died");
+        });
+        assert!(caught.is_err());
+        assert!(default_enabled(), "unwind must not leak the override");
+    }
+}

@@ -17,7 +17,9 @@ use std::collections::VecDeque;
 use latlab_des::{EventQueue, SimDuration, SimRng, SimTime};
 use latlab_faults::{FaultKind, FaultPlan, FaultStats};
 use latlab_hw::disk::BLOCK_SIZE;
-use latlab_hw::{CounterBank, CounterError, CounterId, Disk, EventCounts, HwEvent, Ring};
+use latlab_hw::{
+    CounterBank, CounterError, CounterId, Disk, EventCounts, HwEvent, Ring, WorkCharge,
+};
 use latlab_trace::{Record as TraceRecord, TraceSink, VecSink};
 
 use crate::apilog::{ApiEntry, ApiLog, ApiLogEntry, ApiOutcome};
@@ -27,7 +29,8 @@ use crate::ground_truth::GroundTruth;
 use crate::msgq::{InputKind, Message, MessageQueue};
 use crate::profile::OsParams;
 use crate::program::{
-    Action, ApiCall, ApiReply, AppTraits, GtMark, Priority, ProcessSpec, Program, StepCtx, ThreadId,
+    Action, ApiCall, ApiReply, AppTraits, ComputeSpec, GtMark, Priority, ProcessSpec, Program,
+    StepCtx, ThreadId,
 };
 use crate::sched::Scheduler;
 use crate::statelog::{IoKind, StateLog, Transition};
@@ -35,6 +38,39 @@ use crate::win32::{CostEngine, WorkKind, WorkPacket};
 
 /// Maximum zero-cost program steps before the kernel declares a runaway.
 const RUNAWAY_STEP_LIMIT: u32 = 10_000;
+
+/// Cost of `ApiCall::ReadCycleCounter`: RDTSC plus a little glue — ~10
+/// instructions of app code. Shared by the call path and the idle
+/// fast-forward, which must replay the exact same cost.
+const READ_CYCLES_SPEC: ComputeSpec = ComputeSpec {
+    instructions: 10,
+    class: crate::program::MixClass::App,
+    code_pages: 1,
+    data_pages: 1,
+};
+
+/// Cost of `ApiCall::Emit`: a buffered store of one trace record (§2.3's
+/// `generate_trace_record`) — ~50 instructions. Shared with fast-forward.
+const EMIT_SPEC: ComputeSpec = ComputeSpec {
+    instructions: 50,
+    class: crate::program::MixClass::App,
+    code_pages: 1,
+    data_pages: 2,
+};
+
+/// Counters for the idle fast-forward engine (diagnostic only; exposed via
+/// [`Machine::fast_forward_stats`]).
+#[derive(Default)]
+struct FastForwardStats {
+    /// Batches committed (calls that fast-forwarded at least one iteration).
+    batches: u64,
+    /// Iterations costed on the warm path ([`CostEngine::compute_warm`],
+    /// TLB verified resident).
+    warm_iters: u64,
+    /// Iterations costed through the generic [`CostEngine::compute`] path
+    /// (cold TLB at batch entry).
+    cold_iters: u64,
+}
 
 /// `Message::User` payload delivered to a window losing input focus.
 pub const FOCUS_LOST: u32 = 0xF0C0_0000;
@@ -225,7 +261,7 @@ struct FaultEngine {
 }
 
 /// Summary statistics a run exposes.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct MachineStats {
     /// Context switches performed.
     pub context_switches: u64,
@@ -303,6 +339,17 @@ pub struct Machine {
     last_ran: Option<ThreadId>,
     stats: MachineStats,
     faults: Option<FaultEngine>,
+    /// Idle fast-forward enabled (captured from the thread-local default at
+    /// boot; see [`crate::fastforward`]).
+    fastforward: bool,
+    /// Fast-forward diagnostic counters.
+    ff_stats: FastForwardStats,
+    /// Scratch buffer for batched idle stamps (reused across batches to
+    /// keep the fast-forward commit allocation-free).
+    ff_stamps: Vec<u64>,
+    /// Main-loop turns taken, for O(events) regression tests only — not
+    /// part of the machine's observable state.
+    loop_turns: u64,
     /// Optional tee for idle-loop stamps: every `Emit` also lands here.
     stamp_sink: Option<Box<dyn TraceSink>>,
     /// Optional tee for the API log: every entry also lands here as a
@@ -350,6 +397,10 @@ impl Machine {
             last_ran: None,
             stats: MachineStats::default(),
             faults: None,
+            fastforward: crate::fastforward::default_enabled(),
+            ff_stats: FastForwardStats::default(),
+            ff_stamps: Vec::new(),
+            loop_turns: 0,
             stamp_sink: None,
             api_sink: None,
         }
@@ -631,6 +682,38 @@ impl Machine {
         self.api_sink.take()
     }
 
+    /// Enables or disables idle fast-forward, overriding the thread-local
+    /// default captured at boot. Fast-forward is observationally
+    /// transparent (see [`Machine::try_fast_forward`]); disabling it keeps
+    /// the step-by-step path alive as the equivalence oracle.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fastforward = enabled;
+    }
+
+    /// Whether idle fast-forward is enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fastforward
+    }
+
+    /// Idle fast-forward statistics: `(batches, warm_iters, cold_iters)` —
+    /// committed batches, iterations costed on the warm accumulator-only
+    /// path, and iterations that went through the generic TLB-touching
+    /// path. Diagnostic only — exposed for tests and benches.
+    pub fn fast_forward_stats(&self) -> (u64, u64, u64) {
+        (
+            self.ff_stats.batches,
+            self.ff_stats.warm_iters,
+            self.ff_stats.cold_iters,
+        )
+    }
+
+    /// Main-loop turns taken so far. Diagnostic only (regression tests
+    /// assert quiescence is reached in O(events) turns); not part of the
+    /// machine's observable state.
+    pub fn debug_loop_turns(&self) -> u64 {
+        self.loop_turns
+    }
+
     /// Appends to the API log and forwards to the API tee, if any.
     fn log_api(&mut self, entry: ApiLogEntry) {
         if let Some(sink) = self.api_sink.as_deref_mut() {
@@ -685,7 +768,20 @@ impl Machine {
 
     /// Runs the machine until `t_end`.
     pub fn run_until(&mut self, t_end: SimTime) {
+        self.run_loop(t_end, false);
+    }
+
+    /// The main loop. With `until_quiescent`, additionally returns as soon
+    /// as [`Machine::is_quiescent`] holds — checked once per loop turn, i.e.
+    /// at every event boundary and dispatch return, rather than on a fixed
+    /// polling grid: quiescence is observed at the exact instant the last
+    /// piece of work retires.
+    fn run_loop(&mut self, t_end: SimTime, until_quiescent: bool) -> bool {
         while self.now < t_end {
+            if until_quiescent && self.is_quiescent() {
+                return true;
+            }
+            self.loop_turns += 1;
             // 1. Fire due events.
             if let Some((_, ev)) = self.pending.pop_due(self.now) {
                 self.handle_event(ev);
@@ -717,6 +813,7 @@ impl Machine {
             };
             self.run_thread(tid, t_end);
         }
+        until_quiescent && self.is_quiescent()
     }
 
     /// Runs for a duration.
@@ -726,18 +823,12 @@ impl Machine {
     }
 
     /// Runs until the machine is quiescent (see [`Machine::is_quiescent`]),
-    /// checking every millisecond, up to `limit`. Returns true if quiescence
-    /// was reached.
+    /// up to `limit`. Returns true if quiescence was reached. Quiescence is
+    /// re-checked at every loop turn (event boundaries and dispatch
+    /// returns) — not on a polling grid — so a long-idle machine reaches it
+    /// in O(events) loop iterations.
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> bool {
-        let step = self.params.freq.ms(1);
-        while self.now < limit {
-            if self.is_quiescent() {
-                return true;
-            }
-            let target = (self.now + step).min(limit);
-            self.run_until(target);
-        }
-        self.is_quiescent()
+        self.run_loop(limit, true)
     }
 
     // --- Event handling ---------------------------------------------------
@@ -1199,8 +1290,13 @@ impl Machine {
                 ThreadState::Ready => {}
                 _ => return, // Blocked or exited inside this dispatch.
             }
-            if self.thread(tid).exec.is_none() && !self.step_program(tid) {
-                return; // Yielded or exited.
+            if self.thread(tid).exec.is_none() {
+                if self.try_fast_forward(tid, t_end) {
+                    continue; // Batch committed; re-evaluate the horizon.
+                }
+                if !self.step_program(tid) {
+                    return; // Yielded or exited.
+                }
             }
             if self.thread(tid).exec.is_none() {
                 continue; // Inline action consumed; step again.
@@ -1236,6 +1332,225 @@ impl Machine {
             self.requeue_front(tid);
             return;
         }
+    }
+
+    /// Idle fast-forward: batch-executes whole idle-loop iterations.
+    ///
+    /// When the dispatched thread is the measurement idle loop
+    /// ([`Priority::MEASUREMENT`]), it is the only runnable thread, no
+    /// quirk busy-wait is active, and the program sits at an iteration
+    /// boundary of a declared [`crate::program::IdleCycle`], every
+    /// iteration that completes strictly before the next pending event (or
+    /// `t_end`) is executed here in one batch instead of through
+    /// `step_program`/`charge_thread`/`resolve_outcome`.
+    ///
+    /// The contract is **bit-identical observables** with the step path:
+    /// the per-iteration cost packets are produced by the same
+    /// [`CostEngine`] calls in the same order (the mix accumulators carry
+    /// fractional-event remainders, so packet costs vary iteration to
+    /// iteration and cannot be extrapolated), counters advance by exactly
+    /// the per-packet totals (prorated charging telescopes), stamps carry
+    /// the same read-packet-end instants, and the straddling iteration —
+    /// which the step path begins eagerly, costing its spin packet before
+    /// discovering an event is due — is left for the step path to cost
+    /// identically. A trial iteration that does not fit is rolled back via
+    /// [`CostEngine::snapshot`]. Quantum expiries inside the batch only
+    /// rotate a solo thread back to itself, so the final `quantum_left` is
+    /// computed in closed form. Returns true if at least one iteration was
+    /// committed.
+    fn try_fast_forward(&mut self, tid: ThreadId, t_end: SimTime) -> bool {
+        if !self.fastforward {
+            return false;
+        }
+        {
+            let t = self.thread(tid);
+            if t.priority != Priority::MEASUREMENT || t.exec.is_some() {
+                return false;
+            }
+        }
+        // The dispatched thread is already popped, so any ready thread is a
+        // preemptor (equal priority would round-robin mid-batch; higher
+        // would preempt outright).
+        if !self.sched.is_empty() {
+            return false;
+        }
+        // Quirk busy-waits own the CPU ahead of all threads. The main loop
+        // services them before dispatching, so this is defensive.
+        if self.mouse_spin || self.lag_until.is_some() {
+            return false;
+        }
+        let horizon = match self.pending.peek_time() {
+            Some(at) => at.min(t_end),
+            None => t_end,
+        };
+        if horizon <= self.now {
+            return false;
+        }
+        let q0 = self.thread(tid).quantum_left;
+        let quantum = self.params.quantum().cycles();
+        let mut committed = 0u64;
+        let mut batch_cycles = 0u64;
+        let mut batch_events = EventCounts::ZERO;
+        self.ff_stamps.clear();
+        // Re-query the cycle shape each segment: it changes when the
+        // trace buffer fills (`emits` flips off).
+        'segments: while let Some(cycle) = self.thread(tid).program.idle_cycle() {
+            if cycle.spin.instructions == 0 || cycle.max_iterations == 0 {
+                break;
+            }
+            // Segment-constant warm-path inputs: the working set the
+            // iteration's packets touch, and whether the spin's mix
+            // generates events at all. A zero-rate mix leaves the
+            // accumulator remainders untouched, so the spin charge is
+            // state-independent — computed once and reused.
+            let (need_code, need_data) = if cycle.emits {
+                (
+                    cycle
+                        .spin
+                        .code_pages
+                        .max(READ_CYCLES_SPEC.code_pages)
+                        .max(EMIT_SPEC.code_pages),
+                    cycle
+                        .spin
+                        .data_pages
+                        .max(READ_CYCLES_SPEC.data_pages)
+                        .max(EMIT_SPEC.data_pages),
+                )
+            } else {
+                (cycle.spin.code_pages, cycle.spin.data_pages)
+            };
+            let spin_mix = self.cost.mix_for(cycle.spin.class);
+            let spin_is_flat = spin_mix.data_refs_per_k == 0
+                && spin_mix.itlb_miss_per_k == 0
+                && spin_mix.dtlb_miss_per_k == 0
+                && spin_mix.seg_loads_per_k == 0
+                && spin_mix.unaligned_per_k == 0;
+            let mut spin_const: Option<WorkCharge> = None;
+            let mut seg = 0u64;
+            let mut hit_horizon = false;
+            while seg < cycle.max_iterations {
+                let snap = self.cost.snapshot();
+                let warm = self.cost.tlb_covers(need_code, need_data);
+                let (iter_cycles, stamp_offset, iter_events) = if warm {
+                    // Steady state: every TLB touch is a no-op, so the
+                    // iteration's packets are pure accumulator charges
+                    // ([`CostEngine::compute_warm`] ≡ `compute` here).
+                    let spin = match spin_const {
+                        Some(c) => c,
+                        None => {
+                            let c = self.cost.compute_warm(&cycle.spin);
+                            if spin_is_flat {
+                                spin_const = Some(c);
+                            }
+                            c
+                        }
+                    };
+                    let mut cyc = spin.cycles;
+                    let mut ev = spin.events;
+                    let mut off = 0u64;
+                    if cycle.emits {
+                        let read = self.cost.compute_warm(&READ_CYCLES_SPEC);
+                        let emit = self.cost.compute_warm(&EMIT_SPEC);
+                        // The stamp is the cycle counter at the end of the
+                        // read packet (`Outcome::ReadCycles` replies `now`).
+                        off = spin.cycles + read.cycles;
+                        cyc += read.cycles + emit.cycles;
+                        ev.accumulate(&read.events);
+                        ev.accumulate(&emit.events);
+                    }
+                    (cyc, off, ev)
+                } else {
+                    // Cold TLB (batch entry right after non-idle work):
+                    // the generic path warms it for the rest of the batch.
+                    let spin = self.cost.compute(&cycle.spin);
+                    let mut cyc = spin.cycles;
+                    let mut ev = spin.events;
+                    let mut off = 0u64;
+                    if cycle.emits {
+                        let read = self.cost.compute(&READ_CYCLES_SPEC);
+                        let emit = self.cost.compute(&EMIT_SPEC);
+                        off = spin.cycles + read.cycles;
+                        cyc += read.cycles + emit.cycles;
+                        ev.accumulate(&read.events);
+                        ev.accumulate(&emit.events);
+                    }
+                    (cyc, off, ev)
+                };
+                if iter_cycles == 0 {
+                    // Degenerate zero-cost cycle: leave it to the step
+                    // path's runaway detection.
+                    self.cost.restore(snap);
+                    break 'segments;
+                }
+                let iter_end = self.now + SimDuration::from_cycles(batch_cycles + iter_cycles);
+                if iter_end > horizon {
+                    // Straddling iteration: roll back the trial costs and
+                    // let the step path begin it, exactly as it would have.
+                    self.cost.restore(snap);
+                    hit_horizon = true;
+                    break;
+                }
+                if warm {
+                    self.ff_stats.warm_iters += 1;
+                } else {
+                    self.ff_stats.cold_iters += 1;
+                }
+                if cycle.emits {
+                    self.ff_stamps
+                        .push(self.now.cycles() + batch_cycles + stamp_offset);
+                }
+                batch_cycles += iter_cycles;
+                batch_events.accumulate(&iter_events);
+                seg += 1;
+            }
+            if seg > 0 {
+                committed += seg;
+                self.thread_mut(tid).program.idle_cycle_advance(seg);
+            }
+            if hit_horizon || seg == 0 {
+                break;
+            }
+            // seg == cycle.max_iterations: the shape changed; next segment.
+        }
+        if committed == 0 {
+            return false;
+        }
+        self.ff_stats.batches += 1;
+        // Apply the batch wholesale. `CounterBank::on_work` composes
+        // (cycles wrap-add; event counters are modular), and prorated
+        // charging telescopes to the per-packet totals, so one bulk charge
+        // is bit-identical to the step path's piecewise charges. Ground
+        // truth sees nothing: measurement priority is never "busy".
+        self.counters.on_work(batch_cycles, &batch_events);
+        self.now += SimDuration::from_cycles(batch_cycles);
+        {
+            let t = self.thread_mut(tid);
+            t.cpu_cycles += batch_cycles;
+            // The step path resets the streak at every spin compute.
+            t.zero_exec_streak = 0;
+            // The step path takes (and discards) any lingering reply at the
+            // first spin step of the batch.
+            t.pending_reply = ApiReply::None;
+            // Quantum expiries mid-batch rotate the solo thread back to
+            // itself and reset to a full quantum; only the remainder of the
+            // last reset is observable.
+            t.quantum_left = if batch_cycles < q0 {
+                q0 - batch_cycles
+            } else {
+                quantum - ((batch_cycles - q0) % quantum)
+            };
+        }
+        if !self.ff_stamps.is_empty() {
+            // Move the scratch buffer out for the duration of the emit (it
+            // is put back, capacity intact, so batches stay allocation-free).
+            let stamps = std::mem::take(&mut self.ff_stamps);
+            if let Some(sink) = self.stamp_sink.as_deref_mut() {
+                sink.emit_stamps(&stamps);
+            }
+            self.thread_mut(tid).emitted.emit_stamps(&stamps);
+            self.ff_stamps = stamps;
+        }
+        true
     }
 
     fn requeue_front(&mut self, tid: ThreadId) {
@@ -1503,25 +1818,12 @@ impl Machine {
                 CallDisposition::Work
             }
             ApiCall::ReadCycleCounter => {
-                // RDTSC plus a little glue: ~10 instructions of app code.
-                let packet = self.cost.compute(&crate::program::ComputeSpec {
-                    instructions: 10,
-                    class: crate::program::MixClass::App,
-                    code_pages: 1,
-                    data_pages: 1,
-                });
+                let packet = self.cost.compute(&READ_CYCLES_SPEC);
                 self.thread_mut(tid).exec = Some(Exec::new(vec![packet], Outcome::ReadCycles));
                 CallDisposition::Work
             }
             ApiCall::Emit(v) => {
-                // A buffered store of one trace record (§2.3's
-                // `generate_trace_record`): ~50 instructions.
-                let packet = self.cost.compute(&crate::program::ComputeSpec {
-                    instructions: 50,
-                    class: crate::program::MixClass::App,
-                    code_pages: 1,
-                    data_pages: 2,
-                });
+                let packet = self.cost.compute(&EMIT_SPEC);
                 self.thread_mut(tid).exec = Some(Exec::new(vec![packet], Outcome::Emit(v)));
                 CallDisposition::Work
             }

@@ -20,6 +20,7 @@
 
 pub mod apilog;
 pub mod bufcache;
+pub mod fastforward;
 pub mod fs;
 pub mod ground_truth;
 pub mod kernel;
@@ -32,6 +33,7 @@ pub mod tracebridge;
 pub mod win32;
 
 pub use apilog::{ApiEntry, ApiLog, ApiLogEntry, ApiOutcome};
+pub use fastforward::FastForwardOverride;
 pub use fs::FileId;
 pub use ground_truth::{GroundTruth, GtEvent};
 pub use kernel::{Machine, MachineStats, DUP_INPUT_ID_BASE, FOCUS_GAINED, FOCUS_LOST};
@@ -39,7 +41,7 @@ pub use latlab_faults::{FaultKind, FaultPlan, FaultSpec, FaultStats, FaultWindow
 pub use msgq::{InputKind, KeySym, Message, MessageQueue, MouseButton};
 pub use profile::{OsParams, OsProfile, Win32Arch};
 pub use program::{
-    Action, ApiCall, ApiReply, AppTraits, ComputeSpec, GtMark, MixClass, Priority, ProcessSpec,
-    Program, StepCtx, ThreadId,
+    Action, ApiCall, ApiReply, AppTraits, ComputeSpec, GtMark, IdleCycle, MixClass, Priority,
+    ProcessSpec, Program, StepCtx, ThreadId,
 };
 pub use statelog::{IoKind, StateLog, StateRecord, Transition};

@@ -285,6 +285,25 @@ pub struct StepCtx {
     pub reply: ApiReply,
 }
 
+/// One iteration of a fast-forwardable idle cycle (see
+/// [`Program::idle_cycle`]).
+///
+/// Describes the exact action sequence one iteration of the program's
+/// steady-state loop would request, so the kernel can replay whole
+/// iterations in a batch without stepping the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdleCycle {
+    /// The busy-wait compute the iteration starts with.
+    pub spin: ComputeSpec,
+    /// Whether the iteration ends with a `ReadCycleCounter` + `Emit(stamp)`
+    /// pair (false once the trace buffer is full: the loop keeps spinning
+    /// but records nothing).
+    pub emits: bool,
+    /// How many iterations of this exact shape remain before the shape
+    /// changes (e.g. the trace buffer fills); `u64::MAX` when unbounded.
+    pub max_iterations: u64,
+}
+
 /// A deterministic application state machine.
 ///
 /// `step` is called with the result of the previous action and must return
@@ -298,6 +317,23 @@ pub trait Program {
     /// Short name for traces and diagnostics.
     fn name(&self) -> &'static str {
         "program"
+    }
+
+    /// Declares the program fast-forwardable: when it sits at an iteration
+    /// boundary of a pure idle cycle, returns the shape of the next
+    /// iteration(s). The kernel may then execute whole iterations in a
+    /// batch — charging identical costs and synthesizing identical stamps —
+    /// and report how many via [`Program::idle_cycle_advance`], without
+    /// calling `step`. Returning `None` (the default) opts out.
+    fn idle_cycle(&self) -> Option<IdleCycle> {
+        None
+    }
+
+    /// Informs the program that the kernel batch-executed `iterations`
+    /// whole iterations of the cycle last returned by
+    /// [`Program::idle_cycle`].
+    fn idle_cycle_advance(&mut self, iterations: u64) {
+        let _ = iterations;
     }
 }
 

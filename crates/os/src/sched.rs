@@ -78,6 +78,13 @@ impl Scheduler {
     pub fn ready_count(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
     }
+
+    /// True when no thread is ready. Unlike [`Scheduler::ready_count`] this
+    /// short-circuits on the first non-empty queue — it sits on the kernel's
+    /// idle fast-forward eligibility check, which runs once per dispatch.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +128,16 @@ mod tests {
         s.enqueue(ThreadId(1), Priority(3));
         assert_eq!(s.highest_ready(), Some(Priority(3)));
         assert_eq!(s.ready_count(), 1);
+    }
+
+    #[test]
+    fn is_empty_tracks_ready_count() {
+        let mut s = Scheduler::new();
+        assert!(s.is_empty());
+        s.enqueue(ThreadId(1), Priority(3));
+        assert!(!s.is_empty());
+        s.pop_highest();
+        assert!(s.is_empty());
     }
 
     #[test]

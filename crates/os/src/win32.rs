@@ -125,15 +125,33 @@ impl CostEngine {
 
     /// Costs an application-requested compute.
     pub fn compute(&mut self, spec: &ComputeSpec) -> WorkPacket {
+        let mut charge = self.compute_warm(spec);
+        self.add_tlb_touch(&mut charge, spec.code_pages, spec.data_pages);
+        WorkPacket::from_charge(charge, WorkKind::App)
+    }
+
+    /// The accumulator-only part of [`CostEngine::compute`]: path-length
+    /// scaling plus the mix charge, without the TLB touch. When the spec's
+    /// working set is already resident (see [`CostEngine::tlb_covers`]) the
+    /// touch contributes no misses, no cycles, and no state change, so this
+    /// is exactly `compute` minus the packet wrapper — the kernel's idle
+    /// fast-forward uses it to cost steady-state idle iterations without
+    /// the per-packet TLB bookkeeping.
+    pub fn compute_warm(&mut self, spec: &ComputeSpec) -> WorkCharge {
         let instr = match spec.class {
             MixClass::Gui => self.gui_instr(spec.instructions),
             MixClass::GuiText => spec.instructions * self.params.gui_text_path_milli / 1_000,
             MixClass::GuiDraw => spec.instructions * self.params.gdi_path_milli / 1_000,
             _ => spec.instructions,
         };
-        let mut charge = self.charge_mix(spec.class, instr);
-        self.add_tlb_touch(&mut charge, spec.code_pages, spec.data_pages);
-        WorkPacket::from_charge(charge, WorkKind::App)
+        self.charge_mix(spec.class, instr)
+    }
+
+    /// True when working sets of `code_pages`/`data_pages` are fully
+    /// TLB-resident, i.e. a touch would return zero misses and leave the
+    /// TLB state unchanged.
+    pub fn tlb_covers(&self, code_pages: u32, data_pages: u32) -> bool {
+        self.tlb.itlb.resident() >= code_pages && self.tlb.dtlb.resident() >= data_pages
     }
 
     /// Costs a hardware interrupt handler of `instructions`.
@@ -291,6 +309,38 @@ impl CostEngine {
     pub fn tlb_mut(&mut self) -> &mut TlbPair {
         &mut self.tlb
     }
+
+    /// Captures the engine's mutable state (TLB occupancy plus the
+    /// fractional-event remainders of every mix accumulator), so a
+    /// trial-costed packet can be rolled back with
+    /// [`CostEngine::restore`]. Used by the kernel's idle fast-forward,
+    /// which must not perturb the accumulators when the next iteration
+    /// turns out not to fit before the event horizon.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            tlb: self.tlb,
+            acc_app: self.acc_app.clone(),
+            acc_gui: self.acc_gui.clone(),
+            acc_kernel: self.acc_kernel.clone(),
+        }
+    }
+
+    /// Restores state captured by [`CostEngine::snapshot`].
+    pub fn restore(&mut self, snap: CostSnapshot) {
+        self.tlb = snap.tlb;
+        self.acc_app = snap.acc_app;
+        self.acc_gui = snap.acc_gui;
+        self.acc_kernel = snap.acc_kernel;
+    }
+}
+
+/// Rollback state for [`CostEngine::snapshot`]/[`CostEngine::restore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostSnapshot {
+    tlb: TlbPair,
+    acc_app: MixAccumulator,
+    acc_gui: MixAccumulator,
+    acc_kernel: MixAccumulator,
 }
 
 #[cfg(test)]
@@ -419,6 +469,19 @@ mod tests {
         let p = e.spin(12_345);
         assert_eq!(p.cycles, 12_345);
         assert_eq!(p.kind, WorkKind::Spin);
+    }
+
+    #[test]
+    fn snapshot_restore_undoes_trial_compute() {
+        let mut e = engine(OsProfile::Nt40);
+        // Put the accumulators mid-phase so remainders are non-trivial.
+        e.compute(&ComputeSpec::app(12_345));
+        let snap = e.snapshot();
+        let trial = e.compute(&ComputeSpec::app(777));
+        e.restore(snap);
+        let replay = e.compute(&ComputeSpec::app(777));
+        assert_eq!(trial.cycles, replay.cycles);
+        assert_eq!(trial.events, replay.events);
     }
 
     #[test]

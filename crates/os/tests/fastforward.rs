@@ -1,0 +1,266 @@
+//! Idle fast-forward: kernel-level equivalence and wakeup-driven
+//! quiescence.
+//!
+//! The fast-forward engine's contract is bit-identical observables with
+//! the step-by-step path: stamps, hardware counters, machine statistics,
+//! and the cycle counter itself must not depend on whether idle spans were
+//! simulated iteratively or batched. These tests drive a miniature idle
+//! loop (mirroring `latlab-core`'s monitor against the raw program ABI)
+//! through interactive workloads in both modes and diff everything.
+
+use latlab_des::{SimDuration, SimTime};
+use latlab_hw::{CounterId, HwEvent, HwMix};
+use latlab_os::{
+    Action, ApiCall, ApiReply, ComputeSpec, IdleCycle, InputKind, KeySym, Machine, MixClass,
+    OsProfile, Priority, ProcessSpec, Program, StepCtx,
+};
+
+fn ms(n: u64) -> SimDuration {
+    latlab_des::CpuFreq::PENTIUM_100.ms(n)
+}
+
+fn at_ms(n: u64) -> SimTime {
+    SimTime::ZERO + ms(n)
+}
+
+/// A minimal instrumented idle loop: spin, read the cycle counter, emit
+/// the stamp — with a capped trace buffer, like the real monitor.
+struct MiniIdleLoop {
+    n_instr: u64,
+    capacity: usize,
+    produced: usize,
+    phase: u8, // 0 = spin, 1 = read, 2 = store
+}
+
+impl MiniIdleLoop {
+    fn new(n_instr: u64, capacity: usize) -> Self {
+        MiniIdleLoop {
+            n_instr,
+            capacity,
+            produced: 0,
+            phase: 0,
+        }
+    }
+
+    fn spin_spec(&self) -> ComputeSpec {
+        ComputeSpec {
+            instructions: self.n_instr,
+            class: MixClass::Raw(HwMix::IDLE_LOOP),
+            code_pages: 1,
+            data_pages: 1,
+        }
+    }
+}
+
+impl Program for MiniIdleLoop {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        match self.phase {
+            0 => {
+                if self.produced >= self.capacity {
+                    return Action::Compute(self.spin_spec());
+                }
+                self.phase = 1;
+                Action::Compute(self.spin_spec())
+            }
+            1 => {
+                self.phase = 2;
+                Action::Call(ApiCall::ReadCycleCounter)
+            }
+            _ => {
+                let stamp = match ctx.reply {
+                    ApiReply::Cycles(c) => c,
+                    ref other => panic!("expected cycle counter, got {other:?}"),
+                };
+                self.produced += 1;
+                self.phase = 0;
+                Action::Call(ApiCall::Emit(stamp))
+            }
+        }
+    }
+
+    fn idle_cycle(&self) -> Option<IdleCycle> {
+        if self.phase != 0 {
+            return None;
+        }
+        let remaining = self.capacity.saturating_sub(self.produced);
+        Some(if remaining == 0 {
+            IdleCycle {
+                spin: self.spin_spec(),
+                emits: false,
+                max_iterations: u64::MAX,
+            }
+        } else {
+            IdleCycle {
+                spin: self.spin_spec(),
+                emits: true,
+                max_iterations: remaining as u64,
+            }
+        })
+    }
+
+    fn idle_cycle_advance(&mut self, iterations: u64) {
+        if self.produced < self.capacity {
+            self.produced += iterations as usize;
+        }
+    }
+}
+
+/// An interactive app handling keystrokes with some compute.
+struct EchoLoop {
+    work_instr: u64,
+    awaiting_reply: bool,
+}
+
+impl Program for EchoLoop {
+    fn step(&mut self, ctx: &mut StepCtx) -> Action {
+        if self.awaiting_reply {
+            self.awaiting_reply = false;
+            if let ApiReply::Message(Some(_)) = ctx.reply {
+                return Action::Compute(ComputeSpec::app(self.work_instr));
+            }
+        }
+        self.awaiting_reply = true;
+        Action::Call(ApiCall::GetMessage)
+    }
+}
+
+/// Everything a run exposes that the contract covers.
+#[derive(PartialEq, Debug)]
+struct Observables {
+    stamps: Vec<u64>,
+    now_cycles: u64,
+    interrupts: u64,
+    stats: latlab_os::MachineStats,
+    latencies: Vec<u64>,
+}
+
+fn run_interactive(profile: OsProfile, fast_forward: bool, capacity: usize) -> Observables {
+    let mut m = Machine::new(profile.params());
+    m.set_fast_forward(fast_forward);
+    m.configure_counter(CounterId::Ctr0, HwEvent::HardwareInterrupts)
+        .unwrap();
+    let monitor = m.spawn(
+        ProcessSpec::app("mini-monitor").with_priority(Priority::MEASUREMENT),
+        Box::new(MiniIdleLoop::new(250_000, capacity)),
+    );
+    let app = m.spawn(
+        ProcessSpec::app("echo"),
+        Box::new(EchoLoop {
+            work_instr: 400_000,
+            awaiting_reply: false,
+        }),
+    );
+    m.set_focus(app);
+    for i in 0..4 {
+        m.schedule_input_at(at_ms(30 + i * 120), InputKind::Key(KeySym::Char('x')));
+    }
+    m.run_until(at_ms(600));
+    Observables {
+        stamps: m.take_emitted(monitor),
+        now_cycles: m.read_cycle_counter(),
+        interrupts: m.read_counter(CounterId::Ctr0).unwrap(),
+        stats: *m.stats(),
+        latencies: m
+            .ground_truth()
+            .events()
+            .iter()
+            .map(|e| e.true_latency().unwrap().cycles())
+            .collect(),
+    }
+}
+
+#[test]
+fn interactive_run_is_bit_identical_across_modes() {
+    for profile in OsProfile::ALL {
+        let fast = run_interactive(profile, true, usize::MAX);
+        let step = run_interactive(profile, false, usize::MAX);
+        assert!(
+            fast.stamps.len() > 150,
+            "{profile}: expected a stamp every few idle ms, got {}",
+            fast.stamps.len()
+        );
+        assert_eq!(fast, step, "{profile}: observables diverge");
+    }
+}
+
+#[test]
+fn buffer_fill_mid_batch_is_bit_identical() {
+    // Capacity small enough to fill inside one fast-forward window, so a
+    // single batch crosses the emitting → non-emitting shape change.
+    for capacity in [1usize, 7, 50] {
+        let fast = run_interactive(OsProfile::Nt40, true, capacity);
+        let step = run_interactive(OsProfile::Nt40, false, capacity);
+        assert_eq!(fast.stamps.len(), capacity);
+        assert_eq!(fast, step, "capacity {capacity}: observables diverge");
+    }
+}
+
+#[test]
+fn fast_forward_defers_to_ready_peers() {
+    // A second MEASUREMENT-priority thread shares the priority class, so
+    // fast-forward must stay off (round-robin would interleave) — and both
+    // modes must still agree.
+    let run = |ff: bool| {
+        let mut m = Machine::new(OsProfile::Nt40.params());
+        m.set_fast_forward(ff);
+        let monitor = m.spawn(
+            ProcessSpec::app("mini-monitor").with_priority(Priority::MEASUREMENT),
+            Box::new(MiniIdleLoop::new(250_000, usize::MAX)),
+        );
+        struct Busy;
+        impl Program for Busy {
+            fn step(&mut self, _ctx: &mut StepCtx) -> Action {
+                Action::Compute(ComputeSpec::app(50_000))
+            }
+        }
+        m.spawn(
+            ProcessSpec::app("peer").with_priority(Priority::MEASUREMENT),
+            Box::new(Busy),
+        );
+        m.run_until(at_ms(100));
+        (m.take_emitted(monitor), m.read_cycle_counter())
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn quiescence_is_wakeup_driven() {
+    // An idle wait for a far-off input must cost O(events) main-loop
+    // turns — one per 10 ms clock tick plus dispatches — not O(idle ms).
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.spawn(
+        ProcessSpec::app("mini-monitor").with_priority(Priority::MEASUREMENT),
+        Box::new(MiniIdleLoop::new(250_000, usize::MAX)),
+    );
+    let app = m.spawn(
+        ProcessSpec::app("echo"),
+        Box::new(EchoLoop {
+            work_instr: 300_000,
+            awaiting_reply: false,
+        }),
+    );
+    m.set_focus(app);
+    m.schedule_input_at(at_ms(2_000), InputKind::Key(KeySym::Char('x')));
+    assert!(!m.is_quiescent(), "input outstanding");
+    assert!(m.run_until_quiescent(at_ms(5_000)));
+    // 2 s of idle = 200 clock ticks; each tick costs a handful of loop
+    // turns (event, redispatch). The old 1-ms polling grid alone would
+    // exceed 2000.
+    let turns = m.debug_loop_turns();
+    assert!(turns < 1_500, "expected O(events) loop turns, got {turns}");
+    // And quiescence is observed at the instant work retires, not on a
+    // polling grid: well before the 5 s limit.
+    assert!(m.now() < at_ms(2_100));
+}
+
+#[test]
+fn quiescent_machine_returns_immediately() {
+    let mut m = Machine::new(OsProfile::Nt40.params());
+    m.spawn(
+        ProcessSpec::app("mini-monitor").with_priority(Priority::MEASUREMENT),
+        Box::new(MiniIdleLoop::new(250_000, usize::MAX)),
+    );
+    assert!(m.run_until_quiescent(at_ms(1_000)));
+    assert_eq!(m.now(), SimTime::ZERO, "no work: no time may pass");
+    assert_eq!(m.debug_loop_turns(), 0);
+}

@@ -171,6 +171,75 @@ mod tests {
     }
 
     #[test]
+    fn batched_stamps_are_byte_identical_to_per_record() {
+        // Mixed batch sizes, spanning multiple chunk flushes, interleaved
+        // with per-record writes: the fast-forward batch path must encode
+        // the exact bytes the per-record path does.
+        let stamps: Vec<u64> = (1..12_000u64).map(|i| i * 7 + (i % 5)).collect();
+        let mut per_record = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        for &s in &stamps {
+            per_record.write(&Record::Stamp(s)).unwrap();
+        }
+        let expected = per_record.finish().unwrap();
+
+        let mut batched = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        let mut rest = &stamps[..];
+        for size in [1usize, 7, 0, 4096, 5000, usize::MAX] {
+            let take = size.min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            if take % 2 == 0 {
+                batched.write_stamps(head).unwrap();
+            } else {
+                // Odd splits go through the sink default for coverage.
+                for &s in head {
+                    batched.write(&Record::Stamp(s)).unwrap();
+                }
+            }
+            rest = tail;
+        }
+        assert!(rest.is_empty());
+        assert_eq!(batched.finish().unwrap(), expected);
+    }
+
+    #[test]
+    fn batched_stamps_reject_non_monotonic() {
+        let mut w = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        w.write_stamps(&[100, 200]).unwrap();
+        let err = w.write_stamps(&[200]).unwrap_err();
+        assert!(matches!(err, TraceError::NonMonotonic { index: 2 }));
+        let err = w.write_stamps(&[300, 250]).unwrap_err();
+        assert!(matches!(err, TraceError::NonMonotonic { .. }));
+    }
+
+    #[test]
+    fn batched_stamps_reject_kind_mismatch() {
+        let meta = TraceMeta {
+            kind: StreamKind::ApiLog,
+            ..stamp_meta()
+        };
+        let mut w = TraceWriter::create(Vec::new(), meta).unwrap();
+        let err = w.write_stamps(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, TraceError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn sink_emit_stamps_matches_per_record() {
+        let stamps = [10u64, 20, 35, 90];
+        let mut batched = WriterSink::new(TraceWriter::create(Vec::new(), stamp_meta()).unwrap());
+        batched.emit_stamps(&stamps);
+        let mut per_record =
+            WriterSink::new(TraceWriter::create(Vec::new(), stamp_meta()).unwrap());
+        for &s in &stamps {
+            per_record.record(&Record::Stamp(s));
+        }
+        batched.finish().unwrap();
+        per_record.finish().unwrap();
+        let mut mem = VecSink::new();
+        mem.emit_stamps(&stamps);
+        assert_eq!(mem.take_stamps(), stamps.to_vec());
+    }
+
+    #[test]
     fn writer_sink_collects_and_vec_sink_matches() {
         let meta = stamp_meta();
         let mut disk = WriterSink::new(TraceWriter::create(Vec::new(), meta).unwrap());

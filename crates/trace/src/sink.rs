@@ -29,6 +29,19 @@ pub trait TraceSink: std::fmt::Debug + Send {
     /// Accepts one record.
     fn record(&mut self, rec: &Record);
 
+    /// Accepts a batch of idle-loop stamps.
+    ///
+    /// Must be observably identical to calling [`TraceSink::record`] with
+    /// `Record::Stamp` once per value (the default does exactly that);
+    /// sinks with a cheaper batched path override it. The kernel's idle
+    /// fast-forward hands whole batches of synthesized stamps through
+    /// here, amortizing the per-record dispatch and encode.
+    fn emit_stamps(&mut self, stamps: &[u64]) {
+        for &s in stamps {
+            self.record(&Record::Stamp(s));
+        }
+    }
+
     /// Flushes buffered state and reports any deferred error.
     fn finish(&mut self) -> Result<(), TraceError> {
         Ok(())
@@ -41,6 +54,8 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&mut self, _rec: &Record) {}
+
+    fn emit_stamps(&mut self, _stamps: &[u64]) {}
 }
 
 /// Buffers records in memory — the original `Vec<u64>` collection path,
@@ -102,6 +117,11 @@ impl TraceSink for VecSink {
     fn record(&mut self, rec: &Record) {
         self.records.push(*rec);
     }
+
+    fn emit_stamps(&mut self, stamps: &[u64]) {
+        self.records
+            .extend(stamps.iter().map(|&s| Record::Stamp(s)));
+    }
 }
 
 /// Streams records to a [`TraceWriter`], latching the first error.
@@ -125,6 +145,15 @@ impl<W: Write + std::fmt::Debug + Send> TraceSink for WriterSink<W> {
     fn record(&mut self, rec: &Record) {
         if let Some(w) = self.writer.as_mut() {
             if let Err(e) = w.write(rec) {
+                self.error = Some(e);
+                self.writer = None;
+            }
+        }
+    }
+
+    fn emit_stamps(&mut self, stamps: &[u64]) {
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.write_stamps(stamps) {
                 self.error = Some(e);
                 self.writer = None;
             }
@@ -184,6 +213,15 @@ impl TraceSink for FileSink {
     fn record(&mut self, rec: &Record) {
         if let Some(w) = self.writer.as_mut() {
             if let Err(e) = w.write(rec) {
+                self.error = Some(e);
+                self.writer = None;
+            }
+        }
+    }
+
+    fn emit_stamps(&mut self, stamps: &[u64]) {
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.write_stamps(stamps) {
                 self.error = Some(e);
                 self.writer = None;
             }

@@ -130,6 +130,52 @@ impl<W: Write> TraceWriter<W> {
         Ok(())
     }
 
+    /// Appends a batch of idle-loop stamps.
+    ///
+    /// Byte-identical to calling [`TraceWriter::write`] with
+    /// `Record::Stamp` once per value, but amortizes the per-record
+    /// overhead: the stream-kind check runs once for the whole batch and
+    /// the delta varints are encoded back-to-back without per-record
+    /// dispatch. The kernel's idle fast-forward emits whole batches of
+    /// synthesized stamps through this path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TraceWriter::write`]: wrong stream kind,
+    /// non-increasing timestamps, or I/O failure flushing a full chunk.
+    pub fn write_stamps(&mut self, stamps: &[u64]) -> Result<(), TraceError> {
+        if stamps.is_empty() {
+            return Ok(());
+        }
+        if crate::StreamKind::IdleStamps != self.meta.kind {
+            return Err(TraceError::KindMismatch {
+                expected: self.meta.kind,
+                got: crate::StreamKind::IdleStamps,
+            });
+        }
+        for &at in stamps {
+            let index = self.records_written as usize;
+            let delta = if self.any_written {
+                let d = at.wrapping_sub(self.prev_at);
+                if at < self.prev_at || d == 0 {
+                    return Err(TraceError::NonMonotonic { index });
+                }
+                d
+            } else {
+                at
+            };
+            varint::encode(delta, &mut self.buf);
+            self.prev_at = at;
+            self.any_written = true;
+            self.count += 1;
+            self.records_written += 1;
+            if self.count >= MAX_CHUNK_RECORDS || self.buf.len() >= MAX_CHUNK_PAYLOAD - 64 {
+                self.flush_chunk()?;
+            }
+        }
+        Ok(())
+    }
+
     fn flush_chunk(&mut self) -> Result<(), TraceError> {
         if self.count == 0 {
             return Ok(());
