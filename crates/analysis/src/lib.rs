@@ -14,6 +14,7 @@ pub mod export;
 pub mod histogram;
 pub mod interarrival;
 pub mod perception;
+pub mod sketch;
 pub mod streaming;
 pub mod summary;
 pub mod timeseries;
@@ -23,6 +24,7 @@ pub use cumulative::CumulativeLatency;
 pub use histogram::LatencyHistogram;
 pub use interarrival::{interarrival_row, interarrival_table, InterarrivalRow};
 pub use perception::{EventClass, PerceptionModel, PerceptionScore, ToleranceBand};
+pub use sketch::{ClassSketch, LatencySketch};
 pub use streaming::{summarize_stamps, StampStreamSummary, StreamingHistogram, StreamingSummary};
 pub use summary::{responsiveness_score, shneiderman_penalty, LatencySummary};
 pub use timeseries::{

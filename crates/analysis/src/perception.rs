@@ -41,6 +41,46 @@ pub enum EventClass {
 }
 
 impl EventClass {
+    /// Every class, in a stable order (the [`index`](EventClass::index)
+    /// order — telemetry sketches and wire encodings rely on it).
+    pub const ALL: [EventClass; 6] = [
+        EventClass::Keystroke,
+        EventClass::Navigation,
+        EventClass::ScreenChange,
+        EventClass::Command,
+        EventClass::MajorOperation,
+        EventClass::Background,
+    ];
+
+    /// Dense index of this class into [`EventClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            EventClass::Keystroke => 0,
+            EventClass::Navigation => 1,
+            EventClass::ScreenChange => 2,
+            EventClass::Command => 3,
+            EventClass::MajorOperation => 4,
+            EventClass::Background => 5,
+        }
+    }
+
+    /// Short lowercase name, used in CLI output and wire protocols.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::Keystroke => "keystroke",
+            EventClass::Navigation => "navigation",
+            EventClass::ScreenChange => "screen_change",
+            EventClass::Command => "command",
+            EventClass::MajorOperation => "major_operation",
+            EventClass::Background => "background",
+        }
+    }
+
+    /// Parses a [`name`](EventClass::name) back into a class.
+    pub fn parse(s: &str) -> Option<EventClass> {
+        EventClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+
     /// Classifies an event from its initiating message.
     pub fn of(event: &MeasuredEvent) -> EventClass {
         match event.message {

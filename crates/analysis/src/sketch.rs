@@ -1,0 +1,312 @@
+//! Mergeable latency sketches for distributed telemetry.
+//!
+//! The paper's position is that latency *distributions* — not averages or
+//! throughput — characterize interactive performance. When latency
+//! telemetry is collected from many machines (or many shards of one
+//! ingest service), the per-stream distributions must combine into the
+//! distribution of the union without shipping raw samples. This module
+//! provides that mergeable form:
+//!
+//! * one fixed-size log-bucketed histogram ([`StreamingHistogram`]) plus
+//!   exact moments per [`EventClass`], so percentiles stay class-aware
+//!   (a 300 ms save is fine; a 300 ms keystroke echo is not);
+//! * **deadline-miss counters** keyed off the [`PerceptionModel`]
+//!   thresholds: for each class, how many samples crossed the
+//!   imperceptibility threshold (`free_ms`) and how many saturated
+//!   (`saturate_ms`) — the §3.1 responsiveness summation reduced to two
+//!   exactly-mergeable integers per class.
+//!
+//! # Merge semantics
+//!
+//! [`LatencySketch::merge`] adds bucket counts and miss counters —
+//! integer arithmetic, so merging K partial sketches is **exactly
+//! order-independent**: any merge tree over the same partials yields
+//! identical bucket counts, identical miss counters, and therefore
+//! identical quantile answers. The moment accumulators merge through
+//! [`OnlineStats::merge`], whose `mean`/`stddev` are order-*sensitive*
+//! only in the last few floating-point ulps; `count`, `min`, and `max`
+//! remain exact.
+//!
+//! # Accuracy
+//!
+//! Quantiles inherit the [`StreamingHistogram`] geometry: bucket
+//! boundaries a factor of `2^(1/32)` apart, so any reported quantile is
+//! within ~2.3% relative error of the exact order statistic (see
+//! [`crate::streaming`]). Merging never widens the bound — the merged
+//! histogram is bucket-for-bucket identical to the histogram of the
+//! concatenated sample stream.
+
+use latlab_des::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+use crate::perception::{EventClass, PerceptionModel};
+use crate::streaming::StreamingHistogram;
+
+/// Per-class accumulator: histogram + exact moments + deadline misses.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassSketch {
+    /// Log-bucketed latency histogram (ms).
+    hist: StreamingHistogram,
+    /// Exact count/mean/min/max moments.
+    stats: OnlineStats,
+    /// Samples that crossed the class's `free_ms` threshold.
+    misses: u64,
+    /// Samples that crossed the class's `saturate_ms` threshold.
+    saturated: u64,
+}
+
+impl Default for ClassSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClassSketch {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        ClassSketch {
+            hist: StreamingHistogram::new(),
+            stats: OnlineStats::new(),
+            misses: 0,
+            saturated: 0,
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.hist.total()
+    }
+
+    /// The histogram itself.
+    pub fn histogram(&self) -> &StreamingHistogram {
+        &self.hist
+    }
+
+    /// The exact moment accumulator.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Deadline misses (samples beyond the class's free threshold).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Saturated samples (beyond the class's saturation threshold).
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// The `q`-quantile (ms), clamped into the exact observed range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.hist
+            .quantile(q)
+            .map(|v| v.clamp(self.stats.min(), self.stats.max()))
+    }
+
+    fn push(&mut self, ms: f64, free_ms: Option<f64>, saturate_ms: Option<f64>) {
+        self.hist.push(ms);
+        self.stats.push(ms);
+        if free_ms.is_some_and(|t| ms > t) {
+            self.misses += 1;
+        }
+        if saturate_ms.is_some_and(|t| ms > t) {
+            self.saturated += 1;
+        }
+    }
+
+    fn merge(&mut self, other: &ClassSketch) {
+        self.hist.merge(&other.hist);
+        self.stats.merge(&other.stats);
+        self.misses += other.misses;
+        self.saturated += other.saturated;
+    }
+}
+
+/// A mergeable, class-aware latency sketch.
+///
+/// Fixed memory (~6 × 13 KB) regardless of how many samples it absorbs.
+///
+/// # Examples
+///
+/// ```
+/// use latlab_analysis::{EventClass, LatencySketch};
+///
+/// let mut a = LatencySketch::new();
+/// let mut b = LatencySketch::new();
+/// a.push(EventClass::Keystroke, 12.0);
+/// b.push(EventClass::Keystroke, 500.0); // a deadline miss
+/// a.merge(&b);
+/// assert_eq!(a.total(), 2);
+/// assert_eq!(a.class(EventClass::Keystroke).misses(), 1);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencySketch {
+    /// One cell per [`EventClass`], in [`EventClass::ALL`] order.
+    classes: Vec<ClassSketch>,
+    /// The thresholds misses are counted against.
+    model: PerceptionModel,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencySketch {
+    /// Creates an empty sketch using the default [`PerceptionModel`]
+    /// thresholds for deadline-miss counting.
+    pub fn new() -> Self {
+        Self::with_model(PerceptionModel::default())
+    }
+
+    /// Creates an empty sketch with explicit thresholds.
+    pub fn with_model(model: PerceptionModel) -> Self {
+        LatencySketch {
+            classes: EventClass::ALL.iter().map(|_| ClassSketch::new()).collect(),
+            model,
+        }
+    }
+
+    /// Adds one latency observation (ms) under a class. Non-finite values
+    /// are ignored, matching [`StreamingHistogram::push`].
+    pub fn push(&mut self, class: EventClass, ms: f64) {
+        if !ms.is_finite() {
+            return;
+        }
+        let band = self.model.band(class);
+        self.classes[class.index()].push(ms, band.map(|b| b.free_ms), band.map(|b| b.saturate_ms));
+    }
+
+    /// Adds a batch of observations under one class.
+    pub fn push_batch(&mut self, class: EventClass, samples: &[f64]) {
+        let band = self.model.band(class);
+        let (free, saturate) = (band.map(|b| b.free_ms), band.map(|b| b.saturate_ms));
+        let cell = &mut self.classes[class.index()];
+        for &ms in samples {
+            if ms.is_finite() {
+                cell.push(ms, free, saturate);
+            }
+        }
+    }
+
+    /// The accumulator for one class.
+    pub fn class(&self, class: EventClass) -> &ClassSketch {
+        &self.classes[class.index()]
+    }
+
+    /// Total samples across all classes.
+    pub fn total(&self) -> u64 {
+        self.classes.iter().map(ClassSketch::count).sum()
+    }
+
+    /// Total deadline misses across all classes.
+    pub fn total_misses(&self) -> u64 {
+        self.classes.iter().map(|c| c.misses).sum()
+    }
+
+    /// The `q`-quantile over the union of all classes (ms).
+    ///
+    /// Computed by merging the per-class bucket counts, so it equals the
+    /// quantile a single classless histogram of the same samples would
+    /// report.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let mut all = StreamingHistogram::new();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for c in &self.classes {
+            if c.count() > 0 {
+                all.merge(&c.hist);
+                min = min.min(c.stats.min());
+                max = max.max(c.stats.max());
+            }
+        }
+        all.quantile(q).map(|v| v.clamp(min, max))
+    }
+
+    /// Folds another sketch into this one. See the module docs for the
+    /// order-independence guarantee.
+    pub fn merge(&mut self, other: &LatencySketch) {
+        for (a, b) in self.classes.iter_mut().zip(&other.classes) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_follow_perception_thresholds() {
+        let mut s = LatencySketch::new();
+        // Keystroke band: free 100 ms, saturate 2000 ms.
+        s.push(EventClass::Keystroke, 50.0);
+        s.push(EventClass::Keystroke, 150.0);
+        s.push(EventClass::Keystroke, 5_000.0);
+        // MajorOperation band: free 2000 ms — 150 ms is not a miss there.
+        s.push(EventClass::MajorOperation, 150.0);
+        // Background has no band: nothing is ever a miss.
+        s.push(EventClass::Background, 60_000.0);
+        let key = s.class(EventClass::Keystroke);
+        assert_eq!(key.count(), 3);
+        assert_eq!(key.misses(), 2);
+        assert_eq!(key.saturated(), 1);
+        assert_eq!(s.class(EventClass::MajorOperation).misses(), 0);
+        assert_eq!(s.class(EventClass::Background).misses(), 0);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.total_misses(), 2);
+    }
+
+    #[test]
+    fn merge_matches_single_sketch() {
+        let mut whole = LatencySketch::new();
+        let mut left = LatencySketch::new();
+        let mut right = LatencySketch::new();
+        for i in 0..1000u64 {
+            let ms = 0.5 + (i % 317) as f64 * 1.7;
+            let class = EventClass::ALL[(i % 6) as usize];
+            whole.push(class, ms);
+            if i % 2 == 0 {
+                left.push(class, ms);
+            } else {
+                right.push(class, ms);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.total(), whole.total());
+        assert_eq!(left.total_misses(), whole.total_misses());
+        for class in EventClass::ALL {
+            assert_eq!(
+                left.class(class).quantile(0.9),
+                whole.class(class).quantile(0.9),
+                "{class:?}"
+            );
+        }
+        assert_eq!(left.quantile(0.99), whole.quantile(0.99));
+    }
+
+    #[test]
+    fn overall_quantile_spans_classes() {
+        let mut s = LatencySketch::new();
+        s.push_batch(EventClass::Keystroke, &[1.0, 2.0, 3.0]);
+        s.push_batch(EventClass::Command, &[1_000.0, 2_000.0, 3_000.0]);
+        let p0 = s.quantile(0.0).unwrap();
+        let p100 = s.quantile(1.0).unwrap();
+        // Within the bucket-geometry error bound of the exact extremes,
+        // and clamped into the exact observed range.
+        assert!((1.0..1.03).contains(&p0), "p0 {p0}");
+        assert!((2_935.0..=3_000.0).contains(&p100), "p100 {p100}");
+        let median = s.quantile(0.5).unwrap();
+        assert!((2.9..1_050.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn empty_sketch_answers_none() {
+        let s = LatencySketch::new();
+        assert_eq!(s.total(), 0);
+        assert!(s.quantile(0.5).is_none());
+        assert!(s.class(EventClass::Keystroke).quantile(0.5).is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the mergeable latency sketch: merging K partial
+//! sketches is order-independent, and merged quantiles stay within the
+//! documented relative-error bound of the exact order statistics.
+
+use latlab_analysis::{EventClass, LatencySketch};
+use proptest::prelude::*;
+
+/// Splits `samples` into `k` round-robin partial sketches.
+fn partials(samples: &[(usize, f64)], k: usize) -> Vec<LatencySketch> {
+    let mut parts: Vec<LatencySketch> = (0..k).map(|_| LatencySketch::new()).collect();
+    for (i, &(class_idx, ms)) in samples.iter().enumerate() {
+        parts[i % k].push(EventClass::ALL[class_idx % 6], ms);
+    }
+    parts
+}
+
+/// Merges partial sketches in the given order into one.
+fn merge_in_order(parts: &[LatencySketch], order: &[usize]) -> LatencySketch {
+    let mut acc = LatencySketch::new();
+    for &i in order {
+        acc.merge(&parts[i]);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any merge order over the same partials yields identical bucket
+    /// state: identical per-class counts, miss counters, and quantiles.
+    #[test]
+    fn merge_is_order_independent(
+        samples in prop::collection::vec((0usize..6, 0.01f64..10_000.0), 1..400),
+        k in 2usize..8,
+        rot in 0usize..8,
+    ) {
+        let parts = partials(&samples, k);
+        let forward: Vec<usize> = (0..k).collect();
+        let reversed: Vec<usize> = (0..k).rev().collect();
+        let rotated: Vec<usize> = (0..k).map(|i| (i + rot) % k).collect();
+        let a = merge_in_order(&parts, &forward);
+        let b = merge_in_order(&parts, &reversed);
+        let c = merge_in_order(&parts, &rotated);
+        for m in [&b, &c] {
+            prop_assert_eq!(a.total(), m.total());
+            prop_assert_eq!(a.total_misses(), m.total_misses());
+            for class in EventClass::ALL {
+                let (ca, cm) = (a.class(class), m.class(class));
+                prop_assert_eq!(ca.count(), cm.count());
+                prop_assert_eq!(ca.misses(), cm.misses());
+                prop_assert_eq!(ca.saturated(), cm.saturated());
+                for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    prop_assert_eq!(ca.quantile(q), cm.quantile(q));
+                }
+                // Exact moment fields are order-independent too.
+                prop_assert_eq!(ca.stats().count(), cm.stats().count());
+                prop_assert_eq!(ca.stats().min(), cm.stats().min());
+                prop_assert_eq!(ca.stats().max(), cm.stats().max());
+            }
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                prop_assert_eq!(a.quantile(q), m.quantile(q));
+            }
+        }
+    }
+
+    /// The merged sketch's overall quantiles stay within the histogram
+    /// geometry's relative-error bound of the exact order statistics of
+    /// the concatenated samples, and merging equals the single-sketch
+    /// fold of the same stream.
+    #[test]
+    fn merged_quantiles_bound_relative_error(
+        samples in prop::collection::vec((0usize..6, 0.01f64..10_000.0), 2..500),
+        k in 1usize..6,
+    ) {
+        let parts = partials(&samples, k);
+        let order: Vec<usize> = (0..k).collect();
+        let merged = merge_in_order(&parts, &order);
+
+        let mut whole = LatencySketch::new();
+        let mut raw: Vec<f64> = Vec::with_capacity(samples.len());
+        for &(class_idx, ms) in &samples {
+            whole.push(EventClass::ALL[class_idx % 6], ms);
+            raw.push(ms);
+        }
+        prop_assert_eq!(merged.total(), whole.total());
+        raw.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+            // The histogram's rank convention: round(q·(n−1)), answered
+            // with the containing bucket's geometric midpoint — so the
+            // comparison target is the exact order statistic at that
+            // rank, not the interpolated quantile.
+            let rank = (q * (raw.len() - 1) as f64).round() as usize;
+            let exact = raw[rank];
+            let approx = merged.quantile(q).unwrap();
+            let rel = (approx - exact).abs() / exact.max(f64::MIN_POSITIVE);
+            // Bucket boundaries are 2^(1/32) apart and the reported
+            // midpoint is within 2^(1/64) ≈ 1.1% of any bucket member.
+            prop_assert!(
+                rel < 0.012,
+                "q={} exact={} approx={} rel={}", q, exact, approx, rel
+            );
+        }
+    }
+}

@@ -14,14 +14,21 @@
 //! `--iters` runs) and runs/second; for the whole set it reports the
 //! sequential total, the pooled total under `--jobs` workers (default:
 //! one per detected core — the pooled pass is pointless without real
-//! parallelism), the speedup, and peak RSS. Results land in
+//! parallelism), the speedup, and peak RSS. An **ingest section** then
+//! benchmarks the `latlab-serve` telemetry path on loopback: a local
+//! server, `--ingest-connections` concurrent uploaders replaying a
+//! synthetic corpus for `--ingest-secs`, and a prober measuring query
+//! latency under that load (`--ingest-secs 0` skips it). Results land in
 //! `BENCH_repro.json` (override with `--out`) — the repo-root
 //! perf-trajectory file CI regenerates on every run as a regression gate.
 //!
 //! With `--baseline FILE`, the fresh per-scenario `wall_ms_min` values are
 //! compared against the committed baseline and the run fails if any
 //! scenario regressed by more than `--tolerance` percent (default 25).
-//! Both `latlab-perf-v1` and `latlab-perf-v2` baselines are accepted.
+//! When both the baseline and the fresh run carry an ingest section, the
+//! gate also fails on ingest throughput drops or query-p99 growth beyond
+//! the same tolerance. Both `latlab-perf-v1` and `latlab-perf-v2`
+//! baselines are accepted.
 //!
 //! `--no-fastforward` times the step-by-step idle path instead of the
 //! batched one — the two produce byte-identical results, so the delta is
@@ -29,10 +36,19 @@
 //! is measured).
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use latlab_bench::{engine, pool, scenarios};
+use latlab_core::cli;
+use latlab_serve::{slam, ServeConfig, Server};
 use serde::{Deserialize, Serialize};
+
+const BIN: &str = "perf";
+
+const USAGE: &str = "\
+usage: perf [--out FILE] [--iters N] [--jobs N] [--no-fastforward]
+            [--ingest-secs N] [--ingest-connections N]
+            [--baseline FILE] [--tolerance PCT] [id ...]";
 
 /// Per-scenario timing entry.
 #[derive(Serialize)]
@@ -44,6 +60,21 @@ struct ScenarioBench {
     runs_per_sec: f64,
     checks: usize,
     failed_checks: usize,
+}
+
+/// Loopback benchmark of the `latlab-serve` telemetry path: concurrent
+/// uploaders slamming a local server while a prober times queries.
+#[derive(Serialize)]
+struct IngestBench {
+    connections: usize,
+    duration_s: f64,
+    uploads_done: u64,
+    uploads_busy: u64,
+    upload_errors: u64,
+    records_acked: u64,
+    mb_per_sec: f64,
+    query_p50_ms: f64,
+    query_p99_ms: f64,
 }
 
 /// The whole trajectory datapoint.
@@ -68,6 +99,8 @@ struct BenchReport {
     fastforward: bool,
     /// Peak resident set size of this process, if the platform exposes it.
     peak_rss_kb: Option<u64>,
+    /// Loopback ingest/query benchmark; absent when `--ingest-secs 0`.
+    ingest: Option<IngestBench>,
 }
 
 /// Minimal view of a perf report for `--baseline` comparison. Unknown
@@ -83,6 +116,23 @@ struct BaselineReport {
 struct BaselineScenario {
     id: String,
     wall_ms_min: f64,
+}
+
+/// Ingest slice of a baseline file. Parsed separately from
+/// [`BaselineReport`] because the vendored deserializer rejects absent
+/// fields: a baseline written before the ingest benchmark existed (or
+/// with `--ingest-secs 0`, which serializes `null`) simply fails this
+/// parse and yields no ingest gate.
+#[derive(Deserialize)]
+struct BaselineIngestWrapper {
+    ingest: BaselineIngest,
+}
+
+/// The two ingest figures the gate compares.
+#[derive(Deserialize)]
+struct BaselineIngest {
+    mb_per_sec: f64,
+    query_p99_ms: f64,
 }
 
 /// Peak RSS of the current process in kB (`VmHWM`), Linux only.
@@ -144,6 +194,91 @@ fn gate_against_baseline(
     regressions
 }
 
+/// Noise floors for the ingest gate. Loopback throughput on a shared
+/// runner jitters far more than scenario wall clocks, so a percentage
+/// regression only counts when the absolute movement is also large.
+/// Query p99 under full ingest load is the noisiest figure of all (it is
+/// one scheduler hiccup at the tail); its floor is set so only a genuine
+/// stall on the query path — e.g. a query blocking behind ingest — trips
+/// the gate, not runner jitter.
+const INGEST_NOISE_FLOOR_MB_S: f64 = 10.0;
+const INGEST_NOISE_FLOOR_MS: f64 = 50.0;
+
+/// Compares the fresh ingest figures against the baseline's; returns
+/// regression descriptions (empty = pass).
+fn gate_ingest(base: &BaselineIngest, now: &IngestBench, tolerance_pct: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    if base.mb_per_sec > 0.0 {
+        let delta_pct = (now.mb_per_sec / base.mb_per_sec - 1.0) * 100.0;
+        let drop_abs = base.mb_per_sec - now.mb_per_sec;
+        let regressed = -delta_pct > tolerance_pct && drop_abs > INGEST_NOISE_FLOOR_MB_S;
+        eprintln!(
+            "  gate ingest     {:>9.1} MB/s vs baseline {:>9.1} MB/s ({delta_pct:+.1}%) {}",
+            now.mb_per_sec,
+            base.mb_per_sec,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if regressed {
+            regressions.push(format!(
+                "ingest throughput: {:.1} MB/s vs baseline {:.1} MB/s \
+                 ({delta_pct:+.1}% beyond {tolerance_pct}%)",
+                now.mb_per_sec, base.mb_per_sec
+            ));
+        }
+    }
+    if base.query_p99_ms > 0.0 && now.query_p99_ms > 0.0 {
+        let delta_pct = (now.query_p99_ms / base.query_p99_ms - 1.0) * 100.0;
+        let delta_ms = now.query_p99_ms - base.query_p99_ms;
+        let regressed = delta_pct > tolerance_pct && delta_ms > INGEST_NOISE_FLOOR_MS;
+        eprintln!(
+            "  gate query p99  {:>9.2} ms vs baseline {:>9.2} ms ({delta_pct:+.1}%) {}",
+            now.query_p99_ms,
+            base.query_p99_ms,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if regressed {
+            regressions.push(format!(
+                "query p99: {:.2} ms vs baseline {:.2} ms ({delta_pct:+.1}% > {tolerance_pct}%)",
+                now.query_p99_ms, base.query_p99_ms
+            ));
+        }
+    }
+    regressions
+}
+
+/// Phase 3: the loopback ingest benchmark. Starts an in-process server
+/// on an ephemeral port, slams it with `connections` uploaders replaying
+/// a synthetic idle-stamp corpus for `secs` seconds, and drains it.
+fn ingest_bench(secs: u64, connections: usize) -> std::io::Result<IngestBench> {
+    let server = Server::start(ServeConfig {
+        bind: "127.0.0.1:0".to_string(),
+        read_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    })?;
+    let corpus = vec![latlab_serve::synthetic_corpus(200_000, 0xbe9c, 64)];
+    let cfg = slam::SlamConfig {
+        addr: server.local_addr(),
+        connections,
+        scenario: "perf-ingest".to_string(),
+        duration: Duration::from_secs(secs),
+        ..slam::SlamConfig::default()
+    };
+    let report = slam::run(&cfg, &corpus)?;
+    server.request_shutdown();
+    let _ = server.join();
+    Ok(IngestBench {
+        connections,
+        duration_s: report.elapsed.as_secs_f64(),
+        uploads_done: report.uploads_done,
+        uploads_busy: report.uploads_busy,
+        upload_errors: report.upload_errors,
+        records_acked: report.records_acked,
+        mb_per_sec: report.mb_per_sec(),
+        query_p50_ms: report.query_p50_ms,
+        query_p99_ms: report.query_p99_ms,
+    })
+}
+
 fn main() -> ExitCode {
     let mut out = String::from("BENCH_repro.json");
     let mut iters = 3usize;
@@ -151,47 +286,95 @@ fn main() -> ExitCode {
     let mut fastforward = true;
     let mut baseline_path: Option<String> = None;
     let mut tolerance_pct = 25.0f64;
+    let mut ingest_secs = 2u64;
+    // Default uploader count scales with the machine: 64 connections on
+    // real hardware (the reference load), fewer on starved CI runners
+    // where extra threads only measure scheduler thrash.
+    let mut ingest_connections = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .saturating_mul(8)
+        .clamp(8, 64);
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Result<String, ExitCode> {
+            args.next()
+                .ok_or_else(|| cli::usage_error(BIN, &format!("{what} requires a value"), USAGE))
+        };
         match arg.as_str() {
-            "--out" => out = args.next().expect("--out requires a file name"),
+            "--version" => return cli::print_version(BIN),
+            "--out" => match take("--out") {
+                Ok(v) => out = v,
+                Err(code) => return code,
+            },
             "--iters" => {
-                iters = match args.next().and_then(|n| n.parse().ok()) {
-                    Some(n) if n > 0 => n,
+                match take("--iters").map(|v| v.parse::<usize>()) {
+                    Ok(Ok(n)) if n > 0 => iters = n,
+                    Err(code) => return code,
                     _ => {
-                        eprintln!("--iters requires a positive integer");
-                        return ExitCode::FAILURE;
+                        return cli::usage_error(BIN, "--iters requires a positive integer", USAGE)
                     }
-                }
+                };
             }
             "--jobs" => {
-                jobs = match args.next().and_then(|n| n.parse().ok()) {
-                    Some(n) if n > 0 => n,
-                    _ => {
-                        eprintln!("--jobs requires a positive integer");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                match take("--jobs").map(|v| v.parse::<usize>()) {
+                    Ok(Ok(n)) if n > 0 => jobs = n,
+                    Err(code) => return code,
+                    _ => return cli::usage_error(BIN, "--jobs requires a positive integer", USAGE),
+                };
             }
             "--no-fastforward" => fastforward = false,
-            "--baseline" => {
-                baseline_path = Some(args.next().expect("--baseline requires a file name"));
-            }
-            "--tolerance" => {
-                tolerance_pct = match args.next().and_then(|n| n.parse().ok()) {
-                    Some(n) if n > 0.0 => n,
+            "--ingest-secs" => {
+                match take("--ingest-secs").map(|v| v.parse::<u64>()) {
+                    Ok(Ok(n)) => ingest_secs = n,
+                    Err(code) => return code,
                     _ => {
-                        eprintln!("--tolerance requires a positive percentage");
-                        return ExitCode::FAILURE;
+                        return cli::usage_error(
+                            BIN,
+                            "--ingest-secs requires an integer (0 disables the ingest benchmark)",
+                            USAGE,
+                        )
                     }
-                }
+                };
+            }
+            "--ingest-connections" => {
+                match take("--ingest-connections").map(|v| v.parse::<usize>()) {
+                    Ok(Ok(n)) if n > 0 => ingest_connections = n,
+                    Err(code) => return code,
+                    _ => {
+                        return cli::usage_error(
+                            BIN,
+                            "--ingest-connections requires a positive integer",
+                            USAGE,
+                        )
+                    }
+                };
+            }
+            "--baseline" => match take("--baseline") {
+                Ok(v) => baseline_path = Some(v),
+                Err(code) => return code,
+            },
+            "--tolerance" => {
+                match take("--tolerance").map(|v| v.parse::<f64>()) {
+                    Ok(Ok(n)) if n > 0.0 => tolerance_pct = n,
+                    Err(code) => return code,
+                    _ => {
+                        return cli::usage_error(
+                            BIN,
+                            "--tolerance requires a positive percentage",
+                            USAGE,
+                        )
+                    }
+                };
             }
             "--help" | "-h" => {
-                println!("usage: perf [--out FILE] [--iters N] [--jobs N] [--no-fastforward]");
-                println!("            [--baseline FILE] [--tolerance PCT] [id ...]");
+                println!("{USAGE}");
                 println!("ids: {:?}", scenarios::ALL_IDS);
                 return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return cli::usage_error(BIN, &format!("unknown argument {flag:?}"), USAGE)
             }
             id => ids.push(id.to_string()),
         }
@@ -203,9 +386,14 @@ fn main() -> ExitCode {
         .iter()
         .find(|id| !scenarios::ALL_IDS.contains(&(id.as_str())))
     {
-        eprintln!("unknown experiment id {bad:?}");
-        eprintln!("known ids: {:?}", scenarios::ALL_IDS);
-        return ExitCode::FAILURE;
+        return cli::usage_error(
+            BIN,
+            &format!(
+                "unknown experiment id {bad:?} (known ids: {:?})",
+                scenarios::ALL_IDS
+            ),
+            USAGE,
+        );
     }
     // The pooled pass defaults to one worker per detected core; `--jobs`
     // overrides. (The sequential pass is, by definition, one worker.)
@@ -290,6 +478,30 @@ fn main() -> ExitCode {
         }
     }
 
+    // Phase 3: loopback ingest/query benchmark of the telemetry service.
+    let ingest = if ingest_secs > 0 {
+        eprintln!(
+            "perf: ingest benchmark — {ingest_connections} connection(s) for {ingest_secs} s"
+        );
+        match ingest_bench(ingest_secs, ingest_connections) {
+            Ok(bench) => {
+                eprintln!(
+                    "  ingest {:>9.1} MB/s  ({} uploads, {} busy)  query p50 {:.2} ms  \
+                     p99 {:.2} ms",
+                    bench.mb_per_sec,
+                    bench.uploads_done,
+                    bench.uploads_busy,
+                    bench.query_p50_ms,
+                    bench.query_p99_ms
+                );
+                Some(bench)
+            }
+            Err(e) => return cli::runtime_error(BIN, &format!("ingest benchmark failed: {e}")),
+        }
+    } else {
+        None
+    };
+
     let report = BenchReport {
         schema: "latlab-perf-v2".to_string(),
         scenarios: entries,
@@ -301,17 +513,14 @@ fn main() -> ExitCode {
         speedup: seq_total_ms / parallel_total_ms.max(1e-9),
         fastforward,
         peak_rss_kb: peak_rss_kb(),
+        ingest,
     };
     let json = match serde_json::to_string_pretty(&report) {
         Ok(j) => j,
-        Err(e) => {
-            eprintln!("cannot serialize perf report: {e:?}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli::runtime_error(BIN, &format!("cannot serialize perf report: {e:?}")),
     };
     if let Err(e) = std::fs::write(&out, json + "\n") {
-        eprintln!("cannot write {out}: {e}");
-        return ExitCode::FAILURE;
+        return cli::runtime_error(BIN, &format!("cannot write {out}: {e}"));
     }
     eprintln!(
         "perf: sequential {seq_total_ms:.0} ms, pool({jobs_pooled}) {parallel_total_ms:.0} ms \
@@ -321,22 +530,26 @@ fn main() -> ExitCode {
     if let Some(path) = baseline_path {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read baseline {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return cli::runtime_error(BIN, &format!("cannot read baseline {path}: {e}")),
         };
         let baseline: BaselineReport = match serde_json::from_str(&text) {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("cannot parse baseline {path}: {e:?}");
-                return ExitCode::FAILURE;
+                return cli::runtime_error(BIN, &format!("cannot parse baseline {path}: {e:?}"))
             }
         };
         eprintln!("perf: gating against {path} (tolerance {tolerance_pct}%)");
-        let regressions = gate_against_baseline(&baseline, &report.scenarios, tolerance_pct);
+        let mut regressions = gate_against_baseline(&baseline, &report.scenarios, tolerance_pct);
+        // The ingest gate is opportunistic: it engages only when both the
+        // baseline and this run carry ingest figures.
+        if let (Ok(base), Some(now)) = (
+            serde_json::from_str::<BaselineIngestWrapper>(&text),
+            report.ingest.as_ref(),
+        ) {
+            regressions.extend(gate_ingest(&base.ingest, now, tolerance_pct));
+        }
         if !regressions.is_empty() {
-            eprintln!("perf: {} scenario(s) regressed:", regressions.len());
+            eprintln!("perf: {} measurement(s) regressed:", regressions.len());
             for r in &regressions {
                 eprintln!("  {r}");
             }

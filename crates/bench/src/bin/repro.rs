@@ -39,7 +39,14 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use latlab_bench::{engine, scenarios};
+use latlab_core::cli;
 use latlab_faults::FaultPlan;
+
+const BIN: &str = "repro";
+
+const USAGE: &str = "\
+usage: repro [--out DIR] [--record DIR] [--jobs N] [--faults SPEC|@FILE]
+             [--timeout SECS] [--no-fastforward] [--list] [id ...]";
 
 /// Parses `--faults` input: an inline spec string, or `@FILE` naming a
 /// TOML plan file.
@@ -60,44 +67,61 @@ fn main() -> ExitCode {
     };
     let mut ids: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Result<String, ExitCode> {
+            args.next()
+                .ok_or_else(|| cli::usage_error(BIN, &format!("{what} requires a value"), USAGE))
+        };
         match arg.as_str() {
-            "--out" => {
-                cfg.out_dir = Some(PathBuf::from(
-                    args.next().expect("--out requires a directory"),
-                ));
-            }
-            "--record" => {
-                cfg.record_dir = Some(PathBuf::from(
-                    args.next().expect("--record requires a directory"),
-                ));
-            }
+            "--version" => return cli::print_version(BIN),
+            "--out" => match take("--out") {
+                Ok(v) => cfg.out_dir = Some(PathBuf::from(v)),
+                Err(code) => return code,
+            },
+            "--record" => match take("--record") {
+                Ok(v) => cfg.record_dir = Some(PathBuf::from(v)),
+                Err(code) => return code,
+            },
             "--jobs" => {
-                let n = args.next().expect("--jobs requires a thread count");
+                let n = match take("--jobs") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
                 match n.parse::<usize>() {
                     Ok(n) if n > 0 => cfg.jobs = n,
                     _ => {
-                        eprintln!("--jobs requires a positive integer, got {n:?}");
-                        return ExitCode::FAILURE;
+                        return cli::usage_error(
+                            BIN,
+                            &format!("--jobs requires a positive integer, got {n:?}"),
+                            USAGE,
+                        )
                     }
                 }
             }
             "--faults" => {
-                let spec = args.next().expect("--faults requires a spec or @FILE");
+                let spec = match take("--faults") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
                 match parse_faults(&spec) {
                     Ok(plan) => cfg.faults = Some(plan),
                     Err(e) => {
-                        eprintln!("--faults: {e}");
-                        return ExitCode::FAILURE;
+                        return cli::usage_error(BIN, &format!("--faults: {e}"), USAGE);
                     }
                 }
             }
             "--timeout" => {
-                let n = args.next().expect("--timeout requires seconds");
+                let n = match take("--timeout") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
                 match n.parse::<u64>() {
                     Ok(n) if n > 0 => cfg.timeout = Some(Duration::from_secs(n)),
                     _ => {
-                        eprintln!("--timeout requires a positive integer, got {n:?}");
-                        return ExitCode::FAILURE;
+                        return cli::usage_error(
+                            BIN,
+                            &format!("--timeout requires a positive integer, got {n:?}"),
+                            USAGE,
+                        )
                     }
                 }
             }
@@ -111,15 +135,15 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [--out DIR] [--record DIR] [--jobs N] [--faults SPEC|@FILE]"
-                );
-                println!("             [--timeout SECS] [--no-fastforward] [--list] [id ...]");
+                println!("{USAGE}");
                 println!(
                     "ids (see --list for descriptions): {:?}",
                     scenarios::ALL_IDS
                 );
                 return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return cli::usage_error(BIN, &format!("unknown argument {flag:?}"), USAGE)
             }
             id => ids.push(id.to_string()),
         }
@@ -133,14 +157,21 @@ fn main() -> ExitCode {
         .iter()
         .find(|id| !scenarios::ALL_IDS.contains(&(id.as_str())) && !id.starts_with("__"))
     {
-        eprintln!("unknown experiment id {bad:?}");
-        eprintln!("known ids: {:?}", scenarios::ALL_IDS);
-        return ExitCode::FAILURE;
+        return cli::usage_error(
+            BIN,
+            &format!(
+                "unknown experiment id {bad:?} (known ids: {:?})",
+                scenarios::ALL_IDS
+            ),
+            USAGE,
+        );
     }
     if let Some(dir) = &cfg.record_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create record directory {}: {e}", dir.display());
-            return ExitCode::FAILURE;
+            return cli::runtime_error(
+                BIN,
+                &format!("cannot create record directory {}: {e}", dir.display()),
+            );
         }
     }
 

@@ -5,19 +5,26 @@
 //! sweep --os nt351 --param crossing-instr --metric pagedown \
 //!       --values 1000,2500,5000,10000
 //! ```
+//!
+//! Usage errors exit 2; a sweep whose points fail exits 1.
 
 use std::process::ExitCode;
 
 use latlab_bench::pool::JobOutcome;
 use latlab_bench::sweep::{run_sweep_supervised, SweepMetric, SweepParam};
+use latlab_core::cli;
 use latlab_os::OsProfile;
 
-fn usage() {
-    println!(
-        "usage: sweep --os <nt351|nt40|win95> --param <name> --metric <name> --values a,b,c [--jobs N] [--no-fastforward]"
-    );
-    println!("params:  {}", SweepParam::ALL.map(|p| p.name()).join(", "));
-    println!("metrics: {}", SweepMetric::ALL.map(|m| m.name()).join(", "));
+const BIN: &str = "sweep";
+
+fn usage_text() -> String {
+    format!(
+        "usage: sweep --os <nt351|nt40|win95> --param <name> --metric <name> \
+         --values a,b,c [--jobs N] [--no-fastforward]\n\
+         params:  {}\nmetrics: {}",
+        SweepParam::ALL.map(|p| p.name()).join(", "),
+        SweepMetric::ALL.map(|m| m.name()).join(", ")
+    )
 }
 
 fn main() -> ExitCode {
@@ -28,16 +35,15 @@ fn main() -> ExitCode {
     let mut jobs = 0usize;
     let mut fastforward = true;
     let mut args = std::env::args().skip(1);
+    let usage = |msg: &str| cli::usage_error(BIN, msg, &usage_text());
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--version" => return cli::print_version(BIN),
             "--no-fastforward" => fastforward = false,
             "--jobs" => {
                 jobs = match args.next().and_then(|n| n.parse().ok()) {
                     Some(n) if n > 0 => n,
-                    _ => {
-                        eprintln!("--jobs requires a positive integer");
-                        return ExitCode::FAILURE;
-                    }
+                    _ => return usage("--jobs requires a positive integer"),
                 }
             }
             "--os" => {
@@ -45,50 +51,48 @@ fn main() -> ExitCode {
                     Some("nt351") => OsProfile::Nt351,
                     Some("nt40") => OsProfile::Nt40,
                     Some("win95") => OsProfile::Win95,
-                    other => {
-                        eprintln!("unknown OS {other:?}");
-                        return ExitCode::FAILURE;
-                    }
+                    other => return usage(&format!("unknown OS {other:?}")),
                 }
             }
             "--param" => {
-                param = args.next().and_then(|n| SweepParam::parse(&n));
-                if param.is_none() {
-                    eprintln!("unknown parameter");
-                    usage();
-                    return ExitCode::FAILURE;
+                param = match args.next() {
+                    Some(n) => match SweepParam::parse(&n) {
+                        Some(p) => Some(p),
+                        None => return usage(&format!("unknown parameter {n:?}")),
+                    },
+                    None => return usage("--param requires a value"),
                 }
             }
             "--metric" => {
-                metric = args.next().and_then(|n| SweepMetric::parse(&n));
-                if metric.is_none() {
-                    eprintln!("unknown metric");
-                    usage();
-                    return ExitCode::FAILURE;
+                metric = match args.next() {
+                    Some(n) => match SweepMetric::parse(&n) {
+                        Some(m) => Some(m),
+                        None => return usage(&format!("unknown metric {n:?}")),
+                    },
+                    None => return usage("--metric requires a value"),
                 }
             }
             "--values" => {
-                values = args
-                    .next()
-                    .unwrap_or_default()
-                    .split(',')
-                    .filter_map(|v| v.trim().parse().ok())
-                    .collect();
+                let Some(list) = args.next() else {
+                    return usage("--values requires a comma-separated list");
+                };
+                values.clear();
+                for v in list.split(',') {
+                    match v.trim().parse() {
+                        Ok(v) => values.push(v),
+                        Err(_) => return usage(&format!("bad value {v:?} in --values")),
+                    }
+                }
             }
             "--help" | "-h" => {
-                usage();
+                println!("{}", usage_text());
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("unknown argument {other:?}");
-                usage();
-                return ExitCode::FAILURE;
-            }
+            other => return usage(&format!("unknown argument {other:?}")),
         }
     }
     let (Some(param), Some(metric)) = (param, metric) else {
-        usage();
-        return ExitCode::FAILURE;
+        return usage("--param and --metric are required");
     };
     if values.is_empty() {
         // Default: stock value halved, stock, doubled, quadrupled.
@@ -139,8 +143,7 @@ fn main() -> ExitCode {
         }
     }
     if failed > 0 {
-        eprintln!("sweep: {failed} point(s) failed");
-        return ExitCode::FAILURE;
+        return cli::runtime_error(BIN, &format!("{failed} point(s) failed"));
     }
     ExitCode::SUCCESS
 }

@@ -3,11 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! trace inspect FILE [--tolerate-truncation]   # header + integrity scan
-//! trace summary FILE            # streaming statistics (O(1) memory)
-//! trace export-csv FILE [--out FILE]
-//! trace diff FILE_A FILE_B      # record-level comparison
+//! trace inspect FILE [--tolerate-truncation]    # header + integrity scan
+//! trace summary INPUT...         # streaming statistics (O(1) memory)
+//! trace export-csv INPUT... [--out FILE]
+//! trace diff FILE_A FILE_B       # record-level comparison
 //! ```
+//!
+//! `summary` and `export-csv` take any mix of files and directories; a
+//! directory contributes every `*.ltrc` inside it. Multiple inputs of
+//! the same stream kind aggregate into one combined summary (counts sum,
+//! distributions merge), and multi-input CSV rows gain a leading `file`
+//! column so provenance survives the concatenation.
 //!
 //! `inspect --tolerate-truncation` is the recovery mode for traces cut
 //! short by a crash or kill (including the `.ltrc.tmp` files an
@@ -18,18 +24,60 @@
 //! Trace files are produced by `repro --record DIR` (see
 //! `latlab_bench::record`) or any [`latlab_trace::TraceWriter`] user.
 //! All subcommands stream: memory use is independent of trace length,
-//! and corrupt input is reported as an error, never a panic.
+//! and corrupt input is reported as an error, never a panic. Usage
+//! errors exit 2; runtime failures (unreadable or corrupt traces,
+//! differing diffs) exit 1.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use latlab_analysis::{summarize_stamps, StreamingSummary};
+use latlab_core::cli;
 use latlab_os::tracebridge;
-use latlab_trace::{Record, StreamKind, TraceError, TraceMeta, TraceReader};
+use latlab_trace::{Record, StreamKind, TraceError, TraceMeta, TraceReader, FILE_EXTENSION};
 
-fn open(path: &str) -> Result<TraceReader<BufReader<File>>, TraceError> {
+const BIN: &str = "trace";
+
+const USAGE: &str = "\
+usage: trace <inspect|summary|export-csv|diff> ...
+  trace inspect FILE [--tolerate-truncation]
+  trace summary INPUT...            INPUT = trace file or directory of .ltrc
+  trace export-csv INPUT... [--out FILE]
+  trace diff FILE_A FILE_B
+  trace --version";
+
+fn open(path: &Path) -> Result<TraceReader<BufReader<File>>, TraceError> {
     TraceReader::open(BufReader::new(File::open(path)?))
+}
+
+/// Expands files-or-directories into the ordered list of trace files.
+/// A directory contributes its `*.ltrc` entries, sorted by name.
+fn expand_inputs(inputs: &[String]) -> Result<Vec<PathBuf>, TraceError> {
+    let mut paths = Vec::new();
+    for input in inputs {
+        let p = PathBuf::from(input);
+        if p.is_dir() {
+            let mut found: Vec<PathBuf> = std::fs::read_dir(&p)?
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|e| e.path())
+                .filter(|f| f.is_file() && f.extension().is_some_and(|x| x == FILE_EXTENSION))
+                .collect();
+            found.sort();
+            if found.is_empty() {
+                return Err(TraceError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("no .{FILE_EXTENSION} files in directory {input}"),
+                )));
+            }
+            paths.extend(found);
+        } else {
+            paths.push(p);
+        }
+    }
+    Ok(paths)
 }
 
 fn print_meta(meta: &TraceMeta) {
@@ -40,7 +88,7 @@ fn print_meta(meta: &TraceMeta) {
     println!("seed:        {:#018x}", meta.seed);
 }
 
-fn inspect(path: &str, tolerate_truncation: bool) -> Result<ExitCode, TraceError> {
+fn inspect(path: &Path, tolerate_truncation: bool) -> Result<ExitCode, TraceError> {
     let mut reader = open(path)?;
     reader.set_tolerant(tolerate_truncation);
     print_meta(&reader.meta().clone());
@@ -82,73 +130,200 @@ fn print_summary_block(name: &str, s: &StreamingSummary) {
     );
 }
 
-fn summary(path: &str) -> Result<ExitCode, TraceError> {
-    let reader = open(path)?;
-    let meta = reader.meta().clone();
-    print_meta(&meta);
-    match meta.kind {
-        StreamKind::IdleStamps => {
-            let s = summarize_stamps(reader)?;
-            println!("records:     {}", s.records);
-            print_summary_block("intervals_ms", &s.intervals);
-            print_summary_block("excess_ms", &s.excess);
-        }
-        StreamKind::ApiLog => {
-            let mut total = 0u64;
-            let mut get = 0u64;
-            let mut peek = 0u64;
-            let mut retrieved = 0u64;
-            let mut empty = 0u64;
-            let mut blocked = 0u64;
-            let mut max_queue = 0u32;
-            for rec in reader {
-                let Record::Api(r) = rec? else {
-                    unreachable!("apilog stream yielded a non-API record");
-                };
-                let entry = tracebridge::from_record(&r)?;
-                total += 1;
-                match entry.entry {
-                    latlab_os::ApiEntry::GetMessage => get += 1,
-                    latlab_os::ApiEntry::PeekMessage => peek += 1,
-                }
-                match entry.outcome {
-                    latlab_os::ApiOutcome::Retrieved(_) => retrieved += 1,
-                    latlab_os::ApiOutcome::Empty => empty += 1,
-                    latlab_os::ApiOutcome::Blocked => blocked += 1,
-                }
-                max_queue = max_queue.max(r.queue_len);
-            }
-            println!("records:     {total}");
-            println!("get_message: {get}");
-            println!("peek_message: {peek}");
-            println!("retrieved:   {retrieved}");
-            println!("empty:       {empty}");
-            println!("blocked:     {blocked}");
-            println!("max_queue:   {max_queue}");
-        }
-        StreamKind::Counters => {
-            let mut total = 0u64;
-            let mut values = StreamingSummary::new();
-            for rec in reader {
-                let Record::Counter(c) = rec? else {
-                    unreachable!("counter stream yielded a non-counter record");
-                };
-                total += 1;
-                values.push(c.value as f64);
-            }
-            println!("records:     {total}");
-            print_summary_block("values", &values);
+/// Per-kind aggregation state for `summary` over multiple files.
+enum SummaryAgg {
+    Stamps {
+        records: u64,
+        intervals: StreamingSummary,
+        excess: StreamingSummary,
+    },
+    Api {
+        total: u64,
+        get: u64,
+        peek: u64,
+        retrieved: u64,
+        empty: u64,
+        blocked: u64,
+        max_queue: u32,
+    },
+    Counters {
+        total: u64,
+        values: StreamingSummary,
+    },
+}
+
+impl SummaryAgg {
+    fn new(kind: StreamKind) -> Self {
+        match kind {
+            StreamKind::IdleStamps => SummaryAgg::Stamps {
+                records: 0,
+                intervals: StreamingSummary::new(),
+                excess: StreamingSummary::new(),
+            },
+            StreamKind::ApiLog => SummaryAgg::Api {
+                total: 0,
+                get: 0,
+                peek: 0,
+                retrieved: 0,
+                empty: 0,
+                blocked: 0,
+                max_queue: 0,
+            },
+            StreamKind::Counters => SummaryAgg::Counters {
+                total: 0,
+                values: StreamingSummary::new(),
+            },
         }
     }
+
+    fn kind(&self) -> StreamKind {
+        match self {
+            SummaryAgg::Stamps { .. } => StreamKind::IdleStamps,
+            SummaryAgg::Api { .. } => StreamKind::ApiLog,
+            SummaryAgg::Counters { .. } => StreamKind::Counters,
+        }
+    }
+
+    fn fold(&mut self, reader: TraceReader<BufReader<File>>) -> Result<(), TraceError> {
+        match self {
+            SummaryAgg::Stamps {
+                records,
+                intervals,
+                excess,
+            } => {
+                let s = summarize_stamps(reader)?;
+                *records += s.records;
+                intervals.merge(&s.intervals);
+                excess.merge(&s.excess);
+            }
+            SummaryAgg::Api {
+                total,
+                get,
+                peek,
+                retrieved,
+                empty,
+                blocked,
+                max_queue,
+            } => {
+                for rec in reader {
+                    let Record::Api(r) = rec? else {
+                        unreachable!("apilog stream yielded a non-API record");
+                    };
+                    let entry = tracebridge::from_record(&r)?;
+                    *total += 1;
+                    match entry.entry {
+                        latlab_os::ApiEntry::GetMessage => *get += 1,
+                        latlab_os::ApiEntry::PeekMessage => *peek += 1,
+                    }
+                    match entry.outcome {
+                        latlab_os::ApiOutcome::Retrieved(_) => *retrieved += 1,
+                        latlab_os::ApiOutcome::Empty => *empty += 1,
+                        latlab_os::ApiOutcome::Blocked => *blocked += 1,
+                    }
+                    *max_queue = (*max_queue).max(r.queue_len);
+                }
+            }
+            SummaryAgg::Counters { total, values } => {
+                for rec in reader {
+                    let Record::Counter(c) = rec? else {
+                        unreachable!("counter stream yielded a non-counter record");
+                    };
+                    *total += 1;
+                    values.push(c.value as f64);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn print(&self) {
+        match self {
+            SummaryAgg::Stamps {
+                records,
+                intervals,
+                excess,
+            } => {
+                println!("records:     {records}");
+                print_summary_block("intervals_ms", intervals);
+                print_summary_block("excess_ms", excess);
+            }
+            SummaryAgg::Api {
+                total,
+                get,
+                peek,
+                retrieved,
+                empty,
+                blocked,
+                max_queue,
+            } => {
+                println!("records:     {total}");
+                println!("get_message: {get}");
+                println!("peek_message: {peek}");
+                println!("retrieved:   {retrieved}");
+                println!("empty:       {empty}");
+                println!("blocked:     {blocked}");
+                println!("max_queue:   {max_queue}");
+            }
+            SummaryAgg::Counters { total, values } => {
+                println!("records:     {total}");
+                print_summary_block("values", values);
+            }
+        }
+    }
+}
+
+fn summary(paths: &[PathBuf]) -> Result<ExitCode, TraceError> {
+    let mut agg: Option<SummaryAgg> = None;
+    for path in paths {
+        let reader = open(path)?;
+        let meta = reader.meta().clone();
+        match &mut agg {
+            None => {
+                if paths.len() == 1 {
+                    print_meta(&meta);
+                } else {
+                    println!("files:       {}", paths.len());
+                    println!("kind:        {}", meta.kind.name());
+                }
+                let mut a = SummaryAgg::new(meta.kind);
+                a.fold(reader)?;
+                agg = Some(a);
+            }
+            Some(a) => {
+                if meta.kind != a.kind() {
+                    return Err(TraceError::Corrupt {
+                        what: "cannot aggregate traces of different stream kinds",
+                    });
+                }
+                a.fold(reader)?;
+            }
+        }
+    }
+    agg.expect("at least one input").print();
     Ok(ExitCode::SUCCESS)
 }
 
-fn export_csv(path: &str, out: &mut dyn Write) -> Result<ExitCode, TraceError> {
+/// Streams one file's rows. With `file_col`, every row leads with the
+/// file's name so concatenated exports keep their provenance.
+fn export_rows(
+    path: &Path,
+    expect_kind: StreamKind,
+    file_col: bool,
+    out: &mut dyn Write,
+) -> Result<(), TraceError> {
     let mut reader = open(path)?;
     let meta = reader.meta().clone();
+    if meta.kind != expect_kind {
+        return Err(TraceError::Corrupt {
+            what: "cannot export traces of different stream kinds together",
+        });
+    }
+    let mut prefix = String::new();
+    if file_col {
+        prefix = format!("{},", path.display());
+    }
     match meta.kind {
         StreamKind::IdleStamps => {
-            writeln!(out, "stamp_cycles,interval_ms,excess_ms")?;
             let baseline_ms = meta.freq.to_ms(meta.baseline);
             let mut prev: Option<u64> = None;
             while let Some(rec) = reader.next()? {
@@ -156,12 +331,12 @@ fn export_csv(path: &str, out: &mut dyn Write) -> Result<ExitCode, TraceError> {
                     unreachable!("stamp stream yielded a non-stamp record");
                 };
                 match prev {
-                    None => writeln!(out, "{s},,")?,
+                    None => writeln!(out, "{prefix}{s},,")?,
                     Some(p) => {
                         let interval = meta.freq.to_ms(latlab_des::SimDuration::from_cycles(s - p));
                         writeln!(
                             out,
-                            "{s},{interval:.6},{:.6}",
+                            "{prefix}{s},{interval:.6},{:.6}",
                             (interval - baseline_ms).max(0.0)
                         )?;
                     }
@@ -170,27 +345,42 @@ fn export_csv(path: &str, out: &mut dyn Write) -> Result<ExitCode, TraceError> {
             }
         }
         StreamKind::ApiLog => {
-            writeln!(out, "at_cycles,thread,entry,outcome,a,b,queue_len")?;
             while let Some(rec) = reader.next()? {
                 let Record::Api(r) = rec else {
                     unreachable!("apilog stream yielded a non-API record");
                 };
                 writeln!(
                     out,
-                    "{},{},{},{},{},{},{}",
+                    "{prefix}{},{},{},{},{},{},{}",
                     r.at_cycles, r.thread, r.entry, r.outcome, r.a, r.b, r.queue_len
                 )?;
             }
         }
         StreamKind::Counters => {
-            writeln!(out, "at_cycles,counter,value")?;
             while let Some(rec) = reader.next()? {
                 let Record::Counter(c) = rec else {
                     unreachable!("counter stream yielded a non-counter record");
                 };
-                writeln!(out, "{},{},{}", c.at_cycles, c.counter, c.value)?;
+                writeln!(out, "{prefix}{},{},{}", c.at_cycles, c.counter, c.value)?;
             }
         }
+    }
+    Ok(())
+}
+
+fn export_csv(paths: &[PathBuf], out: &mut dyn Write) -> Result<ExitCode, TraceError> {
+    let kind = open(&paths[0])?.meta().kind;
+    let file_col = paths.len() > 1;
+    let prefix = if file_col { "file," } else { "" };
+    match kind {
+        StreamKind::IdleStamps => writeln!(out, "{prefix}stamp_cycles,interval_ms,excess_ms")?,
+        StreamKind::ApiLog => {
+            writeln!(out, "{prefix}at_cycles,thread,entry,outcome,a,b,queue_len")?
+        }
+        StreamKind::Counters => writeln!(out, "{prefix}at_cycles,counter,value")?,
+    }
+    for path in paths {
+        export_rows(path, kind, file_col, out)?;
     }
     out.flush()?;
     Ok(ExitCode::SUCCESS)
@@ -199,7 +389,7 @@ fn export_csv(path: &str, out: &mut dyn Write) -> Result<ExitCode, TraceError> {
 /// How many differing records to print before only counting.
 const DIFF_PREVIEW: usize = 5;
 
-fn diff(path_a: &str, path_b: &str) -> Result<ExitCode, TraceError> {
+fn diff(path_a: &Path, path_b: &Path) -> Result<ExitCode, TraceError> {
     let mut a = open(path_a)?;
     let mut b = open(path_b)?;
     let mut differences = 0u64;
@@ -266,45 +456,66 @@ fn diff(path_a: &str, path_b: &str) -> Result<ExitCode, TraceError> {
         Ok(ExitCode::SUCCESS)
     } else {
         println!("{differences} difference(s)");
-        Ok(ExitCode::FAILURE)
+        Ok(ExitCode::from(cli::EXIT_RUNTIME))
     }
 }
 
-const USAGE: &str = "usage: trace <inspect|summary|export-csv|diff> FILE \
-                     [FILE|--out FILE|--tolerate-truncation]";
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version") {
+        return cli::print_version(BIN);
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let usage = |msg: &str| cli::usage_error(BIN, msg, USAGE);
     let result = match args.first().map(String::as_str) {
-        Some("inspect") if args.len() == 2 => inspect(&args[1], false),
-        Some("inspect") if args.len() == 3 && args[2] == "--tolerate-truncation" => {
-            inspect(&args[1], true)
-        }
-        Some("summary") if args.len() == 2 => summary(&args[1]),
-        Some("export-csv") if args.len() == 2 => {
-            export_csv(&args[1], &mut BufWriter::new(std::io::stdout().lock()))
-        }
-        Some("export-csv") if args.len() == 4 && args[2] == "--out" => {
-            match File::create(&args[3]) {
-                Ok(f) => export_csv(&args[1], &mut BufWriter::new(f)),
-                Err(e) => Err(e.into()),
+        Some("inspect") => match args.len() {
+            2 => inspect(Path::new(&args[1]), false),
+            3 if args[2] == "--tolerate-truncation" => inspect(Path::new(&args[1]), true),
+            _ => return usage("inspect takes FILE [--tolerate-truncation]"),
+        },
+        Some("summary") => {
+            if args.len() < 2 {
+                return usage("summary requires at least one INPUT");
+            }
+            match expand_inputs(&args[1..]) {
+                Ok(paths) => summary(&paths),
+                Err(e) => Err(e),
             }
         }
-        Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
-        Some("--help" | "-h") => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
+        Some("export-csv") => {
+            let rest = &args[1..];
+            let (inputs, out_path): (&[String], Option<&String>) =
+                match rest.iter().position(|a| a == "--out") {
+                    Some(i) if i + 2 == rest.len() && i > 0 => (&rest[..i], Some(&rest[i + 1])),
+                    Some(_) => return usage("--out takes exactly one FILE, after the inputs"),
+                    None if !rest.is_empty() => (rest, None),
+                    None => return usage("export-csv requires at least one INPUT"),
+                };
+            match expand_inputs(inputs) {
+                Err(e) => Err(e),
+                Ok(paths) => match out_path {
+                    None => export_csv(&paths, &mut BufWriter::new(std::io::stdout().lock())),
+                    Some(p) => match File::create(p) {
+                        Ok(f) => export_csv(&paths, &mut BufWriter::new(f)),
+                        Err(e) => Err(e.into()),
+                    },
+                },
+            }
         }
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::FAILURE;
+        Some("diff") => {
+            if args.len() != 3 {
+                return usage("diff takes exactly FILE_A FILE_B");
+            }
+            diff(Path::new(&args[1]), Path::new(&args[2]))
         }
+        Some(other) => return usage(&format!("unknown subcommand {other:?}")),
+        None => return usage("missing subcommand"),
     };
     match result {
         Ok(code) => code,
-        Err(e) => {
-            eprintln!("trace: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => cli::runtime_error(BIN, &e.to_string()),
     }
 }

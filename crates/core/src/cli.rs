@@ -1,0 +1,68 @@
+//! Shared command-line conventions for every latlab binary.
+//!
+//! All binaries (`repro`, `sweep`, `perf`, `trace`, `serve`, `slam`)
+//! follow one contract:
+//!
+//! * `--version` prints a single line built from [`VERSION`] — the one
+//!   workspace-wide version constant — and exits 0;
+//! * **usage errors** (unknown flags, missing or malformed argument
+//!   values, unknown subcommands or ids) exit with [`EXIT_USAGE`] (2);
+//! * **runtime failures** (I/O errors, failed checks, server faults)
+//!   exit with [`EXIT_RUNTIME`] (1);
+//! * success exits 0.
+//!
+//! The 1-vs-2 split follows the convention of `grep` and friends:
+//! scripts can distinguish "you invoked me wrong" from "I ran and the
+//! work failed".
+
+use std::process::ExitCode;
+
+/// The workspace version every binary reports (all crates share the
+/// workspace `version` field, so this constant is the single source).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Exit code for usage errors: bad flags, malformed values, unknown ids.
+pub const EXIT_USAGE: u8 = 2;
+
+/// Exit code for runtime failures: the invocation was well-formed but
+/// the work failed.
+pub const EXIT_RUNTIME: u8 = 1;
+
+/// Prints the standard `--version` line for a binary and returns the
+/// success exit code.
+pub fn print_version(bin: &str) -> ExitCode {
+    println!("{bin} (latlab) {VERSION}");
+    ExitCode::SUCCESS
+}
+
+/// Reports a usage error to stderr (message plus usage line) and returns
+/// [`EXIT_USAGE`].
+pub fn usage_error(bin: &str, msg: &str, usage: &str) -> ExitCode {
+    eprintln!("{bin}: {msg}");
+    eprintln!("{usage}");
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Reports a runtime failure to stderr and returns [`EXIT_RUNTIME`].
+pub fn runtime_error(bin: &str, msg: &str) -> ExitCode {
+    eprintln!("{bin}: {msg}");
+    ExitCode::from(EXIT_RUNTIME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_matches_workspace_manifest() {
+        assert_eq!(VERSION, env!("CARGO_PKG_VERSION"));
+        assert!(!VERSION.is_empty());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        assert_ne!(EXIT_USAGE, EXIT_RUNTIME);
+        assert_eq!(EXIT_USAGE, 2);
+        assert_eq!(EXIT_RUNTIME, 1);
+    }
+}

@@ -24,6 +24,7 @@
 //! the paper's tools had on real hardware; simulator ground truth is used
 //! exclusively by validation tests.
 
+pub mod cli;
 pub mod counters;
 pub mod extract;
 pub mod fsm;

@@ -1,0 +1,133 @@
+//! `latlab-slam` — load generator for `latlab-serve`.
+
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use latlab_analysis::EventClass;
+use latlab_core::cli;
+use latlab_serve::{slam, SlamConfig};
+
+const BIN: &str = "latlab-slam";
+
+const USAGE: &str = "\
+usage: latlab-slam ADDR [options] [CORPUS.ltrc ...]
+  ADDR                  server address, e.g. 127.0.0.1:4117
+  --connections N       concurrent uploaders (default 4)
+  --duration-s N        run length in seconds (default 5)
+  --scenario NAME       scenario uploads land under (default slam)
+  --class NAME          event class for samples (default keystroke)
+  --frame-kb N          wire frame payload size in KB (default 64)
+  --synthetic-records N corpus if no files given (default 200000 records)
+  --version             print version and exit
+  --help                print this help
+Replays the corpus traces from all connections until the duration
+elapses, probing query latency throughout; prints key=value results.";
+
+fn main() -> ExitCode {
+    let mut addr_arg: Option<String> = None;
+    let mut corpus_paths: Vec<String> = Vec::new();
+    let mut config = SlamConfig::default();
+    let mut synthetic_records = 200_000u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Result<String, ExitCode> {
+            args.next()
+                .ok_or_else(|| cli::usage_error(BIN, &format!("{what} requires a value"), USAGE))
+        };
+        macro_rules! parse_or_usage {
+            ($what:expr, $ty:ty) => {
+                match take($what) {
+                    Ok(v) => match v.parse::<$ty>() {
+                        Ok(v) => v,
+                        Err(_) => {
+                            return cli::usage_error(
+                                BIN,
+                                &format!("invalid value for {}: {v:?}", $what),
+                                USAGE,
+                            )
+                        }
+                    },
+                    Err(code) => return code,
+                }
+            };
+        }
+        match arg.as_str() {
+            "--version" => return cli::print_version(BIN),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--connections" => config.connections = parse_or_usage!("--connections", usize),
+            "--duration-s" => {
+                config.duration = Duration::from_secs(parse_or_usage!("--duration-s", u64))
+            }
+            "--scenario" => match take("--scenario") {
+                Ok(v) => config.scenario = v,
+                Err(code) => return code,
+            },
+            "--class" => match take("--class") {
+                Ok(v) => match EventClass::parse(&v) {
+                    Some(c) => config.class = Some(c),
+                    None => {
+                        return cli::usage_error(BIN, &format!("unknown event class {v:?}"), USAGE)
+                    }
+                },
+                Err(code) => return code,
+            },
+            "--frame-kb" => config.frame_len = parse_or_usage!("--frame-kb", usize) * 1024,
+            "--synthetic-records" => {
+                synthetic_records = parse_or_usage!("--synthetic-records", u64)
+            }
+            flag if flag.starts_with("--") => {
+                return cli::usage_error(BIN, &format!("unknown argument {flag:?}"), USAGE)
+            }
+            positional if addr_arg.is_none() => addr_arg = Some(positional.to_owned()),
+            positional => corpus_paths.push(positional.to_owned()),
+        }
+    }
+    let Some(addr_arg) = addr_arg else {
+        return cli::usage_error(BIN, "missing server ADDR", USAGE);
+    };
+    if config.connections == 0 {
+        return cli::usage_error(BIN, "--connections must be at least 1", USAGE);
+    }
+    let addr = match addr_arg.to_socket_addrs().map(|mut it| it.next()) {
+        Ok(Some(a)) => a,
+        _ => return cli::usage_error(BIN, &format!("unresolvable address {addr_arg:?}"), USAGE),
+    };
+    config.addr = addr;
+
+    let mut corpus: Vec<Vec<u8>> = Vec::new();
+    for path in &corpus_paths {
+        match std::fs::read(path) {
+            Ok(bytes) => corpus.push(bytes),
+            Err(e) => return cli::runtime_error(BIN, &format!("cannot read {path}: {e}")),
+        }
+    }
+    if corpus.is_empty() {
+        // Spikes every 64 stamps keep the sketches non-trivial.
+        corpus.push(slam::synthetic_corpus(synthetic_records, 0x5eed, 64));
+    }
+
+    let report = match slam::run(&config, &corpus) {
+        Ok(r) => r,
+        Err(e) => return cli::runtime_error(BIN, &format!("slam failed: {e}")),
+    };
+    println!("uploads_done={}", report.uploads_done);
+    println!("uploads_busy={}", report.uploads_busy);
+    println!("upload_errors={}", report.upload_errors);
+    println!("records_acked={}", report.records_acked);
+    println!("bytes_acked={}", report.bytes_acked);
+    println!("elapsed_s={:.3}", report.elapsed.as_secs_f64());
+    println!("ingest_mb_per_sec={:.2}", report.mb_per_sec());
+    println!("queries={}", report.queries);
+    println!("query_p50_ms={:.4}", report.query_p50_ms);
+    println!("query_p99_ms={:.4}", report.query_p99_ms);
+    println!("query_max_ms={:.4}", report.query_max_ms);
+    if report.uploads_done == 0 {
+        return cli::runtime_error(BIN, "no upload completed");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,228 @@
+//! Client-side helpers for the serve protocol: uploading traces and
+//! issuing queries over a plain `TcpStream`.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{write_end_frame, write_frame, PutHeader, BUSY_LINE, OK_LINE};
+
+/// How an upload ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UploadOutcome {
+    /// The server folded the whole trace: `(records, bytes)` as counted
+    /// server-side.
+    Done {
+        /// Records the server decoded.
+        records: u64,
+        /// Bytes the server accepted.
+        bytes: u64,
+    },
+    /// The server shed the upload: a shard queue stayed full.
+    Busy,
+    /// The server rejected the upload with a reason.
+    Rejected(String),
+}
+
+/// An ingest connection mid-upload.
+pub struct IngestClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl IngestClient {
+    /// Connects, sends the `PUT` header, and waits for the `OK`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; a non-`OK` greeting surfaces as
+    /// [`io::ErrorKind::ConnectionRefused`] with the server's reason.
+    pub fn connect(addr: impl ToSocketAddrs, header: &PutHeader) -> io::Result<IngestClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut client = IngestClient { reader, writer };
+        writeln!(client.writer, "{}", header.render())?;
+        client.writer.flush()?;
+        let greeting = read_line(&mut client.reader)?;
+        if greeting.as_deref() != Some(OK_LINE) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("server refused PUT: {}", greeting.unwrap_or_default()),
+            ));
+        }
+        Ok(client)
+    }
+
+    /// Sends one frame of trace bytes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (including the server closing after `BUSY`).
+    pub fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, bytes)
+    }
+
+    /// Ends the upload and reads the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a malformed reply.
+    pub fn finish(mut self) -> io::Result<UploadOutcome> {
+        write_end_frame(&mut self.writer)?;
+        self.writer.flush()?;
+        self.read_outcome()
+    }
+
+    /// Reads the server's verdict line. Also used after a send failure,
+    /// where the verdict (`BUSY`/`ERR`) usually explains the hangup.
+    pub fn read_outcome(&mut self) -> io::Result<UploadOutcome> {
+        let Some(line) = read_line(&mut self.reader)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before upload verdict",
+            ));
+        };
+        if line == BUSY_LINE {
+            return Ok(UploadOutcome::Busy);
+        }
+        if let Some(rest) = line.strip_prefix("DONE ") {
+            let mut parts = rest.split_ascii_whitespace();
+            let records = parts.next().and_then(|t| t.parse().ok());
+            let bytes = parts.next().and_then(|t| t.parse().ok());
+            if let (Some(records), Some(bytes)) = (records, bytes) {
+                return Ok(UploadOutcome::Done { records, bytes });
+            }
+        }
+        if let Some(reason) = line.strip_prefix("ERR ") {
+            return Ok(UploadOutcome::Rejected(reason.to_owned()));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unparseable upload verdict {line:?}"),
+        ))
+    }
+}
+
+/// Uploads one in-memory trace in `frame_len`-byte frames.
+///
+/// A transport error mid-send is translated by reading the verdict the
+/// server left behind (`BUSY` closes the socket server-side, which the
+/// sender first notices as a failed write).
+///
+/// # Errors
+///
+/// Connection or protocol failures that carry no server verdict.
+pub fn upload(
+    addr: impl ToSocketAddrs,
+    header: &PutHeader,
+    trace: &[u8],
+    frame_len: usize,
+) -> io::Result<UploadOutcome> {
+    let mut client = IngestClient::connect(addr, header)?;
+    for piece in trace.chunks(frame_len.max(1)) {
+        if client.send(piece).is_err() {
+            return client.read_outcome();
+        }
+    }
+    client.finish()
+}
+
+/// A query connection.
+pub struct QueryClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl QueryClient {
+    /// Connects (no greeting — the first command declares query mode).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<QueryClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(QueryClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one command line and reads a single-line reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected EOF.
+    pub fn roundtrip(&mut self, command: &str) -> io::Result<String> {
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        read_line(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-query")
+        })
+    }
+
+    /// `PCTL` convenience: the quantile in ms, or the server's error.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; a server-side `ERR` comes back as `Ok(Err)`.
+    pub fn pctl(&mut self, scenario: &str, p: f64) -> io::Result<Result<f64, String>> {
+        let line = self.roundtrip(&format!("PCTL {scenario} {p}"))?;
+        if let Some(reason) = line.strip_prefix("ERR ") {
+            return Ok(Err(reason.to_owned()));
+        }
+        let ms = line
+            .rsplit("ms=")
+            .next()
+            .and_then(|t| t.parse::<f64>().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad PCTL reply {line:?}"),
+                )
+            })?;
+        Ok(Ok(ms))
+    }
+
+    /// `STATS` convenience: the full block, one line per element,
+    /// without the terminating `.`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; a server-side `ERR` comes back as `Ok(Err)`.
+    pub fn stats(&mut self, scenario: &str) -> io::Result<Result<Vec<String>, String>> {
+        let first = self.roundtrip(&format!("STATS {scenario}"))?;
+        if let Some(reason) = first.strip_prefix("ERR ") {
+            return Ok(Err(reason.to_owned()));
+        }
+        let mut lines = vec![first];
+        loop {
+            let Some(line) = read_line(&mut self.reader)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-STATS block",
+                ));
+            };
+            if line == "." {
+                return Ok(Ok(lines));
+            }
+            lines.push(line);
+        }
+    }
+}
+
+/// Reads one trimmed line; `None` on EOF.
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # latlab-serve: sharded latency-telemetry ingest and query over TCP
+//!
+//! The paper measures one machine; a fleet of them produces streams of
+//! `.ltrc` traces that have to be folded into latency distributions
+//! *somewhere*. This crate is that somewhere: a std-only threaded TCP
+//! service that
+//!
+//! * accepts streaming trace uploads from many concurrent clients,
+//!   framed and CRC-checked ([`protocol`]), reassembled by
+//!   [`latlab_trace::StreamDecoder`] regardless of how the network
+//!   fragments them;
+//! * shards ingestion across worker threads by `(client, scenario)`
+//!   ([`shard`]), folding idle-stamp streams into O(1)-memory mergeable
+//!   sketches ([`latlab_analysis::LatencySketch`]) — fixed-bucket
+//!   log-scaled histograms plus deadline-miss counters keyed off the
+//!   perception thresholds;
+//! * answers a line-delimited query protocol (`STATS`, `PCTL`,
+//!   `SNAPSHOT`, `HEALTH`) from epoch-swapped immutable snapshots, so
+//!   the read path never blocks ingest;
+//! * sheds load explicitly — bounded per-shard queues, `BUSY` on
+//!   overflow — and drains gracefully on `SHUTDOWN` or SIGTERM.
+//!
+//! [`slam`] is the companion load generator: N uploader connections
+//! replaying a corpus while a prober measures query-path latency under
+//! that load.
+//!
+//! Everything runs on the standard library alone: threads, channels,
+//! and blocking sockets — no async runtime, in keeping with the
+//! workspace's no-external-dependency constraint.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+pub mod slam;
+
+pub use client::{upload, IngestClient, QueryClient, UploadOutcome};
+pub use protocol::{PutHeader, Query};
+pub use server::{ServeConfig, ServeStats, Server};
+pub use shard::{Batch, IngestRejection, ShardConfig, ShardSet};
+pub use slam::{synthetic_corpus, SlamConfig, SlamReport};

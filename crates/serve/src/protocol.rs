@@ -1,0 +1,316 @@
+//! The latlab-serve wire protocol.
+//!
+//! One TCP connection is either an **ingest** connection or a **query**
+//! connection, decided by its first line:
+//!
+//! ```text
+//! PUT <client> <scenario> [class]\n      → ingest mode
+//! STATS | PCTL | SNAPSHOT | HEALTH | …   → query mode
+//! ```
+//!
+//! # Ingest framing
+//!
+//! After the server acknowledges the `PUT` line with `OK\n`, the client
+//! streams the raw bytes of one `.ltrc` trace in **length-prefixed,
+//! CRC-protected frames** (the CRC-32 is the same polynomial the trace
+//! chunks use, via [`latlab_trace::crc32`]):
+//!
+//! ```text
+//! [payload_len: u32 LE][crc32(payload): u32 LE][payload bytes]
+//! ```
+//!
+//! A zero-length frame (`len == 0`, `crc == 0`) ends the upload; the
+//! server replies `DONE <records> <bytes>\n`. Frame boundaries need not
+//! align with trace chunk boundaries — the server reassembles through
+//! [`latlab_trace::StreamDecoder`]. If a shard queue is full the server
+//! replies `BUSY\n` and closes: explicit rejection, never unbounded
+//! buffering. Malformed trace bytes earn `ERR <reason>\n`.
+//!
+//! # Query protocol
+//!
+//! Line-delimited text. Single-line answers except `STATS`, whose block
+//! is terminated by a lone `.`:
+//!
+//! ```text
+//! HEALTH                 → ok uptime_s=… shards=… ingested_records=… …
+//! PCTL <scenario> <p>    → pctl scenario=… p=… ms=…        (p in [0,1] or percent)
+//! STATS <scenario>       → scenario=… / class=… lines / .
+//! SNAPSHOT               → one-line JSON of the merged epoch snapshot
+//! SHUTDOWN               → draining            (starts graceful drain)
+//! QUIT                   → closes the connection
+//! ```
+
+use std::io::{self, Read, Write};
+
+use latlab_trace::crc32;
+
+/// Largest accepted ingest frame payload. Bounds per-connection memory
+/// on hostile input, like the trace reader's chunk cap.
+pub const MAX_FRAME_PAYLOAD: usize = 4 << 20;
+
+/// Largest accepted protocol line (PUT/query commands).
+pub const MAX_LINE: usize = 1024;
+
+/// Acknowledgement that an ingest header was accepted.
+pub const OK_LINE: &str = "OK";
+
+/// Backpressure rejection: a shard queue was full.
+pub const BUSY_LINE: &str = "BUSY";
+
+/// A protocol-level failure while reading framed payloads.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed or closed mid-frame.
+    Io(io::Error),
+    /// The payload did not match its CRC.
+    CrcMismatch,
+    /// The header declared a payload beyond [`MAX_FRAME_PAYLOAD`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::CrcMismatch => write!(f, "frame CRC mismatch"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame payload {n} bytes exceeds {MAX_FRAME_PAYLOAD}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one framed payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Writes the zero-length end-of-upload frame.
+pub fn write_end_frame(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())
+}
+
+/// Reads one frame into `buf` (cleared first). Returns `false` on the
+/// end-of-upload frame, `true` when a payload was read.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool, FrameError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len == 0 {
+        return Ok(false);
+    }
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::TooLarge(len));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    if crc32(buf) != stored_crc {
+        return Err(FrameError::CrcMismatch);
+    }
+    Ok(true)
+}
+
+/// A parsed `PUT` ingest header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutHeader {
+    /// Client identity (free-form token; part of the shard key).
+    pub client: String,
+    /// Scenario the uploaded trace belongs to (the aggregation key).
+    pub scenario: String,
+    /// Event class the samples are accounted under, if the uploader
+    /// declared one (defaults by stream kind otherwise).
+    pub class: Option<latlab_analysis::EventClass>,
+}
+
+impl PutHeader {
+    /// Parses `PUT <client> <scenario> [class]`.
+    pub fn parse(line: &str) -> Result<PutHeader, String> {
+        let mut parts = line.split_ascii_whitespace();
+        if parts.next() != Some("PUT") {
+            return Err("not a PUT line".to_owned());
+        }
+        let client = parts
+            .next()
+            .ok_or_else(|| "PUT requires <client> <scenario>".to_owned())?;
+        let scenario = parts
+            .next()
+            .ok_or_else(|| "PUT requires <client> <scenario>".to_owned())?;
+        let class = match parts.next() {
+            None => None,
+            Some(name) => Some(
+                latlab_analysis::EventClass::parse(name)
+                    .ok_or_else(|| format!("unknown event class {name:?}"))?,
+            ),
+        };
+        if parts.next().is_some() {
+            return Err("trailing tokens after PUT header".to_owned());
+        }
+        Ok(PutHeader {
+            client: client.to_owned(),
+            scenario: scenario.to_owned(),
+            class,
+        })
+    }
+
+    /// Renders the header line (without the newline).
+    pub fn render(&self) -> String {
+        match self.class {
+            Some(c) => format!("PUT {} {} {}", self.client, self.scenario, c.name()),
+            None => format!("PUT {} {}", self.client, self.scenario),
+        }
+    }
+}
+
+/// A parsed query command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Per-class statistics block for one scenario.
+    Stats(String),
+    /// One quantile (0.0..=1.0) over all classes of one scenario.
+    Pctl(String, f64),
+    /// The full merged snapshot as JSON.
+    Snapshot,
+    /// Liveness and counters.
+    Health,
+    /// Begin graceful drain.
+    Shutdown,
+    /// Close this connection.
+    Quit,
+}
+
+impl Query {
+    /// Parses one query line. Percentiles accept either a fraction
+    /// (`0.99`) or a percentage (`99`); anything above 1 is divided by
+    /// 100.
+    pub fn parse(line: &str) -> Result<Query, String> {
+        let mut parts = line.split_ascii_whitespace();
+        let cmd = parts.next().ok_or_else(|| "empty command".to_owned())?;
+        let q = match cmd {
+            "STATS" => {
+                let scenario = parts
+                    .next()
+                    .ok_or_else(|| "STATS requires <scenario>".to_owned())?;
+                Query::Stats(scenario.to_owned())
+            }
+            "PCTL" => {
+                let scenario = parts
+                    .next()
+                    .ok_or_else(|| "PCTL requires <scenario> <p>".to_owned())?;
+                let p: f64 = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| "PCTL requires a numeric percentile".to_owned())?;
+                let p = if p > 1.0 { p / 100.0 } else { p };
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("percentile {p} out of range"));
+                }
+                Query::Pctl(scenario.to_owned(), p)
+            }
+            "SNAPSHOT" => Query::Snapshot,
+            "HEALTH" => Query::Health,
+            "SHUTDOWN" => Query::Shutdown,
+            "QUIT" => Query::Quit,
+            other => return Err(format!("unknown command {other:?}")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing tokens after {cmd}"));
+        }
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latlab_analysis::EventClass;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, &[0u8; 1000]).unwrap();
+        write_end_frame(&mut wire).unwrap();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"hello");
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf.len(), 1000);
+        assert!(!read_frame(&mut r, &mut buf).unwrap());
+    }
+
+    #[test]
+    fn corrupt_frame_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        let n = wire.len();
+        wire[n - 1] ^= 0x40;
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut &wire[..], &mut buf),
+            Err(FrameError::CrcMismatch)
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut &wire[..], &mut buf),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn put_header_parses() {
+        let h = PutHeader::parse("PUT host-1 fig5 keystroke").unwrap();
+        assert_eq!(h.client, "host-1");
+        assert_eq!(h.scenario, "fig5");
+        assert_eq!(h.class, Some(EventClass::Keystroke));
+        let h2 = PutHeader::parse(&h.render()).unwrap();
+        assert_eq!(h, h2);
+        assert!(PutHeader::parse("PUT host-1").is_err());
+        assert!(PutHeader::parse("PUT h s nosuchclass").is_err());
+        assert!(PutHeader::parse("GET h s").is_err());
+    }
+
+    #[test]
+    fn queries_parse() {
+        assert_eq!(
+            Query::parse("STATS fig5").unwrap(),
+            Query::Stats("fig5".to_owned())
+        );
+        assert_eq!(
+            Query::parse("PCTL fig5 0.99").unwrap(),
+            Query::Pctl("fig5".to_owned(), 0.99)
+        );
+        // Percent form normalizes.
+        assert_eq!(
+            Query::parse("PCTL fig5 99").unwrap(),
+            Query::Pctl("fig5".to_owned(), 0.99)
+        );
+        assert_eq!(Query::parse("HEALTH").unwrap(), Query::Health);
+        assert_eq!(Query::parse("SNAPSHOT").unwrap(), Query::Snapshot);
+        assert_eq!(Query::parse("SHUTDOWN").unwrap(), Query::Shutdown);
+        assert!(Query::parse("PCTL fig5").is_err());
+        assert!(Query::parse("PCTL fig5 200").is_err());
+        assert!(Query::parse("FLY me").is_err());
+        assert!(Query::parse("HEALTH now").is_err());
+    }
+}

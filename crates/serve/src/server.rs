@@ -1,0 +1,554 @@
+//! The threaded TCP service: accept loop, connection handlers, and the
+//! graceful-drain lifecycle.
+//!
+//! One thread accepts; each connection gets a handler thread. An ingest
+//! connection streams framed `.ltrc` bytes through a
+//! [`StreamDecoder`], converts idle-stamp intervals to
+//! excess-over-baseline latency samples, and offers batches to the
+//! [`ShardSet`] without ever blocking indefinitely — a full shard queue
+//! surfaces as a `BUSY` reply, not as hidden buffering. Query
+//! connections read from published snapshots only, so a query can never
+//! stall ingest (and vice versa).
+//!
+//! Shutdown is a drain, not an abort: `SHUTDOWN` (or
+//! [`Server::request_shutdown`]) stops the accept loop, lets in-flight
+//! connections finish (bounded by the read timeout), folds every queued
+//! batch, publishes final snapshots, and only then joins the workers.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use latlab_analysis::{EventClass, LatencySketch};
+use latlab_trace::{StreamDecoder, StreamKind};
+use serde::Serialize;
+
+use crate::protocol::{read_frame, FrameError, PutHeader, Query, BUSY_LINE, MAX_LINE, OK_LINE};
+use crate::shard::{Batch, IngestRejection, ShardConfig, ShardSet};
+
+/// Samples accumulated per connection before a batch is offered to a
+/// shard. Large enough to amortize channel traffic, small enough that
+/// snapshots stay fresh during a long upload.
+const INGEST_BATCH: usize = 4096;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub bind: String,
+    /// Shard pool sizing and publish cadence.
+    pub shard: ShardConfig,
+    /// Per-connection socket read timeout. A connection silent this
+    /// long is dropped; during a drain it bounds how long the server
+    /// waits for stragglers.
+    pub read_timeout: Duration,
+    /// How long an ingest handler retries a full shard queue before
+    /// answering `BUSY`. Zero means reject on the first full queue.
+    pub busy_retry: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".to_owned(),
+            shard: ShardConfig::default(),
+            read_timeout: Duration::from_secs(30),
+            busy_retry: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Monotone service counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted since start.
+    pub connections: AtomicU64,
+    /// Trace records decoded off the wire.
+    pub ingested_records: AtomicU64,
+    /// Payload bytes accepted on ingest connections.
+    pub ingested_bytes: AtomicU64,
+    /// Uploads rejected with `BUSY` (shard queue full).
+    pub busy_rejections: AtomicU64,
+    /// Query commands answered.
+    pub queries: AtomicU64,
+    /// Connections that ended with a protocol or transport error.
+    pub failed_connections: AtomicU64,
+}
+
+/// State shared by the accept loop and every handler.
+struct Inner {
+    shards: ShardSet,
+    stats: ServeStats,
+    draining: AtomicBool,
+    started: Instant,
+    read_timeout: Duration,
+    busy_retry: Duration,
+}
+
+/// A running service instance.
+pub struct Server {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the accept loop plus the shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            shards: ShardSet::start(&config.shard),
+            stats: ServeStats::default(),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+            read_timeout: config.read_timeout,
+            busy_retry: config.busy_retry,
+        });
+        let accept_inner = inner.clone();
+        let accept = std::thread::Builder::new()
+            .name("latlab-accept".to_owned())
+            .spawn(move || accept_loop(listener, accept_inner))?;
+        Ok(Server {
+            inner,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.inner.stats
+    }
+
+    /// True once a drain has been requested (via this method, the
+    /// `SHUTDOWN` command, or a signal handler calling it).
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: stop accepting, finish in-flight
+    /// connections, fold all queued batches. Returns immediately; use
+    /// [`join`](Self::join) to wait.
+    pub fn request_shutdown(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the drain to complete and returns the final merged
+    /// state: `(epoch_sum, per-scenario sketches)`. Every sample that
+    /// was acknowledged with `DONE` is in the result.
+    pub fn join(mut self) -> (u64, HashMap<String, LatencySketch>) {
+        self.request_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.inner.shards.drain_and_join();
+        self.inner.shards.merged()
+    }
+}
+
+/// Accepts connections until a drain is requested, then joins every
+/// handler it spawned.
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !inner.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_inner = inner.clone();
+                let h = std::thread::Builder::new()
+                    .name("latlab-conn".to_owned())
+                    .spawn(move || {
+                        if handle_connection(stream, &conn_inner).is_err() {
+                            conn_inner
+                                .stats
+                                .failed_connections
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                if let Ok(h) = h {
+                    handlers.push(h);
+                }
+                // Keep the handler list from growing without bound on
+                // long runs; finished threads are joined opportunistically.
+                if handlers.len() >= 256 {
+                    handlers.retain(|h| !h.is_finished());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Reads one `\n`-terminated line, bounded by [`MAX_LINE`]. `Ok(None)`
+/// means EOF before any byte of a line.
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let mut limited = r.take(MAX_LINE as u64 + 1);
+    let n = limited.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.len() > MAX_LINE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "protocol line too long",
+        ));
+    }
+    while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "protocol line not UTF-8"))
+}
+
+/// Dispatches a fresh connection on its first line.
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> io::Result<()> {
+    stream.set_read_timeout(Some(inner.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let Some(first) = read_line(&mut reader)? else {
+        return Ok(());
+    };
+    if first.starts_with("PUT ") {
+        handle_ingest(&first, &mut reader, &mut writer, inner)
+    } else {
+        handle_queries(&first, &mut reader, &mut writer, inner)
+    }
+}
+
+/// One `PUT` upload: frames → stream decoder → latency samples → shards.
+fn handle_ingest(
+    first: &str,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    inner: &Arc<Inner>,
+) -> io::Result<()> {
+    let header = match PutHeader::parse(first) {
+        Ok(h) => h,
+        Err(msg) => {
+            writeln!(writer, "ERR {msg}")?;
+            return writer.flush();
+        }
+    };
+    if inner.draining.load(Ordering::SeqCst) {
+        writeln!(writer, "ERR draining")?;
+        return writer.flush();
+    }
+    writeln!(writer, "{OK_LINE}")?;
+    writer.flush()?;
+
+    let shard = inner.shards.route(&header.client, &header.scenario);
+    let mut decoder = StreamDecoder::new();
+    let mut extractor = SampleExtractor::new();
+    let mut frame = Vec::new();
+    let mut pending: Vec<f64> = Vec::with_capacity(INGEST_BATCH);
+    loop {
+        match read_frame(reader, &mut frame) {
+            Ok(true) => {
+                if let Err(e) = decoder.feed(&frame) {
+                    writeln!(writer, "ERR trace: {e}")?;
+                    writer.flush()?;
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+                inner
+                    .stats
+                    .ingested_bytes
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                extractor.pull(&mut decoder, &mut pending);
+                if pending.len() >= INGEST_BATCH
+                    && !offer(inner, shard, &header, &mut pending, writer)?
+                {
+                    return Ok(());
+                }
+            }
+            Ok(false) => break,
+            Err(FrameError::Io(e)) => return Err(e),
+            Err(e) => {
+                writeln!(writer, "ERR {e}")?;
+                writer.flush()?;
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+            }
+        }
+    }
+    if !decoder.is_clean_boundary() {
+        writeln!(writer, "ERR upload ended mid-chunk")?;
+        writer.flush()?;
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "upload ended mid-chunk",
+        ));
+    }
+    if !pending.is_empty() && !offer(inner, shard, &header, &mut pending, writer)? {
+        return Ok(());
+    }
+    inner
+        .stats
+        .ingested_records
+        .fetch_add(decoder.records_decoded(), Ordering::Relaxed);
+    writeln!(
+        writer,
+        "DONE {} {}",
+        decoder.records_decoded(),
+        decoder.bytes_fed()
+    )?;
+    writer.flush()
+}
+
+/// Offers the pending samples to a shard, retrying a full queue within
+/// the configured window. Returns `Ok(false)` after answering `BUSY`.
+fn offer(
+    inner: &Arc<Inner>,
+    shard: usize,
+    header: &PutHeader,
+    pending: &mut Vec<f64>,
+    writer: &mut impl Write,
+) -> io::Result<bool> {
+    let mut batch = Batch {
+        scenario: header.scenario.clone(),
+        class: header.class.unwrap_or(EventClass::Background),
+        samples: std::mem::take(pending),
+    };
+    let deadline = Instant::now() + inner.busy_retry;
+    loop {
+        match inner.shards.try_ingest(shard, batch) {
+            Ok(()) => return Ok(true),
+            Err((returned, IngestRejection::QueueFull)) => {
+                if Instant::now() >= deadline {
+                    inner.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    writeln!(writer, "{BUSY_LINE}")?;
+                    writer.flush()?;
+                    return Ok(false);
+                }
+                batch = returned;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err((_, IngestRejection::Closed)) => {
+                writeln!(writer, "ERR draining")?;
+                writer.flush()?;
+                return Ok(false);
+            }
+        }
+    }
+}
+
+/// Per-connection trace-record → latency-sample conversion.
+///
+/// * `IdleStamps`: consecutive stamp gaps are compared to the trace's
+///   calibrated baseline interval; any *excess* is event-handling time
+///   and becomes one sample (ms). Baseline-pace gaps contribute nothing
+///   — idle is not latency.
+/// * `ApiLog` / `Counters`: records are counted (they carry no single
+///   latency number at this layer); uploads of these kinds are accepted
+///   so a corpus can be shipped wholesale.
+struct SampleExtractor {
+    prev_stamp: Option<u64>,
+}
+
+impl SampleExtractor {
+    fn new() -> Self {
+        SampleExtractor { prev_stamp: None }
+    }
+
+    /// Drains decoded records into `out` as latency samples.
+    fn pull(&mut self, decoder: &mut StreamDecoder, out: &mut Vec<f64>) {
+        let Some(meta) = decoder.meta().cloned() else {
+            return;
+        };
+        if meta.kind != StreamKind::IdleStamps {
+            while decoder.poll().is_some() {}
+            return;
+        }
+        let baseline = meta.baseline.cycles();
+        while let Some(rec) = decoder.poll() {
+            let at = rec.at_cycles();
+            if let Some(prev) = self.prev_stamp {
+                let gap = at.saturating_sub(prev);
+                if gap > baseline {
+                    let excess = latlab_des::SimDuration::from_cycles(gap - baseline);
+                    out.push(meta.freq.to_ms(excess));
+                }
+            }
+            self.prev_stamp = Some(at);
+        }
+    }
+}
+
+/// JSON view of the merged snapshot (the `SNAPSHOT` reply).
+#[derive(Debug, Serialize)]
+struct SnapshotView {
+    /// Sum of shard epochs; grows with every publish anywhere.
+    epoch: u64,
+    /// Samples across all scenarios.
+    total: u64,
+    /// Per-scenario summaries, keyed by scenario name.
+    scenarios: std::collections::BTreeMap<String, ScenarioView>,
+}
+
+/// One scenario inside [`SnapshotView`].
+#[derive(Debug, Serialize)]
+struct ScenarioView {
+    count: u64,
+    misses: u64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+fn scenario_view(sketch: &LatencySketch) -> ScenarioView {
+    let q = |p: f64| sketch.quantile(p).unwrap_or(0.0);
+    ScenarioView {
+        count: sketch.total(),
+        misses: sketch.total_misses(),
+        p50_ms: q(0.50),
+        p90_ms: q(0.90),
+        p99_ms: q(0.99),
+        max_ms: q(1.0),
+    }
+}
+
+/// The query loop: answers commands until `QUIT`, EOF, or drain.
+fn handle_queries(
+    first: &str,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    inner: &Arc<Inner>,
+) -> io::Result<()> {
+    let mut line = Some(first.to_owned());
+    loop {
+        let Some(current) = line.take() else {
+            match read_line(reader) {
+                Ok(Some(l)) => line = Some(l),
+                Ok(None) => return Ok(()),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Idle connection: stay open unless draining.
+                    if inner.draining.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            continue;
+        };
+        if current.is_empty() {
+            continue;
+        }
+        inner.stats.queries.fetch_add(1, Ordering::Relaxed);
+        match Query::parse(&current) {
+            Err(msg) => writeln!(writer, "ERR {msg}")?,
+            Ok(Query::Quit) => {
+                writer.flush()?;
+                return Ok(());
+            }
+            Ok(Query::Shutdown) => {
+                inner.draining.store(true, Ordering::SeqCst);
+                writeln!(writer, "draining")?;
+            }
+            Ok(Query::Health) => {
+                let (epoch, merged) = inner.shards.merged();
+                let s = &inner.stats;
+                writeln!(
+                    writer,
+                    "ok uptime_s={} shards={} connections={} ingested_records={} \
+                     ingested_bytes={} busy_rejections={} queries={} failed={} \
+                     scenarios={} epoch={}",
+                    inner.started.elapsed().as_secs(),
+                    inner.shards.len(),
+                    s.connections.load(Ordering::Relaxed),
+                    s.ingested_records.load(Ordering::Relaxed),
+                    s.ingested_bytes.load(Ordering::Relaxed),
+                    s.busy_rejections.load(Ordering::Relaxed),
+                    s.queries.load(Ordering::Relaxed),
+                    s.failed_connections.load(Ordering::Relaxed),
+                    merged.len(),
+                    epoch,
+                )?;
+            }
+            Ok(Query::Pctl(scenario, p)) => {
+                let (_, merged) = inner.shards.merged();
+                match merged.get(&scenario).and_then(|s| s.quantile(p)) {
+                    Some(ms) => {
+                        writeln!(writer, "pctl scenario={scenario} p={p} ms={ms:.4}")?;
+                    }
+                    None => writeln!(writer, "ERR no data for scenario {scenario:?}")?,
+                }
+            }
+            Ok(Query::Stats(scenario)) => {
+                let (_, merged) = inner.shards.merged();
+                match merged.get(&scenario) {
+                    None => writeln!(writer, "ERR no data for scenario {scenario:?}")?,
+                    Some(sketch) => {
+                        writeln!(
+                            writer,
+                            "scenario={scenario} total={} misses={}",
+                            sketch.total(),
+                            sketch.total_misses()
+                        )?;
+                        for class in EventClass::ALL {
+                            let c = sketch.class(class);
+                            if c.count() == 0 {
+                                continue;
+                            }
+                            writeln!(
+                                writer,
+                                "class={} count={} misses={} saturated={} \
+                                 mean_ms={:.4} p50_ms={:.4} p99_ms={:.4} max_ms={:.4}",
+                                class.name(),
+                                c.count(),
+                                c.misses(),
+                                c.saturated(),
+                                c.stats().mean(),
+                                c.quantile(0.50).unwrap_or(0.0),
+                                c.quantile(0.99).unwrap_or(0.0),
+                                c.stats().max(),
+                            )?;
+                        }
+                        writeln!(writer, ".")?;
+                    }
+                }
+            }
+            Ok(Query::Snapshot) => {
+                let (epoch, merged) = inner.shards.merged();
+                let view = SnapshotView {
+                    epoch,
+                    total: merged.values().map(LatencySketch::total).sum(),
+                    scenarios: merged
+                        .iter()
+                        .map(|(name, sketch)| (name.clone(), scenario_view(sketch)))
+                        .collect(),
+                };
+                let json = serde_json::to_string(&view)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                writeln!(writer, "{json}")?;
+            }
+        }
+        writer.flush()?;
+    }
+}

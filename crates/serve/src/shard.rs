@@ -1,0 +1,394 @@
+//! Sharded ingest workers and epoch-swapped read snapshots.
+//!
+//! Ingestion is partitioned across N worker threads by a stable hash of
+//! the `(client, scenario)` key, so one chatty client cannot serialize
+//! the whole service and all samples of one stream land on one shard
+//! (keeping per-stream fold order deterministic). Each shard owns its
+//! sketches exclusively — no locks on the fold path.
+//!
+//! **Backpressure:** each shard is fed through a bounded
+//! [`sync_channel`]; producers use `try_send` and surface `BUSY` to the
+//! uploader when the queue is full. The service never buffers unboundedly
+//! — shedding load visibly is the contract (the paper's concern: a
+//! measurement system must not silently distort what it measures).
+//!
+//! **Read path:** shards periodically publish an immutable
+//! [`ShardSnapshot`] behind an `Arc` into their [`SnapshotSlot`]; the
+//! swap is a pointer store under a briefly-held lock. Queries clone the
+//! current `Arc`s and merge sketches on their own thread, so a query
+//! never touches shard-internal state and never blocks ingest. Snapshot
+//! *epochs* increase with every publish; published per-scenario counts
+//! are monotone non-decreasing, which makes concurrent `SNAPSHOT` reads
+//! internally consistent.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use latlab_analysis::{EventClass, LatencySketch};
+
+/// A batch of classified latency samples bound for one shard.
+#[derive(Debug)]
+pub struct Batch {
+    /// Aggregation key (scenario / experiment id).
+    pub scenario: String,
+    /// Event class the samples are accounted under.
+    pub class: EventClass,
+    /// Latency samples, ms.
+    pub samples: Vec<f64>,
+}
+
+/// Messages a shard worker consumes.
+enum Msg {
+    /// Fold a batch of samples.
+    Ingest(Batch),
+    /// Publish now and stop once the queue is empty.
+    Drain,
+}
+
+/// The immutable state one shard publishes for readers.
+#[derive(Debug)]
+pub struct ShardSnapshot {
+    /// Publish counter: strictly increasing per shard, starting at 0
+    /// for the empty snapshot.
+    pub epoch: u64,
+    /// Per-scenario sketches as of this epoch.
+    pub sketches: HashMap<String, LatencySketch>,
+}
+
+impl ShardSnapshot {
+    fn empty() -> Self {
+        ShardSnapshot {
+            epoch: 0,
+            sketches: HashMap::new(),
+        }
+    }
+}
+
+/// One shard's published-snapshot cell. Writers replace the `Arc`;
+/// readers clone it. The lock is held only for the pointer operation.
+#[derive(Debug)]
+pub struct SnapshotSlot(RwLock<Arc<ShardSnapshot>>);
+
+impl SnapshotSlot {
+    fn new() -> Self {
+        SnapshotSlot(RwLock::new(Arc::new(ShardSnapshot::empty())))
+    }
+
+    /// The latest published snapshot.
+    pub fn load(&self) -> Arc<ShardSnapshot> {
+        self.0.read().expect("snapshot lock poisoned").clone()
+    }
+
+    fn store(&self, snap: Arc<ShardSnapshot>) {
+        *self.0.write().expect("snapshot lock poisoned") = snap;
+    }
+}
+
+/// Configuration for the shard pool.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker thread count (≥ 1).
+    pub shards: usize,
+    /// Bounded queue depth per shard, in batches.
+    pub queue_depth: usize,
+    /// Publish a fresh snapshot after this many samples folded.
+    pub publish_every: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get().div_ceil(2).max(2))
+                .unwrap_or(4),
+            queue_depth: 128,
+            publish_every: 64 * 1024,
+        }
+    }
+}
+
+/// One shard as seen by producers: its queue and its snapshot slot.
+struct ShardHandle {
+    tx: SyncSender<Msg>,
+    slot: Arc<SnapshotSlot>,
+}
+
+/// The set of shard workers.
+pub struct ShardSet {
+    shards: Vec<ShardHandle>,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Why a batch was not accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum IngestRejection {
+    /// The shard's bounded queue is full — surface `BUSY` upstream.
+    QueueFull,
+    /// The shard has shut down.
+    Closed,
+}
+
+impl ShardSet {
+    /// Spawns the worker threads.
+    pub fn start(config: &ShardConfig) -> ShardSet {
+        let n = config.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        let mut joins = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = sync_channel(config.queue_depth.max(1));
+            let slot = Arc::new(SnapshotSlot::new());
+            let worker_slot = slot.clone();
+            let publish_every = config.publish_every.max(1);
+            let join = std::thread::Builder::new()
+                .name(format!("latlab-shard-{i}"))
+                .spawn(move || shard_worker(rx, worker_slot, publish_every))
+                .expect("spawn shard worker");
+            shards.push(ShardHandle { tx, slot });
+            joins.push(join);
+        }
+        ShardSet {
+            shards,
+            joins: Mutex::new(joins),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the set has no shards (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard index a `(client, scenario)` stream routes to. Stable
+    /// across the process lifetime — a stream's samples always fold on
+    /// one shard.
+    pub fn route(&self, client: &str, scenario: &str) -> usize {
+        // FNV-1a over the joint key. The separator byte keeps
+        // ("ab","c") and ("a","bc") distinct.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in client.bytes().chain([0u8]).chain(scenario.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Offers a batch to a shard without blocking. On rejection the
+    /// batch comes back with the reason, so the caller can retry or
+    /// surface `BUSY` without cloning samples up front.
+    pub fn try_ingest(&self, shard: usize, batch: Batch) -> Result<(), (Batch, IngestRejection)> {
+        match self.shards[shard].tx.try_send(Msg::Ingest(batch)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(Msg::Ingest(b))) => Err((b, IngestRejection::QueueFull)),
+            Err(TrySendError::Disconnected(Msg::Ingest(b))) => Err((b, IngestRejection::Closed)),
+            Err(_) => unreachable!("only Ingest messages are offered"),
+        }
+    }
+
+    /// Clones every shard's current snapshot (the `SNAPSHOT`/query read
+    /// path — never blocks ingest).
+    pub fn snapshots(&self) -> Vec<Arc<ShardSnapshot>> {
+        self.shards.iter().map(|s| s.slot.load()).collect()
+    }
+
+    /// Merges the current snapshots into per-scenario sketches plus the
+    /// epoch sum.
+    pub fn merged(&self) -> (u64, HashMap<String, LatencySketch>) {
+        let mut epoch = 0u64;
+        let mut merged: HashMap<String, LatencySketch> = HashMap::new();
+        for snap in self.snapshots() {
+            epoch += snap.epoch;
+            for (scenario, sketch) in &snap.sketches {
+                merged
+                    .entry(scenario.clone())
+                    .and_modify(|m| m.merge(sketch))
+                    .or_insert_with(|| sketch.clone());
+            }
+        }
+        (epoch, merged)
+    }
+
+    /// Graceful drain: every queued batch is folded and published, then
+    /// the workers exit. Idempotent — later calls are no-ops, and later
+    /// [`try_ingest`](Self::try_ingest) calls report
+    /// [`IngestRejection::Closed`].
+    pub fn drain_and_join(&self) {
+        for shard in &self.shards {
+            // Drain must get through even when the queue is full; send
+            // blocks until the worker makes room.
+            let _ = shard.tx.send(Msg::Drain);
+        }
+        let joins = std::mem::take(&mut *self.joins.lock().expect("join lock poisoned"));
+        for join in joins {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The shard worker loop: fold batches, publish snapshots.
+fn shard_worker(rx: Receiver<Msg>, slot: Arc<SnapshotSlot>, publish_every: u64) {
+    let mut sketches: HashMap<String, LatencySketch> = HashMap::new();
+    let mut epoch = 0u64;
+    let mut since_publish = 0u64;
+    let publish = |sketches: &HashMap<String, LatencySketch>, epoch: &mut u64| {
+        *epoch += 1;
+        slot.store(Arc::new(ShardSnapshot {
+            epoch: *epoch,
+            sketches: sketches.clone(),
+        }));
+    };
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Msg::Ingest(batch)) => {
+                since_publish += batch.samples.len() as u64;
+                sketches
+                    .entry(batch.scenario)
+                    .or_default()
+                    .push_batch(batch.class, &batch.samples);
+                if since_publish >= publish_every {
+                    publish(&sketches, &mut epoch);
+                    since_publish = 0;
+                }
+            }
+            Ok(Msg::Drain) => {
+                // Fold whatever else is already queued, then stop.
+                while let Ok(msg) = rx.try_recv() {
+                    if let Msg::Ingest(batch) = msg {
+                        sketches
+                            .entry(batch.scenario)
+                            .or_default()
+                            .push_batch(batch.class, &batch.samples);
+                    }
+                }
+                publish(&sketches, &mut epoch);
+                return;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Idle moment: surface anything folded since the last
+                // publish so queries converge without traffic.
+                if since_publish > 0 {
+                    publish(&sketches, &mut epoch);
+                    since_publish = 0;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                if since_publish > 0 {
+                    publish(&sketches, &mut epoch);
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(scenario: &str, samples: Vec<f64>) -> Batch {
+        Batch {
+            scenario: scenario.to_owned(),
+            class: EventClass::Keystroke,
+            samples,
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_key_sensitive() {
+        let set = ShardSet::start(&ShardConfig {
+            shards: 4,
+            ..ShardConfig::default()
+        });
+        let a = set.route("client-1", "fig5");
+        assert_eq!(a, set.route("client-1", "fig5"));
+        let distinct = (0..32)
+            .map(|i| set.route(&format!("client-{i}"), "fig5"))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "32 clients all routed to one shard");
+        set.drain_and_join();
+    }
+
+    #[test]
+    fn drain_folds_everything_queued() {
+        let set = ShardSet::start(&ShardConfig {
+            shards: 2,
+            queue_depth: 64,
+            publish_every: u64::MAX, // only the drain publish
+        });
+        let mut expect = 0u64;
+        for i in 0..40 {
+            let shard = set.route("c", "fig5");
+            let samples: Vec<f64> = (0..25).map(|j| 1.0 + (i * 25 + j) as f64).collect();
+            expect += samples.len() as u64;
+            set.try_ingest(shard, batch("fig5", samples)).unwrap();
+        }
+        // Merged view *before* drain may lag (publish_every is ∞)…
+        let shard = set.route("c", "fig5");
+        let slot_epoch = set.snapshots()[shard].epoch;
+        assert!(slot_epoch <= 2);
+        set.drain_and_join();
+        // …but after the drain every queued batch has been folded and
+        // published.
+        let (_, merged) = set.merged();
+        assert_eq!(merged.get("fig5").map_or(0, |s| s.total()), expect);
+        assert_eq!(expect, 1000);
+        // Post-drain ingest is rejected, not silently dropped.
+        assert!(matches!(
+            set.try_ingest(shard, batch("fig5", vec![1.0])),
+            Err((_, IngestRejection::Closed))
+        ));
+    }
+
+    #[test]
+    fn queue_full_is_reported_not_buffered() {
+        let set = ShardSet::start(&ShardConfig {
+            shards: 1,
+            queue_depth: 1,
+            publish_every: u64::MAX,
+        });
+        // Large batches keep the single worker busy long enough for the
+        // bounded queue to fill: accepting is O(len) fold work.
+        let big = || batch("flood", (0..2_000_000).map(|i| 1.0 + i as f64).collect());
+        let mut saw_full = false;
+        for _ in 0..64 {
+            if let Err((returned, IngestRejection::QueueFull)) = set.try_ingest(0, big()) {
+                // The rejected batch comes back intact for retry.
+                assert_eq!(returned.samples.len(), 2_000_000);
+                saw_full = true;
+                break;
+            }
+        }
+        assert!(saw_full, "bounded queue never reported Full");
+        set.drain_and_join();
+    }
+
+    #[test]
+    fn published_counts_are_monotonic() {
+        let set = ShardSet::start(&ShardConfig {
+            shards: 1,
+            queue_depth: 1024,
+            publish_every: 100,
+        });
+        let mut last_count = 0u64;
+        let mut last_epoch = 0u64;
+        for round in 0..20 {
+            for _ in 0..10 {
+                let _ = set.try_ingest(0, batch("mono", (0..50).map(|i| 1.0 + i as f64).collect()));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            let (epoch, merged) = set.merged();
+            let count = merged.get("mono").map_or(0, |s| s.total());
+            assert!(count >= last_count, "round {round}: count went backwards");
+            assert!(epoch >= last_epoch, "round {round}: epoch went backwards");
+            last_count = count;
+            last_epoch = epoch;
+        }
+        set.drain_and_join();
+    }
+}

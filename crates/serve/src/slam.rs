@@ -1,0 +1,263 @@
+//! `latlab-slam`: the load generator.
+//!
+//! Replays one or more in-memory `.ltrc` blobs against a running
+//! `latlab-serve` from N concurrent uploader threads, while a separate
+//! thread measures query-path latency (`PCTL` round-trips) the whole
+//! time. The point of the split is the service's own claim: the read
+//! path must stay fast *while* ingest is saturated, so query latency is
+//! only meaningful when measured under upload load.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use latlab_analysis::EventClass;
+
+use crate::client::{upload, QueryClient, UploadOutcome};
+use crate::protocol::PutHeader;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct SlamConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent uploader connections.
+    pub connections: usize,
+    /// Scenario the uploads land under.
+    pub scenario: String,
+    /// Event class declared on each `PUT` (None → server default).
+    pub class: Option<EventClass>,
+    /// Wall-clock run length; uploaders loop over the corpus until this
+    /// elapses.
+    pub duration: Duration,
+    /// Frame payload size used when slicing traces onto the wire.
+    pub frame_len: usize,
+    /// Pause between query-thread probes.
+    pub query_interval: Duration,
+}
+
+impl Default for SlamConfig {
+    fn default() -> Self {
+        SlamConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            connections: 4,
+            scenario: "slam".to_owned(),
+            class: Some(EventClass::Keystroke),
+            duration: Duration::from_secs(5),
+            frame_len: 64 * 1024,
+            query_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// What a slam run observed.
+#[derive(Debug, Clone)]
+pub struct SlamReport {
+    /// Uploads acknowledged with `DONE`.
+    pub uploads_done: u64,
+    /// Uploads shed with `BUSY`.
+    pub uploads_busy: u64,
+    /// Uploads that failed outright (transport or `ERR`).
+    pub upload_errors: u64,
+    /// Payload bytes acknowledged by the server.
+    pub bytes_acked: u64,
+    /// Records acknowledged by the server.
+    pub records_acked: u64,
+    /// Wall-clock time actually spent.
+    pub elapsed: Duration,
+    /// Query probes completed.
+    pub queries: u64,
+    /// Query round-trip p50 (ms), 0 if no probes landed.
+    pub query_p50_ms: f64,
+    /// Query round-trip p99 (ms), 0 if no probes landed.
+    pub query_p99_ms: f64,
+    /// Worst query round-trip (ms).
+    pub query_max_ms: f64,
+}
+
+impl SlamReport {
+    /// Acknowledged ingest throughput in MB/s (decimal megabytes, the
+    /// unit the acceptance gate uses).
+    pub fn mb_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_acked as f64 / 1_000_000.0 / secs
+    }
+}
+
+/// Runs the load: `connections` uploader threads looping over `corpus`
+/// plus one query-latency prober, for `config.duration`.
+///
+/// # Errors
+///
+/// Fails only on setup (empty corpus); per-upload failures are counted
+/// in the report instead.
+pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
+    if corpus.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "slam corpus is empty",
+        ));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let bytes = Arc::new(AtomicU64::new(0));
+    let records = Arc::new(AtomicU64::new(0));
+    let corpus: Arc<Vec<Vec<u8>>> = Arc::new(corpus.to_vec());
+
+    let started = Instant::now();
+    let mut uploaders = Vec::new();
+    for i in 0..config.connections.max(1) {
+        let stop = stop.clone();
+        let done = done.clone();
+        let busy = busy.clone();
+        let errors = errors.clone();
+        let bytes = bytes.clone();
+        let records = records.clone();
+        let corpus = corpus.clone();
+        let header = PutHeader {
+            client: format!("slam-{i}"),
+            scenario: config.scenario.clone(),
+            class: config.class,
+        };
+        let addr = config.addr;
+        let frame_len = config.frame_len;
+        uploaders.push(
+            std::thread::Builder::new()
+                .name(format!("slam-up-{i}"))
+                .spawn(move || {
+                    let mut next = i; // stagger corpus start points
+                    while !stop.load(Ordering::Relaxed) {
+                        let blob = &corpus[next % corpus.len()];
+                        next += 1;
+                        match upload(addr, &header, blob, frame_len) {
+                            Ok(UploadOutcome::Done {
+                                records: r,
+                                bytes: b,
+                            }) => {
+                                done.fetch_add(1, Ordering::Relaxed);
+                                records.fetch_add(r, Ordering::Relaxed);
+                                bytes.fetch_add(b, Ordering::Relaxed);
+                            }
+                            Ok(UploadOutcome::Busy) => {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                                // Back off briefly; the shards are full.
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Ok(UploadOutcome::Rejected(_)) | Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                        }
+                    }
+                })
+                .expect("spawn uploader"),
+        );
+    }
+
+    // The query prober shares the run with the uploaders: latencies it
+    // records are read-path latencies under ingest load.
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let prober = {
+        let stop = stop.clone();
+        let latencies = latencies.clone();
+        let addr = config.addr;
+        let scenario = config.scenario.clone();
+        let interval = config.query_interval;
+        std::thread::Builder::new()
+            .name("slam-query".to_owned())
+            .spawn(move || {
+                let mut client = None;
+                while !stop.load(Ordering::Relaxed) {
+                    if client.is_none() {
+                        client = QueryClient::connect(addr).ok();
+                    }
+                    if let Some(c) = client.as_mut() {
+                        let t0 = Instant::now();
+                        match c.pctl(&scenario, 0.99) {
+                            Ok(_) => {
+                                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                                latencies.lock().expect("latency lock").push(ms);
+                            }
+                            Err(_) => client = None,
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn prober")
+    };
+
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::SeqCst);
+    for u in uploaders {
+        let _ = u.join();
+    }
+    let _ = prober.join();
+    let elapsed = started.elapsed();
+
+    let mut lat = latencies.lock().expect("latency lock").clone();
+    lat.sort_by(f64::total_cmp);
+    let pick = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let rank = (q * (lat.len() - 1) as f64).round() as usize;
+        lat[rank.min(lat.len() - 1)]
+    };
+    Ok(SlamReport {
+        uploads_done: done.load(Ordering::SeqCst),
+        uploads_busy: busy.load(Ordering::SeqCst),
+        upload_errors: errors.load(Ordering::SeqCst),
+        bytes_acked: bytes.load(Ordering::SeqCst),
+        records_acked: records.load(Ordering::SeqCst),
+        elapsed,
+        queries: lat.len() as u64,
+        query_p50_ms: pick(0.50),
+        query_p99_ms: pick(0.99),
+        query_max_ms: lat.last().copied().unwrap_or(0.0),
+    })
+}
+
+/// Builds a deterministic synthetic idle-stamp trace for load runs with
+/// no recorded corpus at hand: a 100 MHz machine whose idle loop stamps
+/// every ~250 cycles, with a latency spike every `spike_every` stamps.
+///
+/// # Panics
+///
+/// Never — the generated stream is monotone by construction.
+pub fn synthetic_corpus(records: u64, seed: u64, spike_every: u64) -> Vec<u8> {
+    use latlab_des::{CpuFreq, SimDuration};
+    use latlab_trace::{Record, StreamKind, TraceMeta, TraceWriter};
+
+    let meta = TraceMeta {
+        kind: StreamKind::IdleStamps,
+        freq: CpuFreq::PENTIUM_100,
+        baseline: SimDuration::from_cycles(250),
+        seed,
+        personality: "slam-synthetic".to_owned(),
+    };
+    let mut w = TraceWriter::create(Vec::new(), meta).expect("in-memory trace writer");
+    let mut at = 1_000u64;
+    let mut state = seed | 1;
+    for i in 1..=records {
+        // xorshift jitter keeps deltas varied (and the varints honest).
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let jitter = state % 32;
+        at += 250 + jitter;
+        if spike_every > 0 && i % spike_every == 0 {
+            // An "event" stole the CPU: 2–10 ms of extra cycles at 100 MHz.
+            at += 200_000 + (state % 800_000);
+        }
+        w.write(&Record::Stamp(at)).expect("in-memory trace write");
+    }
+    w.finish().expect("in-memory trace finish")
+}

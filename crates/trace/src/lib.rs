@@ -15,7 +15,11 @@
 //!   far larger than RAM stream through cleanly;
 //! - the [`TraceSink`] abstraction the simulator's collection paths emit
 //!   through, with in-memory ([`VecSink`]), on-disk ([`WriterSink`]),
-//!   and discarding ([`NullSink`]) implementations.
+//!   and discarding ([`NullSink`]) implementations;
+//! - a **push-based incremental decoder** ([`StreamDecoder`]) for
+//!   transports that deliver the same byte stream in arbitrary fragments
+//!   (sockets): partial headers and chunks are buffered until complete,
+//!   with the exact validation the file reader performs.
 //!
 //! Three stream kinds share the container: idle-loop stamps, message-API
 //! log events, and periodic counter samples ([`StreamKind`]).
@@ -29,14 +33,17 @@ mod meta;
 mod reader;
 mod record;
 mod sink;
+mod stream;
 mod varint;
 mod writer;
 
+pub use crc32::crc32;
 pub use error::TraceError;
 pub use meta::{StreamKind, TraceMeta, FORMAT_VERSION, MAGIC};
 pub use reader::TraceReader;
 pub use record::{ApiRecord, CounterRecord, Record};
 pub use sink::{FileSink, NullSink, TraceSink, VecSink, WriterSink};
+pub use stream::StreamDecoder;
 pub use writer::{TraceWriter, MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS};
 
 /// Default file extension for trace files.

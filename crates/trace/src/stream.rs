@@ -1,0 +1,449 @@
+//! Push-based incremental trace decoder for network transports.
+//!
+//! [`TraceReader`](crate::TraceReader) pulls from a `Read` and blocks
+//! until a whole header or chunk is available — the right shape for
+//! files, the wrong one for sockets, where bytes arrive in arbitrary
+//! fragments and a frame boundary rarely lines up with a chunk boundary.
+//! [`StreamDecoder`] inverts control: the transport [`feed`]s whatever
+//! bytes it has, the decoder buffers partial headers and chunks until
+//! they complete, and fully-decoded records are [`poll`]ed out. Decoded
+//! bytes are discarded eagerly, so memory stays bounded by one chunk
+//! (plus undecoded carry-over) regardless of stream length.
+//!
+//! The decode rules are identical to [`TraceReader`](crate::TraceReader):
+//! same CRC checks, same monotonicity validation, same structural limits
+//! on corrupt input — a byte stream fed through this decoder in any
+//! fragmentation yields exactly the records the file reader yields, and
+//! the same error on corrupt data. Once an error surfaces the decoder is
+//! poisoned: further feeding returns the same error class.
+//!
+//! [`feed`]: StreamDecoder::feed
+//! [`poll`]: StreamDecoder::poll
+
+use std::collections::VecDeque;
+
+use crate::crc32::crc32;
+use crate::error::TraceError;
+use crate::meta::{StreamKind, TraceMeta};
+use crate::record::{ApiRecord, CounterRecord, Record};
+use crate::varint;
+use crate::writer::{MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS};
+
+/// Incremental decoder state.
+#[derive(Debug)]
+pub struct StreamDecoder {
+    /// Unconsumed input bytes (partial header or partial chunk).
+    buf: Vec<u8>,
+    /// Parsed file header, once enough bytes have arrived.
+    meta: Option<TraceMeta>,
+    /// Records decoded out of completed chunks, not yet polled.
+    ready: VecDeque<Record>,
+    prev_at: u64,
+    any_read: bool,
+    records_decoded: u64,
+    chunks_decoded: u64,
+    bytes_fed: u64,
+    poisoned: bool,
+}
+
+impl Default for StreamDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamDecoder {
+    /// Creates a decoder expecting a trace header first.
+    pub fn new() -> Self {
+        StreamDecoder {
+            buf: Vec::new(),
+            meta: None,
+            ready: VecDeque::new(),
+            prev_at: 0,
+            any_read: false,
+            records_decoded: 0,
+            chunks_decoded: 0,
+            bytes_fed: 0,
+            poisoned: false,
+        }
+    }
+
+    /// The stream header, once decoded.
+    pub fn meta(&self) -> Option<&TraceMeta> {
+        self.meta.as_ref()
+    }
+
+    /// Records decoded so far (including ones not yet polled).
+    pub fn records_decoded(&self) -> u64 {
+        self.records_decoded
+    }
+
+    /// Completed chunks decoded so far.
+    pub fn chunks_decoded(&self) -> u64 {
+        self.chunks_decoded
+    }
+
+    /// Total bytes accepted by [`feed`](StreamDecoder::feed).
+    pub fn bytes_fed(&self) -> u64 {
+        self.bytes_fed
+    }
+
+    /// True when every fed byte has been decoded — the stream currently
+    /// ends on a clean header/chunk boundary. A complete upload must end
+    /// in this state; a mid-chunk disconnect leaves it false.
+    pub fn is_clean_boundary(&self) -> bool {
+        !self.poisoned && self.buf.is_empty()
+    }
+
+    /// Bytes buffered awaiting the rest of a header or chunk.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Accepts the next fragment of the byte stream, decoding every
+    /// header/chunk it completes.
+    ///
+    /// # Errors
+    ///
+    /// Any structural error a [`TraceReader`](crate::TraceReader) would
+    /// report on the same byte stream: bad magic, CRC mismatch, corrupt
+    /// fields, non-monotonic stamps. The decoder is poisoned afterwards.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(), TraceError> {
+        if self.poisoned {
+            return Err(TraceError::Corrupt {
+                what: "stream decoder already failed",
+            });
+        }
+        self.bytes_fed += bytes.len() as u64;
+        self.buf.extend_from_slice(bytes);
+        match self.drain_buf() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Takes the next fully-decoded record, if one is ready.
+    pub fn poll(&mut self) -> Option<Record> {
+        self.ready.pop_front()
+    }
+
+    /// Decodes as many complete headers/chunks as the buffer holds.
+    fn drain_buf(&mut self) -> Result<(), TraceError> {
+        let mut consumed = 0usize;
+        if self.meta.is_none() {
+            match self.try_decode_header(consumed)? {
+                Some(used) => consumed += used,
+                None => {
+                    self.compact(consumed);
+                    return Ok(());
+                }
+            }
+        }
+        while let Some(used) = self.try_decode_chunk(consumed)? {
+            consumed += used;
+        }
+        self.compact(consumed);
+        Ok(())
+    }
+
+    /// Drops the first `consumed` bytes of the carry buffer.
+    fn compact(&mut self, consumed: usize) {
+        if consumed > 0 {
+            self.buf.drain(..consumed);
+        }
+    }
+
+    /// Attempts to decode the file header at `buf[from..]`. Returns the
+    /// bytes consumed, or `None` if more input is needed.
+    fn try_decode_header(&mut self, from: usize) -> Result<Option<usize>, TraceError> {
+        let avail = &self.buf[from..];
+        if avail.len() < 4 {
+            // Reject wrong magic as soon as those bytes exist, so a
+            // non-trace stream fails fast rather than buffering forever.
+            if !avail.is_empty() && avail != &crate::meta::MAGIC[..avail.len()] {
+                return Err(TraceError::BadMagic);
+            }
+            return Ok(None);
+        }
+        if avail[..4] != crate::meta::MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        if avail.len() < TraceMeta::FIXED_LEN {
+            return Ok(None);
+        }
+        let plen = u16::from_le_bytes([avail[6], avail[7]]) as usize;
+        let total = TraceMeta::FIXED_LEN + plen + 4;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let (meta, used) = TraceMeta::decode(&avail[..total])?;
+        debug_assert_eq!(used, total);
+        self.meta = Some(meta);
+        Ok(Some(total))
+    }
+
+    /// Attempts to decode one framed chunk at `buf[from..]`. Returns the
+    /// bytes consumed, or `None` if the chunk is still partial.
+    fn try_decode_chunk(&mut self, from: usize) -> Result<Option<usize>, TraceError> {
+        let avail = &self.buf[from..];
+        if avail.len() < 12 {
+            return Ok(None);
+        }
+        let count = u32::from_le_bytes(avail[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(avail[4..8].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(avail[8..12].try_into().unwrap());
+        if count == 0 || count > MAX_CHUNK_RECORDS {
+            return Err(TraceError::Corrupt {
+                what: "chunk record count out of range",
+            });
+        }
+        if len == 0 || len > MAX_CHUNK_PAYLOAD {
+            return Err(TraceError::Corrupt {
+                what: "chunk payload length out of range",
+            });
+        }
+        if avail.len() < 12 + len {
+            return Ok(None);
+        }
+        let payload = &avail[12..12 + len];
+        if crc32(payload) != stored_crc {
+            return Err(TraceError::CrcMismatch {
+                chunk: self.chunks_decoded + 1,
+            });
+        }
+        // Decode every record of the chunk. Borrow gymnastics: the record
+        // decode needs `&mut self` state (prev_at etc.), so copy the
+        // payload cursor locally and walk it with a free function.
+        let meta_kind = self.meta.as_ref().expect("header precedes chunks").kind;
+        let mut pos = 0usize;
+        for _ in 0..count {
+            let rec = decode_one(
+                payload,
+                &mut pos,
+                meta_kind,
+                self.any_read,
+                self.prev_at,
+                self.records_decoded as usize,
+            )?;
+            self.prev_at = rec.at_cycles();
+            self.any_read = true;
+            self.records_decoded += 1;
+            self.ready.push_back(rec);
+        }
+        if pos != len {
+            return Err(TraceError::Corrupt {
+                what: "trailing bytes in chunk payload",
+            });
+        }
+        self.chunks_decoded += 1;
+        Ok(Some(12 + len))
+    }
+}
+
+/// Decodes one record from a chunk payload — the same field layout
+/// [`TraceReader`](crate::TraceReader) decodes.
+fn decode_one(
+    payload: &[u8],
+    pos: &mut usize,
+    kind: StreamKind,
+    any_read: bool,
+    prev_at: u64,
+    index: usize,
+) -> Result<Record, TraceError> {
+    let delta = varint::decode(payload, pos)?;
+    let at = if any_read {
+        if kind == StreamKind::IdleStamps && delta == 0 {
+            return Err(TraceError::NonMonotonic { index });
+        }
+        prev_at.checked_add(delta).ok_or(TraceError::Corrupt {
+            what: "timestamp delta overflows 64 bits",
+        })?
+    } else {
+        delta
+    };
+    let decode_u32 = |payload: &[u8], pos: &mut usize, what: &'static str| {
+        let v = varint::decode(payload, pos)?;
+        u32::try_from(v).map_err(|_| TraceError::Corrupt { what })
+    };
+    let decode_byte = |payload: &[u8], pos: &mut usize, what: &'static str| {
+        let Some(&b) = payload.get(*pos) else {
+            return Err(TraceError::Corrupt { what });
+        };
+        *pos += 1;
+        Ok(b)
+    };
+    Ok(match kind {
+        StreamKind::IdleStamps => Record::Stamp(at),
+        StreamKind::ApiLog => {
+            let thread = decode_u32(payload, pos, "thread id exceeds 32 bits")?;
+            let entry = decode_byte(payload, pos, "API record missing entry byte")?;
+            let outcome = decode_byte(payload, pos, "API record missing outcome byte")?;
+            let a = varint::decode(payload, pos)?;
+            let b = varint::decode(payload, pos)?;
+            let queue_len = decode_u32(payload, pos, "queue length exceeds 32 bits")?;
+            Record::Api(ApiRecord {
+                at_cycles: at,
+                thread,
+                entry,
+                outcome,
+                a,
+                b,
+                queue_len,
+            })
+        }
+        StreamKind::Counters => {
+            let counter = decode_u32(payload, pos, "counter id exceeds 32 bits")?;
+            let value = varint::decode(payload, pos)?;
+            Record::Counter(CounterRecord {
+                at_cycles: at,
+                counter,
+                value,
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use latlab_des::{CpuFreq, SimDuration};
+
+    fn stamp_meta() -> TraceMeta {
+        TraceMeta {
+            kind: StreamKind::IdleStamps,
+            freq: CpuFreq::PENTIUM_100,
+            baseline: SimDuration::from_cycles(250),
+            seed: 42,
+            personality: "stream-test".to_owned(),
+        }
+    }
+
+    fn encoded_stamps(n: u64) -> (Vec<u8>, Vec<u64>) {
+        let stamps: Vec<u64> = (1..=n).map(|i| i * 97 + (i % 13)).collect();
+        let mut w = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        for &s in &stamps {
+            w.write(&Record::Stamp(s)).unwrap();
+        }
+        (w.finish().unwrap(), stamps)
+    }
+
+    fn drain(d: &mut StreamDecoder) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(rec) = d.poll() {
+            match rec {
+                Record::Stamp(s) => out.push(s),
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn byte_by_byte_feeding_matches_reader() {
+        let (bytes, stamps) = encoded_stamps(10_000);
+        let mut d = StreamDecoder::new();
+        let mut got = Vec::new();
+        for &b in &bytes {
+            d.feed(&[b]).unwrap();
+            got.extend(drain(&mut d));
+        }
+        assert_eq!(got, stamps);
+        assert_eq!(d.meta(), Some(&stamp_meta()));
+        assert!(d.is_clean_boundary());
+        assert!(d.chunks_decoded() >= 2);
+        assert_eq!(d.records_decoded(), stamps.len() as u64);
+    }
+
+    #[test]
+    fn varied_fragment_sizes_match_whole_feed() {
+        let (bytes, stamps) = encoded_stamps(5_000);
+        for frag in [1usize, 3, 7, 64, 1024, usize::MAX] {
+            let mut d = StreamDecoder::new();
+            let mut got = Vec::new();
+            for piece in bytes.chunks(frag.min(bytes.len())) {
+                d.feed(piece).unwrap();
+                got.extend(drain(&mut d));
+            }
+            assert_eq!(got, stamps, "fragment size {frag}");
+            assert!(d.is_clean_boundary());
+        }
+    }
+
+    #[test]
+    fn partial_chunk_is_not_a_clean_boundary() {
+        let (bytes, stamps) = encoded_stamps(3_000);
+        let cut = bytes.len() - 10; // mid-final-chunk
+        let mut d = StreamDecoder::new();
+        d.feed(&bytes[..cut]).unwrap();
+        let got = drain(&mut d);
+        assert!(got.len() < stamps.len());
+        assert_eq!(got[..], stamps[..got.len()]);
+        assert!(!d.is_clean_boundary());
+        assert!(d.pending_bytes() > 0);
+        // Feeding the rest completes the stream.
+        d.feed(&bytes[cut..]).unwrap();
+        assert!(d.is_clean_boundary());
+    }
+
+    #[test]
+    fn corrupt_chunk_poisons_decoder() {
+        let (mut bytes, _) = encoded_stamps(100);
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff; // flip a payload byte in the final chunk
+        let mut d = StreamDecoder::new();
+        let err = d.feed(&bytes).unwrap_err();
+        assert!(matches!(err, TraceError::CrcMismatch { .. }), "{err}");
+        assert!(d.feed(&[0]).is_err(), "decoder must stay poisoned");
+    }
+
+    #[test]
+    fn non_trace_stream_fails_fast() {
+        let mut d = StreamDecoder::new();
+        let err = d.feed(b"GET / HTTP/1.1\r\n").unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic));
+        // Even a short wrong prefix is rejected without waiting for more.
+        let mut d = StreamDecoder::new();
+        assert!(matches!(d.feed(b"XY").unwrap_err(), TraceError::BadMagic));
+    }
+
+    #[test]
+    fn api_records_round_trip_incrementally() {
+        let meta = TraceMeta {
+            kind: StreamKind::ApiLog,
+            ..stamp_meta()
+        };
+        let recs: Vec<ApiRecord> = (0..700u64)
+            .map(|i| ApiRecord {
+                at_cycles: i * 1000,
+                thread: (i % 7) as u32,
+                entry: (i % 5) as u8,
+                outcome: (i % 3) as u8,
+                a: i * 31,
+                b: u64::MAX - i,
+                queue_len: (i % 11) as u32,
+            })
+            .collect();
+        let mut w = TraceWriter::create(Vec::new(), meta).unwrap();
+        for r in &recs {
+            w.write(&Record::Api(*r)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut d = StreamDecoder::new();
+        let mut got = Vec::new();
+        for piece in bytes.chunks(17) {
+            d.feed(piece).unwrap();
+            while let Some(rec) = d.poll() {
+                match rec {
+                    Record::Api(a) => got.push(a),
+                    other => panic!("unexpected record {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got, recs);
+        assert!(d.is_clean_boundary());
+    }
+}

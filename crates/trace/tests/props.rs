@@ -216,4 +216,56 @@ proptest! {
         // the chunk framing whose inconsistency the reader checks.
         prop_assert!(drain(&bytes).is_err());
     }
+
+    /// The incremental decoder yields exactly the file reader's records
+    /// under any fragmentation of the same byte stream.
+    #[test]
+    fn stream_decoder_is_fragmentation_invariant(
+        start in 0u64..1_000_000_000,
+        deltas in prop::collection::vec(1u64..2_000_000, 0..3000),
+        frags in prop::collection::vec(1usize..512, 1..64),
+    ) {
+        let records = stamps_from(start, &deltas);
+        let bytes = encode(StreamKind::IdleStamps, &records);
+        let mut d = latlab_trace::StreamDecoder::new();
+        let mut got = Vec::new();
+        let mut rest = &bytes[..];
+        let mut cuts = frags.iter().cycle();
+        while !rest.is_empty() {
+            let take = (*cuts.next().unwrap()).min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            d.feed(head).unwrap();
+            while let Some(rec) = d.poll() {
+                got.push(rec);
+            }
+            rest = tail;
+        }
+        prop_assert_eq!(got, records);
+        prop_assert!(d.is_clean_boundary());
+        prop_assert_eq!(d.bytes_fed(), bytes.len() as u64);
+    }
+
+    /// Cutting the stream anywhere never panics the incremental decoder
+    /// and never invents records: what was decoded is a strict prefix.
+    #[test]
+    fn stream_decoder_truncation_yields_prefix(
+        start in 0u64..1_000_000,
+        deltas in prop::collection::vec(1u64..200_000, 1..800),
+        cut_permille in 0u64..1000,
+    ) {
+        let records = stamps_from(start, &deltas);
+        let bytes = encode(StreamKind::IdleStamps, &records);
+        let cut = (bytes.len() as u64 * cut_permille / 1000) as usize;
+        let mut d = latlab_trace::StreamDecoder::new();
+        d.feed(&bytes[..cut]).unwrap();
+        let mut got = Vec::new();
+        while let Some(rec) = d.poll() {
+            got.push(rec);
+        }
+        prop_assert!(got.len() <= records.len());
+        prop_assert_eq!(&got[..], &records[..got.len()]);
+        if cut < bytes.len() {
+            prop_assert!(!d.is_clean_boundary() || got.len() < records.len() || got.is_empty());
+        }
+    }
 }
