@@ -115,6 +115,32 @@ impl ClassSketch {
         }
     }
 
+    /// Columnar fold of a sample batch: the histogram absorbs the whole
+    /// slice in one pass over the bucket table, then a single loop runs
+    /// the moment accumulator (per-sample, in slice order — so the
+    /// moments stay bit-identical to repeated [`push`](Self::push)) and
+    /// the threshold counters. Equivalent to pushing each sample.
+    fn update_batch(&mut self, samples: &[f64], free_ms: Option<f64>, saturate_ms: Option<f64>) {
+        self.hist.push_batch(samples);
+        let free = free_ms.unwrap_or(f64::INFINITY);
+        let saturate = saturate_ms.unwrap_or(f64::INFINITY);
+        let (mut misses, mut saturated) = (0u64, 0u64);
+        for &ms in samples {
+            if !ms.is_finite() {
+                continue;
+            }
+            self.stats.push(ms);
+            if ms > free {
+                misses += 1;
+            }
+            if ms > saturate {
+                saturated += 1;
+            }
+        }
+        self.misses += misses;
+        self.saturated += saturated;
+    }
+
     fn merge(&mut self, other: &ClassSketch) {
         self.hist.merge(&other.hist);
         self.stats.merge(&other.stats);
@@ -179,7 +205,10 @@ impl LatencySketch {
         self.classes[class.index()].push(ms, band.map(|b| b.free_ms), band.map(|b| b.saturate_ms));
     }
 
-    /// Adds a batch of observations under one class.
+    /// Adds a batch of observations under one class, one sample at a
+    /// time. This is the scalar reference path; the ingest hot path uses
+    /// [`update_batch`](Self::update_batch), which a unit test holds
+    /// equivalent to this per-record fold.
     pub fn push_batch(&mut self, class: EventClass, samples: &[f64]) {
         let band = self.model.band(class);
         let (free, saturate) = (band.map(|b| b.free_ms), band.map(|b| b.saturate_ms));
@@ -189,6 +218,20 @@ impl LatencySketch {
                 cell.push(ms, free, saturate);
             }
         }
+    }
+
+    /// Columnar fold of a sample batch under one class: one pass over the
+    /// histogram bucket table plus one pass for moments and deadline
+    /// misses. Produces exactly the state repeated
+    /// [`push`](Self::push) calls would — identical counts, miss
+    /// counters, bucket contents, and bit-identical moments.
+    pub fn update_batch(&mut self, class: EventClass, samples: &[f64]) {
+        let band = self.model.band(class);
+        self.classes[class.index()].update_batch(
+            samples,
+            band.map(|b| b.free_ms),
+            band.map(|b| b.saturate_ms),
+        );
     }
 
     /// The accumulator for one class.
@@ -300,6 +343,65 @@ mod tests {
         assert!((2_935.0..=3_000.0).contains(&p100), "p100 {p100}");
         let median = s.quantile(0.5).unwrap();
         assert!((2.9..1_050.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn update_batch_matches_per_record_push_for_every_class() {
+        // Samples straddling every interesting regime: below/above the
+        // free threshold, above saturation, plus non-finite values the
+        // scalar path filters out.
+        let samples: Vec<f64> = (0..2_000u64)
+            .map(|i| match i % 11 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                _ => 0.05 + (i % 431) as f64 * 23.7,
+            })
+            .collect();
+        for class in EventClass::ALL {
+            let mut scalar = LatencySketch::new();
+            for &ms in &samples {
+                scalar.push(class, ms);
+            }
+            let mut batched = LatencySketch::new();
+            batched.update_batch(class, &samples);
+            let (s, b) = (scalar.class(class), batched.class(class));
+            assert_eq!(b.count(), s.count(), "{class:?} count");
+            assert_eq!(b.misses(), s.misses(), "{class:?} misses");
+            assert_eq!(b.saturated(), s.saturated(), "{class:?} saturated");
+            assert_eq!(b.stats().count(), s.stats().count(), "{class:?} n");
+            assert_eq!(b.stats().mean(), s.stats().mean(), "{class:?} mean");
+            assert_eq!(
+                b.stats().sample_stddev(),
+                s.stats().sample_stddev(),
+                "{class:?} stddev"
+            );
+            assert_eq!(b.stats().min(), s.stats().min(), "{class:?} min");
+            assert_eq!(b.stats().max(), s.stats().max(), "{class:?} max");
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(b.quantile(q), s.quantile(q), "{class:?} q{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_batch_matches_scalar_push_batch() {
+        let samples: Vec<f64> = (1..1_500u64).map(|i| (i % 613) as f64 * 3.1).collect();
+        let mut scalar = LatencySketch::new();
+        let mut batched = LatencySketch::new();
+        for chunk in samples.chunks(97) {
+            scalar.push_batch(EventClass::Keystroke, chunk);
+            batched.update_batch(EventClass::Keystroke, chunk);
+        }
+        assert_eq!(batched.total(), scalar.total());
+        assert_eq!(batched.total_misses(), scalar.total_misses());
+        assert_eq!(batched.quantile(0.99), scalar.quantile(0.99));
+        let (s, b) = (
+            scalar.class(EventClass::Keystroke),
+            batched.class(EventClass::Keystroke),
+        );
+        assert_eq!(b.stats().mean(), s.stats().mean());
     }
 
     #[test]

@@ -33,6 +33,45 @@ const MAX_EXP: i32 = 30;
 
 const BUCKETS: usize = ((MAX_EXP - MIN_EXP) as u32 * SUBBUCKETS_PER_OCTAVE) as usize;
 
+/// Mantissa bits of `2^(i/32)` for `i = 1..32`: the sub-octave bucket
+/// boundaries, expressed directly in IEEE-754 significand space so
+/// [`StreamingHistogram::bucket_of`] can bucket a value with integer
+/// compares on its bit pattern instead of a `log2` call per sample. A
+/// test below checks each entry against `exp2`.
+const SUB_BOUNDS: [u64; 31] = [
+    0x059b0d3158574,
+    0x0b5586cf9890f,
+    0x11301d0125b51,
+    0x172b83c7d517b,
+    0x1d4873168b9aa,
+    0x2387a6e756238,
+    0x29e9df51fdee1,
+    0x306fe0a31b715,
+    0x371a7373aa9cb,
+    0x3dea64c123422,
+    0x44e086061892d,
+    0x4bfdad5362a27,
+    0x5342b569d4f82,
+    0x5ab07dd485429,
+    0x6247eb03a5585,
+    0x6a09e667f3bcd,
+    0x71f75e8ec5f74,
+    0x7a11473eb0187,
+    0x82589994cce13,
+    0x8ace5422aa0db,
+    0x93737b0cdc5e5,
+    0x9c49182a3f090,
+    0xa5503b23e255d,
+    0xae89f995ad3ad,
+    0xb7f76f2fb5e47,
+    0xc199bdd85529c,
+    0xcb720dcef9069,
+    0xd5818dcfba487,
+    0xdfc97337b9b5f,
+    0xea4afa2a490da,
+    0xf50765b6e4540,
+];
+
 /// A fixed-size log-bucketed histogram of positive values (ms).
 ///
 /// Quantiles are answered to within ~1.1% relative error for in-range
@@ -70,19 +109,38 @@ impl StreamingHistogram {
         }
     }
 
+    /// The bucket index of `v`: `floor((log2 v − MIN_EXP) · 32)`, clamped
+    /// to the table — computed from the IEEE-754 bit pattern. The biased
+    /// exponent gives the octave; a binary search of [`SUB_BOUNDS`] over
+    /// the raw significand gives the sub-octave. No floating-point math
+    /// on the per-sample path, which is what lets the batch fold keep up
+    /// with the columnar decoder upstream.
     fn bucket_of(v: f64) -> usize {
         if v.is_nan() || v <= 0.0 {
             // Zero, negative, and NaN values land in the lowest bucket.
             return 0;
         }
-        let idx = ((v.log2() - MIN_EXP as f64) * SUBBUCKETS_PER_OCTAVE as f64).floor();
-        if idx < 0.0 {
-            0
-        } else if idx >= BUCKETS as f64 {
-            BUCKETS - 1
-        } else {
-            idx as usize
+        let bits = v.to_bits();
+        let biased = ((bits >> 52) & 0x7ff) as i32;
+        if biased == 0 {
+            // Subnormal: below 2^-1022, far under the 2^MIN_EXP floor.
+            return 0;
         }
+        if biased == 0x7ff {
+            // +∞ (NaN was handled above): clamp to the top bucket, as the
+            // log formulation did.
+            return BUCKETS - 1;
+        }
+        let octave = biased - 1023 - MIN_EXP;
+        if octave < 0 {
+            return 0;
+        }
+        if octave >= (MAX_EXP - MIN_EXP) {
+            return BUCKETS - 1;
+        }
+        let mantissa = bits & 0x000f_ffff_ffff_ffff;
+        let sub = SUB_BOUNDS.partition_point(|&b| b <= mantissa);
+        octave as usize * SUBBUCKETS_PER_OCTAVE as usize + sub
     }
 
     /// Geometric midpoint of bucket `i`.
@@ -98,6 +156,20 @@ impl StreamingHistogram {
         }
         self.counts[Self::bucket_of(v)] += 1;
         self.total += 1;
+    }
+
+    /// Adds a batch of observations in one pass over the bucket table:
+    /// same buckets, same non-finite filtering as repeated
+    /// [`push`](Self::push), with the total updated once per batch.
+    pub fn push_batch(&mut self, vals: &[f64]) {
+        let mut added = 0u64;
+        for &v in vals {
+            if v.is_finite() {
+                self.counts[Self::bucket_of(v)] += 1;
+                added += 1;
+            }
+        }
+        self.total += added;
     }
 
     /// Number of recorded observations.
@@ -370,5 +442,87 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert!(s.quantile(0.5).is_none());
         assert_eq!(s.to_latency_summary().count, 0);
+    }
+
+    #[test]
+    fn sub_bounds_are_exp2_mantissas() {
+        for (i, &b) in SUB_BOUNDS.iter().enumerate() {
+            let expect = ((i + 1) as f64 / SUBBUCKETS_PER_OCTAVE as f64)
+                .exp2()
+                .to_bits()
+                & 0x000f_ffff_ffff_ffff;
+            assert_eq!(b, expect, "SUB_BOUNDS[{i}]");
+        }
+    }
+
+    /// The former formulation of `bucket_of`, via `log2`.
+    fn bucket_of_log2(v: f64) -> usize {
+        if v.is_nan() || v <= 0.0 {
+            return 0;
+        }
+        let idx = ((v.log2() - MIN_EXP as f64) * SUBBUCKETS_PER_OCTAVE as f64).floor();
+        if idx < 0.0 {
+            0
+        } else {
+            (idx as usize).min(BUCKETS - 1)
+        }
+    }
+
+    #[test]
+    fn bit_bucketing_matches_log2_formulation() {
+        // Pseudo-random values across the full dynamic range, plus exact
+        // powers of two and near-boundary points.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut vals: Vec<f64> = Vec::new();
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let exp = (state % 60) as i32 - 25; // 2^-25 .. 2^34
+            let frac = 1.0 + (state >> 12) as f64 / (1u64 << 52) as f64;
+            vals.push(frac * (exp as f64).exp2());
+        }
+        for e in -25..=34 {
+            vals.push((e as f64).exp2());
+        }
+        vals.extend_from_slice(&[0.0, -1.0, f64::MIN_POSITIVE, 1e-300, 1e300]);
+        for v in vals {
+            assert_eq!(
+                StreamingHistogram::bucket_of(v),
+                bucket_of_log2(v),
+                "bucket_of({v}) diverged from the log2 formulation"
+            );
+        }
+    }
+
+    #[test]
+    fn representative_round_trips_through_bucket_of() {
+        for i in 0..BUCKETS {
+            assert_eq!(
+                StreamingHistogram::bucket_of(StreamingHistogram::representative(i)),
+                i,
+                "representative of bucket {i} fell outside it"
+            );
+        }
+    }
+
+    #[test]
+    fn push_batch_matches_repeated_push() {
+        let vals: Vec<f64> = (0..5_000)
+            .map(|i| match i % 7 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => -(i as f64),
+                _ => (i as f64) * 0.173 + 0.001,
+            })
+            .collect();
+        let mut one = StreamingHistogram::new();
+        for &v in &vals {
+            one.push(v);
+        }
+        let mut batched = StreamingHistogram::new();
+        batched.push_batch(&vals);
+        assert_eq!(batched.total(), one.total());
+        assert_eq!(batched.counts, one.counts);
     }
 }

@@ -38,6 +38,7 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use latlab_analysis::EventClass;
 use latlab_bench::{engine, pool, scenarios};
 use latlab_core::cli;
 use latlab_serve::{slam, ServeConfig, Server};
@@ -63,16 +64,29 @@ struct ScenarioBench {
 }
 
 /// Loopback benchmark of the `latlab-serve` telemetry path: concurrent
-/// uploaders slamming a local server while a prober times queries.
+/// uploaders slamming a local server while a prober times queries. The
+/// headline figures (`mb_per_sec`, query percentiles) come from the
+/// default columnar batch decode path; `scalar_mb_per_sec` is a second
+/// run of the same load against the per-record reference path. The
+/// `pipeline_*` figures isolate the server-side pipeline — decode,
+/// sample extraction, sketch fold over the same recorded corpus,
+/// no sockets — where the two paths differ; `batch_speedup` is their
+/// ratio (the loopback numbers fold in client and kernel time that is
+/// identical for both paths).
 #[derive(Serialize)]
 struct IngestBench {
     connections: usize,
     duration_s: f64,
     uploads_done: u64,
     uploads_busy: u64,
+    upload_retries: u64,
     upload_errors: u64,
     records_acked: u64,
     mb_per_sec: f64,
+    scalar_mb_per_sec: f64,
+    pipeline_batch_mb_per_sec: f64,
+    pipeline_scalar_mb_per_sec: f64,
+    batch_speedup: f64,
     query_p50_ms: f64,
     query_p99_ms: f64,
 }
@@ -249,13 +263,16 @@ fn gate_ingest(base: &BaselineIngest, now: &IngestBench, tolerance_pct: f64) -> 
 /// Phase 3: the loopback ingest benchmark. Starts an in-process server
 /// on an ephemeral port, slams it with `connections` uploaders replaying
 /// a synthetic idle-stamp corpus for `secs` seconds, and drains it.
-fn ingest_bench(secs: u64, connections: usize) -> std::io::Result<IngestBench> {
+/// `scalar` selects the per-record reference decode path instead of the
+/// default columnar batch path.
+fn ingest_bench(secs: u64, connections: usize, scalar: bool) -> std::io::Result<IngestBench> {
     let server = Server::start(ServeConfig {
         bind: "127.0.0.1:0".to_string(),
         read_timeout: Duration::from_secs(10),
+        scalar_ingest: scalar,
         ..ServeConfig::default()
     })?;
-    let corpus = vec![latlab_serve::synthetic_corpus(200_000, 0xbe9c, 64)];
+    let corpus = vec![latlab_serve::idle_corpus(200_000, 0xbe9c, 64)];
     let cfg = slam::SlamConfig {
         addr: server.local_addr(),
         connections,
@@ -271,12 +288,41 @@ fn ingest_bench(secs: u64, connections: usize) -> std::io::Result<IngestBench> {
         duration_s: report.elapsed.as_secs_f64(),
         uploads_done: report.uploads_done,
         uploads_busy: report.uploads_busy,
+        upload_retries: report.upload_retries,
         upload_errors: report.upload_errors,
         records_acked: report.records_acked,
         mb_per_sec: report.mb_per_sec(),
+        scalar_mb_per_sec: 0.0,
+        pipeline_batch_mb_per_sec: 0.0,
+        pipeline_scalar_mb_per_sec: 0.0,
+        batch_speedup: 0.0,
         query_p50_ms: report.query_p50_ms,
         query_p99_ms: report.query_p99_ms,
     })
+}
+
+/// In-process throughput of the server-side ingest pipeline — decode,
+/// sample extraction, sketch fold — over one recorded idle-stamp corpus,
+/// batch vs scalar. No sockets, single thread: this isolates exactly the
+/// code the two paths disagree on, which loopback MB/s (client + kernel
+/// + server on shared cores) cannot.
+fn pipeline_bench() -> (f64, f64) {
+    let corpus = latlab_serve::idle_corpus(1 << 21, 0xbe9c, 64);
+    let frame = 64 * 1024;
+    let rate = |scalar: bool| -> f64 {
+        // One warmup fold (page in the corpus, size the buffers), then
+        // measure whole passes until enough wall clock has accumulated.
+        let _ = latlab_serve::fold_corpus(&corpus, frame, EventClass::Keystroke, scalar);
+        let (mut bytes, mut passes) = (0u64, 0u32);
+        let t0 = Instant::now();
+        while passes < 3 || t0.elapsed() < Duration::from_millis(300) {
+            let run = latlab_serve::fold_corpus(&corpus, frame, EventClass::Keystroke, scalar);
+            bytes += run.bytes;
+            passes += 1;
+        }
+        bytes as f64 / 1e6 / t0.elapsed().as_secs_f64()
+    };
+    (rate(false), rate(true))
 }
 
 fn main() -> ExitCode {
@@ -478,21 +524,50 @@ fn main() -> ExitCode {
         }
     }
 
-    // Phase 3: loopback ingest/query benchmark of the telemetry service.
+    // Phase 3: loopback ingest/query benchmark of the telemetry service,
+    // once through the columnar batch path (the headline numbers) and
+    // once through the scalar reference path for the speedup figure.
     let ingest = if ingest_secs > 0 {
         eprintln!(
-            "perf: ingest benchmark — {ingest_connections} connection(s) for {ingest_secs} s"
+            "perf: ingest benchmark — {ingest_connections} connection(s) for {ingest_secs} s \
+             (batch, then scalar)"
         );
-        match ingest_bench(ingest_secs, ingest_connections) {
-            Ok(bench) => {
+        match ingest_bench(ingest_secs, ingest_connections, false) {
+            Ok(mut bench) => {
                 eprintln!(
-                    "  ingest {:>9.1} MB/s  ({} uploads, {} busy)  query p50 {:.2} ms  \
-                     p99 {:.2} ms",
+                    "  ingest batch  {:>9.1} MB/s  ({} uploads, {} busy, {} retries)  \
+                     query p50 {:.2} ms  p99 {:.2} ms",
                     bench.mb_per_sec,
                     bench.uploads_done,
                     bench.uploads_busy,
+                    bench.upload_retries,
                     bench.query_p50_ms,
                     bench.query_p99_ms
+                );
+                match ingest_bench(ingest_secs, ingest_connections, true) {
+                    Ok(scalar) => {
+                        bench.scalar_mb_per_sec = scalar.mb_per_sec;
+                        eprintln!("  ingest scalar {:>9.1} MB/s", bench.scalar_mb_per_sec);
+                    }
+                    Err(e) => {
+                        return cli::runtime_error(
+                            BIN,
+                            &format!("scalar ingest benchmark failed: {e}"),
+                        )
+                    }
+                }
+                let (batch_mb_s, scalar_mb_s) = pipeline_bench();
+                bench.pipeline_batch_mb_per_sec = batch_mb_s;
+                bench.pipeline_scalar_mb_per_sec = scalar_mb_s;
+                bench.batch_speedup = if scalar_mb_s > 0.0 {
+                    batch_mb_s / scalar_mb_s
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "  pipeline      {batch_mb_s:>9.1} MB/s batch vs {scalar_mb_s:.1} MB/s \
+                     scalar  (speedup {:.2}x)",
+                    bench.batch_speedup
                 );
                 Some(bench)
             }

@@ -303,15 +303,17 @@ fn summary(paths: &[PathBuf]) -> Result<ExitCode, TraceError> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Streams one file's rows. With `file_col`, every row leads with the
-/// file's name so concatenated exports keep their provenance.
+/// Streams one already-opened file's rows. With `file_col`, every row
+/// leads with the file's name so concatenated exports keep their
+/// provenance. Per-file metadata — the row prefix, the frequency, the
+/// baseline in ms — is derived once here, outside the record loop.
 fn export_rows(
+    mut reader: TraceReader<BufReader<File>>,
     path: &Path,
     expect_kind: StreamKind,
     file_col: bool,
     out: &mut dyn Write,
 ) -> Result<(), TraceError> {
-    let mut reader = open(path)?;
     let meta = reader.meta().clone();
     if meta.kind != expect_kind {
         return Err(TraceError::Corrupt {
@@ -324,7 +326,8 @@ fn export_rows(
     }
     match meta.kind {
         StreamKind::IdleStamps => {
-            let baseline_ms = meta.freq.to_ms(meta.baseline);
+            let freq = meta.freq;
+            let baseline_ms = freq.to_ms(meta.baseline);
             let mut prev: Option<u64> = None;
             while let Some(rec) = reader.next()? {
                 let Record::Stamp(s) = rec else {
@@ -333,7 +336,7 @@ fn export_rows(
                 match prev {
                     None => writeln!(out, "{prefix}{s},,")?,
                     Some(p) => {
-                        let interval = meta.freq.to_ms(latlab_des::SimDuration::from_cycles(s - p));
+                        let interval = freq.to_ms(latlab_des::SimDuration::from_cycles(s - p));
                         writeln!(
                             out,
                             "{prefix}{s},{interval:.6},{:.6}",
@@ -369,7 +372,10 @@ fn export_rows(
 }
 
 fn export_csv(paths: &[PathBuf], out: &mut dyn Write) -> Result<ExitCode, TraceError> {
-    let kind = open(&paths[0])?.meta().kind;
+    // The first file is opened once: its header decides the CSV columns
+    // and the same reader then streams its rows.
+    let first = open(&paths[0])?;
+    let kind = first.meta().kind;
     let file_col = paths.len() > 1;
     let prefix = if file_col { "file," } else { "" };
     match kind {
@@ -379,8 +385,9 @@ fn export_csv(paths: &[PathBuf], out: &mut dyn Write) -> Result<ExitCode, TraceE
         }
         StreamKind::Counters => writeln!(out, "{prefix}at_cycles,counter,value")?,
     }
-    for path in paths {
-        export_rows(path, kind, file_col, out)?;
+    export_rows(first, &paths[0], kind, file_col, out)?;
+    for path in &paths[1..] {
+        export_rows(open(path)?, path, kind, file_col, out)?;
     }
     out.flush()?;
     Ok(ExitCode::SUCCESS)

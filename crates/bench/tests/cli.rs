@@ -190,6 +190,50 @@ fn trace_summary_aggregates_files_and_directories() {
 }
 
 #[test]
+fn trace_export_csv_multi_file_is_byte_identical_to_stitched_singles() {
+    // Regression guard for the multi-file export path: its bytes must be
+    // exactly the multi-file header plus each file's single-file rows
+    // with that file's path prefixed — same numbers, same formatting,
+    // independent of how the exporter derives per-file metadata.
+    let dir = tmp_dir("csv-bytes");
+    let paths: Vec<PathBuf> = [(50u64, 1_000u64), (75, 2_000), (60, 3_000)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(records, start))| {
+            let p = dir.join(format!("t{i}.ltrc"));
+            write_stamp_trace(&p, records, start);
+            p
+        })
+        .collect();
+
+    let mut expected = String::from("file,stamp_cycles,interval_ms,excess_ms\n");
+    for path in &paths {
+        let single = Command::new(TRACE)
+            .args(["export-csv", path.to_str().expect("utf8")])
+            .output()
+            .expect("run single export");
+        assert!(single.status.success());
+        let text = String::from_utf8(single.stdout).expect("utf8 csv");
+        for line in text.lines().skip(1) {
+            expected.push_str(&format!("{},{line}\n", path.display()));
+        }
+    }
+
+    let multi = Command::new(TRACE)
+        .arg("export-csv")
+        .args(paths.iter().map(|p| p.to_str().expect("utf8")))
+        .output()
+        .expect("run multi export");
+    assert!(multi.status.success());
+    assert_eq!(
+        String::from_utf8(multi.stdout).expect("utf8 csv"),
+        expected,
+        "multi-file export diverged from stitched single-file exports"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn trace_export_csv_multi_input_gains_a_file_column() {
     let dir = tmp_dir("csv");
     let a = dir.join("a.ltrc");

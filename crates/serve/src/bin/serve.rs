@@ -17,6 +17,8 @@ usage: latlab-serve [options]
   --publish-every N    samples folded between snapshot publishes (default 65536)
   --read-timeout-ms N  per-connection read timeout (default 30000)
   --busy-retry-ms N    full-queue retry window before BUSY (default 100)
+  --scalar-ingest      use the per-record decode path instead of the
+                       columnar batch path (reference/debug)
   --port-file PATH     write the bound address to PATH once listening
   --version            print version and exit
   --help               print this help";
@@ -100,6 +102,7 @@ fn main() -> ExitCode {
             "--busy-retry-ms" => {
                 config.busy_retry = Duration::from_millis(parse_or_usage!("--busy-retry-ms", u64))
             }
+            "--scalar-ingest" => config.scalar_ingest = true,
             other => return cli::usage_error(BIN, &format!("unknown argument {other:?}"), USAGE),
         }
     }

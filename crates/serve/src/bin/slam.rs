@@ -19,6 +19,7 @@ usage: latlab-slam ADDR [options] [CORPUS.ltrc ...]
   --class NAME          event class for samples (default keystroke)
   --frame-kb N          wire frame payload size in KB (default 64)
   --synthetic-records N corpus if no files given (default 200000 records)
+  --seed N              seed for BUSY retry-backoff jitter
   --version             print version and exit
   --help                print this help
 Replays the corpus traces from all connections until the duration
@@ -80,6 +81,7 @@ fn main() -> ExitCode {
             "--synthetic-records" => {
                 synthetic_records = parse_or_usage!("--synthetic-records", u64)
             }
+            "--seed" => config.seed = parse_or_usage!("--seed", u64),
             flag if flag.starts_with("--") => {
                 return cli::usage_error(BIN, &format!("unknown argument {flag:?}"), USAGE)
             }
@@ -117,6 +119,7 @@ fn main() -> ExitCode {
     };
     println!("uploads_done={}", report.uploads_done);
     println!("uploads_busy={}", report.uploads_busy);
+    println!("upload_retries={}", report.upload_retries);
     println!("upload_errors={}", report.upload_errors);
     println!("records_acked={}", report.records_acked);
     println!("bytes_acked={}", report.bytes_acked);

@@ -31,13 +31,15 @@
 //! workspace's no-external-dependency constraint.
 
 pub mod client;
+pub mod pipeline;
 pub mod protocol;
 pub mod server;
 pub mod shard;
 pub mod slam;
 
 pub use client::{upload, IngestClient, QueryClient, UploadOutcome};
+pub use pipeline::{fold_corpus, FoldOutcome};
 pub use protocol::{PutHeader, Query};
 pub use server::{ServeConfig, ServeStats, Server};
 pub use shard::{Batch, IngestRejection, ShardConfig, ShardSet};
-pub use slam::{synthetic_corpus, SlamConfig, SlamReport};
+pub use slam::{idle_corpus, synthetic_corpus, SlamConfig, SlamReport};

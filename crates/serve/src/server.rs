@@ -24,16 +24,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use latlab_analysis::{EventClass, LatencySketch};
-use latlab_trace::{StreamDecoder, StreamKind};
+use latlab_trace::{BufferPool, StreamDecoder};
 use serde::Serialize;
 
+use crate::pipeline::{SampleExtractor, INGEST_BATCH};
 use crate::protocol::{read_frame, FrameError, PutHeader, Query, BUSY_LINE, MAX_LINE, OK_LINE};
 use crate::shard::{Batch, IngestRejection, ShardConfig, ShardSet};
-
-/// Samples accumulated per connection before a batch is offered to a
-/// shard. Large enough to amortize channel traffic, small enough that
-/// snapshots stay fresh during a long upload.
-const INGEST_BATCH: usize = 4096;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +45,11 @@ pub struct ServeConfig {
     /// How long an ingest handler retries a full shard queue before
     /// answering `BUSY`. Zero means reject on the first full queue.
     pub busy_retry: Duration,
+    /// Use the per-record scalar decode path instead of the columnar
+    /// batch path. The batch path is the default; the scalar path is the
+    /// reference implementation, kept selectable for comparison (the
+    /// perf harness measures both).
+    pub scalar_ingest: bool,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +59,7 @@ impl Default for ServeConfig {
             shard: ShardConfig::default(),
             read_timeout: Duration::from_secs(30),
             busy_retry: Duration::from_millis(100),
+            scalar_ingest: false,
         }
     }
 }
@@ -87,6 +89,11 @@ struct Inner {
     started: Instant,
     read_timeout: Duration,
     busy_retry: Duration,
+    scalar_ingest: bool,
+    /// Recycled frame-payload buffers (one held per ingest connection).
+    frame_pool: BufferPool<u8>,
+    /// Recycled decoded-stamp columns for the batch path.
+    stamp_pool: BufferPool<u64>,
 }
 
 /// A running service instance.
@@ -113,6 +120,9 @@ impl Server {
             started: Instant::now(),
             read_timeout: config.read_timeout,
             busy_retry: config.busy_retry,
+            scalar_ingest: config.scalar_ingest,
+            frame_pool: BufferPool::new(),
+            stamp_pool: BufferPool::new(),
         });
         let accept_inner = inner.clone();
         let accept = std::thread::Builder::new()
@@ -240,6 +250,14 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> io::Result<()> {
 }
 
 /// One `PUT` upload: frames → stream decoder → latency samples → shards.
+///
+/// The working buffers — frame payload, decoded-stamp column, and the
+/// pending sample batch — come from the shared pools and go back when
+/// the upload ends (cleanly or not), so a warmed-up service allocates
+/// nothing per frame. Buffers inside a batch already offered to a shard
+/// are returned by the folding worker instead; a batch the shard
+/// rejected with `BUSY` is dropped with the connection (the pool refills
+/// from the next upload).
 fn handle_ingest(
     first: &str,
     reader: &mut impl BufRead,
@@ -260,15 +278,47 @@ fn handle_ingest(
     writeln!(writer, "{OK_LINE}")?;
     writer.flush()?;
 
+    let mut frame = inner.frame_pool.get();
+    let mut stamps = inner.stamp_pool.get();
+    let mut pending = inner.shards.sample_pool().get();
+    pending.reserve(INGEST_BATCH);
+    let result = ingest_stream(
+        &header,
+        reader,
+        writer,
+        inner,
+        &mut frame,
+        &mut stamps,
+        &mut pending,
+    );
+    inner.frame_pool.put(frame);
+    inner.stamp_pool.put(stamps);
+    inner.shards.sample_pool().put(pending);
+    result
+}
+
+/// The ingest frame loop, factored out so [`handle_ingest`] can recycle
+/// the working buffers on every exit path.
+fn ingest_stream(
+    header: &PutHeader,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    inner: &Arc<Inner>,
+    frame: &mut Vec<u8>,
+    stamps: &mut Vec<u64>,
+    pending: &mut Vec<f64>,
+) -> io::Result<()> {
     let shard = inner.shards.route(&header.client, &header.scenario);
-    let mut decoder = StreamDecoder::new();
+    let mut decoder = if inner.scalar_ingest {
+        StreamDecoder::new_scalar()
+    } else {
+        StreamDecoder::new()
+    };
     let mut extractor = SampleExtractor::new();
-    let mut frame = Vec::new();
-    let mut pending: Vec<f64> = Vec::with_capacity(INGEST_BATCH);
     loop {
-        match read_frame(reader, &mut frame) {
+        match read_frame(reader, frame) {
             Ok(true) => {
-                if let Err(e) = decoder.feed(&frame) {
+                if let Err(e) = decoder.feed(frame) {
                     writeln!(writer, "ERR trace: {e}")?;
                     writer.flush()?;
                     return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
@@ -277,10 +327,12 @@ fn handle_ingest(
                     .stats
                     .ingested_bytes
                     .fetch_add(frame.len() as u64, Ordering::Relaxed);
-                extractor.pull(&mut decoder, &mut pending);
-                if pending.len() >= INGEST_BATCH
-                    && !offer(inner, shard, &header, &mut pending, writer)?
-                {
+                if inner.scalar_ingest {
+                    extractor.pull(&mut decoder, pending);
+                } else {
+                    extractor.pull_batch(&mut decoder, stamps, pending);
+                }
+                if pending.len() >= INGEST_BATCH && !offer(inner, shard, header, pending, writer)? {
                     return Ok(());
                 }
             }
@@ -301,7 +353,7 @@ fn handle_ingest(
             "upload ended mid-chunk",
         ));
     }
-    if !pending.is_empty() && !offer(inner, shard, &header, &mut pending, writer)? {
+    if !pending.is_empty() && !offer(inner, shard, header, pending, writer)? {
         return Ok(());
     }
     inner
@@ -326,10 +378,12 @@ fn offer(
     pending: &mut Vec<f64>,
     writer: &mut impl Write,
 ) -> io::Result<bool> {
+    // Swap the filled batch out for a recycled buffer; the folding
+    // worker returns the filled one to the pool when it's done.
     let mut batch = Batch {
         scenario: header.scenario.clone(),
         class: header.class.unwrap_or(EventClass::Background),
-        samples: std::mem::take(pending),
+        samples: std::mem::replace(pending, inner.shards.sample_pool().get()),
     };
     let deadline = Instant::now() + inner.busy_retry;
     loop {
@@ -350,48 +404,6 @@ fn offer(
                 writer.flush()?;
                 return Ok(false);
             }
-        }
-    }
-}
-
-/// Per-connection trace-record → latency-sample conversion.
-///
-/// * `IdleStamps`: consecutive stamp gaps are compared to the trace's
-///   calibrated baseline interval; any *excess* is event-handling time
-///   and becomes one sample (ms). Baseline-pace gaps contribute nothing
-///   — idle is not latency.
-/// * `ApiLog` / `Counters`: records are counted (they carry no single
-///   latency number at this layer); uploads of these kinds are accepted
-///   so a corpus can be shipped wholesale.
-struct SampleExtractor {
-    prev_stamp: Option<u64>,
-}
-
-impl SampleExtractor {
-    fn new() -> Self {
-        SampleExtractor { prev_stamp: None }
-    }
-
-    /// Drains decoded records into `out` as latency samples.
-    fn pull(&mut self, decoder: &mut StreamDecoder, out: &mut Vec<f64>) {
-        let Some(meta) = decoder.meta().cloned() else {
-            return;
-        };
-        if meta.kind != StreamKind::IdleStamps {
-            while decoder.poll().is_some() {}
-            return;
-        }
-        let baseline = meta.baseline.cycles();
-        while let Some(rec) = decoder.poll() {
-            let at = rec.at_cycles();
-            if let Some(prev) = self.prev_stamp {
-                let gap = at.saturating_sub(prev);
-                if gap > baseline {
-                    let excess = latlab_des::SimDuration::from_cycles(gap - baseline);
-                    out.push(meta.freq.to_ms(excess));
-                }
-            }
-            self.prev_stamp = Some(at);
         }
     }
 }

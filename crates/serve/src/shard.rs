@@ -20,6 +20,18 @@
 //! *epochs* increase with every publish; published per-scenario counts
 //! are monotone non-decreasing, which makes concurrent `SNAPSHOT` reads
 //! internally consistent.
+//!
+//! **Copy-on-write publish:** each scenario's sketch lives behind its own
+//! `Arc<LatencySketch>`. A publish clones only the map of `Arc` pointers;
+//! sketch bodies are shared with the outgoing snapshot. The first fold
+//! into a scenario *after* a publish pays one sketch clone
+//! (`Arc::make_mut` detaches from the snapshot's copy); every fold until
+//! the next publish then mutates in place. So a publish costs O(dirty
+//! scenarios) sketch clones amortized across the epoch — not O(all
+//! scenarios) eager clones as a whole-map deep copy would — and a reader
+//! holding a snapshot `Arc` can never observe a partially-merged epoch:
+//! the sketches it references are immutable from the moment the slot
+//! pointer is swapped.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -28,6 +40,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use latlab_analysis::{EventClass, LatencySketch};
+use latlab_trace::BufferPool;
 
 /// A batch of classified latency samples bound for one shard.
 #[derive(Debug)]
@@ -54,8 +67,11 @@ pub struct ShardSnapshot {
     /// Publish counter: strictly increasing per shard, starting at 0
     /// for the empty snapshot.
     pub epoch: u64,
-    /// Per-scenario sketches as of this epoch.
-    pub sketches: HashMap<String, LatencySketch>,
+    /// Per-scenario sketches as of this epoch. Bodies are shared
+    /// copy-on-write with the shard's working state: publishing clones
+    /// the `Arc`s, and the worker detaches (clones) a scenario's sketch
+    /// only on its first fold after the publish.
+    pub sketches: HashMap<String, Arc<LatencySketch>>,
 }
 
 impl ShardSnapshot {
@@ -120,6 +136,10 @@ struct ShardHandle {
 pub struct ShardSet {
     shards: Vec<ShardHandle>,
     joins: Mutex<Vec<JoinHandle<()>>>,
+    /// Recycles `Batch::samples` vectors: producers `get` one to fill,
+    /// workers `put` it back after folding. Rejected batches return their
+    /// buffer to the caller, who decides.
+    sample_pool: BufferPool<f64>,
 }
 
 /// Why a batch was not accepted.
@@ -135,16 +155,18 @@ impl ShardSet {
     /// Spawns the worker threads.
     pub fn start(config: &ShardConfig) -> ShardSet {
         let n = config.shards.max(1);
+        let sample_pool: BufferPool<f64> = BufferPool::new();
         let mut shards = Vec::with_capacity(n);
         let mut joins = Vec::with_capacity(n);
         for i in 0..n {
             let (tx, rx) = sync_channel(config.queue_depth.max(1));
             let slot = Arc::new(SnapshotSlot::new());
             let worker_slot = slot.clone();
+            let worker_pool = sample_pool.clone();
             let publish_every = config.publish_every.max(1);
             let join = std::thread::Builder::new()
                 .name(format!("latlab-shard-{i}"))
-                .spawn(move || shard_worker(rx, worker_slot, publish_every))
+                .spawn(move || shard_worker(rx, worker_slot, worker_pool, publish_every))
                 .expect("spawn shard worker");
             shards.push(ShardHandle { tx, slot });
             joins.push(join);
@@ -152,7 +174,15 @@ impl ShardSet {
         ShardSet {
             shards,
             joins: Mutex::new(joins),
+            sample_pool,
         }
+    }
+
+    /// The shared sample-buffer pool. Producers take a buffer here to
+    /// build a [`Batch`]; after a successful
+    /// [`try_ingest`](Self::try_ingest) the folding worker returns it.
+    pub fn sample_pool(&self) -> &BufferPool<f64> {
+        &self.sample_pool
     }
 
     /// Number of shards.
@@ -208,7 +238,7 @@ impl ShardSet {
                 merged
                     .entry(scenario.clone())
                     .and_modify(|m| m.merge(sketch))
-                    .or_insert_with(|| sketch.clone());
+                    .or_insert_with(|| (**sketch).clone());
             }
         }
         (epoch, merged)
@@ -231,12 +261,27 @@ impl ShardSet {
     }
 }
 
-/// The shard worker loop: fold batches, publish snapshots.
-fn shard_worker(rx: Receiver<Msg>, slot: Arc<SnapshotSlot>, publish_every: u64) {
-    let mut sketches: HashMap<String, LatencySketch> = HashMap::new();
+/// The shard worker loop: fold batches copy-on-write, publish snapshots.
+fn shard_worker(
+    rx: Receiver<Msg>,
+    slot: Arc<SnapshotSlot>,
+    pool: BufferPool<f64>,
+    publish_every: u64,
+) {
+    let mut sketches: HashMap<String, Arc<LatencySketch>> = HashMap::new();
     let mut epoch = 0u64;
     let mut since_publish = 0u64;
-    let publish = |sketches: &HashMap<String, LatencySketch>, epoch: &mut u64| {
+    // Fold one batch into the working map and recycle its sample buffer.
+    // `Arc::make_mut` detaches from the published snapshot's copy on the
+    // scenario's first fold after a publish; in-place thereafter.
+    let fold = |sketches: &mut HashMap<String, Arc<LatencySketch>>, batch: Batch| {
+        Arc::make_mut(sketches.entry(batch.scenario).or_default())
+            .update_batch(batch.class, &batch.samples);
+        pool.put(batch.samples);
+    };
+    // A publish clones `Arc` pointers only — O(scenarios) refcount bumps,
+    // no sketch bodies copied here.
+    let publish = |sketches: &HashMap<String, Arc<LatencySketch>>, epoch: &mut u64| {
         *epoch += 1;
         slot.store(Arc::new(ShardSnapshot {
             epoch: *epoch,
@@ -247,10 +292,7 @@ fn shard_worker(rx: Receiver<Msg>, slot: Arc<SnapshotSlot>, publish_every: u64) 
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(Msg::Ingest(batch)) => {
                 since_publish += batch.samples.len() as u64;
-                sketches
-                    .entry(batch.scenario)
-                    .or_default()
-                    .push_batch(batch.class, &batch.samples);
+                fold(&mut sketches, batch);
                 if since_publish >= publish_every {
                     publish(&sketches, &mut epoch);
                     since_publish = 0;
@@ -260,10 +302,7 @@ fn shard_worker(rx: Receiver<Msg>, slot: Arc<SnapshotSlot>, publish_every: u64) 
                 // Fold whatever else is already queued, then stop.
                 while let Ok(msg) = rx.try_recv() {
                     if let Msg::Ingest(batch) = msg {
-                        sketches
-                            .entry(batch.scenario)
-                            .or_default()
-                            .push_batch(batch.class, &batch.samples);
+                        fold(&mut sketches, batch);
                     }
                 }
                 publish(&sketches, &mut epoch);
@@ -365,6 +404,66 @@ mod tests {
             }
         }
         assert!(saw_full, "bounded queue never reported Full");
+        set.drain_and_join();
+    }
+
+    /// Polls one shard's slot until its epoch reaches `want`.
+    fn wait_for_epoch(set: &ShardSet, shard: usize, want: u64) -> Arc<ShardSnapshot> {
+        for _ in 0..1000 {
+            let snap = set.snapshots()[shard].clone();
+            if snap.epoch >= want {
+                return snap;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("shard {shard} never reached epoch {want}");
+    }
+
+    #[test]
+    fn publish_shares_clean_scenarios_and_detaches_dirty_ones() {
+        let set = ShardSet::start(&ShardConfig {
+            shards: 1,
+            queue_depth: 64,
+            publish_every: 1, // every fold publishes
+        });
+        set.try_ingest(0, batch("dirty", vec![1.0, 2.0])).unwrap();
+        set.try_ingest(0, batch("clean", vec![3.0])).unwrap();
+        let before = wait_for_epoch(&set, 0, 2);
+        set.try_ingest(0, batch("dirty", vec![4.0])).unwrap();
+        let after = wait_for_epoch(&set, 0, 3);
+        // The untouched scenario's sketch body is shared between epochs —
+        // a publish is pointer clones, not a deep map copy…
+        assert!(
+            Arc::ptr_eq(&before.sketches["clean"], &after.sketches["clean"]),
+            "clean scenario should share its sketch across epochs"
+        );
+        // …while the folded-into scenario detached, leaving the older
+        // snapshot's view immutable.
+        assert!(
+            !Arc::ptr_eq(&before.sketches["dirty"], &after.sketches["dirty"]),
+            "dirty scenario must copy-on-write, not mutate the snapshot"
+        );
+        assert_eq!(before.sketches["dirty"].total(), 2);
+        assert_eq!(after.sketches["dirty"].total(), 3);
+        set.drain_and_join();
+    }
+
+    #[test]
+    fn workers_recycle_sample_buffers() {
+        let set = ShardSet::start(&ShardConfig {
+            shards: 1,
+            queue_depth: 64,
+            publish_every: 1,
+        });
+        let mut samples = set.sample_pool().get();
+        samples.extend_from_slice(&[1.0, 2.0, 3.0]);
+        set.try_ingest(0, batch("s", samples)).unwrap();
+        wait_for_epoch(&set, 0, 1);
+        assert_eq!(
+            set.sample_pool().idle(),
+            1,
+            "folded batch's buffer should return to the pool"
+        );
         set.drain_and_join();
     }
 

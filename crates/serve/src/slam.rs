@@ -36,6 +36,19 @@ pub struct SlamConfig {
     pub frame_len: usize,
     /// Pause between query-thread probes.
     pub query_interval: Duration,
+    /// Base backoff after a `BUSY` reply. Doubles per consecutive
+    /// rejection of the same blob, up to [`busy_backoff_cap`]
+    /// (`Self::busy_backoff_cap`), with seeded jitter on top.
+    pub busy_backoff: Duration,
+    /// Ceiling for the doubling backoff.
+    pub busy_backoff_cap: Duration,
+    /// Retries per blob before giving up and moving on. Bounds how long
+    /// one uploader can camp on a saturated shard.
+    pub busy_max_retries: u32,
+    /// Seed for the backoff jitter. Runs with the same config and seed
+    /// jitter identically; different uploader threads derive distinct
+    /// streams so their retries decorrelate instead of re-colliding.
+    pub seed: u64,
 }
 
 impl Default for SlamConfig {
@@ -48,6 +61,10 @@ impl Default for SlamConfig {
             duration: Duration::from_secs(5),
             frame_len: 64 * 1024,
             query_interval: Duration::from_millis(10),
+            busy_backoff: Duration::from_millis(2),
+            busy_backoff_cap: Duration::from_millis(50),
+            busy_max_retries: 8,
+            seed: 0x51a3_ed01,
         }
     }
 }
@@ -57,8 +74,12 @@ impl Default for SlamConfig {
 pub struct SlamReport {
     /// Uploads acknowledged with `DONE`.
     pub uploads_done: u64,
-    /// Uploads shed with `BUSY`.
+    /// Uploads shed with `BUSY` (every rejection, including ones later
+    /// retried successfully).
     pub uploads_busy: u64,
+    /// `BUSY` rejections that were retried after a backoff (as opposed
+    /// to abandoned once [`SlamConfig::busy_max_retries`] ran out).
+    pub upload_retries: u64,
     /// Uploads that failed outright (transport or `ERR`).
     pub upload_errors: u64,
     /// Payload bytes acknowledged by the server.
@@ -106,6 +127,7 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
     let stop = Arc::new(AtomicBool::new(false));
     let done = Arc::new(AtomicU64::new(0));
     let busy = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let bytes = Arc::new(AtomicU64::new(0));
     let records = Arc::new(AtomicU64::new(0));
@@ -117,6 +139,7 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
         let stop = stop.clone();
         let done = done.clone();
         let busy = busy.clone();
+        let retries = retries.clone();
         let errors = errors.clone();
         let bytes = bytes.clone();
         let records = records.clone();
@@ -128,31 +151,57 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
         };
         let addr = config.addr;
         let frame_len = config.frame_len;
+        let backoff_base = config.busy_backoff.max(Duration::from_micros(100));
+        let backoff_cap = config.busy_backoff_cap.max(backoff_base);
+        let max_retries = config.busy_max_retries;
+        // Each uploader jitters from its own seeded stream: deterministic
+        // per (config.seed, thread index), decorrelated across threads.
+        let mut rng = (config.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
         uploaders.push(
             std::thread::Builder::new()
                 .name(format!("slam-up-{i}"))
                 .spawn(move || {
                     let mut next = i; // stagger corpus start points
-                    while !stop.load(Ordering::Relaxed) {
+                    'run: while !stop.load(Ordering::Relaxed) {
                         let blob = &corpus[next % corpus.len()];
                         next += 1;
-                        match upload(addr, &header, blob, frame_len) {
-                            Ok(UploadOutcome::Done {
-                                records: r,
-                                bytes: b,
-                            }) => {
-                                done.fetch_add(1, Ordering::Relaxed);
-                                records.fetch_add(r, Ordering::Relaxed);
-                                bytes.fetch_add(b, Ordering::Relaxed);
-                            }
-                            Ok(UploadOutcome::Busy) => {
-                                busy.fetch_add(1, Ordering::Relaxed);
-                                // Back off briefly; the shards are full.
-                                std::thread::sleep(Duration::from_millis(2));
-                            }
-                            Ok(UploadOutcome::Rejected(_)) | Err(_) => {
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                std::thread::sleep(Duration::from_millis(2));
+                        let mut backoff = backoff_base;
+                        let mut attempts = 0u32;
+                        loop {
+                            match upload(addr, &header, blob, frame_len) {
+                                Ok(UploadOutcome::Done {
+                                    records: r,
+                                    bytes: b,
+                                }) => {
+                                    done.fetch_add(1, Ordering::Relaxed);
+                                    records.fetch_add(r, Ordering::Relaxed);
+                                    bytes.fetch_add(b, Ordering::Relaxed);
+                                    break;
+                                }
+                                Ok(UploadOutcome::Busy) => {
+                                    busy.fetch_add(1, Ordering::Relaxed);
+                                    if attempts >= max_retries || stop.load(Ordering::Relaxed) {
+                                        // Give up on this blob; move on.
+                                        continue 'run;
+                                    }
+                                    attempts += 1;
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    // Sleep backoff/2 .. backoff: the fixed
+                                    // half keeps pressure off the shard, the
+                                    // jittered half decorrelates retries.
+                                    rng ^= rng << 13;
+                                    rng ^= rng >> 7;
+                                    rng ^= rng << 17;
+                                    let half_us = (backoff.as_micros() as u64 / 2).max(1);
+                                    let jitter = Duration::from_micros(rng % half_us);
+                                    std::thread::sleep(backoff / 2 + jitter);
+                                    backoff = (backoff * 2).min(backoff_cap);
+                                }
+                                Ok(UploadOutcome::Rejected(_)) | Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(Duration::from_millis(2));
+                                    break;
+                                }
                             }
                         }
                     }
@@ -214,6 +263,7 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
     Ok(SlamReport {
         uploads_done: done.load(Ordering::SeqCst),
         uploads_busy: busy.load(Ordering::SeqCst),
+        upload_retries: retries.load(Ordering::SeqCst),
         upload_errors: errors.load(Ordering::SeqCst),
         bytes_acked: bytes.load(Ordering::SeqCst),
         records_acked: records.load(Ordering::SeqCst),
@@ -233,8 +283,27 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
 ///
 /// Never — the generated stream is monotone by construction.
 pub fn synthetic_corpus(records: u64, seed: u64, spike_every: u64) -> Vec<u8> {
+    generate_corpus(records, seed, spike_every, true)
+}
+
+/// Like [`synthetic_corpus`], but faithful to the paper's §2.3 idle-loop
+/// shape: the overwhelming majority of stamps arrive at exactly baseline
+/// pace (idle is not latency — they decode but produce no sample), a
+/// small fraction carry sub-millisecond jitter, and a spike lands every
+/// `spike_every` stamps. This is the profile the perf harness measures
+/// ingest throughput on, since it keeps the pipeline decode-bound the
+/// way a real recorded corpus does.
+///
+/// # Panics
+///
+/// Never — the generated stream is monotone by construction.
+pub fn idle_corpus(records: u64, seed: u64, spike_every: u64) -> Vec<u8> {
+    generate_corpus(records, seed, spike_every, false)
+}
+
+fn generate_corpus(records: u64, seed: u64, spike_every: u64, dense: bool) -> Vec<u8> {
     use latlab_des::{CpuFreq, SimDuration};
-    use latlab_trace::{Record, StreamKind, TraceMeta, TraceWriter};
+    use latlab_trace::{StreamKind, TraceMeta, TraceWriter};
 
     let meta = TraceMeta {
         kind: StreamKind::IdleStamps,
@@ -246,18 +315,31 @@ pub fn synthetic_corpus(records: u64, seed: u64, spike_every: u64) -> Vec<u8> {
     let mut w = TraceWriter::create(Vec::new(), meta).expect("in-memory trace writer");
     let mut at = 1_000u64;
     let mut state = seed | 1;
+    let mut stamps = Vec::with_capacity(records.min(1 << 20) as usize);
     for i in 1..=records {
         // xorshift jitter keeps deltas varied (and the varints honest).
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
-        let jitter = state % 32;
+        // Dense profile: every gap jitters, so nearly every record
+        // yields a sample (a fold-stress corpus). Idle profile: 1 in 16
+        // gaps jitter (drawn from higher state bits, independent of the
+        // selection), the rest run at exact baseline pace.
+        let jitter = if dense {
+            state % 32
+        } else if state.is_multiple_of(16) {
+            (state >> 4) % 32
+        } else {
+            0
+        };
         at += 250 + jitter;
         if spike_every > 0 && i % spike_every == 0 {
             // An "event" stole the CPU: 2–10 ms of extra cycles at 100 MHz.
             at += 200_000 + (state % 800_000);
         }
-        w.write(&Record::Stamp(at)).expect("in-memory trace write");
+        stamps.push(at);
     }
+    // The batched writer emits bytes identical to per-record writes.
+    w.write_stamps(&stamps).expect("in-memory trace write");
     w.finish().expect("in-memory trace finish")
 }

@@ -31,6 +31,7 @@ fn test_server(shard: ShardConfig) -> Server {
         shard,
         read_timeout: Duration::from_secs(2),
         busy_retry: Duration::from_millis(50),
+        scalar_ingest: false,
     })
     .expect("start server")
 }
@@ -254,9 +255,10 @@ fn snapshot_counts_are_monotonic_during_ingest() {
 
 #[test]
 fn full_queue_answers_busy() {
-    // One shard, queue depth 1, publish on every fold: the worker spends
-    // its time cloning snapshots, so concurrent uploads must overflow
-    // the bounded queue and surface BUSY instead of buffering.
+    // One shard, queue depth 1, publish on every fold: the lone worker
+    // folds O(batch) samples per message, so eight concurrent uploads
+    // must overflow the bounded queue and surface BUSY instead of
+    // buffering.
     let server = Server::start(ServeConfig {
         bind: "127.0.0.1:0".to_owned(),
         shard: ShardConfig {
@@ -266,6 +268,7 @@ fn full_queue_answers_busy() {
         },
         read_timeout: Duration::from_secs(2),
         busy_retry: Duration::ZERO,
+        scalar_ingest: false,
     })
     .expect("start server");
     let addr = server.local_addr();
@@ -299,6 +302,52 @@ fn full_queue_answers_busy() {
     assert!(health.starts_with("ok "), "{health}");
     assert!(health.contains("busy_rejections="), "{health}");
     server.join();
+}
+
+#[test]
+fn batch_and_scalar_ingest_fold_identically() {
+    // The same corpus through the columnar batch path and the scalar
+    // reference path must land in bit-identical sketches: same counts,
+    // same misses, same quantiles, same moments. Single shard and a
+    // single uploader keep fold order deterministic on both servers.
+    let corpus: Vec<Vec<u8>> = (0..3)
+        .map(|i| synthetic_corpus(15_000, 0xe100 + i as u64, 40))
+        .collect();
+    let run = |scalar: bool| {
+        let server = Server::start(ServeConfig {
+            bind: "127.0.0.1:0".to_owned(),
+            shard: ShardConfig {
+                shards: 1,
+                queue_depth: 256,
+                publish_every: 5_000,
+            },
+            read_timeout: Duration::from_secs(2),
+            busy_retry: Duration::from_millis(200),
+            scalar_ingest: scalar,
+        })
+        .expect("start server");
+        let addr = server.local_addr();
+        for blob in &corpus {
+            let outcome = upload(addr, &put("eq", "c0"), blob, 8 * 1024).expect("upload");
+            assert!(matches!(outcome, UploadOutcome::Done { .. }), "{outcome:?}");
+        }
+        let (_, mut merged) = server.join();
+        merged.remove("eq").expect("scenario folded")
+    };
+    let batch = run(false);
+    let scalar = run(true);
+    assert_eq!(batch.total(), scalar.total());
+    assert_eq!(batch.total_misses(), scalar.total_misses());
+    let (b, s) = (
+        batch.class(EventClass::Keystroke),
+        scalar.class(EventClass::Keystroke),
+    );
+    assert_eq!(b.stats().mean(), s.stats().mean(), "mean bit-identical");
+    assert_eq!(b.stats().min(), s.stats().min());
+    assert_eq!(b.stats().max(), s.stats().max());
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(b.quantile(q), s.quantile(q), "q{q}");
+    }
 }
 
 #[test]

@@ -1,0 +1,226 @@
+//! The shared record codec: one implementation of the chunk-payload
+//! record layout, used by every decoder in the crate.
+//!
+//! [`TraceReader`](crate::TraceReader) (pull, from files) and
+//! [`StreamDecoder`](crate::StreamDecoder) (push, from sockets) decode
+//! the same bytes under the same rules; before this module each carried
+//! its own copy of the field-layout walk. Both now call
+//! [`decode_record`], and the columnar batch path calls
+//! [`decode_stamp_chunk`] — a single tight loop over a whole
+//! varint-delta chunk that skips the per-record enum and queue
+//! bookkeeping entirely. All varint work goes through [`crate::varint`];
+//! there is no second varint implementation anywhere in the crate.
+
+use crate::error::TraceError;
+use crate::meta::StreamKind;
+use crate::record::{ApiRecord, CounterRecord, Record};
+use crate::varint;
+
+/// Decodes one record from a chunk payload at `payload[*pos..]`,
+/// advancing `*pos`. `any_read`/`prev_at` carry the delta-decoding state
+/// across records; `index` is the stream-wide record index used in
+/// monotonicity errors.
+///
+/// # Errors
+///
+/// Corrupt field encodings, truncated payloads, timestamp overflow, and
+/// (for idle stamps) zero deltas, exactly as the file reader reports
+/// them.
+pub fn decode_record(
+    payload: &[u8],
+    pos: &mut usize,
+    kind: StreamKind,
+    any_read: bool,
+    prev_at: u64,
+    index: usize,
+) -> Result<Record, TraceError> {
+    let delta = varint::decode(payload, pos)?;
+    let at = if any_read {
+        if kind == StreamKind::IdleStamps && delta == 0 {
+            return Err(TraceError::NonMonotonic { index });
+        }
+        prev_at.checked_add(delta).ok_or(TraceError::Corrupt {
+            what: "timestamp delta overflows 64 bits",
+        })?
+    } else {
+        delta
+    };
+    let decode_u32 = |payload: &[u8], pos: &mut usize, what: &'static str| {
+        let v = varint::decode(payload, pos)?;
+        u32::try_from(v).map_err(|_| TraceError::Corrupt { what })
+    };
+    let decode_byte = |payload: &[u8], pos: &mut usize, what: &'static str| {
+        let Some(&b) = payload.get(*pos) else {
+            return Err(TraceError::Corrupt { what });
+        };
+        *pos += 1;
+        Ok(b)
+    };
+    Ok(match kind {
+        StreamKind::IdleStamps => Record::Stamp(at),
+        StreamKind::ApiLog => {
+            let thread = decode_u32(payload, pos, "thread id exceeds 32 bits")?;
+            let entry = decode_byte(payload, pos, "API record missing entry byte")?;
+            let outcome = decode_byte(payload, pos, "API record missing outcome byte")?;
+            let a = varint::decode(payload, pos)?;
+            let b = varint::decode(payload, pos)?;
+            let queue_len = decode_u32(payload, pos, "queue length exceeds 32 bits")?;
+            Record::Api(ApiRecord {
+                at_cycles: at,
+                thread,
+                entry,
+                outcome,
+                a,
+                b,
+                queue_len,
+            })
+        }
+        StreamKind::Counters => {
+            let counter = decode_u32(payload, pos, "counter id exceeds 32 bits")?;
+            let value = varint::decode(payload, pos)?;
+            Record::Counter(CounterRecord {
+                at_cycles: at,
+                counter,
+                value,
+            })
+        }
+    })
+}
+
+/// Columnar bulk decode of one idle-stamp chunk payload: `count`
+/// varint deltas become `count` absolute stamps appended to `out`, in
+/// one pass with no per-record dispatch.
+///
+/// The delta-decoding state (`prev_at`, `any_read`, `records`) is
+/// updated *through the references as each stamp decodes*, so on error
+/// every stamp decoded before the failure is already in `out` and the
+/// state reflects exactly what a scalar decoder would hold at the same
+/// point — the batch path fails at the identical record with the
+/// identical error.
+///
+/// Returns the payload bytes consumed.
+///
+/// # Errors
+///
+/// Same contract as [`decode_record`] over idle stamps: truncated or
+/// overflowing varints, zero deltas ([`TraceError::NonMonotonic`] at the
+/// stream-wide record index), timestamp overflow.
+pub fn decode_stamp_chunk(
+    payload: &[u8],
+    count: u32,
+    out: &mut Vec<u64>,
+    prev_at: &mut u64,
+    any_read: &mut bool,
+    records: &mut u64,
+) -> Result<usize, TraceError> {
+    out.reserve(count as usize);
+    let mut pos = 0usize;
+    // Delta state lives in locals for the duration of the loop and is
+    // written back on every exit, so the contract above holds on error
+    // without forcing a store per record.
+    let (mut prev, mut any, mut n) = (*prev_at, *any_read, *records);
+    let result = (|| -> Result<(), TraceError> {
+        for _ in 0..count {
+            // One- and two-byte varints cover every delta below 2^14
+            // cycles — all baseline-pace idle gaps and most jitter; the
+            // general decoder handles longer encodings and reports the
+            // exact errors for truncated or overlong ones.
+            let delta = match payload.get(pos) {
+                Some(&b0) if b0 < 0x80 => {
+                    pos += 1;
+                    u64::from(b0)
+                }
+                Some(&b0) => match payload.get(pos + 1) {
+                    Some(&b1) if b1 < 0x80 => {
+                        pos += 2;
+                        u64::from(b0 & 0x7f) | (u64::from(b1) << 7)
+                    }
+                    _ => varint::decode(payload, &mut pos)?,
+                },
+                None => varint::decode(payload, &mut pos)?,
+            };
+            let at = if any {
+                if delta == 0 {
+                    return Err(TraceError::NonMonotonic { index: n as usize });
+                }
+                prev.checked_add(delta).ok_or(TraceError::Corrupt {
+                    what: "timestamp delta overflows 64 bits",
+                })?
+            } else {
+                delta
+            };
+            out.push(at);
+            prev = at;
+            any = true;
+            n += 1;
+        }
+        Ok(())
+    })();
+    *prev_at = prev;
+    *any_read = any;
+    *records = n;
+    result.map(|()| pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_chunk_matches_scalar_decode() {
+        // Encode a payload by hand, decode it both ways.
+        let stamps = [100u64, 350, 351, 1_000_000, 1_000_001];
+        let mut payload = Vec::new();
+        let mut prev = 0u64;
+        for (i, &s) in stamps.iter().enumerate() {
+            varint::encode(if i == 0 { s } else { s - prev }, &mut payload);
+            prev = s;
+        }
+
+        let mut scalar = Vec::new();
+        let (mut pos, mut prev_at, mut any) = (0usize, 0u64, false);
+        for i in 0..stamps.len() {
+            let rec =
+                decode_record(&payload, &mut pos, StreamKind::IdleStamps, any, prev_at, i).unwrap();
+            prev_at = rec.at_cycles();
+            any = true;
+            scalar.push(prev_at);
+        }
+        assert_eq!(pos, payload.len());
+
+        let mut batch = Vec::new();
+        let (mut prev_at, mut any, mut n) = (0u64, false, 0u64);
+        let used = decode_stamp_chunk(
+            &payload,
+            stamps.len() as u32,
+            &mut batch,
+            &mut prev_at,
+            &mut any,
+            &mut n,
+        )
+        .unwrap();
+        assert_eq!(used, payload.len());
+        assert_eq!(batch, scalar);
+        assert_eq!(batch, stamps);
+        assert_eq!(n, stamps.len() as u64);
+    }
+
+    #[test]
+    fn stamp_chunk_error_preserves_decoded_prefix() {
+        // Second delta is zero: the batch decode must fail at index 1
+        // with the first stamp already delivered.
+        let mut payload = Vec::new();
+        varint::encode(500, &mut payload);
+        varint::encode(0, &mut payload);
+        let mut out = Vec::new();
+        let (mut prev_at, mut any, mut n) = (0u64, false, 0u64);
+        let err =
+            decode_stamp_chunk(&payload, 2, &mut out, &mut prev_at, &mut any, &mut n).unwrap_err();
+        assert!(
+            matches!(err, TraceError::NonMonotonic { index: 1 }),
+            "{err}"
+        );
+        assert_eq!(out, vec![500]);
+        assert_eq!((prev_at, any, n), (500, true, 1));
+    }
+}

@@ -19,7 +19,12 @@
 //! - a **push-based incremental decoder** ([`StreamDecoder`]) for
 //!   transports that deliver the same byte stream in arbitrary fragments
 //!   (sockets): partial headers and chunks are buffered until complete,
-//!   with the exact validation the file reader performs.
+//!   with the exact validation the file reader performs. Idle-stamp
+//!   streams decode columnarly — a whole chunk per pass, drained through
+//!   [`StreamDecoder::poll_batch`] — with [`BufferPool`] recycling the
+//!   frame and column buffers so steady-state ingest allocates nothing;
+//! - the shared record [`codec`], the single implementation of the
+//!   chunk-payload layout that every decoder above calls into.
 //!
 //! Three stream kinds share the container: idle-loop stamps, message-API
 //! log events, and periodic counter samples ([`StreamKind`]).
@@ -27,9 +32,11 @@
 //! Trace files are external input: every read path returns
 //! [`TraceError`] on corrupt or truncated data and never panics.
 
+pub mod codec;
 mod crc32;
 mod error;
 mod meta;
+mod pool;
 mod reader;
 mod record;
 mod sink;
@@ -40,6 +47,7 @@ mod writer;
 pub use crc32::crc32;
 pub use error::TraceError;
 pub use meta::{StreamKind, TraceMeta, FORMAT_VERSION, MAGIC};
+pub use pool::BufferPool;
 pub use reader::TraceReader;
 pub use record::{ApiRecord, CounterRecord, Record};
 pub use sink::{FileSink, NullSink, TraceSink, VecSink, WriterSink};

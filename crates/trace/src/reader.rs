@@ -8,11 +8,11 @@
 
 use std::io::Read;
 
+use crate::codec;
 use crate::crc32::crc32;
 use crate::error::TraceError;
-use crate::meta::{StreamKind, TraceMeta};
-use crate::record::{ApiRecord, CounterRecord, Record};
-use crate::varint;
+use crate::meta::TraceMeta;
+use crate::record::Record;
 use crate::writer::{MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS};
 
 /// Streaming decoder for one trace file.
@@ -156,19 +156,6 @@ impl<R: Read> TraceReader<R> {
         Ok(true)
     }
 
-    fn decode_u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
-        let v = varint::decode(&self.chunk, &mut self.pos)?;
-        u32::try_from(v).map_err(|_| TraceError::Corrupt { what })
-    }
-
-    fn decode_byte(&mut self, what: &'static str) -> Result<u8, TraceError> {
-        let Some(&b) = self.chunk.get(self.pos) else {
-            return Err(TraceError::Corrupt { what });
-        };
-        self.pos += 1;
-        Ok(b)
-    }
-
     /// Decodes the next record, or `None` at clean end of file.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Record>, TraceError> {
@@ -214,48 +201,15 @@ impl<R: Read> TraceReader<R> {
     }
 
     fn decode_record(&mut self) -> Result<Record, TraceError> {
-        let delta = varint::decode(&self.chunk, &mut self.pos)?;
-        let index = self.records_read as usize;
-        let at = if self.any_read {
-            if self.meta.kind == StreamKind::IdleStamps && delta == 0 {
-                return Err(TraceError::NonMonotonic { index });
-            }
-            self.prev_at.checked_add(delta).ok_or(TraceError::Corrupt {
-                what: "timestamp delta overflows 64 bits",
-            })?
-        } else {
-            delta
-        };
-        let rec = match self.meta.kind {
-            StreamKind::IdleStamps => Record::Stamp(at),
-            StreamKind::ApiLog => {
-                let thread = self.decode_u32("thread id exceeds 32 bits")?;
-                let entry = self.decode_byte("API record missing entry byte")?;
-                let outcome = self.decode_byte("API record missing outcome byte")?;
-                let a = varint::decode(&self.chunk, &mut self.pos)?;
-                let b = varint::decode(&self.chunk, &mut self.pos)?;
-                let queue_len = self.decode_u32("queue length exceeds 32 bits")?;
-                Record::Api(ApiRecord {
-                    at_cycles: at,
-                    thread,
-                    entry,
-                    outcome,
-                    a,
-                    b,
-                    queue_len,
-                })
-            }
-            StreamKind::Counters => {
-                let counter = self.decode_u32("counter id exceeds 32 bits")?;
-                let value = varint::decode(&self.chunk, &mut self.pos)?;
-                Record::Counter(CounterRecord {
-                    at_cycles: at,
-                    counter,
-                    value,
-                })
-            }
-        };
-        self.prev_at = at;
+        let rec = codec::decode_record(
+            &self.chunk,
+            &mut self.pos,
+            self.meta.kind,
+            self.any_read,
+            self.prev_at,
+            self.records_read as usize,
+        )?;
+        self.prev_at = rec.at_cycles();
         self.any_read = true;
         Ok(rec)
     }

@@ -10,6 +10,27 @@
 //! bytes are discarded eagerly, so memory stays bounded by one chunk
 //! (plus undecoded carry-over) regardless of stream length.
 //!
+//! # The columnar batch path
+//!
+//! Idle-stamp streams — the telemetry firehose — decode columnarly: a
+//! complete chunk's varint deltas are expanded into absolute stamps in
+//! one pass ([`crate::codec::decode_stamp_chunk`]) with no per-record
+//! enum construction or queue traffic, CRC-checked once per chunk. The
+//! whole column drains through [`poll_batch`] into a caller-owned
+//! reusable `Vec<u64>`; [`poll`] still works, serving the same column
+//! one `Record::Stamp` at a time. Feeding is zero-copy in the steady
+//! state: when no partial header/chunk is carried over, chunks decode
+//! straight out of the caller's slice and only the unconsumed tail is
+//! copied into the carry buffer.
+//!
+//! [`StreamDecoder::new_scalar`] builds a decoder with the columnar
+//! path disabled: idle stamps decode one record at a time through the
+//! same per-record codec as every other stream kind, materializing a
+//! `Record::Stamp` in the ready queue per stamp. That is the decoder's
+//! original shape, kept as the measured reference the batch path is
+//! compared against (`latlab-perf-v2`'s ingest section, the server's
+//! `--scalar-ingest` flag).
+//!
 //! The decode rules are identical to [`TraceReader`](crate::TraceReader):
 //! same CRC checks, same monotonicity validation, same structural limits
 //! on corrupt input — a byte stream fed through this decoder in any
@@ -19,31 +40,48 @@
 //!
 //! [`feed`]: StreamDecoder::feed
 //! [`poll`]: StreamDecoder::poll
+//! [`poll_batch`]: StreamDecoder::poll_batch
 
 use std::collections::VecDeque;
 
+use crate::codec;
 use crate::crc32::crc32;
 use crate::error::TraceError;
 use crate::meta::{StreamKind, TraceMeta};
-use crate::record::{ApiRecord, CounterRecord, Record};
-use crate::varint;
+use crate::record::Record;
 use crate::writer::{MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS};
 
 /// Incremental decoder state.
 #[derive(Debug)]
 pub struct StreamDecoder {
-    /// Unconsumed input bytes (partial header or partial chunk).
+    /// Unconsumed input bytes (partial header or partial chunk). Kept
+    /// outside [`DecoderCore`] so the core can decode out of either this
+    /// buffer or the caller's slice without aliasing itself.
     buf: Vec<u8>,
+    /// Total bytes accepted by [`feed`](StreamDecoder::feed).
+    bytes_fed: u64,
+    core: DecoderCore,
+}
+
+/// Everything but the carry buffer: decode state plus decoded output.
+#[derive(Debug)]
+struct DecoderCore {
     /// Parsed file header, once enough bytes have arrived.
     meta: Option<TraceMeta>,
-    /// Records decoded out of completed chunks, not yet polled.
+    /// Non-stamp records decoded out of completed chunks, not yet polled.
     ready: VecDeque<Record>,
+    /// Columnar idle-stamp store: decoded absolute stamps awaiting a
+    /// poll. `stamps[stamp_head..]` is the live window.
+    stamps: Vec<u64>,
+    stamp_head: usize,
     prev_at: u64,
     any_read: bool,
     records_decoded: u64,
     chunks_decoded: u64,
-    bytes_fed: u64,
     poisoned: bool,
+    /// When set, idle stamps take the per-record reference path into
+    /// `ready` instead of the columnar store.
+    scalar: bool,
 }
 
 impl Default for StreamDecoder {
@@ -55,32 +93,57 @@ impl Default for StreamDecoder {
 impl StreamDecoder {
     /// Creates a decoder expecting a trace header first.
     pub fn new() -> Self {
+        Self::with_mode(false)
+    }
+
+    /// Creates a decoder with the columnar batch path disabled: idle
+    /// stamps decode per record through [`crate::codec::decode_record`]
+    /// into the ready queue, one `Record` and one queue push per stamp.
+    ///
+    /// This is the reference decode shape. It yields byte-for-byte the
+    /// same records and errors as the default decoder — the property
+    /// tests assert so — and exists so the batch path has an honest
+    /// scalar baseline to be benchmarked against ([`poll_batch`] on a
+    /// scalar decoder always returns 0; use [`poll`]).
+    ///
+    /// [`poll`]: StreamDecoder::poll
+    /// [`poll_batch`]: StreamDecoder::poll_batch
+    pub fn new_scalar() -> Self {
+        Self::with_mode(true)
+    }
+
+    fn with_mode(scalar: bool) -> Self {
         StreamDecoder {
             buf: Vec::new(),
-            meta: None,
-            ready: VecDeque::new(),
-            prev_at: 0,
-            any_read: false,
-            records_decoded: 0,
-            chunks_decoded: 0,
             bytes_fed: 0,
-            poisoned: false,
+            core: DecoderCore {
+                meta: None,
+                ready: VecDeque::new(),
+                stamps: Vec::new(),
+                stamp_head: 0,
+                prev_at: 0,
+                any_read: false,
+                records_decoded: 0,
+                chunks_decoded: 0,
+                poisoned: false,
+                scalar,
+            },
         }
     }
 
     /// The stream header, once decoded.
     pub fn meta(&self) -> Option<&TraceMeta> {
-        self.meta.as_ref()
+        self.core.meta.as_ref()
     }
 
     /// Records decoded so far (including ones not yet polled).
     pub fn records_decoded(&self) -> u64 {
-        self.records_decoded
+        self.core.records_decoded
     }
 
     /// Completed chunks decoded so far.
     pub fn chunks_decoded(&self) -> u64 {
-        self.chunks_decoded
+        self.core.chunks_decoded
     }
 
     /// Total bytes accepted by [`feed`](StreamDecoder::feed).
@@ -92,7 +155,7 @@ impl StreamDecoder {
     /// ends on a clean header/chunk boundary. A complete upload must end
     /// in this state; a mid-chunk disconnect leaves it false.
     pub fn is_clean_boundary(&self) -> bool {
-        !self.poisoned && self.buf.is_empty()
+        !self.core.poisoned && self.buf.is_empty()
     }
 
     /// Bytes buffered awaiting the rest of a header or chunk.
@@ -109,17 +172,35 @@ impl StreamDecoder {
     /// report on the same byte stream: bad magic, CRC mismatch, corrupt
     /// fields, non-monotonic stamps. The decoder is poisoned afterwards.
     pub fn feed(&mut self, bytes: &[u8]) -> Result<(), TraceError> {
-        if self.poisoned {
+        if self.core.poisoned {
             return Err(TraceError::Corrupt {
                 what: "stream decoder already failed",
             });
         }
         self.bytes_fed += bytes.len() as u64;
-        self.buf.extend_from_slice(bytes);
-        match self.drain_buf() {
+        let result = if self.buf.is_empty() {
+            // Zero-copy fast path: decode straight from the caller's
+            // slice; only the unconsumed tail (a partial header or
+            // chunk, usually small) is copied into the carry buffer.
+            let mut consumed = 0usize;
+            let r = self.core.drain(bytes, &mut consumed);
+            if r.is_ok() && consumed < bytes.len() {
+                self.buf.extend_from_slice(&bytes[consumed..]);
+            }
+            r
+        } else {
+            self.buf.extend_from_slice(bytes);
+            let mut consumed = 0usize;
+            let r = self.core.drain(&self.buf, &mut consumed);
+            if consumed > 0 {
+                self.buf.drain(..consumed);
+            }
+            r
+        };
+        match result {
             Ok(()) => Ok(()),
             Err(e) => {
-                self.poisoned = true;
+                self.core.poisoned = true;
                 Err(e)
             }
         }
@@ -127,39 +208,59 @@ impl StreamDecoder {
 
     /// Takes the next fully-decoded record, if one is ready.
     pub fn poll(&mut self) -> Option<Record> {
-        self.ready.pop_front()
+        let core = &mut self.core;
+        if let Some(&s) = core.stamps.get(core.stamp_head) {
+            core.stamp_head += 1;
+            if core.stamp_head == core.stamps.len() {
+                core.stamps.clear();
+                core.stamp_head = 0;
+            }
+            return Some(Record::Stamp(s));
+        }
+        core.ready.pop_front()
     }
 
-    /// Decodes as many complete headers/chunks as the buffer holds.
-    fn drain_buf(&mut self) -> Result<(), TraceError> {
-        let mut consumed = 0usize;
+    /// Drains every decoded-but-unpolled idle stamp into `out` in one
+    /// `memcpy`-shaped append; returns how many were appended.
+    ///
+    /// Equivalent to calling [`poll`](StreamDecoder::poll) until it runs
+    /// dry and collecting the `Record::Stamp` payloads — the property
+    /// tests assert exactly that — but without constructing a `Record`
+    /// per stamp. Pass a reusable buffer to keep the batch path
+    /// allocation-free. Non-stamp streams always return 0 (their records
+    /// remain available through `poll`).
+    pub fn poll_batch(&mut self, out: &mut Vec<u64>) -> usize {
+        let core = &mut self.core;
+        let n = core.stamps.len() - core.stamp_head;
+        if n > 0 {
+            out.extend_from_slice(&core.stamps[core.stamp_head..]);
+            core.stamps.clear();
+            core.stamp_head = 0;
+        }
+        n
+    }
+}
+
+impl DecoderCore {
+    /// Decodes as many complete headers/chunks as `data[*consumed..]`
+    /// holds, advancing `*consumed` past each completed unit.
+    fn drain(&mut self, data: &[u8], consumed: &mut usize) -> Result<(), TraceError> {
         if self.meta.is_none() {
-            match self.try_decode_header(consumed)? {
-                Some(used) => consumed += used,
-                None => {
-                    self.compact(consumed);
-                    return Ok(());
-                }
+            match self.try_decode_header(data, *consumed)? {
+                Some(used) => *consumed += used,
+                None => return Ok(()),
             }
         }
-        while let Some(used) = self.try_decode_chunk(consumed)? {
-            consumed += used;
+        while let Some(used) = self.try_decode_chunk(data, *consumed)? {
+            *consumed += used;
         }
-        self.compact(consumed);
         Ok(())
     }
 
-    /// Drops the first `consumed` bytes of the carry buffer.
-    fn compact(&mut self, consumed: usize) {
-        if consumed > 0 {
-            self.buf.drain(..consumed);
-        }
-    }
-
-    /// Attempts to decode the file header at `buf[from..]`. Returns the
+    /// Attempts to decode the file header at `data[from..]`. Returns the
     /// bytes consumed, or `None` if more input is needed.
-    fn try_decode_header(&mut self, from: usize) -> Result<Option<usize>, TraceError> {
-        let avail = &self.buf[from..];
+    fn try_decode_header(&mut self, data: &[u8], from: usize) -> Result<Option<usize>, TraceError> {
+        let avail = &data[from..];
         if avail.len() < 4 {
             // Reject wrong magic as soon as those bytes exist, so a
             // non-trace stream fails fast rather than buffering forever.
@@ -185,10 +286,10 @@ impl StreamDecoder {
         Ok(Some(total))
     }
 
-    /// Attempts to decode one framed chunk at `buf[from..]`. Returns the
+    /// Attempts to decode one framed chunk at `data[from..]`. Returns the
     /// bytes consumed, or `None` if the chunk is still partial.
-    fn try_decode_chunk(&mut self, from: usize) -> Result<Option<usize>, TraceError> {
-        let avail = &self.buf[from..];
+    fn try_decode_chunk(&mut self, data: &[u8], from: usize) -> Result<Option<usize>, TraceError> {
+        let avail = &data[from..];
         if avail.len() < 12 {
             return Ok(None);
         }
@@ -214,25 +315,38 @@ impl StreamDecoder {
                 chunk: self.chunks_decoded + 1,
             });
         }
-        // Decode every record of the chunk. Borrow gymnastics: the record
-        // decode needs `&mut self` state (prev_at etc.), so copy the
-        // payload cursor locally and walk it with a free function.
-        let meta_kind = self.meta.as_ref().expect("header precedes chunks").kind;
-        let mut pos = 0usize;
-        for _ in 0..count {
-            let rec = decode_one(
+        let kind = self.meta.as_ref().expect("header precedes chunks").kind;
+        let pos = if kind == StreamKind::IdleStamps && !self.scalar {
+            // Columnar: the whole chunk in one pass, straight into the
+            // stamp column. State advances per stamp, so a mid-chunk
+            // error leaves the decoded prefix pollable — exactly what
+            // the scalar path leaves behind.
+            codec::decode_stamp_chunk(
                 payload,
-                &mut pos,
-                meta_kind,
-                self.any_read,
-                self.prev_at,
-                self.records_decoded as usize,
-            )?;
-            self.prev_at = rec.at_cycles();
-            self.any_read = true;
-            self.records_decoded += 1;
-            self.ready.push_back(rec);
-        }
+                count,
+                &mut self.stamps,
+                &mut self.prev_at,
+                &mut self.any_read,
+                &mut self.records_decoded,
+            )?
+        } else {
+            let mut pos = 0usize;
+            for _ in 0..count {
+                let rec = codec::decode_record(
+                    payload,
+                    &mut pos,
+                    kind,
+                    self.any_read,
+                    self.prev_at,
+                    self.records_decoded as usize,
+                )?;
+                self.prev_at = rec.at_cycles();
+                self.any_read = true;
+                self.records_decoded += 1;
+                self.ready.push_back(rec);
+            }
+            pos
+        };
         if pos != len {
             return Err(TraceError::Corrupt {
                 what: "trailing bytes in chunk payload",
@@ -243,72 +357,10 @@ impl StreamDecoder {
     }
 }
 
-/// Decodes one record from a chunk payload — the same field layout
-/// [`TraceReader`](crate::TraceReader) decodes.
-fn decode_one(
-    payload: &[u8],
-    pos: &mut usize,
-    kind: StreamKind,
-    any_read: bool,
-    prev_at: u64,
-    index: usize,
-) -> Result<Record, TraceError> {
-    let delta = varint::decode(payload, pos)?;
-    let at = if any_read {
-        if kind == StreamKind::IdleStamps && delta == 0 {
-            return Err(TraceError::NonMonotonic { index });
-        }
-        prev_at.checked_add(delta).ok_or(TraceError::Corrupt {
-            what: "timestamp delta overflows 64 bits",
-        })?
-    } else {
-        delta
-    };
-    let decode_u32 = |payload: &[u8], pos: &mut usize, what: &'static str| {
-        let v = varint::decode(payload, pos)?;
-        u32::try_from(v).map_err(|_| TraceError::Corrupt { what })
-    };
-    let decode_byte = |payload: &[u8], pos: &mut usize, what: &'static str| {
-        let Some(&b) = payload.get(*pos) else {
-            return Err(TraceError::Corrupt { what });
-        };
-        *pos += 1;
-        Ok(b)
-    };
-    Ok(match kind {
-        StreamKind::IdleStamps => Record::Stamp(at),
-        StreamKind::ApiLog => {
-            let thread = decode_u32(payload, pos, "thread id exceeds 32 bits")?;
-            let entry = decode_byte(payload, pos, "API record missing entry byte")?;
-            let outcome = decode_byte(payload, pos, "API record missing outcome byte")?;
-            let a = varint::decode(payload, pos)?;
-            let b = varint::decode(payload, pos)?;
-            let queue_len = decode_u32(payload, pos, "queue length exceeds 32 bits")?;
-            Record::Api(ApiRecord {
-                at_cycles: at,
-                thread,
-                entry,
-                outcome,
-                a,
-                b,
-                queue_len,
-            })
-        }
-        StreamKind::Counters => {
-            let counter = decode_u32(payload, pos, "counter id exceeds 32 bits")?;
-            let value = varint::decode(payload, pos)?;
-            Record::Counter(CounterRecord {
-                at_cycles: at,
-                counter,
-                value,
-            })
-        }
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::ApiRecord;
     use crate::writer::TraceWriter;
     use latlab_des::{CpuFreq, SimDuration};
 
@@ -374,6 +426,95 @@ mod tests {
     }
 
     #[test]
+    fn poll_batch_drains_the_stamp_column() {
+        let (bytes, stamps) = encoded_stamps(9_000);
+        let mut d = StreamDecoder::new();
+        let mut got = Vec::new();
+        for piece in bytes.chunks(777) {
+            d.feed(piece).unwrap();
+            let before = got.len();
+            let n = d.poll_batch(&mut got);
+            assert_eq!(got.len(), before + n);
+            // The column is drained: a scalar poll finds nothing.
+            assert!(d.poll().is_none());
+        }
+        assert_eq!(got, stamps);
+        assert!(d.is_clean_boundary());
+    }
+
+    #[test]
+    fn poll_and_poll_batch_interleave() {
+        let (bytes, stamps) = encoded_stamps(6_000);
+        let mut d = StreamDecoder::new();
+        d.feed(&bytes).unwrap();
+        let mut got = Vec::new();
+        // Alternate: a few scalar polls, then a batch drain, then feed
+        // nothing more — order must be preserved across the mix.
+        for _ in 0..5 {
+            match d.poll() {
+                Some(Record::Stamp(s)) => got.push(s),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        d.poll_batch(&mut got);
+        assert_eq!(got, stamps);
+    }
+
+    #[test]
+    fn scalar_mode_matches_columnar_mode() {
+        let (bytes, stamps) = encoded_stamps(8_000);
+        for frag in [1usize, 13, 997, usize::MAX] {
+            let mut scalar = StreamDecoder::new_scalar();
+            let mut batch = StreamDecoder::new();
+            let mut via_scalar = Vec::new();
+            let mut via_batch = Vec::new();
+            for piece in bytes.chunks(frag.min(bytes.len())) {
+                scalar.feed(piece).unwrap();
+                batch.feed(piece).unwrap();
+                // A scalar decoder has no stamp column to drain.
+                assert_eq!(scalar.poll_batch(&mut via_batch), 0);
+                via_scalar.extend(drain(&mut scalar));
+                batch.poll_batch(&mut via_batch);
+            }
+            assert_eq!(via_scalar, stamps, "fragment size {frag}");
+            assert_eq!(via_batch, stamps, "fragment size {frag}");
+            assert!(scalar.is_clean_boundary());
+            assert_eq!(scalar.records_decoded(), batch.records_decoded());
+            assert_eq!(scalar.chunks_decoded(), batch.chunks_decoded());
+        }
+    }
+
+    #[test]
+    fn scalar_mode_reports_the_same_errors() {
+        // Zero delta mid-stream: both modes must fail with NonMonotonic
+        // at the same record index and keep the decoded prefix pollable.
+        // TraceWriter rejects non-monotonic input, so take its header
+        // and frame a bad chunk by hand.
+        let w = TraceWriter::create(Vec::new(), stamp_meta()).unwrap();
+        let header = w.finish().unwrap();
+        let mut payload = Vec::new();
+        for delta in [100u64, 100, 0, 100] {
+            crate::varint::encode(delta, &mut payload);
+        }
+        let mut bytes = header;
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let mut scalar = StreamDecoder::new_scalar();
+        let mut batch = StreamDecoder::new();
+        let es = scalar.feed(&bytes).unwrap_err();
+        let eb = batch.feed(&bytes).unwrap_err();
+        assert_eq!(format!("{es:?}"), format!("{eb:?}"));
+        assert!(matches!(es, TraceError::NonMonotonic { index: 2 }), "{es}");
+        assert_eq!(drain(&mut scalar), vec![100, 200]);
+        let mut col = Vec::new();
+        batch.poll_batch(&mut col);
+        assert_eq!(col, vec![100, 200]);
+    }
+
+    #[test]
     fn partial_chunk_is_not_a_clean_boundary() {
         let (bytes, stamps) = encoded_stamps(3_000);
         let cut = bytes.len() - 10; // mid-final-chunk
@@ -436,6 +577,10 @@ mod tests {
         let mut got = Vec::new();
         for piece in bytes.chunks(17) {
             d.feed(piece).unwrap();
+            // poll_batch is a stamp-column operation: on an API stream it
+            // must drain nothing and leave the records pollable.
+            let mut none = Vec::new();
+            assert_eq!(d.poll_batch(&mut none), 0);
             while let Some(rec) = d.poll() {
                 match rec {
                     Record::Api(a) => got.push(a),

@@ -8,7 +8,8 @@
 
 use latlab_des::{CpuFreq, SimDuration};
 use latlab_trace::{
-    ApiRecord, CounterRecord, Record, StreamKind, TraceError, TraceMeta, TraceReader, TraceWriter,
+    ApiRecord, CounterRecord, Record, StreamDecoder, StreamKind, TraceError, TraceMeta,
+    TraceReader, TraceWriter,
 };
 use proptest::prelude::*;
 
@@ -47,6 +48,72 @@ fn stamps_from(start: u64, deltas: &[u64]) -> Vec<Record> {
         out.push(Record::Stamp(t));
     }
     out
+}
+
+/// What a [`StreamDecoder`] produced over a fragmented byte stream:
+/// every stamp decoded (including those salvaged after a failing feed)
+/// and, if a feed failed, at which fragment and with what error.
+#[derive(Debug, PartialEq)]
+struct DrainOutcome {
+    stamps: Vec<u64>,
+    error: Option<(usize, String)>,
+    clean_boundary: bool,
+}
+
+/// How [`drain_fragmented`] decodes and drains.
+#[derive(Clone, Copy, Debug)]
+enum DrainStyle {
+    /// Default (columnar) decoder, drained record-by-record via `poll`.
+    Poll,
+    /// Default (columnar) decoder, drained column-wise via `poll_batch`.
+    PollBatch,
+    /// [`StreamDecoder::new_scalar`] reference decoder, drained via
+    /// `poll` (its only output path).
+    ScalarDecoder,
+}
+
+/// Feeds `bytes` to a fresh decoder in `frags`-sized fragments
+/// (cycling), draining after every feed in the given style. Stops at
+/// the first feed error; records decoded before a mid-chunk error are
+/// still drained.
+fn drain_fragmented(bytes: &[u8], frags: &[usize], style: DrainStyle) -> DrainOutcome {
+    let mut d = match style {
+        DrainStyle::ScalarDecoder => StreamDecoder::new_scalar(),
+        _ => StreamDecoder::new(),
+    };
+    let batch = matches!(style, DrainStyle::PollBatch);
+    let mut stamps = Vec::new();
+    let mut error = None;
+    let mut rest = bytes;
+    let mut cuts = frags.iter().cycle();
+    for index in 0usize.. {
+        if rest.is_empty() {
+            break;
+        }
+        let take = (*cuts.next().unwrap()).min(rest.len());
+        let (head, tail) = rest.split_at(take);
+        let fed = d.feed(head);
+        if batch {
+            d.poll_batch(&mut stamps);
+        } else {
+            while let Some(rec) = d.poll() {
+                match rec {
+                    Record::Stamp(s) => stamps.push(s),
+                    other => panic!("non-stamp record in stamp stream: {other:?}"),
+                }
+            }
+        }
+        if let Err(e) = fed {
+            error = Some((index, format!("{e:?}")));
+            break;
+        }
+        rest = tail;
+    }
+    DrainOutcome {
+        stamps,
+        error,
+        clean_boundary: d.is_clean_boundary(),
+    }
 }
 
 proptest! {
@@ -267,5 +334,176 @@ proptest! {
         if cut < bytes.len() {
             prop_assert!(!d.is_clean_boundary() || got.len() < records.len() || got.is_empty());
         }
+    }
+
+    /// The columnar drain is observationally identical to the scalar
+    /// one on intact streams under any fragmentation, and both agree
+    /// with the file reader.
+    #[test]
+    fn poll_batch_matches_poll_on_intact_streams(
+        start in 0u64..1_000_000_000,
+        deltas in prop::collection::vec(1u64..2_000_000, 0..3000),
+        frags in prop::collection::vec(1usize..512, 1..64),
+    ) {
+        let records = stamps_from(start, &deltas);
+        let bytes = encode(StreamKind::IdleStamps, &records);
+        let scalar = drain_fragmented(&bytes, &frags, DrainStyle::Poll);
+        let batch = drain_fragmented(&bytes, &frags, DrainStyle::PollBatch);
+        prop_assert_eq!(&batch, &scalar);
+        prop_assert!(batch.error.is_none());
+        prop_assert!(batch.clean_boundary);
+        let expect: Vec<u64> = deltas
+            .iter()
+            .scan(start, |t, d| { *t += d; Some(*t) })
+            .collect();
+        prop_assert_eq!(&batch.stamps, &expect);
+        let read: Vec<u64> = drain(&bytes)
+            .unwrap()
+            .into_iter()
+            .map(|r| match r {
+                Record::Stamp(s) => s,
+                other => panic!("non-stamp record: {other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(&batch.stamps, &read);
+    }
+
+    /// Truncating the stream anywhere leaves both drain styles with the
+    /// same strict prefix and no error — a partial upload is silence,
+    /// never divergence.
+    #[test]
+    fn poll_batch_matches_poll_under_truncation(
+        start in 0u64..1_000_000,
+        deltas in prop::collection::vec(1u64..200_000, 1..1500),
+        frags in prop::collection::vec(1usize..256, 1..32),
+        cut_permille in 0u64..1000,
+    ) {
+        let records = stamps_from(start, &deltas);
+        let bytes = encode(StreamKind::IdleStamps, &records);
+        let cut = (bytes.len() as u64 * cut_permille / 1000) as usize;
+        let scalar = drain_fragmented(&bytes[..cut], &frags, DrainStyle::Poll);
+        let batch = drain_fragmented(&bytes[..cut], &frags, DrainStyle::PollBatch);
+        prop_assert_eq!(&batch, &scalar);
+        prop_assert!(batch.error.is_none());
+        let expect: Vec<u64> = deltas
+            .iter()
+            .scan(start, |t, d| { *t += d; Some(*t) })
+            .collect();
+        prop_assert!(batch.stamps.len() <= expect.len());
+        prop_assert_eq!(&batch.stamps[..], &expect[..batch.stamps.len()]);
+    }
+
+    /// A single-bit flip anywhere surfaces through both drain styles at
+    /// the same fragment with the same error, after the same salvaged
+    /// prefix of stamps.
+    #[test]
+    fn poll_batch_matches_poll_under_corruption(
+        start in 0u64..1_000_000,
+        deltas in prop::collection::vec(1u64..200_000, 1..800),
+        frags in prop::collection::vec(1usize..256, 1..32),
+        pos_permille in 0u64..1000,
+        bit in 0u32..8,
+    ) {
+        let records = stamps_from(start, &deltas);
+        let mut bytes = encode(StreamKind::IdleStamps, &records);
+        let pos = (bytes.len() as u64 * pos_permille / 1000) as usize;
+        bytes[pos] ^= 1 << bit;
+        let scalar = drain_fragmented(&bytes, &frags, DrainStyle::Poll);
+        let batch = drain_fragmented(&bytes, &frags, DrainStyle::PollBatch);
+        prop_assert_eq!(&batch, &scalar);
+        // A flip either surfaces as a feed error or (e.g. an inflated
+        // chunk-length field) strands the decoder mid-unit waiting for
+        // bytes that never come — it can never pass as a clean stream.
+        prop_assert!(batch.error.is_some() || !batch.clean_boundary);
+        let expect: Vec<u64> = deltas
+            .iter()
+            .scan(start, |t, d| { *t += d; Some(*t) })
+            .collect();
+        prop_assert!(batch.stamps.len() <= expect.len());
+        prop_assert_eq!(&batch.stamps[..], &expect[..batch.stamps.len()]);
+    }
+
+    /// `poll` and `poll_batch` compose: alternating per fragment on one
+    /// decoder still yields exactly the written stamps.
+    #[test]
+    fn poll_and_poll_batch_interleave_losslessly(
+        start in 0u64..1_000_000_000,
+        deltas in prop::collection::vec(1u64..2_000_000, 0..3000),
+        frags in prop::collection::vec(1usize..512, 1..64),
+        styles in prop::collection::vec(any::<bool>(), 1..16),
+    ) {
+        let records = stamps_from(start, &deltas);
+        let bytes = encode(StreamKind::IdleStamps, &records);
+        let mut d = StreamDecoder::new();
+        let mut got = Vec::new();
+        let mut rest = &bytes[..];
+        let mut cuts = frags.iter().cycle();
+        let mut style = styles.iter().cycle();
+        while !rest.is_empty() {
+            let take = (*cuts.next().unwrap()).min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            d.feed(head).unwrap();
+            if *style.next().unwrap() {
+                d.poll_batch(&mut got);
+            } else {
+                while let Some(rec) = d.poll() {
+                    match rec {
+                        Record::Stamp(s) => got.push(s),
+                        other => panic!("non-stamp record: {other:?}"),
+                    }
+                }
+            }
+            rest = tail;
+        }
+        let expect: Vec<u64> = deltas
+            .iter()
+            .scan(start, |t, d| { *t += d; Some(*t) })
+            .collect();
+        prop_assert_eq!(got, expect);
+        prop_assert!(d.is_clean_boundary());
+    }
+
+    /// The scalar-mode reference decoder ([`StreamDecoder::new_scalar`])
+    /// is observationally identical to the default columnar decoder on
+    /// intact streams under any fragmentation.
+    #[test]
+    fn scalar_mode_decoder_matches_columnar(
+        start in 0u64..1_000_000_000,
+        deltas in prop::collection::vec(1u64..2_000_000, 0..3000),
+        frags in prop::collection::vec(1usize..512, 1..64),
+    ) {
+        let records = stamps_from(start, &deltas);
+        let bytes = encode(StreamKind::IdleStamps, &records);
+        let reference = drain_fragmented(&bytes, &frags, DrainStyle::ScalarDecoder);
+        let columnar = drain_fragmented(&bytes, &frags, DrainStyle::PollBatch);
+        prop_assert_eq!(&reference, &columnar);
+        prop_assert!(reference.error.is_none());
+        prop_assert!(reference.clean_boundary);
+        let expect: Vec<u64> = deltas
+            .iter()
+            .scan(start, |t, d| { *t += d; Some(*t) })
+            .collect();
+        prop_assert_eq!(&reference.stamps, &expect);
+    }
+
+    /// Corruption surfaces identically through the scalar-mode reference
+    /// decoder and the columnar one: same salvaged prefix, same error at
+    /// the same fragment.
+    #[test]
+    fn scalar_mode_decoder_matches_columnar_under_corruption(
+        start in 0u64..1_000_000,
+        deltas in prop::collection::vec(1u64..200_000, 1..800),
+        frags in prop::collection::vec(1usize..256, 1..32),
+        pos_permille in 0u64..1000,
+        bit in 0u32..8,
+    ) {
+        let records = stamps_from(start, &deltas);
+        let mut bytes = encode(StreamKind::IdleStamps, &records);
+        let pos = (bytes.len() as u64 * pos_permille / 1000) as usize;
+        bytes[pos] ^= 1 << bit;
+        let reference = drain_fragmented(&bytes, &frags, DrainStyle::ScalarDecoder);
+        let columnar = drain_fragmented(&bytes, &frags, DrainStyle::PollBatch);
+        prop_assert_eq!(&reference, &columnar);
+        prop_assert!(reference.error.is_some() || !reference.clean_boundary);
     }
 }
