@@ -39,7 +39,7 @@
 use latlab_des::OnlineStats;
 use serde::{Deserialize, Serialize};
 
-use crate::perception::{EventClass, PerceptionModel};
+use crate::perception::{EventClass, PerceptionModel, ToleranceBand};
 use crate::streaming::StreamingHistogram;
 
 /// Per-class accumulator: histogram + exact moments + deadline misses.
@@ -275,7 +275,104 @@ impl LatencySketch {
             a.merge(b);
         }
     }
+
+    /// Appends a self-delimiting binary encoding to `out`.
+    ///
+    /// The format is deliberately *not* JSON: an empty [`OnlineStats`]
+    /// carries ±∞ min/max, which text codecs mangle. Every float is
+    /// persisted via [`f64::to_bits`] little-endian, so decode
+    /// round-trips bit-exactly — the property the serve checkpoint layer
+    /// relies on for its recovered-sketch-equals-live-sketch invariant.
+    ///
+    /// Layout: magic `LSKB`, version byte, the five perception bands as
+    /// `(free_ms, saturate_ms)` bit pairs, then one cell per
+    /// [`EventClass::ALL`] entry — raw [`OnlineStats`] parts, miss and
+    /// saturation counters, sparse histogram.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(SKETCH_MAGIC);
+        out.push(SKETCH_CODEC_VERSION);
+        for band in [
+            self.model.keystroke,
+            self.model.navigation,
+            self.model.screen_change,
+            self.model.command,
+            self.model.major_operation,
+        ] {
+            out.extend_from_slice(&band.free_ms.to_bits().to_le_bytes());
+            out.extend_from_slice(&band.saturate_ms.to_bits().to_le_bytes());
+        }
+        for cell in &self.classes {
+            let (count, mean, m2, min, max) = cell.stats.to_raw_parts();
+            out.extend_from_slice(&count.to_le_bytes());
+            for f in [mean, m2, min, max] {
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            out.extend_from_slice(&cell.misses.to_le_bytes());
+            out.extend_from_slice(&cell.saturated.to_le_bytes());
+            cell.hist.encode_sparse(out);
+        }
+    }
+
+    /// Decodes an [`encode`](Self::encode) image from the front of
+    /// `buf`, returning the sketch and the bytes consumed. `None` on
+    /// truncation, bad magic/version, or a corrupt histogram section.
+    pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.get(..4)? != SKETCH_MAGIC || *buf.get(4)? != SKETCH_CODEC_VERSION {
+            return None;
+        }
+        let mut at = 5usize;
+        let f64_at = |at: &mut usize| -> Option<f64> {
+            let v = f64::from_bits(u64::from_le_bytes(buf.get(*at..*at + 8)?.try_into().ok()?));
+            *at += 8;
+            Some(v)
+        };
+        let mut bands = [ToleranceBand {
+            free_ms: 0.0,
+            saturate_ms: 0.0,
+        }; 5];
+        for band in &mut bands {
+            band.free_ms = f64_at(&mut at)?;
+            band.saturate_ms = f64_at(&mut at)?;
+        }
+        let model = PerceptionModel {
+            keystroke: bands[0],
+            navigation: bands[1],
+            screen_change: bands[2],
+            command: bands[3],
+            major_operation: bands[4],
+        };
+        let u64_at = |at: &mut usize| -> Option<u64> {
+            let v = u64::from_le_bytes(buf.get(*at..*at + 8)?.try_into().ok()?);
+            *at += 8;
+            Some(v)
+        };
+        let mut classes = Vec::with_capacity(EventClass::ALL.len());
+        for _ in EventClass::ALL {
+            let count = u64_at(&mut at)?;
+            let mean = f64_at(&mut at)?;
+            let m2 = f64_at(&mut at)?;
+            let min = f64_at(&mut at)?;
+            let max = f64_at(&mut at)?;
+            let misses = u64_at(&mut at)?;
+            let saturated = u64_at(&mut at)?;
+            let (hist, used) = StreamingHistogram::decode_sparse(buf.get(at..)?)?;
+            at += used;
+            classes.push(ClassSketch {
+                hist,
+                stats: OnlineStats::from_raw_parts(count, mean, m2, min, max),
+                misses,
+                saturated,
+            });
+        }
+        Some((LatencySketch { classes, model }, at))
+    }
 }
+
+/// Magic prefix of the [`LatencySketch::encode`] image.
+const SKETCH_MAGIC: &[u8; 4] = b"LSKB";
+
+/// Version byte of the [`LatencySketch::encode`] image.
+const SKETCH_CODEC_VERSION: u8 = 1;
 
 #[cfg(test)]
 mod tests {
@@ -410,5 +507,57 @@ mod tests {
         assert_eq!(s.total(), 0);
         assert!(s.quantile(0.5).is_none());
         assert!(s.class(EventClass::Keystroke).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn binary_codec_round_trips_bit_exactly() {
+        let mut s = LatencySketch::new();
+        for i in 0..5_000u64 {
+            let class = EventClass::ALL[(i % 6) as usize];
+            s.push(class, 0.03 + (i % 577) as f64 * 4.3);
+        }
+        // An empty sketch must round-trip too — its stats carry ±∞.
+        for sketch in [s, LatencySketch::new()] {
+            let mut buf = Vec::new();
+            sketch.encode(&mut buf);
+            let (back, used) = LatencySketch::decode(&buf).expect("decodes");
+            assert_eq!(used, buf.len());
+            assert_eq!(back.total(), sketch.total());
+            assert_eq!(back.total_misses(), sketch.total_misses());
+            for class in EventClass::ALL {
+                let (a, b) = (sketch.class(class), back.class(class));
+                assert_eq!(b.count(), a.count(), "{class:?}");
+                assert_eq!(b.misses(), a.misses(), "{class:?}");
+                assert_eq!(b.saturated(), a.saturated(), "{class:?}");
+                assert_eq!(b.stats().count(), a.stats().count());
+                assert_eq!(b.stats().mean().to_bits(), a.stats().mean().to_bits());
+                assert_eq!(
+                    b.stats().sample_variance().to_bits(),
+                    a.stats().sample_variance().to_bits()
+                );
+                assert_eq!(b.stats().min().to_bits(), a.stats().min().to_bits());
+                assert_eq!(b.stats().max().to_bits(), a.stats().max().to_bits());
+                for q in [0.0, 0.5, 0.99, 1.0] {
+                    assert_eq!(b.quantile(q), a.quantile(q), "{class:?} q{q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_codec_rejects_corruption() {
+        let mut s = LatencySketch::new();
+        s.push(EventClass::Keystroke, 5.0);
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(LatencySketch::decode(&buf[..cut]).is_none(), "cut {cut}");
+        }
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(LatencySketch::decode(&bad).is_none());
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(LatencySketch::decode(&bad).is_none());
     }
 }

@@ -205,6 +205,50 @@ impl StreamingHistogram {
         }
         self.total += other.total;
     }
+
+    /// Appends a sparse binary encoding to `out`: the total, then one
+    /// `(bucket index u32, count u64)` pair per non-zero bucket, all
+    /// little-endian. A histogram is almost entirely zeros (a latency
+    /// population clusters in a few dozen of the 1600 buckets), so this
+    /// is what checkpoint files persist instead of the dense table.
+    pub fn encode_sparse(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.total.to_le_bytes());
+        let nonzero = self.counts.iter().filter(|&&c| c > 0).count() as u32;
+        out.extend_from_slice(&nonzero.to_le_bytes());
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                out.extend_from_slice(&(i as u32).to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes an [`encode_sparse`](Self::encode_sparse) image from the
+    /// front of `buf`, returning the histogram and the bytes consumed.
+    /// Returns `None` on truncation, out-of-range bucket indices, or a
+    /// total that disagrees with the bucket counts.
+    pub fn decode_sparse(buf: &[u8]) -> Option<(Self, usize)> {
+        let total = u64::from_le_bytes(buf.get(..8)?.try_into().ok()?);
+        let nonzero = u32::from_le_bytes(buf.get(8..12)?.try_into().ok()?) as usize;
+        let mut hist = StreamingHistogram::new();
+        let mut at = 12usize;
+        let mut sum = 0u64;
+        for _ in 0..nonzero {
+            let idx = u32::from_le_bytes(buf.get(at..at + 4)?.try_into().ok()?) as usize;
+            let count = u64::from_le_bytes(buf.get(at + 4..at + 12)?.try_into().ok()?);
+            at += 12;
+            if idx >= BUCKETS || count == 0 {
+                return None;
+            }
+            hist.counts[idx] = hist.counts[idx].checked_add(count)?;
+            sum = sum.checked_add(count)?;
+        }
+        if sum != total {
+            return None;
+        }
+        hist.total = total;
+        Some((hist, at))
+    }
 }
 
 /// Exact moments plus approximate quantiles, in one bounded-memory pass.
@@ -504,6 +548,48 @@ mod tests {
                 "representative of bucket {i} fell outside it"
             );
         }
+    }
+
+    #[test]
+    fn sparse_codec_round_trips() {
+        let mut h = StreamingHistogram::new();
+        for i in 0..10_000u64 {
+            h.push((i % 313) as f64 * 0.37 + 0.004);
+        }
+        let mut buf = vec![0xAAu8; 3]; // leading junk the encoder must append after
+        h.encode_sparse(&mut buf);
+        let (back, used) = StreamingHistogram::decode_sparse(&buf[3..]).expect("decodes");
+        assert_eq!(used, buf.len() - 3);
+        assert_eq!(back.total(), h.total());
+        assert_eq!(back.counts, h.counts);
+
+        // Empty histogram round-trips too.
+        let mut empty = Vec::new();
+        StreamingHistogram::new().encode_sparse(&mut empty);
+        let (back, used) = StreamingHistogram::decode_sparse(&empty).expect("decodes");
+        assert_eq!(used, empty.len());
+        assert_eq!(back.total(), 0);
+    }
+
+    #[test]
+    fn sparse_decode_rejects_corruption() {
+        let mut h = StreamingHistogram::new();
+        h.push(1.0);
+        h.push(250.0);
+        let mut buf = Vec::new();
+        h.encode_sparse(&mut buf);
+        // Truncation at every prefix length must fail, not panic.
+        for cut in 0..buf.len() {
+            assert!(StreamingHistogram::decode_sparse(&buf[..cut]).is_none());
+        }
+        // A bucket index past the table must fail.
+        let mut bad = buf.clone();
+        bad[12..16].copy_from_slice(&(BUCKETS as u32).to_le_bytes());
+        assert!(StreamingHistogram::decode_sparse(&bad).is_none());
+        // A total that disagrees with the counts must fail.
+        let mut bad = buf.clone();
+        bad[0..8].copy_from_slice(&99u64.to_le_bytes());
+        assert!(StreamingHistogram::decode_sparse(&bad).is_none());
     }
 
     #[test]

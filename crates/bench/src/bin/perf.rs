@@ -18,17 +18,22 @@
 //! benchmarks the `latlab-serve` telemetry path on loopback: a local
 //! server, `--ingest-connections` concurrent uploaders replaying a
 //! synthetic corpus for `--ingest-secs`, and a prober measuring query
-//! latency under that load (`--ingest-secs 0` skips it). Results land in
-//! `BENCH_repro.json` (override with `--out`) — the repo-root
-//! perf-trajectory file CI regenerates on every run as a regression gate.
+//! latency under that load (`--ingest-secs 0` skips it). A durability
+//! pass then repeats the load with the write-ahead log on, crashes the
+//! server, and times the restart's log replay — the cost of crash-safety
+//! and the speed of recovery, side by side with the WAL-off figures.
+//! Results land in `BENCH_repro.json` (override with `--out`) — the
+//! repo-root perf-trajectory file CI regenerates on every run as a
+//! regression gate.
 //!
 //! With `--baseline FILE`, the fresh per-scenario `wall_ms_min` values are
 //! compared against the committed baseline and the run fails if any
 //! scenario regressed by more than `--tolerance` percent (default 25).
 //! When both the baseline and the fresh run carry an ingest section, the
 //! gate also fails on ingest throughput drops or query-p99 growth beyond
-//! the same tolerance. Both `latlab-perf-v1` and `latlab-perf-v2`
-//! baselines are accepted.
+//! the same tolerance; when both carry a durability subsection, the
+//! WAL-on throughput is gated the same way (the WAL-overhead gate). Both
+//! `latlab-perf-v1` and `latlab-perf-v2` baselines are accepted.
 //!
 //! `--no-fastforward` times the step-by-step idle path instead of the
 //! batched one — the two produce byte-identical results, so the delta is
@@ -89,6 +94,25 @@ struct IngestBench {
     batch_speedup: f64,
     query_p50_ms: f64,
     query_p99_ms: f64,
+    /// Durability cost and recovery speed; absent when the WAL pass is
+    /// skipped.
+    durability: Option<DurabilityBench>,
+}
+
+/// The price of crash-safety, measured: the same slam load with the
+/// write-ahead log on (and uploads on the resumable/acked path), the
+/// throughput ratio against the WAL-off headline figure, and how fast a
+/// post-crash restart replays the log it left behind.
+#[derive(Serialize)]
+struct DurabilityBench {
+    wal_mb_per_sec: f64,
+    /// `wal_mb_per_sec / mb_per_sec` — 1.0 means the log is free.
+    wal_overhead_ratio: f64,
+    reconnects: u64,
+    recovered_frames: u64,
+    recovered_records: u64,
+    recovery_ms: f64,
+    recovery_records_per_sec: f64,
 }
 
 /// The whole trajectory datapoint.
@@ -147,6 +171,26 @@ struct BaselineIngestWrapper {
 struct BaselineIngest {
     mb_per_sec: f64,
     query_p99_ms: f64,
+}
+
+/// Durability slice of a baseline file, parsed separately for the same
+/// reason as [`BaselineIngestWrapper`]: a baseline written before the
+/// WAL benchmark existed simply fails this parse and yields no
+/// WAL-overhead gate.
+#[derive(Deserialize)]
+struct BaselineDurabilityWrapper {
+    ingest: BaselineDurabilityIngest,
+}
+
+#[derive(Deserialize)]
+struct BaselineDurabilityIngest {
+    durability: BaselineDurability,
+}
+
+/// The durability figure the gate compares.
+#[derive(Deserialize)]
+struct BaselineDurability {
+    wal_mb_per_sec: f64,
 }
 
 /// Peak RSS of the current process in kB (`VmHWM`), Linux only.
@@ -260,6 +304,93 @@ fn gate_ingest(base: &BaselineIngest, now: &IngestBench, tolerance_pct: f64) -> 
     regressions
 }
 
+/// Compares WAL-on throughput against the baseline's; returns regression
+/// descriptions (empty = pass). Same noise floor as the plain ingest
+/// gate — this is the WAL-overhead gate: it trips when logging got
+/// expensive, not when the runner got slow (the plain figure gates that).
+fn gate_durability(
+    base: &BaselineDurability,
+    now: &DurabilityBench,
+    tolerance_pct: f64,
+) -> Vec<String> {
+    if base.wal_mb_per_sec <= 0.0 {
+        return Vec::new();
+    }
+    let delta_pct = (now.wal_mb_per_sec / base.wal_mb_per_sec - 1.0) * 100.0;
+    let drop_abs = base.wal_mb_per_sec - now.wal_mb_per_sec;
+    let regressed = -delta_pct > tolerance_pct && drop_abs > INGEST_NOISE_FLOOR_MB_S;
+    eprintln!(
+        "  gate wal ingest {:>9.1} MB/s vs baseline {:>9.1} MB/s ({delta_pct:+.1}%) {}",
+        now.wal_mb_per_sec,
+        base.wal_mb_per_sec,
+        if regressed { "REGRESSED" } else { "ok" }
+    );
+    if regressed {
+        vec![format!(
+            "WAL ingest throughput: {:.1} MB/s vs baseline {:.1} MB/s \
+             ({delta_pct:+.1}% beyond {tolerance_pct}%)",
+            now.wal_mb_per_sec, base.wal_mb_per_sec
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+/// The durability pass: the same slam load with the WAL on and uploads
+/// on the resumable path, then a crash (no drain, no checkpoint) and a
+/// timed restart that replays the log the crash left behind.
+fn durability_bench(
+    secs: u64,
+    connections: usize,
+    plain_mb_per_sec: f64,
+) -> std::io::Result<DurabilityBench> {
+    let wal_dir = std::env::temp_dir().join(format!("latlab-perf-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let start = |dir: &std::path::Path| {
+        Server::start(ServeConfig {
+            bind: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(10),
+            wal: Some(latlab_serve::WalConfig::new(dir)),
+            ..ServeConfig::default()
+        })
+    };
+    let server = start(&wal_dir)?;
+    let corpus = vec![latlab_serve::idle_corpus(200_000, 0xbe9c, 64)];
+    let cfg = slam::SlamConfig {
+        addr: server.local_addr(),
+        connections,
+        scenario: "perf-wal".to_string(),
+        duration: Duration::from_secs(secs),
+        resume: true,
+        ..slam::SlamConfig::default()
+    };
+    let report = slam::run(&cfg, &corpus)?;
+    server.crash();
+
+    let t0 = Instant::now();
+    let recovered = start(&wal_dir)?;
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rec = *recovered.recovery();
+    recovered.request_shutdown();
+    let _ = recovered.join();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let wal_mb_per_sec = report.mb_per_sec();
+    Ok(DurabilityBench {
+        wal_mb_per_sec,
+        wal_overhead_ratio: if plain_mb_per_sec > 0.0 {
+            wal_mb_per_sec / plain_mb_per_sec
+        } else {
+            0.0
+        },
+        reconnects: report.reconnects,
+        recovered_frames: rec.frames,
+        recovered_records: rec.records,
+        recovery_ms,
+        recovery_records_per_sec: rec.records as f64 / (recovery_ms / 1e3).max(1e-9),
+    })
+}
+
 /// Phase 3: the loopback ingest benchmark. Starts an in-process server
 /// on an ephemeral port, slams it with `connections` uploaders replaying
 /// a synthetic idle-stamp corpus for `secs` seconds, and drains it.
@@ -298,6 +429,7 @@ fn ingest_bench(secs: u64, connections: usize, scalar: bool) -> std::io::Result<
         batch_speedup: 0.0,
         query_p50_ms: report.query_p50_ms,
         query_p99_ms: report.query_p99_ms,
+        durability: None,
     })
 }
 
@@ -569,6 +701,26 @@ fn main() -> ExitCode {
                      scalar  (speedup {:.2}x)",
                     bench.batch_speedup
                 );
+                match durability_bench(ingest_secs, ingest_connections, bench.mb_per_sec) {
+                    Ok(dur) => {
+                        eprintln!(
+                            "  ingest wal    {:>9.1} MB/s  ({:.0}% of wal-off)  recovery \
+                             {:.0} ms for {} frames ({:.0} records/s)",
+                            dur.wal_mb_per_sec,
+                            dur.wal_overhead_ratio * 100.0,
+                            dur.recovery_ms,
+                            dur.recovered_frames,
+                            dur.recovery_records_per_sec,
+                        );
+                        bench.durability = Some(dur);
+                    }
+                    Err(e) => {
+                        return cli::runtime_error(
+                            BIN,
+                            &format!("durability benchmark failed: {e}"),
+                        )
+                    }
+                }
                 Some(bench)
             }
             Err(e) => return cli::runtime_error(BIN, &format!("ingest benchmark failed: {e}")),
@@ -622,6 +774,14 @@ fn main() -> ExitCode {
             report.ingest.as_ref(),
         ) {
             regressions.extend(gate_ingest(&base.ingest, now, tolerance_pct));
+        }
+        // Likewise the WAL-overhead gate: only when both sides measured
+        // the durability pass.
+        if let (Ok(base), Some(now)) = (
+            serde_json::from_str::<BaselineDurabilityWrapper>(&text),
+            report.ingest.as_ref().and_then(|i| i.durability.as_ref()),
+        ) {
+            regressions.extend(gate_durability(&base.ingest.durability, now, tolerance_pct));
         }
         if !regressions.is_empty() {
             eprintln!("perf: {} measurement(s) regressed:", regressions.len());

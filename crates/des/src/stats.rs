@@ -114,6 +114,28 @@ impl OnlineStats {
         }
     }
 
+    /// Decomposes the accumulator into its raw fields
+    /// `(count, mean, m2, min, max)` for external serialization.
+    ///
+    /// An empty accumulator carries `min = +inf` / `max = -inf`, which
+    /// most text codecs cannot represent — callers that persist these
+    /// parts should use a binary encoding (e.g. [`f64::to_bits`]).
+    pub fn to_raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from parts produced by
+    /// [`to_raw_parts`](Self::to_raw_parts). Round-trips bit-exactly.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford update).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -232,6 +254,26 @@ mod tests {
         empty.merge(&a);
         assert_eq!(empty.count(), a.count());
         assert_eq!(empty.mean(), a.mean());
+    }
+
+    #[test]
+    fn raw_parts_round_trip_bit_exactly() {
+        let mut s = OnlineStats::new();
+        for x in [0.1, -3.25, 7.5, 1e-9] {
+            s.push(x);
+        }
+        for stats in [s, OnlineStats::new()] {
+            let (count, mean, m2, min, max) = stats.to_raw_parts();
+            let back = OnlineStats::from_raw_parts(count, mean, m2, min, max);
+            assert_eq!(back.count(), stats.count());
+            assert_eq!(back.mean().to_bits(), stats.mean().to_bits());
+            assert_eq!(
+                back.population_variance().to_bits(),
+                stats.population_variance().to_bits()
+            );
+            assert_eq!(back.min().to_bits(), stats.min().to_bits());
+            assert_eq!(back.max().to_bits(), stats.max().to_bits());
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use latlab_core::cli;
-use latlab_serve::{ServeConfig, Server, ShardConfig};
+use latlab_serve::{ServeConfig, Server, ShardConfig, WalConfig};
 
 const BIN: &str = "latlab-serve";
 
@@ -13,12 +13,17 @@ const USAGE: &str = "\
 usage: latlab-serve [options]
   --bind ADDR          listen address (default 127.0.0.1:4117; port 0 = ephemeral)
   --shards N           ingest worker threads (default: half the cores, min 2)
-  --queue-depth N      bounded batches per shard queue (default 128)
+  --queue-depth N      bounded frames per shard queue (default 128)
   --publish-every N    samples folded between snapshot publishes (default 65536)
   --read-timeout-ms N  per-connection read timeout (default 30000)
   --busy-retry-ms N    full-queue retry window before BUSY (default 100)
   --scalar-ingest      use the per-record decode path instead of the
                        columnar batch path (reference/debug)
+  --wal DIR            write-ahead log directory: log accepted frames
+                       before acking, checkpoint sketches, and recover
+                       (replay the tail) on restart before listening
+  --wal-segment-mb N   rotate log segments at N MiB (default 4)
+  --wal-checkpoint-mb N  checkpoint after N MiB appended (default 32)
   --port-file PATH     write the bound address to PATH once listening
   --version            print version and exit
   --help               print this help";
@@ -52,6 +57,9 @@ fn main() -> ExitCode {
         ..ServeConfig::default()
     };
     let mut port_file: Option<String> = None;
+    let mut wal_dir: Option<String> = None;
+    let mut wal_segment_mb = 4u64;
+    let mut wal_checkpoint_mb = 32u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -103,11 +111,25 @@ fn main() -> ExitCode {
                 config.busy_retry = Duration::from_millis(parse_or_usage!("--busy-retry-ms", u64))
             }
             "--scalar-ingest" => config.scalar_ingest = true,
+            "--wal" => match take("--wal") {
+                Ok(v) => wal_dir = Some(v),
+                Err(code) => return code,
+            },
+            "--wal-segment-mb" => wal_segment_mb = parse_or_usage!("--wal-segment-mb", u64),
+            "--wal-checkpoint-mb" => {
+                wal_checkpoint_mb = parse_or_usage!("--wal-checkpoint-mb", u64)
+            }
             other => return cli::usage_error(BIN, &format!("unknown argument {other:?}"), USAGE),
         }
     }
     if config.shard.shards == 0 {
         return cli::usage_error(BIN, "--shards must be at least 1", USAGE);
+    }
+    if let Some(dir) = wal_dir {
+        let mut wal = WalConfig::new(dir);
+        wal.segment_bytes = wal_segment_mb.max(1) << 20;
+        wal.checkpoint_bytes = wal_checkpoint_mb.max(1) << 20;
+        config.wal = Some(wal);
     }
 
     install_signal_handlers();
@@ -115,6 +137,20 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => return cli::runtime_error(BIN, &format!("failed to start: {e}")),
     };
+    let rec = server.recovery();
+    if rec.checkpoints > 0 || rec.frames > 0 || rec.torn_tails > 0 {
+        eprintln!(
+            "{BIN}: recovered checkpoints={} segments={} frames={} records={} \
+             samples={} torn_tails={} in {}ms",
+            rec.checkpoints,
+            rec.segments,
+            rec.frames,
+            rec.records,
+            rec.samples,
+            rec.torn_tails,
+            rec.millis,
+        );
+    }
     println!("listening on {}", server.local_addr());
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, server.local_addr().to_string()) {

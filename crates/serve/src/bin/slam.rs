@@ -20,6 +20,11 @@ usage: latlab-slam ADDR [options] [CORPUS.ltrc ...]
   --frame-kb N          wire frame payload size in KB (default 64)
   --synthetic-records N corpus if no files given (default 200000 records)
   --seed N              seed for BUSY retry-backoff jitter
+  --resume              upload on the resumable path: survive resets and
+                        read timeouts by reconnecting and resuming from
+                        the server's committed watermark
+  --max-reconnects N    reconnects per blob before it counts as an
+                        error (default 8; resumable path only)
   --version             print version and exit
   --help                print this help
 Replays the corpus traces from all connections until the duration
@@ -82,6 +87,8 @@ fn main() -> ExitCode {
                 synthetic_records = parse_or_usage!("--synthetic-records", u64)
             }
             "--seed" => config.seed = parse_or_usage!("--seed", u64),
+            "--resume" => config.resume = true,
+            "--max-reconnects" => config.max_reconnects = parse_or_usage!("--max-reconnects", u32),
             flag if flag.starts_with("--") => {
                 return cli::usage_error(BIN, &format!("unknown argument {flag:?}"), USAGE)
             }
@@ -123,6 +130,8 @@ fn main() -> ExitCode {
     println!("upload_errors={}", report.upload_errors);
     println!("records_acked={}", report.records_acked);
     println!("bytes_acked={}", report.bytes_acked);
+    println!("reconnects={}", report.reconnects);
+    println!("frames_resumed={}", report.frames_resumed);
     println!("elapsed_s={:.3}", report.elapsed.as_secs_f64());
     println!("ingest_mb_per_sec={:.2}", report.mb_per_sec());
     println!("queries={}", report.queries);

@@ -20,26 +20,40 @@
 //!   `SNAPSHOT`, `HEALTH`) from epoch-swapped immutable snapshots, so
 //!   the read path never blocks ingest;
 //! * sheds load explicitly — bounded per-shard queues, `BUSY` on
-//!   overflow — and drains gracefully on `SHUTDOWN` or SIGTERM.
+//!   overflow — and drains gracefully on `SHUTDOWN` or SIGTERM;
+//! * survives `kill -9` when configured with a write-ahead log
+//!   ([`wal`]): each shard logs accepted frames before acknowledging
+//!   them, checkpoints its sketches, and replays the log tail on
+//!   restart — combined with resumable uploads (`PUT … RESUME` and
+//!   cumulative `OK <seq>` acks) every acknowledged sample lands in the
+//!   recovered sketch exactly once.
 //!
 //! [`slam`] is the companion load generator: N uploader connections
 //! replaying a corpus while a prober measures query-path latency under
-//! that load.
+//! that load. [`netfault`] is the matching chaos layer: a seeded
+//! in-process TCP proxy that injects resets, partial writes, delays,
+//! and duplicated frames between the two, deterministically.
 //!
 //! Everything runs on the standard library alone: threads, channels,
 //! and blocking sockets — no async runtime, in keeping with the
 //! workspace's no-external-dependency constraint.
 
 pub mod client;
+pub mod netfault;
 pub mod pipeline;
 pub mod protocol;
 pub mod server;
 pub mod shard;
 pub mod slam;
+pub mod wal;
 
-pub use client::{upload, IngestClient, QueryClient, UploadOutcome};
+pub use client::{
+    upload, upload_resumable, IngestClient, QueryClient, ResumableUpload, ResumeOpts, UploadOutcome,
+};
+pub use netfault::{FaultConfig, FaultProxy};
 pub use pipeline::{fold_corpus, FoldOutcome};
 pub use protocol::{PutHeader, Query};
 pub use server::{ServeConfig, ServeStats, Server};
-pub use shard::{Batch, IngestRejection, ShardConfig, ShardSet};
+pub use shard::{IngestRejection, IngestTotals, ShardConfig, ShardSet};
 pub use slam::{idle_corpus, synthetic_corpus, SlamConfig, SlamReport};
+pub use wal::{RecoveryStats, WalConfig};

@@ -1,0 +1,374 @@
+//! Deterministic network-fault injection: a seeded in-process TCP proxy
+//! that sits between a client (usually `latlab-slam`) and `latlab-serve`
+//! and misbehaves on purpose.
+//!
+//! The proxy is **frame-aware**: it parses the `PUT` header line to
+//! learn whether the upload is resumable, then forwards whole wire
+//! frames, injecting faults at frame granularity —
+//!
+//! * **connection resets**, optionally tearing the in-flight frame with
+//!   a partial write first (the server sees a truncated frame; with a
+//!   WAL this is exactly the torn-tail shape recovery must salvage);
+//! * **delays**, stalling a frame long enough to exercise timeout
+//!   handling without desequencing anything;
+//! * **duplicated frames** on resumable uploads, which the server's
+//!   sequence-number dedupe must drop (never injected on legacy
+//!   uploads, where a duplicate would corrupt the stream rather than
+//!   test it).
+//!
+//! Every choice is drawn from a per-connection xorshift stream seeded
+//! from `(seed, connection index)`: the same seed against the same
+//! client behaviour injects the same faults, which is what lets the
+//! chaos tests assert *exact* sketch equality after arbitrary abuse.
+//! Query connections (any first line that isn't `PUT`) pass through
+//! untouched.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{MAX_FRAME_PAYLOAD, MAX_LINE};
+
+/// Fault rates and the seed that drives them. Each rate is a one-in-`N`
+/// per-frame probability; `0` disables that fault.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the per-connection fault streams.
+    pub seed: u64,
+    /// One-in-`N` per-frame chance of killing the connection (both
+    /// directions, abruptly).
+    pub reset_one_in: u64,
+    /// One-in-`N` per-frame chance of duplicating a complete payload
+    /// frame (resumable uploads only).
+    pub duplicate_one_in: u64,
+    /// One-in-`N` per-frame chance of stalling before forwarding.
+    pub delay_one_in: u64,
+    /// The injected stall.
+    pub delay: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xfa17_5eed,
+            reset_one_in: 40,
+            duplicate_one_in: 16,
+            delay_one_in: 8,
+            delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What the proxy has injected so far.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Connections proxied.
+    pub connections: AtomicU64,
+    /// Connections killed by an injected reset.
+    pub resets: AtomicU64,
+    /// Resets that first tore the in-flight frame with a partial write.
+    pub torn_frames: AtomicU64,
+    /// Payload frames forwarded twice.
+    pub duplicated: AtomicU64,
+    /// Frames stalled by an injected delay.
+    pub delayed: AtomicU64,
+    /// Frames forwarded (faulted or not).
+    pub frames: AtomicU64,
+}
+
+/// A running fault proxy.
+pub struct FaultProxy {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    stats: Arc<FaultStats>,
+}
+
+impl FaultProxy {
+    /// Binds `listen` (use port 0 for ephemeral) and starts proxying
+    /// every connection to `target` with `config`'s faults.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(listen: &str, target: SocketAddr, config: FaultConfig) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(FaultStats::default());
+        let accept = {
+            let stop = stop.clone();
+            let stats = stats.clone();
+            std::thread::Builder::new()
+                .name("latlab-netfault".to_owned())
+                .spawn(move || accept_loop(listener, target, config, stop, stats))?
+        };
+        Ok(FaultProxy {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            stats,
+        })
+    }
+
+    /// The proxy's own bound address — point clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The injection counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Stops accepting and joins the proxy threads. In-flight
+    /// connections are cut.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    target: SocketAddr,
+    config: FaultConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<FaultStats>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut conn_index = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                // Decorrelated per-connection stream: deterministic for a
+                // given (seed, accept index).
+                let rng = (config.seed ^ (conn_index + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+                conn_index += 1;
+                let config = config.clone();
+                let stats = stats.clone();
+                let h = std::thread::Builder::new()
+                    .name("latlab-netfault-conn".to_owned())
+                    .spawn(move || {
+                        let _ = proxy_connection(client, target, &config, rng, &stats);
+                    });
+                if let Ok(h) = h {
+                    handlers.push(h);
+                }
+                if handlers.len() >= 256 {
+                    handlers.retain(|h| !h.is_finished());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Advances an xorshift64 stream and reports a one-in-`n` hit.
+fn roll(rng: &mut u64, n: u64) -> bool {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    n > 0 && (*rng).is_multiple_of(n)
+}
+
+fn proxy_connection(
+    client: TcpStream,
+    target: SocketAddr,
+    config: &FaultConfig,
+    mut rng: u64,
+    stats: &FaultStats,
+) -> io::Result<()> {
+    client.set_nodelay(true)?;
+    client.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let server = TcpStream::connect(target)?;
+    server.set_nodelay(true)?;
+    server.set_read_timeout(Some(Duration::from_secs(60)))?;
+
+    let mut from_client = BufReader::new(client.try_clone()?);
+    let mut to_server = server.try_clone()?;
+
+    // Server → client replies flow untouched on their own thread.
+    let downstream = {
+        let mut from_server = server.try_clone()?;
+        let mut to_client = client.try_clone()?;
+        std::thread::Builder::new()
+            .name("latlab-netfault-down".to_owned())
+            .spawn(move || {
+                let mut buf = [0u8; 16 * 1024];
+                loop {
+                    match from_server.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if to_client.write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let _ = to_client.shutdown(Shutdown::Write);
+            })?
+    };
+
+    let result = proxy_upstream(&mut from_client, &mut to_server, config, &mut rng, stats);
+    // Cut both sockets so the downstream pump unblocks whatever happened.
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+    let _ = downstream.join();
+    result
+}
+
+/// Pumps the client → server direction with fault injection.
+fn proxy_upstream(
+    from_client: &mut impl BufRead,
+    to_server: &mut TcpStream,
+    config: &FaultConfig,
+    rng: &mut u64,
+    stats: &FaultStats,
+) -> io::Result<()> {
+    // First line decides the mode.
+    let mut first = Vec::new();
+    {
+        let mut limited = from_client.take(MAX_LINE as u64 + 1);
+        if limited.read_until(b'\n', &mut first)? == 0 {
+            return Ok(());
+        }
+    }
+    to_server.write_all(&first)?;
+    let line = String::from_utf8_lossy(&first);
+    if !line.starts_with("PUT ") {
+        // Query connection: raw passthrough.
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match from_client.read(&mut buf) {
+                Ok(0) | Err(_) => return Ok(()),
+                Ok(n) => to_server.write_all(&buf[..n])?,
+            }
+        }
+    }
+    let resume = line.split_ascii_whitespace().any(|tok| tok == "RESUME");
+
+    let mut frame: Vec<u8> = Vec::new();
+    loop {
+        // Reassemble one wire frame: [seq u64?][len u32][crc u32][payload].
+        frame.clear();
+        let header_len = if resume { 16 } else { 8 };
+        frame.resize(header_len, 0);
+        match read_exact_or_eof(from_client, &mut frame[..]) {
+            Ok(false) => return Ok(()), // clean EOF between frames
+            Ok(true) => {}
+            Err(e) => return Err(e),
+        }
+        let len_at = header_len - 8;
+        let len =
+            u32::from_le_bytes(frame[len_at..len_at + 4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            // Malformed by our reckoning: stop parsing, hand the bytes
+            // through and let the server reject it.
+            to_server.write_all(&frame)?;
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match from_client.read(&mut buf) {
+                    Ok(0) | Err(_) => return Ok(()),
+                    Ok(n) => to_server.write_all(&buf[..n])?,
+                }
+            }
+        }
+        let payload_at = frame.len();
+        frame.resize(payload_at + len, 0);
+        if !read_exact_or_eof(from_client, &mut frame[payload_at..])? {
+            return Ok(()); // client died mid-frame; nothing to salvage
+        }
+        stats.frames.fetch_add(1, Ordering::Relaxed);
+
+        if roll(rng, config.delay_one_in) {
+            stats.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(config.delay);
+        }
+        if roll(rng, config.reset_one_in) {
+            stats.resets.fetch_add(1, Ordering::Relaxed);
+            // Half the resets tear the frame first: the server is left
+            // holding a truncated frame, the nastiest cut a real crash
+            // leaves behind.
+            if frame.len() > 1 && roll(rng, 2) {
+                stats.torn_frames.fetch_add(1, Ordering::Relaxed);
+                let cut = 1 + (*rng as usize) % (frame.len() - 1);
+                let _ = to_server.write_all(&frame[..cut]);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected reset",
+            ));
+        }
+        to_server.write_all(&frame)?;
+        if resume && len > 0 && roll(rng, config.duplicate_one_in) {
+            stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            to_server.write_all(&frame)?;
+        }
+    }
+}
+
+/// `read_exact`, except a clean EOF before the first byte returns
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_per_seed() {
+        let mut a = 0x1234u64 | 1;
+        let mut b = 0x1234u64 | 1;
+        let hits_a: Vec<bool> = (0..256).map(|_| roll(&mut a, 8)).collect();
+        let hits_b: Vec<bool> = (0..256).map(|_| roll(&mut b, 8)).collect();
+        assert_eq!(hits_a, hits_b);
+        assert!(hits_a.iter().any(|&h| h), "1-in-8 never hit in 256 draws");
+        assert!(!hits_a.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut rng = 0x5eedu64 | 1;
+        assert!((0..1024).all(|_| !roll(&mut rng, 0)));
+    }
+}

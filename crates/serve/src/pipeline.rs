@@ -46,6 +46,16 @@ impl SampleExtractor {
         SampleExtractor { prev_stamp: None }
     }
 
+    /// Rebuilds an extractor from a checkpointed previous stamp.
+    pub(crate) fn with_prev(prev_stamp: Option<u64>) -> Self {
+        SampleExtractor { prev_stamp }
+    }
+
+    /// The previous stamp, for checkpointing mid-stream state.
+    pub(crate) fn prev(&self) -> Option<u64> {
+        self.prev_stamp
+    }
+
     /// Drains decoded records into `out` as latency samples, one record
     /// at a time (the scalar reference path).
     pub(crate) fn pull(&mut self, decoder: &mut StreamDecoder, out: &mut Vec<f64>) {

@@ -26,6 +26,32 @@
 //! replies `BUSY\n` and closes: explicit rejection, never unbounded
 //! buffering. Malformed trace bytes earn `ERR <reason>\n`.
 //!
+//! # Resumable ingest
+//!
+//! A `PUT` line ending in `RESUME [<base>]` opens a **resumable**
+//! upload. The server keys the stream by `(client, scenario)`, replies
+//! `OK <seq>\n` where `<seq>` is the highest frame sequence number it
+//! has already committed for that key (0 for a fresh stream), and the
+//! client numbers its frames `seq+1, seq+2, …` using the seq-prefixed
+//! frame layout. A bare `RESUME` starts a **new** upload (the server
+//! discards any mid-trace state a previous abandoned upload left
+//! behind); `RESUME <base>` **continues** an upload whose first frame
+//! was numbered `base + 1`, so the server keeps its mid-trace decode
+//! state and the client re-sends only frames past the greeting's
+//! watermark:
+//!
+//! ```text
+//! [seq: u64 LE][payload_len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! The end-of-upload frame keeps its own sequence number with a zero
+//! length. While an upload runs the server sends cumulative `OK <seq>\n`
+//! acknowledgement lines; a client that reconnects after a reset learns
+//! the committed watermark from the greeting and re-sends only the
+//! unacknowledged tail. Frames at or below the watermark are
+//! deduplicated server-side, which is what turns acknowledged-sample
+//! delivery into an exactly-once invariant at the sketch level.
+//!
 //! # Query protocol
 //!
 //! Line-delimited text. Single-line answers except `STATS`, whose block
@@ -123,6 +149,29 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool, FrameErr
     Ok(true)
 }
 
+/// Writes one seq-prefixed framed payload (resumable-upload layout).
+pub fn write_seq_frame(w: &mut impl Write, seq: u64, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&seq.to_le_bytes())?;
+    write_frame(w, payload)
+}
+
+/// Writes the seq-prefixed end-of-upload frame.
+pub fn write_seq_end_frame(w: &mut impl Write, seq: u64) -> io::Result<()> {
+    w.write_all(&seq.to_le_bytes())?;
+    write_end_frame(w)
+}
+
+/// Reads one seq-prefixed frame into `buf` (cleared first). Returns the
+/// frame's sequence number and whether a payload was read (`false` =
+/// end-of-upload frame).
+pub fn read_seq_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<(u64, bool), FrameError> {
+    let mut seq = [0u8; 8];
+    r.read_exact(&mut seq)?;
+    let seq = u64::from_le_bytes(seq);
+    let more = read_frame(r, buf)?;
+    Ok((seq, more))
+}
+
 /// A parsed `PUT` ingest header.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PutHeader {
@@ -133,10 +182,17 @@ pub struct PutHeader {
     /// Event class the samples are accounted under, if the uploader
     /// declared one (defaults by stream kind otherwise).
     pub class: Option<latlab_analysis::EventClass>,
+    /// Whether the upload is resumable: seq-prefixed frames, committed
+    /// sequence numbers acknowledged, dedupe by `(client, scenario)`.
+    pub resume: bool,
+    /// For a resumable upload, the base the upload being *continued*
+    /// started from (its first frame was `base + 1`). `None` starts a
+    /// new upload. Meaningless unless [`resume`](Self::resume) is set.
+    pub resume_base: Option<u64>,
 }
 
 impl PutHeader {
-    /// Parses `PUT <client> <scenario> [class]`.
+    /// Parses `PUT <client> <scenario> [class] [RESUME [<base>]]`.
     pub fn parse(line: &str) -> Result<PutHeader, String> {
         let mut parts = line.split_ascii_whitespace();
         if parts.next() != Some("PUT") {
@@ -148,13 +204,31 @@ impl PutHeader {
         let scenario = parts
             .next()
             .ok_or_else(|| "PUT requires <client> <scenario>".to_owned())?;
-        let class = match parts.next() {
-            None => None,
-            Some(name) => Some(
-                latlab_analysis::EventClass::parse(name)
-                    .ok_or_else(|| format!("unknown event class {name:?}"))?,
-            ),
-        };
+        let mut class = None;
+        let mut resume = false;
+        let mut resume_base = None;
+        let mut next = parts.next();
+        if let Some(name) = next {
+            if name != "RESUME" {
+                class = Some(
+                    latlab_analysis::EventClass::parse(name)
+                        .ok_or_else(|| format!("unknown event class {name:?}"))?,
+                );
+                next = parts.next();
+            }
+        }
+        if let Some(tok) = next {
+            if tok != "RESUME" {
+                return Err(format!("unexpected token {tok:?} after PUT header"));
+            }
+            resume = true;
+            if let Some(base) = parts.next() {
+                resume_base = Some(
+                    base.parse::<u64>()
+                        .map_err(|_| format!("bad RESUME base {base:?}"))?,
+                );
+            }
+        }
         if parts.next().is_some() {
             return Err("trailing tokens after PUT header".to_owned());
         }
@@ -162,15 +236,24 @@ impl PutHeader {
             client: client.to_owned(),
             scenario: scenario.to_owned(),
             class,
+            resume,
+            resume_base,
         })
     }
 
     /// Renders the header line (without the newline).
     pub fn render(&self) -> String {
-        match self.class {
+        let mut line = match self.class {
             Some(c) => format!("PUT {} {} {}", self.client, self.scenario, c.name()),
             None => format!("PUT {} {}", self.client, self.scenario),
+        };
+        if self.resume {
+            line.push_str(" RESUME");
+            if let Some(base) = self.resume_base {
+                line.push_str(&format!(" {base}"));
+            }
         }
+        line
     }
 }
 
@@ -283,11 +366,53 @@ mod tests {
         assert_eq!(h.client, "host-1");
         assert_eq!(h.scenario, "fig5");
         assert_eq!(h.class, Some(EventClass::Keystroke));
+        assert!(!h.resume);
         let h2 = PutHeader::parse(&h.render()).unwrap();
         assert_eq!(h, h2);
         assert!(PutHeader::parse("PUT host-1").is_err());
         assert!(PutHeader::parse("PUT h s nosuchclass").is_err());
         assert!(PutHeader::parse("GET h s").is_err());
+    }
+
+    #[test]
+    fn resume_token_parses_in_both_positions() {
+        let h = PutHeader::parse("PUT h s RESUME").unwrap();
+        assert!(h.resume);
+        assert_eq!(h.class, None);
+        assert_eq!(h.resume_base, None);
+        let h = PutHeader::parse("PUT h s keystroke RESUME").unwrap();
+        assert!(h.resume);
+        assert_eq!(h.class, Some(EventClass::Keystroke));
+        assert_eq!(PutHeader::parse(&h.render()).unwrap(), h);
+        assert!(PutHeader::parse("PUT h s RESUME keystroke").is_err());
+        assert!(PutHeader::parse("PUT h s keystroke RESUME 5 extra").is_err());
+    }
+
+    #[test]
+    fn resume_base_parses_and_renders() {
+        let h = PutHeader::parse("PUT h s RESUME 42").unwrap();
+        assert!(h.resume);
+        assert_eq!(h.resume_base, Some(42));
+        let h = PutHeader::parse("PUT h s keystroke RESUME 7").unwrap();
+        assert_eq!(h.class, Some(EventClass::Keystroke));
+        assert_eq!(h.resume_base, Some(7));
+        assert_eq!(PutHeader::parse(&h.render()).unwrap(), h);
+        assert!(PutHeader::parse("PUT h s RESUME notanumber").is_err());
+    }
+
+    #[test]
+    fn seq_frames_round_trip() {
+        let mut wire = Vec::new();
+        write_seq_frame(&mut wire, 7, b"hello").unwrap();
+        write_seq_frame(&mut wire, 8, &[3u8; 500]).unwrap();
+        write_seq_end_frame(&mut wire, 9).unwrap();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert_eq!(read_seq_frame(&mut r, &mut buf).unwrap(), (7, true));
+        assert_eq!(buf, b"hello");
+        assert_eq!(read_seq_frame(&mut r, &mut buf).unwrap(), (8, true));
+        assert_eq!(buf.len(), 500);
+        assert_eq!(read_seq_frame(&mut r, &mut buf).unwrap(), (9, false));
     }
 
     #[test]

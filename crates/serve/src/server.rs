@@ -2,34 +2,49 @@
 //! graceful-drain lifecycle.
 //!
 //! One thread accepts; each connection gets a handler thread. An ingest
-//! connection streams framed `.ltrc` bytes through a
-//! [`StreamDecoder`], converts idle-stamp intervals to
-//! excess-over-baseline latency samples, and offers batches to the
-//! [`ShardSet`] without ever blocking indefinitely — a full shard queue
-//! surfaces as a `BUSY` reply, not as hidden buffering. Query
-//! connections read from published snapshots only, so a query can never
-//! stall ingest (and vice versa).
+//! handler is a thin **frame pump**: it reads framed `.ltrc` bytes off
+//! the socket and forwards whole frames to the [`ShardSet`] — the shard
+//! worker owns decoding, sample extraction, folding, and (when enabled)
+//! the write-ahead log, so the log's order *is* the fold order. The
+//! handler never blocks indefinitely on a shard: a full queue surfaces
+//! as a `BUSY` reply, not as hidden buffering. Query connections read
+//! from published snapshots only, so a query can never stall ingest
+//! (and vice versa).
+//!
+//! **Durability:** with a WAL configured, [`Server::start`] runs
+//! recovery (checkpoint load + log replay, inside
+//! [`ShardSet::start`]) *before* binding the listener — a recovering
+//! server is invisible until its pre-crash state is queryable.
+//! Resumable uploads (`PUT … RESUME`) are greeted with `OK <seq>`, the
+//! committed watermark, and receive cumulative `OK <seq>` ack lines as
+//! their frames become durable; an acked frame survives `kill -9`, and
+//! a re-sent frame at or below the watermark is deduplicated, so every
+//! sample lands in the sketch exactly once.
 //!
 //! Shutdown is a drain, not an abort: `SHUTDOWN` (or
 //! [`Server::request_shutdown`]) stops the accept loop, lets in-flight
-//! connections finish (bounded by the read timeout), folds every queued
-//! batch, publishes final snapshots, and only then joins the workers.
+//! connections finish (bounded by the read timeout), commits and
+//! checkpoints every shard's log — truncating it, so a clean restart
+//! replays nothing — publishes final snapshots, and only then joins the
+//! workers.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use latlab_analysis::{EventClass, LatencySketch};
-use latlab_trace::{BufferPool, StreamDecoder};
 use serde::Serialize;
 
-use crate::pipeline::{SampleExtractor, INGEST_BATCH};
-use crate::protocol::{read_frame, FrameError, PutHeader, Query, BUSY_LINE, MAX_LINE, OK_LINE};
-use crate::shard::{Batch, IngestRejection, ShardConfig, ShardSet};
+use crate::protocol::{
+    read_frame, read_seq_frame, FrameError, PutHeader, Query, BUSY_LINE, MAX_LINE, OK_LINE,
+};
+use crate::shard::{BeginMode, IngestRejection, Msg, Reply, ShardConfig, ShardSet};
+use crate::wal::{RecoveryStats, StreamId, WalConfig};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +53,8 @@ pub struct ServeConfig {
     pub bind: String,
     /// Shard pool sizing and publish cadence.
     pub shard: ShardConfig,
+    /// Write-ahead log; `None` runs the service purely in memory.
+    pub wal: Option<WalConfig>,
     /// Per-connection socket read timeout. A connection silent this
     /// long is dropped; during a drain it bounds how long the server
     /// waits for stragglers.
@@ -57,6 +74,7 @@ impl Default for ServeConfig {
         ServeConfig {
             bind: "127.0.0.1:0".to_owned(),
             shard: ShardConfig::default(),
+            wal: None,
             read_timeout: Duration::from_secs(30),
             busy_retry: Duration::from_millis(100),
             scalar_ingest: false,
@@ -69,9 +87,9 @@ impl Default for ServeConfig {
 pub struct ServeStats {
     /// Connections accepted since start.
     pub connections: AtomicU64,
-    /// Trace records decoded off the wire.
+    /// Trace records acknowledged via `DONE` replies.
     pub ingested_records: AtomicU64,
-    /// Payload bytes accepted on ingest connections.
+    /// Frame payload bytes read off ingest connections.
     pub ingested_bytes: AtomicU64,
     /// Uploads rejected with `BUSY` (shard queue full).
     pub busy_rejections: AtomicU64,
@@ -89,11 +107,6 @@ struct Inner {
     started: Instant,
     read_timeout: Duration,
     busy_retry: Duration,
-    scalar_ingest: bool,
-    /// Recycled frame-payload buffers (one held per ingest connection).
-    frame_pool: BufferPool<u8>,
-    /// Recycled decoded-stamp columns for the batch path.
-    stamp_pool: BufferPool<u64>,
 }
 
 /// A running service instance.
@@ -104,25 +117,27 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds and starts the accept loop plus the shard workers.
+    /// Recovers durable state (when a WAL is configured), then binds
+    /// and starts the accept loop plus the shard workers. No connection
+    /// is accepted before recovery has fully replayed the log.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates WAL-directory and bind failures.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
+        // Recover before bind: nothing can observe a half-recovered
+        // service through the socket.
+        let shards = ShardSet::start(&config.shard, config.wal.as_ref(), config.scalar_ingest)?;
         let listener = TcpListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
-            shards: ShardSet::start(&config.shard),
+            shards,
             stats: ServeStats::default(),
             draining: AtomicBool::new(false),
             started: Instant::now(),
             read_timeout: config.read_timeout,
             busy_retry: config.busy_retry,
-            scalar_ingest: config.scalar_ingest,
-            frame_pool: BufferPool::new(),
-            stamp_pool: BufferPool::new(),
         });
         let accept_inner = inner.clone();
         let accept = std::thread::Builder::new()
@@ -145,6 +160,11 @@ impl Server {
         &self.inner.stats
     }
 
+    /// What recovery replayed at startup (all zeros without a WAL).
+    pub fn recovery(&self) -> &RecoveryStats {
+        self.inner.shards.recovery()
+    }
+
     /// True once a drain has been requested (via this method, the
     /// `SHUTDOWN` command, or a signal handler calling it).
     pub fn shutdown_requested(&self) -> bool {
@@ -152,15 +172,16 @@ impl Server {
     }
 
     /// Requests a graceful drain: stop accepting, finish in-flight
-    /// connections, fold all queued batches. Returns immediately; use
-    /// [`join`](Self::join) to wait.
+    /// connections, commit and checkpoint every shard. Returns
+    /// immediately; use [`join`](Self::join) to wait.
     pub fn request_shutdown(&self) {
         self.inner.draining.store(true, Ordering::SeqCst);
     }
 
     /// Waits for the drain to complete and returns the final merged
     /// state: `(epoch_sum, per-scenario sketches)`. Every sample that
-    /// was acknowledged with `DONE` is in the result.
+    /// was acknowledged is in the result, and (with a WAL) the final
+    /// checkpoint covers the whole log.
     pub fn join(mut self) -> (u64, HashMap<String, LatencySketch>) {
         self.request_shutdown();
         if let Some(accept) = self.accept.take() {
@@ -168,6 +189,19 @@ impl Server {
         }
         self.inner.shards.drain_and_join();
         self.inner.shards.merged()
+    }
+
+    /// Fault-injection hook: dies as `kill -9` would — no drain, no
+    /// final flush or checkpoint. In-flight connections fail; WAL bytes
+    /// not yet flushed are lost. The chaos tests restart from the same
+    /// WAL directory and assert recovery rebuilds exactly the
+    /// acknowledged state.
+    pub fn crash(mut self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.inner.shards.crash_and_join();
     }
 }
 
@@ -249,15 +283,12 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> io::Result<()> {
     }
 }
 
-/// One `PUT` upload: frames → stream decoder → latency samples → shards.
+/// One `PUT` upload: attach the connection to its stream on the owning
+/// shard, pump frames, relay acks and the verdict.
 ///
-/// The working buffers — frame payload, decoded-stamp column, and the
-/// pending sample batch — come from the shared pools and go back when
-/// the upload ends (cleanly or not), so a warmed-up service allocates
-/// nothing per frame. Buffers inside a batch already offered to a shard
-/// are returned by the folding worker instead; a batch the shard
-/// rejected with `BUSY` is dropped with the connection (the pool refills
-/// from the next upload).
+/// Resumable uploads (`RESUME`) address a durable [`StreamId::Keyed`]
+/// stream; plain uploads get a one-shot [`StreamId::Conn`] stream that
+/// dies with the connection (a handler exiting abnormally cancels it).
 fn handle_ingest(
     first: &str,
     reader: &mut impl BufRead,
@@ -275,119 +306,220 @@ fn handle_ingest(
         writeln!(writer, "ERR draining")?;
         return writer.flush();
     }
-    writeln!(writer, "{OK_LINE}")?;
+    let stream = if header.resume {
+        StreamId::Keyed {
+            client: header.client.clone(),
+            scenario: header.scenario.clone(),
+        }
+    } else {
+        StreamId::Conn {
+            conn: inner.shards.alloc_conn(),
+            scenario: header.scenario.clone(),
+        }
+    };
+    let mode = match (header.resume, header.resume_base) {
+        (true, Some(base)) => BeginMode::Continue(base),
+        _ => BeginMode::Fresh,
+    };
+    let shard = inner.shards.route(&header.client, &header.scenario);
+    let (reply_tx, reply_rx) = channel();
+    if !offer(
+        inner,
+        shard,
+        Msg::Begin {
+            stream: stream.clone(),
+            class: header.class,
+            mode,
+            reply: reply_tx,
+        },
+        writer,
+    )? {
+        return Ok(());
+    }
+    let watermark = match recv_reply(&reply_rx, inner.read_timeout) {
+        Some(Reply::Started { last_seq }) => last_seq,
+        Some(Reply::Err(msg)) => {
+            writeln!(writer, "ERR {msg}")?;
+            return writer.flush();
+        }
+        _ => {
+            writeln!(writer, "ERR shard unavailable")?;
+            writer.flush()?;
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"));
+        }
+    };
+    // The greeting: resumable clients learn the committed watermark and
+    // skip what the server already holds; legacy clients get plain OK.
+    if header.resume {
+        writeln!(writer, "OK {watermark}")?;
+    } else {
+        writeln!(writer, "{OK_LINE}")?;
+    }
     writer.flush()?;
-
-    let mut frame = inner.frame_pool.get();
-    let mut stamps = inner.stamp_pool.get();
-    let mut pending = inner.shards.sample_pool().get();
-    pending.reserve(INGEST_BATCH);
-    let result = ingest_stream(
-        &header,
+    let result = pump_frames(
+        &stream,
+        header.resume,
+        shard,
         reader,
         writer,
         inner,
-        &mut frame,
-        &mut stamps,
-        &mut pending,
+        &reply_rx,
     );
-    inner.frame_pool.put(frame);
-    inner.stamp_pool.put(stamps);
-    inner.shards.sample_pool().put(pending);
-    result
+    if !matches!(result, Ok(true)) {
+        // The upload did not complete: free the one-shot stream's state.
+        // Keyed streams stay — their watermark is what resume is for.
+        if matches!(stream, StreamId::Conn { .. }) {
+            let _ = inner.shards.send(shard, Msg::Cancel { stream });
+        }
+    }
+    result.map(|_| ())
 }
 
-/// The ingest frame loop, factored out so [`handle_ingest`] can recycle
-/// the working buffers on every exit path.
-fn ingest_stream(
-    header: &PutHeader,
+/// The frame loop: socket → shard queue, with ack relay in between.
+/// `Ok(true)` means the upload completed (`DONE` or duplicate-`DONE`).
+fn pump_frames(
+    stream: &StreamId,
+    resume: bool,
+    shard: usize,
     reader: &mut impl BufRead,
     writer: &mut impl Write,
     inner: &Arc<Inner>,
-    frame: &mut Vec<u8>,
-    stamps: &mut Vec<u64>,
-    pending: &mut Vec<f64>,
-) -> io::Result<()> {
-    let shard = inner.shards.route(&header.client, &header.scenario);
-    let mut decoder = if inner.scalar_ingest {
-        StreamDecoder::new_scalar()
-    } else {
-        StreamDecoder::new()
-    };
-    let mut extractor = SampleExtractor::new();
+    reply_rx: &Receiver<Reply>,
+) -> io::Result<bool> {
+    let mut auto_seq = 0u64; // numbers legacy frames server-side
+    let end_seq;
     loop {
-        match read_frame(reader, frame) {
-            Ok(true) => {
-                if let Err(e) = decoder.feed(frame) {
-                    writeln!(writer, "ERR trace: {e}")?;
-                    writer.flush()?;
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
-                }
+        let mut frame = inner.shards.frame_pool().get();
+        let read = if resume {
+            read_seq_frame(reader, &mut frame)
+        } else {
+            read_frame(reader, &mut frame).map(|more| (auto_seq + 1, more))
+        };
+        match read {
+            Ok((seq, true)) => {
+                auto_seq = seq;
                 inner
                     .stats
                     .ingested_bytes
                     .fetch_add(frame.len() as u64, Ordering::Relaxed);
-                if inner.scalar_ingest {
-                    extractor.pull(&mut decoder, pending);
-                } else {
-                    extractor.pull_batch(&mut decoder, stamps, pending);
+                let msg = Msg::Frame {
+                    stream: stream.clone(),
+                    seq,
+                    bytes: frame,
+                };
+                if !offer(inner, shard, msg, writer)? {
+                    return Ok(false);
                 }
-                if pending.len() >= INGEST_BATCH && !offer(inner, shard, header, pending, writer)? {
-                    return Ok(());
+                if !relay_pending(reply_rx, resume, writer)? {
+                    return Ok(false);
                 }
             }
-            Ok(false) => break,
-            Err(FrameError::Io(e)) => return Err(e),
+            Ok((seq, false)) => {
+                inner.shards.frame_pool().put(frame);
+                end_seq = if resume { seq } else { auto_seq + 1 };
+                break;
+            }
+            Err(FrameError::Io(e)) => {
+                inner.shards.frame_pool().put(frame);
+                return Err(e);
+            }
             Err(e) => {
+                inner.shards.frame_pool().put(frame);
                 writeln!(writer, "ERR {e}")?;
                 writer.flush()?;
                 return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
             }
         }
     }
-    if !decoder.is_clean_boundary() {
-        writeln!(writer, "ERR upload ended mid-chunk")?;
-        writer.flush()?;
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "upload ended mid-chunk",
-        ));
-    }
-    if !pending.is_empty() && !offer(inner, shard, header, pending, writer)? {
-        return Ok(());
-    }
-    inner
-        .stats
-        .ingested_records
-        .fetch_add(decoder.records_decoded(), Ordering::Relaxed);
-    writeln!(
+    if !offer(
+        inner,
+        shard,
+        Msg::End {
+            stream: stream.clone(),
+            seq: end_seq,
+        },
         writer,
-        "DONE {} {}",
-        decoder.records_decoded(),
-        decoder.bytes_fed()
-    )?;
-    writer.flush()
+    )? {
+        return Ok(false);
+    }
+    // Await the verdict, relaying acks that commit ahead of it.
+    loop {
+        match recv_reply(reply_rx, inner.read_timeout) {
+            Some(Reply::Ack { seq }) => {
+                if resume {
+                    writeln!(writer, "OK {seq}")?;
+                    writer.flush()?;
+                }
+            }
+            Some(Reply::Done { records, bytes }) => {
+                inner
+                    .stats
+                    .ingested_records
+                    .fetch_add(records, Ordering::Relaxed);
+                writeln!(writer, "DONE {records} {bytes}")?;
+                writer.flush()?;
+                return Ok(true);
+            }
+            Some(Reply::Err(msg)) => {
+                writeln!(writer, "ERR {msg}")?;
+                writer.flush()?;
+                return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+            }
+            Some(Reply::Started { .. }) | None => {
+                writeln!(writer, "ERR shard unavailable")?;
+                writer.flush()?;
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"));
+            }
+        }
+    }
 }
 
-/// Offers the pending samples to a shard, retrying a full queue within
-/// the configured window. Returns `Ok(false)` after answering `BUSY`.
-fn offer(
-    inner: &Arc<Inner>,
-    shard: usize,
-    header: &PutHeader,
-    pending: &mut Vec<f64>,
+/// Forwards already-arrived replies without blocking. `Ok(false)` ends
+/// the upload (the worker reported an error).
+fn relay_pending(
+    reply_rx: &Receiver<Reply>,
+    resume: bool,
     writer: &mut impl Write,
 ) -> io::Result<bool> {
-    // Swap the filled batch out for a recycled buffer; the folding
-    // worker returns the filled one to the pool when it's done.
-    let mut batch = Batch {
-        scenario: header.scenario.clone(),
-        class: header.class.unwrap_or(EventClass::Background),
-        samples: std::mem::replace(pending, inner.shards.sample_pool().get()),
-    };
-    let deadline = Instant::now() + inner.busy_retry;
     loop {
-        match inner.shards.try_ingest(shard, batch) {
+        match reply_rx.try_recv() {
+            Ok(Reply::Ack { seq }) => {
+                if resume {
+                    writeln!(writer, "OK {seq}")?;
+                    writer.flush()?;
+                }
+            }
+            Ok(Reply::Err(msg)) => {
+                writeln!(writer, "ERR {msg}")?;
+                writer.flush()?;
+                return Ok(false);
+            }
+            // A stale Done can only be a duplicate-end replay racing the
+            // socket; the verdict loop is where it matters.
+            Ok(Reply::Done { .. } | Reply::Started { .. }) => {}
+            Err(TryRecvError::Empty) => return Ok(true),
+            Err(TryRecvError::Disconnected) => {
+                writeln!(writer, "ERR shard unavailable")?;
+                writer.flush()?;
+                return Ok(false);
+            }
+        }
+    }
+}
+
+/// Receives one reply, tolerating spurious wakeups up to the timeout.
+fn recv_reply(rx: &Receiver<Reply>, timeout: Duration) -> Option<Reply> {
+    rx.recv_timeout(timeout).ok()
+}
+
+/// Offers a message to a shard, retrying a full queue within the
+/// configured window. Returns `Ok(false)` after answering `BUSY` (or
+/// `ERR draining` when the shard has shut down).
+fn offer(inner: &Arc<Inner>, shard: usize, msg: Msg, writer: &mut impl Write) -> io::Result<bool> {
+    let deadline = Instant::now() + inner.busy_retry;
+    let mut msg = msg;
+    loop {
+        match inner.shards.try_send(shard, msg) {
             Ok(()) => return Ok(true),
             Err((returned, IngestRejection::QueueFull)) => {
                 if Instant::now() >= deadline {
@@ -396,7 +528,7 @@ fn offer(
                     writer.flush()?;
                     return Ok(false);
                 }
-                batch = returned;
+                msg = returned;
                 std::thread::sleep(Duration::from_millis(1));
             }
             Err((_, IngestRejection::Closed)) => {
@@ -486,11 +618,15 @@ fn handle_queries(
             Ok(Query::Health) => {
                 let (epoch, merged) = inner.shards.merged();
                 let s = &inner.stats;
+                let totals = inner.shards.totals();
+                let rec = inner.shards.recovery();
                 writeln!(
                     writer,
                     "ok uptime_s={} shards={} connections={} ingested_records={} \
                      ingested_bytes={} busy_rejections={} queries={} failed={} \
-                     scenarios={} epoch={}",
+                     scenarios={} epoch={} wal={} wal_records={} wal_bytes={} \
+                     dedup_dropped={} recovered_frames={} recovered_records={} \
+                     recovered_samples={} recovered_torn={} recovery_ms={}",
                     inner.started.elapsed().as_secs(),
                     inner.shards.len(),
                     s.connections.load(Ordering::Relaxed),
@@ -501,6 +637,15 @@ fn handle_queries(
                     s.failed_connections.load(Ordering::Relaxed),
                     merged.len(),
                     epoch,
+                    u8::from(inner.shards.wal_enabled()),
+                    totals.wal_records.load(Ordering::Relaxed),
+                    totals.wal_bytes.load(Ordering::Relaxed),
+                    totals.dedup_dropped.load(Ordering::Relaxed),
+                    rec.frames,
+                    rec.records,
+                    rec.samples,
+                    rec.torn_tails,
+                    rec.millis,
                 )?;
             }
             Ok(Query::Pctl(scenario, p)) => {

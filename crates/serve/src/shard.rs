@@ -2,9 +2,27 @@
 //!
 //! Ingestion is partitioned across N worker threads by a stable hash of
 //! the `(client, scenario)` key, so one chatty client cannot serialize
-//! the whole service and all samples of one stream land on one shard
-//! (keeping per-stream fold order deterministic). Each shard owns its
-//! sketches exclusively — no locks on the fold path.
+//! the whole service and all frames of one stream land on one shard
+//! (keeping per-stream decode and fold order deterministic). Each shard
+//! owns its streams and sketches exclusively — no locks on the fold
+//! path.
+//!
+//! **Frame-level sharding:** connection handlers are thin pumps — they
+//! read wire frames and forward them raw ([`Msg::Frame`]); the shard
+//! worker owns the whole decode → extract → fold pipeline per stream.
+//! That single-writer shape is what makes durability tractable: the
+//! worker appends each accepted frame to its [`ShardWal`] *before*
+//! acknowledging it, so the log's LSN order *is* the fold order, and
+//! recovery (checkpoint + [`replay`]) reproduces the sketch exactly.
+//!
+//! **Resume & dedupe:** resumable streams ([`StreamId::Keyed`]) carry
+//! client-assigned frame sequence numbers. The worker tracks the highest
+//! committed seq per key; frames at or below it are dropped (counted in
+//! [`IngestTotals::dedup_dropped`]) and re-acked, frames beyond
+//! `last + 1` are a protocol error. Acknowledgements are sent only
+//! after the WAL flush that makes the frame durable — an acked sample
+//! is a recoverable sample, and a re-sent one is deduped, which together
+//! give exactly-once delivery at the sketch level.
 //!
 //! **Backpressure:** each shard is fed through a bounded
 //! [`sync_channel`]; producers use `try_send` and surface `BUSY` to the
@@ -26,39 +44,106 @@
 //! sketch bodies are shared with the outgoing snapshot. The first fold
 //! into a scenario *after* a publish pays one sketch clone
 //! (`Arc::make_mut` detaches from the snapshot's copy); every fold until
-//! the next publish then mutates in place. So a publish costs O(dirty
-//! scenarios) sketch clones amortized across the epoch — not O(all
-//! scenarios) eager clones as a whole-map deep copy would — and a reader
-//! holding a snapshot `Arc` can never observe a partially-merged epoch:
-//! the sketches it references are immutable from the moment the slot
-//! pointer is swapped.
+//! the next publish then mutates in place.
 
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{
+    sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError, TrySendError,
+};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use latlab_analysis::{EventClass, LatencySketch};
-use latlab_trace::BufferPool;
+use latlab_trace::{BufferPool, StreamDecoder};
 
-/// A batch of classified latency samples bound for one shard.
-#[derive(Debug)]
-pub struct Batch {
-    /// Aggregation key (scenario / experiment id).
-    pub scenario: String,
-    /// Event class the samples are accounted under.
-    pub class: EventClass,
-    /// Latency samples, ms.
-    pub samples: Vec<f64>,
+use crate::pipeline::SampleExtractor;
+use crate::wal::{
+    load_checkpoint, replay, write_checkpoint, Checkpoint, RecoveryStats, ShardWal, StreamCkpt,
+    StreamId, WalConfig, WalRecord,
+};
+
+/// How a [`Msg::Begin`] opens its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BeginMode {
+    /// Start a new upload: any mid-trace decode state a previously
+    /// abandoned upload left under this key is discarded.
+    Fresh,
+    /// Continue an upload whose first frame was numbered `base + 1`:
+    /// mid-trace decode state is kept, frames up to the committed
+    /// watermark dedupe.
+    Continue(u64),
 }
 
 /// Messages a shard worker consumes.
-enum Msg {
-    /// Fold a batch of samples.
-    Ingest(Batch),
-    /// Publish now and stop once the queue is empty.
+pub(crate) enum Msg {
+    /// Attach a connection to a stream (creating it if new). The worker
+    /// answers [`Reply::Started`] with the committed watermark.
+    Begin {
+        /// Stream identity (also decides resumability).
+        stream: StreamId,
+        /// Event class samples are accounted under.
+        class: Option<EventClass>,
+        /// Fresh upload vs continuation.
+        mode: BeginMode,
+        /// Where replies for this connection go.
+        reply: Sender<Reply>,
+    },
+    /// One wire frame of trace bytes (buffer from the frame pool; the
+    /// worker recycles it).
+    Frame {
+        /// Owning stream.
+        stream: StreamId,
+        /// Upload sequence number.
+        seq: u64,
+        /// Raw frame payload.
+        bytes: Vec<u8>,
+    },
+    /// End-of-upload marker.
+    End {
+        /// Owning stream.
+        stream: StreamId,
+        /// Sequence number of the end frame.
+        seq: u64,
+    },
+    /// The connection died mid-upload; one-shot streams are discarded.
+    Cancel {
+        /// Owning stream.
+        stream: StreamId,
+    },
+    /// Commit everything queued, write a covering checkpoint, publish,
+    /// and stop.
     Drain,
+    /// Fault-injection hook: die *now*, as `kill -9` would — no flush,
+    /// no checkpoint; unflushed WAL bytes are deliberately lost.
+    Crash,
+}
+
+/// Replies a shard worker sends back to a connection handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Reply {
+    /// Begin accepted; `last_seq` is the committed watermark (0 fresh).
+    Started {
+        /// Highest committed frame seq for the stream.
+        last_seq: u64,
+    },
+    /// Cumulative acknowledgement: every frame up to `seq` is durable.
+    Ack {
+        /// Committed watermark.
+        seq: u64,
+    },
+    /// The upload completed.
+    Done {
+        /// Trace records decoded over the whole upload.
+        records: u64,
+        /// Trace bytes accepted over the whole upload.
+        bytes: u64,
+    },
+    /// The upload failed.
+    Err(String),
 }
 
 /// The immutable state one shard publishes for readers.
@@ -108,7 +193,7 @@ impl SnapshotSlot {
 pub struct ShardConfig {
     /// Worker thread count (≥ 1).
     pub shards: usize,
-    /// Bounded queue depth per shard, in batches.
+    /// Bounded queue depth per shard, in messages (≈ frames).
     pub queue_depth: usize,
     /// Publish a fresh snapshot after this many samples folded.
     pub publish_every: u64,
@@ -126,6 +211,18 @@ impl Default for ShardConfig {
     }
 }
 
+/// Ingest-wide counters the shard workers maintain (surfaced by
+/// `HEALTH`).
+#[derive(Debug, Default)]
+pub struct IngestTotals {
+    /// Duplicate frames dropped by the per-stream seq watermark.
+    pub dedup_dropped: AtomicU64,
+    /// WAL records appended.
+    pub wal_records: AtomicU64,
+    /// WAL bytes appended (framed, buffered or flushed).
+    pub wal_bytes: AtomicU64,
+}
+
 /// One shard as seen by producers: its queue and its snapshot slot.
 struct ShardHandle {
     tx: SyncSender<Msg>,
@@ -136,13 +233,16 @@ struct ShardHandle {
 pub struct ShardSet {
     shards: Vec<ShardHandle>,
     joins: Mutex<Vec<JoinHandle<()>>>,
-    /// Recycles `Batch::samples` vectors: producers `get` one to fill,
-    /// workers `put` it back after folding. Rejected batches return their
-    /// buffer to the caller, who decides.
-    sample_pool: BufferPool<f64>,
+    /// Recycles frame buffers: producers `get` one to fill from the
+    /// socket, workers `put` it back once folded (and logged).
+    frame_pool: BufferPool<u8>,
+    totals: Arc<IngestTotals>,
+    recovery: RecoveryStats,
+    next_conn: AtomicU64,
+    wal_enabled: bool,
 }
 
-/// Why a batch was not accepted.
+/// Why a message was not accepted.
 #[derive(Debug, PartialEq, Eq)]
 pub enum IngestRejection {
     /// The shard's bounded queue is full — surface `BUSY` upstream.
@@ -152,37 +252,113 @@ pub enum IngestRejection {
 }
 
 impl ShardSet {
-    /// Spawns the worker threads.
-    pub fn start(config: &ShardConfig) -> ShardSet {
+    /// Spawns the worker threads. With a [`WalConfig`], each shard first
+    /// **recovers** — loads its newest valid checkpoint and replays the
+    /// log tail through the ingest fold — before any worker accepts
+    /// traffic; recovered snapshots are published immediately, so this
+    /// returns with the pre-crash state fully visible.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures opening the WAL (recovery of torn/corrupt
+    /// *content* is tolerant and not an error).
+    pub fn start(
+        config: &ShardConfig,
+        wal: Option<&WalConfig>,
+        scalar: bool,
+    ) -> io::Result<ShardSet> {
         let n = config.shards.max(1);
-        let sample_pool: BufferPool<f64> = BufferPool::new();
+        let frame_pool: BufferPool<u8> = BufferPool::new();
+        let totals = Arc::new(IngestTotals::default());
         let mut shards = Vec::with_capacity(n);
         let mut joins = Vec::with_capacity(n);
+        let mut recovery = RecoveryStats::default();
+        let mut max_conn = 0u64;
         for i in 0..n {
             let (tx, rx) = sync_channel(config.queue_depth.max(1));
             let slot = Arc::new(SnapshotSlot::new());
-            let worker_slot = slot.clone();
-            let worker_pool = sample_pool.clone();
-            let publish_every = config.publish_every.max(1);
+            let (shard_wal, dir, sketches, streams, epoch) = match wal {
+                Some(cfg) => {
+                    let dir = cfg.shard_dir(i);
+                    let rec = recover_shard(&dir, scalar)?;
+                    recovery.merge(&rec.stats);
+                    max_conn = max_conn.max(rec.max_conn);
+                    let shard_wal = ShardWal::open(&dir, cfg.segment_bytes, rec.next_lsn)?;
+                    // Publish what recovery rebuilt before any ingest, so
+                    // queries see the pre-crash state from the first epoch.
+                    let epoch = u64::from(!rec.sketches.is_empty());
+                    if epoch > 0 {
+                        slot.store(Arc::new(ShardSnapshot {
+                            epoch,
+                            sketches: rec.sketches.clone(),
+                        }));
+                    }
+                    (Some(shard_wal), Some(dir), rec.sketches, rec.streams, epoch)
+                }
+                None => (None, None, HashMap::new(), HashMap::new(), 0),
+            };
+            let worker = Worker {
+                slot: slot.clone(),
+                pool: frame_pool.clone(),
+                totals: totals.clone(),
+                scalar,
+                publish_every: config.publish_every.max(1),
+                checkpoint_bytes: wal.map_or(u64::MAX, |c| c.checkpoint_bytes.max(1)),
+                dir,
+                wal: shard_wal,
+                sketches,
+                streams,
+                epoch,
+                since_publish: 0,
+                column: Vec::new(),
+                samples: Vec::new(),
+                replies: Vec::new(),
+            };
             let join = std::thread::Builder::new()
                 .name(format!("latlab-shard-{i}"))
-                .spawn(move || shard_worker(rx, worker_slot, worker_pool, publish_every))
+                .spawn(move || worker.run(rx))
                 .expect("spawn shard worker");
             shards.push(ShardHandle { tx, slot });
             joins.push(join);
         }
-        ShardSet {
+        Ok(ShardSet {
             shards,
             joins: Mutex::new(joins),
-            sample_pool,
-        }
+            frame_pool,
+            totals,
+            recovery,
+            next_conn: AtomicU64::new(max_conn + 1),
+            wal_enabled: wal.is_some(),
+        })
     }
 
-    /// The shared sample-buffer pool. Producers take a buffer here to
-    /// build a [`Batch`]; after a successful
-    /// [`try_ingest`](Self::try_ingest) the folding worker returns it.
-    pub fn sample_pool(&self) -> &BufferPool<f64> {
-        &self.sample_pool
+    /// The shared frame-buffer pool. Producers take a buffer here to
+    /// read a wire frame into; the folding worker returns it.
+    pub fn frame_pool(&self) -> &BufferPool<u8> {
+        &self.frame_pool
+    }
+
+    /// Ingest-wide counters (dedupe drops, WAL volume).
+    pub fn totals(&self) -> &IngestTotals {
+        &self.totals
+    }
+
+    /// What recovery did at startup (zeros when the WAL is off or the
+    /// directory was empty).
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Whether a write-ahead log backs this set.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_enabled
+    }
+
+    /// Allocates a one-shot stream id, unique across this run *and* —
+    /// because recovery seeds the counter past every id in the log —
+    /// across restarts sharing a WAL directory.
+    pub(crate) fn alloc_conn(&self) -> u64 {
+        self.next_conn.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Number of shards.
@@ -196,7 +372,7 @@ impl ShardSet {
     }
 
     /// The shard index a `(client, scenario)` stream routes to. Stable
-    /// across the process lifetime — a stream's samples always fold on
+    /// across the process lifetime — a stream's frames always fold on
     /// one shard.
     pub fn route(&self, client: &str, scenario: &str) -> usize {
         // FNV-1a over the joint key. The separator byte keeps
@@ -209,16 +385,26 @@ impl ShardSet {
         (h % self.shards.len() as u64) as usize
     }
 
-    /// Offers a batch to a shard without blocking. On rejection the
-    /// batch comes back with the reason, so the caller can retry or
-    /// surface `BUSY` without cloning samples up front.
-    pub fn try_ingest(&self, shard: usize, batch: Batch) -> Result<(), (Batch, IngestRejection)> {
-        match self.shards[shard].tx.try_send(Msg::Ingest(batch)) {
+    /// Offers a message to a shard without blocking. On rejection the
+    /// message comes back with the reason, so the caller can retry or
+    /// surface `BUSY` without losing the frame buffer.
+    pub(crate) fn try_send(&self, shard: usize, msg: Msg) -> Result<(), (Msg, IngestRejection)> {
+        match self.shards[shard].tx.try_send(msg) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(Msg::Ingest(b))) => Err((b, IngestRejection::QueueFull)),
-            Err(TrySendError::Disconnected(Msg::Ingest(b))) => Err((b, IngestRejection::Closed)),
-            Err(_) => unreachable!("only Ingest messages are offered"),
+            Err(TrySendError::Full(m)) => Err((m, IngestRejection::QueueFull)),
+            Err(TrySendError::Disconnected(m)) => Err((m, IngestRejection::Closed)),
         }
+    }
+
+    /// Delivers a message even when the queue is full, blocking until a
+    /// slot frees. Used for control messages that must not be dropped
+    /// (e.g. `Cancel` when a connection dies). Errors only when the
+    /// worker has exited.
+    pub(crate) fn send(&self, shard: usize, msg: Msg) -> Result<(), IngestRejection> {
+        self.shards[shard]
+            .tx
+            .send(msg)
+            .map_err(|_| IngestRejection::Closed)
     }
 
     /// Clones every shard's current snapshot (the `SNAPSHOT`/query read
@@ -244,10 +430,11 @@ impl ShardSet {
         (epoch, merged)
     }
 
-    /// Graceful drain: every queued batch is folded and published, then
-    /// the workers exit. Idempotent — later calls are no-ops, and later
-    /// [`try_ingest`](Self::try_ingest) calls report
-    /// [`IngestRejection::Closed`].
+    /// Graceful drain: every queued message is processed and committed,
+    /// each shard writes a checkpoint covering its whole log (truncating
+    /// every segment, so a clean restart replays nothing), publishes,
+    /// and exits. Idempotent — later calls are no-ops, and later sends
+    /// report [`IngestRejection::Closed`].
     pub fn drain_and_join(&self) {
         for shard in &self.shards {
             // Drain must get through even when the queue is full; send
@@ -259,91 +446,772 @@ impl ShardSet {
             let _ = join.join();
         }
     }
+
+    /// Fault-injection hook: kill every worker as `kill -9` would — no
+    /// final flush, no checkpoint; WAL bytes still buffered in user
+    /// space are deliberately lost. The chaos tests use this to prove
+    /// that recovery rebuilds exactly the acknowledged state.
+    pub fn crash_and_join(&self) {
+        for shard in &self.shards {
+            let _ = shard.tx.send(Msg::Crash);
+        }
+        let joins = std::mem::take(&mut *self.joins.lock().expect("join lock poisoned"));
+        for join in joins {
+            let _ = join.join();
+        }
+    }
 }
 
-/// The shard worker loop: fold batches copy-on-write, publish snapshots.
-fn shard_worker(
-    rx: Receiver<Msg>,
+/// Per-stream state a shard worker keeps.
+struct StreamState {
+    class: Option<EventClass>,
+    /// Highest committed frame seq (the dedupe watermark).
+    last_seq: u64,
+    /// `DONE` counters of the last completed upload (replayed verbatim
+    /// for a duplicate end frame).
+    done_records: u64,
+    done_bytes: u64,
+    /// Mid-upload decoder; `None` between uploads.
+    decoder: Option<StreamDecoder>,
+    extractor: SampleExtractor,
+    /// The attached connection, if any (latest `Begin` wins).
+    reply: Option<Sender<Reply>>,
+    /// Frames committed since the last ack was sent.
+    ack_dirty: bool,
+    /// The current upload failed; further frames are ignored until the
+    /// next `Begin`.
+    errored: bool,
+}
+
+impl StreamState {
+    fn fresh(class: Option<EventClass>) -> StreamState {
+        StreamState {
+            class,
+            last_seq: 0,
+            done_records: 0,
+            done_bytes: 0,
+            decoder: None,
+            extractor: SampleExtractor::new(),
+            reply: None,
+            ack_dirty: false,
+            errored: false,
+        }
+    }
+}
+
+/// Decode one frame into samples and fold them — the single pipeline
+/// both live ingest and WAL replay run.
+#[allow(clippy::too_many_arguments)]
+fn fold_frame_into(
+    decoder: &mut StreamDecoder,
+    extractor: &mut SampleExtractor,
+    sketches: &mut HashMap<String, Arc<LatencySketch>>,
+    scenario: &str,
+    class: Option<EventClass>,
+    scalar: bool,
+    column: &mut Vec<u64>,
+    samples: &mut Vec<f64>,
+    bytes: &[u8],
+) -> Result<u64, String> {
+    decoder.feed(bytes).map_err(|e| format!("trace: {e}"))?;
+    samples.clear();
+    if scalar {
+        extractor.pull(decoder, samples);
+    } else {
+        extractor.pull_batch(decoder, column, samples);
+    }
+    if !samples.is_empty() {
+        Arc::make_mut(sketches.entry(scenario.to_owned()).or_default())
+            .update_batch(class.unwrap_or(EventClass::Background), samples);
+    }
+    Ok(samples.len() as u64)
+}
+
+/// One shard worker: owns the streams, the sketches, and the log.
+struct Worker {
     slot: Arc<SnapshotSlot>,
-    pool: BufferPool<f64>,
+    pool: BufferPool<u8>,
+    totals: Arc<IngestTotals>,
+    scalar: bool,
     publish_every: u64,
-) {
-    let mut sketches: HashMap<String, Arc<LatencySketch>> = HashMap::new();
-    let mut epoch = 0u64;
-    let mut since_publish = 0u64;
-    // Fold one batch into the working map and recycle its sample buffer.
-    // `Arc::make_mut` detaches from the published snapshot's copy on the
-    // scenario's first fold after a publish; in-place thereafter.
-    let fold = |sketches: &mut HashMap<String, Arc<LatencySketch>>, batch: Batch| {
-        Arc::make_mut(sketches.entry(batch.scenario).or_default())
-            .update_batch(batch.class, &batch.samples);
-        pool.put(batch.samples);
-    };
-    // A publish clones `Arc` pointers only — O(scenarios) refcount bumps,
-    // no sketch bodies copied here.
-    let publish = |sketches: &HashMap<String, Arc<LatencySketch>>, epoch: &mut u64| {
-        *epoch += 1;
-        slot.store(Arc::new(ShardSnapshot {
-            epoch: *epoch,
-            sketches: sketches.clone(),
-        }));
-    };
-    loop {
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(Msg::Ingest(batch)) => {
-                since_publish += batch.samples.len() as u64;
-                fold(&mut sketches, batch);
-                if since_publish >= publish_every {
-                    publish(&sketches, &mut epoch);
-                    since_publish = 0;
-                }
-            }
-            Ok(Msg::Drain) => {
-                // Fold whatever else is already queued, then stop.
-                while let Ok(msg) = rx.try_recv() {
-                    if let Msg::Ingest(batch) = msg {
-                        fold(&mut sketches, batch);
+    checkpoint_bytes: u64,
+    dir: Option<PathBuf>,
+    wal: Option<ShardWal>,
+    sketches: HashMap<String, Arc<LatencySketch>>,
+    streams: HashMap<StreamId, StreamState>,
+    epoch: u64,
+    since_publish: u64,
+    column: Vec<u64>,
+    samples: Vec<f64>,
+    /// Replies held back until the commit point (WAL flush): `DONE` and
+    /// `ERR` must not outrun durability.
+    replies: Vec<(Sender<Reply>, Reply)>,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<Msg>) {
+        loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(msg) => {
+                    let mut verdict = self.handle(msg);
+                    while verdict == Flow::Continue {
+                        match rx.try_recv() {
+                            Ok(m) => verdict = verdict.max(self.handle(m)),
+                            Err(TryRecvError::Empty) => break,
+                            Err(TryRecvError::Disconnected) => {
+                                verdict = verdict.max(Flow::Crash);
+                                break;
+                            }
+                        }
+                    }
+                    if verdict == Flow::Crash {
+                        // Simulated kill -9: drop the log without its
+                        // BufWriter flush-on-drop, losing buffered bytes
+                        // exactly as a dead process would.
+                        if let Some(wal) = self.wal.take() {
+                            std::mem::forget(wal);
+                        }
+                        return;
+                    }
+                    self.commit();
+                    if verdict == Flow::Drain {
+                        self.write_checkpoint_now();
+                        self.publish();
+                        return;
+                    }
+                    if self
+                        .wal
+                        .as_ref()
+                        .is_some_and(|w| w.checkpoint_due(self.checkpoint_bytes))
+                    {
+                        self.write_checkpoint_now();
+                    }
+                    if self.since_publish >= self.publish_every {
+                        self.publish();
                     }
                 }
-                publish(&sketches, &mut epoch);
-                return;
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                // Idle moment: surface anything folded since the last
-                // publish so queries converge without traffic.
-                if since_publish > 0 {
-                    publish(&sketches, &mut epoch);
-                    since_publish = 0;
+                Err(RecvTimeoutError::Timeout) => {
+                    // Idle moment: surface anything folded since the last
+                    // publish so queries converge without traffic.
+                    if self.since_publish > 0 {
+                        self.publish();
+                    }
                 }
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                if since_publish > 0 {
-                    publish(&sketches, &mut epoch);
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The set was dropped without a drain: crash path —
+                    // no checkpoint; recovery owns whatever was flushed.
+                    return;
                 }
-                return;
             }
         }
     }
+
+    fn handle(&mut self, msg: Msg) -> Flow {
+        match msg {
+            Msg::Begin {
+                stream,
+                class,
+                mode,
+                reply,
+            } => self.on_begin(stream, class, mode, reply),
+            Msg::Frame { stream, seq, bytes } => self.on_frame(stream, seq, bytes),
+            Msg::End { stream, seq } => self.on_end(stream, seq),
+            Msg::Cancel { stream } => {
+                // Only one-shot streams die with their connection;
+                // keyed streams keep their resume state.
+                if matches!(stream, StreamId::Conn { .. }) {
+                    self.streams.remove(&stream);
+                }
+            }
+            Msg::Drain => return Flow::Drain,
+            Msg::Crash => return Flow::Crash,
+        }
+        Flow::Continue
+    }
+
+    fn on_begin(
+        &mut self,
+        stream: StreamId,
+        class: Option<EventClass>,
+        mode: BeginMode,
+        reply: Sender<Reply>,
+    ) {
+        let state = self
+            .streams
+            .entry(stream)
+            .or_insert_with(|| StreamState::fresh(class));
+        state.class = class;
+        state.reply = Some(reply.clone());
+        state.errored = false;
+        match mode {
+            BeginMode::Fresh => {
+                state.decoder = None;
+                state.extractor = SampleExtractor::new();
+            }
+            BeginMode::Continue(base) => {
+                if base > state.last_seq {
+                    state.errored = true;
+                    let _ = reply.send(Reply::Err(format!(
+                        "resume base {base} ahead of committed seq {}",
+                        state.last_seq
+                    )));
+                    return;
+                }
+                if base == state.last_seq {
+                    // Nothing of the continued upload was committed; any
+                    // decoder here belongs to an abandoned predecessor.
+                    state.decoder = None;
+                    state.extractor = SampleExtractor::new();
+                }
+                // base < last_seq: keep the mid-trace state and let the
+                // client skip to the watermark.
+            }
+        }
+        // Started carries no durability promise — answer immediately so
+        // the handler can greet without waiting out a commit round.
+        let _ = reply.send(Reply::Started {
+            last_seq: state.last_seq,
+        });
+    }
+
+    fn on_frame(&mut self, stream: StreamId, seq: u64, bytes: Vec<u8>) {
+        let resume = matches!(stream, StreamId::Keyed { .. });
+        let Some(state) = self.streams.get_mut(&stream) else {
+            self.pool.put(bytes);
+            return;
+        };
+        if state.errored {
+            self.pool.put(bytes);
+            return;
+        }
+        if seq <= state.last_seq {
+            // Already committed — a re-send after reconnect. Re-ack so
+            // the client's watermark catches up; never fold twice.
+            if resume {
+                state.ack_dirty = true;
+            }
+            self.totals.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+            self.pool.put(bytes);
+            return;
+        }
+        if seq != state.last_seq + 1 {
+            let expected = state.last_seq + 1;
+            state.errored = true;
+            state.decoder = None;
+            self.reply_to(
+                &stream,
+                Reply::Err(format!("seq gap: expected {expected}, got {seq}")),
+            );
+            self.pool.put(bytes);
+            return;
+        }
+        let scalar = self.scalar;
+        let decoder = state.decoder.get_or_insert_with(|| {
+            if scalar {
+                StreamDecoder::new_scalar()
+            } else {
+                StreamDecoder::new()
+            }
+        });
+        let folded = fold_frame_into(
+            decoder,
+            &mut state.extractor,
+            &mut self.sketches,
+            stream.scenario(),
+            state.class,
+            scalar,
+            &mut self.column,
+            &mut self.samples,
+            &bytes,
+        );
+        match folded {
+            Ok(samples) => {
+                let class = state.class;
+                let mut failed = None;
+                if let Some(wal) = &mut self.wal {
+                    if let Err(e) = wal.append_frame(&stream, class, seq, &bytes) {
+                        failed = Some(format!("wal append: {e}"));
+                    } else {
+                        self.totals.wal_records.fetch_add(1, Ordering::Relaxed);
+                        self.totals
+                            .wal_bytes
+                            .fetch_add(8 + bytes.len() as u64, Ordering::Relaxed);
+                    }
+                }
+                let state = self.streams.get_mut(&stream).expect("stream exists");
+                if let Some(msg) = failed {
+                    // The fold already happened but the frame is not
+                    // durable; fail the upload instead of acking a
+                    // sample recovery could not reproduce.
+                    state.errored = true;
+                    state.decoder = None;
+                    self.reply_to(&stream, Reply::Err(msg));
+                } else {
+                    state.last_seq = seq;
+                    if resume {
+                        state.ack_dirty = true;
+                    }
+                    self.since_publish += samples;
+                }
+            }
+            Err(msg) => {
+                state.errored = true;
+                state.decoder = None;
+                self.reply_to(&stream, Reply::Err(msg));
+            }
+        }
+        self.pool.put(bytes);
+    }
+
+    fn on_end(&mut self, stream: StreamId, seq: u64) {
+        let resume = matches!(stream, StreamId::Keyed { .. });
+        let Some(state) = self.streams.get_mut(&stream) else {
+            return;
+        };
+        if state.errored {
+            self.reply_to(&stream, Reply::Err("upload already failed".to_owned()));
+            return;
+        }
+        if seq <= state.last_seq {
+            // Duplicate end after a reconnect: the upload completed in a
+            // previous attempt — repeat its verdict.
+            let (records, bytes) = (state.done_records, state.done_bytes);
+            if resume {
+                state.ack_dirty = true;
+            }
+            self.totals.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+            self.reply_to(&stream, Reply::Done { records, bytes });
+            return;
+        }
+        if seq != state.last_seq + 1 {
+            let expected = state.last_seq + 1;
+            state.errored = true;
+            state.decoder = None;
+            self.reply_to(
+                &stream,
+                Reply::Err(format!("seq gap: expected {expected}, got {seq}")),
+            );
+            return;
+        }
+        if state
+            .decoder
+            .as_ref()
+            .is_some_and(|d| !d.is_clean_boundary())
+        {
+            state.errored = true;
+            state.decoder = None;
+            self.reply_to(&stream, Reply::Err("upload ended mid-chunk".to_owned()));
+            return;
+        }
+        let (records, bytes) = state
+            .decoder
+            .as_ref()
+            .map_or((0, 0), |d| (d.records_decoded(), d.bytes_fed()));
+        if let Some(wal) = &mut self.wal {
+            match wal.append_end(&stream, seq) {
+                Ok(_) => {
+                    self.totals.wal_records.fetch_add(1, Ordering::Relaxed);
+                    self.totals.wal_bytes.fetch_add(8 + 32, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    let state = self.streams.get_mut(&stream).expect("stream exists");
+                    state.errored = true;
+                    state.decoder = None;
+                    self.reply_to(&stream, Reply::Err(format!("wal append: {e}")));
+                    return;
+                }
+            }
+        }
+        let state = self.streams.get_mut(&stream).expect("stream exists");
+        state.last_seq = seq;
+        state.done_records = records;
+        state.done_bytes = bytes;
+        state.decoder = None;
+        state.extractor = SampleExtractor::new();
+        if resume {
+            state.ack_dirty = true;
+        }
+        self.reply_to(&stream, Reply::Done { records, bytes });
+        if !resume {
+            // One-shot streams have nothing to resume; drop the state
+            // (its WAL records still replay — recovery rebuilds and then
+            // discards it the same way).
+            self.streams.remove(&stream);
+        }
+    }
+
+    /// Queues a reply for delivery at the next commit point.
+    fn reply_to(&mut self, stream: &StreamId, reply: Reply) {
+        if let Some(tx) = self.streams.get(stream).and_then(|s| s.reply.clone()) {
+            self.replies.push((tx, reply));
+        }
+    }
+
+    /// The commit point: make everything accepted this round durable,
+    /// then release acks and verdicts.
+    fn commit(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            if let Err(e) = wal.flush() {
+                // Nothing since the last flush is durable: fail every
+                // stream rather than ack what recovery cannot replay.
+                let msg = format!("wal flush: {e}");
+                eprintln!("latlab-serve: {msg}");
+                for state in self.streams.values_mut() {
+                    state.ack_dirty = false;
+                    state.errored = true;
+                    state.decoder = None;
+                }
+                for (_, reply) in self.replies.iter_mut() {
+                    *reply = Reply::Err(msg.clone());
+                }
+            }
+        }
+        for state in self.streams.values_mut() {
+            if state.ack_dirty {
+                state.ack_dirty = false;
+                if let Some(tx) = &state.reply {
+                    let _ = tx.send(Reply::Ack {
+                        seq: state.last_seq,
+                    });
+                }
+            }
+        }
+        for (tx, reply) in self.replies.drain(..) {
+            let _ = tx.send(reply);
+        }
+    }
+
+    /// Writes a checkpoint covering everything appended so far and
+    /// prunes covered segments. Returns whether it landed.
+    fn write_checkpoint_now(&mut self) -> bool {
+        let Some(wal) = &mut self.wal else {
+            return true;
+        };
+        if let Err(e) = wal.flush() {
+            eprintln!("latlab-serve: wal flush before checkpoint: {e}");
+            return false;
+        }
+        let last_lsn = wal.next_lsn() - 1;
+        let mut streams = Vec::with_capacity(self.streams.len());
+        for (id, state) in &self.streams {
+            let decoder = match &state.decoder {
+                None => None,
+                Some(d) => match d.export_state() {
+                    Some(s) => Some(s),
+                    // A decoder with undrained records should not exist at
+                    // a commit boundary; skip this checkpoint round rather
+                    // than persist a lie.
+                    None => return false,
+                },
+            };
+            streams.push(StreamCkpt {
+                id: id.clone(),
+                class: state.class,
+                last_seq: state.last_seq,
+                done_records: state.done_records,
+                done_bytes: state.done_bytes,
+                prev_stamp: state.extractor.prev(),
+                decoder,
+            });
+        }
+        let ckpt = Checkpoint {
+            last_lsn,
+            sketches: self
+                .sketches
+                .iter()
+                .map(|(k, v)| (k.clone(), (**v).clone()))
+                .collect(),
+            streams,
+        };
+        let dir = self.dir.as_ref().expect("wal dir set when wal is");
+        if let Err(e) = write_checkpoint(dir, &ckpt) {
+            eprintln!("latlab-serve: checkpoint write: {e}");
+            return false;
+        }
+        if let Err(e) = wal.note_checkpoint(last_lsn) {
+            eprintln!("latlab-serve: segment prune: {e}");
+        }
+        true
+    }
+
+    /// A publish clones `Arc` pointers only — O(scenarios) refcount
+    /// bumps, no sketch bodies copied here.
+    fn publish(&mut self) {
+        self.epoch += 1;
+        self.slot.store(Arc::new(ShardSnapshot {
+            epoch: self.epoch,
+            sketches: self.sketches.clone(),
+        }));
+        self.since_publish = 0;
+    }
+}
+
+/// Worker-loop control flow, ordered by precedence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Flow {
+    Continue,
+    Drain,
+    Crash,
+}
+
+/// What one shard rebuilt at startup.
+struct Recovered {
+    sketches: HashMap<String, Arc<LatencySketch>>,
+    streams: HashMap<StreamId, StreamState>,
+    stats: RecoveryStats,
+    next_lsn: u64,
+    max_conn: u64,
+}
+
+/// Checkpoint load + tail replay for one shard directory, run before
+/// the worker accepts any traffic.
+fn recover_shard(dir: &Path, scalar: bool) -> io::Result<Recovered> {
+    let t0 = Instant::now();
+    let mut stats = RecoveryStats::default();
+    let mut sketches: HashMap<String, Arc<LatencySketch>> = HashMap::new();
+    let mut streams: HashMap<StreamId, StreamState> = HashMap::new();
+    let mut max_conn = 0u64;
+    let mut after_lsn = 0u64;
+    if let Some(ckpt) = load_checkpoint(dir)? {
+        stats.checkpoints = 1;
+        after_lsn = ckpt.last_lsn;
+        for (scenario, sketch) in ckpt.sketches {
+            sketches.insert(scenario, Arc::new(sketch));
+        }
+        for s in ckpt.streams {
+            if let Some(c) = s.id.conn_id() {
+                max_conn = max_conn.max(c);
+            }
+            let mut state = StreamState::fresh(s.class);
+            state.last_seq = s.last_seq;
+            state.done_records = s.done_records;
+            state.done_bytes = s.done_bytes;
+            state.decoder = s.decoder.map(StreamDecoder::restore);
+            state.extractor = SampleExtractor::with_prev(s.prev_stamp);
+            streams.insert(s.id, state);
+        }
+    }
+    let mut column: Vec<u64> = Vec::new();
+    let mut samples: Vec<f64> = Vec::new();
+    let (rstats, next_lsn) = replay(dir, after_lsn, |_lsn, rec| match rec {
+        WalRecord::Frame {
+            stream,
+            class,
+            seq,
+            bytes,
+        } => {
+            if let Some(c) = stream.conn_id() {
+                max_conn = max_conn.max(c);
+            }
+            let state = streams
+                .entry(stream.clone())
+                .or_insert_with(|| StreamState::fresh(class));
+            if state.errored || seq <= state.last_seq {
+                return;
+            }
+            state.class = class;
+            let decoder = state.decoder.get_or_insert_with(|| {
+                if scalar {
+                    StreamDecoder::new_scalar()
+                } else {
+                    StreamDecoder::new()
+                }
+            });
+            let before = decoder.records_decoded();
+            match fold_frame_into(
+                decoder,
+                &mut state.extractor,
+                &mut sketches,
+                stream.scenario(),
+                class,
+                scalar,
+                &mut column,
+                &mut samples,
+                &bytes,
+            ) {
+                Ok(folded) => {
+                    let after = state
+                        .decoder
+                        .as_ref()
+                        .map_or(before, |d| d.records_decoded());
+                    stats.records += after - before;
+                    stats.samples += folded;
+                    state.last_seq = seq;
+                }
+                Err(_) => {
+                    // Same terminal state live ingest reached: the stream
+                    // errored; its committed prefix stays folded.
+                    state.errored = true;
+                    state.decoder = None;
+                }
+            }
+        }
+        WalRecord::End { stream, seq } => {
+            if let Some(state) = streams.get_mut(&stream) {
+                if state.errored || seq <= state.last_seq {
+                    return;
+                }
+                let (records, bytes) = state
+                    .decoder
+                    .as_ref()
+                    .map_or((0, 0), |d| (d.records_decoded(), d.bytes_fed()));
+                state.last_seq = seq;
+                state.done_records = records;
+                state.done_bytes = bytes;
+                state.decoder = None;
+                state.extractor = SampleExtractor::new();
+            }
+        }
+    })?;
+    stats.segments = rstats.segments;
+    stats.frames = rstats.replayed;
+    stats.torn_tails = u64::from(rstats.torn);
+    // One-shot streams died with their connections; their folded prefix
+    // stays in the sketch (as it would have, had the process lived).
+    streams.retain(|id, _| matches!(id, StreamId::Keyed { .. }));
+    for state in streams.values_mut() {
+        state.errored = false;
+    }
+    stats.millis = t0.elapsed().as_millis() as u64;
+    Ok(Recovered {
+        sketches,
+        streams,
+        stats,
+        next_lsn,
+        max_conn,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slam::idle_corpus;
+    use std::sync::mpsc::channel;
 
-    fn batch(scenario: &str, samples: Vec<f64>) -> Batch {
-        Batch {
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "latlab-shard-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn wal(&self) -> WalConfig {
+            WalConfig::new(&self.0)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn config(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            queue_depth: 64,
+            publish_every: u64::MAX,
+        }
+    }
+
+    fn keyed(client: &str, scenario: &str) -> StreamId {
+        StreamId::Keyed {
+            client: client.to_owned(),
             scenario: scenario.to_owned(),
-            class: EventClass::Keystroke,
-            samples,
+        }
+    }
+
+    fn frames_of(corpus: &[u8], frame_len: usize) -> Vec<Vec<u8>> {
+        corpus.chunks(frame_len).map(<[u8]>::to_vec).collect()
+    }
+
+    /// Sends, retrying transient `QueueFull` (the bounded queue is load
+    /// shedding, not an error, when the test is just slower than ingest).
+    fn send_retry(set: &ShardSet, shard: usize, mut msg: Msg) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match set.try_send(shard, msg) {
+                Ok(()) => return,
+                Err((m, IngestRejection::QueueFull)) if Instant::now() < deadline => {
+                    msg = m;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err((_, why)) => panic!("shard send failed: {why:?}"),
+            }
+        }
+    }
+
+    fn begin(
+        set: &ShardSet,
+        shard: usize,
+        stream: &StreamId,
+        mode: BeginMode,
+    ) -> (Receiver<Reply>, u64) {
+        let (tx, rx) = channel();
+        send_retry(
+            set,
+            shard,
+            Msg::Begin {
+                stream: stream.clone(),
+                class: Some(EventClass::Keystroke),
+                mode,
+                reply: tx,
+            },
+        );
+        match rx.recv_timeout(Duration::from_secs(5)).expect("started") {
+            Reply::Started { last_seq } => (rx, last_seq),
+            other => panic!("expected Started, got {other:?}"),
+        }
+    }
+
+    /// Sends frames `[from..]` of `frames` numbered `base + 1 + i`, then
+    /// the end frame, and waits for the verdict.
+    fn upload_tail(
+        set: &ShardSet,
+        shard: usize,
+        stream: &StreamId,
+        rx: &Receiver<Reply>,
+        frames: &[Vec<u8>],
+        base: u64,
+        from: usize,
+    ) -> Reply {
+        for (i, frame) in frames.iter().enumerate().skip(from) {
+            send_retry(
+                set,
+                shard,
+                Msg::Frame {
+                    stream: stream.clone(),
+                    seq: base + 1 + i as u64,
+                    bytes: frame.clone(),
+                },
+            );
+        }
+        send_retry(
+            set,
+            shard,
+            Msg::End {
+                stream: stream.clone(),
+                seq: base + 1 + frames.len() as u64,
+            },
+        );
+        loop {
+            match rx.recv_timeout(Duration::from_secs(5)).expect("verdict") {
+                Reply::Ack { .. } => continue,
+                verdict => return verdict,
+            }
         }
     }
 
     #[test]
     fn routing_is_stable_and_key_sensitive() {
-        let set = ShardSet::start(&ShardConfig {
-            shards: 4,
-            ..ShardConfig::default()
-        });
+        let set = ShardSet::start(&config(4), None, false).unwrap();
         let a = set.route("client-1", "fig5");
         assert_eq!(a, set.route("client-1", "fig5"));
         let distinct = (0..32)
@@ -354,56 +1222,251 @@ mod tests {
     }
 
     #[test]
-    fn drain_folds_everything_queued() {
-        let set = ShardSet::start(&ShardConfig {
-            shards: 2,
-            queue_depth: 64,
-            publish_every: u64::MAX, // only the drain publish
-        });
-        let mut expect = 0u64;
-        for i in 0..40 {
-            let shard = set.route("c", "fig5");
-            let samples: Vec<f64> = (0..25).map(|j| 1.0 + (i * 25 + j) as f64).collect();
-            expect += samples.len() as u64;
-            set.try_ingest(shard, batch("fig5", samples)).unwrap();
-        }
-        // Merged view *before* drain may lag (publish_every is ∞)…
+    fn upload_folds_to_the_exact_corpus_sketch() {
+        let corpus = idle_corpus(30_000, 0xf01d, 40);
+        let expect = crate::pipeline::fold_corpus(&corpus, 4096, EventClass::Keystroke, false);
+        let set = ShardSet::start(&config(2), None, false).unwrap();
+        let stream = keyed("c", "fig5");
         let shard = set.route("c", "fig5");
-        let slot_epoch = set.snapshots()[shard].epoch;
-        assert!(slot_epoch <= 2);
+        let frames = frames_of(&corpus, 4096);
+        let (rx, base) = begin(&set, shard, &stream, BeginMode::Fresh);
+        assert_eq!(base, 0);
+        match upload_tail(&set, shard, &stream, &rx, &frames, 0, 0) {
+            Reply::Done { records, bytes } => {
+                assert_eq!(records, 30_000);
+                assert_eq!(bytes, corpus.len() as u64);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
         set.drain_and_join();
-        // …but after the drain every queued batch has been folded and
-        // published.
         let (_, merged) = set.merged();
-        assert_eq!(merged.get("fig5").map_or(0, |s| s.total()), expect);
-        assert_eq!(expect, 1000);
-        // Post-drain ingest is rejected, not silently dropped.
-        assert!(matches!(
-            set.try_ingest(shard, batch("fig5", vec![1.0])),
-            Err((_, IngestRejection::Closed))
-        ));
+        let got = &merged["fig5"];
+        assert_eq!(got.total(), expect.sketch.total());
+        let (gc, ec) = (
+            got.class(EventClass::Keystroke),
+            expect.sketch.class(EventClass::Keystroke),
+        );
+        assert_eq!(gc.stats().mean(), ec.stats().mean());
+        for q in [0.5, 0.99] {
+            assert_eq!(gc.quantile(q), ec.quantile(q));
+        }
     }
 
     #[test]
     fn queue_full_is_reported_not_buffered() {
-        let set = ShardSet::start(&ShardConfig {
-            shards: 1,
-            queue_depth: 1,
-            publish_every: u64::MAX,
-        });
-        // Large batches keep the single worker busy long enough for the
-        // bounded queue to fill: accepting is O(len) fold work.
-        let big = || batch("flood", (0..2_000_000).map(|i| 1.0 + i as f64).collect());
+        let set = ShardSet::start(
+            &ShardConfig {
+                shards: 1,
+                queue_depth: 1,
+                publish_every: u64::MAX,
+            },
+            None,
+            false,
+        )
+        .unwrap();
+        let stream = keyed("c", "flood");
+        let (_rx, _) = begin(&set, 0, &stream, BeginMode::Fresh);
+        // Large valid frames keep the single worker decoding long enough
+        // for the bounded queue (depth 1) to fill.
+        let corpus = idle_corpus(1 << 20, 0xbe9c, 64);
+        let frames = frames_of(&corpus, 1 << 20);
         let mut saw_full = false;
-        for _ in 0..64 {
-            if let Err((returned, IngestRejection::QueueFull)) = set.try_ingest(0, big()) {
-                // The rejected batch comes back intact for retry.
-                assert_eq!(returned.samples.len(), 2_000_000);
-                saw_full = true;
-                break;
+        let mut seq = 0u64;
+        'outer: for _ in 0..64 {
+            for frame in &frames {
+                seq += 1;
+                let msg = Msg::Frame {
+                    stream: stream.clone(),
+                    seq,
+                    bytes: frame.clone(),
+                };
+                if let Err((returned, IngestRejection::QueueFull)) = set.try_send(0, msg) {
+                    // The rejected frame comes back intact for retry.
+                    match returned {
+                        Msg::Frame { bytes, .. } => assert_eq!(&bytes, frame),
+                        other => panic!(
+                            "wrong message returned: {:?}",
+                            std::mem::discriminant(&other)
+                        ),
+                    }
+                    saw_full = true;
+                    break 'outer;
+                }
             }
         }
         assert!(saw_full, "bounded queue never reported Full");
+        set.drain_and_join();
+    }
+
+    #[test]
+    fn resume_dedupes_and_replays_the_done_verdict() {
+        let corpus = idle_corpus(10_000, 0x5e5e, 64);
+        let frames = frames_of(&corpus, 8192);
+        let set = ShardSet::start(&config(1), None, false).unwrap();
+        let stream = keyed("c", "dup");
+        let (rx, base) = begin(&set, 0, &stream, BeginMode::Fresh);
+        assert_eq!(base, 0);
+        let done = upload_tail(&set, 0, &stream, &rx, &frames, 0, 0);
+        let Reply::Done { records, bytes } = done else {
+            panic!("expected Done, got {done:?}");
+        };
+        assert_eq!(set.totals().dedup_dropped.load(Ordering::Relaxed), 0);
+        // Reconnect claiming the same upload: the watermark says it all
+        // landed; a full re-send dedupes every frame and the end frame
+        // replays the verdict.
+        let (rx, watermark) = begin(&set, 0, &stream, BeginMode::Continue(0));
+        assert_eq!(watermark, frames.len() as u64 + 1);
+        let replayed = upload_tail(&set, 0, &stream, &rx, &frames, 0, 0);
+        assert_eq!(replayed, Reply::Done { records, bytes });
+        assert_eq!(
+            set.totals().dedup_dropped.load(Ordering::Relaxed),
+            frames.len() as u64 + 1
+        );
+        set.drain_and_join();
+        let (_, merged) = set.merged();
+        // Exactly-once: the double-sent corpus folded exactly once.
+        let expect = crate::pipeline::fold_corpus(&corpus, 8192, EventClass::Keystroke, false);
+        assert_eq!(merged["dup"].total(), expect.sketch.total());
+    }
+
+    #[test]
+    fn seq_gaps_are_rejected() {
+        let set = ShardSet::start(&config(1), None, false).unwrap();
+        let stream = keyed("c", "gap");
+        let (rx, _) = begin(&set, 0, &stream, BeginMode::Fresh);
+        let corpus = idle_corpus(1_000, 0x11, 0);
+        send_retry(
+            &set,
+            0,
+            Msg::Frame {
+                stream: stream.clone(),
+                seq: 3, // expected 1
+                bytes: corpus[..512].to_vec(),
+            },
+        );
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Reply::Err(msg) => assert!(msg.contains("seq gap"), "{msg}"),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        set.drain_and_join();
+    }
+
+    #[test]
+    fn crash_recovers_exactly_the_acknowledged_state() {
+        let tmp = TempDir::new("crash");
+        let corpus = idle_corpus(40_000, 0xc4a5, 48);
+        let frames = frames_of(&corpus, 4096);
+        let half = frames.len() / 2;
+
+        let set = ShardSet::start(&config(1), Some(&tmp.wal()), false).unwrap();
+        let stream = keyed("c", "fig5");
+        let (rx, base) = begin(&set, 0, &stream, BeginMode::Fresh);
+        assert_eq!(base, 0);
+        for (i, frame) in frames[..half].iter().enumerate() {
+            send_retry(
+                &set,
+                0,
+                Msg::Frame {
+                    stream: stream.clone(),
+                    seq: 1 + i as u64,
+                    bytes: frame.clone(),
+                },
+            );
+        }
+        // Wait for the cumulative ack covering everything sent: ack ⇒
+        // WAL-flushed ⇒ these frames must survive the crash.
+        let mut acked = 0u64;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while acked < half as u64 {
+            assert!(Instant::now() < deadline, "never acked: {acked}");
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Reply::Ack { seq } => acked = seq,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        set.crash_and_join();
+
+        // Restart: recovery must rebuild exactly the fold of the acked
+        // prefix — frames [0, acked), in order.
+        let set = ShardSet::start(&config(1), Some(&tmp.wal()), false).unwrap();
+        assert!(
+            set.recovery().frames >= acked,
+            "replayed {:?}",
+            set.recovery()
+        );
+        let mut expect_decoder = StreamDecoder::new();
+        let mut expect_extractor = SampleExtractor::new();
+        let mut expect: HashMap<String, Arc<LatencySketch>> = HashMap::new();
+        let (mut col, mut smp) = (Vec::new(), Vec::new());
+        for frame in &frames[..acked as usize] {
+            fold_frame_into(
+                &mut expect_decoder,
+                &mut expect_extractor,
+                &mut expect,
+                "fig5",
+                Some(EventClass::Keystroke),
+                false,
+                &mut col,
+                &mut smp,
+                frame,
+            )
+            .unwrap();
+        }
+        let expect = &expect["fig5"];
+        let (_, merged) = set.merged();
+        let got = &merged["fig5"];
+        assert_eq!(got.total(), expect.total());
+        let (gc, ec) = (
+            got.class(EventClass::Keystroke),
+            expect.class(EventClass::Keystroke),
+        );
+        assert_eq!(gc.stats().mean(), ec.stats().mean());
+        assert_eq!(gc.stats().max(), ec.stats().max());
+
+        // Resume from the watermark and finish: the final sketch equals
+        // the whole corpus folded exactly once.
+        let (rx, watermark) = begin(&set, 0, &stream, BeginMode::Continue(0));
+        assert_eq!(watermark, acked);
+        match upload_tail(&set, 0, &stream, &rx, &frames, 0, watermark as usize) {
+            Reply::Done { records, .. } => assert_eq!(records, 40_000),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        set.drain_and_join();
+        let whole = crate::pipeline::fold_corpus(&corpus, 4096, EventClass::Keystroke, false);
+        let (_, merged) = set.merged();
+        assert_eq!(merged["fig5"].total(), whole.sketch.total());
+        assert_eq!(
+            merged["fig5"].class(EventClass::Keystroke).stats().mean(),
+            whole.sketch.class(EventClass::Keystroke).stats().mean()
+        );
+    }
+
+    #[test]
+    fn drain_checkpoint_leaves_nothing_to_replay() {
+        let tmp = TempDir::new("drain");
+        let corpus = idle_corpus(20_000, 0xd7a1, 64);
+        let frames = frames_of(&corpus, 4096);
+        let set = ShardSet::start(&config(2), Some(&tmp.wal()), false).unwrap();
+        let stream = keyed("c", "fig5");
+        let shard = set.route("c", "fig5");
+        let (rx, _) = begin(&set, shard, &stream, BeginMode::Fresh);
+        assert!(matches!(
+            upload_tail(&set, shard, &stream, &rx, &frames, 0, 0),
+            Reply::Done { .. }
+        ));
+        set.drain_and_join();
+        // A clean restart loads the checkpoint and replays zero records.
+        let set = ShardSet::start(&config(2), Some(&tmp.wal()), false).unwrap();
+        let rec = set.recovery();
+        assert!(rec.checkpoints >= 1);
+        assert_eq!(rec.frames, 0, "drain left WAL records: {rec:?}");
+        assert_eq!(rec.torn_tails, 0);
+        let (_, merged) = set.merged();
+        let expect = crate::pipeline::fold_corpus(&corpus, 4096, EventClass::Keystroke, false);
+        assert_eq!(merged["fig5"].total(), expect.sketch.total());
+        // And the resume watermark survived the restart.
+        let (_rx, watermark) = begin(&set, shard, &stream, BeginMode::Continue(0));
+        assert_eq!(watermark, frames.len() as u64 + 1);
         set.drain_and_join();
     }
 
@@ -421,15 +1484,30 @@ mod tests {
 
     #[test]
     fn publish_shares_clean_scenarios_and_detaches_dirty_ones() {
-        let set = ShardSet::start(&ShardConfig {
-            shards: 1,
-            queue_depth: 64,
-            publish_every: 1, // every fold publishes
-        });
-        set.try_ingest(0, batch("dirty", vec![1.0, 2.0])).unwrap();
-        set.try_ingest(0, batch("clean", vec![3.0])).unwrap();
+        let set = ShardSet::start(
+            &ShardConfig {
+                shards: 1,
+                queue_depth: 64,
+                publish_every: 1, // every folded frame publishes
+            },
+            None,
+            false,
+        )
+        .unwrap();
+        let corpus = idle_corpus(5_000, 0xab, 16);
+        let one_upload = |scenario: &str, client: &str| {
+            let stream = keyed(client, scenario);
+            let (rx, _) = begin(&set, 0, &stream, BeginMode::Fresh);
+            let frames = frames_of(&corpus, corpus.len());
+            assert!(matches!(
+                upload_tail(&set, 0, &stream, &rx, &frames, 0, 0),
+                Reply::Done { .. }
+            ));
+        };
+        one_upload("dirty", "c1");
+        one_upload("clean", "c2");
         let before = wait_for_epoch(&set, 0, 2);
-        set.try_ingest(0, batch("dirty", vec![4.0])).unwrap();
+        one_upload("dirty", "c3");
         let after = wait_for_epoch(&set, 0, 3);
         // The untouched scenario's sketch body is shared between epochs —
         // a publish is pointer clones, not a deep map copy…
@@ -443,44 +1521,76 @@ mod tests {
             !Arc::ptr_eq(&before.sketches["dirty"], &after.sketches["dirty"]),
             "dirty scenario must copy-on-write, not mutate the snapshot"
         );
-        assert_eq!(before.sketches["dirty"].total(), 2);
-        assert_eq!(after.sketches["dirty"].total(), 3);
+        assert_eq!(
+            after.sketches["dirty"].total(),
+            2 * before.sketches["dirty"].total()
+        );
         set.drain_and_join();
     }
 
     #[test]
-    fn workers_recycle_sample_buffers() {
-        let set = ShardSet::start(&ShardConfig {
-            shards: 1,
-            queue_depth: 64,
-            publish_every: 1,
-        });
-        let mut samples = set.sample_pool().get();
-        samples.extend_from_slice(&[1.0, 2.0, 3.0]);
-        set.try_ingest(0, batch("s", samples)).unwrap();
-        wait_for_epoch(&set, 0, 1);
+    fn workers_recycle_frame_buffers() {
+        let set = ShardSet::start(&config(1), None, false).unwrap();
+        let corpus = idle_corpus(1_000, 0x77, 0);
+        let stream = keyed("c", "s");
+        let (rx, _) = begin(&set, 0, &stream, BeginMode::Fresh);
+        let mut buf = set.frame_pool().get();
+        buf.extend_from_slice(&corpus);
+        send_retry(
+            &set,
+            0,
+            Msg::Frame {
+                stream: stream.clone(),
+                seq: 1,
+                bytes: buf,
+            },
+        );
+        send_retry(
+            &set,
+            0,
+            Msg::End {
+                stream: stream.clone(),
+                seq: 2,
+            },
+        );
+        loop {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Reply::Ack { .. } => continue,
+                Reply::Done { .. } => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
         assert_eq!(
-            set.sample_pool().idle(),
+            set.frame_pool().idle(),
             1,
-            "folded batch's buffer should return to the pool"
+            "folded frame's buffer should return to the pool"
         );
         set.drain_and_join();
     }
 
     #[test]
     fn published_counts_are_monotonic() {
-        let set = ShardSet::start(&ShardConfig {
-            shards: 1,
-            queue_depth: 1024,
-            publish_every: 100,
-        });
+        let set = ShardSet::start(
+            &ShardConfig {
+                shards: 1,
+                queue_depth: 1024,
+                publish_every: 100,
+            },
+            None,
+            false,
+        )
+        .unwrap();
+        let corpus = idle_corpus(2_000, 0x99, 8);
+        let frames = frames_of(&corpus, 2048);
         let mut last_count = 0u64;
         let mut last_epoch = 0u64;
-        for round in 0..20 {
-            for _ in 0..10 {
-                let _ = set.try_ingest(0, batch("mono", (0..50).map(|i| 1.0 + i as f64).collect()));
-            }
-            std::thread::sleep(Duration::from_millis(5));
+        for round in 0..10 {
+            let stream = keyed(&format!("c{round}"), "mono");
+            let (rx, _) = begin(&set, 0, &stream, BeginMode::Fresh);
+            assert!(matches!(
+                upload_tail(&set, 0, &stream, &rx, &frames, 0, 0),
+                Reply::Done { .. }
+            ));
             let (epoch, merged) = set.merged();
             let count = merged.get("mono").map_or(0, |s| s.total());
             assert!(count >= last_count, "round {round}: count went backwards");

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use latlab_analysis::EventClass;
 
-use crate::client::{upload, QueryClient, UploadOutcome};
+use crate::client::{upload, upload_resumable, QueryClient, ResumeOpts, UploadOutcome};
 use crate::protocol::PutHeader;
 
 /// Load-generation parameters.
@@ -49,6 +49,13 @@ pub struct SlamConfig {
     /// jitter identically; different uploader threads derive distinct
     /// streams so their retries decorrelate instead of re-colliding.
     pub seed: u64,
+    /// Upload on the resumable path (`PUT … RESUME`): connection resets
+    /// and read timeouts are survived by reconnecting and resuming from
+    /// the server's committed watermark instead of failing the blob.
+    pub resume: bool,
+    /// Reconnect attempts per blob on the resumable path before the
+    /// upload counts as an error.
+    pub max_reconnects: u32,
 }
 
 impl Default for SlamConfig {
@@ -65,6 +72,8 @@ impl Default for SlamConfig {
             busy_backoff_cap: Duration::from_millis(50),
             busy_max_retries: 8,
             seed: 0x51a3_ed01,
+            resume: false,
+            max_reconnects: 8,
         }
     }
 }
@@ -86,6 +95,12 @@ pub struct SlamReport {
     pub bytes_acked: u64,
     /// Records acknowledged by the server.
     pub records_acked: u64,
+    /// Connections re-established after transport failures (resumable
+    /// path only).
+    pub reconnects: u64,
+    /// Frames skipped on reconnects because the server's committed
+    /// watermark already covered them (resumable path only).
+    pub frames_resumed: u64,
     /// Wall-clock time actually spent.
     pub elapsed: Duration,
     /// Query probes completed.
@@ -131,6 +146,8 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
     let errors = Arc::new(AtomicU64::new(0));
     let bytes = Arc::new(AtomicU64::new(0));
     let records = Arc::new(AtomicU64::new(0));
+    let reconnects = Arc::new(AtomicU64::new(0));
+    let frames_resumed = Arc::new(AtomicU64::new(0));
     let corpus: Arc<Vec<Vec<u8>>> = Arc::new(corpus.to_vec());
 
     let started = Instant::now();
@@ -143,17 +160,26 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
         let errors = errors.clone();
         let bytes = bytes.clone();
         let records = records.clone();
+        let reconnects = reconnects.clone();
+        let frames_resumed = frames_resumed.clone();
         let corpus = corpus.clone();
         let header = PutHeader {
             client: format!("slam-{i}"),
             scenario: config.scenario.clone(),
             class: config.class,
+            resume: config.resume,
+            resume_base: None,
         };
         let addr = config.addr;
         let frame_len = config.frame_len;
         let backoff_base = config.busy_backoff.max(Duration::from_micros(100));
         let backoff_cap = config.busy_backoff_cap.max(backoff_base);
         let max_retries = config.busy_max_retries;
+        let resume_opts = config.resume.then(|| ResumeOpts {
+            max_reconnects: config.max_reconnects,
+            read_timeout: Duration::from_secs(10),
+            reconnect_backoff: Duration::from_millis(10),
+        });
         // Each uploader jitters from its own seeded stream: deterministic
         // per (config.seed, thread index), decorrelated across threads.
         let mut rng = (config.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
@@ -168,7 +194,22 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
                         let mut backoff = backoff_base;
                         let mut attempts = 0u32;
                         loop {
-                            match upload(addr, &header, blob, frame_len) {
+                            // The resumable path reconnects and resumes
+                            // internally; resets and timeouts only count
+                            // as errors once its reconnect budget is
+                            // spent.
+                            let outcome = match &resume_opts {
+                                Some(opts) => upload_resumable(
+                                    addr, &header, blob, frame_len, opts,
+                                )
+                                .map(|r| {
+                                    reconnects.fetch_add(r.reconnects, Ordering::Relaxed);
+                                    frames_resumed.fetch_add(r.frames_resumed, Ordering::Relaxed);
+                                    r.outcome
+                                }),
+                                None => upload(addr, &header, blob, frame_len),
+                            };
+                            match outcome {
                                 Ok(UploadOutcome::Done {
                                     records: r,
                                     bytes: b,
@@ -267,6 +308,8 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
         upload_errors: errors.load(Ordering::SeqCst),
         bytes_acked: bytes.load(Ordering::SeqCst),
         records_acked: records.load(Ordering::SeqCst),
+        reconnects: reconnects.load(Ordering::SeqCst),
+        frames_resumed: frames_resumed.load(Ordering::SeqCst),
         elapsed,
         queries: lat.len() as u64,
         query_p50_ms: pick(0.50),

@@ -32,6 +32,7 @@ fn test_server(shard: ShardConfig) -> Server {
         read_timeout: Duration::from_secs(2),
         busy_retry: Duration::from_millis(50),
         scalar_ingest: false,
+        wal: None,
     })
     .expect("start server")
 }
@@ -41,6 +42,8 @@ fn put(scenario: &str, client: &str) -> PutHeader {
         client: client.to_owned(),
         scenario: scenario.to_owned(),
         class: Some(EventClass::Keystroke),
+        resume: false,
+        resume_base: None,
     }
 }
 
@@ -269,6 +272,7 @@ fn full_queue_answers_busy() {
         read_timeout: Duration::from_secs(2),
         busy_retry: Duration::ZERO,
         scalar_ingest: false,
+        wal: None,
     })
     .expect("start server");
     let addr = server.local_addr();
@@ -324,6 +328,7 @@ fn batch_and_scalar_ingest_fold_identically() {
             read_timeout: Duration::from_secs(2),
             busy_retry: Duration::from_millis(200),
             scalar_ingest: scalar,
+            wal: None,
         })
         .expect("start server");
         let addr = server.local_addr();

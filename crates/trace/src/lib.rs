@@ -51,7 +51,7 @@ pub use pool::BufferPool;
 pub use reader::TraceReader;
 pub use record::{ApiRecord, CounterRecord, Record};
 pub use sink::{FileSink, NullSink, TraceSink, VecSink, WriterSink};
-pub use stream::StreamDecoder;
+pub use stream::{DecoderState, StreamDecoder};
 pub use writer::{TraceWriter, MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS};
 
 /// Default file extension for trace files.

@@ -101,6 +101,29 @@ impl TraceMeta {
         out
     }
 
+    /// Serializes the header to its on-disk byte form, CRC included.
+    ///
+    /// Public wrapper over the writer-internal encoder so external
+    /// persistence layers (e.g. the serve checkpoint codec) can embed a
+    /// header image verbatim.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Parses a header image from the start of `buf`, returning the
+    /// metadata and the bytes consumed.
+    ///
+    /// Public wrapper over the reader-internal decoder; accepts exactly
+    /// what [`to_bytes`](Self::to_bytes) produces.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as the file reader: magic, version, CRC, UTF-8
+    /// personality, non-zero frequency.
+    pub fn from_bytes(buf: &[u8]) -> Result<(Self, usize), TraceError> {
+        Self::decode(buf)
+    }
+
     /// Parses a header from the start of `buf`, returning the metadata
     /// and the number of bytes consumed.
     pub(crate) fn decode(buf: &[u8]) -> Result<(Self, usize), TraceError> {

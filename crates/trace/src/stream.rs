@@ -220,6 +220,53 @@ impl StreamDecoder {
         core.ready.pop_front()
     }
 
+    /// Captures the decoder's resumable state so an equivalent decoder
+    /// can be rebuilt later (in another process) with
+    /// [`restore`](Self::restore) and continue mid-stream.
+    ///
+    /// Returns `None` when the decoder is poisoned or still holds
+    /// decoded-but-unpolled records — export is only meaningful once the
+    /// caller has drained everything it fed, which is exactly the state
+    /// a frame-boundary checkpoint runs in.
+    pub fn export_state(&self) -> Option<DecoderState> {
+        let core = &self.core;
+        if core.poisoned || !core.ready.is_empty() || core.stamp_head < core.stamps.len() {
+            return None;
+        }
+        Some(DecoderState {
+            meta: core.meta.clone(),
+            carry: self.buf.clone(),
+            bytes_fed: self.bytes_fed,
+            prev_at: core.prev_at,
+            any_read: core.any_read,
+            records_decoded: core.records_decoded,
+            chunks_decoded: core.chunks_decoded,
+            scalar: core.scalar,
+        })
+    }
+
+    /// Rebuilds a decoder from an [`export_state`](Self::export_state)
+    /// image. Feeding the restored decoder the remainder of the stream
+    /// yields exactly what the original would have yielded.
+    pub fn restore(state: DecoderState) -> Self {
+        StreamDecoder {
+            buf: state.carry,
+            bytes_fed: state.bytes_fed,
+            core: DecoderCore {
+                meta: state.meta,
+                ready: VecDeque::new(),
+                stamps: Vec::new(),
+                stamp_head: 0,
+                prev_at: state.prev_at,
+                any_read: state.any_read,
+                records_decoded: state.records_decoded,
+                chunks_decoded: state.chunks_decoded,
+                poisoned: false,
+                scalar: state.scalar,
+            },
+        }
+    }
+
     /// Drains every decoded-but-unpolled idle stamp into `out` in one
     /// `memcpy`-shaped append; returns how many were appended.
     ///
@@ -239,6 +286,31 @@ impl StreamDecoder {
         }
         n
     }
+}
+
+/// A [`StreamDecoder`]'s resumable state, captured at a point where all
+/// decoded records have been polled out. Everything here is plain data,
+/// so a persistence layer can serialize it (the serve checkpoint codec
+/// does) and [`StreamDecoder::restore`] an equivalent decoder after a
+/// crash — mid-chunk carry bytes included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecoderState {
+    /// The parsed stream header, if the decoder had seen one.
+    pub meta: Option<TraceMeta>,
+    /// Unconsumed input bytes: a partial header or partial chunk.
+    pub carry: Vec<u8>,
+    /// Total bytes the original decoder had accepted.
+    pub bytes_fed: u64,
+    /// Last decoded stamp (monotonicity anchor).
+    pub prev_at: u64,
+    /// Whether any record had been decoded yet.
+    pub any_read: bool,
+    /// Records decoded so far.
+    pub records_decoded: u64,
+    /// Chunks decoded so far.
+    pub chunks_decoded: u64,
+    /// Whether the decoder ran in scalar (per-record) mode.
+    pub scalar: bool,
 }
 
 impl DecoderCore {
@@ -549,6 +621,62 @@ mod tests {
         // Even a short wrong prefix is rejected without waiting for more.
         let mut d = StreamDecoder::new();
         assert!(matches!(d.feed(b"XY").unwrap_err(), TraceError::BadMagic));
+    }
+
+    #[test]
+    fn export_restore_mid_stream_matches_straight_decode() {
+        let (bytes, stamps) = encoded_stamps(7_000);
+        // Split at every flavour of boundary: mid-header, mid-chunk,
+        // chunk-aligned, stream end.
+        for cut in [3usize, 17, 500, 1024, bytes.len() - 9, bytes.len()] {
+            let mut first = StreamDecoder::new();
+            first.feed(&bytes[..cut]).unwrap();
+            let mut got = Vec::new();
+            first.poll_batch(&mut got);
+            let state = first.export_state().expect("drained decoder exports");
+            let mut second = StreamDecoder::restore(state);
+            assert_eq!(second.bytes_fed(), cut as u64);
+            second.feed(&bytes[cut..]).unwrap();
+            second.poll_batch(&mut got);
+            assert_eq!(got, stamps, "cut {cut}");
+            assert!(second.is_clean_boundary());
+            assert_eq!(second.records_decoded(), stamps.len() as u64);
+            assert_eq!(second.bytes_fed(), bytes.len() as u64);
+        }
+    }
+
+    #[test]
+    fn export_refuses_undrained_or_poisoned_decoders() {
+        let (bytes, _) = encoded_stamps(200);
+        let mut d = StreamDecoder::new();
+        d.feed(&bytes).unwrap();
+        // Stamps decoded but not yet polled: no export.
+        assert!(d.export_state().is_none());
+        let mut col = Vec::new();
+        d.poll_batch(&mut col);
+        assert!(d.export_state().is_some());
+
+        let mut poisoned = StreamDecoder::new();
+        poisoned.feed(b"NOPE").unwrap_err();
+        assert!(poisoned.export_state().is_none());
+    }
+
+    #[test]
+    fn export_restore_preserves_scalar_mode() {
+        let (bytes, stamps) = encoded_stamps(300);
+        let mut d = StreamDecoder::new_scalar();
+        d.feed(&bytes[..40]).unwrap();
+        let got_prefix = drain(&mut d);
+        let state = d.export_state().unwrap();
+        assert!(state.scalar);
+        let mut r = StreamDecoder::restore(state);
+        r.feed(&bytes[40..]).unwrap();
+        // Still scalar: poll_batch drains nothing, poll yields the rest.
+        let mut none = Vec::new();
+        assert_eq!(r.poll_batch(&mut none), 0);
+        let mut got = got_prefix;
+        got.extend(drain(&mut r));
+        assert_eq!(got, stamps);
     }
 
     #[test]
