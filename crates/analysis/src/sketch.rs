@@ -268,12 +268,55 @@ impl LatencySketch {
         all.quantile(q).map(|v| v.clamp(min, max))
     }
 
+    /// Answers several quantiles over the union of all classes in one
+    /// pass: the cross-class union histogram is built **once** and every
+    /// `q` is read off it, instead of paying the ~13 KB histogram merge
+    /// per quantile as repeated [`quantile`](Self::quantile) calls
+    /// would. `out` is cleared first; slot `i` equals exactly what
+    /// `self.quantile(qs[i])` returns.
+    pub fn quantiles_into(&self, qs: &[f64], out: &mut Vec<Option<f64>>) {
+        out.clear();
+        let mut all = StreamingHistogram::new();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for c in &self.classes {
+            if c.count() > 0 {
+                all.merge(&c.hist);
+                min = min.min(c.stats.min());
+                max = max.max(c.stats.max());
+            }
+        }
+        out.extend(
+            qs.iter()
+                .map(|&q| all.quantile(q).map(|v| v.clamp(min, max))),
+        );
+    }
+
     /// Folds another sketch into this one. See the module docs for the
     /// order-independence guarantee.
     pub fn merge(&mut self, other: &LatencySketch) {
         for (a, b) in self.classes.iter_mut().zip(&other.classes) {
             a.merge(b);
         }
+    }
+
+    /// Merges an iterator of partial sketches into one: the first
+    /// partial is cloned and the rest fold in through
+    /// [`merge`](Self::merge), **in iteration order** — exactly the
+    /// state a manual clone-then-merge loop produces, bit-identical
+    /// moment accumulators included. This is the sub-sketch merge hook
+    /// the serve query plane re-merges dirty scenarios with; keeping the
+    /// fold order here is what lets its cached view stay bit-identical
+    /// to the full-merge reference. `None` when the iterator is empty.
+    pub fn merge_of<'a>(
+        parts: impl IntoIterator<Item = &'a LatencySketch>,
+    ) -> Option<LatencySketch> {
+        let mut parts = parts.into_iter();
+        let mut acc = parts.next()?.clone();
+        for p in parts {
+            acc.merge(p);
+        }
+        Some(acc)
     }
 
     /// Appends a self-delimiting binary encoding to `out`.
@@ -499,6 +542,65 @@ mod tests {
             batched.class(EventClass::Keystroke),
         );
         assert_eq!(b.stats().mean(), s.stats().mean());
+    }
+
+    #[test]
+    fn quantiles_into_matches_repeated_quantile_calls() {
+        let mut s = LatencySketch::new();
+        for i in 0..3_000u64 {
+            let class = EventClass::ALL[(i % 6) as usize];
+            s.push(class, 0.2 + (i % 509) as f64 * 7.9);
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let mut batch = Vec::new();
+        s.quantiles_into(&qs, &mut batch);
+        assert_eq!(batch.len(), qs.len());
+        for (&q, got) in qs.iter().zip(&batch) {
+            assert_eq!(*got, s.quantile(q), "q={q}");
+        }
+        // Empty sketch: every slot is None, same as quantile().
+        let empty = LatencySketch::new();
+        empty.quantiles_into(&qs, &mut batch);
+        assert!(batch.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn merge_of_is_bit_identical_to_clone_then_merge() {
+        let mut parts = Vec::new();
+        for p in 0..4u64 {
+            let mut s = LatencySketch::new();
+            for i in 0..500u64 {
+                let class = EventClass::ALL[((i + p) % 6) as usize];
+                s.push(class, 0.5 + ((i * 31 + p * 7) % 401) as f64 * 2.3);
+            }
+            parts.push(s);
+        }
+        let mut reference = parts[0].clone();
+        for p in &parts[1..] {
+            reference.merge(p);
+        }
+        let merged = LatencySketch::merge_of(parts.iter()).expect("non-empty");
+        assert_eq!(merged.total(), reference.total());
+        assert_eq!(merged.total_misses(), reference.total_misses());
+        for class in EventClass::ALL {
+            let (a, b) = (merged.class(class), reference.class(class));
+            assert_eq!(a.count(), b.count(), "{class:?}");
+            assert_eq!(a.misses(), b.misses(), "{class:?}");
+            assert_eq!(a.saturated(), b.saturated(), "{class:?}");
+            // Moments merge in the same order, so they agree to the bit.
+            assert_eq!(a.stats().mean().to_bits(), b.stats().mean().to_bits());
+            assert_eq!(
+                a.stats().sample_variance().to_bits(),
+                b.stats().sample_variance().to_bits()
+            );
+            assert_eq!(a.stats().min().to_bits(), b.stats().min().to_bits());
+            assert_eq!(a.stats().max().to_bits(), b.stats().max().to_bits());
+            assert_eq!(a.quantile(0.99), b.quantile(0.99), "{class:?}");
+        }
+        assert!(LatencySketch::merge_of(std::iter::empty()).is_none());
+        // A single contributor is just a clone.
+        let one = LatencySketch::merge_of(std::iter::once(&parts[2])).unwrap();
+        assert_eq!(one.total(), parts[2].total());
     }
 
     #[test]

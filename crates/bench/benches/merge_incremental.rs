@@ -1,0 +1,92 @@
+//! Head-to-head microbenchmark for the incremental query plane: the
+//! pre-PR per-query cost (a full merge of every shard snapshot on every
+//! query, `merge_full`) vs. the `QueryPlane` refresh in its two steady
+//! states — nothing dirty (pure pointer walk returning the cached view)
+//! and exactly one dirty scenario (one re-merge, everything else
+//! carried by `Arc` pointer).
+//!
+//! The fixture mirrors the perf harness: 4 shards by 512 scenarios of
+//! deterministic synthetic sketches. The dirty-scenario pass flip-flops
+//! between two prebuilt shard-0 variants that share every scenario
+//! `Arc` except one, so the benchmark times the refresh alone and not
+//! snapshot construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use latlab_analysis::{EventClass, LatencySketch};
+use latlab_serve::{merge_full, QueryPlane, ShardSnapshot};
+
+const SHARDS: u64 = 4;
+const SCENARIOS: usize = 512;
+
+/// One deterministic shard snapshot: `SCENARIOS` sketches of 48 samples.
+fn synthetic_snapshot(shard: u64) -> Arc<ShardSnapshot> {
+    let sketches: HashMap<String, Arc<LatencySketch>> = (0..SCENARIOS)
+        .map(|k| {
+            let mut s = LatencySketch::new();
+            for i in 0..48u64 {
+                let class = EventClass::ALL[((i + shard) % EventClass::ALL.len() as u64) as usize];
+                let ms = 0.3 + ((i * 17 + shard * 131 + k as u64 * 29) % 389) as f64 * 3.7;
+                s.push(class, ms);
+            }
+            (format!("scen-{k}"), Arc::new(s))
+        })
+        .collect();
+    Arc::new(ShardSnapshot {
+        epoch: shard + 1,
+        sketches,
+    })
+}
+
+/// A variant of `base` sharing every scenario `Arc` except a
+/// re-published `scen-0`.
+fn dirty_variant(base: &ShardSnapshot, bump: u64) -> Arc<ShardSnapshot> {
+    let mut sketches = base.sketches.clone();
+    let mut dirty = (**sketches.get("scen-0").expect("scen-0 exists")).clone();
+    dirty.push(EventClass::Keystroke, 1.0 + bump as f64);
+    sketches.insert("scen-0".to_owned(), Arc::new(dirty));
+    Arc::new(ShardSnapshot {
+        epoch: base.epoch + bump,
+        sketches,
+    })
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let snaps: Vec<Arc<ShardSnapshot>> = (0..SHARDS).map(synthetic_snapshot).collect();
+
+    let mut group = c.benchmark_group("merge_incremental");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("full_merge/512_scenarios", |b| {
+        b.iter(|| black_box(merge_full(&snaps)))
+    });
+
+    group.bench_function("plane_refresh_clean/512_scenarios", |b| {
+        let plane = QueryPlane::new();
+        plane.refresh(&snaps);
+        b.iter(|| black_box(plane.refresh(&snaps)))
+    });
+
+    group.bench_function("plane_refresh_one_dirty/512_scenarios", |b| {
+        let plane = QueryPlane::new();
+        plane.refresh(&snaps);
+        let (alt_a, alt_b) = (dirty_variant(&snaps[0], 1), dirty_variant(&snaps[0], 2));
+        let mut flipped = snaps.clone();
+        let mut flip = false;
+        b.iter(|| {
+            flipped[0] = if flip { alt_a.clone() } else { alt_b.clone() };
+            flip = !flip;
+            black_box(plane.refresh(&flipped))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

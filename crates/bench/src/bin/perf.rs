@@ -40,13 +40,15 @@
 //! pure simulator overhead (this is how the fast-forward speedup itself
 //! is measured).
 
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use latlab_analysis::EventClass;
+use latlab_analysis::{EventClass, LatencySketch};
 use latlab_bench::{engine, pool, scenarios};
 use latlab_core::cli;
-use latlab_serve::{slam, ServeConfig, Server};
+use latlab_serve::{merge_full, slam, QueryPlane, ServeConfig, Server, ShardSnapshot};
 use serde::{Deserialize, Serialize};
 
 const BIN: &str = "perf";
@@ -115,6 +117,48 @@ struct DurabilityBench {
     recovery_records_per_sec: f64,
 }
 
+/// The query-plane benchmark: how much the incremental cached view
+/// saves over the per-query full merge it replaced, plus query latency
+/// under concurrent ingest at several scenario cardinalities.
+#[derive(Serialize)]
+struct QueryBench {
+    /// Scenario count of the synthetic snapshot set the micro-benchmark
+    /// merges.
+    cold_scenarios: usize,
+    /// Shards in the synthetic snapshot set.
+    cold_shards: usize,
+    /// Per-query cost of the reference full merge (what every query
+    /// used to pay).
+    cold_merge_ms: f64,
+    /// Per-refresh cost of the incremental plane with exactly one dirty
+    /// scenario (what a query pays now, right after a publish).
+    incremental_refresh_ms: f64,
+    /// `cold_merge_ms / incremental_refresh_ms` — the tentpole figure.
+    incremental_speedup: f64,
+    /// Query latency under concurrent slam ingest, one entry per
+    /// scenario cardinality.
+    loads: Vec<QueryLoadBench>,
+}
+
+/// One scenario-cardinality point of the under-load query benchmark.
+#[derive(Serialize)]
+struct QueryLoadBench {
+    /// Distinct scenario names the ingest load fanned out over.
+    scenarios: usize,
+    /// Probes completed across all verbs.
+    queries: u64,
+    /// All-verb round-trip p50 (ms).
+    query_p50_ms: f64,
+    /// All-verb round-trip p99 (ms).
+    query_p99_ms: f64,
+    /// `PCTL` round-trip p99 (ms) — memoized quantile lookup.
+    pctl_p99_ms: f64,
+    /// `SNAPSHOT` round-trip p99 (ms) — whole-view serialization.
+    snapshot_p99_ms: f64,
+    /// `HEALTH` round-trip p99 (ms) — precomputed totals.
+    health_p99_ms: f64,
+}
+
 /// The whole trajectory datapoint.
 #[derive(Serialize)]
 struct BenchReport {
@@ -139,6 +183,8 @@ struct BenchReport {
     peak_rss_kb: Option<u64>,
     /// Loopback ingest/query benchmark; absent when `--ingest-secs 0`.
     ingest: Option<IngestBench>,
+    /// Query-plane benchmark; absent when `--ingest-secs 0`.
+    query: Option<QueryBench>,
 }
 
 /// Minimal view of a perf report for `--baseline` comparison. Unknown
@@ -191,6 +237,28 @@ struct BaselineDurabilityIngest {
 #[derive(Deserialize)]
 struct BaselineDurability {
     wal_mb_per_sec: f64,
+}
+
+/// Query slice of a baseline file, parsed separately for the same
+/// reason as [`BaselineIngestWrapper`]: a baseline written before the
+/// query-plane benchmark existed simply fails this parse and yields no
+/// query-latency gate.
+#[derive(Deserialize)]
+struct BaselineQueryWrapper {
+    query: BaselineQuery,
+}
+
+/// The query figures the gate compares.
+#[derive(Deserialize)]
+struct BaselineQuery {
+    loads: Vec<BaselineQueryLoad>,
+}
+
+/// One baseline load point, matched to the fresh run by scenario count.
+#[derive(Deserialize)]
+struct BaselineQueryLoad {
+    scenarios: usize,
+    query_p99_ms: f64,
 }
 
 /// Peak RSS of the current process in kB (`VmHWM`), Linux only.
@@ -336,6 +404,40 @@ fn gate_durability(
     }
 }
 
+/// Compares query p99 under load against the baseline's, per matching
+/// scenario cardinality; returns regression descriptions (empty =
+/// pass). Same noise floor as the ingest query-p99 gate — a tail probe
+/// under full load is one scheduler hiccup away from doubling.
+fn gate_query(base: &BaselineQuery, now: &QueryBench, tolerance_pct: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for b in &base.loads {
+        let Some(n) = now.loads.iter().find(|l| l.scenarios == b.scenarios) else {
+            continue;
+        };
+        if b.query_p99_ms <= 0.0 || n.query_p99_ms <= 0.0 {
+            continue;
+        }
+        let delta_pct = (n.query_p99_ms / b.query_p99_ms - 1.0) * 100.0;
+        let delta_ms = n.query_p99_ms - b.query_p99_ms;
+        let regressed = delta_pct > tolerance_pct && delta_ms > INGEST_NOISE_FLOOR_MS;
+        eprintln!(
+            "  gate query@{:<5} {:>8.2} ms vs baseline {:>8.2} ms ({delta_pct:+.1}%) {}",
+            b.scenarios,
+            n.query_p99_ms,
+            b.query_p99_ms,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if regressed {
+            regressions.push(format!(
+                "query p99 at {} scenario(s): {:.2} ms vs baseline {:.2} ms \
+                 ({delta_pct:+.1}% > {tolerance_pct}%)",
+                b.scenarios, n.query_p99_ms, b.query_p99_ms
+            ));
+        }
+    }
+    regressions
+}
+
 /// The durability pass: the same slam load with the WAL on and uploads
 /// on the resumable path, then a crash (no drain, no checkpoint) and a
 /// timed restart that replays the log the crash left behind.
@@ -455,6 +557,123 @@ fn pipeline_bench() -> (f64, f64) {
         bytes as f64 / 1e6 / t0.elapsed().as_secs_f64()
     };
     (rate(false), rate(true))
+}
+
+/// Builds one synthetic shard snapshot for the query micro-benchmark:
+/// `scenarios` sketches of a few dozen deterministic samples each.
+fn synthetic_snapshot(shard: u64, scenarios: usize) -> Arc<ShardSnapshot> {
+    let sketches: HashMap<String, Arc<LatencySketch>> = (0..scenarios)
+        .map(|k| {
+            let mut s = LatencySketch::new();
+            for i in 0..48u64 {
+                let class = EventClass::ALL[((i + shard) % EventClass::ALL.len() as u64) as usize];
+                let ms = 0.3 + ((i * 17 + shard * 131 + k as u64 * 29) % 389) as f64 * 3.7;
+                s.push(class, ms);
+            }
+            (format!("scen-{k}"), Arc::new(s))
+        })
+        .collect();
+    Arc::new(ShardSnapshot {
+        epoch: shard + 1,
+        sketches,
+    })
+}
+
+/// Mean per-pass wall clock (ms) of repeated calls to `f`: at least 5
+/// passes, and enough of them to accumulate a measurable wall clock.
+fn timed_passes(mut f: impl FnMut()) -> f64 {
+    let mut passes = 0u32;
+    let t0 = Instant::now();
+    while passes < 5 || t0.elapsed() < Duration::from_millis(300) {
+        f();
+        passes += 1;
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / f64::from(passes)
+}
+
+/// The query-plane micro-benchmark: per-query cost of the reference
+/// full merge versus an incremental refresh with exactly one dirty
+/// scenario (the steady-state shape — a publish dirties whatever
+/// folded, everything else is carried by pointer). Returns
+/// `(full_merge_ms, incremental_ms)` per pass.
+fn query_plane_bench(shards: usize, scenarios: usize) -> (f64, f64) {
+    let mut snaps: Vec<Arc<ShardSnapshot>> = (0..shards as u64)
+        .map(|s| synthetic_snapshot(s, scenarios))
+        .collect();
+    let cold_ms = timed_passes(|| {
+        std::hint::black_box(merge_full(&snaps));
+    });
+    let plane = QueryPlane::new();
+    plane.refresh(&snaps); // cold rebuild happens outside the timed region
+                           // Two prebuilt variants of shard 0 that share every scenario Arc
+                           // except a re-published "scen-0" — flip-flopping between them makes
+                           // every refresh see exactly one dirty scenario without timing the
+                           // snapshot construction itself.
+    let variant = |bump: u64| -> Arc<ShardSnapshot> {
+        let mut sketches = snaps[0].sketches.clone();
+        let mut dirty = (**sketches.get("scen-0").expect("scen-0 exists")).clone();
+        dirty.push(EventClass::Keystroke, 1.0 + bump as f64);
+        sketches.insert("scen-0".to_owned(), Arc::new(dirty));
+        Arc::new(ShardSnapshot {
+            epoch: snaps[0].epoch + bump,
+            sketches,
+        })
+    };
+    let (alt_a, alt_b) = (variant(1), variant(2));
+    let mut flip = false;
+    let incremental_ms = timed_passes(|| {
+        snaps[0] = if flip { alt_a.clone() } else { alt_b.clone() };
+        flip = !flip;
+        std::hint::black_box(plane.refresh(&snaps));
+    });
+    (cold_ms, incremental_ms)
+}
+
+/// One under-load point of the query benchmark: slam ingest fanned out
+/// over `scenarios` scenario names while the prober cycles
+/// `PCTL`/`SNAPSHOT`/`HEALTH` at a tight interval.
+fn query_load_bench(
+    secs: u64,
+    connections: usize,
+    scenarios: usize,
+) -> std::io::Result<QueryLoadBench> {
+    let server = Server::start(ServeConfig {
+        bind: "127.0.0.1:0".to_string(),
+        read_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    })?;
+    // Smaller blobs than the throughput pass: more uploads per second
+    // means more publishes, which is the dirty-scenario pressure the
+    // plane has to absorb while answering.
+    let corpus = vec![latlab_serve::idle_corpus(50_000, 0xbe9c, 64)];
+    let cfg = slam::SlamConfig {
+        addr: server.local_addr(),
+        connections,
+        scenario: "perf-query".to_string(),
+        scenarios,
+        duration: Duration::from_secs(secs),
+        query_interval: Duration::from_millis(2),
+        ..slam::SlamConfig::default()
+    };
+    let report = slam::run(&cfg, &corpus)?;
+    server.request_shutdown();
+    let _ = server.join();
+    let verb_p99 = |verb: &str| {
+        report
+            .verbs
+            .iter()
+            .find(|v| v.verb == verb)
+            .map_or(0.0, |v| v.p99_ms)
+    };
+    Ok(QueryLoadBench {
+        scenarios,
+        queries: report.queries,
+        query_p50_ms: report.query_p50_ms,
+        query_p99_ms: report.query_p99_ms,
+        pctl_p99_ms: verb_p99("PCTL"),
+        snapshot_p99_ms: verb_p99("SNAPSHOT"),
+        health_p99_ms: verb_p99("HEALTH"),
+    })
 }
 
 fn main() -> ExitCode {
@@ -729,6 +948,48 @@ fn main() -> ExitCode {
         None
     };
 
+    // Phase 4: the query-plane benchmark — the micro figure (reference
+    // full merge vs incremental refresh with one dirty scenario), then
+    // query latency under live ingest at several scenario counts.
+    let query = if ingest_secs > 0 {
+        const QUERY_SHARDS: usize = 4;
+        const QUERY_SCENARIOS: usize = 512;
+        let (cold_ms, incremental_ms) = query_plane_bench(QUERY_SHARDS, QUERY_SCENARIOS);
+        let speedup = cold_ms / incremental_ms.max(1e-9);
+        eprintln!(
+            "  query plane   full merge {cold_ms:.3} ms vs incremental {incremental_ms:.4} ms \
+             at {QUERY_SCENARIOS} scenarios x {QUERY_SHARDS} shards  (speedup {speedup:.0}x)"
+        );
+        let mut loads = Vec::new();
+        for &n in &[1usize, 32, 512] {
+            match query_load_bench(ingest_secs, ingest_connections, n) {
+                Ok(load) => {
+                    eprintln!(
+                        "  query@{n:<5}   p99 {:.2} ms  (pctl {:.2} / snapshot {:.2} / \
+                         health {:.2}; {} probes)",
+                        load.query_p99_ms,
+                        load.pctl_p99_ms,
+                        load.snapshot_p99_ms,
+                        load.health_p99_ms,
+                        load.queries
+                    );
+                    loads.push(load);
+                }
+                Err(e) => return cli::runtime_error(BIN, &format!("query benchmark failed: {e}")),
+            }
+        }
+        Some(QueryBench {
+            cold_scenarios: QUERY_SCENARIOS,
+            cold_shards: QUERY_SHARDS,
+            cold_merge_ms: cold_ms,
+            incremental_refresh_ms: incremental_ms,
+            incremental_speedup: speedup,
+            loads,
+        })
+    } else {
+        None
+    };
+
     let report = BenchReport {
         schema: "latlab-perf-v2".to_string(),
         scenarios: entries,
@@ -741,6 +1002,7 @@ fn main() -> ExitCode {
         fastforward,
         peak_rss_kb: peak_rss_kb(),
         ingest,
+        query,
     };
     let json = match serde_json::to_string_pretty(&report) {
         Ok(j) => j,
@@ -782,6 +1044,14 @@ fn main() -> ExitCode {
             report.ingest.as_ref().and_then(|i| i.durability.as_ref()),
         ) {
             regressions.extend(gate_durability(&base.ingest.durability, now, tolerance_pct));
+        }
+        // And the query-latency gate, matched per scenario count; same
+        // opportunistic shape for pre-query-plane baselines.
+        if let (Ok(base), Some(now)) = (
+            serde_json::from_str::<BaselineQueryWrapper>(&text),
+            report.query.as_ref(),
+        ) {
+            regressions.extend(gate_query(&base.query, now, tolerance_pct));
         }
         if !regressions.is_empty() {
             eprintln!("perf: {} measurement(s) regressed:", regressions.len());

@@ -16,6 +16,9 @@ usage: latlab-slam ADDR [options] [CORPUS.ltrc ...]
   --connections N       concurrent uploaders (default 4)
   --duration-s N        run length in seconds (default 5)
   --scenario NAME       scenario uploads land under (default slam)
+  --scenarios N         spread uploads over N scenario names NAME-0 …
+                        NAME-{N-1} to stress query-plane cardinality
+                        (default 1: the bare NAME)
   --class NAME          event class for samples (default keystroke)
   --frame-kb N          wire frame payload size in KB (default 64)
   --synthetic-records N corpus if no files given (default 200000 records)
@@ -73,6 +76,7 @@ fn main() -> ExitCode {
                 Ok(v) => config.scenario = v,
                 Err(code) => return code,
             },
+            "--scenarios" => config.scenarios = parse_or_usage!("--scenarios", usize),
             "--class" => match take("--class") {
                 Ok(v) => match EventClass::parse(&v) {
                     Some(c) => config.class = Some(c),
@@ -138,6 +142,13 @@ fn main() -> ExitCode {
     println!("query_p50_ms={:.4}", report.query_p50_ms);
     println!("query_p99_ms={:.4}", report.query_p99_ms);
     println!("query_max_ms={:.4}", report.query_max_ms);
+    for v in &report.verbs {
+        let verb = v.verb.to_lowercase();
+        println!("queries_{verb}={}", v.queries);
+        println!("{verb}_p50_ms={:.4}", v.p50_ms);
+        println!("{verb}_p99_ms={:.4}", v.p99_ms);
+        println!("{verb}_max_ms={:.4}", v.max_ms);
+    }
     if report.uploads_done == 0 {
         return cli::runtime_error(BIN, "no upload completed");
     }

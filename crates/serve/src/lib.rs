@@ -17,8 +17,12 @@
 //!   log-scaled histograms plus deadline-miss counters keyed off the
 //!   perception thresholds;
 //! * answers a line-delimited query protocol (`STATS`, `PCTL`,
-//!   `SNAPSHOT`, `HEALTH`) from epoch-swapped immutable snapshots, so
-//!   the read path never blocks ingest;
+//!   `SNAPSHOT`, `HEALTH`) from epoch-swapped immutable snapshots
+//!   through an incremental [`query`] plane — a cached merged view
+//!   that re-merges only the scenarios whose published sketch changed
+//!   (`Arc::ptr_eq` dirty detection) and memoizes quantiles — so the
+//!   read path never blocks ingest and stays O(dirty scenarios), not
+//!   O(shards × scenarios), per refresh;
 //! * sheds load explicitly — bounded per-shard queues, `BUSY` on
 //!   overflow — and drains gracefully on `SHUTDOWN` or SIGTERM;
 //! * survives `kill -9` when configured with a write-ahead log
@@ -42,6 +46,7 @@ pub mod client;
 pub mod netfault;
 pub mod pipeline;
 pub mod protocol;
+pub mod query;
 pub mod server;
 pub mod shard;
 pub mod slam;
@@ -53,7 +58,8 @@ pub use client::{
 pub use netfault::{FaultConfig, FaultProxy};
 pub use pipeline::{fold_corpus, FoldOutcome};
 pub use protocol::{PutHeader, Query};
+pub use query::{merge_full, MergedView, PlaneStats, QueryPlane, ScenarioEntry};
 pub use server::{ServeConfig, ServeStats, Server};
-pub use shard::{IngestRejection, IngestTotals, ShardConfig, ShardSet};
-pub use slam::{idle_corpus, synthetic_corpus, SlamConfig, SlamReport};
+pub use shard::{IngestRejection, IngestTotals, ShardConfig, ShardSet, ShardSnapshot};
+pub use slam::{idle_corpus, synthetic_corpus, SlamConfig, SlamReport, VerbLatency};
 pub use wal::{RecoveryStats, WalConfig};

@@ -65,6 +65,15 @@
 //! SHUTDOWN               → draining            (starts graceful drain)
 //! QUIT                   → closes the connection
 //! ```
+//!
+//! All four read queries are answered from the server's incremental
+//! [`crate::query::QueryPlane`] — a cached merged view refreshed per
+//! command, re-merging only scenarios whose published sketch changed —
+//! so none of them blocks ingest or pays a full cross-shard merge in
+//! steady state. `HEALTH` reports the plane's behaviour in its trailing
+//! fields: `total_samples`/`total_misses` (precomputed view totals) and
+//! `view_refreshes`/`view_hits`/`view_remerged`/`view_cold_rebuilds`
+//! (cache effectiveness).
 
 use std::io::{self, Read, Write};
 
@@ -313,6 +322,29 @@ impl Query {
         }
         Ok(q)
     }
+
+    /// The command verb, as it appears on the wire. Probers key their
+    /// per-verb latency accounting on this.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Query::Stats(_) => "STATS",
+            Query::Pctl(_, _) => "PCTL",
+            Query::Snapshot => "SNAPSHOT",
+            Query::Health => "HEALTH",
+            Query::Shutdown => "SHUTDOWN",
+            Query::Quit => "QUIT",
+        }
+    }
+
+    /// Renders the query line (without the newline); `parse` of the
+    /// result round-trips, with percentiles in fraction form.
+    pub fn render(&self) -> String {
+        match self {
+            Query::Stats(scenario) => format!("STATS {scenario}"),
+            Query::Pctl(scenario, p) => format!("PCTL {scenario} {p}"),
+            _ => self.verb().to_owned(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -437,5 +469,22 @@ mod tests {
         assert!(Query::parse("PCTL fig5 200").is_err());
         assert!(Query::parse("FLY me").is_err());
         assert!(Query::parse("HEALTH now").is_err());
+    }
+
+    #[test]
+    fn query_render_round_trips_and_verbs_match_the_wire() {
+        let queries = [
+            Query::Stats("fig5".to_owned()),
+            Query::Pctl("fig5".to_owned(), 0.99),
+            Query::Snapshot,
+            Query::Health,
+            Query::Shutdown,
+            Query::Quit,
+        ];
+        for q in queries {
+            let line = q.render();
+            assert_eq!(Query::parse(&line).unwrap(), q, "{line}");
+            assert!(line.starts_with(q.verb()), "{line} vs {}", q.verb());
+        }
     }
 }

@@ -38,11 +38,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use latlab_analysis::{EventClass, LatencySketch};
+use latlab_trace::BufferPool;
 use serde::Serialize;
 
 use crate::protocol::{
     read_frame, read_seq_frame, FrameError, PutHeader, Query, BUSY_LINE, MAX_LINE, OK_LINE,
 };
+use crate::query::QueryPlane;
 use crate::shard::{BeginMode, IngestRejection, Msg, Reply, ShardConfig, ShardSet};
 use crate::wal::{RecoveryStats, StreamId, WalConfig};
 
@@ -102,6 +104,13 @@ pub struct ServeStats {
 /// State shared by the accept loop and every handler.
 struct Inner {
     shards: ShardSet,
+    /// The incremental query plane: one cached merged view shared by
+    /// every query connection, refreshed (cheaply, via `Arc::ptr_eq`
+    /// dirty detection) per command instead of re-merged from scratch.
+    plane: QueryPlane,
+    /// Recycles reply-encoding buffers across query connections, so
+    /// the steady-state response path performs no allocation.
+    reply_pool: BufferPool<u8>,
     stats: ServeStats,
     draining: AtomicBool,
     started: Instant,
@@ -133,6 +142,8 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
             shards,
+            plane: QueryPlane::new(),
+            reply_pool: BufferPool::new(),
             stats: ServeStats::default(),
             draining: AtomicBool::new(false),
             started: Instant::now(),
@@ -188,7 +199,13 @@ impl Server {
             let _ = accept.join();
         }
         self.inner.shards.drain_and_join();
-        self.inner.shards.merged()
+        // One last plane refresh picks up the final publishes
+        // incrementally; only scenarios dirtied since the last query are
+        // re-merged, instead of one parting full merge.
+        self.inner
+            .plane
+            .refresh_from(&self.inner.shards)
+            .to_sketches()
     }
 
     /// Fault-injection hook: dies as `kill -9` would — no drain, no
@@ -562,25 +579,31 @@ struct ScenarioView {
     max_ms: f64,
 }
 
-fn scenario_view(sketch: &LatencySketch) -> ScenarioView {
-    let q = |p: f64| sketch.quantile(p).unwrap_or(0.0);
-    ScenarioView {
-        count: sketch.total(),
-        misses: sketch.total_misses(),
-        p50_ms: q(0.50),
-        p90_ms: q(0.90),
-        p99_ms: q(0.99),
-        max_ms: q(1.0),
-    }
-}
-
 /// The query loop: answers commands until `QUIT`, EOF, or drain.
+/// Encoding happens into a [`BufferPool`]-recycled buffer that is
+/// flushed to the socket in one write, so the handler borrows no
+/// allocation per reply in steady state.
 fn handle_queries(
     first: &str,
     reader: &mut impl BufRead,
     writer: &mut impl Write,
     inner: &Arc<Inner>,
 ) -> io::Result<()> {
+    let mut buf = inner.reply_pool.get();
+    let result = query_loop(first, reader, writer, inner, &mut buf);
+    inner.reply_pool.put(buf);
+    result
+}
+
+fn query_loop(
+    first: &str,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    inner: &Arc<Inner>,
+    buf: &mut Vec<u8>,
+) -> io::Result<()> {
+    // Scratch for SNAPSHOT's batched quantile lookups.
+    let mut quantiles: Vec<f64> = Vec::new();
     let mut line = Some(first.to_owned());
     loop {
         let Some(current) = line.take() else {
@@ -605,28 +628,32 @@ fn handle_queries(
             continue;
         }
         inner.stats.queries.fetch_add(1, Ordering::Relaxed);
+        buf.clear();
         match Query::parse(&current) {
-            Err(msg) => writeln!(writer, "ERR {msg}")?,
+            Err(msg) => writeln!(buf, "ERR {msg}")?,
             Ok(Query::Quit) => {
                 writer.flush()?;
                 return Ok(());
             }
             Ok(Query::Shutdown) => {
                 inner.draining.store(true, Ordering::SeqCst);
-                writeln!(writer, "draining")?;
+                writeln!(buf, "draining")?;
             }
             Ok(Query::Health) => {
-                let (epoch, merged) = inner.shards.merged();
+                let view = inner.plane.refresh_from(&inner.shards);
+                let plane = inner.plane.stats();
                 let s = &inner.stats;
                 let totals = inner.shards.totals();
                 let rec = inner.shards.recovery();
                 writeln!(
-                    writer,
+                    buf,
                     "ok uptime_s={} shards={} connections={} ingested_records={} \
                      ingested_bytes={} busy_rejections={} queries={} failed={} \
                      scenarios={} epoch={} wal={} wal_records={} wal_bytes={} \
                      dedup_dropped={} recovered_frames={} recovered_records={} \
-                     recovered_samples={} recovered_torn={} recovery_ms={}",
+                     recovered_samples={} recovered_torn={} recovery_ms={} \
+                     total_samples={} total_misses={} view_refreshes={} \
+                     view_hits={} view_remerged={} view_cold_rebuilds={}",
                     inner.started.elapsed().as_secs(),
                     inner.shards.len(),
                     s.connections.load(Ordering::Relaxed),
@@ -635,8 +662,8 @@ fn handle_queries(
                     s.busy_rejections.load(Ordering::Relaxed),
                     s.queries.load(Ordering::Relaxed),
                     s.failed_connections.load(Ordering::Relaxed),
-                    merged.len(),
-                    epoch,
+                    view.len(),
+                    view.epoch(),
                     u8::from(inner.shards.wal_enabled()),
                     totals.wal_records.load(Ordering::Relaxed),
                     totals.wal_bytes.load(Ordering::Relaxed),
@@ -646,35 +673,41 @@ fn handle_queries(
                     rec.samples,
                     rec.torn_tails,
                     rec.millis,
+                    view.total(),
+                    view.total_misses(),
+                    plane.refreshes,
+                    plane.hits,
+                    plane.remerged,
+                    plane.cold_rebuilds,
                 )?;
             }
             Ok(Query::Pctl(scenario, p)) => {
-                let (_, merged) = inner.shards.merged();
-                match merged.get(&scenario).and_then(|s| s.quantile(p)) {
+                let view = inner.plane.refresh_from(&inner.shards);
+                match view.get(&scenario).and_then(|e| e.quantile(p)) {
                     Some(ms) => {
-                        writeln!(writer, "pctl scenario={scenario} p={p} ms={ms:.4}")?;
+                        writeln!(buf, "pctl scenario={scenario} p={p} ms={ms:.4}")?;
                     }
-                    None => writeln!(writer, "ERR no data for scenario {scenario:?}")?,
+                    None => writeln!(buf, "ERR no data for scenario {scenario:?}")?,
                 }
             }
             Ok(Query::Stats(scenario)) => {
-                let (_, merged) = inner.shards.merged();
-                match merged.get(&scenario) {
-                    None => writeln!(writer, "ERR no data for scenario {scenario:?}")?,
-                    Some(sketch) => {
+                let view = inner.plane.refresh_from(&inner.shards);
+                match view.get(&scenario) {
+                    None => writeln!(buf, "ERR no data for scenario {scenario:?}")?,
+                    Some(entry) => {
                         writeln!(
-                            writer,
+                            buf,
                             "scenario={scenario} total={} misses={}",
-                            sketch.total(),
-                            sketch.total_misses()
+                            entry.total(),
+                            entry.misses()
                         )?;
                         for class in EventClass::ALL {
-                            let c = sketch.class(class);
+                            let c = entry.sketch().class(class);
                             if c.count() == 0 {
                                 continue;
                             }
                             writeln!(
-                                writer,
+                                buf,
                                 "class={} count={} misses={} saturated={} \
                                  mean_ms={:.4} p50_ms={:.4} p99_ms={:.4} max_ms={:.4}",
                                 class.name(),
@@ -687,25 +720,39 @@ fn handle_queries(
                                 c.stats().max(),
                             )?;
                         }
-                        writeln!(writer, ".")?;
+                        writeln!(buf, ".")?;
                     }
                 }
             }
             Ok(Query::Snapshot) => {
-                let (epoch, merged) = inner.shards.merged();
-                let view = SnapshotView {
-                    epoch,
-                    total: merged.values().map(LatencySketch::total).sum(),
-                    scenarios: merged
+                let view = inner.plane.refresh_from(&inner.shards);
+                let snapshot = SnapshotView {
+                    epoch: view.epoch(),
+                    total: view.total(),
+                    scenarios: view
                         .iter()
-                        .map(|(name, sketch)| (name.clone(), scenario_view(sketch)))
+                        .map(|(name, entry)| {
+                            entry.quantiles(&[0.50, 0.90, 0.99, 1.0], &mut quantiles);
+                            (
+                                name.to_owned(),
+                                ScenarioView {
+                                    count: entry.total(),
+                                    misses: entry.misses(),
+                                    p50_ms: quantiles[0],
+                                    p90_ms: quantiles[1],
+                                    p99_ms: quantiles[2],
+                                    max_ms: quantiles[3],
+                                },
+                            )
+                        })
                         .collect(),
                 };
-                let json = serde_json::to_string(&view)
+                let json = serde_json::to_string(&snapshot)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                writeln!(writer, "{json}")?;
+                writeln!(buf, "{json}")?;
             }
         }
+        writer.write_all(buf)?;
         writer.flush()?;
     }
 }

@@ -413,21 +413,20 @@ impl ShardSet {
         self.shards.iter().map(|s| s.slot.load()).collect()
     }
 
+    /// Clones every shard's current snapshot into a caller-owned
+    /// buffer, so the hot query path can reuse one allocation across
+    /// refreshes ([`crate::query::QueryPlane::refresh_from`]).
+    pub fn snapshots_into(&self, out: &mut Vec<Arc<ShardSnapshot>>) {
+        out.clear();
+        out.extend(self.shards.iter().map(|s| s.slot.load()));
+    }
+
     /// Merges the current snapshots into per-scenario sketches plus the
-    /// epoch sum.
-    pub fn merged(&self) -> (u64, HashMap<String, LatencySketch>) {
-        let mut epoch = 0u64;
-        let mut merged: HashMap<String, LatencySketch> = HashMap::new();
-        for snap in self.snapshots() {
-            epoch += snap.epoch;
-            for (scenario, sketch) in &snap.sketches {
-                merged
-                    .entry(scenario.clone())
-                    .and_modify(|m| m.merge(sketch))
-                    .or_insert_with(|| (**sketch).clone());
-            }
-        }
-        (epoch, merged)
+    /// epoch sum, from scratch. This is the reference implementation
+    /// the incremental [`crate::query::QueryPlane`] must stay
+    /// bit-identical to; the live query path no longer calls it.
+    pub fn merged_full(&self) -> (u64, HashMap<String, LatencySketch>) {
+        crate::query::merge_full(&self.snapshots())
     }
 
     /// Graceful drain: every queued message is processed and committed,
@@ -1082,16 +1081,20 @@ fn recover_shard(dir: &Path, scalar: bool) -> io::Result<Recovered> {
     })
 }
 
+/// Shared in-crate test helpers for driving a [`ShardSet`] directly
+/// (without a listener): temp WAL dirs, keyed streams, frame chopping,
+/// retried sends, and the begin/upload/wait primitives. Used by this
+/// module's tests and by the query-plane equivalence tests in
+/// [`crate::query`].
 #[cfg(test)]
-mod tests {
+pub(crate) mod testkit {
     use super::*;
-    use crate::slam::idle_corpus;
     use std::sync::mpsc::channel;
 
-    struct TempDir(PathBuf);
+    pub(crate) struct TempDir(pub PathBuf);
 
     impl TempDir {
-        fn new(tag: &str) -> TempDir {
+        pub(crate) fn new(tag: &str) -> TempDir {
             let dir = std::env::temp_dir().join(format!(
                 "latlab-shard-{tag}-{}-{:?}",
                 std::process::id(),
@@ -1102,7 +1105,7 @@ mod tests {
             TempDir(dir)
         }
 
-        fn wal(&self) -> WalConfig {
+        pub(crate) fn wal(&self) -> WalConfig {
             WalConfig::new(&self.0)
         }
     }
@@ -1113,7 +1116,7 @@ mod tests {
         }
     }
 
-    fn config(shards: usize) -> ShardConfig {
+    pub(crate) fn config(shards: usize) -> ShardConfig {
         ShardConfig {
             shards,
             queue_depth: 64,
@@ -1121,20 +1124,20 @@ mod tests {
         }
     }
 
-    fn keyed(client: &str, scenario: &str) -> StreamId {
+    pub(crate) fn keyed(client: &str, scenario: &str) -> StreamId {
         StreamId::Keyed {
             client: client.to_owned(),
             scenario: scenario.to_owned(),
         }
     }
 
-    fn frames_of(corpus: &[u8], frame_len: usize) -> Vec<Vec<u8>> {
+    pub(crate) fn frames_of(corpus: &[u8], frame_len: usize) -> Vec<Vec<u8>> {
         corpus.chunks(frame_len).map(<[u8]>::to_vec).collect()
     }
 
     /// Sends, retrying transient `QueueFull` (the bounded queue is load
     /// shedding, not an error, when the test is just slower than ingest).
-    fn send_retry(set: &ShardSet, shard: usize, mut msg: Msg) {
+    pub(crate) fn send_retry(set: &ShardSet, shard: usize, mut msg: Msg) {
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
             match set.try_send(shard, msg) {
@@ -1148,7 +1151,7 @@ mod tests {
         }
     }
 
-    fn begin(
+    pub(crate) fn begin(
         set: &ShardSet,
         shard: usize,
         stream: &StreamId,
@@ -1173,7 +1176,7 @@ mod tests {
 
     /// Sends frames `[from..]` of `frames` numbered `base + 1 + i`, then
     /// the end frame, and waits for the verdict.
-    fn upload_tail(
+    pub(crate) fn upload_tail(
         set: &ShardSet,
         shard: usize,
         stream: &StreamId,
@@ -1209,6 +1212,25 @@ mod tests {
         }
     }
 
+    /// Polls one shard's slot until its epoch reaches `want`.
+    pub(crate) fn wait_for_epoch(set: &ShardSet, shard: usize, want: u64) -> Arc<ShardSnapshot> {
+        for _ in 0..1000 {
+            let snap = set.snapshots()[shard].clone();
+            if snap.epoch >= want {
+                return snap;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("shard {shard} never reached epoch {want}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit::*;
+    use super::*;
+    use crate::slam::idle_corpus;
+
     #[test]
     fn routing_is_stable_and_key_sensitive() {
         let set = ShardSet::start(&config(4), None, false).unwrap();
@@ -1239,7 +1261,7 @@ mod tests {
             other => panic!("expected Done, got {other:?}"),
         }
         set.drain_and_join();
-        let (_, merged) = set.merged();
+        let (_, merged) = set.merged_full();
         let got = &merged["fig5"];
         assert_eq!(got.total(), expect.sketch.total());
         let (gc, ec) = (
@@ -1323,7 +1345,7 @@ mod tests {
             frames.len() as u64 + 1
         );
         set.drain_and_join();
-        let (_, merged) = set.merged();
+        let (_, merged) = set.merged_full();
         // Exactly-once: the double-sent corpus folded exactly once.
         let expect = crate::pipeline::fold_corpus(&corpus, 8192, EventClass::Keystroke, false);
         assert_eq!(merged["dup"].total(), expect.sketch.total());
@@ -1413,7 +1435,7 @@ mod tests {
             .unwrap();
         }
         let expect = &expect["fig5"];
-        let (_, merged) = set.merged();
+        let (_, merged) = set.merged_full();
         let got = &merged["fig5"];
         assert_eq!(got.total(), expect.total());
         let (gc, ec) = (
@@ -1433,7 +1455,7 @@ mod tests {
         }
         set.drain_and_join();
         let whole = crate::pipeline::fold_corpus(&corpus, 4096, EventClass::Keystroke, false);
-        let (_, merged) = set.merged();
+        let (_, merged) = set.merged_full();
         assert_eq!(merged["fig5"].total(), whole.sketch.total());
         assert_eq!(
             merged["fig5"].class(EventClass::Keystroke).stats().mean(),
@@ -1461,25 +1483,13 @@ mod tests {
         assert!(rec.checkpoints >= 1);
         assert_eq!(rec.frames, 0, "drain left WAL records: {rec:?}");
         assert_eq!(rec.torn_tails, 0);
-        let (_, merged) = set.merged();
+        let (_, merged) = set.merged_full();
         let expect = crate::pipeline::fold_corpus(&corpus, 4096, EventClass::Keystroke, false);
         assert_eq!(merged["fig5"].total(), expect.sketch.total());
         // And the resume watermark survived the restart.
         let (_rx, watermark) = begin(&set, shard, &stream, BeginMode::Continue(0));
         assert_eq!(watermark, frames.len() as u64 + 1);
         set.drain_and_join();
-    }
-
-    /// Polls one shard's slot until its epoch reaches `want`.
-    fn wait_for_epoch(set: &ShardSet, shard: usize, want: u64) -> Arc<ShardSnapshot> {
-        for _ in 0..1000 {
-            let snap = set.snapshots()[shard].clone();
-            if snap.epoch >= want {
-                return snap;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        panic!("shard {shard} never reached epoch {want}");
     }
 
     #[test]
@@ -1591,7 +1601,7 @@ mod tests {
                 upload_tail(&set, 0, &stream, &rx, &frames, 0, 0),
                 Reply::Done { .. }
             ));
-            let (epoch, merged) = set.merged();
+            let (epoch, merged) = set.merged_full();
             let count = merged.get("mono").map_or(0, |s| s.total());
             assert!(count >= last_count, "round {round}: count went backwards");
             assert!(epoch >= last_epoch, "round {round}: epoch went backwards");

@@ -2,10 +2,18 @@
 //!
 //! Replays one or more in-memory `.ltrc` blobs against a running
 //! `latlab-serve` from N concurrent uploader threads, while a separate
-//! thread measures query-path latency (`PCTL` round-trips) the whole
-//! time. The point of the split is the service's own claim: the read
-//! path must stay fast *while* ingest is saturated, so query latency is
-//! only meaningful when measured under upload load.
+//! thread measures query-path latency the whole time. The point of the
+//! split is the service's own claim: the read path must stay fast
+//! *while* ingest is saturated, so query latency is only meaningful
+//! when measured under upload load.
+//!
+//! The prober cycles through the three read verbs — `PCTL` (rotating
+//! over the scenarios being uploaded), `SNAPSHOT`, and `HEALTH` — and
+//! the report breaks latency out per verb, since each stresses a
+//! different part of the query plane (memoized quantile, whole-view
+//! serialization, precomputed totals). [`SlamConfig::scenarios`] fans
+//! the upload load out over N scenario names, which is how the query
+//! plane gets stressed at high scenario cardinality.
 
 use std::io;
 use std::net::SocketAddr;
@@ -16,7 +24,7 @@ use std::time::{Duration, Instant};
 use latlab_analysis::EventClass;
 
 use crate::client::{upload, upload_resumable, QueryClient, ResumeOpts, UploadOutcome};
-use crate::protocol::PutHeader;
+use crate::protocol::{PutHeader, Query};
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
@@ -25,8 +33,14 @@ pub struct SlamConfig {
     pub addr: SocketAddr,
     /// Concurrent uploader connections.
     pub connections: usize,
-    /// Scenario the uploads land under.
+    /// Scenario the uploads land under (the prefix, when `scenarios`
+    /// fans out).
     pub scenario: String,
+    /// Distinct scenario names to spread uploads over. 1 keeps the bare
+    /// [`scenario`](Self::scenario) name; N > 1 uploads round-robin to
+    /// `<scenario>-0` … `<scenario>-{N-1}`, and the prober's `PCTL`
+    /// rotates over the same names.
+    pub scenarios: usize,
     /// Event class declared on each `PUT` (None → server default).
     pub class: Option<EventClass>,
     /// Wall-clock run length; uploaders loop over the corpus until this
@@ -64,6 +78,7 @@ impl Default for SlamConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             connections: 4,
             scenario: "slam".to_owned(),
+            scenarios: 1,
             class: Some(EventClass::Keystroke),
             duration: Duration::from_secs(5),
             frame_len: 64 * 1024,
@@ -103,14 +118,32 @@ pub struct SlamReport {
     pub frames_resumed: u64,
     /// Wall-clock time actually spent.
     pub elapsed: Duration,
-    /// Query probes completed.
+    /// Query probes completed (all verbs).
     pub queries: u64,
-    /// Query round-trip p50 (ms), 0 if no probes landed.
+    /// Query round-trip p50 (ms) over all verbs, 0 if no probes landed.
     pub query_p50_ms: f64,
-    /// Query round-trip p99 (ms), 0 if no probes landed.
+    /// Query round-trip p99 (ms) over all verbs, 0 if no probes landed.
     pub query_p99_ms: f64,
-    /// Worst query round-trip (ms).
+    /// Worst query round-trip (ms) over all verbs.
     pub query_max_ms: f64,
+    /// Per-verb breakdown (`PCTL`, `SNAPSHOT`, `HEALTH`), in probe
+    /// order.
+    pub verbs: Vec<VerbLatency>,
+}
+
+/// One query verb's round-trip latency under load.
+#[derive(Debug, Clone)]
+pub struct VerbLatency {
+    /// The wire verb (`PCTL`, `SNAPSHOT`, `HEALTH`).
+    pub verb: &'static str,
+    /// Probes of this verb completed.
+    pub queries: u64,
+    /// Round-trip p50 (ms), 0 if no probes landed.
+    pub p50_ms: f64,
+    /// Round-trip p99 (ms), 0 if no probes landed.
+    pub p99_ms: f64,
+    /// Worst round-trip (ms).
+    pub max_ms: f64,
 }
 
 impl SlamReport {
@@ -149,6 +182,14 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
     let reconnects = Arc::new(AtomicU64::new(0));
     let frames_resumed = Arc::new(AtomicU64::new(0));
     let corpus: Arc<Vec<Vec<u8>>> = Arc::new(corpus.to_vec());
+    // The scenario names uploads round-robin over (and PCTL probes hit).
+    let scenario_names: Arc<Vec<String>> = Arc::new(if config.scenarios <= 1 {
+        vec![config.scenario.clone()]
+    } else {
+        (0..config.scenarios)
+            .map(|k| format!("{}-{k}", config.scenario))
+            .collect()
+    });
 
     let started = Instant::now();
     let mut uploaders = Vec::new();
@@ -163,13 +204,18 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
         let reconnects = reconnects.clone();
         let frames_resumed = frames_resumed.clone();
         let corpus = corpus.clone();
-        let header = PutHeader {
-            client: format!("slam-{i}"),
-            scenario: config.scenario.clone(),
-            class: config.class,
-            resume: config.resume,
-            resume_base: None,
-        };
+        // One header per scenario name, built once per thread; the
+        // upload loop round-robins over them without allocating.
+        let headers: Vec<PutHeader> = scenario_names
+            .iter()
+            .map(|scenario| PutHeader {
+                client: format!("slam-{i}"),
+                scenario: scenario.clone(),
+                class: config.class,
+                resume: config.resume,
+                resume_base: None,
+            })
+            .collect();
         let addr = config.addr;
         let frame_len = config.frame_len;
         let backoff_base = config.busy_backoff.max(Duration::from_micros(100));
@@ -190,6 +236,7 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
                     let mut next = i; // stagger corpus start points
                     'run: while !stop.load(Ordering::Relaxed) {
                         let blob = &corpus[next % corpus.len()];
+                        let header = &headers[next % headers.len()];
                         next += 1;
                         let mut backoff = backoff_base;
                         let mut attempts = 0u32;
@@ -199,15 +246,14 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
                             // as errors once its reconnect budget is
                             // spent.
                             let outcome = match &resume_opts {
-                                Some(opts) => upload_resumable(
-                                    addr, &header, blob, frame_len, opts,
-                                )
-                                .map(|r| {
-                                    reconnects.fetch_add(r.reconnects, Ordering::Relaxed);
-                                    frames_resumed.fetch_add(r.frames_resumed, Ordering::Relaxed);
-                                    r.outcome
-                                }),
-                                None => upload(addr, &header, blob, frame_len),
+                                Some(opts) => upload_resumable(addr, header, blob, frame_len, opts)
+                                    .map(|r| {
+                                        reconnects.fetch_add(r.reconnects, Ordering::Relaxed);
+                                        frames_resumed
+                                            .fetch_add(r.frames_resumed, Ordering::Relaxed);
+                                        r.outcome
+                                    }),
+                                None => upload(addr, header, blob, frame_len),
                             };
                             match outcome {
                                 Ok(UploadOutcome::Done {
@@ -252,31 +298,47 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
     }
 
     // The query prober shares the run with the uploaders: latencies it
-    // records are read-path latencies under ingest load.
-    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    // records are read-path latencies under ingest load. Each probe is
+    // tagged with its verb index so the report can break latency out
+    // per verb.
+    let latencies: Arc<Mutex<Vec<(u8, f64)>>> = Arc::new(Mutex::new(Vec::new()));
     let prober = {
         let stop = stop.clone();
         let latencies = latencies.clone();
         let addr = config.addr;
-        let scenario = config.scenario.clone();
+        let names = scenario_names.clone();
         let interval = config.query_interval;
         std::thread::Builder::new()
             .name("slam-query".to_owned())
             .spawn(move || {
                 let mut client = None;
+                let mut probe = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     if client.is_none() {
                         client = QueryClient::connect(addr).ok();
                     }
                     if let Some(c) = client.as_mut() {
+                        // Cycle the read verbs; PCTL rotates through the
+                        // uploaded scenario names. All three replies are
+                        // single lines, so one roundtrip each.
+                        let verb = (probe % PROBE_VERBS.len()) as u8;
+                        let query = match verb {
+                            0 => Query::Pctl(
+                                names[(probe / PROBE_VERBS.len()) % names.len()].clone(),
+                                0.99,
+                            ),
+                            1 => Query::Snapshot,
+                            _ => Query::Health,
+                        };
                         let t0 = Instant::now();
-                        match c.pctl(&scenario, 0.99) {
+                        match c.roundtrip(&query.render()) {
                             Ok(_) => {
                                 let ms = t0.elapsed().as_secs_f64() * 1e3;
-                                latencies.lock().expect("latency lock").push(ms);
+                                latencies.lock().expect("latency lock").push((verb, ms));
                             }
                             Err(_) => client = None,
                         }
+                        probe += 1;
                     }
                     std::thread::sleep(interval);
                 }
@@ -292,15 +354,28 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
     let _ = prober.join();
     let elapsed = started.elapsed();
 
-    let mut lat = latencies.lock().expect("latency lock").clone();
-    lat.sort_by(f64::total_cmp);
-    let pick = |q: f64| -> f64 {
-        if lat.is_empty() {
-            return 0.0;
-        }
-        let rank = (q * (lat.len() - 1) as f64).round() as usize;
-        lat[rank.min(lat.len() - 1)]
-    };
+    let all = latencies.lock().expect("latency lock").clone();
+    let (queries, query_p50_ms, query_p99_ms, query_max_ms) =
+        percentiles(all.iter().map(|&(_, ms)| ms).collect());
+    let verbs = PROBE_VERBS
+        .iter()
+        .enumerate()
+        .map(|(k, &verb)| {
+            let (queries, p50_ms, p99_ms, max_ms) = percentiles(
+                all.iter()
+                    .filter(|&&(v, _)| v == k as u8)
+                    .map(|&(_, ms)| ms)
+                    .collect(),
+            );
+            VerbLatency {
+                verb,
+                queries,
+                p50_ms,
+                p99_ms,
+                max_ms,
+            }
+        })
+        .collect();
     Ok(SlamReport {
         uploads_done: done.load(Ordering::SeqCst),
         uploads_busy: busy.load(Ordering::SeqCst),
@@ -311,11 +386,34 @@ pub fn run(config: &SlamConfig, corpus: &[Vec<u8>]) -> io::Result<SlamReport> {
         reconnects: reconnects.load(Ordering::SeqCst),
         frames_resumed: frames_resumed.load(Ordering::SeqCst),
         elapsed,
-        queries: lat.len() as u64,
-        query_p50_ms: pick(0.50),
-        query_p99_ms: pick(0.99),
-        query_max_ms: lat.last().copied().unwrap_or(0.0),
+        queries,
+        query_p50_ms,
+        query_p99_ms,
+        query_max_ms,
+        verbs,
     })
+}
+
+/// The verbs the prober cycles, in tag order.
+const PROBE_VERBS: [&str; 3] = ["PCTL", "SNAPSHOT", "HEALTH"];
+
+/// `(count, p50, p99, max)` of a latency sample set (0s when empty),
+/// with the nearest-rank pick the slam report has always used.
+fn percentiles(mut lat: Vec<f64>) -> (u64, f64, f64, f64) {
+    lat.sort_by(f64::total_cmp);
+    let pick = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let rank = (q * (lat.len() - 1) as f64).round() as usize;
+        lat[rank.min(lat.len() - 1)]
+    };
+    (
+        lat.len() as u64,
+        pick(0.50),
+        pick(0.99),
+        lat.last().copied().unwrap_or(0.0),
+    )
 }
 
 /// Builds a deterministic synthetic idle-stamp trace for load runs with
