@@ -6,7 +6,7 @@ use latlab_os::{Action, ApiCall, ComputeSpec};
 
 /// A FIFO of actions an application has decided to perform; programs drain
 /// it one action per [`latlab_os::Program::step`].
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ActionQueue {
     queue: VecDeque<Action>,
 }

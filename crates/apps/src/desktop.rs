@@ -57,6 +57,7 @@ impl Default for DesktopConfig {
 }
 
 /// The shell program.
+#[derive(Clone, Debug)]
 pub struct Desktop {
     config: DesktopConfig,
     pending: ActionQueue,

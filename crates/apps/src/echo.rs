@@ -34,6 +34,7 @@ impl Default for EchoConfig {
 }
 
 /// The echo application.
+#[derive(Clone, Debug)]
 pub struct EchoApp {
     config: EchoConfig,
     pending: ActionQueue,
@@ -41,6 +42,7 @@ pub struct EchoApp {
     keystrokes_handled: u64,
 }
 
+#[derive(Clone, Copy, Debug)]
 enum Phase {
     /// About to call `GetMessage`.
     Await,

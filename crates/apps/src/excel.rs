@@ -59,6 +59,7 @@ impl Default for ExcelConfig {
 }
 
 /// The spreadsheet program.
+#[derive(Clone, Debug)]
 pub struct Excel {
     config: ExcelConfig,
     pending: ActionQueue,

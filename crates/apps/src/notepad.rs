@@ -61,6 +61,7 @@ impl Default for NotepadConfig {
 const LINE_WIDTH: u64 = 62;
 
 /// The Notepad program.
+#[derive(Clone, Debug)]
 pub struct Notepad {
     config: NotepadConfig,
     pending: ActionQueue,

@@ -168,6 +168,7 @@ struct Files {
 }
 
 /// The PowerPoint program.
+#[derive(Clone, Debug)]
 pub struct PowerPoint {
     config: PowerPointConfig,
     pending: ActionQueue,

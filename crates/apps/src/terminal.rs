@@ -50,6 +50,7 @@ impl Default for TerminalConfig {
 }
 
 /// The terminal program.
+#[derive(Clone, Debug)]
 pub struct Terminal {
     config: TerminalConfig,
     pending: ActionQueue,

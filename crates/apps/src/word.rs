@@ -100,6 +100,7 @@ enum Waiting {
 }
 
 /// The Word program.
+#[derive(Clone, Debug)]
 pub struct Word {
     config: WordConfig,
     pending: ActionQueue,

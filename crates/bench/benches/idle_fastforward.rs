@@ -24,6 +24,7 @@ const FREQ: latlab_des::CpuFreq = latlab_des::CpuFreq::PENTIUM_100;
 const RUN_SECS: u64 = 60;
 
 /// A minimal message-pump app: waits for a keystroke, computes ~4 ms.
+#[derive(Clone)]
 struct EchoLoop {
     awaiting_reply: bool,
 }

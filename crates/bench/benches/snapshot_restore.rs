@@ -1,0 +1,82 @@
+//! Microbenchmark of the machine snapshot/restore primitives the
+//! prefix-sharing sweep engine is built on: what one `Machine::snapshot`
+//! and one `Machine::restore` cost, and how that cost scales with the two
+//! state dimensions that grow in practice — pending simulator events and
+//! resident processes. The snapshot's self-reported state footprint is
+//! printed per configuration so size regressions are visible next to the
+//! time regressions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use latlab_des::{CpuFreq, SimTime};
+use latlab_os::{InputKind, KeySym, Machine, OsProfile, ProcessSpec};
+
+const FREQ: CpuFreq = CpuFreq::PENTIUM_100;
+
+/// A machine with `procs` resident Notepad processes and `pending` future
+/// input events queued — the knobs that dominate snapshot state size.
+fn machine_with(procs: usize, pending: usize) -> Machine {
+    let mut machine = Machine::new(OsProfile::Nt40.params());
+    for _ in 0..procs {
+        let tid = machine.spawn(
+            ProcessSpec::app("notepad"),
+            Box::new(latlab_apps::Notepad::new(
+                latlab_apps::NotepadConfig::default(),
+            )),
+        );
+        machine.set_focus(tid);
+    }
+    for i in 0..pending {
+        machine.schedule_input_at(
+            SimTime::ZERO + FREQ.ms(1_000 + i as u64),
+            InputKind::Key(KeySym::Char('x')),
+        );
+    }
+    machine
+}
+
+fn bench_snapshot_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_restore");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Scale with pending events at a fixed process population.
+    for &pending in &[0usize, 1_000, 10_000] {
+        let mut machine = machine_with(1, pending);
+        let snap = machine.snapshot();
+        println!(
+            "snapshot footprint: 1 proc, {:>5} pending events -> {} bytes",
+            snap.pending_events(),
+            snap.state_footprint()
+        );
+        group.bench_function(&format!("snapshot/pending/{pending}"), |b| {
+            b.iter(|| black_box(machine.snapshot()))
+        });
+        group.bench_function(&format!("restore/pending/{pending}"), |b| {
+            b.iter(|| black_box(Machine::restore(&snap)))
+        });
+    }
+
+    // Scale with resident processes at a fixed event population.
+    for &procs in &[1usize, 8, 32] {
+        let mut machine = machine_with(procs, 100);
+        let snap = machine.snapshot();
+        println!(
+            "snapshot footprint: {:>2} procs, {:>4} pending events -> {} bytes",
+            snap.process_count(),
+            snap.pending_events(),
+            snap.state_footprint()
+        );
+        group.bench_function(&format!("snapshot/procs/{procs}"), |b| {
+            b.iter(|| black_box(machine.snapshot()))
+        });
+        group.bench_function(&format!("restore/procs/{procs}"), |b| {
+            b.iter(|| black_box(Machine::restore(&snap)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_restore);
+criterion_main!(benches);

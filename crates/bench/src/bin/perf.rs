@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! perf [--out FILE] [--iters N] [--jobs N] [--no-fastforward]
+//!      [--sweep-reps N] [--no-fork]
 //!      [--baseline FILE] [--tolerance PCT] [id ...]
 //! ```
 //!
@@ -22,6 +23,14 @@
 //! pass then repeats the load with the write-ahead log on, crashes the
 //! server, and times the restart's log replay — the cost of crash-safety
 //! and the speed of recovery, side by side with the WAL-off figures.
+//! A **sweep section** then times the prefix-sharing sweep engine: a
+//! full parameter grid (every sweepable parameter × 5 values ×
+//! `--sweep-reps` repetitions, default 5) on the warm Word and Notepad
+//! editing metrics, with snapshot forking and from scratch (min wall
+//! clock over 3 timed passes each), asserting the two produce
+//! bit-identical points and recording the wall-clock speedup
+//! (`--sweep-reps 0` skips it; `--no-fork` disables forking
+//! everywhere, which also skips the speedup measurement).
 //! Results land in `BENCH_repro.json` (override with `--out`) — the
 //! repo-root perf-trajectory file CI regenerates on every run as a
 //! regression gate.
@@ -32,7 +41,9 @@
 //! When both the baseline and the fresh run carry an ingest section, the
 //! gate also fails on ingest throughput drops or query-p99 growth beyond
 //! the same tolerance; when both carry a durability subsection, the
-//! WAL-on throughput is gated the same way (the WAL-overhead gate). Both
+//! WAL-on throughput is gated the same way (the WAL-overhead gate). A
+//! fresh sweep section is gated against an absolute fork-speedup floor
+//! (and against the baseline's speedup, when it has one). Both
 //! `latlab-perf-v1` and `latlab-perf-v2` baselines are accepted.
 //!
 //! `--no-fastforward` times the step-by-step idle path instead of the
@@ -56,6 +67,7 @@ const BIN: &str = "perf";
 const USAGE: &str = "\
 usage: perf [--out FILE] [--iters N] [--jobs N] [--no-fastforward]
             [--ingest-secs N] [--ingest-connections N]
+            [--sweep-reps N] [--no-fork]
             [--baseline FILE] [--tolerance PCT] [id ...]";
 
 /// Per-scenario timing entry.
@@ -159,6 +171,46 @@ struct QueryLoadBench {
     health_p99_ms: f64,
 }
 
+/// The sweep-engine benchmark: wall clock of a full parameter grid
+/// (every sweepable parameter × 5 values × `reps` repetitions) on the
+/// warm editing metrics, forked vs scratch. The forked pass shares one
+/// stock-prefix snapshot across the whole grid; the scratch pass
+/// (`--no-fork` semantics) re-simulates every point and repetition. The
+/// two passes' points are asserted bit-identical before the speedup is
+/// recorded.
+#[derive(Serialize)]
+struct SweepBench {
+    /// Repetitions per point in both passes.
+    reps: usize,
+    /// One entry per (profile, metric) pair.
+    entries: Vec<SweepEntryBench>,
+    /// Smallest per-entry fork speedup — the gated figure.
+    fork_speedup_min: f64,
+}
+
+/// One (profile, metric) grid of the sweep benchmark.
+#[derive(Serialize)]
+struct SweepEntryBench {
+    /// Stable id (`fig5-word`, `fig7-notepad`).
+    id: String,
+    /// OS profile name.
+    os: String,
+    /// Sweep metric name.
+    metric: String,
+    /// Grid points (params × values).
+    points: usize,
+    /// Points whose prefix forked from the shared stock snapshot.
+    forked_points: usize,
+    /// Points that re-simulated their prefix (parameter read during it).
+    scratch_points: usize,
+    /// Wall clock of the scratch pass (every point and rep from scratch).
+    scratch_ms: f64,
+    /// Wall clock of the forked pass.
+    forked_ms: f64,
+    /// `scratch_ms / forked_ms`.
+    fork_speedup: f64,
+}
+
 /// The whole trajectory datapoint.
 #[derive(Serialize)]
 struct BenchReport {
@@ -185,6 +237,9 @@ struct BenchReport {
     ingest: Option<IngestBench>,
     /// Query-plane benchmark; absent when `--ingest-secs 0`.
     query: Option<QueryBench>,
+    /// Sweep-engine benchmark; absent when `--sweep-reps 0` or
+    /// `--no-fork`.
+    sweep: Option<SweepBench>,
 }
 
 /// Minimal view of a perf report for `--baseline` comparison. Unknown
@@ -259,6 +314,28 @@ struct BaselineQuery {
 struct BaselineQueryLoad {
     scenarios: usize,
     query_p99_ms: f64,
+}
+
+/// Sweep slice of a baseline file, parsed separately for the same reason
+/// as [`BaselineIngestWrapper`]: a baseline written before the sweep
+/// benchmark existed simply fails this parse and yields no
+/// baseline-relative sweep gate (the absolute floor still applies to the
+/// fresh run).
+#[derive(Deserialize)]
+struct BaselineSweepWrapper {
+    sweep: BaselineSweep,
+}
+
+#[derive(Deserialize)]
+struct BaselineSweep {
+    entries: Vec<BaselineSweepEntry>,
+}
+
+/// The sweep figure the gate compares, matched to the fresh run by id.
+#[derive(Deserialize)]
+struct BaselineSweepEntry {
+    id: String,
+    fork_speedup: f64,
 }
 
 /// Peak RSS of the current process in kB (`VmHWM`), Linux only.
@@ -436,6 +513,129 @@ fn gate_query(base: &BaselineQuery, now: &QueryBench, tolerance_pct: f64) -> Vec
         }
     }
     regressions
+}
+
+/// The fork-speedup floor: a forked grid sweep that is not at least this
+/// much faster than the scratch pass means the snapshot engine stopped
+/// paying for itself (e.g. snapshots got expensive, or prefixes stopped
+/// forking). Gated absolutely — no baseline required.
+const SWEEP_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Gates the sweep benchmark: every entry must clear the absolute
+/// speedup floor, and — when the baseline carries a matching entry —
+/// must not have slowed down beyond `tolerance_pct` relative to it.
+fn gate_sweep(base: Option<&BaselineSweep>, now: &SweepBench, tolerance_pct: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for entry in &now.entries {
+        let floor_ok = entry.fork_speedup >= SWEEP_SPEEDUP_FLOOR;
+        let base_speedup = base
+            .and_then(|b| b.entries.iter().find(|e| e.id == entry.id))
+            .map(|e| e.fork_speedup);
+        let base_ok = match base_speedup {
+            Some(b) if b > 0.0 => (entry.fork_speedup / b - 1.0) * 100.0 >= -tolerance_pct,
+            _ => true,
+        };
+        let regressed = !floor_ok || !base_ok;
+        eprintln!(
+            "  gate sweep {:<12} {:>6.2}x speedup (floor {SWEEP_SPEEDUP_FLOOR}x{}) {}",
+            entry.id,
+            entry.fork_speedup,
+            base_speedup.map_or(String::new(), |b| format!(", baseline {b:.2}x")),
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if !floor_ok {
+            regressions.push(format!(
+                "sweep {}: fork speedup {:.2}x below the {SWEEP_SPEEDUP_FLOOR}x floor",
+                entry.id, entry.fork_speedup
+            ));
+        } else if !base_ok {
+            regressions.push(format!(
+                "sweep {}: fork speedup {:.2}x vs baseline {:.2}x (more than {tolerance_pct}% down)",
+                entry.id,
+                entry.fork_speedup,
+                base_speedup.unwrap_or(0.0)
+            ));
+        }
+    }
+    regressions
+}
+
+/// Timed passes per mode in `sweep_entry_bench`; the reported wall clock
+/// is the min, like the per-scenario timings, so a scheduler hiccup in
+/// one pass can't fail the absolute speedup floor.
+const SWEEP_TIMING_PASSES: usize = 3;
+
+/// Phase 5: the sweep-engine benchmark. Runs the full parameter grid —
+/// every sweepable parameter at 5 values around stock, `reps` reps each —
+/// on one warm editing metric, from scratch and forked
+/// (`SWEEP_TIMING_PASSES` timed passes each, min wall clock per mode),
+/// checks the points are bit-identical, and returns the timings.
+/// Sequential (`jobs = 1`) so the speedup measures the engine, not the
+/// thread pool.
+fn sweep_entry_bench(
+    id: &str,
+    os: latlab_os::OsProfile,
+    metric: latlab_bench::sweep::SweepMetric,
+    reps: usize,
+) -> Result<SweepEntryBench, String> {
+    use latlab_bench::sweep::{run_sweep_grid, SweepParam};
+    let columns: Vec<(SweepParam, Vec<u64>)> = SweepParam::ALL
+        .into_iter()
+        .map(|p| {
+            let stock = p.stock(os);
+            let mut values = vec![stock / 2, stock * 3 / 4, stock, stock * 2, stock * 4];
+            values.retain(|&v| v > 0);
+            values.dedup();
+            (p, values)
+        })
+        .collect();
+    let points: usize = columns.iter().map(|(_, v)| v.len()).sum();
+
+    let mut scratch_ms = f64::INFINITY;
+    let mut scratch = Vec::new();
+    for _ in 0..SWEEP_TIMING_PASSES {
+        let t0 = Instant::now();
+        let _scratch_mode = latlab_bench::forkcfg::override_default(false);
+        scratch = run_sweep_grid(os, metric, &columns, reps, 1).0;
+        scratch_ms = scratch_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let mut forked_ms = f64::INFINITY;
+    let mut forked = Vec::new();
+    let mut stats = latlab_bench::sweep::SweepStats::default();
+    for _ in 0..SWEEP_TIMING_PASSES {
+        let t0 = Instant::now();
+        (forked, stats) = run_sweep_grid(os, metric, &columns, reps, 1);
+        forked_ms = forked_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // The byte-identity contract, asserted on the real measurement grid:
+    // forking must be invisible in the results.
+    for (((param, _), s_col), f_col) in columns.iter().zip(&scratch).zip(&forked) {
+        for (s, f) in s_col.iter().zip(f_col) {
+            if s.metric.to_bits() != f.metric.to_bits() {
+                return Err(format!(
+                    "{id}: forked sweep diverged from scratch at {} = {} \
+                     ({} vs {})",
+                    param.name(),
+                    s.value,
+                    f.metric,
+                    s.metric
+                ));
+            }
+        }
+    }
+    Ok(SweepEntryBench {
+        id: id.to_string(),
+        os: os.name().to_string(),
+        metric: metric.name().to_string(),
+        points,
+        forked_points: stats.forked_points,
+        scratch_points: stats.scratch_points,
+        scratch_ms,
+        forked_ms,
+        fork_speedup: scratch_ms / forked_ms.max(1e-9),
+    })
 }
 
 /// The durability pass: the same slam load with the WAL on and uploads
@@ -681,6 +881,8 @@ fn main() -> ExitCode {
     let mut iters = 3usize;
     let mut jobs = 0usize;
     let mut fastforward = true;
+    let mut fork = true;
+    let mut sweep_reps = 5usize;
     let mut baseline_path: Option<String> = None;
     let mut tolerance_pct = 25.0f64;
     let mut ingest_secs = 2u64;
@@ -722,6 +924,20 @@ fn main() -> ExitCode {
                 };
             }
             "--no-fastforward" => fastforward = false,
+            "--no-fork" => fork = false,
+            "--sweep-reps" => {
+                match take("--sweep-reps").map(|v| v.parse::<usize>()) {
+                    Ok(Ok(n)) => sweep_reps = n,
+                    Err(code) => return code,
+                    _ => {
+                        return cli::usage_error(
+                            BIN,
+                            "--sweep-reps requires an integer (0 disables the sweep benchmark)",
+                            USAGE,
+                        )
+                    }
+                };
+            }
             "--ingest-secs" => {
                 match take("--ingest-secs").map(|v| v.parse::<u64>()) {
                     Ok(Ok(n)) => ingest_secs = n,
@@ -798,6 +1014,7 @@ fn main() -> ExitCode {
     // Phase 1 runs scenarios on this thread, so the thread-local default
     // covers it; the pooled pass gets the same setting via EngineConfig.
     let _ff = latlab_os::fastforward::override_default(fastforward);
+    let _fork = latlab_bench::forkcfg::override_default(fork);
 
     eprintln!(
         "perf: timing {} scenario(s), {iters} iter(s) each, pool of {jobs_pooled} worker(s), \
@@ -863,6 +1080,7 @@ fn main() -> ExitCode {
     let cfg = engine::EngineConfig {
         jobs: jobs_pooled,
         fastforward,
+        fork,
         ..engine::EngineConfig::default()
     };
     let t0 = Instant::now();
@@ -990,6 +1208,51 @@ fn main() -> ExitCode {
         None
     };
 
+    // Phase 5: the sweep-engine benchmark — forked vs scratch wall clock
+    // of the full parameter grid on the warm fig5/fig7 editing metrics.
+    // Meaningless with forking globally disabled, so `--no-fork` skips it.
+    let sweep = if sweep_reps > 0 && fork {
+        use latlab_bench::sweep::SweepMetric;
+        use latlab_os::OsProfile;
+        eprintln!("perf: sweep benchmark — full grid, {sweep_reps} rep(s), forked vs scratch");
+        let mut entries = Vec::new();
+        for (id, os, metric) in [
+            ("fig5-word", OsProfile::Nt351, SweepMetric::WordKeystrokeMs),
+            (
+                "fig7-notepad",
+                OsProfile::Nt40,
+                SweepMetric::NotepadKeystrokeMs,
+            ),
+        ] {
+            match sweep_entry_bench(id, os, metric, sweep_reps) {
+                Ok(entry) => {
+                    eprintln!(
+                        "  sweep {id:<12} {:>8.0} ms scratch vs {:>7.0} ms forked \
+                         ({:.2}x; {}/{} points forked)",
+                        entry.scratch_ms,
+                        entry.forked_ms,
+                        entry.fork_speedup,
+                        entry.forked_points,
+                        entry.points
+                    );
+                    entries.push(entry);
+                }
+                Err(e) => return cli::runtime_error(BIN, &format!("sweep benchmark failed: {e}")),
+            }
+        }
+        let fork_speedup_min = entries
+            .iter()
+            .map(|e| e.fork_speedup)
+            .fold(f64::INFINITY, f64::min);
+        Some(SweepBench {
+            reps: sweep_reps,
+            entries,
+            fork_speedup_min,
+        })
+    } else {
+        None
+    };
+
     let report = BenchReport {
         schema: "latlab-perf-v2".to_string(),
         scenarios: entries,
@@ -1003,6 +1266,7 @@ fn main() -> ExitCode {
         peak_rss_kb: peak_rss_kb(),
         ingest,
         query,
+        sweep,
     };
     let json = match serde_json::to_string_pretty(&report) {
         Ok(j) => j,
@@ -1052,6 +1316,17 @@ fn main() -> ExitCode {
             report.query.as_ref(),
         ) {
             regressions.extend(gate_query(&base.query, now, tolerance_pct));
+        }
+        // The sweep gate has an absolute floor, so it engages whenever
+        // this run measured the sweep — with or without a sweep section
+        // in the baseline.
+        if let Some(now) = report.sweep.as_ref() {
+            let base = serde_json::from_str::<BaselineSweepWrapper>(&text).ok();
+            regressions.extend(gate_sweep(
+                base.as_ref().map(|b| &b.sweep),
+                now,
+                tolerance_pct,
+            ));
         }
         if !regressions.is_empty() {
             eprintln!("perf: {} measurement(s) regressed:", regressions.len());

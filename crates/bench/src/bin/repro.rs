@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--out DIR] [--record DIR] [--jobs N] [--faults SPEC]
-//!       [--timeout SECS] [--no-fastforward] [--list] [id ...]
+//!       [--timeout SECS] [--no-fastforward] [--no-fork] [--list] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs in presentation order. Artifacts
@@ -32,7 +32,9 @@
 //! `--no-fastforward` disables the kernel's batched idle-loop simulation.
 //! The fast-forward contract makes every output byte-identical either way
 //! (stdout, artifacts, traces); the flag exists for equivalence audits and
-//! for benchmarking the step-by-step path.
+//! for benchmarking the step-by-step path. `--no-fork` does the same for
+//! the sweep engine's snapshot forking: scenarios that sweep re-simulate
+//! every point from scratch, with byte-identical output.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,7 +48,7 @@ const BIN: &str = "repro";
 
 const USAGE: &str = "\
 usage: repro [--out DIR] [--record DIR] [--jobs N] [--faults SPEC|@FILE]
-             [--timeout SECS] [--no-fastforward] [--list] [id ...]";
+             [--timeout SECS] [--no-fastforward] [--no-fork] [--list] [id ...]";
 
 /// Parses `--faults` input: an inline spec string, or `@FILE` naming a
 /// TOML plan file.
@@ -124,6 +126,9 @@ fn main() -> ExitCode {
                         )
                     }
                 }
+            }
+            "--no-fork" => {
+                cfg.fork = false;
             }
             "--no-fastforward" => {
                 cfg.fastforward = false;

@@ -54,6 +54,11 @@ pub struct EngineConfig {
     /// benchmarking the step path and for equivalence audits
     /// (`--no-fastforward`).
     pub fastforward: bool,
+    /// Whether sweeps run by scenarios may share warm prefixes via
+    /// snapshot forking (see [`crate::forkcfg`]). Defaults to `true`; the
+    /// contract makes sweep results bit-identical either way, so `false`
+    /// exists for equivalence audits (`--no-fork`).
+    pub fork: bool,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +70,7 @@ impl Default for EngineConfig {
             faults: None,
             timeout: None,
             fastforward: true,
+            fork: true,
         }
     }
 }
@@ -204,6 +210,7 @@ impl Drop for RecordingGuard {
 fn run_one(id: &str, cfg: &EngineConfig) -> ScenarioRun {
     let _faults = faultcfg::override_plan(cfg.faults.clone());
     let _ff = latlab_os::fastforward::override_default(cfg.fastforward);
+    let _fork = crate::forkcfg::override_default(cfg.fork);
     let _recording = RecordingGuard;
     if let Some(dir) = &cfg.record_dir {
         record::enable_scoped(dir, id)

@@ -9,6 +9,7 @@
 
 pub mod engine;
 pub mod faultcfg;
+pub mod forkcfg;
 pub mod pool;
 pub mod record;
 pub mod report;

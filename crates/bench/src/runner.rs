@@ -139,7 +139,13 @@ pub fn event_points(m: &Measurement, drop_queuesync: bool) -> Vec<(f64, f64)> {
 /// positioned at `page` (for the Figure 9/10 counter microbenchmarks).
 /// Returns the machine ready for the operation of interest.
 pub fn warm_powerpoint(profile: OsProfile, page: u32) -> Machine {
-    let mut machine = Machine::new(profile.params());
+    warm_powerpoint_params(profile.params(), page)
+}
+
+/// Param-keyed variant of [`warm_powerpoint`], shared with the sweep
+/// engine (whose points run under modified parameter sets).
+pub fn warm_powerpoint_params(params: latlab_os::OsParams, page: u32) -> Machine {
+    let mut machine = Machine::new(params);
     latlab_apps::powerpoint::register_files(&mut machine);
     let tid = machine.spawn(
         ProcessSpec::app("powerpoint"),

@@ -14,8 +14,8 @@
 use latlab_des::SimDuration;
 use latlab_hw::HwMix;
 use latlab_os::{
-    Action, ApiCall, ApiReply, ComputeSpec, IdleCycle, Machine, MixClass, OsParams, Priority,
-    ProcessSpec, Program, StepCtx, ThreadId,
+    Action, ApiCall, ApiReply, ComputeSpec, IdleCycle, Machine, MixClass, OsParams,
+    ParamWatermarks, Priority, ProcessSpec, Program, StepCtx, ThreadId,
 };
 
 use crate::trace::IdleTrace;
@@ -50,12 +50,14 @@ impl IdleLoopConfig {
 /// Each iteration: busy-wait `n_instr` instructions, read the cycle counter,
 /// append the stamp to the trace buffer (the `Emit` call models the store to
 /// a preallocated buffer).
+#[derive(Clone, Debug)]
 pub struct IdleLoopProgram {
     config: IdleLoopConfig,
     produced: usize,
     phase: Phase,
 }
 
+#[derive(Clone, Copy, Debug)]
 enum Phase {
     Spin,
     ReadStamp,
@@ -201,10 +203,27 @@ pub fn collect(machine: &mut Machine, handle: IdleLoopHandle, baseline: SimDurat
 ///
 /// Returns the calibrated N (instructions per iteration).
 pub fn calibrate_n(params: &OsParams, target: SimDuration) -> u64 {
+    calibrate_n_tracked(params, target).0
+}
+
+/// [`calibrate_n`], additionally reporting which sweepable parameters the
+/// scratch calibration machines consulted.
+///
+/// The calibrated N is baked into the idle-loop program a session
+/// installs, so any swept parameter the calibration depended on is
+/// effectively read *before* the session machine's timeline begins. A
+/// session folds this table into its machine at time zero
+/// ([`Machine::note_external_param_reads`]) so the prefix-sharing sweep
+/// planner can never fork across a parameter that would have changed the
+/// calibration. The dependency set is collected mechanically from the
+/// scratch machines' own watermark tables — no hand-maintained list.
+pub fn calibrate_n_tracked(params: &OsParams, target: SimDuration) -> (u64, ParamWatermarks) {
     assert!(!target.is_zero(), "calibration target must be non-zero");
+    let mut reads = ParamWatermarks::new();
     let mut n = target.cycles(); // Initial guess: CPI 1, zero overhead.
     for _ in 0..3 {
-        let median = median_sample(params, n);
+        let (median, sample_reads) = median_sample(params, n);
+        reads.absorb(&sample_reads, latlab_des::SimTime::ZERO);
         if median == 0 {
             break;
         }
@@ -216,12 +235,12 @@ pub fn calibrate_n(params: &OsParams, target: SimDuration) -> u64 {
         }
         n = next;
     }
-    n.max(1)
+    (n.max(1), reads)
 }
 
 /// Runs a scratch machine with the idle loop only and returns the median
-/// inter-record interval in cycles.
-fn median_sample(params: &OsParams, n_instr: u64) -> u64 {
+/// inter-record interval in cycles plus the machine's watermark table.
+fn median_sample(params: &OsParams, n_instr: u64) -> (u64, ParamWatermarks) {
     let mut machine = Machine::new(params.clone());
     let handle = install(
         &mut machine,
@@ -234,12 +253,13 @@ fn median_sample(params: &OsParams, n_instr: u64) -> u64 {
     let run = params.freq.ms(500);
     machine.run_for(warmup + run);
     let stamps = machine.take_emitted(handle.thread);
+    let reads = *machine.param_watermarks();
     let mut intervals: Vec<u64> = stamps.windows(2).map(|w| w[1] - w[0]).collect();
     if intervals.is_empty() {
-        return 0;
+        return (0, reads);
     }
     intervals.sort_unstable();
-    intervals[intervals.len() / 2]
+    (intervals[intervals.len() / 2], reads)
 }
 
 #[cfg(test)]
@@ -254,7 +274,7 @@ mod tests {
             let target = params.freq.ms(1);
             let n = calibrate_n(&params, target);
             // Verify: median sample on an idle machine is within 2% of 1 ms.
-            let median = super::median_sample(&params, n);
+            let (median, _) = super::median_sample(&params, n);
             let err = (median as f64 - target.cycles() as f64).abs() / target.cycles() as f64;
             assert!(
                 err < 0.02,

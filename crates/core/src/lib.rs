@@ -37,9 +37,11 @@ pub mod traditional;
 pub use counters::{sweep, HwProfile};
 pub use extract::{at_least, extract_events, remove_test_overhead, BoundaryPolicy, MeasuredEvent};
 pub use fsm::{classify_timeline, total_wait, FsmInput, FsmMode, UserState, WaitThinkFsm};
-pub use idle_loop::{calibrate_n, collect, install, IdleLoopConfig, IdleLoopHandle};
+pub use idle_loop::{
+    calibrate_n, calibrate_n_tracked, collect, install, IdleLoopConfig, IdleLoopHandle,
+};
 pub use observe::{classify_measured, measured_wait};
-pub use session::{Measurement, MeasurementSession};
+pub use session::{Measurement, MeasurementSession, SessionSnapshot};
 pub use trace::{IdleSample, IdleTrace};
 pub use traditional::TimestampPairs;
 

@@ -7,7 +7,9 @@
 //! and the experiment harness use.
 
 use latlab_des::{SimDuration, SimTime};
-use latlab_os::{Machine, OsParams, OsProfile, ProcessSpec, Program, ThreadId};
+use latlab_os::{
+    Machine, MachineSnapshot, OsParams, OsProfile, ProcessSpec, Program, SweptParam, ThreadId,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::extract::{extract_events, BoundaryPolicy, MeasuredEvent};
@@ -46,8 +48,13 @@ impl MeasurementSession {
     /// Boots a session on a custom parameter set (ablations and sweeps).
     pub fn with_params(params: OsParams) -> Self {
         let target = params.freq.ms(1);
-        let n = idle_loop::calibrate_n(&params, target);
+        let (n, calibration_reads) = idle_loop::calibrate_n_tracked(&params, target);
         let mut machine = Machine::new(params);
+        // The calibrated N bakes the calibration machines' parameter
+        // dependencies into this session; fold them in at time zero so a
+        // snapshot of this session can never claim a fork across them is
+        // sound (see `idle_loop::calibrate_n_tracked`).
+        machine.note_external_param_reads(&calibration_reads);
         let idle = idle_loop::install(&mut machine, IdleLoopConfig::with_n(n));
         MeasurementSession {
             machine,
@@ -55,6 +62,36 @@ impl MeasurementSession {
             baseline: target,
             focus: None,
         }
+    }
+
+    /// Freezes the complete session — the machine plus the measurement
+    /// stack's own state (idle-loop handle, calibration baseline, focus) —
+    /// into a restorable [`SessionSnapshot`].
+    pub fn snapshot(&mut self) -> SessionSnapshot {
+        SessionSnapshot {
+            machine: self.machine.snapshot(),
+            idle: self.idle,
+            baseline: self.baseline,
+            focus: self.focus,
+        }
+    }
+
+    /// Reconstructs a session from a snapshot; the continuation measures
+    /// bit-identically to the session the snapshot was taken from.
+    pub fn restore(snap: &SessionSnapshot) -> MeasurementSession {
+        MeasurementSession {
+            machine: Machine::restore(&snap.machine),
+            idle: snap.idle,
+            baseline: snap.baseline,
+            focus: snap.focus,
+        }
+    }
+
+    /// Re-points a sweepable parameter on a restored session (the
+    /// prefix-sharing sweep's fork edit). Soundness is the caller's
+    /// obligation — check [`SessionSnapshot::param_unread`] first.
+    pub fn apply_param(&mut self, param: SweptParam, value: u64) {
+        self.machine.apply_param(param, value);
     }
 
     /// Access to the underlying machine (to register files, schedule input,
@@ -154,6 +191,33 @@ impl MeasurementSession {
     }
 }
 
+/// A frozen measurement session (see [`MeasurementSession::snapshot`]).
+pub struct SessionSnapshot {
+    machine: MachineSnapshot,
+    idle: IdleLoopHandle,
+    baseline: SimDuration,
+    focus: Option<ThreadId>,
+}
+
+impl SessionSnapshot {
+    /// The simulated instant the snapshot was taken.
+    pub fn now(&self) -> SimTime {
+        self.machine.now()
+    }
+
+    /// True when forking this snapshot with `param` changed is provably
+    /// equivalent to a scratch session (the parameter was never consulted
+    /// — by the machine *or* by the idle-loop calibration feeding it).
+    pub fn param_unread(&self, param: SweptParam) -> bool {
+        self.machine.param_unread(param)
+    }
+
+    /// The underlying machine snapshot.
+    pub fn machine(&self) -> &MachineSnapshot {
+        &self.machine
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +225,7 @@ mod tests {
     use latlab_os::{Action, ApiCall, ApiReply, ComputeSpec, InputKind, KeySym, StepCtx};
 
     /// Minimal message-loop app for session tests.
+    #[derive(Clone)]
     struct MiniApp {
         waiting: bool,
     }
@@ -176,6 +241,47 @@ mod tests {
             self.waiting = true;
             Action::Call(ApiCall::GetMessage)
         }
+    }
+
+    #[test]
+    fn restored_session_measures_identically() {
+        let freq = CpuFreq::PENTIUM_100;
+        let drive = |session: &mut MeasurementSession| {
+            for i in 0..3u64 {
+                let at = SimTime::ZERO + freq.ms(200 + i * 150);
+                session
+                    .machine()
+                    .schedule_input_at(at, InputKind::Key(KeySym::Char('k')));
+            }
+        };
+        let fingerprint = |m: &Measurement| {
+            let lats: Vec<u64> = m.events.iter().map(|e| e.busy.cycles()).collect();
+            (m.trace.len(), lats, m.elapsed.cycles())
+        };
+
+        let mut straight = MeasurementSession::new(OsProfile::Nt351);
+        straight.launch_app(
+            ProcessSpec::app("mini"),
+            Box::new(MiniApp { waiting: false }),
+        );
+        drive(&mut straight);
+        straight.run_for(freq.ms(900));
+        let want = fingerprint(&straight.finish(BoundaryPolicy::SplitAtRetrieval));
+
+        let mut session = MeasurementSession::new(OsProfile::Nt351);
+        session.launch_app(
+            ProcessSpec::app("mini"),
+            Box::new(MiniApp { waiting: false }),
+        );
+        drive(&mut session);
+        session.run_for(freq.ms(120));
+        let snap = session.snapshot();
+        // The calibration's own reads are folded in at time zero.
+        assert!(!snap.param_unread(latlab_os::SweptParam::CacheBlocks));
+        let mut restored = MeasurementSession::restore(&snap);
+        restored.run_for(freq.ms(900) - (snap.now().since(SimTime::ZERO)));
+        let got = fingerprint(&restored.finish(BoundaryPolicy::SplitAtRetrieval));
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -49,6 +49,10 @@ fn key_time(key: u128) -> SimTime {
 /// assert_eq!(q.pop(), Some((SimTime::from_cycles(20), "late")));
 /// assert_eq!(q.pop(), None);
 /// ```
+/// Cloning preserves the full heap layout *and* the sequence counter, so a
+/// cloned queue replays the exact same (time, seq) delivery order — the
+/// property whole-machine snapshots rely on.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     /// Heap entries: packed `(time, seq)` key plus payload. Index 0 is the
     /// minimum; children of `i` live at `ARITY*i + 1 ..= ARITY*i + ARITY`.

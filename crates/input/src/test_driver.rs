@@ -73,6 +73,8 @@ mod tests {
         Action, ApiCall, ApiReply, ComputeSpec, KeySym, OsProfile, ProcessSpec, Program, StepCtx,
     };
 
+    #[derive(Clone)]
+
     struct Sink {
         waiting: bool,
     }

@@ -34,6 +34,7 @@ use crate::program::{
 };
 use crate::sched::Scheduler;
 use crate::statelog::{IoKind, StateLog, Transition};
+use crate::sweep::{ParamWatermarks, SweptParam};
 use crate::win32::{CostEngine, WorkKind, WorkPacket};
 
 /// Maximum zero-cost program steps before the kernel declares a runaway.
@@ -60,7 +61,7 @@ const EMIT_SPEC: ComputeSpec = ComputeSpec {
 
 /// Counters for the idle fast-forward engine (diagnostic only; exposed via
 /// [`Machine::fast_forward_stats`]).
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct FastForwardStats {
     /// Batches committed (calls that fast-forwarded at least one iteration).
     batches: u64,
@@ -78,7 +79,7 @@ pub const FOCUS_LOST: u32 = 0xF0C0_0000;
 pub const FOCUS_GAINED: u32 = 0xF0C0_0001;
 
 /// Hardware/OS events the machine processes.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum MachineEvent {
     /// Periodic clock interrupt.
     ClockTick,
@@ -165,13 +166,13 @@ enum CallDisposition {
 }
 
 /// In-flight costed work.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Exec {
     packets: VecDeque<PacketProgress>,
     outcome: Outcome,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct PacketProgress {
     packet: WorkPacket,
     done: u64,
@@ -203,6 +204,7 @@ struct AppTimer {
 }
 
 /// One simulated thread.
+#[derive(Clone)]
 struct ThreadSlot {
     id: ThreadId,
     name: &'static str,
@@ -249,7 +251,7 @@ impl ArmedFault {
 /// Kernel-side state for an installed [`FaultPlan`]: the armed faults,
 /// one forked RNG stream per stochastic class (so classes perturb
 /// independently of each other), and the injection counters.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct FaultEngine {
     faults: Vec<ArmedFault>,
     input_rng: SimRng,
@@ -285,6 +287,7 @@ pub struct MachineStats {
 /// use latlab_des::{CpuFreq, SimTime};
 ///
 /// // A minimal message-loop application.
+/// #[derive(Clone)]
 /// struct Echo(bool);
 /// impl Program for Echo {
 ///     fn step(&mut self, ctx: &mut StepCtx) -> Action {
@@ -350,6 +353,16 @@ pub struct Machine {
     /// Main-loop turns taken, for O(events) regression tests only — not
     /// part of the machine's observable state.
     loop_turns: u64,
+    /// First-read watermarks of the sweepable cost parameters (see
+    /// [`crate::sweep`]): the evidence the prefix-sharing sweep planner
+    /// uses to prove a fork sound.
+    watermarks: ParamWatermarks,
+    /// Stamp records produced so far (every `Emit`, whether or not a tee
+    /// is installed). Snapshots capture this so a resumed run knows where
+    /// the original trace left off.
+    stamp_records: u64,
+    /// API-log records produced so far (same bookkeeping for the API tee).
+    api_records: u64,
     /// Optional tee for idle-loop stamps: every `Emit` also lands here.
     stamp_sink: Option<Box<dyn TraceSink>>,
     /// Optional tee for the API log: every entry also lands here as a
@@ -363,6 +376,11 @@ impl Machine {
     pub fn new(params: OsParams) -> Self {
         let tick = params.clock_tick;
         let cache_blocks = params.cache_blocks;
+        // The buffer cache is sized at boot: `cache_blocks` is consulted
+        // before the simulation ever runs, so its watermark is time zero
+        // and no fork may change it (the planner falls back to scratch).
+        let mut watermarks = ParamWatermarks::new();
+        watermarks.note(SweptParam::CacheBlocks, SimTime::ZERO);
         let mut pending = EventQueue::new();
         pending.schedule(SimTime::ZERO + tick, MachineEvent::ClockTick);
         if let Some(period) = params.background_period {
@@ -401,6 +419,9 @@ impl Machine {
             ff_stats: FastForwardStats::default(),
             ff_stamps: Vec::new(),
             loop_turns: 0,
+            watermarks,
+            stamp_records: 0,
+            api_records: 0,
             stamp_sink: None,
             api_sink: None,
         }
@@ -716,6 +737,7 @@ impl Machine {
 
     /// Appends to the API log and forwards to the API tee, if any.
     fn log_api(&mut self, entry: ApiLogEntry) {
+        self.api_records += 1;
         if let Some(sink) = self.api_sink.as_deref_mut() {
             sink.record(&TraceRecord::Api(crate::tracebridge::to_record(&entry)));
         }
@@ -764,6 +786,116 @@ impl Machine {
             })
     }
 
+    // --- Snapshots --------------------------------------------------------
+
+    /// Clones the entire simulation state. The trace tees are external
+    /// resources and are *not* cloned: the fork starts with no sinks
+    /// installed but keeps the record counters, so a fresh sink attached
+    /// to it receives exactly the suffix the original would have written
+    /// past the counted positions.
+    fn fork(&self) -> Machine {
+        Machine {
+            params: self.params.clone(),
+            now: self.now,
+            pending: self.pending.clone(),
+            threads: self.threads.clone(),
+            sched: self.sched.clone(),
+            cost: self.cost.clone(),
+            counters: self.counters.clone(),
+            disk: self.disk.clone(),
+            fs: self.fs.clone(),
+            cache: self.cache.clone(),
+            apilog: self.apilog.clone(),
+            statelog: self.statelog.clone(),
+            gt: self.gt.clone(),
+            focus: self.focus,
+            network_sink: self.network_sink,
+            next_input_id: self.next_input_id,
+            last_input_at: self.last_input_at,
+            next_tick_at: self.next_tick_at,
+            tick_index: self.tick_index,
+            mouse_spin: self.mouse_spin,
+            deferred_mouse: self.deferred_mouse.clone(),
+            lag_until: self.lag_until,
+            sync_io_inflight: self.sync_io_inflight,
+            async_io_inflight: self.async_io_inflight,
+            inputs_outstanding: self.inputs_outstanding,
+            last_ran: self.last_ran,
+            stats: self.stats,
+            faults: self.faults.clone(),
+            fastforward: self.fastforward,
+            ff_stats: self.ff_stats.clone(),
+            ff_stamps: self.ff_stamps.clone(),
+            loop_turns: self.loop_turns,
+            watermarks: self.watermarks,
+            stamp_records: self.stamp_records,
+            api_records: self.api_records,
+            stamp_sink: None,
+            api_sink: None,
+        }
+    }
+
+    /// Freezes the complete simulation state into a [`MachineSnapshot`].
+    ///
+    /// Any cost-engine parameter reads not yet drained into the watermark
+    /// table are folded in first (the run loop drains per turn, so between
+    /// runs there are normally none). What
+    /// [`MachineSnapshot::param_unread`] consults is whether a parameter
+    /// has *ever* been read — not when — so the fold can only make forks
+    /// more conservative, never unsound.
+    pub fn snapshot(&mut self) -> MachineSnapshot {
+        let mask = self.cost.take_param_reads();
+        self.watermarks.note_mask(mask, self.now);
+        MachineSnapshot {
+            machine: Box::new(self.fork()),
+        }
+    }
+
+    /// Reconstructs a runnable machine from a snapshot. The restored
+    /// machine has no trace tees installed (attach fresh sinks with
+    /// [`Machine::set_stamp_sink`]/[`Machine::set_api_sink`]); its record
+    /// counters continue from the snapshot's, so the new sinks receive
+    /// exactly the byte suffix a straight run would have produced past
+    /// [`MachineSnapshot::sink_records`].
+    pub fn restore(snap: &MachineSnapshot) -> Machine {
+        snap.machine.fork()
+    }
+
+    /// Re-points a sweepable parameter at `value` mid-run — the
+    /// prefix-sharing sweep's fork edit. Both the kernel's parameter set
+    /// and the cost engine's copy are updated.
+    ///
+    /// Soundness is the *caller's* obligation: the edit is only
+    /// equivalent to a scratch boot with `value` if the parameter was
+    /// never consulted before this instant (check
+    /// [`MachineSnapshot::param_unread`] on the snapshot the machine was
+    /// restored from). `CacheBlocks` in particular is consulted at boot
+    /// and therefore never passes that check.
+    pub fn apply_param(&mut self, param: SweptParam, value: u64) {
+        param.apply(&mut self.params, value);
+        self.cost.set_params(self.params.clone());
+    }
+
+    /// The first-read watermark table (drained per run-loop turn; exact
+    /// whenever the machine is between runs).
+    pub fn param_watermarks(&self) -> &ParamWatermarks {
+        &self.watermarks
+    }
+
+    /// Folds parameter reads that happened on *other* machines feeding
+    /// this one — e.g. the idle-loop calibration runs whose result is
+    /// baked into this machine's programs — into the table at time zero,
+    /// as if they happened before this machine's timeline began.
+    pub fn note_external_param_reads(&mut self, reads: &ParamWatermarks) {
+        self.watermarks.absorb(reads, SimTime::ZERO);
+    }
+
+    /// `(stamp, api)` trace records produced so far, with or without tees
+    /// installed (snapshot/resume bookkeeping).
+    pub fn sink_records(&self) -> (u64, u64) {
+        (self.stamp_records, self.api_records)
+    }
+
     // --- Execution --------------------------------------------------------
 
     /// Runs the machine until `t_end`.
@@ -782,38 +914,58 @@ impl Machine {
                 return true;
             }
             self.loop_turns += 1;
-            // 1. Fire due events.
-            if let Some((_, ev)) = self.pending.pop_due(self.now) {
-                self.handle_event(ev);
-                continue;
-            }
-            // 2. Busy-wait quirk states occupy the CPU ahead of all threads.
-            if self.mouse_spin || self.lag_until.is_some() {
-                let mut target = self.pending.peek_time().unwrap_or(t_end).min(t_end);
-                if let Some(lag_end) = self.lag_until {
-                    target = target.min(lag_end);
-                }
-                if target > self.now {
-                    let packet = self.cost.spin(target.since(self.now).cycles());
-                    self.charge_system(packet);
-                }
-                if let Some(lag_end) = self.lag_until {
-                    if self.now >= lag_end {
-                        self.lag_until = None;
-                    }
-                }
-                continue;
-            }
-            // 3. Dispatch a thread.
-            let Some((tid, _prio)) = self.sched.pop_highest() else {
-                // True idle: jump to the next event (or the horizon).
-                let target = self.pending.peek_time().unwrap_or(t_end).min(t_end);
-                self.now = if target > self.now { target } else { t_end };
-                continue;
-            };
-            self.run_thread(tid, t_end);
+            let turn_start = self.now;
+            self.turn(t_end);
+            // Watermark any swept-parameter reads the cost engine saw this
+            // turn. The stamp is the turn's *start* time — at-or-before
+            // every read the turn performed — so a recorded watermark is
+            // conservative-early (see [`crate::sweep`]).
+            let mask = self.cost.take_param_reads();
+            self.watermarks.note_mask(mask, turn_start);
         }
         until_quiescent && self.is_quiescent()
+    }
+
+    /// One main-loop turn: fire a due event, service a quirk busy-wait, or
+    /// dispatch a thread.
+    fn turn(&mut self, t_end: SimTime) {
+        // 1. Fire due events.
+        if let Some((_, ev)) = self.pending.pop_due(self.now) {
+            self.handle_event(ev);
+            return;
+        }
+        // 2. Busy-wait quirk states occupy the CPU ahead of all threads.
+        if self.mouse_spin || self.lag_until.is_some() {
+            let mut target = self.pending.peek_time().unwrap_or(t_end).min(t_end);
+            if let Some(lag_end) = self.lag_until {
+                target = target.min(lag_end);
+            }
+            if target > self.now {
+                let packet = self.cost.spin(target.since(self.now).cycles());
+                self.charge_system(packet);
+            }
+            if let Some(lag_end) = self.lag_until {
+                if self.now >= lag_end {
+                    self.lag_until = None;
+                }
+            }
+            return;
+        }
+        // 3. Dispatch a thread.
+        let Some((tid, _prio)) = self.sched.pop_highest() else {
+            // True idle: jump to the next event (or the horizon).
+            let target = self.pending.peek_time().unwrap_or(t_end).min(t_end);
+            self.now = if target > self.now { target } else { t_end };
+            return;
+        };
+        self.run_thread(tid, t_end);
+    }
+
+    /// Notes a kernel-direct read of a swept parameter at the current
+    /// instant (the cost engine reports its own reads via a mask drained
+    /// per turn).
+    fn note_param_read(&mut self, param: SweptParam) {
+        self.watermarks.note(param, self.now);
     }
 
     /// Runs for a duration.
@@ -848,6 +1000,7 @@ impl Machine {
             MachineEvent::FocusChange { target } => {
                 // Focus changes run through the window manager: activation
                 // and deactivation paint work on both sides.
+                self.note_param_read(SweptParam::InputDispatchInstr);
                 let packet = self
                     .cost
                     .kernel_work(self.params.input_dispatch_instr / 2, WorkKind::Api);
@@ -969,6 +1122,7 @@ impl Machine {
         fx.stats.inputs_duplicated += 1;
         let dup_id = fx.dup_next;
         fx.dup_next += 1;
+        self.note_param_read(SweptParam::InputDispatchInstr);
         let packet = self
             .cost
             .kernel_work(self.params.input_dispatch_instr, WorkKind::Api);
@@ -1144,6 +1298,7 @@ impl Machine {
             }
             return;
         }
+        self.note_param_read(SweptParam::InputDispatchInstr);
         let packet = self
             .cost
             .kernel_work(self.params.input_dispatch_instr, WorkKind::Api);
@@ -1544,6 +1699,7 @@ impl Machine {
             // Move the scratch buffer out for the duration of the emit (it
             // is put back, capacity intact, so batches stay allocation-free).
             let stamps = std::mem::take(&mut self.ff_stamps);
+            self.stamp_records += stamps.len() as u64;
             if let Some(sink) = self.stamp_sink.as_deref_mut() {
                 sink.emit_stamps(&stamps);
             }
@@ -1694,6 +1850,7 @@ impl Machine {
                 CallDisposition::Work
             }
             ApiCall::Gdi { ops } => {
+                self.note_param_read(SweptParam::GdiBatchSize);
                 let t = self.thread_mut(tid);
                 t.gdi_pending += ops;
                 let pending = t.gdi_pending;
@@ -1929,6 +2086,7 @@ impl Machine {
             }
             Outcome::Emit(v) => {
                 let rec = TraceRecord::Stamp(v);
+                self.stamp_records += 1;
                 if let Some(sink) = self.stamp_sink.as_deref_mut() {
                     sink.record(&rec);
                 }
@@ -2096,6 +2254,7 @@ impl Machine {
             }
         }
         // The write-overhead factor models metadata/journaling I/O.
+        self.note_param_read(SweptParam::WriteOverheadMilli);
         let adjusted =
             SimDuration::from_cycles(disk_time.cycles() * self.params.write_overhead_milli / 1_000);
         let adjusted = self.fault_disk_time(adjusted);
@@ -2110,5 +2269,64 @@ impl Machine {
 
     fn thread_mut(&mut self, tid: ThreadId) -> &mut ThreadSlot {
         &mut self.threads[tid.0 as usize]
+    }
+}
+
+/// A frozen, restorable copy of a [`Machine`]'s complete state.
+///
+/// Taken with [`Machine::snapshot`]; any number of machines can be
+/// [`Machine::restore`]d from it, each resuming the simulation from the
+/// exact captured instant — same event queue (times *and* sequence
+/// numbers), same RNG streams, same scheduler/process/cache/counter
+/// state — so a restored run's observables are bit-identical to the
+/// original continuing.
+///
+/// The snapshot also carries the evidence the prefix-sharing sweep
+/// planner needs: [`MachineSnapshot::param_unread`] answers whether a
+/// fork that changes a given swept parameter is provably equivalent to a
+/// scratch run (see [`crate::sweep`] for the invariant).
+pub struct MachineSnapshot {
+    machine: Box<Machine>,
+}
+
+impl MachineSnapshot {
+    /// The simulated instant the snapshot was taken.
+    pub fn now(&self) -> SimTime {
+        self.machine.now
+    }
+
+    /// True when `param` had never been consulted at snapshot time — the
+    /// soundness condition for restoring this snapshot with `param`
+    /// changed (via [`Machine::apply_param`]) in place of a scratch run.
+    pub fn param_unread(&self, param: SweptParam) -> bool {
+        self.machine.watermarks.get(param).is_none()
+    }
+
+    /// `(stamp, api)` trace-record counts at snapshot time: where in the
+    /// original's trace streams a restored run's fresh sinks pick up.
+    pub fn sink_records(&self) -> (u64, u64) {
+        (self.machine.stamp_records, self.machine.api_records)
+    }
+
+    /// Pending simulation events captured in the snapshot.
+    pub fn pending_events(&self) -> usize {
+        self.machine.pending.len()
+    }
+
+    /// Threads (live or exited) captured in the snapshot.
+    pub fn process_count(&self) -> usize {
+        self.machine.threads.len()
+    }
+
+    /// Approximate resident size of the frozen state in bytes (the
+    /// dominant heap blocks; per-thread message queues and emission
+    /// buffers are counted by slot, not content).
+    pub fn state_footprint(&self) -> usize {
+        let m = &*self.machine;
+        std::mem::size_of::<Machine>()
+            + m.pending.len() * std::mem::size_of::<(u128, MachineEvent)>()
+            + m.threads.len() * std::mem::size_of::<ThreadSlot>()
+            + m.apilog.len() * std::mem::size_of::<ApiLogEntry>()
+            + m.statelog.len() * std::mem::size_of::<crate::statelog::StateRecord>()
     }
 }

@@ -29,6 +29,7 @@ pub mod profile;
 pub mod program;
 pub mod sched;
 pub mod statelog;
+pub mod sweep;
 pub mod tracebridge;
 pub mod win32;
 
@@ -36,12 +37,15 @@ pub use apilog::{ApiEntry, ApiLog, ApiLogEntry, ApiOutcome};
 pub use fastforward::FastForwardOverride;
 pub use fs::FileId;
 pub use ground_truth::{GroundTruth, GtEvent};
-pub use kernel::{Machine, MachineStats, DUP_INPUT_ID_BASE, FOCUS_GAINED, FOCUS_LOST};
+pub use kernel::{
+    Machine, MachineSnapshot, MachineStats, DUP_INPUT_ID_BASE, FOCUS_GAINED, FOCUS_LOST,
+};
 pub use latlab_faults::{FaultKind, FaultPlan, FaultSpec, FaultStats, FaultWindow};
 pub use msgq::{InputKind, KeySym, Message, MessageQueue, MouseButton};
 pub use profile::{OsParams, OsProfile, Win32Arch};
 pub use program::{
-    Action, ApiCall, ApiReply, AppTraits, ComputeSpec, GtMark, IdleCycle, MixClass, Priority,
-    ProcessSpec, Program, StepCtx, ThreadId,
+    Action, ApiCall, ApiReply, AppTraits, CloneProgram, ComputeSpec, GtMark, IdleCycle, MixClass,
+    Priority, ProcessSpec, Program, StepCtx, ThreadId,
 };
 pub use statelog::{IoKind, StateLog, StateRecord, Transition};
+pub use sweep::{ParamWatermarks, SweptParam};

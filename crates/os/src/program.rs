@@ -304,13 +304,40 @@ pub struct IdleCycle {
     pub max_iterations: u64,
 }
 
+/// Object-safe cloning for boxed programs.
+///
+/// Blanket-implemented for every `Program + Clone + 'static`, so authors
+/// only `#[derive(Clone)]` on their program type; `Box<dyn Program>` then
+/// clones through this trait. Whole-machine snapshots
+/// (`Machine::snapshot`) depend on it to deep-copy thread program state.
+pub trait CloneProgram {
+    /// Clones the program behind the box.
+    fn clone_box(&self) -> Box<dyn Program>;
+}
+
+impl<T: Program + Clone + 'static> CloneProgram for T {
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Program> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// A deterministic application state machine.
 ///
 /// `step` is called with the result of the previous action and must return
 /// the next action. Programs must not spin forever returning zero-cost
 /// actions; the kernel treats more than a bounded number of costless steps
 /// without progress as a runaway program.
-pub trait Program {
+///
+/// Programs are plain-data state machines: `Clone` (via [`CloneProgram`])
+/// lets machine snapshots deep-copy them, and `Send` lets prepared
+/// machines move to whichever worker thread measures them.
+pub trait Program: CloneProgram + Send {
     /// Returns the program's next action.
     fn step(&mut self, ctx: &mut StepCtx) -> Action;
 

@@ -1,0 +1,236 @@
+//! Sweepable cost parameters and their first-read watermarks.
+//!
+//! The calibration tooling (`latlab-sweep`, DESIGN.md) varies seven
+//! [`OsParams`] knobs. This module is the canonical list of those knobs —
+//! the CLI name, how to apply a value, the stock value per profile — plus
+//! the machinery that makes prefix-sharing sweeps *provably* sound: a
+//! [`ParamWatermarks`] table recording the simulated time at which each
+//! swept parameter was first consulted.
+//!
+//! # The soundness invariant
+//!
+//! A sweep that forks a snapshot taken at time `T` and then changes
+//! parameter `p` produces bit-identical results to a scratch run with `p`
+//! changed from boot **iff `p` was not read at or before `T`**. The kernel
+//! therefore notes the first read of every swept parameter as it happens
+//! (see `Machine::note_param_read` and the cost engine's read mask); a
+//! recorded watermark is always at-or-before the true read time, never
+//! after — a conservative-early stamp can only force an unnecessary
+//! scratch fallback, never an unsound fork.
+
+use latlab_des::SimTime;
+
+use crate::profile::{OsParams, OsProfile};
+
+/// A sweepable OS cost parameter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SweptParam {
+    /// Per-crossing transport instructions.
+    CrossingInstr,
+    /// Input-dispatch instructions.
+    InputDispatchInstr,
+    /// GDI batch size.
+    GdiBatchSize,
+    /// GDI path-length multiplier (thousandths).
+    GdiPathMilli,
+    /// GUI (USER-chrome) path-length multiplier (thousandths).
+    GuiPathMilli,
+    /// Buffer-cache capacity in blocks.
+    CacheBlocks,
+    /// Write-path overhead (thousandths).
+    WriteOverheadMilli,
+}
+
+impl SweptParam {
+    /// All sweepable parameters.
+    pub const ALL: [SweptParam; 7] = [
+        SweptParam::CrossingInstr,
+        SweptParam::InputDispatchInstr,
+        SweptParam::GdiBatchSize,
+        SweptParam::GdiPathMilli,
+        SweptParam::GuiPathMilli,
+        SweptParam::CacheBlocks,
+        SweptParam::WriteOverheadMilli,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweptParam::CrossingInstr => "crossing-instr",
+            SweptParam::InputDispatchInstr => "input-dispatch-instr",
+            SweptParam::GdiBatchSize => "gdi-batch-size",
+            SweptParam::GdiPathMilli => "gdi-path-milli",
+            SweptParam::GuiPathMilli => "gui-path-milli",
+            SweptParam::CacheBlocks => "cache-blocks",
+            SweptParam::WriteOverheadMilli => "write-overhead-milli",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<SweptParam> {
+        SweptParam::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Applies a value to a parameter set.
+    pub fn apply(self, params: &mut OsParams, value: u64) {
+        match self {
+            SweptParam::CrossingInstr => params.crossing_instr = value,
+            SweptParam::InputDispatchInstr => params.input_dispatch_instr = value,
+            SweptParam::GdiBatchSize => params.gdi_batch_size = value as u32,
+            SweptParam::GdiPathMilli => params.gdi_path_milli = value,
+            SweptParam::GuiPathMilli => params.gui_path_milli = value,
+            SweptParam::CacheBlocks => params.cache_blocks = value as usize,
+            SweptParam::WriteOverheadMilli => params.write_overhead_milli = value,
+        }
+    }
+
+    /// The parameter's stock value under a profile.
+    pub fn stock(self, profile: OsProfile) -> u64 {
+        let p = profile.params();
+        match self {
+            SweptParam::CrossingInstr => p.crossing_instr,
+            SweptParam::InputDispatchInstr => p.input_dispatch_instr,
+            SweptParam::GdiBatchSize => p.gdi_batch_size as u64,
+            SweptParam::GdiPathMilli => p.gdi_path_milli,
+            SweptParam::GuiPathMilli => p.gui_path_milli,
+            SweptParam::CacheBlocks => p.cache_blocks as u64,
+            SweptParam::WriteOverheadMilli => p.write_overhead_milli,
+        }
+    }
+
+    /// Table index (also the bit position in a read mask).
+    pub fn index(self) -> usize {
+        match self {
+            SweptParam::CrossingInstr => 0,
+            SweptParam::InputDispatchInstr => 1,
+            SweptParam::GdiBatchSize => 2,
+            SweptParam::GdiPathMilli => 3,
+            SweptParam::GuiPathMilli => 4,
+            SweptParam::CacheBlocks => 5,
+            SweptParam::WriteOverheadMilli => 6,
+        }
+    }
+
+    /// This parameter's bit in a read mask.
+    pub fn bit(self) -> u8 {
+        1 << self.index()
+    }
+}
+
+/// First-read watermarks for every swept parameter.
+///
+/// `None` means "never consulted so far"; `Some(t)` means the parameter was
+/// first consulted at simulated time at-or-after `t` (the stamp is
+/// conservative-early, see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParamWatermarks {
+    first_read: [Option<SimTime>; 7],
+}
+
+impl ParamWatermarks {
+    /// A table with no reads recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `param` at `at`; later reads never move an
+    /// existing watermark.
+    pub fn note(&mut self, param: SweptParam, at: SimTime) {
+        let slot = &mut self.first_read[param.index()];
+        if slot.is_none() {
+            *slot = Some(at);
+        }
+    }
+
+    /// Records a read at `at` for every parameter whose bit is set in
+    /// `mask` (the cost engine reports its reads this way).
+    pub fn note_mask(&mut self, mask: u8, at: SimTime) {
+        if mask == 0 {
+            return;
+        }
+        for p in SweptParam::ALL {
+            if mask & p.bit() != 0 {
+                self.note(p, at);
+            }
+        }
+    }
+
+    /// The first-read watermark of `param`, if it has been read.
+    pub fn get(&self, param: SweptParam) -> Option<SimTime> {
+        self.first_read[param.index()]
+    }
+
+    /// Bit mask of every parameter that has been read.
+    pub fn read_mask(&self) -> u8 {
+        SweptParam::ALL
+            .into_iter()
+            .filter(|p| self.get(*p).is_some())
+            .fold(0, |m, p| m | p.bit())
+    }
+
+    /// Folds another table into this one (used when a derived artifact —
+    /// e.g. an idle-loop calibration run on scratch machines — contributes
+    /// reads that happened "before" this machine's timeline).
+    pub fn absorb(&mut self, other: &ParamWatermarks, at: SimTime) {
+        self.note_mask(other.read_mask(), at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips() {
+        for p in SweptParam::ALL {
+            assert_eq!(SweptParam::parse(p.name()), Some(p));
+        }
+        assert_eq!(SweptParam::parse("nope"), None);
+    }
+
+    #[test]
+    fn stock_values_positive() {
+        for profile in OsProfile::ALL {
+            for p in SweptParam::ALL {
+                assert!(p.stock(profile) > 0, "{} on {profile}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_changes_params() {
+        for p in SweptParam::ALL {
+            let mut params = OsProfile::Nt40.params();
+            p.apply(&mut params, p.stock(OsProfile::Nt40) * 2);
+            assert_ne!(
+                format!("{params:?}"),
+                format!("{:?}", OsProfile::Nt40.params()),
+                "{} must change the parameter set",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn first_read_sticks() {
+        let mut w = ParamWatermarks::new();
+        let t1 = SimTime::from_cycles(100);
+        let t2 = SimTime::from_cycles(200);
+        w.note(SweptParam::CrossingInstr, t1);
+        w.note(SweptParam::CrossingInstr, t2);
+        assert_eq!(w.get(SweptParam::CrossingInstr), Some(t1));
+        assert_eq!(w.get(SweptParam::GdiBatchSize), None);
+        assert_eq!(w.read_mask(), SweptParam::CrossingInstr.bit());
+    }
+
+    #[test]
+    fn mask_notes_every_set_bit() {
+        let mut w = ParamWatermarks::new();
+        let mask = SweptParam::GuiPathMilli.bit() | SweptParam::WriteOverheadMilli.bit();
+        w.note_mask(mask, SimTime::from_cycles(7));
+        assert_eq!(w.read_mask(), mask);
+        let mut u = ParamWatermarks::new();
+        u.absorb(&w, SimTime::ZERO);
+        assert_eq!(u.get(SweptParam::GuiPathMilli), Some(SimTime::ZERO));
+    }
+}

@@ -17,6 +17,7 @@ use latlab_hw::{EventCounts, HwEvent, HwMix, MixAccumulator, TlbPair, WorkCharge
 
 use crate::profile::{OsParams, Win32Arch};
 use crate::program::{ComputeSpec, MixClass};
+use crate::sweep::SweptParam;
 
 /// What a packet of work represents, for attribution and debugging.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,13 +61,22 @@ impl WorkPacket {
 
 /// The cost engine: OS parameters plus live TLB state and per-mix
 /// fractional-event accumulators.
-#[derive(Debug)]
+///
+/// `Clone` captures the complete costing state (TLB occupancy, fractional
+/// remainders, pending read mask), so a cloned engine continues
+/// bit-identically — whole-machine snapshots rely on this.
+#[derive(Clone, Debug)]
 pub struct CostEngine {
     params: OsParams,
     tlb: TlbPair,
     acc_app: MixAccumulator,
     acc_gui: MixAccumulator,
     acc_kernel: MixAccumulator,
+    /// Swept parameters consulted since the last
+    /// [`CostEngine::take_param_reads`], as [`SweptParam::bit`] flags. The
+    /// kernel drains this into its first-read watermark table with a
+    /// conservative-early timestamp (see `crate::sweep`).
+    reads: u8,
 }
 
 impl CostEngine {
@@ -78,12 +88,25 @@ impl CostEngine {
             acc_app: MixAccumulator::new(),
             acc_gui: MixAccumulator::new(),
             acc_kernel: MixAccumulator::new(),
+            reads: 0,
         }
     }
 
     /// The active parameters.
     pub fn params(&self) -> &OsParams {
         &self.params
+    }
+
+    /// Replaces the parameter set (sweep forks re-point a restored engine
+    /// at the swept value). Costing state is untouched.
+    pub fn set_params(&mut self, params: OsParams) {
+        self.params = params;
+    }
+
+    /// Returns and clears the mask of swept parameters read since the last
+    /// call.
+    pub fn take_param_reads(&mut self) -> u8 {
+        std::mem::take(&mut self.reads)
     }
 
     /// Resolves a [`MixClass`] to the personality's concrete mix.
@@ -107,7 +130,8 @@ impl CostEngine {
     }
 
     /// Applies the personality's GUI path-length factor.
-    fn gui_instr(&self, instructions: u64) -> u64 {
+    fn gui_instr(&mut self, instructions: u64) -> u64 {
+        self.reads |= SweptParam::GuiPathMilli.bit();
         instructions * self.params.gui_path_milli / 1_000
     }
 
@@ -141,7 +165,10 @@ impl CostEngine {
         let instr = match spec.class {
             MixClass::Gui => self.gui_instr(spec.instructions),
             MixClass::GuiText => spec.instructions * self.params.gui_text_path_milli / 1_000,
-            MixClass::GuiDraw => spec.instructions * self.params.gdi_path_milli / 1_000,
+            MixClass::GuiDraw => {
+                self.reads |= SweptParam::GdiPathMilli.bit();
+                spec.instructions * self.params.gdi_path_milli / 1_000
+            }
             _ => spec.instructions,
         };
         self.charge_mix(spec.class, instr)
@@ -188,6 +215,7 @@ impl CostEngine {
         service_pages: (u32, u32),
     ) -> Vec<WorkPacket> {
         let mut packets = Vec::with_capacity(3);
+        self.reads |= SweptParam::CrossingInstr.bit();
         let service_instr = self.gui_instr(service_instr);
         match self.params.win32 {
             Win32Arch::UserServer {
@@ -253,6 +281,7 @@ impl CostEngine {
     /// factor — the two differ on Windows 95 (compact 16-bit GDI vs.
     /// thunk-heavy USER).
     pub fn gdi_flush(&mut self, ops: u32) -> Vec<WorkPacket> {
+        self.reads |= SweptParam::GdiPathMilli.bit() | SweptParam::GuiPathMilli.bit();
         let service = self.params.gdi_op_instr * ops as u64 * self.params.gdi_path_milli
             / self.params.gui_path_milli.max(1);
         // Drawing touches framebuffer/bitmap data proportional to batch size.
@@ -283,6 +312,7 @@ impl CostEngine {
     pub fn write_cpu(&mut self, blocks: u64) -> Vec<WorkPacket> {
         let base = self.params.syscall_instr
             + blocks * (self.params.copy_instr_per_block + self.params.page_in_instr_per_block);
+        self.reads |= SweptParam::WriteOverheadMilli.bit();
         let instr = base * self.params.write_overhead_milli / 1_000;
         let mut charge = self.charge_mix(MixClass::Kernel, instr);
         let touched = (blocks.min(32)) as u32;

@@ -25,6 +25,7 @@ fn at_ms(n: u64) -> SimTime {
 
 /// A minimal instrumented idle loop: spin, read the cycle counter, emit
 /// the stamp — with a capped trace buffer, like the real monitor.
+#[derive(Clone)]
 struct MiniIdleLoop {
     n_instr: u64,
     capacity: usize,
@@ -106,6 +107,7 @@ impl Program for MiniIdleLoop {
 }
 
 /// An interactive app handling keystrokes with some compute.
+#[derive(Clone)]
 struct EchoLoop {
     work_instr: u64,
     awaiting_reply: bool,
@@ -207,6 +209,7 @@ fn fast_forward_defers_to_ready_peers() {
             ProcessSpec::app("mini-monitor").with_priority(Priority::MEASUREMENT),
             Box::new(MiniIdleLoop::new(250_000, usize::MAX)),
         );
+        #[derive(Clone)]
         struct Busy;
         impl Program for Busy {
             fn step(&mut self, _ctx: &mut StepCtx) -> Action {

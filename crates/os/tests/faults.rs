@@ -16,6 +16,7 @@ fn at_ms(n: u64) -> SimTime {
 }
 
 /// A minimal interactive app: waits for a message, computes, repeats.
+#[derive(Clone)]
 struct EchoLoop {
     work_instr: u64,
     handled: u64,

@@ -17,6 +17,7 @@ fn at_ms(n: u64) -> SimTime {
 
 /// A minimal interactive app: waits for a message, computes `work_instr`,
 /// and goes back to waiting.
+#[derive(Clone)]
 struct EchoLoop {
     work_instr: u64,
     handled: u64,
@@ -52,6 +53,7 @@ impl Program for EchoLoop {
 }
 
 /// A low-priority busy loop standing in for the measurement idle process.
+#[derive(Clone)]
 struct BusyLoop;
 
 impl Program for BusyLoop {
@@ -142,6 +144,7 @@ fn busy_intervals_reflect_real_work_only() {
 
 #[test]
 fn sleep_wakes_on_tick_boundaries() {
+    #[derive(Clone)]
     struct Sleeper {
         phase: u8,
         wake_time: Option<u64>,
@@ -189,6 +192,7 @@ fn sleep_wakes_on_tick_boundaries() {
 
 #[test]
 fn cold_read_blocks_for_disk_and_warm_read_does_not() {
+    #[derive(Clone)]
     struct Reader {
         phase: u8,
         file: Option<latlab_os::FileId>,
@@ -367,6 +371,7 @@ fn deterministic_across_runs() {
 #[test]
 #[should_panic(expected = "no such file")]
 fn open_missing_file_panics() {
+    #[derive(Clone)]
     struct Opener;
     impl Program for Opener {
         fn step(&mut self, _ctx: &mut StepCtx) -> Action {
@@ -381,6 +386,7 @@ fn open_missing_file_panics() {
 #[test]
 #[should_panic(expected = "runaway")]
 fn runaway_program_detected() {
+    #[derive(Clone)]
     struct Runaway;
     impl Program for Runaway {
         fn step(&mut self, _ctx: &mut StepCtx) -> Action {
@@ -395,6 +401,8 @@ fn runaway_program_detected() {
 #[test]
 fn async_io_completes_via_message_without_blocking() {
     use latlab_os::{IoKind, Transition};
+
+    #[derive(Clone)]
 
     struct AsyncReader {
         phase: u8,
@@ -552,6 +560,7 @@ fn focus_change_reroutes_input() {
 fn high_priority_thread_preempts_lower() {
     // A foreground-priority message handler must preempt a long-running
     // normal-priority compute thread immediately, not at its quantum end.
+    #[derive(Clone)]
     struct Cruncher;
     impl Program for Cruncher {
         fn step(&mut self, _ctx: &mut StepCtx) -> Action {
@@ -582,6 +591,7 @@ fn high_priority_thread_preempts_lower() {
 
 #[test]
 fn round_robin_shares_cpu_between_equal_priorities() {
+    #[derive(Clone)]
     struct Spinner;
     impl Program for Spinner {
         fn step(&mut self, _ctx: &mut StepCtx) -> Action {
@@ -646,6 +656,7 @@ fn queue_overflow_drops_but_machine_survives() {
 
 #[test]
 fn set_timer_fires_periodically_and_kill_timer_stops_it() {
+    #[derive(Clone)]
     struct TimerApp {
         started: bool,
         awaiting: bool,
@@ -696,10 +707,12 @@ fn set_timer_fires_periodically_and_kill_timer_stops_it() {
 
 #[test]
 fn app_to_app_post_message() {
+    #[derive(Clone)]
     struct Sender {
         target: Option<ThreadIdHolder>,
         sent: bool,
     }
+    #[derive(Clone)]
     struct ThreadIdHolder(latlab_os::ThreadId);
     impl Program for Sender {
         fn step(&mut self, _ctx: &mut StepCtx) -> Action {
@@ -735,6 +748,7 @@ fn app_to_app_post_message() {
 
 #[test]
 fn user_call_crossings_cost_more_on_nt351() {
+    #[derive(Clone)]
     struct Caller {
         remaining: u32,
         done_at: Option<u64>,
@@ -777,6 +791,7 @@ fn user_call_crossings_cost_more_on_nt351() {
 
 #[test]
 fn quiescence_holds_when_a_thread_exits_with_queued_messages() {
+    #[derive(Clone)]
     struct QuitsEarly;
     impl Program for QuitsEarly {
         fn step(&mut self, _ctx: &mut StepCtx) -> Action {

@@ -130,6 +130,8 @@ proptest! {
         use latlab_os::{InputKind, KeySym, Machine, OsProfile, ProcessSpec};
         use latlab_os::{Action, ApiCall, ApiReply, ComputeSpec, Program, StepCtx};
 
+        #[derive(Clone)]
+
         struct Echo(bool);
         impl Program for Echo {
             fn step(&mut self, ctx: &mut StepCtx) -> Action {

@@ -13,7 +13,9 @@
 use latlab::os::{Action, ApiCall, ApiReply, ComputeSpec, StepCtx};
 use latlab::prelude::*;
 
-/// A minimal interactive spreadsheet model.
+/// A minimal interactive spreadsheet model. `Program` requires `Clone`
+/// so machines holding the app can be snapshotted by the sweep engine.
+#[derive(Clone)]
 struct MiniSheet {
     awaiting: bool,
     rows: u64,
